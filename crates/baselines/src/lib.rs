@@ -1,0 +1,22 @@
+//! # zdns-baselines
+//!
+//! Behavioural models of the tools the ZDNS evaluation compares against
+//! (§4.2, Table 2): dig's exposed-lookup-chain tracing (batch and forked),
+//! Unbound as a co-located recursive resolver, and MassDNS's blast-and-
+//! retry stub resolution. Each model reproduces the *strategy* of the tool
+//! against the same simulated Internet, so Table 2 compares strategies
+//! rather than testbeds.
+
+#![warn(missing_docs)]
+
+pub mod dig;
+pub mod massdns;
+pub mod unbound;
+
+pub use dig::{
+    dig_batch_engine_config, dig_external_machine, dig_forked_engine_config, dig_trace_machine,
+};
+pub use massdns::{massdns_engine_config, MassDnsMachine, MASSDNS_RETRIES};
+pub use unbound::{
+    unbound_engine_config, unbound_resolver, UNBOUND_THREAD_CAP_A, UNBOUND_THREAD_CAP_PTR,
+};

@@ -1,0 +1,82 @@
+//! The Unbound comparison setup (§4.2 "Recursive/Caching Resolving").
+//!
+//! Table 2 runs ZDNS in external mode against a performance-tuned Unbound
+//! *on the same machine*. Two effects dominate: Unbound caches everything
+//! (including leaf answers, useless for unique-name scans) yet is less CPU
+//! efficient than ZDNS's iterative resolver, and the co-located daemon
+//! contends for the scanner's cores — capping usable ZDNS threads at
+//! 5K (A) / 10K (PTR) in the paper's runs.
+
+use zdns_netsim::{EngineConfig, PublicResolverConfig, PublicResolverSim};
+
+/// The thread cap the paper observed for A lookups through local Unbound.
+pub const UNBOUND_THREAD_CAP_A: usize = 5_000;
+/// The thread cap for PTR lookups.
+pub const UNBOUND_THREAD_CAP_PTR: usize = 10_000;
+
+/// The resolver model for a locally-installed, performance-tuned Unbound.
+pub fn unbound_resolver() -> PublicResolverSim {
+    PublicResolverSim::new(PublicResolverConfig::local_unbound())
+}
+
+/// Engine configuration for scanning through local Unbound: ZDNS's own
+/// packet costs plus Unbound's recursion work charged to the same cores.
+pub fn unbound_engine_config(threads: usize, ptr: bool, seed: u64) -> EngineConfig {
+    let cap = if ptr {
+        UNBOUND_THREAD_CAP_PTR
+    } else {
+        UNBOUND_THREAD_CAP_A
+    };
+    EngineConfig {
+        threads: threads.min(cap),
+        // Unbound resolves iteratively on our CPU: several upstream
+        // packets' worth of work per client query, less efficiently than
+        // ZDNS's own engine.
+        local_resolver_cpu_us: 1_400,
+        seed,
+        ..EngineConfig::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use zdns_core::{Resolver, ResolverConfig};
+    use zdns_netsim::Engine;
+    use zdns_wire::{Question, RecordType};
+    use zdns_zones::{SynthConfig, SyntheticUniverse};
+
+    #[test]
+    fn thread_caps_applied() {
+        let cfg = unbound_engine_config(60_000, false, 1);
+        assert_eq!(cfg.threads, UNBOUND_THREAD_CAP_A);
+        let cfg = unbound_engine_config(60_000, true, 1);
+        assert_eq!(cfg.threads, UNBOUND_THREAD_CAP_PTR);
+        let cfg = unbound_engine_config(2_000, false, 1);
+        assert_eq!(cfg.threads, 2_000);
+    }
+
+    #[test]
+    fn scanning_through_unbound_works_but_costs_cpu() {
+        let universe = Arc::new(SyntheticUniverse::new(SynthConfig::default()));
+        let local: std::net::Ipv4Addr = "127.0.0.1".parse().unwrap();
+        let resolver = Resolver::new(ResolverConfig::external(vec![local]));
+        let mut engine = Engine::new(unbound_engine_config(64, false, 5), universe);
+        engine.add_resolver(unbound_resolver());
+        let r2 = resolver.clone();
+        let mut i = 0;
+        let report = engine.run(move || {
+            if i >= 200 {
+                return None;
+            }
+            i += 1;
+            Some(r2.machine(
+                Question::new(format!("ub{i}.com").parse().unwrap(), RecordType::A),
+                None,
+            ))
+        });
+        assert_eq!(report.jobs, 200);
+        assert!(report.success_rate() > 0.9, "{:?}", report.status_counts);
+    }
+}

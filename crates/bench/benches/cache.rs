@@ -1,0 +1,66 @@
+//! Criterion microbenches for the selective cache: the hot structure every
+//! iterative hop consults.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use zdns_core::{Cache, CacheKey};
+use zdns_wire::{Name, RData, Record, RecordType};
+
+fn ns_records(zone: &str) -> Vec<Record> {
+    (0..2)
+        .map(|i| {
+            Record::new(
+                zone.parse().unwrap(),
+                172_800,
+                RData::Ns(format!("ns{i}.provider.com").parse().unwrap()),
+            )
+        })
+        .collect()
+}
+
+fn bench_cache(c: &mut Criterion) {
+    // Pre-populate a paper-sized cache.
+    let cache = Cache::new(600_000);
+    for i in 0..300_000u32 {
+        let zone = format!("zone{i}.com");
+        cache.put(
+            CacheKey {
+                name: zone.parse().unwrap(),
+                rtype: RecordType::NS,
+            },
+            ns_records(&zone),
+            0,
+        );
+    }
+    let hot: Name = "zone1234.com".parse().unwrap();
+    let missing: Name = "unknown-zone.com".parse().unwrap();
+    let deep: Name = "a.b.zone777.com".parse().unwrap();
+
+    c.bench_function("cache_hit", |b| {
+        b.iter(|| cache.get(black_box(&hot), RecordType::NS, 1))
+    });
+    c.bench_function("cache_miss", |b| {
+        b.iter(|| cache.get(black_box(&missing), RecordType::NS, 1))
+    });
+    c.bench_function("cache_deepest_cut", |b| {
+        b.iter(|| cache.deepest_cut(black_box(&deep), 1))
+    });
+    c.bench_function("cache_insert_evicting", |b| {
+        let small = Cache::new(1_024);
+        let mut i = 0u32;
+        b.iter(|| {
+            i += 1;
+            let zone = format!("ev{i}.net");
+            small.put(
+                CacheKey {
+                    name: zone.parse().unwrap(),
+                    rtype: RecordType::NS,
+                },
+                ns_records(&zone),
+                0,
+            );
+        })
+    });
+}
+
+criterion_group!(benches, bench_cache);
+criterion_main!(benches);

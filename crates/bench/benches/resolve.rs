@@ -1,0 +1,85 @@
+//! Criterion macrobenches: full resolutions through the simulator (wall
+//! time of the engine + resolver machinery, not virtual time).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use zdns_bench::{run_scan, ScanSpec, TargetResolver, Workload};
+use zdns_netsim::oracle;
+use zdns_wire::{Name, Question, RecordType};
+use zdns_zones::{SynthConfig, SyntheticUniverse};
+
+fn bench_resolution(c: &mut Criterion) {
+    let universe = Arc::new(SyntheticUniverse::new(SynthConfig::default()));
+
+    c.bench_function("oracle_resolve_a", |b| {
+        let mut i = 0u64;
+        b.iter_batched(
+            || {
+                i += 1;
+                Question::new(
+                    format!("bench{i}.com").parse::<Name>().unwrap(),
+                    RecordType::A,
+                )
+            },
+            |q| oracle::resolve(universe.as_ref(), &q),
+            BatchSize::SmallInput,
+        )
+    });
+
+    c.bench_function("oracle_resolve_ptr", |b| {
+        let mut i = 0u32;
+        b.iter_batched(
+            || {
+                i += 1;
+                let ip = std::net::Ipv4Addr::from(0x0801_0000u32.wrapping_add(i * 77));
+                Question::new(Name::reverse_ipv4(ip), RecordType::PTR)
+            },
+            |q| oracle::resolve(universe.as_ref(), &q),
+            BatchSize::SmallInput,
+        )
+    });
+
+    let mut group = c.benchmark_group("sim_scan");
+    group.sample_size(10);
+    group.bench_function("iterative_2k_lookups", |b| {
+        let u = Arc::clone(&universe);
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            run_scan(
+                &u,
+                &ScanSpec {
+                    resolver: TargetResolver::Iterative,
+                    workload: Workload::A,
+                    threads: 512,
+                    jobs: 2_000,
+                    seed,
+                    ..ScanSpec::default()
+                },
+            )
+        })
+    });
+    group.bench_function("external_2k_lookups", |b| {
+        let u = Arc::clone(&universe);
+        let mut seed = 100u64;
+        b.iter(|| {
+            seed += 1;
+            run_scan(
+                &u,
+                &ScanSpec {
+                    resolver: TargetResolver::Cloudflare,
+                    workload: Workload::A,
+                    threads: 512,
+                    jobs: 2_000,
+                    seed,
+                    ..ScanSpec::default()
+                },
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_resolution);
+criterion_main!(benches);

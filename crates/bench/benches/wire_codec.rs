@@ -1,0 +1,101 @@
+//! Criterion microbenches for the wire codec: the per-packet work the
+//! engineering sections of the paper amortize across 100K+ packets/second.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use zdns_wire::rdata::{Mx, Soa, TxtData};
+use zdns_wire::{Message, Name, Question, RData, Record, RecordType};
+
+fn referral_response() -> Message {
+    let mut m = Message::query(
+        0x1234,
+        Question::new("www.example.com".parse().unwrap(), RecordType::A),
+    );
+    m.flags.response = true;
+    for i in 0..13u8 {
+        let ns: Name = format!("{}.gtld-servers.net", (b'a' + i) as char)
+            .parse()
+            .unwrap();
+        m.authorities.push(Record::new(
+            "com".parse().unwrap(),
+            172800,
+            RData::Ns(ns.clone()),
+        ));
+        m.additionals.push(Record::new(
+            ns,
+            172800,
+            RData::A(std::net::Ipv4Addr::new(192, 5, 6, 30 + i)),
+        ));
+    }
+    m
+}
+
+fn answer_response() -> Message {
+    let mut m = Message::query(
+        0x4321,
+        Question::new("example.com".parse().unwrap(), RecordType::ANY),
+    );
+    m.flags.response = true;
+    m.flags.authoritative = true;
+    let name: Name = "example.com".parse().unwrap();
+    m.answers.push(Record::new(
+        name.clone(),
+        300,
+        RData::A("93.184.216.34".parse().unwrap()),
+    ));
+    m.answers.push(Record::new(
+        name.clone(),
+        300,
+        RData::Mx(Mx {
+            preference: 10,
+            exchange: "mail.example.com".parse().unwrap(),
+        }),
+    ));
+    m.answers.push(Record::new(
+        name.clone(),
+        300,
+        RData::Txt(TxtData::from_text("v=spf1 include:_spf.example.com -all")),
+    ));
+    m.answers.push(Record::new(
+        name.clone(),
+        3600,
+        RData::Soa(Soa {
+            mname: "ns1.example.com".parse().unwrap(),
+            rname: "hostmaster.example.com".parse().unwrap(),
+            serial: 2022,
+            refresh: 7200,
+            retry: 3600,
+            expire: 1209600,
+            minimum: 300,
+        }),
+    ));
+    m
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let referral = referral_response();
+    let referral_bytes = referral.encode().unwrap();
+    let answer = answer_response();
+    let answer_bytes = answer.encode().unwrap();
+
+    c.bench_function("encode_referral_13ns", |b| {
+        b.iter(|| black_box(&referral).encode().unwrap())
+    });
+    c.bench_function("decode_referral_13ns", |b| {
+        b.iter(|| Message::decode(black_box(&referral_bytes)).unwrap())
+    });
+    c.bench_function("encode_answer_mixed", |b| {
+        b.iter(|| black_box(&answer).encode().unwrap())
+    });
+    c.bench_function("decode_answer_mixed", |b| {
+        b.iter(|| Message::decode(black_box(&answer_bytes)).unwrap())
+    });
+    c.bench_function("name_parse", |b| {
+        b.iter(|| "www.subdomain.example-domain.co.uk".parse::<Name>().unwrap())
+    });
+    c.bench_function("udp_truncation_encode", |b| {
+        b.iter(|| black_box(&referral).encode_udp(512).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

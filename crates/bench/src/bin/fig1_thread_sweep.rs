@@ -1,0 +1,74 @@
+//! Figure 1 — ZDNS scalability: successes/second vs. thread count for
+//! A and PTR lookups across {Google, Cloudflare, Iterative} resolvers and
+//! {/32, /29, /28} scanning prefixes.
+//!
+//! Paper shape to reproduce: rates climb with threads and plateau around
+//! 50K (~91.6K A/s on Cloudflare, ~102K PTR/s on Google, ~18K/s
+//! iterative); a /32 source hits the socket/port cap and Google's
+//! per-client rate limit (~6× fewer successes).
+//!
+//! Run: `cargo run --release -p zdns-bench --bin fig1_thread_sweep`
+//! (`--quick` for a smoke-scale sweep).
+
+use zdns_bench::*;
+
+fn main() {
+    let quick = quick_mode();
+    let universe = bench_universe();
+    let threads_grid: &[usize] = if quick {
+        &[1_000, 10_000, 50_000]
+    } else {
+        &[1_000, 5_000, 10_000, 25_000, 50_000, 75_000, 100_000]
+    };
+    let prefixes: &[(usize, &str)] = if quick {
+        &[(1, "/32"), (16, "/28")]
+    } else {
+        &[(1, "/32"), (8, "/29"), (16, "/28")]
+    };
+    let resolvers = [
+        TargetResolver::Google,
+        TargetResolver::Cloudflare,
+        TargetResolver::Iterative,
+    ];
+    let workloads = [Workload::A, Workload::Ptr];
+
+    println!("Figure 1: successes/second vs threads (paper: Fig. 1, 6 panels)\n");
+    for workload in workloads {
+        for resolver in resolvers {
+            println!(
+                "-- panel: {} lookups via {} --",
+                workload.label(),
+                resolver.label()
+            );
+            let table = TablePrinter::new(&[
+                "threads", "prefix", "eff_threads", "succ/s", "succ_%", "queries/s",
+            ]);
+            for &(ips, prefix_label) in prefixes {
+                for &threads in threads_grid {
+                    let spec = ScanSpec {
+                        resolver,
+                        workload,
+                        threads,
+                        source_ips: ips,
+                        jobs: jobs_for(threads, quick),
+                        ..ScanSpec::default()
+                    };
+                    let o = run_scan(&universe, &spec);
+                    table.row(&[
+                        threads.to_string(),
+                        prefix_label.to_string(),
+                        o.report.effective_threads.to_string(),
+                        format!("{:.0}", o.successes_per_sec),
+                        format!("{:.1}", o.success_rate * 100.0),
+                        format!("{:.0}", o.queries_per_sec),
+                    ]);
+                }
+            }
+            println!();
+        }
+    }
+    println!(
+        "paper reference points: Cloudflare A ≈ 91.6K/s, Google PTR ≈ 102K/s,\n\
+         iterative ≈ 18K/s at ≥50K threads; /32 + Google ≈ 6x fewer successes."
+    );
+}

@@ -1,0 +1,405 @@
+//! The selective infrastructure cache (§3.4 "Selective Caching").
+//!
+//! ZDNS caches **only NS records and glue addresses** so iterative walks can
+//! skip the root/TLD layers, but never caches answers for the leaf names
+//! being scanned — a measurement tool queries mostly unique names, and
+//! caching them would only thrash the structures that matter.
+//!
+//! The cache is a sharded, TTL-aware LRU. Shards keep lock hold times short
+//! when tens of thousands of lookup routines share one resolver; eviction
+//! and expiry are exact so Figure 2's cache-size sweep measures the policy,
+//! not implementation noise.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+use zdns_wire::{Name, Record, RecordType};
+
+use zdns_netsim::{SimTime, SECONDS};
+
+/// Cache key: owner name + record type (class is always IN here).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Owner name, case-normalized by `Name`'s hash/eq.
+    pub name: Name,
+    /// Record type (NS, A, or AAAA under the selective policy).
+    pub rtype: RecordType,
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    records: Vec<Record>,
+    expires: SimTime,
+    stamp: u64,
+}
+
+struct Shard {
+    map: HashMap<CacheKey, Entry>,
+    lru: BTreeMap<u64, CacheKey>,
+    clock: u64,
+}
+
+impl Shard {
+    fn new() -> Shard {
+        Shard {
+            map: HashMap::new(),
+            lru: BTreeMap::new(),
+            clock: 0,
+        }
+    }
+
+    fn touch(&mut self, key: &CacheKey) {
+        if let Some(entry) = self.map.get_mut(key) {
+            self.lru.remove(&entry.stamp);
+            self.clock += 1;
+            entry.stamp = self.clock;
+            self.lru.insert(self.clock, key.clone());
+        }
+    }
+}
+
+/// Counters exposed for Figure 2's hit-rate series.
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    /// Lookup calls that found a live entry.
+    pub hits: AtomicU64,
+    /// Lookup calls that missed (absent or expired).
+    pub misses: AtomicU64,
+    /// Entries evicted by the LRU bound.
+    pub evictions: AtomicU64,
+}
+
+impl CacheStats {
+    /// Hit fraction so far.
+    pub fn hit_rate(&self) -> f64 {
+        let h = self.hits.load(Ordering::Relaxed) as f64;
+        let m = self.misses.load(Ordering::Relaxed) as f64;
+        if h + m == 0.0 {
+            0.0
+        } else {
+            h / (h + m)
+        }
+    }
+}
+
+/// The sharded selective cache.
+pub struct Cache {
+    shards: Vec<Mutex<Shard>>,
+    per_shard_capacity: usize,
+    /// Shared counters.
+    pub stats: CacheStats,
+}
+
+/// Number of shards; power of two for cheap masking.
+const SHARDS: usize = 64;
+
+impl Cache {
+    /// Build a cache bounded to roughly `capacity` total entries.
+    pub fn new(capacity: usize) -> Cache {
+        let per_shard_capacity = (capacity / SHARDS).max(1);
+        Cache {
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::new())).collect(),
+            per_shard_capacity,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Total capacity (approximate: per-shard bound × shards).
+    pub fn capacity(&self) -> usize {
+        self.per_shard_capacity * SHARDS
+    }
+
+    /// Current entry count across shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().map.len()).sum()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn shard_for(&self, key: &CacheKey) -> &Mutex<Shard> {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) & (SHARDS - 1)]
+    }
+
+    /// The selective policy: only infrastructure RRsets are admitted.
+    pub fn admits(rtype: RecordType) -> bool {
+        rtype.is_infrastructure()
+    }
+
+    /// Insert an RRset (all records must share the key). Non-infrastructure
+    /// types are silently refused — that is the point of the policy.
+    pub fn put(&self, key: CacheKey, records: Vec<Record>, now: SimTime) {
+        if !Self::admits(key.rtype) || records.is_empty() {
+            return;
+        }
+        let ttl = records.iter().map(|r| r.ttl).min().unwrap_or(0) as u64;
+        if ttl == 0 {
+            return;
+        }
+        let expires = now + ttl * SECONDS;
+        let mut shard = self.shard_for(&key).lock();
+        shard.clock += 1;
+        let stamp = shard.clock;
+        if let Some(old) = shard.map.insert(
+            key.clone(),
+            Entry {
+                records,
+                expires,
+                stamp,
+            },
+        ) {
+            shard.lru.remove(&old.stamp);
+        }
+        shard.lru.insert(stamp, key);
+        // Evict beyond capacity.
+        while shard.map.len() > self.per_shard_capacity {
+            let Some((&oldest, _)) = shard.lru.iter().next() else {
+                break;
+            };
+            if let Some(victim) = shard.lru.remove(&oldest) {
+                shard.map.remove(&victim);
+                self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Look up a live RRset, refreshing its LRU position.
+    pub fn get(&self, name: &Name, rtype: RecordType, now: SimTime) -> Option<Vec<Record>> {
+        let key = CacheKey {
+            name: name.clone(),
+            rtype,
+        };
+        let mut shard = self.shard_for(&key).lock();
+        match shard.map.get(&key) {
+            Some(entry) if entry.expires > now => {
+                let records = entry.records.clone();
+                shard.touch(&key);
+                self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                Some(records)
+            }
+            Some(_) => {
+                // Expired: drop it.
+                if let Some(old) = shard.map.remove(&key) {
+                    shard.lru.remove(&old.stamp);
+                }
+                self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            None => {
+                self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Find the deepest cached NS RRset enclosing `qname` (the zone cut an
+    /// iterative walk can start from). Returns `(cut, ns_records)`.
+    pub fn deepest_cut(&self, qname: &Name, now: SimTime) -> Option<(Name, Vec<Record>)> {
+        for depth in (1..=qname.label_count()).rev() {
+            let candidate = qname.suffix(depth);
+            if let Some(records) = self.get(&candidate, RecordType::NS, now) {
+                return Some((candidate, records));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zdns_wire::RData;
+
+    fn ns_record(zone: &str, target: &str, ttl: u32) -> Record {
+        Record::new(
+            zone.parse().unwrap(),
+            ttl,
+            RData::Ns(target.parse().unwrap()),
+        )
+    }
+
+    fn a_record(name: &str, addr: &str, ttl: u32) -> Record {
+        Record::new(
+            name.parse().unwrap(),
+            ttl,
+            RData::A(addr.parse().unwrap()),
+        )
+    }
+
+    fn key(name: &str, rtype: RecordType) -> CacheKey {
+        CacheKey {
+            name: name.parse().unwrap(),
+            rtype,
+        }
+    }
+
+    #[test]
+    fn selective_policy_rejects_leaf_types() {
+        assert!(Cache::admits(RecordType::NS));
+        assert!(Cache::admits(RecordType::A));
+        assert!(Cache::admits(RecordType::AAAA));
+        assert!(!Cache::admits(RecordType::PTR));
+        assert!(!Cache::admits(RecordType::TXT));
+        assert!(!Cache::admits(RecordType::MX));
+        assert!(!Cache::admits(RecordType::CAA));
+        let cache = Cache::new(64);
+        cache.put(
+            key("example.com", RecordType::TXT),
+            vec![Record::new(
+                "example.com".parse().unwrap(),
+                300,
+                RData::Txt(zdns_wire::rdata::TxtData::from_text("x")),
+            )],
+            0,
+        );
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn put_get_roundtrip() {
+        let cache = Cache::new(64);
+        let recs = vec![ns_record("com", "a.gtld-servers.net", 172800)];
+        cache.put(key("com", RecordType::NS), recs.clone(), 0);
+        assert_eq!(
+            cache.get(&"com".parse().unwrap(), RecordType::NS, SECONDS),
+            Some(recs)
+        );
+        assert_eq!(cache.stats.hits.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn ttl_expiry() {
+        let cache = Cache::new(64);
+        cache.put(
+            key("com", RecordType::NS),
+            vec![ns_record("com", "a.gtld-servers.net", 10)],
+            0,
+        );
+        assert!(cache
+            .get(&"com".parse().unwrap(), RecordType::NS, 9 * SECONDS)
+            .is_some());
+        assert!(cache
+            .get(&"com".parse().unwrap(), RecordType::NS, 11 * SECONDS)
+            .is_none());
+        // Expired entry is gone entirely.
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn lru_eviction_prefers_stale_entries() {
+        // One shard: capacity under SHARDS entries rounds to 1 per shard;
+        // use keys that land anywhere and a big enough run to force
+        // evictions.
+        let cache = Cache::new(SHARDS); // 1 per shard
+        for i in 0..10 * SHARDS {
+            cache.put(
+                key(&format!("zone{i}.test"), RecordType::NS),
+                vec![ns_record(
+                    &format!("zone{i}.test"),
+                    "ns.zone.test",
+                    3600,
+                )],
+                0,
+            );
+        }
+        assert!(cache.len() <= cache.capacity());
+        assert!(cache.stats.evictions.load(Ordering::Relaxed) > 0);
+    }
+
+    #[test]
+    fn lru_touch_protects_hot_entries() {
+        let cache = Cache::new(SHARDS * 2);
+        // Fill one shard deterministically by reusing the same name with
+        // different types (same shard not guaranteed, so instead verify
+        // semantics: a touched entry survives longer than untouched ones).
+        cache.put(
+            key("hot.test", RecordType::NS),
+            vec![ns_record("hot.test", "ns.hot.test", 3600)],
+            0,
+        );
+        for i in 0..SHARDS * 20 {
+            // Keep touching the hot entry while inserting others.
+            let _ = cache.get(&"hot.test".parse().unwrap(), RecordType::NS, 0);
+            cache.put(
+                key(&format!("cold{i}.test"), RecordType::NS),
+                vec![ns_record(&format!("cold{i}.test"), "ns.c.test", 3600)],
+                0,
+            );
+        }
+        assert!(
+            cache
+                .get(&"hot.test".parse().unwrap(), RecordType::NS, 0)
+                .is_some(),
+            "hot entry evicted despite constant use"
+        );
+    }
+
+    #[test]
+    fn deepest_cut_walks_up() {
+        let cache = Cache::new(1024);
+        cache.put(
+            key("com", RecordType::NS),
+            vec![ns_record("com", "a.gtld-servers.net", 172800)],
+            0,
+        );
+        cache.put(
+            key("example.com", RecordType::NS),
+            vec![ns_record("example.com", "ns1.example.com", 172800)],
+            0,
+        );
+        let (cut, _) = cache
+            .deepest_cut(&"www.example.com".parse().unwrap(), 0)
+            .unwrap();
+        assert_eq!(cut, "example.com".parse().unwrap());
+        let (cut2, _) = cache
+            .deepest_cut(&"other.com".parse().unwrap(), 0)
+            .unwrap();
+        assert_eq!(cut2, "com".parse().unwrap());
+        assert!(cache
+            .deepest_cut(&"example.org".parse().unwrap(), 0)
+            .is_none());
+    }
+
+    #[test]
+    fn glue_addresses_cacheable() {
+        let cache = Cache::new(64);
+        cache.put(
+            key("ns1.example.com", RecordType::A),
+            vec![a_record("ns1.example.com", "198.51.100.1", 172800)],
+            0,
+        );
+        assert!(cache
+            .get(&"ns1.example.com".parse().unwrap(), RecordType::A, 0)
+            .is_some());
+    }
+
+    #[test]
+    fn zero_ttl_not_cached() {
+        let cache = Cache::new(64);
+        cache.put(
+            key("com", RecordType::NS),
+            vec![ns_record("com", "a.gtld-servers.net", 0)],
+            0,
+        );
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn hit_rate_math() {
+        let cache = Cache::new(64);
+        cache.put(
+            key("com", RecordType::NS),
+            vec![ns_record("com", "x.test", 3600)],
+            0,
+        );
+        let _ = cache.get(&"com".parse().unwrap(), RecordType::NS, 0); // hit
+        let _ = cache.get(&"org".parse().unwrap(), RecordType::NS, 0); // miss
+        assert!((cache.stats.hit_rate() - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,35 @@
+//! # zdns-core
+//!
+//! The ZDNS resolver library — the paper's primary contribution,
+//! reimplemented in Rust: a caching iterative resolver that exposes full
+//! lookup chains, a selective NS/glue cache (§3.4), external-recursive and
+//! direct-probe modes, retry/TCP-fallback logic, and a blocking transport
+//! with the long-lived-UDP-socket optimization.
+//!
+//! Lookup logic is written as transport-agnostic state machines so the same
+//! code runs under `zdns-netsim`'s discrete-event engine (for the paper's
+//! scale experiments) and over real OS sockets.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod config;
+pub mod machine;
+pub mod result;
+pub mod resolver;
+pub mod stats;
+pub mod status;
+pub mod trace;
+pub mod transport;
+
+pub use cache::{Cache, CacheKey, CacheStats};
+pub use config::{ResolutionMode, ResolverConfig};
+pub use machine::{
+    DirectMachine, ExternalMachine, IterativeMachine, ResolveTarget, ResolverCore, ResultSink,
+};
+pub use resolver::{collecting_sink, drive_blocking, AddrMap, Resolver};
+pub use result::{DelegationInfo, LookupResult};
+pub use stats::Stats;
+pub use status::Status;
+pub use trace::TraceStep;
+pub use transport::{Transport, TransportError, UdpTransport};

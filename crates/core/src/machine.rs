@@ -1,0 +1,958 @@
+//! Lookup state machines.
+//!
+//! Each lookup is a state machine fed with responses/timeouts — the shape
+//! that lets one implementation run under both the discrete-event simulator
+//! (tens of thousands of concurrent routines) and a blocking driver over
+//! real sockets.
+//!
+//! * [`IterativeMachine`] — ZDNS's own recursion: start at the deepest
+//!   cached zone cut (or the roots), follow referrals, chase CNAMEs,
+//!   resolve glueless NS hosts with nested walks, record the lookup chain,
+//!   and cache *only* NS/glue RRsets (§3.4 selective caching).
+//! * [`ExternalMachine`] — RD=1 queries against external recursive
+//!   resolvers with retry/rotation (the Google/Cloudflare rows).
+//! * [`DirectMachine`] — one server, one question, n retries; the building
+//!   block for the §5 `--all-nameservers` extension and misc modules.
+
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+use zdns_netsim::{
+    ClientEvent, JobOutcome, OutQuery, Protocol, SimClient, SimTime, StepStatus,
+};
+use zdns_wire::{Message, Name, Question, RData, Rcode, Record, RecordType};
+
+use crate::cache::{Cache, CacheKey};
+use crate::config::{ResolutionMode, ResolverConfig};
+use crate::result::{DelegationInfo, LookupResult};
+use crate::stats::Stats;
+use crate::status::Status;
+use crate::trace::{step_for, TraceStep};
+
+/// Shared state behind every machine: config, selective cache, counters.
+pub struct ResolverCore {
+    /// Resolver configuration.
+    pub config: ResolverConfig,
+    /// The selective infrastructure cache.
+    pub cache: Cache,
+    /// Run-time counters.
+    pub stats: Stats,
+}
+
+impl ResolverCore {
+    /// Build from a config.
+    pub fn new(config: ResolverConfig) -> Arc<ResolverCore> {
+        let cache = Cache::new(config.cache_size);
+        Arc::new(ResolverCore {
+            config,
+            cache,
+            stats: Stats::default(),
+        })
+    }
+}
+
+/// Callback invoked with the full result of each finished lookup.
+pub type ResultSink = Arc<dyn Fn(LookupResult) + Send + Sync>;
+
+fn query_id(name: &Name, counter: u32) -> u16 {
+    // Deterministic per-(name, attempt) transaction ids.
+    let mut h: u32 = 0x811C_9DC5;
+    for l in name.labels() {
+        for &b in l.iter() {
+            h ^= b.to_ascii_lowercase() as u32;
+            h = h.wrapping_mul(0x0100_0193);
+        }
+    }
+    (h ^ counter.rotate_left(16)) as u16
+}
+
+// ---------------------------------------------------------------------------
+// External mode
+// ---------------------------------------------------------------------------
+
+/// RD=1 lookups against external recursive resolvers.
+pub struct ExternalMachine {
+    core: Arc<ResolverCore>,
+    question: Question,
+    servers: Vec<Ipv4Addr>,
+    server_idx: usize,
+    attempt: u32,
+    retries_used: u32,
+    queries: u32,
+    started: SimTime,
+    tag: u64,
+    over_tcp: bool,
+    sink: Option<ResultSink>,
+}
+
+impl ExternalMachine {
+    /// Build a machine for `question`.
+    pub fn new(
+        core: Arc<ResolverCore>,
+        question: Question,
+        sink: Option<ResultSink>,
+    ) -> ExternalMachine {
+        let servers = match &core.config.mode {
+            ResolutionMode::External { servers } => servers.clone(),
+            ResolutionMode::Iterative => Vec::new(),
+        };
+        // Load-balance the starting server across lookups.
+        let server_idx = if servers.is_empty() {
+            0
+        } else {
+            query_id(&question.name, 0) as usize % servers.len()
+        };
+        ExternalMachine {
+            core,
+            question,
+            servers,
+            server_idx,
+            attempt: 0,
+            retries_used: 0,
+            queries: 0,
+            started: 0,
+            tag: 0,
+            over_tcp: false,
+            sink,
+        }
+    }
+
+    fn current_server(&self) -> Ipv4Addr {
+        self.servers[self.server_idx % self.servers.len()]
+    }
+
+    fn send(&mut self, out: &mut Vec<OutQuery>) {
+        self.queries += 1;
+        self.tag += 1;
+        let mut msg = Message::query(query_id(&self.question.name, self.queries), self.question.clone());
+        msg.flags.recursion_desired = true;
+        let protocol = if self.over_tcp || self.core.config.tcp_only {
+            Protocol::Tcp
+        } else {
+            Protocol::Udp
+        };
+        out.push(OutQuery {
+            to: self.current_server(),
+            query: msg,
+            protocol,
+            timeout: self.core.config.timeout,
+            tag: self.tag,
+        });
+        self.core
+            .stats
+            .queries_sent
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    fn finish(&mut self, now: SimTime, status: Status, response: Option<(&Message, Ipv4Addr)>) -> StepStatus {
+        self.core.stats.record_lookup(status);
+        let result = LookupResult {
+            name: self.question.name.clone(),
+            qtype: self.question.qtype,
+            status,
+            answers: response.map(|(m, _)| m.answers.clone()).unwrap_or_default(),
+            authorities: response
+                .map(|(m, _)| m.authorities.clone())
+                .unwrap_or_default(),
+            additionals: response
+                .map(|(m, _)| m.additionals.clone())
+                .unwrap_or_default(),
+            flags: response.map(|(m, _)| m.flags),
+            resolver: response.map(|(_, ip)| format!("{ip}:53")),
+            protocol: if self.over_tcp { "tcp" } else { "udp" },
+            trace: Vec::new(),
+            delegation: None,
+            queries_sent: self.queries,
+            retries_used: self.retries_used,
+            duration: now.saturating_sub(self.started),
+            timestamp: now,
+        };
+        if let Some(sink) = &self.sink {
+            sink(result);
+        }
+        StepStatus::Done(JobOutcome {
+            success: status.is_success(),
+            status: status.as_str().to_string(),
+        })
+    }
+}
+
+impl SimClient for ExternalMachine {
+    fn start(&mut self, now: SimTime, out: &mut Vec<OutQuery>) -> StepStatus {
+        self.started = now;
+        if self.servers.is_empty() {
+            return self.finish(now, Status::Error, None);
+        }
+        self.send(out);
+        StepStatus::Running
+    }
+
+    fn on_event(&mut self, event: ClientEvent, now: SimTime, out: &mut Vec<OutQuery>) -> StepStatus {
+        match event {
+            ClientEvent::Response { tag, from, message, protocol } => {
+                if tag != self.tag {
+                    return StepStatus::Running; // stale
+                }
+                if message.flags.truncated
+                    && protocol == Protocol::Udp
+                    && self.core.config.tcp_on_truncated
+                {
+                    // Retry over TCP against the same resolver.
+                    self.over_tcp = true;
+                    self.core
+                        .stats
+                        .tcp_fallbacks
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    self.send(out);
+                    return StepStatus::Running;
+                }
+                if message.flags.truncated {
+                    return self.finish(now, Status::Truncated, Some((&message, from)));
+                }
+                let status = Status::from_rcode(message.rcode());
+                self.finish(now, status, Some((&message, from)))
+            }
+            ClientEvent::Timeout { tag } => {
+                if tag != self.tag {
+                    return StepStatus::Running;
+                }
+                self.attempt += 1;
+                self.retries_used += 1;
+                self.core
+                    .stats
+                    .retries
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if self.attempt <= self.core.config.retries {
+                    // Rotate to the next upstream (ZDNS load-balances
+                    // retries across its resolver list).
+                    self.server_idx += 1;
+                    self.send(out);
+                    StepStatus::Running
+                } else {
+                    self.finish(now, Status::Timeout, None)
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Iterative mode
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct Candidate {
+    ns: Name,
+    addr: Option<Ipv4Addr>,
+    dead: bool,
+}
+
+struct Walk {
+    q: Question,
+    chain: Vec<Record>,
+    cname_hops: u32,
+    zone: Name,
+    depth: u32,
+    candidates: Vec<Candidate>,
+    cand_idx: usize,
+    attempt: u32,
+    /// Which candidate of the parent walk this NS-address walk serves.
+    parent_cand: Option<usize>,
+}
+
+/// What the iterative machine is after.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResolveTarget {
+    /// Resolve to a final answer (normal lookups).
+    Answer,
+    /// Resolve normally but keep the final delegation for the caller (the
+    /// §5 `--all-nameservers` extension builds on this).
+    Delegation,
+}
+
+/// ZDNS's own caching iterative resolver as a state machine.
+pub struct IterativeMachine {
+    core: Arc<ResolverCore>,
+    original: Question,
+    stack: Vec<Walk>,
+    trace: Vec<TraceStep>,
+    queries: u32,
+    retries_used: u32,
+    started: SimTime,
+    tag: u64,
+    over_tcp: bool,
+    sink: Option<ResultSink>,
+    #[allow(dead_code)]
+    target: ResolveTarget,
+}
+
+impl IterativeMachine {
+    /// Build a machine for `question`.
+    pub fn new(
+        core: Arc<ResolverCore>,
+        question: Question,
+        target: ResolveTarget,
+        sink: Option<ResultSink>,
+    ) -> IterativeMachine {
+        IterativeMachine {
+            core,
+            original: question,
+            stack: Vec::new(),
+            trace: Vec::new(),
+            queries: 0,
+            retries_used: 0,
+            started: 0,
+            tag: 0,
+            over_tcp: false,
+            sink,
+            target,
+        }
+    }
+
+    fn new_walk(&mut self, q: Question, parent_cand: Option<usize>, now: SimTime) -> Walk {
+        let (zone, candidates, cached) = match self.core.cache.deepest_cut(&q.name, now) {
+            Some((cut, ns_records)) => {
+                let candidates = self.candidates_from_ns(&ns_records, &[], now);
+                (cut, candidates, true)
+            }
+            None => {
+                let candidates = self
+                    .core
+                    .config
+                    .root_hints
+                    .iter()
+                    .map(|(ns, addr)| Candidate {
+                        ns: ns.clone(),
+                        addr: Some(*addr),
+                        dead: false,
+                    })
+                    .collect();
+                (Name::root(), candidates, false)
+            }
+        };
+        if cached && self.core.config.trace {
+            self.trace.push(step_for(
+                &q,
+                &zone,
+                1,
+                "cache".to_string(),
+                1,
+                true,
+                None,
+            ));
+        }
+        let mut walk = Walk {
+            q,
+            chain: Vec::new(),
+            cname_hops: 0,
+            zone,
+            depth: 0,
+            candidates,
+            cand_idx: 0,
+            attempt: 0,
+            parent_cand,
+        };
+        Self::rotate_candidates(&mut walk);
+        walk
+    }
+
+    /// Spread load across a zone's nameservers deterministically.
+    fn rotate_candidates(walk: &mut Walk) {
+        if walk.candidates.len() > 1 {
+            let r = query_id(&walk.q.name, walk.depth) as usize % walk.candidates.len();
+            walk.candidates.rotate_left(r);
+        }
+        // Glued candidates first: querying them needs no extra resolution.
+        walk.candidates.sort_by_key(|c| c.addr.is_none());
+    }
+
+    fn candidates_from_ns(&self, ns_records: &[Record], glue: &[Record], now: SimTime) -> Vec<Candidate> {
+        let mut out = Vec::new();
+        for rec in ns_records {
+            let RData::Ns(ns_name) = &rec.rdata else { continue };
+            let mut addr = glue.iter().find_map(|g| {
+                if g.name == *ns_name {
+                    match &g.rdata {
+                        RData::A(a) => Some(*a),
+                        _ => None,
+                    }
+                } else {
+                    None
+                }
+            });
+            if addr.is_none() {
+                addr = self
+                    .core
+                    .cache
+                    .get(ns_name, RecordType::A, now)
+                    .and_then(|records| {
+                        records.iter().find_map(|r| match &r.rdata {
+                            RData::A(a) => Some(*a),
+                            _ => None,
+                        })
+                    });
+            }
+            out.push(Candidate {
+                ns: ns_name.clone(),
+                addr,
+                dead: false,
+            });
+        }
+        out
+    }
+
+    fn send_current(&mut self, out: &mut Vec<OutQuery>) {
+        let walk = self.stack.last().expect("active walk");
+        let candidate = &walk.candidates[walk.cand_idx];
+        let addr = candidate.addr.expect("send_current requires an address");
+        self.queries += 1;
+        self.tag += 1;
+        let msg = Message::query(query_id(&walk.q.name, self.queries), walk.q.clone());
+        let protocol = if self.over_tcp || self.core.config.tcp_only {
+            Protocol::Tcp
+        } else {
+            Protocol::Udp
+        };
+        out.push(OutQuery {
+            to: addr,
+            query: msg,
+            protocol,
+            timeout: self.core.config.iteration_timeout,
+            tag: self.tag,
+        });
+        self.core
+            .stats
+            .queries_sent
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Drive the machine forward until a query is in flight or the lookup
+    /// completes.
+    fn advance(&mut self, now: SimTime, out: &mut Vec<OutQuery>) -> StepStatus {
+        loop {
+            if self.queries >= self.core.config.max_queries_per_lookup
+                || now.saturating_sub(self.started) > self.core.config.lookup_budget
+            {
+                return self.finish(now, Status::IterativeTimeout, None);
+            }
+            let stack_len = self.stack.len();
+            let walk = self.stack.last_mut().expect("active walk");
+
+            // Find a usable candidate: first a live one with an address...
+            let next_with_addr = walk
+                .candidates
+                .iter()
+                .enumerate()
+                .skip(walk.cand_idx)
+                .find(|(_, c)| !c.dead && c.addr.is_some())
+                .map(|(i, _)| i);
+            if let Some(i) = next_with_addr {
+                walk.cand_idx = i;
+                self.over_tcp = self.core.config.tcp_only;
+                self.send_current(out);
+                return StepStatus::Running;
+            }
+            // ...then a live glueless one we can resolve.
+            let glueless = walk
+                .candidates
+                .iter()
+                .enumerate()
+                .find(|(_, c)| !c.dead && c.addr.is_none())
+                .map(|(i, c)| (i, c.ns.clone()));
+            if let Some((i, ns_name)) = glueless {
+                // Guard against resolution cycles: the NS host must not sit
+                // inside the zone we are currently stuck on, and nesting is
+                // bounded.
+                if stack_len >= 4 || ns_name.is_subdomain_of(&walk.zone) {
+                    walk.candidates[i].dead = true;
+                    continue;
+                }
+                walk.cand_idx = i;
+                let sub_q = Question::new(ns_name, RecordType::A);
+                let sub = self.new_walk(sub_q, Some(i), now);
+                self.stack.push(sub);
+                continue;
+            }
+            // All candidates dead: this walk failed.
+            let failed = self.stack.pop().expect("active walk");
+            if self.stack.is_empty() {
+                return self.finish(now, Status::ServFail, None);
+            }
+            // Mark the parent candidate as unresolvable.
+            if let Some(ci) = failed.parent_cand {
+                if let Some(parent) = self.stack.last_mut() {
+                    parent.candidates[ci].dead = true;
+                }
+            }
+        }
+    }
+
+    fn current_candidate_exhausted(&mut self) {
+        let walk = self.stack.last_mut().expect("active walk");
+        walk.candidates[walk.cand_idx].dead = true;
+        walk.cand_idx = 0; // rescan from the start; dead ones are skipped
+        walk.attempt = 0;
+        self.over_tcp = false;
+    }
+
+    fn record_trace(&mut self, message: &Message, from: Ipv4Addr) {
+        if !self.core.config.trace {
+            return;
+        }
+        let walk = self.stack.last().expect("active walk");
+        self.trace.push(step_for(
+            &walk.q,
+            &walk.zone,
+            walk.depth + 1,
+            format!("{from}:53"),
+            walk.attempt + 1,
+            false,
+            Some(message.clone()),
+        ));
+    }
+
+    /// Complete a walk with an authoritative outcome.
+    fn finish_walk(
+        &mut self,
+        now: SimTime,
+        status: Status,
+        message: Option<(&Message, Ipv4Addr)>,
+        out: &mut Vec<OutQuery>,
+    ) -> StepStatus {
+        let walk = self.stack.pop().expect("active walk");
+        if self.stack.is_empty() {
+            let mut answers = walk.chain.clone();
+            if let Some((m, _)) = message {
+                answers.extend(m.answers.iter().cloned());
+            }
+            let delegation = Some(DelegationInfo {
+                zone: walk.zone.clone(),
+                nameservers: walk
+                    .candidates
+                    .iter()
+                    .map(|c| (c.ns.clone(), c.addr))
+                    .collect(),
+            });
+            return self.finish_with(now, status, message, answers, delegation);
+        }
+        // NS-address sub-walk: hand addresses to the parent candidate.
+        let mut addrs: Vec<Ipv4Addr> = Vec::new();
+        if status == Status::NoError {
+            let mut collect = |records: &[Record]| {
+                for r in records {
+                    if let RData::A(a) = r.rdata {
+                        addrs.push(a);
+                    }
+                }
+            };
+            collect(&walk.chain);
+            if let Some((m, _)) = message {
+                collect(&m.answers);
+            }
+        }
+        if let Some(ci) = walk.parent_cand {
+            let parent = self.stack.last_mut().expect("parent walk");
+            match addrs.first() {
+                Some(&a) => parent.candidates[ci].addr = Some(a),
+                None => parent.candidates[ci].dead = true,
+            }
+        }
+        self.advance(now, out)
+    }
+
+    fn finish(
+        &mut self,
+        now: SimTime,
+        status: Status,
+        message: Option<(&Message, Ipv4Addr)>,
+    ) -> StepStatus {
+        // Failure outside a completed walk: salvage whatever chain exists.
+        let answers = self
+            .stack
+            .first()
+            .map(|w| w.chain.clone())
+            .unwrap_or_default();
+        let delegation = self.stack.first().map(|w| DelegationInfo {
+            zone: w.zone.clone(),
+            nameservers: w.candidates.iter().map(|c| (c.ns.clone(), c.addr)).collect(),
+        });
+        self.finish_with(now, status, message, answers, delegation)
+    }
+
+    fn finish_with(
+        &mut self,
+        now: SimTime,
+        status: Status,
+        message: Option<(&Message, Ipv4Addr)>,
+        answers: Vec<Record>,
+        delegation: Option<DelegationInfo>,
+    ) -> StepStatus {
+        self.core.stats.record_lookup(status);
+        let result = LookupResult {
+            name: self.original.name.clone(),
+            qtype: self.original.qtype,
+            status,
+            answers,
+            authorities: message.map(|(m, _)| m.authorities.clone()).unwrap_or_default(),
+            additionals: message.map(|(m, _)| m.additionals.clone()).unwrap_or_default(),
+            flags: message.map(|(m, _)| m.flags),
+            resolver: message.map(|(_, ip)| format!("{ip}:53")),
+            protocol: if self.over_tcp { "tcp" } else { "udp" },
+            trace: std::mem::take(&mut self.trace),
+            delegation,
+            queries_sent: self.queries,
+            retries_used: self.retries_used,
+            duration: now.saturating_sub(self.started),
+            timestamp: now,
+        };
+        if let Some(sink) = &self.sink {
+            sink(result);
+        }
+        self.stack.clear();
+        StepStatus::Done(JobOutcome {
+            success: status.is_success(),
+            status: status.as_str().to_string(),
+        })
+    }
+
+    /// Selective caching (§3.4): NS RRsets at zone cuts plus in-bailiwick
+    /// glue addresses — never the leaf answers.
+    fn cache_referral(&self, cut: &Name, ns_records: &[Record], glue: &[Record], bailiwick: &Name, now: SimTime) {
+        self.core.cache.put(
+            CacheKey {
+                name: cut.clone(),
+                rtype: RecordType::NS,
+            },
+            ns_records.to_vec(),
+            now,
+        );
+        // Group glue by (name, type) and cache each address RRset.
+        for rec in glue {
+            if !matches!(rec.rtype, RecordType::A | RecordType::AAAA) {
+                continue;
+            }
+            // Bailiwick rule: only names the referring zone may speak for.
+            if !rec.name.is_subdomain_of(bailiwick) {
+                continue;
+            }
+            let same: Vec<Record> = glue
+                .iter()
+                .filter(|g| g.name == rec.name && g.rtype == rec.rtype)
+                .cloned()
+                .collect();
+            self.core.cache.put(
+                CacheKey {
+                    name: rec.name.clone(),
+                    rtype: rec.rtype,
+                },
+                same,
+                now,
+            );
+        }
+    }
+
+    fn handle_response(
+        &mut self,
+        message: Message,
+        from: Ipv4Addr,
+        protocol: Protocol,
+        now: SimTime,
+        out: &mut Vec<OutQuery>,
+    ) -> StepStatus {
+        self.record_trace(&message, from);
+
+        // Truncation → TCP fallback against the same server.
+        if message.flags.truncated {
+            if protocol == Protocol::Udp && self.core.config.tcp_on_truncated {
+                self.over_tcp = true;
+                self.core
+                    .stats
+                    .tcp_fallbacks
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                self.send_current(out);
+                return StepStatus::Running;
+            }
+            return self.finish(now, Status::Truncated, Some((&message, from)));
+        }
+
+        match message.rcode() {
+            Rcode::NxDomain => {
+                return self.finish_walk(now, Status::NxDomain, Some((&message, from)), out)
+            }
+            Rcode::NoError => {}
+            _ => {
+                // REFUSED / SERVFAIL / anything else: lame or broken server.
+                self.current_candidate_exhausted();
+                return self.advance(now, out);
+            }
+        }
+
+        let walk = self.stack.last_mut().expect("active walk");
+        let wants = walk.q.qtype;
+        let has_final = message
+            .answers
+            .iter()
+            .any(|r| r.rtype == wants || wants == RecordType::ANY);
+        let trailing_cname = message.answers.iter().rev().find_map(|r| match &r.rdata {
+            RData::Cname(t) if wants != RecordType::CNAME => Some(t.clone()),
+            _ => None,
+        });
+
+        if !message.answers.is_empty() {
+            if has_final {
+                return self.finish_walk(now, Status::NoError, Some((&message, from)), out);
+            }
+            if let Some(target) = trailing_cname {
+                // CNAME restart: keep the chain, walk again for the target.
+                walk.chain.extend(message.answers.iter().cloned());
+                walk.cname_hops += 1;
+                if walk.cname_hops > 8 {
+                    return self.finish(now, Status::ServFail, Some((&message, from)));
+                }
+                let q = Question {
+                    name: target,
+                    qtype: wants,
+                    qclass: walk.q.qclass,
+                };
+                let chain = std::mem::take(&mut walk.chain);
+                let hops = walk.cname_hops;
+                let parent_cand = walk.parent_cand;
+                let mut fresh = self.new_walk(q, parent_cand, now);
+                fresh.chain = chain;
+                fresh.cname_hops = hops;
+                *self.stack.last_mut().expect("active walk") = fresh;
+                return self.advance(now, out);
+            }
+            // Answers of some other type: return them as-is.
+            return self.finish_walk(now, Status::NoError, Some((&message, from)), out);
+        }
+
+        // No answers: referral or negative.
+        let ns_refs: Vec<Record> = message
+            .authorities
+            .iter()
+            .filter(|r| r.rtype == RecordType::NS)
+            .cloned()
+            .collect();
+        if !ns_refs.is_empty() && !message.flags.authoritative {
+            let cut = ns_refs[0].name.clone();
+            // Validity: the cut must enclose the qname and be strictly
+            // deeper than the current zone — otherwise it is a lame upward
+            // or sideways referral.
+            let valid = walk.q.name.is_subdomain_of(&cut)
+                && cut.is_subdomain_of(&walk.zone)
+                && cut != walk.zone;
+            if !valid {
+                self.current_candidate_exhausted();
+                return self.advance(now, out);
+            }
+            if walk.depth + 1 > self.core.config.max_depth {
+                return self.finish(now, Status::IterativeTimeout, Some((&message, from)));
+            }
+            let bailiwick = walk.zone.clone();
+            walk.zone = cut.clone();
+            walk.depth += 1;
+            walk.attempt = 0;
+            walk.cand_idx = 0;
+            self.over_tcp = false;
+            let glue = message.additionals.clone();
+            let candidates = self.candidates_from_ns(&ns_refs, &glue, now);
+            let w = self.stack.last_mut().expect("active walk");
+            w.candidates = candidates;
+            Self::rotate_candidates(w);
+            self.cache_referral(&cut, &ns_refs, &glue, &bailiwick, now);
+            return self.advance(now, out);
+        }
+        if message.flags.authoritative {
+            // NODATA.
+            return self.finish_walk(now, Status::NoError, Some((&message, from)), out);
+        }
+        // Neither referral nor authoritative data: broken server.
+        self.current_candidate_exhausted();
+        self.advance(now, out)
+    }
+}
+
+impl SimClient for IterativeMachine {
+    fn start(&mut self, now: SimTime, out: &mut Vec<OutQuery>) -> StepStatus {
+        self.started = now;
+        if self.core.config.root_hints.is_empty() {
+            return self.finish(now, Status::Error, None);
+        }
+        let walk = self.new_walk(self.original.clone(), None, now);
+        self.stack.push(walk);
+        self.advance(now, out)
+    }
+
+    fn on_event(&mut self, event: ClientEvent, now: SimTime, out: &mut Vec<OutQuery>) -> StepStatus {
+        match event {
+            ClientEvent::Response {
+                tag,
+                from,
+                message,
+                protocol,
+            } => {
+                if tag != self.tag {
+                    return StepStatus::Running;
+                }
+                self.handle_response(message, from, protocol, now, out)
+            }
+            ClientEvent::Timeout { tag } => {
+                if tag != self.tag {
+                    return StepStatus::Running;
+                }
+                self.retries_used += 1;
+                self.core
+                    .stats
+                    .retries
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let retries = self.core.config.retries;
+                let walk = self.stack.last_mut().expect("active walk");
+                walk.attempt += 1;
+                if walk.attempt < retries {
+                    self.send_current(out);
+                    StepStatus::Running
+                } else {
+                    self.current_candidate_exhausted();
+                    self.advance(now, out)
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Direct mode
+// ---------------------------------------------------------------------------
+
+/// One question to one specific server with retries — the probe primitive
+/// behind `--all-nameservers` (§5) and misc modules like `version.bind`.
+pub struct DirectMachine {
+    core: Arc<ResolverCore>,
+    question: Question,
+    server: Ipv4Addr,
+    recursion_desired: bool,
+    attempt: u32,
+    retries_used: u32,
+    queries: u32,
+    started: SimTime,
+    tag: u64,
+    over_tcp: bool,
+    sink: Option<ResultSink>,
+}
+
+impl DirectMachine {
+    /// Build a probe of `server` for `question`.
+    pub fn new(
+        core: Arc<ResolverCore>,
+        question: Question,
+        server: Ipv4Addr,
+        recursion_desired: bool,
+        sink: Option<ResultSink>,
+    ) -> DirectMachine {
+        DirectMachine {
+            core,
+            question,
+            server,
+            recursion_desired,
+            attempt: 0,
+            retries_used: 0,
+            queries: 0,
+            started: 0,
+            tag: 0,
+            over_tcp: false,
+            sink,
+        }
+    }
+
+    fn send(&mut self, out: &mut Vec<OutQuery>) {
+        self.queries += 1;
+        self.tag += 1;
+        let mut msg = Message::query(query_id(&self.question.name, self.queries), self.question.clone());
+        msg.flags.recursion_desired = self.recursion_desired;
+        out.push(OutQuery {
+            to: self.server,
+            query: msg,
+            protocol: if self.over_tcp || self.core.config.tcp_only {
+                Protocol::Tcp
+            } else {
+                Protocol::Udp
+            },
+            timeout: self.core.config.timeout,
+            tag: self.tag,
+        });
+        self.core
+            .stats
+            .queries_sent
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    fn finish(&mut self, now: SimTime, status: Status, message: Option<&Message>) -> StepStatus {
+        self.core.stats.record_lookup(status);
+        let result = LookupResult {
+            name: self.question.name.clone(),
+            qtype: self.question.qtype,
+            status,
+            answers: message.map(|m| m.answers.clone()).unwrap_or_default(),
+            authorities: message.map(|m| m.authorities.clone()).unwrap_or_default(),
+            additionals: message.map(|m| m.additionals.clone()).unwrap_or_default(),
+            flags: message.map(|m| m.flags),
+            resolver: Some(format!("{}:53", self.server)),
+            protocol: if self.over_tcp { "tcp" } else { "udp" },
+            trace: Vec::new(),
+            delegation: None,
+            queries_sent: self.queries,
+            retries_used: self.retries_used,
+            duration: now.saturating_sub(self.started),
+            timestamp: now,
+        };
+        if let Some(sink) = &self.sink {
+            sink(result);
+        }
+        StepStatus::Done(JobOutcome {
+            success: status.is_success(),
+            status: status.as_str().to_string(),
+        })
+    }
+}
+
+impl SimClient for DirectMachine {
+    fn start(&mut self, now: SimTime, out: &mut Vec<OutQuery>) -> StepStatus {
+        self.started = now;
+        self.send(out);
+        StepStatus::Running
+    }
+
+    fn on_event(&mut self, event: ClientEvent, now: SimTime, out: &mut Vec<OutQuery>) -> StepStatus {
+        match event {
+            ClientEvent::Response { tag, message, protocol, .. } => {
+                if tag != self.tag {
+                    return StepStatus::Running;
+                }
+                if message.flags.truncated
+                    && protocol == Protocol::Udp
+                    && self.core.config.tcp_on_truncated
+                {
+                    self.over_tcp = true;
+                    self.send(out);
+                    return StepStatus::Running;
+                }
+                let status = Status::from_rcode(message.rcode());
+                self.finish(now, status, Some(&message))
+            }
+            ClientEvent::Timeout { tag } => {
+                if tag != self.tag {
+                    return StepStatus::Running;
+                }
+                self.attempt += 1;
+                self.retries_used += 1;
+                if self.attempt <= self.core.config.retries {
+                    self.send(out);
+                    StepStatus::Running
+                } else {
+                    self.finish(now, Status::Timeout, None)
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Run-time statistics shared across lookup routines.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::status::Status;
+
+/// Aggregate counters for a resolver instance.
+#[derive(Debug, Default)]
+pub struct Stats {
+    /// Lookups completed.
+    pub lookups: AtomicU64,
+    /// Lookups whose status counts as success (NOERROR/NXDOMAIN).
+    pub successes: AtomicU64,
+    /// Queries sent on the wire.
+    pub queries_sent: AtomicU64,
+    /// Retries performed (timeouts that were retried).
+    pub retries: AtomicU64,
+    /// TCP fallbacks after truncation.
+    pub tcp_fallbacks: AtomicU64,
+    status_counts: Mutex<HashMap<Status, u64>>,
+}
+
+impl Stats {
+    /// Record a finished lookup.
+    pub fn record_lookup(&self, status: Status) {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        if status.is_success() {
+            self.successes.fetch_add(1, Ordering::Relaxed);
+        }
+        *self.status_counts.lock().entry(status).or_insert(0) += 1;
+    }
+
+    /// Snapshot of per-status counts.
+    pub fn status_counts(&self) -> HashMap<Status, u64> {
+        self.status_counts.lock().clone()
+    }
+
+    /// Success fraction so far.
+    pub fn success_rate(&self) -> f64 {
+        let l = self.lookups.load(Ordering::Relaxed);
+        if l == 0 {
+            return 0.0;
+        }
+        self.successes.load(Ordering::Relaxed) as f64 / l as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_accounting() {
+        let s = Stats::default();
+        s.record_lookup(Status::NoError);
+        s.record_lookup(Status::NxDomain);
+        s.record_lookup(Status::Timeout);
+        assert_eq!(s.lookups.load(Ordering::Relaxed), 3);
+        assert_eq!(s.successes.load(Ordering::Relaxed), 2);
+        assert!((s.success_rate() - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(s.status_counts()[&Status::Timeout], 1);
+    }
+}

@@ -1,0 +1,124 @@
+//! Exposed lookup chains — the feature that motivates ZDNS's own recursion.
+//!
+//! Every hop of an iterative walk is recorded as a [`TraceStep`]; rendered
+//! to JSON it matches the Appendix C `+trace` output shape.
+
+use serde_json::{json, Value};
+use zdns_wire::{json as wire_json, Message, Name, Question};
+
+/// One step of the lookup chain.
+#[derive(Debug, Clone)]
+pub struct TraceStep {
+    /// Referral depth (1 = root).
+    pub depth: u32,
+    /// The zone layer this query targeted (`.`, `com`, `google.com`, ...).
+    pub layer: String,
+    /// The name being resolved at this step.
+    pub name: Name,
+    /// Query class (1 = IN).
+    pub class: u16,
+    /// Query type code.
+    pub qtype: u16,
+    /// The server queried, `ip:53`.
+    pub name_server: String,
+    /// True if this layer was answered from the selective cache.
+    pub cached: bool,
+    /// Attempt number (1-based; counts retries).
+    pub try_count: u32,
+    /// The response, absent for cache hits.
+    pub results: Option<Message>,
+}
+
+impl TraceStep {
+    /// Render as the Appendix C JSON object.
+    pub fn to_json(&self) -> Value {
+        let mut obj = json!({
+            "cached": self.cached,
+            "class": self.class,
+            "depth": self.depth,
+            "layer": self.layer,
+            "name": self.name.to_string(),
+            "name_server": self.name_server,
+            "try": self.try_count,
+            "type": self.qtype,
+        });
+        if let Some(msg) = &self.results {
+            obj["results"] = wire_json::message_to_json(msg, "udp", &self.name_server);
+        }
+        obj
+    }
+}
+
+/// Build a trace step for a question answered by `server`.
+pub fn step_for(
+    question: &Question,
+    layer: &Name,
+    depth: u32,
+    server: String,
+    try_count: u32,
+    cached: bool,
+    results: Option<Message>,
+) -> TraceStep {
+    TraceStep {
+        depth,
+        layer: if layer.is_root() {
+            ".".to_string()
+        } else {
+            layer.to_string()
+        },
+        name: question.name.clone(),
+        class: question.qclass.to_u16(),
+        qtype: question.qtype.to_u16(),
+        name_server: server,
+        cached,
+        try_count,
+        results,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zdns_wire::{Question, RecordType};
+
+    #[test]
+    fn json_shape_matches_appendix_c() {
+        let q = Question::new("google.com".parse().unwrap(), RecordType::A);
+        let step = step_for(
+            &q,
+            &Name::root(),
+            1,
+            "199.7.83.42:53".to_string(),
+            1,
+            false,
+            Some(Message::default()),
+        );
+        let v = step.to_json();
+        assert_eq!(v["depth"], 1);
+        assert_eq!(v["layer"], ".");
+        assert_eq!(v["name"], "google.com");
+        assert_eq!(v["name_server"], "199.7.83.42:53");
+        assert_eq!(v["cached"], false);
+        assert_eq!(v["try"], 1);
+        assert_eq!(v["class"], 1);
+        assert_eq!(v["type"], 1);
+        assert!(v.get("results").is_some());
+    }
+
+    #[test]
+    fn cached_steps_omit_results() {
+        let q = Question::new("x.com".parse().unwrap(), RecordType::PTR);
+        let step = step_for(
+            &q,
+            &"com".parse().unwrap(),
+            2,
+            "cache".to_string(),
+            1,
+            true,
+            None,
+        );
+        let v = step.to_json();
+        assert_eq!(v["cached"], true);
+        assert!(v.get("results").is_none());
+    }
+}

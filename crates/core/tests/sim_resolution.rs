@@ -1,0 +1,308 @@
+//! End-to-end resolution through the discrete-event simulator: the
+//! iterative machine walking the synthetic Internet, external mode against
+//! resolver models, caching behaviour, and failure handling.
+
+use std::sync::Arc;
+
+use zdns_core::{collecting_sink, Resolver, ResolverConfig, Status};
+use zdns_netsim::{Engine, EngineConfig, PublicResolverConfig, PublicResolverSim};
+use zdns_wire::{Name, Question, RData, RecordType};
+use zdns_zones::{SynthConfig, SyntheticUniverse, Universe};
+
+fn universe() -> Arc<SyntheticUniverse> {
+    Arc::new(SyntheticUniverse::new(SynthConfig::default()))
+}
+
+fn iterative_resolver(u: &SyntheticUniverse) -> Resolver {
+    Resolver::new(ResolverConfig::iterative(u.root_hints()))
+}
+
+fn existing_domains(u: &SyntheticUniverse, tld: &str, n: usize) -> Vec<Name> {
+    (0..200_000)
+        .map(|i| format!("sim{i}.{tld}").parse::<Name>().unwrap())
+        .filter(|name| u.domain_exists(name))
+        .take(n)
+        .collect()
+}
+
+fn run_lookups(
+    u: Arc<SyntheticUniverse>,
+    resolver: &Resolver,
+    names: Vec<Name>,
+    qtype: RecordType,
+    threads: usize,
+) -> (zdns_netsim::RunReport, Vec<zdns_core::LookupResult>) {
+    let mut engine = Engine::new(
+        EngineConfig {
+            threads,
+            wire_fidelity: true,
+            ..EngineConfig::default()
+        },
+        u,
+    );
+    let (sink, collected) = collecting_sink();
+    let resolver = resolver.clone();
+    let mut iter = names.into_iter();
+    let report = engine.run(move || {
+        let name = iter.next()?;
+        Some(resolver.machine(Question::new(name, qtype), Some(sink.clone())))
+    });
+    let results = std::mem::take(&mut *collected.lock());
+    (report, results)
+}
+
+#[test]
+fn iterative_resolves_existing_domains() {
+    let u = universe();
+    let resolver = iterative_resolver(&u);
+    let names = existing_domains(&u, "com", 40);
+    let expected: Vec<_> = names
+        .iter()
+        .map(|n| u.domain_profile(n).apex_a)
+        .collect();
+    let (report, results) = run_lookups(Arc::clone(&u), &resolver, names.clone(), RecordType::A, 8);
+    assert_eq!(report.jobs, 40);
+    assert!(report.success_rate() > 0.85, "{:?}", report.status_counts);
+    // Verify answers against ground truth (skipping failed lookups).
+    let mut verified = 0;
+    for result in &results {
+        if result.status != Status::NoError {
+            continue;
+        }
+        let idx = names.iter().position(|n| *n == result.name).unwrap();
+        let profile = u.domain_profile(&names[idx]);
+        if profile.inconsistent {
+            continue; // any of several answers is legitimate
+        }
+        assert!(
+            result
+                .answers
+                .iter()
+                .any(|r| r.rdata == RData::A(expected[idx])),
+            "wrong answer for {}",
+            result.name
+        );
+        verified += 1;
+    }
+    assert!(verified >= 30, "only verified {verified}");
+}
+
+#[test]
+fn iterative_traces_expose_lookup_chain() {
+    let u = universe();
+    let resolver = iterative_resolver(&u);
+    let names = existing_domains(&u, "com", 3);
+    let (_, results) = run_lookups(Arc::clone(&u), &resolver, names, RecordType::A, 1);
+    let ok = results
+        .iter()
+        .find(|r| r.status == Status::NoError)
+        .expect("at least one success");
+    // Appendix C: the trace has one step per layer: root, com, leaf.
+    assert!(ok.trace.len() >= 3, "trace too short: {}", ok.trace.len());
+    assert_eq!(ok.trace[0].layer, ".");
+    assert_eq!(ok.trace[0].depth, 1);
+    let json = ok.to_json();
+    assert!(json["trace"].as_array().unwrap().len() >= 3);
+    assert!(json["trace"][0]["results"]["authorities"].is_array());
+}
+
+#[test]
+fn selective_cache_only_holds_infrastructure() {
+    let u = universe();
+    let resolver = iterative_resolver(&u);
+    let names = existing_domains(&u, "com", 30);
+    let (_, _) = run_lookups(Arc::clone(&u), &resolver, names, RecordType::A, 4);
+    let cache = &resolver.core().cache;
+    assert!(!cache.is_empty(), "referrals should have been cached");
+    // com NS must be cached after resolving .com names.
+    assert!(
+        cache
+            .get(&"com".parse().unwrap(), RecordType::NS, 1)
+            .is_some(),
+        "com NS missing from cache"
+    );
+}
+
+#[test]
+fn cache_cuts_queries_on_subsequent_lookups() {
+    let u = universe();
+    let resolver = iterative_resolver(&u);
+    let first = existing_domains(&u, "com", 60);
+    let (report1, _) = run_lookups(Arc::clone(&u), &resolver, first, RecordType::A, 4);
+    let qpl1 = report1.queries_sent as f64 / report1.jobs as f64;
+    // Second batch reuses the warmed TLD/provider cache.
+    let second: Vec<Name> = (200_000..400_000)
+        .map(|i| format!("sim{i}.com").parse::<Name>().unwrap())
+        .filter(|n| u.domain_exists(n))
+        .take(60)
+        .collect();
+    let (report2, _) = run_lookups(Arc::clone(&u), &resolver, second, RecordType::A, 4);
+    let qpl2 = report2.queries_sent as f64 / report2.jobs as f64;
+    assert!(
+        qpl2 < qpl1,
+        "warm cache should cut queries/lookup: cold {qpl1:.2} warm {qpl2:.2}"
+    );
+    // Warm lookups skip the root entirely: ≤ ~2.5 queries per lookup.
+    assert!(qpl2 < 3.0, "warm qpl {qpl2:.2}");
+}
+
+#[test]
+fn nxdomain_counts_as_success() {
+    let u = universe();
+    let resolver = iterative_resolver(&u);
+    let missing: Vec<Name> = (0..200_000)
+        .map(|i| format!("gone{i}.com").parse::<Name>().unwrap())
+        .filter(|n| !u.domain_exists(n))
+        .take(20)
+        .collect();
+    let (report, results) = run_lookups(Arc::clone(&u), &resolver, missing, RecordType::A, 4);
+    assert!(report.success_rate() > 0.9, "{:?}", report.status_counts);
+    assert!(results.iter().any(|r| r.status == Status::NxDomain));
+}
+
+#[test]
+fn external_mode_resolves_via_public_resolver() {
+    let u = universe();
+    let google: std::net::Ipv4Addr = "8.8.8.8".parse().unwrap();
+    let resolver = Resolver::new(ResolverConfig::external(vec![google]));
+    let names = existing_domains(&u, "net", 30);
+    let mut engine = Engine::new(
+        EngineConfig {
+            threads: 8,
+            wire_fidelity: true,
+            ..EngineConfig::default()
+        },
+        Arc::clone(&u) as Arc<dyn Universe>,
+    );
+    engine.add_resolver(PublicResolverSim::new(PublicResolverConfig::google(google)));
+    let (sink, collected) = collecting_sink();
+    let r2 = resolver.clone();
+    let mut iter = names.into_iter();
+    let report = engine.run(move || {
+        let name = iter.next()?;
+        Some(r2.machine(Question::new(name, RecordType::A), Some(sink.clone())))
+    });
+    assert_eq!(report.jobs, 30);
+    assert!(report.success_rate() > 0.85, "{:?}", report.status_counts);
+    let results = collected.lock();
+    let ok = results.iter().filter(|r| r.status == Status::NoError).count();
+    assert!(ok > 20);
+    // External lookups send exactly one query when nothing fails, and the
+    // resolver's RA bit is set.
+    let clean = results
+        .iter()
+        .find(|r| r.status == Status::NoError && r.retries_used == 0)
+        .unwrap();
+    assert_eq!(clean.queries_sent, 1);
+    assert!(clean.flags.unwrap().recursion_available);
+}
+
+#[test]
+fn ptr_lookups_resolve_through_reverse_tree() {
+    let u = universe();
+    let resolver = iterative_resolver(&u);
+    let ips: Vec<std::net::Ipv4Addr> = (0..u32::MAX)
+        .map(|i| std::net::Ipv4Addr::from(0x0800_0000u32.wrapping_add(i * 999_983)))
+        .filter(|ip| u.ptr_exists(*ip))
+        .take(15)
+        .collect();
+    let names: Vec<Name> = ips.iter().map(|ip| Name::reverse_ipv4(*ip)).collect();
+    let (report, results) = run_lookups(Arc::clone(&u), &resolver, names, RecordType::PTR, 4);
+    assert!(report.success_rate() > 0.8, "{:?}", report.status_counts);
+    let ok = results
+        .iter()
+        .find(|r| r.status == Status::NoError)
+        .expect("a PTR success");
+    assert!(matches!(ok.answers[0].rdata, RData::Ptr(_)));
+}
+
+#[test]
+fn glueless_delegations_resolve_via_ns_walks() {
+    let u = universe();
+    let resolver = iterative_resolver(&u);
+    let glueless: Vec<Name> = (0..400_000)
+        .map(|i| format!("gl{i}.org").parse::<Name>().unwrap())
+        .filter(|n| u.domain_exists(n) && u.domain_profile(n).glueless)
+        .take(10)
+        .collect();
+    assert!(!glueless.is_empty());
+    let (report, _) = run_lookups(Arc::clone(&u), &resolver, glueless, RecordType::A, 4);
+    assert!(report.success_rate() > 0.6, "{:?}", report.status_counts);
+}
+
+#[test]
+fn lame_nameservers_are_retried_elsewhere() {
+    let u = universe();
+    let resolver = iterative_resolver(&u);
+    let lame: Vec<Name> = (0..400_000)
+        .map(|i| format!("lm{i}.com").parse::<Name>().unwrap())
+        .filter(|n| u.domain_exists(n) && u.domain_profile(n).lame_ns.is_some())
+        .take(10)
+        .collect();
+    assert!(!lame.is_empty());
+    let (report, _) = run_lookups(Arc::clone(&u), &resolver, lame, RecordType::A, 4);
+    // The other nameservers still answer.
+    assert!(report.success_rate() > 0.7, "{:?}", report.status_counts);
+}
+
+#[test]
+fn caa_lookup_follows_cname_chain() {
+    let u = universe();
+    let resolver = iterative_resolver(&u);
+    let via_cname: Vec<Name> = (0..3_000_000)
+        .map(|i| format!("cc{i}.pl").parse::<Name>().unwrap())
+        .filter(|n| {
+            u.domain_exists(n) && {
+                let p = u.domain_profile(n);
+                p.caa_via_cname && !p.caa_records.is_empty()
+            }
+        })
+        .take(3)
+        .collect();
+    assert!(!via_cname.is_empty(), "no CAA-via-CNAME domains found");
+    let (_, results) = run_lookups(Arc::clone(&u), &resolver, via_cname, RecordType::CAA, 2);
+    let ok = results
+        .iter()
+        .find(|r| r.status == Status::NoError && !r.answers.is_empty())
+        .expect("CAA resolution succeeded");
+    assert!(ok.answers.iter().any(|r| matches!(r.rdata, RData::Cname(_))));
+    assert!(ok.answers.iter().any(|r| matches!(r.rdata, RData::Caa(_))));
+}
+
+#[test]
+fn delegation_info_lists_leaf_nameservers() {
+    let u = universe();
+    let resolver = iterative_resolver(&u);
+    let names = existing_domains(&u, "com", 5);
+    let profile = u.domain_profile(&names[0]);
+    let provider = u.providers().by_index(profile.provider).unwrap();
+    let (_, results) = run_lookups(Arc::clone(&u), &resolver, vec![names[0].clone()], RecordType::A, 1);
+    let r = &results[0];
+    let delegation = r.delegation.as_ref().expect("delegation recorded");
+    assert_eq!(delegation.nameservers.len(), provider.ns_count as usize);
+    // NS names follow the provider's hostname scheme.
+    let ns0 = delegation.nameservers[0].0.to_string();
+    assert!(ns0.contains(&provider.label), "{ns0}");
+}
+
+#[test]
+fn flaky_nameservers_consume_retries() {
+    let u = universe();
+    // Find deep-flaky domains (the §5 ten-retry population).
+    let flaky: Vec<Name> = (0..2_000_000)
+        .map(|i| format!("fk{i}.vn").parse::<Name>().unwrap())
+        .filter(|n| {
+            u.domain_exists(n)
+                && matches!(u.domain_profile(n).flaky, Some(f) if f.deep)
+        })
+        .take(5)
+        .collect();
+    assert!(!flaky.is_empty(), "no deep-flaky .vn domains");
+    let mut config = ResolverConfig::iterative(u.root_hints());
+    config.retries = 10;
+    let resolver = Resolver::new(config);
+    let (_, results) = run_lookups(Arc::clone(&u), &resolver, flaky, RecordType::A, 2);
+    // Some lookup must have needed retries when it hit the flaky NS.
+    let total_retries: u32 = results.iter().map(|r| r.retries_used).sum();
+    assert!(total_retries > 0, "expected retries against flaky servers");
+}

@@ -1,0 +1,274 @@
+//! Scan configuration: the framework's command-line surface.
+//!
+//! The framework "is responsible for facilitating command-line
+//! configuration ... and is absent of most DNS-specific logic" (§3.2).
+//! Parsing is argv-vector based so tests and benches drive it directly.
+
+use std::net::Ipv4Addr;
+
+use zdns_core::{ResolutionMode, ResolverConfig};
+use zdns_netsim::{SimTime, MILLIS, SECONDS};
+
+/// Which output fields to keep (ZDNS's `--output-fields` groups).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OutputGroup {
+    /// Name + status only.
+    Short,
+    /// Everything except the trace.
+    #[default]
+    Normal,
+    /// Everything including flags/additionals.
+    Long,
+    /// Everything including the lookup chain.
+    Trace,
+}
+
+/// Parsed scan configuration.
+#[derive(Debug, Clone)]
+pub struct Conf {
+    /// Module name (`A`, `MXLOOKUP`, ...).
+    pub module: String,
+    /// Lookup routine count (the paper's threads).
+    pub threads: usize,
+    /// Resolver configuration handed to `zdns-core`.
+    pub resolver: ResolverConfig,
+    /// Output verbosity group.
+    pub output: OutputGroup,
+    /// Input path (`-` = stdin) when run as a CLI.
+    pub input_path: String,
+    /// Output path (`-` = stdout).
+    pub output_path: String,
+    /// Simulation seed (the CLI scans the simulated Internet).
+    pub seed: u64,
+    /// Number of scanning source IPs (/32=1, /29=8, /28=16).
+    pub source_ips: usize,
+    /// Print periodic status lines to stderr.
+    pub status_updates: bool,
+    /// Cap on names read from input (0 = unlimited).
+    pub max_names: usize,
+}
+
+impl Default for Conf {
+    fn default() -> Self {
+        Conf {
+            module: "A".to_string(),
+            threads: 1_000,
+            resolver: ResolverConfig::default(),
+            output: OutputGroup::Normal,
+            input_path: "-".to_string(),
+            output_path: "-".to_string(),
+            seed: 1,
+            source_ips: 1,
+            status_updates: false,
+            max_names: 0,
+        }
+    }
+}
+
+/// Configuration parse errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfError(pub String);
+
+impl std::fmt::Display for ConfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "configuration error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ConfError {}
+
+fn parse_duration_secs(v: &str) -> Result<SimTime, ConfError> {
+    v.parse::<f64>()
+        .map(|s| (s * SECONDS as f64) as SimTime)
+        .map_err(|_| ConfError(format!("bad duration {v:?}")))
+}
+
+impl Conf {
+    /// Parse an argv-style vector: `zdns MODULE [flags]`.
+    pub fn parse<I, S>(args: I) -> Result<Conf, ConfError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut conf = Conf::default();
+        let mut args: Vec<String> = args.into_iter().map(Into::into).collect();
+        if args.is_empty() {
+            return Err(ConfError("expected a module name".into()));
+        }
+        conf.module = args.remove(0);
+        if conf.module.starts_with('-') {
+            return Err(ConfError(format!(
+                "expected a module name first, got flag {:?}",
+                conf.module
+            )));
+        }
+        let mut name_servers: Vec<Ipv4Addr> = Vec::new();
+        let mut iterative = false;
+        let mut i = 0;
+        while i < args.len() {
+            let flag = args[i].clone();
+            let take_value = |i: &mut usize| -> Result<String, ConfError> {
+                *i += 1;
+                args.get(*i)
+                    .cloned()
+                    .ok_or_else(|| ConfError(format!("flag {flag} needs a value")))
+            };
+            match flag.as_str() {
+                "--threads" | "-t" => {
+                    conf.threads = take_value(&mut i)?
+                        .parse()
+                        .map_err(|_| ConfError("bad --threads".into()))?;
+                }
+                "--iterative" => iterative = true,
+                "--name-servers" => {
+                    for part in take_value(&mut i)?.split(',') {
+                        name_servers.push(
+                            part.trim()
+                                .parse()
+                                .map_err(|_| ConfError(format!("bad name server {part:?}")))?,
+                        );
+                    }
+                }
+                "--cache-size" => {
+                    conf.resolver.cache_size = take_value(&mut i)?
+                        .parse()
+                        .map_err(|_| ConfError("bad --cache-size".into()))?;
+                }
+                "--retries" => {
+                    conf.resolver.retries = take_value(&mut i)?
+                        .parse()
+                        .map_err(|_| ConfError("bad --retries".into()))?;
+                }
+                "--timeout" => {
+                    conf.resolver.timeout = parse_duration_secs(&take_value(&mut i)?)?;
+                }
+                "--iteration-timeout" => {
+                    conf.resolver.iteration_timeout = parse_duration_secs(&take_value(&mut i)?)?;
+                }
+                "--tcp-only" => conf.resolver.tcp_only = true,
+                "--no-tcp-fallback" => conf.resolver.tcp_on_truncated = false,
+                "--trace" => {
+                    conf.resolver.trace = true;
+                    conf.output = OutputGroup::Trace;
+                }
+                "--output-fields" => {
+                    conf.output = match take_value(&mut i)?.as_str() {
+                        "short" => OutputGroup::Short,
+                        "normal" => OutputGroup::Normal,
+                        "long" => OutputGroup::Long,
+                        "trace" => OutputGroup::Trace,
+                        other => return Err(ConfError(format!("bad output group {other:?}"))),
+                    };
+                }
+                "--input-file" | "-f" => conf.input_path = take_value(&mut i)?,
+                "--output-file" | "-o" => conf.output_path = take_value(&mut i)?,
+                "--seed" => {
+                    conf.seed = take_value(&mut i)?
+                        .parse()
+                        .map_err(|_| ConfError("bad --seed".into()))?;
+                }
+                "--source-ips" => {
+                    conf.source_ips = take_value(&mut i)?
+                        .parse()
+                        .map_err(|_| ConfError("bad --source-ips".into()))?;
+                }
+                "--status-updates" => conf.status_updates = true,
+                "--max-names" => {
+                    conf.max_names = take_value(&mut i)?
+                        .parse()
+                        .map_err(|_| ConfError("bad --max-names".into()))?;
+                }
+                other => return Err(ConfError(format!("unknown flag {other:?}"))),
+            }
+            i += 1;
+        }
+        if iterative && !name_servers.is_empty() {
+            return Err(ConfError(
+                "--iterative and --name-servers are mutually exclusive".into(),
+            ));
+        }
+        conf.resolver.mode = if name_servers.is_empty() {
+            ResolutionMode::Iterative
+        } else {
+            ResolutionMode::External {
+                servers: name_servers,
+            }
+        };
+        // Default timeouts favour scanning: tighter than stub-resolver
+        // defaults, looser than LAN assumptions.
+        if conf.resolver.iteration_timeout == 0 {
+            conf.resolver.iteration_timeout = 1_500 * MILLIS;
+        }
+        Ok(conf)
+    }
+
+    /// The scanning source addresses derived from `source_ips`.
+    pub fn client_ips(&self) -> Vec<Ipv4Addr> {
+        (0..self.source_ips.max(1))
+            .map(|i| Ipv4Addr::new(192, 0, 2, (i + 1) as u8))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_iterative_scan() {
+        let conf = Conf::parse([
+            "A",
+            "--iterative",
+            "--threads",
+            "5000",
+            "--cache-size",
+            "100000",
+            "--retries",
+            "5",
+        ])
+        .unwrap();
+        assert_eq!(conf.module, "A");
+        assert_eq!(conf.threads, 5000);
+        assert_eq!(conf.resolver.cache_size, 100_000);
+        assert_eq!(conf.resolver.retries, 5);
+        assert!(matches!(conf.resolver.mode, ResolutionMode::Iterative));
+    }
+
+    #[test]
+    fn parse_external_servers() {
+        let conf = Conf::parse(["MXLOOKUP", "--name-servers", "8.8.8.8,1.1.1.1"]).unwrap();
+        match conf.resolver.mode {
+            ResolutionMode::External { ref servers } => assert_eq!(servers.len(), 2),
+            _ => panic!("expected external mode"),
+        }
+    }
+
+    #[test]
+    fn iterative_and_servers_conflict() {
+        assert!(Conf::parse(["A", "--iterative", "--name-servers", "8.8.8.8"]).is_err());
+    }
+
+    #[test]
+    fn trace_flag_sets_output_group() {
+        let conf = Conf::parse(["A", "--trace"]).unwrap();
+        assert_eq!(conf.output, OutputGroup::Trace);
+    }
+
+    #[test]
+    fn timeout_parsing_accepts_fractions() {
+        let conf = Conf::parse(["A", "--timeout", "2.5"]).unwrap();
+        assert_eq!(conf.resolver.timeout, 2_500 * MILLIS);
+    }
+
+    #[test]
+    fn unknown_flag_rejected() {
+        assert!(Conf::parse(["A", "--bogus"]).is_err());
+        assert!(Conf::parse(["--threads", "5"]).is_err(), "module must come first");
+    }
+
+    #[test]
+    fn source_ips_expand_to_prefix() {
+        let conf = Conf::parse(["A", "--source-ips", "8"]).unwrap();
+        assert_eq!(conf.client_ips().len(), 8);
+    }
+}

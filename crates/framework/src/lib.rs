@@ -1,0 +1,18 @@
+//! # zdns-framework
+//!
+//! The ZDNS scan framework (§3.2): command-line configuration, input
+//! decoding, spawning lookup routines, routing results, output encoding,
+//! and run-time statistics. The framework is deliberately free of
+//! DNS-specific logic — that lives in `zdns-core` and `zdns-modules`.
+
+#![warn(missing_docs)]
+
+pub mod conf;
+pub mod output;
+pub mod runner;
+
+pub use conf::{Conf, ConfError, OutputGroup};
+pub use runner::{
+    resolver_for, run_real_scan, run_sim_scan, run_sim_scan_with, RealScanReport, CLOUDFLARE_DNS,
+    GOOGLE_DNS,
+};

@@ -1,0 +1,101 @@
+//! Output encoding: JSON lines with field-group filtering.
+
+use serde_json::Value;
+use zdns_modules::ModuleOutput;
+
+use crate::conf::OutputGroup;
+
+/// Shape a module output according to the selected field group.
+pub fn shape(output: &ModuleOutput, group: OutputGroup) -> Value {
+    let mut v = output.to_json();
+    match group {
+        OutputGroup::Short => {
+            // Name + status (+ bare answers when present).
+            let answers = v["data"].get("answers").cloned();
+            let mut short = serde_json::json!({
+                "name": v["name"],
+                "status": v["status"],
+            });
+            if let Some(a) = answers {
+                short["data"] = serde_json::json!({ "answers": a });
+            }
+            short
+        }
+        OutputGroup::Normal => {
+            if let Some(obj) = v.as_object_mut() {
+                obj.remove("trace");
+                if let Some(data) = obj.get_mut("data").and_then(Value::as_object_mut) {
+                    data.remove("additionals");
+                    data.remove("flags");
+                }
+            }
+            v
+        }
+        OutputGroup::Long => {
+            if let Some(obj) = v.as_object_mut() {
+                obj.remove("trace");
+            }
+            v
+        }
+        OutputGroup::Trace => v,
+    }
+}
+
+/// Serialize one output line.
+pub fn to_line(output: &ModuleOutput, group: OutputGroup) -> String {
+    shape(output, group).to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zdns_core::Status;
+
+    fn sample() -> ModuleOutput {
+        ModuleOutput {
+            name: "example.com".into(),
+            module: "A",
+            status: Status::NoError,
+            data: serde_json::json!({
+                "answers": [{"answer": "192.0.2.1", "type": "A"}],
+                "additionals": [{"answer": "192.0.2.2", "type": "A"}],
+                "flags": {"authoritative": true},
+            }),
+            trace: vec![serde_json::json!({"depth": 1})],
+        }
+    }
+
+    #[test]
+    fn short_keeps_name_status_answers() {
+        let v = shape(&sample(), OutputGroup::Short);
+        assert_eq!(v["name"], "example.com");
+        assert_eq!(v["status"], "NOERROR");
+        assert!(v["data"]["answers"].is_array());
+        assert!(v.get("module").is_none());
+    }
+
+    #[test]
+    fn normal_drops_trace_and_noise() {
+        let v = shape(&sample(), OutputGroup::Normal);
+        assert!(v.get("trace").is_none());
+        assert!(v["data"].get("additionals").is_none());
+        assert!(v["data"].get("flags").is_none());
+        assert!(v["data"]["answers"].is_array());
+    }
+
+    #[test]
+    fn long_keeps_flags_but_not_trace() {
+        let v = shape(&sample(), OutputGroup::Long);
+        assert!(v.get("trace").is_none());
+        assert!(v["data"]["flags"].is_object());
+    }
+
+    #[test]
+    fn trace_keeps_everything() {
+        let v = shape(&sample(), OutputGroup::Trace);
+        assert!(v["trace"].is_array());
+        let line = to_line(&sample(), OutputGroup::Trace);
+        assert!(line.contains("\"depth\":1"));
+        assert!(!line.contains('\n'));
+    }
+}

@@ -1,0 +1,29 @@
+//! # zdns-modules
+//!
+//! ZDNS's composable module layer (§3.2–3.3): raw modules for every record
+//! type, friendlier lookup modules (`alookup`, `mxlookup`, `nslookup`,
+//! `caalookup`), TXT-policy modules (SPF, DMARC), misc modules
+//! (`version.bind`), and the §5 `--all-nameservers` extension. Modules are
+//! state machines composed from `zdns-core` lookups, so they run unchanged
+//! under the simulator and over real sockets.
+
+#![warn(missing_docs)]
+
+pub mod all_nameservers;
+pub mod alookup;
+pub mod api;
+pub mod caalookup;
+pub mod misc;
+pub mod mxlookup;
+pub mod raw;
+pub mod registry;
+pub mod txtfilter;
+
+pub use all_nameservers::AllNameserversModule;
+pub use alookup::ALookupModule;
+pub use api::{input_to_name, LookupModule, ModuleOutput, ModuleSink};
+pub use caalookup::CaaLookupModule;
+pub use misc::{BindVersionModule, NsLookupModule};
+pub use mxlookup::MxLookupModule;
+pub use raw::RawModule;
+pub use registry::ModuleRegistry;

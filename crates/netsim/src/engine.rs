@@ -1,0 +1,1003 @@
+//! The discrete-event simulation engine.
+//!
+//! The engine owns virtual time and models exactly the resources the paper's
+//! evaluation varies:
+//!
+//! * **Thread slots** — the paper's "lightweight routines" (1K–100K). Each
+//!   slot runs one lookup job at a time and owns one long-lived UDP socket
+//!   bound to (client IP, port), so the usable thread count is capped by
+//!   `|scanning prefix| × ephemeral ports` exactly as in Figure 1's /32
+//!   socket limit.
+//! * **Client CPU** — a work-conserving queue with a per-packet cost; 24
+//!   cores saturate around 2K routines/core (§4.1), which produces the
+//!   50K-thread throughput plateau. An optional GC model reproduces the
+//!   "more frequent GC is faster" observation.
+//! * **The network** — per-server RTT classes, silent drops (base loss,
+//!   §5 per-domain blocking, rate limiting), truncation, and TCP retries.
+//!
+//! Lookup logic lives in client state machines ([`SimClient`]); the engine
+//! is resolution-agnostic.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use zdns_wire::Message;
+use zdns_zones::Universe;
+
+use crate::latency::sample_rtt;
+use crate::resolvers::{PublicResolverSim, ResolverOutcome};
+use crate::time::{as_secs_f64, SimTime, MICROS, MILLIS, SECONDS};
+
+/// Transport protocol of a simulated exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Protocol {
+    /// UDP: subject to truncation.
+    Udp,
+    /// TCP: an extra round trip, no truncation.
+    Tcp,
+}
+
+/// A query a client wants sent.
+#[derive(Debug, Clone)]
+pub struct OutQuery {
+    /// Destination server.
+    pub to: Ipv4Addr,
+    /// The full query message.
+    pub query: Message,
+    /// UDP or TCP.
+    pub protocol: Protocol,
+    /// Client-side timeout.
+    pub timeout: SimTime,
+    /// Client-chosen correlation tag, echoed back in the event.
+    pub tag: u64,
+}
+
+/// What a client receives back.
+#[derive(Debug)]
+pub enum ClientEvent {
+    /// A response arrived in time.
+    Response {
+        /// Correlation tag from the [`OutQuery`].
+        tag: u64,
+        /// The responding server.
+        from: Ipv4Addr,
+        /// The response message.
+        message: Message,
+        /// Protocol it arrived over.
+        protocol: Protocol,
+    },
+    /// The query timed out (dropped, dead address, or too slow).
+    Timeout {
+        /// Correlation tag from the [`OutQuery`].
+        tag: u64,
+    },
+}
+
+/// Final report for one finished job.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    /// "Success" in the paper's sense: a NOERROR or NXDOMAIN result.
+    pub success: bool,
+    /// ZDNS-style status string (`NOERROR`, `TIMEOUT`, `SERVFAIL`, ...).
+    pub status: String,
+}
+
+/// Client state-machine progress.
+pub enum StepStatus {
+    /// More events expected.
+    Running,
+    /// Job finished.
+    Done(JobOutcome),
+}
+
+/// A lookup job: a state machine fed by the engine.
+pub trait SimClient {
+    /// Begin the job, pushing initial queries. May complete immediately.
+    fn start(&mut self, now: SimTime, out: &mut Vec<OutQuery>) -> StepStatus;
+    /// Handle a response or timeout.
+    fn on_event(&mut self, event: ClientEvent, now: SimTime, out: &mut Vec<OutQuery>)
+        -> StepStatus;
+}
+
+/// Garbage-collection pause model (§3.4 "Increased Garbage Collection").
+///
+/// After every `work_per_cycle` of accumulated CPU work the collector stalls
+/// the process for `pause`. Longer cycles accumulate more garbage, so pauses
+/// grow superlinearly with cycle length — which is why the paper found that
+/// *quadrupling* GC frequency increased throughput.
+#[derive(Debug, Clone, Copy)]
+pub struct GcModel {
+    /// CPU work per collection cycle.
+    pub work_per_cycle: SimTime,
+    /// Stop-the-world pause per collection.
+    pub pause: SimTime,
+}
+
+impl GcModel {
+    /// Go's default-ish behaviour under this load.
+    pub fn go_default() -> GcModel {
+        GcModel {
+            work_per_cycle: 800 * MILLIS,
+            pause: 48 * MILLIS,
+        }
+    }
+
+    /// The paper's tuned configuration: 4× more frequent, much shorter
+    /// pauses that interleave between request processing.
+    pub fn frequent() -> GcModel {
+        GcModel {
+            work_per_cycle: 200 * MILLIS,
+            pause: 7 * MILLIS,
+        }
+    }
+}
+
+/// Engine configuration: the knobs Figure 1 and Table 1/2 vary.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Requested lightweight-routine count.
+    pub threads: usize,
+    /// Scanning source addresses (/32 = 1, /29 = 8, /28 = 16).
+    pub client_ips: Vec<Ipv4Addr>,
+    /// Usable ephemeral ports per source IP (the paper's setup: 45K).
+    pub ports_per_ip: usize,
+    /// Per-core CPU cost of one packet event (send or receive), µs. This is
+    /// an *effective* cost including parsing, cache updates, scheduling, and
+    /// output encoding — calibrated so 24 cores plateau near the paper's
+    /// packet rates.
+    pub per_packet_cpu_us: u64,
+    /// Virtual cores.
+    pub cores: u32,
+    /// Received packets are dropped if the CPU backlog exceeds this
+    /// (socket-buffer overflow under overload).
+    pub cpu_backlog_drop: SimTime,
+    /// Optional GC pause model.
+    pub gc: Option<GcModel>,
+    /// Extra per-query CPU charged when querying 127.0.0.1 — a co-located
+    /// recursive resolver (Unbound in Table 2) competes for the same cores.
+    pub local_resolver_cpu_us: u64,
+    /// Encode/decode every packet through the real codec (exercises the
+    /// wire crate; slower). When false, messages pass by value and sizes
+    /// are estimated.
+    pub wire_fidelity: bool,
+    /// RNG seed.
+    pub seed: u64,
+    /// Thread start times are staggered uniformly over this window.
+    pub stagger: SimTime,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            threads: 1_000,
+            client_ips: vec![Ipv4Addr::new(192, 0, 2, 1)],
+            ports_per_ip: 45_000,
+            per_packet_cpu_us: 240,
+            cores: 24,
+            cpu_backlog_drop: 2 * SECONDS,
+            gc: Some(GcModel::frequent()),
+            local_resolver_cpu_us: 0,
+            wire_fidelity: false,
+            seed: 1,
+            stagger: 500 * MILLIS,
+        }
+    }
+}
+
+/// Aggregated results of an engine run.
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    /// Jobs completed.
+    pub jobs: u64,
+    /// Jobs whose outcome counts as success (NOERROR/NXDOMAIN).
+    pub successes: u64,
+    /// Outcome counts by status string.
+    pub status_counts: HashMap<String, u64>,
+    /// Queries sent (all protocols).
+    pub queries_sent: u64,
+    /// Responses dropped because the client CPU was too backlogged.
+    pub rx_overflow_drops: u64,
+    /// Queries answered from... dropped silently in the network.
+    pub net_drops: u64,
+    /// Virtual time of the last completion.
+    pub makespan: SimTime,
+    /// Sum of per-job durations (for mean latency).
+    pub total_job_duration: SimTime,
+    /// Effective thread count after the socket/port cap.
+    pub effective_threads: usize,
+    /// Successes per 1-second bucket (for steady-state rates).
+    pub success_series: Vec<u64>,
+    /// Queries per 1-second bucket.
+    pub query_series: Vec<u64>,
+}
+
+impl RunReport {
+    /// Overall success fraction.
+    pub fn success_rate(&self) -> f64 {
+        if self.jobs == 0 {
+            return 0.0;
+        }
+        self.successes as f64 / self.jobs as f64
+    }
+
+    /// Mean successes/second over the steady part of the run: the window
+    /// holding the middle 80% of completions. Clock-based windows would be
+    /// dragged down by the long retry/timeout tail after input exhaustion.
+    pub fn steady_success_rate(&self) -> f64 {
+        steady_rate(&self.success_series)
+    }
+
+    /// Mean queries/second over the steady part of the run.
+    pub fn steady_query_rate(&self) -> f64 {
+        steady_rate(&self.query_series)
+    }
+
+    /// Mean per-job duration in seconds.
+    pub fn mean_job_secs(&self) -> f64 {
+        if self.jobs == 0 {
+            return 0.0;
+        }
+        as_secs_f64(self.total_job_duration) / self.jobs as f64
+    }
+}
+
+fn steady_rate(series: &[u64]) -> f64 {
+    let total: u64 = series.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    // Find the buckets holding the middle 80% of events.
+    let p10 = total / 10;
+    let p90 = total - p10;
+    let mut acc = 0u64;
+    let mut start = 0usize;
+    let mut end = series.len() - 1;
+    let mut seen_start = false;
+    for (i, &v) in series.iter().enumerate() {
+        acc += v;
+        if !seen_start && acc >= p10 {
+            start = i;
+            seen_start = true;
+        }
+        if acc >= p90 {
+            end = i;
+            break;
+        }
+    }
+    let window = &series[start..=end];
+    let events: u64 = window.iter().sum();
+    events as f64 / window.len() as f64
+}
+
+enum EventKind {
+    JobStart,
+    Outcome {
+        generation: u32,
+        tag: u64,
+        /// None = timeout; Some = response to deliver.
+        response: Option<(Ipv4Addr, Message, Protocol)>,
+    },
+}
+
+struct Event {
+    time: SimTime,
+    slot: u32,
+    kind: EventKind,
+}
+
+struct Slot {
+    client: Option<Box<dyn SimClient>>,
+    generation: u32,
+    started_at: SimTime,
+    ip: Ipv4Addr,
+}
+
+/// The simulation engine.
+pub struct Engine {
+    config: EngineConfig,
+    universe: Arc<dyn Universe>,
+    resolvers: Vec<PublicResolverSim>,
+    rng: SmallRng,
+    heap: BinaryHeap<Reverse<(SimTime, u64)>>,
+    events: HashMap<u64, Event>,
+    seq: u64,
+    cpu_free_at: SimTime,
+    gc_accum: SimTime,
+    report: RunReport,
+}
+
+impl Engine {
+    /// Create an engine over a universe.
+    pub fn new(config: EngineConfig, universe: Arc<dyn Universe>) -> Engine {
+        let seed = config.seed;
+        Engine {
+            config,
+            universe,
+            resolvers: Vec::new(),
+            rng: SmallRng::seed_from_u64(seed),
+            heap: BinaryHeap::new(),
+            events: HashMap::new(),
+            seq: 0,
+            cpu_free_at: 0,
+            gc_accum: 0,
+            report: RunReport::default(),
+        }
+    }
+
+    /// Attach a public resolver model (Google/Cloudflare/local Unbound).
+    pub fn add_resolver(&mut self, resolver: PublicResolverSim) {
+        self.resolvers.push(resolver);
+    }
+
+    /// Per-resolver drop counters, for reports.
+    pub fn resolver_stats(&self) -> Vec<(&'static str, u64, u64)> {
+        self.resolvers
+            .iter()
+            .map(|r| (r.config.label, r.rate_limited, r.overloaded))
+            .collect()
+    }
+
+    fn schedule(&mut self, time: SimTime, slot: u32, kind: EventKind) {
+        self.seq += 1;
+        self.events.insert(
+            self.seq,
+            Event {
+                time,
+                slot,
+                kind,
+            },
+        );
+        self.heap.push(Reverse((time, self.seq)));
+    }
+
+    /// Consume client CPU: returns the time the work completes.
+    fn cpu_consume(&mut self, now: SimTime, cost: SimTime) -> SimTime {
+        let start = self.cpu_free_at.max(now);
+        let mut finish = start + cost;
+        if let Some(gc) = self.config.gc {
+            self.gc_accum += cost;
+            if self.gc_accum >= gc.work_per_cycle {
+                self.gc_accum = 0;
+                finish += gc.pause;
+            }
+        }
+        self.cpu_free_at = finish;
+        finish
+    }
+
+    fn packet_cost(&self) -> SimTime {
+        // Aggregate machine: per-core cost divided across cores.
+        (self.config.per_packet_cpu_us * MICROS) / self.config.cores.max(1) as u64
+    }
+
+    /// Run jobs from `source` until it is exhausted and all slots drain.
+    pub fn run(
+        &mut self,
+        mut source: impl FnMut() -> Option<Box<dyn SimClient>>,
+    ) -> RunReport {
+        let effective_threads = self
+            .config
+            .threads
+            .min(self.config.client_ips.len() * self.config.ports_per_ip)
+            .max(1);
+        self.report = RunReport {
+            effective_threads,
+            ..RunReport::default()
+        };
+        let mut slots: Vec<Slot> = (0..effective_threads)
+            .map(|t| Slot {
+                client: None,
+                generation: 0,
+                started_at: 0,
+                ip: self.config.client_ips[t % self.config.client_ips.len()],
+            })
+            .collect();
+        // Stagger thread start-up.
+        for t in 0..effective_threads {
+            let jitter = if self.config.stagger > 0 {
+                self.rng.gen_range(0..self.config.stagger)
+            } else {
+                0
+            };
+            self.schedule(jitter, t as u32, EventKind::JobStart);
+        }
+        let mut actions: Vec<OutQuery> = Vec::with_capacity(4);
+        while let Some(Reverse((time, seq))) = self.heap.pop() {
+            let event = self.events.remove(&seq).expect("event present");
+            debug_assert_eq!(event.time, time);
+            let slot_idx = event.slot as usize;
+            match event.kind {
+                EventKind::JobStart => {
+                    let Some(mut client) = source() else {
+                        continue; // input exhausted; slot retires
+                    };
+                    slots[slot_idx].generation += 1;
+                    slots[slot_idx].started_at = time;
+                    actions.clear();
+                    let status = client.start(time, &mut actions);
+                    self.drain_actions(&mut slots[slot_idx], slot_idx as u32, time, &mut actions);
+                    match status {
+                        StepStatus::Running => slots[slot_idx].client = Some(client),
+                        StepStatus::Done(outcome) => {
+                            self.finish_job(&mut slots[slot_idx], time, outcome);
+                            self.schedule(time + MICROS, slot_idx as u32, EventKind::JobStart);
+                        }
+                    }
+                }
+                EventKind::Outcome {
+                    generation,
+                    tag,
+                    response,
+                } => {
+                    if slots[slot_idx].generation != generation {
+                        continue; // stale event from a finished job
+                    }
+                    let Some(mut client) = slots[slot_idx].client.take() else {
+                        continue;
+                    };
+                    // Receive-side CPU; under heavy backlog the packet is
+                    // dropped and the client sees its timeout instead.
+                    let (client_event, now) = match response {
+                        Some((from, message, protocol)) => {
+                            let backlog = self.cpu_free_at.saturating_sub(time);
+                            if backlog > self.config.cpu_backlog_drop {
+                                self.report.rx_overflow_drops += 1;
+                                (ClientEvent::Timeout { tag }, time)
+                            } else {
+                                let done_at = self.cpu_consume(time, self.packet_cost());
+                                (
+                                    ClientEvent::Response {
+                                        tag,
+                                        from,
+                                        message,
+                                        protocol,
+                                    },
+                                    done_at,
+                                )
+                            }
+                        }
+                        None => (ClientEvent::Timeout { tag }, time),
+                    };
+                    actions.clear();
+                    let status = client.on_event(client_event, now, &mut actions);
+                    self.drain_actions(&mut slots[slot_idx], slot_idx as u32, now, &mut actions);
+                    match status {
+                        StepStatus::Running => slots[slot_idx].client = Some(client),
+                        StepStatus::Done(outcome) => {
+                            self.finish_job(&mut slots[slot_idx], now, outcome);
+                            self.schedule(now + MICROS, slot_idx as u32, EventKind::JobStart);
+                        }
+                    }
+                }
+            }
+        }
+        std::mem::take(&mut self.report)
+    }
+
+    fn finish_job(&mut self, slot: &mut Slot, now: SimTime, outcome: JobOutcome) {
+        slot.client = None;
+        slot.generation += 1; // invalidate in-flight events
+        self.report.jobs += 1;
+        if outcome.success {
+            self.report.successes += 1;
+            let bucket = (now / SECONDS) as usize;
+            if self.report.success_series.len() <= bucket {
+                self.report.success_series.resize(bucket + 1, 0);
+            }
+            self.report.success_series[bucket] += 1;
+        }
+        *self
+            .report
+            .status_counts
+            .entry(outcome.status)
+            .or_insert(0) += 1;
+        self.report.makespan = self.report.makespan.max(now);
+        self.report.total_job_duration += now.saturating_sub(slot.started_at);
+    }
+
+    fn drain_actions(
+        &mut self,
+        slot: &mut Slot,
+        slot_idx: u32,
+        now: SimTime,
+        actions: &mut Vec<OutQuery>,
+    ) {
+        for oq in actions.drain(..) {
+            self.dispatch(slot.ip, slot.generation, slot_idx, now, oq);
+        }
+    }
+
+    /// Decide the fate of one query at send time and schedule its single
+    /// outcome event.
+    fn dispatch(
+        &mut self,
+        client_ip: Ipv4Addr,
+        generation: u32,
+        slot: u32,
+        now: SimTime,
+        oq: OutQuery,
+    ) {
+        self.report.queries_sent += 1;
+        let bucket = (now / SECONDS) as usize;
+        if self.report.query_series.len() <= bucket {
+            self.report.query_series.resize(bucket + 1, 0);
+        }
+        self.report.query_series[bucket] += 1;
+
+        // Send-side CPU (TCP costs ~3x: connect, send, teardown).
+        let mut send_cost = self.packet_cost();
+        if oq.protocol == Protocol::Tcp {
+            send_cost *= 3;
+        }
+        if oq.to.is_loopback() && self.config.local_resolver_cpu_us > 0 {
+            // The co-located resolver's recursion work shares our cores.
+            send_cost += (self.config.local_resolver_cpu_us * MICROS)
+                / self.config.cores.max(1) as u64;
+        }
+        let t_send = self.cpu_consume(now, send_cost);
+        let deadline = now + oq.timeout;
+
+        // Optional wire fidelity: push the query through the real codec.
+        let query = if self.config.wire_fidelity {
+            match oq.query.encode().and_then(|b| Message::decode(&b)) {
+                Ok(m) => m,
+                Err(_) => {
+                    // Unencodable query: client sees a timeout.
+                    self.schedule(
+                        deadline,
+                        slot,
+                        EventKind::Outcome { generation, tag: oq.tag, response: None },
+                    );
+                    return;
+                }
+            }
+        } else {
+            oq.query.clone()
+        };
+        let Some(question) = query.question().cloned() else {
+            self.schedule(
+                deadline,
+                slot,
+                EventKind::Outcome { generation, tag: oq.tag, response: None },
+            );
+            return;
+        };
+
+        // Public resolver path.
+        if let Some(idx) = self
+            .resolvers
+            .iter()
+            .position(|r| r.config.addr == oq.to)
+        {
+            // Split borrows: resolver handles need the universe and rng.
+            let universe = Arc::clone(&self.universe);
+            let outcome = self.resolvers[idx].handle(
+                universe.as_ref(),
+                client_ip,
+                &query,
+                &question,
+                t_send,
+                &mut self.rng,
+            );
+            match outcome {
+                ResolverOutcome::Dropped => {
+                    self.report.net_drops += 1;
+                    self.schedule(
+                        deadline,
+                        slot,
+                        EventKind::Outcome { generation, tag: oq.tag, response: None },
+                    );
+                }
+                ResolverOutcome::ServFail { latency } => {
+                    let mut msg = Message {
+                        id: query.id,
+                        questions: query.questions.clone(),
+                        ..Message::default()
+                    };
+                    msg.flags.response = true;
+                    msg.flags.recursion_available = true;
+                    msg.rcode = zdns_wire::RcodeField(zdns_wire::Rcode::ServFail);
+                    let arrival = t_send + latency;
+                    self.deliver_or_timeout(slot, generation, oq.tag, arrival, deadline, oq.to, msg, oq.protocol);
+                }
+                ResolverOutcome::Answer { message, latency } => {
+                    let arrival = t_send + latency;
+                    self.deliver_or_timeout(
+                        slot,
+                        generation,
+                        oq.tag,
+                        arrival,
+                        deadline,
+                        oq.to,
+                        *message,
+                        oq.protocol,
+                    );
+                }
+            }
+            return;
+        }
+
+        // Authoritative-universe path.
+        let profile = self.universe.server_profile(oq.to);
+        let drop_p = profile.base_drop + self.universe.drop_probability(oq.to, &question.name);
+        if self.rng.gen_bool(drop_p.clamp(0.0, 1.0)) {
+            self.report.net_drops += 1;
+            self.schedule(
+                deadline,
+                slot,
+                EventKind::Outcome { generation, tag: oq.tag, response: None },
+            );
+            return;
+        }
+        let Some(auth) = self.universe.respond(oq.to, &question) else {
+            // Nothing listens there.
+            self.schedule(
+                deadline,
+                slot,
+                EventKind::Outcome { generation, tag: oq.tag, response: None },
+            );
+            return;
+        };
+        let mut response = auth.to_message(&query);
+        // Truncation on UDP.
+        if oq.protocol == Protocol::Udp {
+            let limit = query
+                .edns
+                .as_ref()
+                .map(|e| e.udp_payload_size as usize)
+                .unwrap_or(512);
+            if self.config.wire_fidelity {
+                if let Ok((bytes, truncated)) = response.encode_udp(limit) {
+                    if truncated {
+                        if let Ok(m) = Message::decode(&bytes) {
+                            response = m;
+                        }
+                    }
+                }
+            } else if estimate_size(&response) > limit {
+                response.answers.clear();
+                response.authorities.clear();
+                response.additionals.clear();
+                response.flags.truncated = true;
+            }
+        }
+        let mut rtt = sample_rtt(profile.latency, &mut self.rng);
+        if oq.protocol == Protocol::Tcp {
+            rtt = rtt * 2 + sample_rtt(profile.latency, &mut self.rng);
+        }
+        let arrival = t_send + rtt + profile.processing_us * MICROS;
+        self.deliver_or_timeout(
+            slot, generation, oq.tag, arrival, deadline, oq.to, response, oq.protocol,
+        );
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn deliver_or_timeout(
+        &mut self,
+        slot: u32,
+        generation: u32,
+        tag: u64,
+        arrival: SimTime,
+        deadline: SimTime,
+        from: Ipv4Addr,
+        message: Message,
+        protocol: Protocol,
+    ) {
+        if arrival > deadline {
+            self.schedule(deadline, slot, EventKind::Outcome { generation, tag, response: None });
+        } else {
+            self.schedule(
+                arrival,
+                slot,
+                EventKind::Outcome {
+                    generation,
+                    tag,
+                    response: Some((from, message, protocol)),
+                },
+            );
+        }
+    }
+}
+
+/// Rough wire size of a message without encoding it (used when
+/// `wire_fidelity` is off).
+pub fn estimate_size(msg: &Message) -> usize {
+    let mut size = 12;
+    for q in &msg.questions {
+        size += q.name.wire_len() + 4;
+    }
+    for rec in msg
+        .answers
+        .iter()
+        .chain(&msg.authorities)
+        .chain(&msg.additionals)
+    {
+        size += rec.name.wire_len() + 10 + estimate_rdata(rec);
+    }
+    if msg.edns.is_some() {
+        size += 11;
+    }
+    size
+}
+
+fn estimate_rdata(rec: &zdns_wire::Record) -> usize {
+    use zdns_wire::RData;
+    match &rec.rdata {
+        RData::A(_) => 4,
+        RData::Aaaa(_) => 16,
+        RData::Ns(n) | RData::Cname(n) | RData::Ptr(n) | RData::Dname(n) => n.wire_len(),
+        RData::Soa(s) => s.mname.wire_len() + s.rname.wire_len() + 20,
+        RData::Mx(m) => 2 + m.exchange.wire_len(),
+        RData::Txt(t) => t.strings.iter().map(|s| s.len() + 1).sum(),
+        RData::Caa(c) => 2 + c.tag.len() + c.value.len(),
+        RData::Opaque(b) => b.len(),
+        _ => 32,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zdns_wire::{Name, Question, Rcode, RecordType};
+    use zdns_zones::{SynthConfig, SyntheticUniverse};
+
+    /// A minimal client: one UDP query to a fixed server, success on any
+    /// response.
+    struct OneShot {
+        to: Ipv4Addr,
+        name: Name,
+        qtype: RecordType,
+        retries: u32,
+    }
+
+    impl SimClient for OneShot {
+        fn start(&mut self, _now: SimTime, out: &mut Vec<OutQuery>) -> StepStatus {
+            out.push(OutQuery {
+                to: self.to,
+                query: Message::query(1, Question::new(self.name.clone(), self.qtype)),
+                protocol: Protocol::Udp,
+                timeout: 2 * SECONDS,
+                tag: 0,
+            });
+            StepStatus::Running
+        }
+
+        fn on_event(
+            &mut self,
+            event: ClientEvent,
+            _now: SimTime,
+            out: &mut Vec<OutQuery>,
+        ) -> StepStatus {
+            match event {
+                ClientEvent::Response { message, .. } => StepStatus::Done(JobOutcome {
+                    success: matches!(message.rcode(), Rcode::NoError | Rcode::NxDomain),
+                    status: message.rcode().as_str().to_string(),
+                }),
+                ClientEvent::Timeout { .. } => {
+                    if self.retries > 0 {
+                        self.retries -= 1;
+                        out.push(OutQuery {
+                            to: self.to,
+                            query: Message::query(
+                                1,
+                                Question::new(self.name.clone(), self.qtype),
+                            ),
+                            protocol: Protocol::Udp,
+                            timeout: 2 * SECONDS,
+                            tag: 0,
+                        });
+                        StepStatus::Running
+                    } else {
+                        StepStatus::Done(JobOutcome {
+                            success: false,
+                            status: "TIMEOUT".to_string(),
+                        })
+                    }
+                }
+            }
+        }
+    }
+
+    fn universe() -> Arc<SyntheticUniverse> {
+        Arc::new(SyntheticUniverse::new(SynthConfig::default()))
+    }
+
+    #[test]
+    fn jobs_complete_against_root_servers() {
+        let u = universe();
+        let root = u.root_hints()[0].1;
+        let mut engine = Engine::new(
+            EngineConfig {
+                threads: 16,
+                ..EngineConfig::default()
+            },
+            u,
+        );
+        let mut remaining = 200;
+        let report = engine.run(move || {
+            if remaining == 0 {
+                return None;
+            }
+            remaining -= 1;
+            Some(Box::new(OneShot {
+                to: root,
+                name: format!("job{remaining}.com").parse().unwrap(),
+                qtype: RecordType::A,
+                retries: 3,
+            }))
+        });
+        assert_eq!(report.jobs, 200);
+        // Root referrals are NOERROR; nearly everything succeeds.
+        assert!(report.success_rate() > 0.97, "{}", report.success_rate());
+        assert!(report.queries_sent >= 200);
+        assert!(report.makespan > 0);
+    }
+
+    #[test]
+    fn dead_address_times_out() {
+        let u = universe();
+        let mut engine = Engine::new(
+            EngineConfig {
+                threads: 4,
+                ..EngineConfig::default()
+            },
+            u,
+        );
+        let mut remaining = 8;
+        let report = engine.run(move || {
+            if remaining == 0 {
+                return None;
+            }
+            remaining -= 1;
+            Some(Box::new(OneShot {
+                to: "203.0.113.99".parse().unwrap(),
+                name: "dead.test".parse().unwrap(),
+                qtype: RecordType::A,
+                retries: 1,
+            }))
+        });
+        assert_eq!(report.jobs, 8);
+        assert_eq!(report.successes, 0);
+        assert_eq!(report.status_counts["TIMEOUT"], 8);
+        // 8 jobs × (1 try + 1 retry).
+        assert_eq!(report.queries_sent, 16);
+    }
+
+    #[test]
+    fn port_cap_limits_threads() {
+        let u = universe();
+        let mut engine = Engine::new(
+            EngineConfig {
+                threads: 100_000,
+                client_ips: vec!["192.0.2.1".parse().unwrap()],
+                ports_per_ip: 45_000,
+                ..EngineConfig::default()
+            },
+            u,
+        );
+        let report = engine.run(|| None);
+        assert_eq!(report.effective_threads, 45_000);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let u = universe();
+            let root = u.root_hints()[0].1;
+            let mut engine = Engine::new(
+                EngineConfig {
+                    threads: 8,
+                    seed: 42,
+                    ..EngineConfig::default()
+                },
+                u,
+            );
+            let mut remaining = 50;
+            engine.run(move || {
+                if remaining == 0 {
+                    return None;
+                }
+                remaining -= 1;
+                Some(Box::new(OneShot {
+                    to: root,
+                    name: format!("det{remaining}.org").parse().unwrap(),
+                    qtype: RecordType::A,
+                    retries: 2,
+                }) as Box<dyn SimClient>)
+            })
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.queries_sent, b.queries_sent);
+        assert_eq!(a.successes, b.successes);
+    }
+
+    #[test]
+    fn gc_pauses_slow_the_run() {
+        let mk = |gc: Option<GcModel>| {
+            let u = universe();
+            let root = u.root_hints()[0].1;
+            let mut engine = Engine::new(
+                EngineConfig {
+                    threads: 64,
+                    seed: 7,
+                    gc,
+                    // Make CPU the bottleneck so GC matters.
+                    per_packet_cpu_us: 2_000,
+                    cores: 2,
+                    ..EngineConfig::default()
+                },
+                u,
+            );
+            let mut remaining = 2_000;
+            engine
+                .run(move || {
+                    if remaining == 0 {
+                        return None;
+                    }
+                    remaining -= 1;
+                    Some(Box::new(OneShot {
+                        to: root,
+                        name: format!("gc{remaining}.net").parse().unwrap(),
+                        qtype: RecordType::A,
+                        retries: 2,
+                    }) as Box<dyn SimClient>)
+                })
+                .makespan
+        };
+        let slow_gc = mk(Some(GcModel::go_default()));
+        let fast_gc = mk(Some(GcModel::frequent()));
+        // The paper's observation: more frequent, shorter collections win.
+        assert!(
+            fast_gc < slow_gc,
+            "frequent {fast_gc} should beat default {slow_gc}"
+        );
+    }
+
+    #[test]
+    fn wire_fidelity_roundtrips_messages() {
+        let u = universe();
+        let root = u.root_hints()[0].1;
+        let mut engine = Engine::new(
+            EngineConfig {
+                threads: 4,
+                wire_fidelity: true,
+                ..EngineConfig::default()
+            },
+            u,
+        );
+        let mut remaining = 20;
+        let report = engine.run(move || {
+            if remaining == 0 {
+                return None;
+            }
+            remaining -= 1;
+            Some(Box::new(OneShot {
+                to: root,
+                name: format!("wf{remaining}.com").parse().unwrap(),
+                qtype: RecordType::A,
+                retries: 1,
+            }))
+        });
+        assert_eq!(report.jobs, 20);
+        assert!(report.success_rate() > 0.9);
+    }
+
+    #[test]
+    fn estimate_size_tracks_reality() {
+        let u = universe();
+        let q = Question::new("example.com".parse().unwrap(), RecordType::A);
+        let resp = u.respond(u.root_hints()[0].1, &q).unwrap();
+        let msg = resp.to_message(&Message::query(1, q));
+        let actual = msg.encode().unwrap().len();
+        let estimated = estimate_size(&msg);
+        let ratio = estimated as f64 / actual as f64;
+        // Compression makes the estimate high; it must stay in the ballpark.
+        assert!((0.8..2.5).contains(&ratio), "est {estimated} actual {actual}");
+    }
+}

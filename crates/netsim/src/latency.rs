@@ -1,0 +1,61 @@
+//! Round-trip-time sampling.
+//!
+//! RTTs are drawn as `floor + Exp(mean_extra)` per latency class — a shifted
+//! exponential is a decent fit for wide-area DNS RTT distributions and keeps
+//! the sampler branch-free.
+
+use rand::Rng;
+use zdns_zones::LatencyClass;
+
+use crate::time::{SimTime, MILLIS};
+
+/// Sample a one-way-ish round trip time for a latency class.
+pub fn sample_rtt<R: Rng>(class: LatencyClass, rng: &mut R) -> SimTime {
+    let (floor_ms, mean_extra_ms) = match class {
+        LatencyClass::Fast => (8.0, 14.0),
+        LatencyClass::Medium => (35.0, 45.0),
+        LatencyClass::Slow => (110.0, 130.0),
+    };
+    let extra = exp_sample(mean_extra_ms, rng);
+    ((floor_ms + extra) * MILLIS as f64) as SimTime
+}
+
+/// Exponential sample with the given mean.
+fn exp_sample<R: Rng>(mean: f64, rng: &mut R) -> f64 {
+    let u: f64 = rng.gen_range(1e-12..1.0);
+    -mean * u.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn class_ordering_holds_in_aggregate() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut mean = |class| {
+            (0..5000)
+                .map(|_| sample_rtt(class, &mut rng) as f64)
+                .sum::<f64>()
+                / 5000.0
+        };
+        let fast = mean(LatencyClass::Fast);
+        let medium = mean(LatencyClass::Medium);
+        let slow = mean(LatencyClass::Slow);
+        assert!(fast < medium && medium < slow, "{fast} {medium} {slow}");
+        // Fast should average ~22ms, slow ~240ms.
+        assert!((15.0 * MILLIS as f64..30.0 * MILLIS as f64).contains(&fast));
+        assert!(slow > 180.0 * MILLIS as f64);
+    }
+
+    #[test]
+    fn rtt_respects_floor() {
+        let mut rng = SmallRng::seed_from_u64(8);
+        for _ in 0..1000 {
+            assert!(sample_rtt(LatencyClass::Fast, &mut rng) >= 8 * MILLIS);
+            assert!(sample_rtt(LatencyClass::Slow, &mut rng) >= 110 * MILLIS);
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! # zdns-netsim
+//!
+//! A deterministic discrete-event simulator of the network substrate the
+//! ZDNS paper measures against: virtual time, per-server latency classes,
+//! silent drops, rate-limited public resolvers, a client host with finite
+//! cores/ports/GC, plus real loopback UDP/TCP servers for socket-level
+//! integration tests.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod latency;
+pub mod oracle;
+pub mod ratelimit;
+pub mod resolvers;
+pub mod time;
+pub mod wire_server;
+
+pub use engine::{
+    estimate_size, ClientEvent, Engine, EngineConfig, GcModel, JobOutcome, OutQuery, Protocol,
+    RunReport, SimClient, StepStatus,
+};
+pub use ratelimit::TokenBucket;
+pub use resolvers::{PublicResolverConfig, PublicResolverSim, ResolverOutcome};
+pub use time::{as_secs_f64, from_secs_f64, SimTime, MICROS, MILLIS, SECONDS};
+pub use wire_server::WireServer;

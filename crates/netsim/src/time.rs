@@ -1,0 +1,33 @@
+//! Virtual time for the discrete-event simulator.
+
+/// Simulated time in nanoseconds since simulation start.
+pub type SimTime = u64;
+
+/// One microsecond in [`SimTime`] units.
+pub const MICROS: SimTime = 1_000;
+/// One millisecond in [`SimTime`] units.
+pub const MILLIS: SimTime = 1_000_000;
+/// One second in [`SimTime`] units.
+pub const SECONDS: SimTime = 1_000_000_000;
+
+/// Convert [`SimTime`] to floating-point seconds (for reporting).
+pub fn as_secs_f64(t: SimTime) -> f64 {
+    t as f64 / SECONDS as f64
+}
+
+/// Convert floating-point seconds to [`SimTime`].
+pub fn from_secs_f64(s: f64) -> SimTime {
+    (s * SECONDS as f64) as SimTime
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(as_secs_f64(1_500_000_000), 1.5);
+        assert_eq!(from_secs_f64(2.25), 2_250_000_000);
+        assert_eq!(from_secs_f64(as_secs_f64(123 * MILLIS)), 123 * MILLIS);
+    }
+}

@@ -1,0 +1,211 @@
+//! Real-socket DNS servers for integration testing.
+//!
+//! `WireServer` binds an OS UDP socket (and a TCP listener for truncation
+//! fallback) on 127.0.0.1 and serves a [`Universe`], so `zdns-core`'s real
+//! `UdpTransport` path can be exercised end-to-end without leaving the
+//! machine.
+
+use std::io::{Read, Write};
+use std::net::{Ipv4Addr, SocketAddr, TcpListener, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use zdns_wire::Message;
+use zdns_zones::Universe;
+
+/// A running loopback DNS server.
+pub struct WireServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl WireServer {
+    /// Address the server listens on (UDP and TCP share the port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Start serving `universe` on an ephemeral 127.0.0.1 port. Queries are
+    /// answered as if this socket were the server at `impersonate` inside
+    /// the universe.
+    pub fn start(universe: Arc<dyn Universe>, impersonate: Ipv4Addr) -> std::io::Result<WireServer> {
+        let udp = UdpSocket::bind((Ipv4Addr::LOCALHOST, 0))?;
+        let addr = udp.local_addr()?;
+        let tcp = TcpListener::bind(addr)?;
+        tcp.set_nonblocking(true)?;
+        udp.set_read_timeout(Some(Duration::from_millis(25)))?;
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let udp_stop = Arc::clone(&stop);
+        let udp_universe = Arc::clone(&universe);
+        let udp_thread = std::thread::spawn(move || {
+            let mut buf = [0u8; 65_535];
+            while !udp_stop.load(Ordering::Relaxed) {
+                let Ok((len, peer)) = udp.recv_from(&mut buf) else {
+                    continue;
+                };
+                if let Some(bytes) = answer(&udp_universe, impersonate, &buf[..len], true) {
+                    let _ = udp.send_to(&bytes, peer);
+                }
+            }
+        });
+
+        let tcp_stop = Arc::clone(&stop);
+        let tcp_universe = Arc::clone(&universe);
+        let tcp_thread = std::thread::spawn(move || {
+            while !tcp_stop.load(Ordering::Relaxed) {
+                match tcp.accept() {
+                    Ok((mut stream, _)) => {
+                        let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+                        let mut len_buf = [0u8; 2];
+                        if stream.read_exact(&mut len_buf).is_err() {
+                            continue;
+                        }
+                        let len = u16::from_be_bytes(len_buf) as usize;
+                        let mut msg_buf = vec![0u8; len];
+                        if stream.read_exact(&mut msg_buf).is_err() {
+                            continue;
+                        }
+                        if let Some(bytes) = answer(&tcp_universe, impersonate, &msg_buf, false) {
+                            let prefix = (bytes.len() as u16).to_be_bytes();
+                            let _ = stream.write_all(&prefix);
+                            let _ = stream.write_all(&bytes);
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+
+        Ok(WireServer {
+            addr,
+            stop,
+            threads: vec![udp_thread, tcp_thread],
+        })
+    }
+}
+
+fn answer(
+    universe: &Arc<dyn Universe>,
+    impersonate: Ipv4Addr,
+    raw: &[u8],
+    udp: bool,
+) -> Option<Vec<u8>> {
+    let query = Message::decode(raw).ok()?;
+    let question = query.question()?;
+    let auth = universe.respond(impersonate, question)?;
+    let response = auth.to_message(&query);
+    if udp {
+        let limit = query
+            .edns
+            .as_ref()
+            .map(|e| e.udp_payload_size as usize)
+            .unwrap_or(512);
+        response.encode_udp(limit).ok().map(|(bytes, _)| bytes)
+    } else {
+        response.encode().ok()
+    }
+}
+
+impl Drop for WireServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zdns_wire::{Question, RData, Rcode, Record, RecordType};
+    use zdns_zones::{ExplicitUniverse, Zone};
+
+    fn test_universe() -> (Arc<dyn Universe>, Ipv4Addr) {
+        let server_ip = Ipv4Addr::new(127, 0, 0, 1);
+        let mut zone = Zone::new(
+            "example.test".parse().unwrap(),
+            "ns1.example.test".parse().unwrap(),
+            300,
+        );
+        zone.add(Record::new(
+            "example.test".parse().unwrap(),
+            300,
+            RData::A("192.0.2.5".parse().unwrap()),
+        ));
+        let mut u = ExplicitUniverse::new();
+        u.host(server_ip, zone);
+        (Arc::new(u), server_ip)
+    }
+
+    #[test]
+    fn serves_udp_queries_over_real_sockets() {
+        let (universe, ip) = test_universe();
+        let server = WireServer::start(universe, ip).unwrap();
+        let client = UdpSocket::bind((Ipv4Addr::LOCALHOST, 0)).unwrap();
+        client
+            .set_read_timeout(Some(Duration::from_secs(2)))
+            .unwrap();
+        let query = Message::query(
+            0x4242,
+            Question::new("example.test".parse().unwrap(), RecordType::A),
+        );
+        client
+            .send_to(&query.encode().unwrap(), server.addr())
+            .unwrap();
+        let mut buf = [0u8; 4096];
+        let (len, _) = client.recv_from(&mut buf).unwrap();
+        let response = Message::decode(&buf[..len]).unwrap();
+        assert_eq!(response.id, 0x4242);
+        assert_eq!(response.rcode(), Rcode::NoError);
+        assert_eq!(
+            response.answers[0].rdata,
+            RData::A("192.0.2.5".parse().unwrap())
+        );
+    }
+
+    #[test]
+    fn serves_tcp_queries() {
+        let (universe, ip) = test_universe();
+        let server = WireServer::start(universe, ip).unwrap();
+        let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(2)))
+            .unwrap();
+        let query = Message::query(
+            7,
+            Question::new("example.test".parse().unwrap(), RecordType::A),
+        );
+        let bytes = query.encode().unwrap();
+        stream
+            .write_all(&(bytes.len() as u16).to_be_bytes())
+            .unwrap();
+        stream.write_all(&bytes).unwrap();
+        let mut len_buf = [0u8; 2];
+        stream.read_exact(&mut len_buf).unwrap();
+        let mut msg = vec![0u8; u16::from_be_bytes(len_buf) as usize];
+        stream.read_exact(&mut msg).unwrap();
+        let response = Message::decode(&msg).unwrap();
+        assert_eq!(response.rcode(), Rcode::NoError);
+    }
+
+    #[test]
+    fn garbage_input_is_ignored() {
+        let (universe, ip) = test_universe();
+        let server = WireServer::start(universe, ip).unwrap();
+        let client = UdpSocket::bind((Ipv4Addr::LOCALHOST, 0)).unwrap();
+        client
+            .set_read_timeout(Some(Duration::from_millis(200)))
+            .unwrap();
+        client.send_to(&[0xFF; 7], server.addr()).unwrap();
+        let mut buf = [0u8; 64];
+        assert!(client.recv_from(&mut buf).is_err(), "no reply to garbage");
+    }
+}

@@ -1,0 +1,405 @@
+//! Low-level wire reader/writer.
+//!
+//! `WireReader` walks a received datagram; `WireWriter` builds one. The writer
+//! owns the name-compression table (RFC 1035 §4.1.4) because compression
+//! offsets are a property of the message being assembled, not of any one name.
+
+use std::collections::HashMap;
+
+use crate::error::{WireError, WireResult};
+use crate::name::Name;
+
+/// Maximum size of a DNS message we will encode (TCP limit; UDP is smaller).
+pub const MAX_MESSAGE_SIZE: usize = u16::MAX as usize;
+
+/// Cursor over a received message.
+///
+/// All reads are bounds-checked; decoding arbitrary bytes must never panic.
+#[derive(Debug, Clone)]
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// Wrap a datagram for decoding.
+    pub fn new(buf: &'a [u8]) -> Self {
+        WireReader { buf, pos: 0 }
+    }
+
+    /// Current read offset from the start of the message.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Total message length.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.pos >= self.buf.len()
+    }
+
+    /// Bytes left to read.
+    pub fn remaining(&self) -> usize {
+        self.buf.len().saturating_sub(self.pos)
+    }
+
+    /// Reposition the cursor (used when following compression pointers).
+    pub fn seek(&mut self, pos: usize) -> WireResult<()> {
+        if pos > self.buf.len() {
+            return Err(WireError::BadPointer { target: pos });
+        }
+        self.pos = pos;
+        Ok(())
+    }
+
+    /// Read a single octet.
+    pub fn read_u8(&mut self, context: &'static str) -> WireResult<u8> {
+        let b = *self
+            .buf
+            .get(self.pos)
+            .ok_or(WireError::Truncated { context })?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// Read a big-endian u16.
+    pub fn read_u16(&mut self, context: &'static str) -> WireResult<u16> {
+        let bytes = self.read_bytes(2, context)?;
+        Ok(u16::from_be_bytes([bytes[0], bytes[1]]))
+    }
+
+    /// Read a big-endian u32.
+    pub fn read_u32(&mut self, context: &'static str) -> WireResult<u32> {
+        let bytes = self.read_bytes(4, context)?;
+        Ok(u32::from_be_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]))
+    }
+
+    /// Read a big-endian u48 (used by TSIG timestamps).
+    pub fn read_u48(&mut self, context: &'static str) -> WireResult<u64> {
+        let b = self.read_bytes(6, context)?;
+        Ok(u64::from(b[0]) << 40
+            | u64::from(b[1]) << 32
+            | u64::from(b[2]) << 24
+            | u64::from(b[3]) << 16
+            | u64::from(b[4]) << 8
+            | u64::from(b[5]))
+    }
+
+    /// Read a big-endian u64.
+    pub fn read_u64(&mut self, context: &'static str) -> WireResult<u64> {
+        let b = self.read_bytes(8, context)?;
+        Ok(u64::from_be_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Read an exact number of raw octets.
+    pub fn read_bytes(&mut self, n: usize, context: &'static str) -> WireResult<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or(WireError::Truncated { context })?;
+        if end > self.buf.len() {
+            return Err(WireError::Truncated { context });
+        }
+        let out = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    /// Read a `<character-string>`: one length octet then that many octets.
+    pub fn read_char_string(&mut self, context: &'static str) -> WireResult<Vec<u8>> {
+        let len = self.read_u8(context)? as usize;
+        Ok(self.read_bytes(len, context)?.to_vec())
+    }
+
+    /// Read a (possibly compressed) domain name starting at the cursor.
+    ///
+    /// The cursor ends just past the name as it appears *at this position*
+    /// (i.e. after the pointer, if one was used). Pointer chains are limited
+    /// and must strictly move backwards, which makes loops impossible.
+    pub fn read_name(&mut self) -> WireResult<Name> {
+        let mut labels: Vec<Box<[u8]>> = Vec::new();
+        let mut wire_len = 1usize; // trailing root octet
+        let mut pos = self.pos;
+        // Position to restore after the name read at the original location.
+        let mut resume: Option<usize> = None;
+        // A name can contain at most 127 labels; allow some pointer hops too.
+        let mut hops = 0usize;
+        loop {
+            let len_byte = *self
+                .buf
+                .get(pos)
+                .ok_or(WireError::Truncated { context: "name label" })?;
+            match len_byte & 0b1100_0000 {
+                0b0000_0000 => {
+                    let len = len_byte as usize;
+                    if len == 0 {
+                        pos += 1;
+                        if resume.is_none() {
+                            self.pos = pos;
+                        }
+                        break;
+                    }
+                    if len > crate::name::MAX_LABEL_LEN {
+                        return Err(WireError::LabelTooLong(len));
+                    }
+                    let start = pos + 1;
+                    let end = start + len;
+                    if end > self.buf.len() {
+                        return Err(WireError::Truncated { context: "name label body" });
+                    }
+                    wire_len += len + 1;
+                    if wire_len > crate::name::MAX_NAME_LEN {
+                        return Err(WireError::NameTooLong(wire_len));
+                    }
+                    labels.push(self.buf[start..end].into());
+                    pos = end;
+                }
+                0b1100_0000 => {
+                    let second = *self
+                        .buf
+                        .get(pos + 1)
+                        .ok_or(WireError::Truncated { context: "compression pointer" })?;
+                    let target = ((len_byte as usize & 0x3f) << 8) | second as usize;
+                    // Pointers must reference earlier data; equal-or-later
+                    // targets would allow loops.
+                    if target >= pos {
+                        return Err(WireError::BadPointer { target });
+                    }
+                    if resume.is_none() {
+                        resume = Some(pos + 2);
+                    }
+                    hops += 1;
+                    if hops > 126 {
+                        return Err(WireError::BadPointer { target });
+                    }
+                    pos = target;
+                }
+                other => return Err(WireError::UnsupportedLabelType(other >> 6)),
+            }
+        }
+        if let Some(r) = resume {
+            self.pos = r;
+        }
+        Name::from_labels(labels)
+    }
+}
+
+/// Growable output buffer with a name-compression table.
+#[derive(Debug, Default)]
+pub struct WireWriter {
+    buf: Vec<u8>,
+    /// Lowercased name suffix → offset of its first occurrence.
+    compress: HashMap<Vec<u8>, u16>,
+    /// When false, names are written uncompressed (RDATA of modern types must
+    /// not be compressed per RFC 3597).
+    compression_enabled: bool,
+}
+
+impl WireWriter {
+    /// New writer with compression enabled.
+    pub fn new() -> Self {
+        WireWriter {
+            buf: Vec::with_capacity(512),
+            compress: HashMap::new(),
+            compression_enabled: true,
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Consume the writer, returning the encoded message.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// View of the bytes written so far.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+
+    fn ensure_capacity(&mut self, extra: usize) -> WireResult<()> {
+        let total = self.buf.len() + extra;
+        if total > MAX_MESSAGE_SIZE {
+            return Err(WireError::MessageTooLong(total));
+        }
+        Ok(())
+    }
+
+    /// Append a single octet.
+    pub fn write_u8(&mut self, v: u8) -> WireResult<()> {
+        self.ensure_capacity(1)?;
+        self.buf.push(v);
+        Ok(())
+    }
+
+    /// Append a big-endian u16.
+    pub fn write_u16(&mut self, v: u16) -> WireResult<()> {
+        self.ensure_capacity(2)?;
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        Ok(())
+    }
+
+    /// Append a big-endian u32.
+    pub fn write_u32(&mut self, v: u32) -> WireResult<()> {
+        self.ensure_capacity(4)?;
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        Ok(())
+    }
+
+    /// Append a big-endian u48.
+    pub fn write_u48(&mut self, v: u64) -> WireResult<()> {
+        self.ensure_capacity(6)?;
+        self.buf.extend_from_slice(&v.to_be_bytes()[2..8]);
+        Ok(())
+    }
+
+    /// Append a big-endian u64.
+    pub fn write_u64(&mut self, v: u64) -> WireResult<()> {
+        self.ensure_capacity(8)?;
+        self.buf.extend_from_slice(&v.to_be_bytes());
+        Ok(())
+    }
+
+    /// Append raw octets.
+    pub fn write_bytes(&mut self, v: &[u8]) -> WireResult<()> {
+        self.ensure_capacity(v.len())?;
+        self.buf.extend_from_slice(v);
+        Ok(())
+    }
+
+    /// Append a `<character-string>` (length octet + data, max 255).
+    pub fn write_char_string(&mut self, v: &[u8]) -> WireResult<()> {
+        if v.len() > 255 {
+            return Err(WireError::CharStringTooLong(v.len()));
+        }
+        self.write_u8(v.len() as u8)?;
+        self.write_bytes(v)
+    }
+
+    /// Overwrite two bytes at `pos` with a big-endian u16 (used to patch
+    /// RDLENGTH after the RDATA is known).
+    pub fn patch_u16(&mut self, pos: usize, v: u16) {
+        debug_assert!(pos + 2 <= self.buf.len());
+        self.buf[pos..pos + 2].copy_from_slice(&v.to_be_bytes());
+    }
+
+    /// Write a name, compressing against previously written names.
+    pub fn write_name(&mut self, name: &Name) -> WireResult<()> {
+        self.write_name_inner(name, self.compression_enabled)
+    }
+
+    /// Write a name without compression (required inside RDATA of types
+    /// unknown to compressing resolvers, per RFC 3597).
+    pub fn write_name_uncompressed(&mut self, name: &Name) -> WireResult<()> {
+        self.write_name_inner(name, false)
+    }
+
+    fn write_name_inner(&mut self, name: &Name, compress: bool) -> WireResult<()> {
+        let labels = name.labels();
+        for i in 0..labels.len() {
+            let suffix_key = Name::suffix_key(&labels[i..]);
+            if compress {
+                if let Some(&off) = self.compress.get(&suffix_key) {
+                    return self.write_u16(0xC000 | off);
+                }
+            }
+            let here = self.buf.len();
+            // Offsets beyond 0x3FFF cannot be pointer targets.
+            if compress && here <= 0x3FFF {
+                self.compress.insert(suffix_key, here as u16);
+            }
+            let label = &labels[i];
+            self.write_u8(label.len() as u8)?;
+            self.write_bytes(label)?;
+        }
+        self.write_u8(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reader_bounds_checked() {
+        let mut r = WireReader::new(&[1, 2]);
+        assert_eq!(r.read_u16("t").unwrap(), 0x0102);
+        assert!(matches!(r.read_u8("t"), Err(WireError::Truncated { .. })));
+    }
+
+    #[test]
+    fn u48_roundtrip() {
+        let mut w = WireWriter::new();
+        w.write_u48(0x0000_1234_5678_9ABC).unwrap();
+        let bytes = w.finish();
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(r.read_u48("t").unwrap(), 0x0000_1234_5678_9ABC);
+    }
+
+    #[test]
+    fn char_string_roundtrip() {
+        let mut w = WireWriter::new();
+        w.write_char_string(b"v=spf1 -all").unwrap();
+        let bytes = w.finish();
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(r.read_char_string("t").unwrap(), b"v=spf1 -all");
+    }
+
+    #[test]
+    fn char_string_too_long_rejected() {
+        let mut w = WireWriter::new();
+        let big = vec![b'a'; 256];
+        assert!(matches!(
+            w.write_char_string(&big),
+            Err(WireError::CharStringTooLong(256))
+        ));
+    }
+
+    #[test]
+    fn name_compression_produces_pointer() {
+        let mut w = WireWriter::new();
+        let a: Name = "mail.example.com".parse().unwrap();
+        let b: Name = "example.com".parse().unwrap();
+        w.write_name(&a).unwrap();
+        let before = w.len();
+        w.write_name(&b).unwrap();
+        // Second name is a bare 2-byte pointer to the suffix of the first.
+        assert_eq!(w.len() - before, 2);
+        let bytes = w.finish();
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(r.read_name().unwrap(), a);
+        assert_eq!(r.read_name().unwrap(), b);
+    }
+
+    #[test]
+    fn forward_pointer_rejected() {
+        // A pointer to its own offset would loop forever.
+        let buf = [0xC0, 0x00];
+        let mut r = WireReader::new(&buf);
+        assert!(matches!(r.read_name(), Err(WireError::BadPointer { .. })));
+    }
+
+    #[test]
+    fn unsupported_label_type_rejected() {
+        let buf = [0b1000_0001, 0x00];
+        let mut r = WireReader::new(&buf);
+        assert!(matches!(
+            r.read_name(),
+            Err(WireError::UnsupportedLabelType(_))
+        ));
+    }
+}

@@ -1,0 +1,142 @@
+//! EDNS(0) support (RFC 6891).
+//!
+//! The OPT pseudo-record rides in the additional section and repurposes its
+//! fixed fields: CLASS carries the sender's UDP payload size and TTL carries
+//! the extended RCODE bits, EDNS version, and the DO flag. ZDNS sends OPT on
+//! every query so servers will return large responses over UDP instead of
+//! truncating.
+
+use crate::buffer::{WireReader, WireWriter};
+use crate::error::WireResult;
+use crate::name::Name;
+use crate::rtype::RecordType;
+
+/// Default advertised UDP payload size; 1232 avoids IPv6 fragmentation and
+/// is the operational consensus from DNS Flag Day 2020.
+pub const DEFAULT_UDP_PAYLOAD: u16 = 1232;
+
+/// A decoded OPT pseudo-record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Edns {
+    /// Sender's maximum UDP payload size.
+    pub udp_payload_size: u16,
+    /// Upper 8 bits of the extended RCODE.
+    pub extended_rcode: u8,
+    /// EDNS version (0).
+    pub version: u8,
+    /// DNSSEC OK flag.
+    pub dnssec_ok: bool,
+    /// Remaining Z flag bits, preserved verbatim.
+    pub z: u16,
+    /// EDNS options as (code, data) pairs (e.g. cookies, client subnet).
+    pub options: Vec<(u16, Vec<u8>)>,
+}
+
+impl Default for Edns {
+    fn default() -> Self {
+        Edns {
+            udp_payload_size: DEFAULT_UDP_PAYLOAD,
+            extended_rcode: 0,
+            version: 0,
+            dnssec_ok: false,
+            z: 0,
+            options: Vec::new(),
+        }
+    }
+}
+
+impl Edns {
+    /// Encode as an OPT record in the additional section.
+    pub fn encode(&self, w: &mut WireWriter) -> WireResult<()> {
+        w.write_name(&Name::root())?;
+        w.write_u16(RecordType::OPT.to_u16())?;
+        w.write_u16(self.udp_payload_size)?;
+        let mut ttl: u32 = (self.extended_rcode as u32) << 24 | (self.version as u32) << 16;
+        if self.dnssec_ok {
+            ttl |= 0x8000;
+        }
+        ttl |= (self.z & 0x7FFF) as u32;
+        w.write_u32(ttl)?;
+        let len_pos = w.len();
+        w.write_u16(0)?;
+        let start = w.len();
+        for (code, data) in &self.options {
+            w.write_u16(*code)?;
+            w.write_u16(data.len() as u16)?;
+            w.write_bytes(data)?;
+        }
+        let rdlen = w.len() - start;
+        w.patch_u16(len_pos, rdlen as u16);
+        Ok(())
+    }
+
+    /// Decode from the fixed fields and RDATA of an OPT record. The reader
+    /// sits just past the TYPE field (i.e. at CLASS).
+    pub fn decode_body(r: &mut WireReader<'_>) -> WireResult<Edns> {
+        let udp_payload_size = r.read_u16("OPT class")?;
+        let ttl = r.read_u32("OPT ttl")?;
+        let rdlen = r.read_u16("OPT rdlength")? as usize;
+        let end = r.position() + rdlen;
+        let mut options = Vec::new();
+        while r.position() < end {
+            let code = r.read_u16("OPT option code")?;
+            let len = r.read_u16("OPT option length")? as usize;
+            options.push((code, r.read_bytes(len, "OPT option data")?.to_vec()));
+        }
+        Ok(Edns {
+            udp_payload_size,
+            extended_rcode: (ttl >> 24) as u8,
+            version: (ttl >> 16) as u8,
+            dnssec_ok: ttl & 0x8000 != 0,
+            z: (ttl & 0x7FFF) as u16,
+            options,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(e: &Edns) -> Edns {
+        let mut w = WireWriter::new();
+        e.encode(&mut w).unwrap();
+        let bytes = w.finish();
+        let mut r = WireReader::new(&bytes);
+        // Skip root name + TYPE.
+        assert_eq!(r.read_name().unwrap(), Name::root());
+        assert_eq!(r.read_u16("type").unwrap(), RecordType::OPT.to_u16());
+        Edns::decode_body(&mut r).unwrap()
+    }
+
+    #[test]
+    fn default_roundtrip() {
+        let e = Edns::default();
+        assert_eq!(roundtrip(&e), e);
+    }
+
+    #[test]
+    fn extended_rcode_and_do_flag() {
+        let e = Edns {
+            udp_payload_size: 4096,
+            extended_rcode: 1, // with rcode_low=0 => BADVERS (16)
+            version: 0,
+            dnssec_ok: true,
+            z: 0,
+            options: Vec::new(),
+        };
+        let d = roundtrip(&e);
+        assert_eq!(d.extended_rcode, 1);
+        assert!(d.dnssec_ok);
+        assert_eq!(d.udp_payload_size, 4096);
+    }
+
+    #[test]
+    fn options_roundtrip() {
+        let e = Edns {
+            options: vec![(10, vec![1, 2, 3, 4, 5, 6, 7, 8])], // DNS cookie
+            ..Edns::default()
+        };
+        assert_eq!(roundtrip(&e).options, e.options);
+    }
+}

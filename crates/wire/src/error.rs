@@ -1,0 +1,89 @@
+//! Wire-format error type.
+//!
+//! Internet servers regularly return malformed responses (misconfiguration or
+//! malice — see §3.1 of the paper), so every decode path returns a structured
+//! error instead of panicking. Property tests feed arbitrary bytes through the
+//! decoder to enforce this.
+
+use std::fmt;
+
+/// Errors produced while encoding or decoding DNS wire format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Ran off the end of the buffer while reading.
+    Truncated {
+        /// What was being decoded when the buffer ran out.
+        context: &'static str,
+    },
+    /// A domain name label exceeded 63 octets.
+    LabelTooLong(usize),
+    /// A domain name exceeded 255 octets on the wire.
+    NameTooLong(usize),
+    /// A compression pointer pointed at or past its own position, or the
+    /// pointer chain exceeded the hop limit.
+    BadPointer {
+        /// Offset the pointer referenced.
+        target: usize,
+    },
+    /// A label type other than `00` (literal) or `11` (pointer) was seen.
+    UnsupportedLabelType(u8),
+    /// A count field (qdcount/ancount/...) promised more records than the
+    /// message could possibly hold.
+    CountMismatch {
+        /// Which section had the bogus count.
+        section: &'static str,
+    },
+    /// RDLENGTH disagreed with the actual encoded RDATA size.
+    RdataLength {
+        /// Declared length.
+        declared: usize,
+        /// Consumed length.
+        consumed: usize,
+    },
+    /// A character-string exceeded 255 octets.
+    CharStringTooLong(usize),
+    /// A message exceeded the 64 KiB wire limit while encoding.
+    MessageTooLong(usize),
+    /// A value was out of domain for the field (e.g. invalid bitmap window).
+    InvalidValue {
+        /// Field description.
+        field: &'static str,
+    },
+    /// Text form of a name could not be parsed.
+    BadNameText(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { context } => {
+                write!(f, "message truncated while reading {context}")
+            }
+            WireError::LabelTooLong(n) => write!(f, "label of {n} octets exceeds 63"),
+            WireError::NameTooLong(n) => write!(f, "name of {n} octets exceeds 255"),
+            WireError::BadPointer { target } => {
+                write!(f, "invalid compression pointer to offset {target}")
+            }
+            WireError::UnsupportedLabelType(b) => {
+                write!(f, "unsupported label type bits {b:#04x}")
+            }
+            WireError::CountMismatch { section } => {
+                write!(f, "record count exceeds message size in {section}")
+            }
+            WireError::RdataLength { declared, consumed } => {
+                write!(f, "rdata length mismatch: declared {declared}, consumed {consumed}")
+            }
+            WireError::CharStringTooLong(n) => {
+                write!(f, "character-string of {n} octets exceeds 255")
+            }
+            WireError::MessageTooLong(n) => write!(f, "message of {n} octets exceeds 64 KiB"),
+            WireError::InvalidValue { field } => write!(f, "invalid value for {field}"),
+            WireError::BadNameText(s) => write!(f, "cannot parse name from text: {s:?}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Convenience alias used throughout the codec.
+pub type WireResult<T> = Result<T, WireError>;

@@ -1,0 +1,323 @@
+//! Message header: id, flags, opcode, response code, section counts.
+
+use serde::{Deserialize, Serialize};
+
+use crate::buffer::{WireReader, WireWriter};
+use crate::error::WireResult;
+
+/// DNS opcodes (RFC 1035 §4.1.1 plus updates).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Opcode {
+    /// Standard query.
+    Query,
+    /// Inverse query (obsolete).
+    IQuery,
+    /// Server status request.
+    Status,
+    /// Zone change notification (RFC 1996).
+    Notify,
+    /// Dynamic update (RFC 2136).
+    Update,
+    /// Anything else seen on the wire.
+    Unknown(u8),
+}
+
+impl Opcode {
+    /// The 4-bit wire value.
+    pub fn to_u8(self) -> u8 {
+        match self {
+            Opcode::Query => 0,
+            Opcode::IQuery => 1,
+            Opcode::Status => 2,
+            Opcode::Notify => 4,
+            Opcode::Update => 5,
+            Opcode::Unknown(v) => v & 0x0F,
+        }
+    }
+
+    /// Decode the 4-bit wire value.
+    pub fn from_u8(v: u8) -> Opcode {
+        match v & 0x0F {
+            0 => Opcode::Query,
+            1 => Opcode::IQuery,
+            2 => Opcode::Status,
+            4 => Opcode::Notify,
+            5 => Opcode::Update,
+            other => Opcode::Unknown(other),
+        }
+    }
+}
+
+/// Response codes, including EDNS-extended values (RFC 6895).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Rcode {
+    /// No error.
+    NoError,
+    /// Query could not be parsed by the server.
+    FormErr,
+    /// Server failure.
+    ServFail,
+    /// Name does not exist (authoritative).
+    NxDomain,
+    /// Query type not implemented.
+    NotImp,
+    /// Refused for policy reasons.
+    Refused,
+    /// Name exists when it should not (RFC 2136).
+    YxDomain,
+    /// RRset exists when it should not (RFC 2136).
+    YxRrset,
+    /// RRset that should exist does not (RFC 2136).
+    NxRrset,
+    /// Server not authoritative / not authorized (RFC 2136/2845).
+    NotAuth,
+    /// Name not contained in zone (RFC 2136).
+    NotZone,
+    /// Bad EDNS version (RFC 6891) / TSIG signature failure (RFC 8945).
+    BadVers,
+    /// Any other (possibly extended) value.
+    Unknown(u16),
+}
+
+impl Rcode {
+    /// Full (possibly >4-bit) value; values above 15 need an OPT record.
+    pub fn to_u16(self) -> u16 {
+        match self {
+            Rcode::NoError => 0,
+            Rcode::FormErr => 1,
+            Rcode::ServFail => 2,
+            Rcode::NxDomain => 3,
+            Rcode::NotImp => 4,
+            Rcode::Refused => 5,
+            Rcode::YxDomain => 6,
+            Rcode::YxRrset => 7,
+            Rcode::NxRrset => 8,
+            Rcode::NotAuth => 9,
+            Rcode::NotZone => 10,
+            Rcode::BadVers => 16,
+            Rcode::Unknown(v) => v,
+        }
+    }
+
+    /// Decode from a full value.
+    pub fn from_u16(v: u16) -> Rcode {
+        match v {
+            0 => Rcode::NoError,
+            1 => Rcode::FormErr,
+            2 => Rcode::ServFail,
+            3 => Rcode::NxDomain,
+            4 => Rcode::NotImp,
+            5 => Rcode::Refused,
+            6 => Rcode::YxDomain,
+            7 => Rcode::YxRrset,
+            8 => Rcode::NxRrset,
+            9 => Rcode::NotAuth,
+            10 => Rcode::NotZone,
+            16 => Rcode::BadVers,
+            other => Rcode::Unknown(other),
+        }
+    }
+
+    /// The ZDNS status string for this rcode (`NOERROR`, `NXDOMAIN`, ...).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Rcode::NoError => "NOERROR",
+            Rcode::FormErr => "FORMERR",
+            Rcode::ServFail => "SERVFAIL",
+            Rcode::NxDomain => "NXDOMAIN",
+            Rcode::NotImp => "NOTIMP",
+            Rcode::Refused => "REFUSED",
+            Rcode::YxDomain => "YXDOMAIN",
+            Rcode::YxRrset => "YXRRSET",
+            Rcode::NxRrset => "NXRRSET",
+            Rcode::NotAuth => "NOTAUTH",
+            Rcode::NotZone => "NOTZONE",
+            Rcode::BadVers => "BADVERS",
+            Rcode::Unknown(_) => "UNKNOWN",
+        }
+    }
+}
+
+/// Decoded header flags, named as ZDNS reports them in JSON.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Flags {
+    /// QR: this message is a response.
+    pub response: bool,
+    /// Opcode (4 bits).
+    #[serde(skip)]
+    pub opcode: OpcodeField,
+    /// AA: the answer is authoritative.
+    pub authoritative: bool,
+    /// TC: the response was truncated (retry over TCP).
+    pub truncated: bool,
+    /// RD: recursion desired.
+    pub recursion_desired: bool,
+    /// RA: recursion available.
+    pub recursion_available: bool,
+    /// AD: data authenticated by DNSSEC (RFC 4035).
+    pub authenticated: bool,
+    /// CD: DNSSEC checking disabled.
+    pub checking_disabled: bool,
+    /// Z: the reserved bit; kept so fuzzed messages round-trip.
+    #[serde(skip)]
+    pub zero: bool,
+}
+
+/// Wrapper so `Flags` can derive `Default` with `Opcode::Query`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpcodeField(pub Opcode);
+
+impl Default for OpcodeField {
+    fn default() -> Self {
+        OpcodeField(Opcode::Query)
+    }
+}
+
+/// The fixed 12-octet message header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Header {
+    /// Transaction id.
+    pub id: u16,
+    /// Decoded flag bits.
+    pub flags: Flags,
+    /// 4-bit response code (the low bits; EDNS may extend it).
+    pub rcode_low: u8,
+    /// Entries in the question section.
+    pub qdcount: u16,
+    /// Entries in the answer section.
+    pub ancount: u16,
+    /// Entries in the authority section.
+    pub nscount: u16,
+    /// Entries in the additional section.
+    pub arcount: u16,
+}
+
+impl Header {
+    /// Encode the header.
+    pub fn encode(&self, w: &mut WireWriter) -> WireResult<()> {
+        w.write_u16(self.id)?;
+        let f = &self.flags;
+        let mut hi: u8 = 0;
+        if f.response {
+            hi |= 0x80;
+        }
+        hi |= f.opcode.0.to_u8() << 3;
+        if f.authoritative {
+            hi |= 0x04;
+        }
+        if f.truncated {
+            hi |= 0x02;
+        }
+        if f.recursion_desired {
+            hi |= 0x01;
+        }
+        let mut lo: u8 = 0;
+        if f.recursion_available {
+            lo |= 0x80;
+        }
+        if f.zero {
+            lo |= 0x40;
+        }
+        if f.authenticated {
+            lo |= 0x20;
+        }
+        if f.checking_disabled {
+            lo |= 0x10;
+        }
+        lo |= self.rcode_low & 0x0F;
+        w.write_u8(hi)?;
+        w.write_u8(lo)?;
+        w.write_u16(self.qdcount)?;
+        w.write_u16(self.ancount)?;
+        w.write_u16(self.nscount)?;
+        w.write_u16(self.arcount)
+    }
+
+    /// Decode the header.
+    pub fn decode(r: &mut WireReader<'_>) -> WireResult<Header> {
+        let id = r.read_u16("header id")?;
+        let hi = r.read_u8("header flags")?;
+        let lo = r.read_u8("header flags")?;
+        let flags = Flags {
+            response: hi & 0x80 != 0,
+            opcode: OpcodeField(Opcode::from_u8((hi >> 3) & 0x0F)),
+            authoritative: hi & 0x04 != 0,
+            truncated: hi & 0x02 != 0,
+            recursion_desired: hi & 0x01 != 0,
+            recursion_available: lo & 0x80 != 0,
+            zero: lo & 0x40 != 0,
+            authenticated: lo & 0x20 != 0,
+            checking_disabled: lo & 0x10 != 0,
+        };
+        Ok(Header {
+            id,
+            flags,
+            rcode_low: lo & 0x0F,
+            qdcount: r.read_u16("qdcount")?,
+            ancount: r.read_u16("ancount")?,
+            nscount: r.read_u16("nscount")?,
+            arcount: r.read_u16("arcount")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_roundtrip() {
+        let h = Header {
+            id: 0xBEEF,
+            flags: Flags {
+                response: true,
+                opcode: OpcodeField(Opcode::Query),
+                authoritative: true,
+                truncated: false,
+                recursion_desired: true,
+                recursion_available: true,
+                authenticated: false,
+                checking_disabled: true,
+                zero: false,
+            },
+            rcode_low: 3,
+            qdcount: 1,
+            ancount: 2,
+            nscount: 3,
+            arcount: 4,
+        };
+        let mut w = WireWriter::new();
+        h.encode(&mut w).unwrap();
+        let bytes = w.finish();
+        assert_eq!(bytes.len(), 12);
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(Header::decode(&mut r).unwrap(), h);
+    }
+
+    #[test]
+    fn all_opcodes_roundtrip() {
+        for v in 0..=15u8 {
+            assert_eq!(Opcode::from_u8(v).to_u8(), v);
+        }
+    }
+
+    #[test]
+    fn rcode_strings() {
+        assert_eq!(Rcode::NoError.as_str(), "NOERROR");
+        assert_eq!(Rcode::NxDomain.as_str(), "NXDOMAIN");
+        assert_eq!(Rcode::from_u16(2), Rcode::ServFail);
+        assert_eq!(Rcode::from_u16(4242), Rcode::Unknown(4242));
+        assert_eq!(Rcode::Unknown(4242).to_u16(), 4242);
+    }
+
+    #[test]
+    fn zero_bit_preserved() {
+        let mut h = Header::default();
+        h.flags.zero = true;
+        let mut w = WireWriter::new();
+        h.encode(&mut w).unwrap();
+        let bytes = w.finish();
+        let mut r = WireReader::new(&bytes);
+        assert!(Header::decode(&mut r).unwrap().flags.zero);
+    }
+}

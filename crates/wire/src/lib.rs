@@ -1,0 +1,41 @@
+//! # zdns-wire
+//!
+//! DNS wire-format codec for the ZDNS reproduction: domain names with
+//! RFC 1035 compression, the full message model, EDNS(0), and typed RDATA
+//! for every record type the ZDNS paper lists as supported (footnote 1).
+//!
+//! Design rules:
+//!
+//! * **Never panic on network input.** Every decode path is bounds-checked
+//!   and returns [`WireError`]; property tests drive arbitrary bytes through
+//!   [`Message::decode`].
+//! * **Lenient reads, strict writes.** Unknown types decode as opaque RDATA
+//!   (RFC 3597); compressed names are accepted anywhere but only emitted
+//!   where RFC 1035 allows.
+//! * **JSON is a first-class output.** [`json`] renders records and messages
+//!   in the shape ZDNS prints (paper Appendix C).
+
+#![warn(missing_docs)]
+
+mod buffer;
+mod edns;
+mod error;
+mod header;
+pub mod json;
+mod message;
+mod name;
+mod question;
+pub mod rdata;
+mod record;
+mod rtype;
+
+pub use buffer::{WireReader, WireWriter, MAX_MESSAGE_SIZE};
+pub use edns::{Edns, DEFAULT_UDP_PAYLOAD};
+pub use error::{WireError, WireResult};
+pub use header::{Flags, Header, Opcode, OpcodeField, Rcode};
+pub use message::{Message, RcodeField};
+pub use name::{Name, MAX_LABEL_LEN, MAX_NAME_LEN};
+pub use question::Question;
+pub use rdata::RData;
+pub use record::Record;
+pub use rtype::{RecordClass, RecordType};

@@ -1,0 +1,476 @@
+//! Domain names.
+//!
+//! `Name` stores the label sequence exactly as received (case preserved for
+//! display) but compares, hashes, and compresses case-insensitively, as DNS
+//! requires (RFC 1035 §2.3.3, RFC 4343).
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::net::{Ipv4Addr, Ipv6Addr};
+use std::str::FromStr;
+
+use crate::error::{WireError, WireResult};
+
+/// Maximum octets in a single label.
+pub const MAX_LABEL_LEN: usize = 63;
+/// Maximum octets of a name on the wire (labels + length octets + root).
+pub const MAX_NAME_LEN: usize = 255;
+
+/// A fully-qualified domain name as an ordered sequence of labels
+/// (most-specific first; the root is the empty sequence).
+#[derive(Debug, Clone, Default)]
+pub struct Name {
+    labels: Vec<Box<[u8]>>,
+}
+
+impl Name {
+    /// The DNS root (`.`).
+    pub fn root() -> Self {
+        Name { labels: Vec::new() }
+    }
+
+    /// Build from raw labels, validating length limits.
+    pub fn from_labels<I, L>(labels: I) -> WireResult<Self>
+    where
+        I: IntoIterator<Item = L>,
+        L: Into<Box<[u8]>>,
+    {
+        let labels: Vec<Box<[u8]>> = labels.into_iter().map(Into::into).collect();
+        let mut wire_len = 1usize;
+        for l in &labels {
+            if l.is_empty() || l.len() > MAX_LABEL_LEN {
+                return Err(WireError::LabelTooLong(l.len()));
+            }
+            wire_len += l.len() + 1;
+        }
+        if wire_len > MAX_NAME_LEN {
+            return Err(WireError::NameTooLong(wire_len));
+        }
+        Ok(Name { labels })
+    }
+
+    /// The labels, most-specific first.
+    pub fn labels(&self) -> &[Box<[u8]>] {
+        &self.labels
+    }
+
+    /// Number of labels (0 for the root).
+    pub fn label_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True for the root name.
+    pub fn is_root(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Octets this name occupies on the wire, uncompressed.
+    pub fn wire_len(&self) -> usize {
+        1 + self.labels.iter().map(|l| l.len() + 1).sum::<usize>()
+    }
+
+    /// The name with the most-specific label removed (`www.example.com` →
+    /// `example.com`); the root's parent is the root.
+    pub fn parent(&self) -> Name {
+        if self.labels.is_empty() {
+            return Name::root();
+        }
+        Name {
+            labels: self.labels[1..].to_vec(),
+        }
+    }
+
+    /// Prepend a label (`example.com`.child("www") → `www.example.com`).
+    pub fn child(&self, label: &str) -> WireResult<Name> {
+        let mut labels: Vec<Box<[u8]>> = Vec::with_capacity(self.labels.len() + 1);
+        labels.push(label.as_bytes().into());
+        labels.extend(self.labels.iter().cloned());
+        Name::from_labels(labels)
+    }
+
+    /// True if `self` equals `other` or is beneath it
+    /// (`www.example.com`.is_subdomain_of(`example.com`) == true).
+    pub fn is_subdomain_of(&self, other: &Name) -> bool {
+        if other.labels.len() > self.labels.len() {
+            return false;
+        }
+        let offset = self.labels.len() - other.labels.len();
+        self.labels[offset..]
+            .iter()
+            .zip(other.labels.iter())
+            .all(|(a, b)| eq_label(a, b))
+    }
+
+    /// Keep only the last `n` labels (`a.b.example.com`.suffix(2) →
+    /// `example.com`).
+    pub fn suffix(&self, n: usize) -> Name {
+        let n = n.min(self.labels.len());
+        Name {
+            labels: self.labels[self.labels.len() - n..].to_vec(),
+        }
+    }
+
+    /// Number of trailing labels shared with `other`.
+    pub fn common_suffix_len(&self, other: &Name) -> usize {
+        self.labels
+            .iter()
+            .rev()
+            .zip(other.labels.iter().rev())
+            .take_while(|(a, b)| eq_label(a, b))
+            .count()
+    }
+
+    /// Canonical (lowercased) key for a label suffix, used by the
+    /// compression table and cache keys.
+    pub(crate) fn suffix_key(labels: &[Box<[u8]>]) -> Vec<u8> {
+        let mut key = Vec::with_capacity(labels.iter().map(|l| l.len() + 1).sum());
+        for l in labels {
+            key.push(l.len() as u8);
+            key.extend(l.iter().map(|b| b.to_ascii_lowercase()));
+        }
+        key
+    }
+
+    /// Lowercased dotted string without the trailing dot (root → `"."`).
+    pub fn to_ascii_lower(&self) -> String {
+        if self.labels.is_empty() {
+            return ".".to_string();
+        }
+        let mut s = String::with_capacity(self.wire_len());
+        for (i, l) in self.labels.iter().enumerate() {
+            if i > 0 {
+                s.push('.');
+            }
+            for &b in l.iter() {
+                push_label_byte(&mut s, b.to_ascii_lowercase());
+            }
+        }
+        s
+    }
+
+    /// The reverse-DNS name for an IPv4 address
+    /// (`192.0.2.1` → `1.2.0.192.in-addr.arpa`).
+    pub fn reverse_ipv4(addr: Ipv4Addr) -> Name {
+        let o = addr.octets();
+        let text = format!("{}.{}.{}.{}.in-addr.arpa", o[3], o[2], o[1], o[0]);
+        text.parse().expect("reverse name is always valid")
+    }
+
+    /// The reverse-DNS name for an IPv6 address (nibble format under
+    /// `ip6.arpa`).
+    pub fn reverse_ipv6(addr: Ipv6Addr) -> Name {
+        let mut parts: Vec<String> = Vec::with_capacity(34);
+        for byte in addr.octets().iter().rev() {
+            parts.push(format!("{:x}", byte & 0x0f));
+            parts.push(format!("{:x}", byte >> 4));
+        }
+        parts.push("ip6".into());
+        parts.push("arpa".into());
+        parts.join(".").parse().expect("reverse name is always valid")
+    }
+}
+
+fn eq_label(a: &[u8], b: &[u8]) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b.iter())
+            .all(|(x, y)| x.to_ascii_lowercase() == y.to_ascii_lowercase())
+}
+
+fn push_label_byte(s: &mut String, b: u8) {
+    // Present non-printable / special bytes in the RFC 4343 \DDD form so
+    // malformed labels survive a round trip through text.
+    match b {
+        b'.' | b'\\' => {
+            s.push('\\');
+            s.push(b as char);
+        }
+        0x21..=0x7E => s.push(b as char),
+        _ => {
+            s.push('\\');
+            s.push_str(&format!("{b:03}"));
+        }
+    }
+}
+
+impl PartialEq for Name {
+    fn eq(&self, other: &Self) -> bool {
+        self.labels.len() == other.labels.len()
+            && self
+                .labels
+                .iter()
+                .zip(other.labels.iter())
+                .all(|(a, b)| eq_label(a, b))
+    }
+}
+
+impl Eq for Name {}
+
+impl Hash for Name {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        for l in &self.labels {
+            state.write_u8(l.len() as u8);
+            for &b in l.iter() {
+                state.write_u8(b.to_ascii_lowercase());
+            }
+        }
+    }
+}
+
+impl PartialOrd for Name {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Name {
+    /// Canonical DNS ordering (RFC 4034 §6.1): compare label sequences from
+    /// the root down, case-insensitively.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        let a = self.labels.iter().rev();
+        let b = other.labels.iter().rev();
+        for (la, lb) in a.zip(b) {
+            let la: Vec<u8> = la.iter().map(|c| c.to_ascii_lowercase()).collect();
+            let lb: Vec<u8> = lb.iter().map(|c| c.to_ascii_lowercase()).collect();
+            match la.cmp(&lb) {
+                std::cmp::Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        self.labels.len().cmp(&other.labels.len())
+    }
+}
+
+impl fmt::Display for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.labels.is_empty() {
+            return f.write_str(".");
+        }
+        for (i, l) in self.labels.iter().enumerate() {
+            if i > 0 {
+                f.write_str(".")?;
+            }
+            let mut s = String::new();
+            for &b in l.iter() {
+                push_label_byte(&mut s, b);
+            }
+            f.write_str(&s)?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for Name {
+    type Err = WireError;
+
+    /// Parse a dotted name. Accepts an optional trailing dot; `.` and the
+    /// empty string are the root. Supports `\.`, `\\`, and `\DDD` escapes.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.is_empty() || s == "." {
+            return Ok(Name::root());
+        }
+        // Strip one trailing root dot, but only if it is not escaped
+        // (an odd number of preceding backslashes means `\.` is data).
+        let s = match s.strip_suffix('.') {
+            Some(head) => {
+                let trailing_backslashes = head.bytes().rev().take_while(|&b| b == b'\\').count();
+                if trailing_backslashes % 2 == 0 {
+                    head
+                } else {
+                    s
+                }
+            }
+            None => s,
+        };
+        let mut labels: Vec<Box<[u8]>> = Vec::new();
+        let mut current: Vec<u8> = Vec::new();
+        let mut chars = s.bytes().peekable();
+        while let Some(b) = chars.next() {
+            match b {
+                b'.' => {
+                    if current.is_empty() {
+                        return Err(WireError::BadNameText(s.to_string()));
+                    }
+                    labels.push(std::mem::take(&mut current).into());
+                }
+                b'\\' => {
+                    let next = chars
+                        .next()
+                        .ok_or_else(|| WireError::BadNameText(s.to_string()))?;
+                    if next.is_ascii_digit() {
+                        let d2 = chars
+                            .next()
+                            .ok_or_else(|| WireError::BadNameText(s.to_string()))?;
+                        let d3 = chars
+                            .next()
+                            .ok_or_else(|| WireError::BadNameText(s.to_string()))?;
+                        if !d2.is_ascii_digit() || !d3.is_ascii_digit() {
+                            return Err(WireError::BadNameText(s.to_string()));
+                        }
+                        let val = (next - b'0') as u32 * 100
+                            + (d2 - b'0') as u32 * 10
+                            + (d3 - b'0') as u32;
+                        if val > 255 {
+                            return Err(WireError::BadNameText(s.to_string()));
+                        }
+                        current.push(val as u8);
+                    } else {
+                        current.push(next);
+                    }
+                }
+                other => current.push(other),
+            }
+        }
+        if current.is_empty() {
+            return Err(WireError::BadNameText(s.to_string()));
+        }
+        labels.push(current.into());
+        Name::from_labels(labels)
+    }
+}
+
+impl serde::Serialize for Name {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(&self.to_string())
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for Name {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(deserializer)?;
+        s.parse().map_err(serde::de::Error::custom)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display() {
+        let n: Name = "WWW.Example.COM".parse().unwrap();
+        assert_eq!(n.label_count(), 3);
+        assert_eq!(n.to_string(), "WWW.Example.COM");
+        assert_eq!(n.to_ascii_lower(), "www.example.com");
+    }
+
+    #[test]
+    fn trailing_dot_accepted() {
+        let a: Name = "example.com.".parse().unwrap();
+        let b: Name = "example.com".parse().unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn root_forms() {
+        assert!(Name::root().is_root());
+        assert_eq!(".".parse::<Name>().unwrap(), Name::root());
+        assert_eq!("".parse::<Name>().unwrap(), Name::root());
+        assert_eq!(Name::root().to_string(), ".");
+    }
+
+    #[test]
+    fn empty_label_rejected() {
+        assert!("a..b".parse::<Name>().is_err());
+        assert!(".a".parse::<Name>().is_err());
+    }
+
+    #[test]
+    fn case_insensitive_eq_and_hash() {
+        use std::collections::hash_map::DefaultHasher;
+        let a: Name = "ExAmPlE.CoM".parse().unwrap();
+        let b: Name = "example.com".parse().unwrap();
+        assert_eq!(a, b);
+        let mut ha = DefaultHasher::new();
+        let mut hb = DefaultHasher::new();
+        a.hash(&mut ha);
+        b.hash(&mut hb);
+        assert_eq!(ha.finish(), hb.finish());
+    }
+
+    #[test]
+    fn parent_and_child() {
+        let n: Name = "www.example.com".parse().unwrap();
+        assert_eq!(n.parent().to_string(), "example.com");
+        assert_eq!(
+            n.parent().child("mail").unwrap().to_string(),
+            "mail.example.com"
+        );
+        assert_eq!(Name::root().parent(), Name::root());
+    }
+
+    #[test]
+    fn subdomain_checks() {
+        let sub: Name = "a.b.example.com".parse().unwrap();
+        let apex: Name = "example.com".parse().unwrap();
+        let other: Name = "example.org".parse().unwrap();
+        assert!(sub.is_subdomain_of(&apex));
+        assert!(sub.is_subdomain_of(&Name::root()));
+        assert!(apex.is_subdomain_of(&apex));
+        assert!(!sub.is_subdomain_of(&other));
+        assert!(!apex.is_subdomain_of(&sub));
+    }
+
+    #[test]
+    fn label_length_limits() {
+        let long = "a".repeat(64);
+        assert!(long.parse::<Name>().is_err());
+        let ok = "a".repeat(63);
+        assert!(ok.parse::<Name>().is_ok());
+    }
+
+    #[test]
+    fn name_length_limit() {
+        // Four 63-octet labels = 4*64+1 = 257 > 255.
+        let l = "a".repeat(63);
+        let too_long = format!("{l}.{l}.{l}.{l}");
+        assert!(too_long.parse::<Name>().is_err());
+    }
+
+    #[test]
+    fn reverse_ipv4_name() {
+        let n = Name::reverse_ipv4(Ipv4Addr::new(192, 0, 2, 1));
+        assert_eq!(n.to_string(), "1.2.0.192.in-addr.arpa");
+    }
+
+    #[test]
+    fn reverse_ipv6_name() {
+        let n = Name::reverse_ipv6("2001:db8::1".parse().unwrap());
+        assert!(n.to_string().ends_with("ip6.arpa"));
+        assert_eq!(n.label_count(), 34);
+    }
+
+    #[test]
+    fn escaped_dot_roundtrip() {
+        let n: Name = r"a\.b.example.com".parse().unwrap();
+        assert_eq!(n.label_count(), 3);
+        assert_eq!(n.to_string(), r"a\.b.example.com");
+        let reparsed: Name = n.to_string().parse().unwrap();
+        assert_eq!(n, reparsed);
+    }
+
+    #[test]
+    fn decimal_escape_roundtrip() {
+        let n: Name = r"a\000b.example".parse().unwrap();
+        assert_eq!(n.labels()[0].as_ref(), b"a\x00b");
+        let reparsed: Name = n.to_string().parse().unwrap();
+        assert_eq!(n, reparsed);
+    }
+
+    #[test]
+    fn canonical_ordering() {
+        let a: Name = "a.example".parse().unwrap();
+        let b: Name = "z.a.example".parse().unwrap();
+        let c: Name = "b.example".parse().unwrap();
+        // RFC 4034 §6.1 canonical order: a.example < z.a.example < b.example
+        assert!(a < b);
+        assert!(b < c);
+    }
+
+    #[test]
+    fn common_suffix() {
+        let a: Name = "mail.example.com".parse().unwrap();
+        let b: Name = "www.example.com".parse().unwrap();
+        assert_eq!(a.common_suffix_len(&b), 2);
+    }
+}

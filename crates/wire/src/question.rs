@@ -1,0 +1,80 @@
+//! The question section entry.
+
+use serde::{Deserialize, Serialize};
+
+use crate::buffer::{WireReader, WireWriter};
+use crate::error::WireResult;
+use crate::name::Name;
+use crate::rtype::{RecordClass, RecordType};
+
+/// A DNS question: name, QTYPE, QCLASS.
+///
+/// This mirrors the `miekg.Question` the paper's example module constructs:
+/// `Question{Name, Type, Class}`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Question {
+    /// Name being queried.
+    pub name: Name,
+    /// Query type.
+    #[serde(rename = "type")]
+    pub qtype: RecordType,
+    /// Query class (almost always IN; CH for `version.bind`).
+    pub qclass: RecordClass,
+}
+
+impl Question {
+    /// Convenience constructor for the common IN-class case.
+    pub fn new(name: Name, qtype: RecordType) -> Self {
+        Question {
+            name,
+            qtype,
+            qclass: RecordClass::IN,
+        }
+    }
+
+    /// Encode into a message body.
+    pub fn encode(&self, w: &mut WireWriter) -> WireResult<()> {
+        w.write_name(&self.name)?;
+        w.write_u16(self.qtype.to_u16())?;
+        w.write_u16(self.qclass.to_u16())
+    }
+
+    /// Decode from a message body.
+    pub fn decode(r: &mut WireReader<'_>) -> WireResult<Question> {
+        let name = r.read_name()?;
+        let qtype = RecordType::from_u16(r.read_u16("question type")?);
+        let qclass = RecordClass::from_u16(r.read_u16("question class")?);
+        Ok(Question { name, qtype, qclass })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn question_roundtrip() {
+        let q = Question::new("example.com".parse().unwrap(), RecordType::MX);
+        let mut w = WireWriter::new();
+        q.encode(&mut w).unwrap();
+        let bytes = w.finish();
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(Question::decode(&mut r).unwrap(), q);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn chaos_class_question() {
+        let q = Question {
+            name: "version.bind".parse().unwrap(),
+            qtype: RecordType::TXT,
+            qclass: RecordClass::CH,
+        };
+        let mut w = WireWriter::new();
+        q.encode(&mut w).unwrap();
+        let bytes = w.finish();
+        let mut r = WireReader::new(&bytes);
+        let decoded = Question::decode(&mut r).unwrap();
+        assert_eq!(decoded.qclass, RecordClass::CH);
+    }
+}

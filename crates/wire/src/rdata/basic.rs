@@ -1,0 +1,478 @@
+//! The classic RFC 1035 record bodies plus their close relatives.
+
+use crate::buffer::{WireReader, WireWriter};
+use crate::error::WireResult;
+use crate::name::Name;
+
+/// SOA: zone of authority metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Soa {
+    /// Primary master name server.
+    pub mname: Name,
+    /// Responsible mailbox (dots-as-at encoding).
+    pub rname: Name,
+    /// Zone serial number.
+    pub serial: u32,
+    /// Secondary refresh interval (seconds).
+    pub refresh: u32,
+    /// Retry interval after failed refresh (seconds).
+    pub retry: u32,
+    /// Expiry of zone data on secondaries (seconds).
+    pub expire: u32,
+    /// Negative-caching TTL (RFC 2308 reinterpretation of MINIMUM).
+    pub minimum: u32,
+}
+
+impl Soa {
+    pub(crate) fn encode(&self, w: &mut WireWriter) -> WireResult<()> {
+        w.write_name_uncompressed(&self.mname)?;
+        w.write_name_uncompressed(&self.rname)?;
+        w.write_u32(self.serial)?;
+        w.write_u32(self.refresh)?;
+        w.write_u32(self.retry)?;
+        w.write_u32(self.expire)?;
+        w.write_u32(self.minimum)
+    }
+
+    pub(crate) fn decode(r: &mut WireReader<'_>) -> WireResult<Soa> {
+        Ok(Soa {
+            mname: r.read_name()?,
+            rname: r.read_name()?,
+            serial: r.read_u32("SOA serial")?,
+            refresh: r.read_u32("SOA refresh")?,
+            retry: r.read_u32("SOA retry")?,
+            expire: r.read_u32("SOA expire")?,
+            minimum: r.read_u32("SOA minimum")?,
+        })
+    }
+}
+
+/// MX: mail exchange with preference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mx {
+    /// Lower is preferred.
+    pub preference: u16,
+    /// Host that accepts mail.
+    pub exchange: Name,
+}
+
+impl Mx {
+    pub(crate) fn encode(&self, w: &mut WireWriter) -> WireResult<()> {
+        w.write_u16(self.preference)?;
+        w.write_name_uncompressed(&self.exchange)
+    }
+
+    pub(crate) fn decode(r: &mut WireReader<'_>) -> WireResult<Mx> {
+        Ok(Mx {
+            preference: r.read_u16("MX preference")?,
+            exchange: r.read_name()?,
+        })
+    }
+}
+
+/// TXT and TXT-shaped types: one or more `<character-string>`s.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TxtData {
+    /// The raw strings, each at most 255 octets.
+    pub strings: Vec<Vec<u8>>,
+}
+
+impl TxtData {
+    /// Build from one string, splitting at the 255-octet limit the way
+    /// publishing tools do for long SPF/DKIM records.
+    pub fn from_text(text: &str) -> TxtData {
+        let bytes = text.as_bytes();
+        let strings = if bytes.is_empty() {
+            vec![Vec::new()]
+        } else {
+            bytes.chunks(255).map(|c| c.to_vec()).collect()
+        };
+        TxtData { strings }
+    }
+
+    /// All strings concatenated and lossy-decoded — what `CheckTxtRecords`
+    /// style module logic matches against.
+    pub fn joined(&self) -> String {
+        let total: Vec<u8> = self.strings.iter().flatten().copied().collect();
+        String::from_utf8_lossy(&total).into_owned()
+    }
+
+    pub(crate) fn encode(&self, w: &mut WireWriter) -> WireResult<()> {
+        // An empty TXT is a single empty character-string.
+        if self.strings.is_empty() {
+            return w.write_char_string(&[]);
+        }
+        for s in &self.strings {
+            w.write_char_string(s)?;
+        }
+        Ok(())
+    }
+
+    pub(crate) fn decode(r: &mut WireReader<'_>, end: usize) -> WireResult<TxtData> {
+        let mut strings = Vec::new();
+        while r.position() < end {
+            strings.push(r.read_char_string("TXT string")?);
+        }
+        Ok(TxtData { strings })
+    }
+}
+
+/// SRV: service location (RFC 2782).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Srv {
+    /// Lower is tried first.
+    pub priority: u16,
+    /// Relative weight among same-priority targets.
+    pub weight: u16,
+    /// Service port.
+    pub port: u16,
+    /// Target host (`.` means "service not available").
+    pub target: Name,
+}
+
+impl Srv {
+    pub(crate) fn encode(&self, w: &mut WireWriter) -> WireResult<()> {
+        w.write_u16(self.priority)?;
+        w.write_u16(self.weight)?;
+        w.write_u16(self.port)?;
+        w.write_name_uncompressed(&self.target)
+    }
+
+    pub(crate) fn decode(r: &mut WireReader<'_>) -> WireResult<Srv> {
+        Ok(Srv {
+            priority: r.read_u16("SRV priority")?,
+            weight: r.read_u16("SRV weight")?,
+            port: r.read_u16("SRV port")?,
+            target: r.read_name()?,
+        })
+    }
+}
+
+/// NAPTR: naming authority pointer (RFC 3403).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Naptr {
+    /// Processing order, lowest first.
+    pub order: u16,
+    /// Preference among equal orders.
+    pub preference: u16,
+    /// Flags string (e.g. `"S"`, `"U"`).
+    pub flags: Vec<u8>,
+    /// Service parameters (e.g. `"SIP+D2U"`).
+    pub service: Vec<u8>,
+    /// Substitution regexp.
+    pub regexp: Vec<u8>,
+    /// Replacement name when regexp is empty.
+    pub replacement: Name,
+}
+
+impl Naptr {
+    pub(crate) fn encode(&self, w: &mut WireWriter) -> WireResult<()> {
+        w.write_u16(self.order)?;
+        w.write_u16(self.preference)?;
+        w.write_char_string(&self.flags)?;
+        w.write_char_string(&self.service)?;
+        w.write_char_string(&self.regexp)?;
+        w.write_name_uncompressed(&self.replacement)
+    }
+
+    pub(crate) fn decode(r: &mut WireReader<'_>) -> WireResult<Naptr> {
+        Ok(Naptr {
+            order: r.read_u16("NAPTR order")?,
+            preference: r.read_u16("NAPTR preference")?,
+            flags: r.read_char_string("NAPTR flags")?,
+            service: r.read_char_string("NAPTR service")?,
+            regexp: r.read_char_string("NAPTR regexp")?,
+            replacement: r.read_name()?,
+        })
+    }
+}
+
+/// RP: responsible person (RFC 1183).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rp {
+    /// Mailbox of the responsible person.
+    pub mbox: Name,
+    /// Name holding an explanatory TXT record.
+    pub txt: Name,
+}
+
+impl Rp {
+    pub(crate) fn encode(&self, w: &mut WireWriter) -> WireResult<()> {
+        w.write_name_uncompressed(&self.mbox)?;
+        w.write_name_uncompressed(&self.txt)
+    }
+
+    pub(crate) fn decode(r: &mut WireReader<'_>) -> WireResult<Rp> {
+        Ok(Rp {
+            mbox: r.read_name()?,
+            txt: r.read_name()?,
+        })
+    }
+}
+
+/// AFSDB: AFS database location (RFC 1183).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Afsdb {
+    /// 1 = AFS cell database, 2 = DCE authenticated server.
+    pub subtype: u16,
+    /// Host with the database.
+    pub hostname: Name,
+}
+
+impl Afsdb {
+    pub(crate) fn encode(&self, w: &mut WireWriter) -> WireResult<()> {
+        w.write_u16(self.subtype)?;
+        w.write_name_uncompressed(&self.hostname)
+    }
+
+    pub(crate) fn decode(r: &mut WireReader<'_>) -> WireResult<Afsdb> {
+        Ok(Afsdb {
+            subtype: r.read_u16("AFSDB subtype")?,
+            hostname: r.read_name()?,
+        })
+    }
+}
+
+/// PX: X.400 address mapping (RFC 2163).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Px {
+    /// Lower is preferred.
+    pub preference: u16,
+    /// RFC 822 domain.
+    pub map822: Name,
+    /// X.400 domain.
+    pub mapx400: Name,
+}
+
+impl Px {
+    pub(crate) fn encode(&self, w: &mut WireWriter) -> WireResult<()> {
+        w.write_u16(self.preference)?;
+        w.write_name_uncompressed(&self.map822)?;
+        w.write_name_uncompressed(&self.mapx400)
+    }
+
+    pub(crate) fn decode(r: &mut WireReader<'_>) -> WireResult<Px> {
+        Ok(Px {
+            preference: r.read_u16("PX preference")?,
+            map822: r.read_name()?,
+            mapx400: r.read_name()?,
+        })
+    }
+}
+
+/// KX: key exchanger (RFC 2230).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Kx {
+    /// Lower is preferred.
+    pub preference: u16,
+    /// Key exchange host.
+    pub exchanger: Name,
+}
+
+impl Kx {
+    pub(crate) fn encode(&self, w: &mut WireWriter) -> WireResult<()> {
+        w.write_u16(self.preference)?;
+        w.write_name_uncompressed(&self.exchanger)
+    }
+
+    pub(crate) fn decode(r: &mut WireReader<'_>) -> WireResult<Kx> {
+        Ok(Kx {
+            preference: r.read_u16("KX preference")?,
+            exchanger: r.read_name()?,
+        })
+    }
+}
+
+/// RT: route through (RFC 1183, obsolete).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rt {
+    /// Lower is preferred.
+    pub preference: u16,
+    /// Intermediate host.
+    pub host: Name,
+}
+
+impl Rt {
+    pub(crate) fn encode(&self, w: &mut WireWriter) -> WireResult<()> {
+        w.write_u16(self.preference)?;
+        w.write_name_uncompressed(&self.host)
+    }
+
+    pub(crate) fn decode(r: &mut WireReader<'_>) -> WireResult<Rt> {
+        Ok(Rt {
+            preference: r.read_u16("RT preference")?,
+            host: r.read_name()?,
+        })
+    }
+}
+
+/// TALINK: trust anchor link (draft, historic).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Talink {
+    /// Previous name in the chain.
+    pub previous: Name,
+    /// Next name in the chain.
+    pub next: Name,
+}
+
+impl Talink {
+    pub(crate) fn encode(&self, w: &mut WireWriter) -> WireResult<()> {
+        w.write_name_uncompressed(&self.previous)?;
+        w.write_name_uncompressed(&self.next)
+    }
+
+    pub(crate) fn decode(r: &mut WireReader<'_>) -> WireResult<Talink> {
+        Ok(Talink {
+            previous: r.read_name()?,
+            next: r.read_name()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rdata::RData;
+    use crate::rtype::RecordType;
+
+    fn roundtrip(rtype: RecordType, rdata: &RData) {
+        let mut w = WireWriter::new();
+        rdata.encode(&mut w).unwrap();
+        let bytes = w.finish();
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(&RData::decode(rtype, bytes.len(), &mut r).unwrap(), rdata);
+    }
+
+    #[test]
+    fn soa_roundtrip() {
+        roundtrip(
+            RecordType::SOA,
+            &RData::Soa(Soa {
+                mname: "ns1.example.com".parse().unwrap(),
+                rname: "hostmaster.example.com".parse().unwrap(),
+                serial: 2022_05_18,
+                refresh: 7200,
+                retry: 3600,
+                expire: 1209600,
+                minimum: 300,
+            }),
+        );
+    }
+
+    #[test]
+    fn mx_roundtrip() {
+        roundtrip(
+            RecordType::MX,
+            &RData::Mx(Mx {
+                preference: 10,
+                exchange: "mail.example.com".parse().unwrap(),
+            }),
+        );
+    }
+
+    #[test]
+    fn txt_multi_string_roundtrip() {
+        roundtrip(
+            RecordType::TXT,
+            &RData::Txt(TxtData {
+                strings: vec![b"v=spf1 ".to_vec(), b"-all".to_vec()],
+            }),
+        );
+    }
+
+    #[test]
+    fn txt_empty_encodes_one_empty_string() {
+        let mut w = WireWriter::new();
+        RData::Txt(TxtData::default()).encode(&mut w).unwrap();
+        assert_eq!(w.finish(), vec![0u8]);
+    }
+
+    #[test]
+    fn txt_long_text_split_at_255() {
+        let long = "a".repeat(600);
+        let t = TxtData::from_text(&long);
+        assert_eq!(t.strings.len(), 3);
+        assert_eq!(t.strings[0].len(), 255);
+        assert_eq!(t.strings[2].len(), 90);
+        assert_eq!(t.joined(), long);
+    }
+
+    #[test]
+    fn srv_roundtrip() {
+        roundtrip(
+            RecordType::SRV,
+            &RData::Srv(Srv {
+                priority: 0,
+                weight: 5,
+                port: 5060,
+                target: "sip.example.com".parse().unwrap(),
+            }),
+        );
+    }
+
+    #[test]
+    fn naptr_roundtrip() {
+        roundtrip(
+            RecordType::NAPTR,
+            &RData::Naptr(Naptr {
+                order: 100,
+                preference: 50,
+                flags: b"S".to_vec(),
+                service: b"SIP+D2U".to_vec(),
+                regexp: Vec::new(),
+                replacement: "_sip._udp.example.com".parse().unwrap(),
+            }),
+        );
+    }
+
+    #[test]
+    fn two_name_types_roundtrip() {
+        roundtrip(
+            RecordType::RP,
+            &RData::Rp(Rp {
+                mbox: "admin.example.com".parse().unwrap(),
+                txt: "info.example.com".parse().unwrap(),
+            }),
+        );
+        roundtrip(
+            RecordType::TALINK,
+            &RData::Talink(Talink {
+                previous: "a.example".parse().unwrap(),
+                next: "b.example".parse().unwrap(),
+            }),
+        );
+        roundtrip(
+            RecordType::PX,
+            &RData::Px(Px {
+                preference: 10,
+                map822: "example.com".parse().unwrap(),
+                mapx400: "px400.example.com".parse().unwrap(),
+            }),
+        );
+    }
+
+    #[test]
+    fn preference_name_types_roundtrip() {
+        roundtrip(
+            RecordType::AFSDB,
+            &RData::Afsdb(Afsdb {
+                subtype: 1,
+                hostname: "afs.example.com".parse().unwrap(),
+            }),
+        );
+        roundtrip(
+            RecordType::KX,
+            &RData::Kx(Kx {
+                preference: 5,
+                exchanger: "kx.example.com".parse().unwrap(),
+            }),
+        );
+        roundtrip(
+            RecordType::RT,
+            &RData::Rt(Rt {
+                preference: 2,
+                host: "relay.example.com".parse().unwrap(),
+            }),
+        );
+    }
+}

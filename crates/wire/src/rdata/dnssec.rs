@@ -1,0 +1,539 @@
+//! DNSSEC record bodies and the NSEC-style type bitmap.
+
+use crate::buffer::{WireReader, WireWriter};
+use crate::error::{WireError, WireResult};
+use crate::name::Name;
+use crate::rtype::RecordType;
+
+/// The windowed type bitmap used by NSEC, NSEC3, and CSYNC (RFC 4034 §4.1.2).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TypeBitmap {
+    /// The types present, kept sorted and deduplicated.
+    types: Vec<RecordType>,
+}
+
+impl TypeBitmap {
+    /// Build from a list of types.
+    pub fn from_types<I: IntoIterator<Item = RecordType>>(types: I) -> TypeBitmap {
+        let mut v: Vec<u16> = types.into_iter().map(|t| t.to_u16()).collect();
+        v.sort_unstable();
+        v.dedup();
+        TypeBitmap {
+            types: v.into_iter().map(RecordType::from_u16).collect(),
+        }
+    }
+
+    /// The contained types, ascending by numeric value.
+    pub fn types(&self) -> &[RecordType] {
+        &self.types
+    }
+
+    /// Membership test.
+    pub fn contains(&self, t: RecordType) -> bool {
+        self.types.binary_search_by_key(&t.to_u16(), |x| x.to_u16()).is_ok()
+    }
+
+    pub(crate) fn encode(&self, w: &mut WireWriter) -> WireResult<()> {
+        // Group types by 256-wide windows.
+        let mut idx = 0;
+        while idx < self.types.len() {
+            let window = (self.types[idx].to_u16() >> 8) as u8;
+            let mut bitmap = [0u8; 32];
+            let mut max_byte = 0usize;
+            while idx < self.types.len() && (self.types[idx].to_u16() >> 8) as u8 == window {
+                let low = (self.types[idx].to_u16() & 0xFF) as usize;
+                bitmap[low / 8] |= 0x80 >> (low % 8);
+                max_byte = max_byte.max(low / 8);
+                idx += 1;
+            }
+            w.write_u8(window)?;
+            w.write_u8((max_byte + 1) as u8)?;
+            w.write_bytes(&bitmap[..=max_byte])?;
+        }
+        Ok(())
+    }
+
+    pub(crate) fn decode(r: &mut WireReader<'_>, end: usize) -> WireResult<TypeBitmap> {
+        let mut types = Vec::new();
+        let mut last_window: Option<u8> = None;
+        while r.position() < end {
+            let window = r.read_u8("bitmap window")?;
+            if let Some(prev) = last_window {
+                // Windows must be ascending; repeats indicate corruption.
+                if window <= prev {
+                    return Err(WireError::InvalidValue { field: "bitmap window order" });
+                }
+            }
+            last_window = Some(window);
+            let len = r.read_u8("bitmap length")? as usize;
+            if len == 0 || len > 32 {
+                return Err(WireError::InvalidValue { field: "bitmap length" });
+            }
+            let bytes = r.read_bytes(len, "bitmap data")?;
+            for (byte_idx, &b) in bytes.iter().enumerate() {
+                for bit in 0..8 {
+                    if b & (0x80 >> bit) != 0 {
+                        let value = (window as u16) << 8 | (byte_idx * 8 + bit) as u16;
+                        types.push(RecordType::from_u16(value));
+                    }
+                }
+            }
+        }
+        Ok(TypeBitmap { types })
+    }
+}
+
+/// DS / CDS: delegation signer digest (RFC 4034 §5).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ds {
+    /// Key tag of the referenced DNSKEY.
+    pub key_tag: u16,
+    /// DNSSEC algorithm number.
+    pub algorithm: u8,
+    /// Digest algorithm (1=SHA-1, 2=SHA-256, ...).
+    pub digest_type: u8,
+    /// The digest bytes.
+    pub digest: Vec<u8>,
+}
+
+impl Ds {
+    pub(crate) fn encode(&self, w: &mut WireWriter) -> WireResult<()> {
+        w.write_u16(self.key_tag)?;
+        w.write_u8(self.algorithm)?;
+        w.write_u8(self.digest_type)?;
+        w.write_bytes(&self.digest)
+    }
+
+    pub(crate) fn decode(r: &mut WireReader<'_>, end: usize) -> WireResult<Ds> {
+        let key_tag = r.read_u16("DS key tag")?;
+        let algorithm = r.read_u8("DS algorithm")?;
+        let digest_type = r.read_u8("DS digest type")?;
+        let remaining = end.saturating_sub(r.position());
+        Ok(Ds {
+            key_tag,
+            algorithm,
+            digest_type,
+            digest: r.read_bytes(remaining, "DS digest")?.to_vec(),
+        })
+    }
+}
+
+/// DNSKEY / CDNSKEY / legacy KEY: a public key (RFC 4034 §2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dnskey {
+    /// Flags (bit 7 = zone key, bit 15 = SEP).
+    pub flags: u16,
+    /// Always 3 for DNSSEC.
+    pub protocol: u8,
+    /// DNSSEC algorithm number.
+    pub algorithm: u8,
+    /// Public key bytes.
+    pub public_key: Vec<u8>,
+}
+
+impl Dnskey {
+    /// RFC 4034 Appendix B key tag.
+    pub fn key_tag(&self) -> u16 {
+        let mut rdata = Vec::with_capacity(4 + self.public_key.len());
+        rdata.extend_from_slice(&self.flags.to_be_bytes());
+        rdata.push(self.protocol);
+        rdata.push(self.algorithm);
+        rdata.extend_from_slice(&self.public_key);
+        let mut acc: u32 = 0;
+        for (i, &b) in rdata.iter().enumerate() {
+            acc += if i % 2 == 0 { (b as u32) << 8 } else { b as u32 };
+        }
+        acc += (acc >> 16) & 0xFFFF;
+        (acc & 0xFFFF) as u16
+    }
+
+    pub(crate) fn encode(&self, w: &mut WireWriter) -> WireResult<()> {
+        w.write_u16(self.flags)?;
+        w.write_u8(self.protocol)?;
+        w.write_u8(self.algorithm)?;
+        w.write_bytes(&self.public_key)
+    }
+
+    pub(crate) fn decode(r: &mut WireReader<'_>, end: usize) -> WireResult<Dnskey> {
+        let flags = r.read_u16("DNSKEY flags")?;
+        let protocol = r.read_u8("DNSKEY protocol")?;
+        let algorithm = r.read_u8("DNSKEY algorithm")?;
+        let remaining = end.saturating_sub(r.position());
+        Ok(Dnskey {
+            flags,
+            protocol,
+            algorithm,
+            public_key: r.read_bytes(remaining, "DNSKEY key")?.to_vec(),
+        })
+    }
+}
+
+/// RRSIG: a signature over an RRset (RFC 4034 §3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rrsig {
+    /// Type of the covered RRset.
+    pub type_covered: RecordType,
+    /// DNSSEC algorithm number.
+    pub algorithm: u8,
+    /// Labels in the owner name (wildcard detection).
+    pub labels: u8,
+    /// TTL of the covered RRset at signing time.
+    pub original_ttl: u32,
+    /// Signature expiration (UNIX seconds).
+    pub expiration: u32,
+    /// Signature inception (UNIX seconds).
+    pub inception: u32,
+    /// Key tag of the signing DNSKEY.
+    pub key_tag: u16,
+    /// Name of the signing zone.
+    pub signer: Name,
+    /// Signature bytes.
+    pub signature: Vec<u8>,
+}
+
+impl Rrsig {
+    pub(crate) fn encode(&self, w: &mut WireWriter) -> WireResult<()> {
+        w.write_u16(self.type_covered.to_u16())?;
+        w.write_u8(self.algorithm)?;
+        w.write_u8(self.labels)?;
+        w.write_u32(self.original_ttl)?;
+        w.write_u32(self.expiration)?;
+        w.write_u32(self.inception)?;
+        w.write_u16(self.key_tag)?;
+        // RFC 4034 §3.1.7: signer name MUST NOT be compressed.
+        w.write_name_uncompressed(&self.signer)?;
+        w.write_bytes(&self.signature)
+    }
+
+    pub(crate) fn decode(r: &mut WireReader<'_>, end: usize) -> WireResult<Rrsig> {
+        let type_covered = RecordType::from_u16(r.read_u16("RRSIG type covered")?);
+        let algorithm = r.read_u8("RRSIG algorithm")?;
+        let labels = r.read_u8("RRSIG labels")?;
+        let original_ttl = r.read_u32("RRSIG original ttl")?;
+        let expiration = r.read_u32("RRSIG expiration")?;
+        let inception = r.read_u32("RRSIG inception")?;
+        let key_tag = r.read_u16("RRSIG key tag")?;
+        let signer = r.read_name()?;
+        let remaining = end.saturating_sub(r.position());
+        Ok(Rrsig {
+            type_covered,
+            algorithm,
+            labels,
+            original_ttl,
+            expiration,
+            inception,
+            key_tag,
+            signer,
+            signature: r.read_bytes(remaining, "RRSIG signature")?.to_vec(),
+        })
+    }
+}
+
+/// NSEC: next secure name + type bitmap (RFC 4034 §4).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Nsec {
+    /// Next owner name in canonical zone order.
+    pub next: Name,
+    /// Types present at this owner name.
+    pub types: TypeBitmap,
+}
+
+impl Nsec {
+    pub(crate) fn encode(&self, w: &mut WireWriter) -> WireResult<()> {
+        w.write_name_uncompressed(&self.next)?;
+        self.types.encode(w)
+    }
+
+    pub(crate) fn decode(r: &mut WireReader<'_>, end: usize) -> WireResult<Nsec> {
+        Ok(Nsec {
+            next: r.read_name()?,
+            types: TypeBitmap::decode(r, end)?,
+        })
+    }
+}
+
+/// NSEC3: hashed denial of existence (RFC 5155).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Nsec3 {
+    /// Hash algorithm (1 = SHA-1).
+    pub algorithm: u8,
+    /// Flags (bit 0 = opt-out).
+    pub flags: u8,
+    /// Additional hash iterations.
+    pub iterations: u16,
+    /// Salt (empty allowed).
+    pub salt: Vec<u8>,
+    /// Hash of the next owner name.
+    pub next_hashed: Vec<u8>,
+    /// Types present at the original owner name.
+    pub types: TypeBitmap,
+}
+
+impl Nsec3 {
+    pub(crate) fn encode(&self, w: &mut WireWriter) -> WireResult<()> {
+        w.write_u8(self.algorithm)?;
+        w.write_u8(self.flags)?;
+        w.write_u16(self.iterations)?;
+        w.write_char_string(&self.salt)?;
+        w.write_char_string(&self.next_hashed)?;
+        self.types.encode(w)
+    }
+
+    pub(crate) fn decode(r: &mut WireReader<'_>, end: usize) -> WireResult<Nsec3> {
+        Ok(Nsec3 {
+            algorithm: r.read_u8("NSEC3 algorithm")?,
+            flags: r.read_u8("NSEC3 flags")?,
+            iterations: r.read_u16("NSEC3 iterations")?,
+            salt: r.read_char_string("NSEC3 salt")?,
+            next_hashed: r.read_char_string("NSEC3 next hash")?,
+            types: TypeBitmap::decode(r, end)?,
+        })
+    }
+}
+
+/// NSEC3PARAM: zone-wide NSEC3 parameters (RFC 5155 §4).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Nsec3Param {
+    /// Hash algorithm.
+    pub algorithm: u8,
+    /// Flags (must be 0 here).
+    pub flags: u8,
+    /// Additional hash iterations.
+    pub iterations: u16,
+    /// Salt.
+    pub salt: Vec<u8>,
+}
+
+impl Nsec3Param {
+    pub(crate) fn encode(&self, w: &mut WireWriter) -> WireResult<()> {
+        w.write_u8(self.algorithm)?;
+        w.write_u8(self.flags)?;
+        w.write_u16(self.iterations)?;
+        w.write_char_string(&self.salt)
+    }
+
+    pub(crate) fn decode(r: &mut WireReader<'_>) -> WireResult<Nsec3Param> {
+        Ok(Nsec3Param {
+            algorithm: r.read_u8("NSEC3PARAM algorithm")?,
+            flags: r.read_u8("NSEC3PARAM flags")?,
+            iterations: r.read_u16("NSEC3PARAM iterations")?,
+            salt: r.read_char_string("NSEC3PARAM salt")?,
+        })
+    }
+}
+
+/// CSYNC: child-to-parent synchronization (RFC 7477).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Csync {
+    /// SOA serial this applies from.
+    pub serial: u32,
+    /// Flags (bit 0 = immediate, bit 1 = soaminimum).
+    pub flags: u16,
+    /// Types to synchronize.
+    pub types: TypeBitmap,
+}
+
+impl Csync {
+    pub(crate) fn encode(&self, w: &mut WireWriter) -> WireResult<()> {
+        w.write_u32(self.serial)?;
+        w.write_u16(self.flags)?;
+        self.types.encode(w)
+    }
+
+    pub(crate) fn decode(r: &mut WireReader<'_>, end: usize) -> WireResult<Csync> {
+        Ok(Csync {
+            serial: r.read_u32("CSYNC serial")?,
+            flags: r.read_u16("CSYNC flags")?,
+            types: TypeBitmap::decode(r, end)?,
+        })
+    }
+}
+
+/// NXT: obsolete predecessor of NSEC (RFC 2535 §5). The bitmap is the raw
+/// pre-windowed format, kept as bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Nxt {
+    /// Next name in the zone.
+    pub next: Name,
+    /// Raw type bitmap (types 0-127).
+    pub bitmap: Vec<u8>,
+}
+
+impl Nxt {
+    pub(crate) fn encode(&self, w: &mut WireWriter) -> WireResult<()> {
+        w.write_name_uncompressed(&self.next)?;
+        w.write_bytes(&self.bitmap)
+    }
+
+    pub(crate) fn decode(r: &mut WireReader<'_>, end: usize) -> WireResult<Nxt> {
+        let next = r.read_name()?;
+        let remaining = end.saturating_sub(r.position());
+        Ok(Nxt {
+            next,
+            bitmap: r.read_bytes(remaining, "NXT bitmap")?.to_vec(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rdata::RData;
+
+    fn roundtrip(rtype: RecordType, rdata: &RData) {
+        let mut w = WireWriter::new();
+        rdata.encode(&mut w).unwrap();
+        let bytes = w.finish();
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(&RData::decode(rtype, bytes.len(), &mut r).unwrap(), rdata);
+    }
+
+    #[test]
+    fn type_bitmap_roundtrip_multi_window() {
+        // Types spanning window 0 (A=1, MX=15) and window 1 (CAA=257).
+        let bm = TypeBitmap::from_types([RecordType::CAA, RecordType::A, RecordType::MX]);
+        assert!(bm.contains(RecordType::A));
+        assert!(bm.contains(RecordType::CAA));
+        assert!(!bm.contains(RecordType::NS));
+        let mut w = WireWriter::new();
+        bm.encode(&mut w).unwrap();
+        let bytes = w.finish();
+        let mut r = WireReader::new(&bytes);
+        let decoded = TypeBitmap::decode(&mut r, bytes.len()).unwrap();
+        assert_eq!(decoded, bm);
+    }
+
+    #[test]
+    fn type_bitmap_dedups() {
+        let bm = TypeBitmap::from_types([RecordType::A, RecordType::A]);
+        assert_eq!(bm.types().len(), 1);
+    }
+
+    #[test]
+    fn bitmap_window_order_enforced() {
+        // Two window-0 blocks in a row is malformed.
+        let bytes = [0u8, 1, 0x40, 0, 1, 0x40];
+        let mut r = WireReader::new(&bytes);
+        assert!(TypeBitmap::decode(&mut r, bytes.len()).is_err());
+    }
+
+    #[test]
+    fn bitmap_zero_length_rejected() {
+        let bytes = [0u8, 0];
+        let mut r = WireReader::new(&bytes);
+        assert!(TypeBitmap::decode(&mut r, bytes.len()).is_err());
+    }
+
+    #[test]
+    fn ds_roundtrip() {
+        roundtrip(
+            RecordType::DS,
+            &RData::Ds(Ds {
+                key_tag: 30909,
+                algorithm: 8,
+                digest_type: 2,
+                digest: vec![0xE2, 0xD3, 0xC9, 0x16],
+            }),
+        );
+    }
+
+    #[test]
+    fn dnskey_roundtrip_and_key_tag() {
+        let key = Dnskey {
+            flags: 257,
+            protocol: 3,
+            algorithm: 8,
+            public_key: vec![3, 1, 0, 1, 0xAB, 0xCD],
+        };
+        let tag = key.key_tag();
+        roundtrip(RecordType::DNSKEY, &RData::Dnskey(key.clone()));
+        // Key tag must be deterministic.
+        assert_eq!(tag, key.key_tag());
+    }
+
+    #[test]
+    fn rrsig_roundtrip() {
+        roundtrip(
+            RecordType::RRSIG,
+            &RData::Rrsig(Rrsig {
+                type_covered: RecordType::NS,
+                algorithm: 8,
+                labels: 0,
+                original_ttl: 518400,
+                expiration: 1653930000,
+                inception: 1652810400,
+                key_tag: 47671,
+                signer: Name::root(),
+                signature: vec![0x41, 0xA5, 0x56, 0xE6],
+            }),
+        );
+    }
+
+    #[test]
+    fn nsec_roundtrip() {
+        roundtrip(
+            RecordType::NSEC,
+            &RData::Nsec(Nsec {
+                next: "b.example.com".parse().unwrap(),
+                types: TypeBitmap::from_types([
+                    RecordType::NS,
+                    RecordType::SOA,
+                    RecordType::RRSIG,
+                    RecordType::DNSKEY,
+                    RecordType::NSEC3PARAM,
+                ]),
+            }),
+        );
+    }
+
+    #[test]
+    fn nsec3_roundtrip() {
+        roundtrip(
+            RecordType::NSEC3,
+            &RData::Nsec3(Nsec3 {
+                algorithm: 1,
+                flags: 1,
+                iterations: 0,
+                salt: Vec::new(),
+                next_hashed: vec![0xAA; 20],
+                types: TypeBitmap::from_types([RecordType::NS, RecordType::DS]),
+            }),
+        );
+    }
+
+    #[test]
+    fn nsec3param_roundtrip() {
+        roundtrip(
+            RecordType::NSEC3PARAM,
+            &RData::Nsec3Param(Nsec3Param {
+                algorithm: 1,
+                flags: 0,
+                iterations: 10,
+                salt: vec![0xDE, 0xAD],
+            }),
+        );
+    }
+
+    #[test]
+    fn csync_roundtrip() {
+        roundtrip(
+            RecordType::CSYNC,
+            &RData::Csync(Csync {
+                serial: 2022,
+                flags: 3,
+                types: TypeBitmap::from_types([RecordType::A, RecordType::NS]),
+            }),
+        );
+    }
+
+    #[test]
+    fn nxt_roundtrip() {
+        roundtrip(
+            RecordType::NXT,
+            &RData::Nxt(Nxt {
+                next: "next.example".parse().unwrap(),
+                bitmap: vec![0b0110_0000],
+            }),
+        );
+    }
+}

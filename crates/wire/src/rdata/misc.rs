@@ -1,0 +1,798 @@
+//! Everything else: security associations, service bindings, location,
+//! ILNP, and the grab-bag of historic types.
+
+use std::net::Ipv4Addr;
+
+use crate::buffer::{WireReader, WireWriter};
+use crate::error::{WireError, WireResult};
+use crate::name::Name;
+
+/// HINFO: host CPU and OS (RFC 1035 §3.3.2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hinfo {
+    /// CPU string.
+    pub cpu: Vec<u8>,
+    /// OS string.
+    pub os: Vec<u8>,
+}
+
+impl Hinfo {
+    pub(crate) fn encode(&self, w: &mut WireWriter) -> WireResult<()> {
+        w.write_char_string(&self.cpu)?;
+        w.write_char_string(&self.os)
+    }
+
+    pub(crate) fn decode(r: &mut WireReader<'_>) -> WireResult<Hinfo> {
+        Ok(Hinfo {
+            cpu: r.read_char_string("HINFO cpu")?,
+            os: r.read_char_string("HINFO os")?,
+        })
+    }
+}
+
+/// ISDN address, optionally with a subaddress (RFC 1183 §3.2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Isdn {
+    /// ISDN address digits.
+    pub address: Vec<u8>,
+    /// Optional subaddress.
+    pub subaddress: Option<Vec<u8>>,
+}
+
+impl Isdn {
+    pub(crate) fn encode(&self, w: &mut WireWriter) -> WireResult<()> {
+        w.write_char_string(&self.address)?;
+        if let Some(sa) = &self.subaddress {
+            w.write_char_string(sa)?;
+        }
+        Ok(())
+    }
+
+    pub(crate) fn decode(r: &mut WireReader<'_>, end: usize) -> WireResult<Isdn> {
+        let address = r.read_char_string("ISDN address")?;
+        let subaddress = if r.position() < end {
+            Some(r.read_char_string("ISDN subaddress")?)
+        } else {
+            None
+        };
+        Ok(Isdn { address, subaddress })
+    }
+}
+
+/// GPOS: geographic position as three text fields (RFC 1712, obsolete).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Gpos {
+    /// Longitude in degrees, textual.
+    pub longitude: Vec<u8>,
+    /// Latitude in degrees, textual.
+    pub latitude: Vec<u8>,
+    /// Altitude in meters, textual.
+    pub altitude: Vec<u8>,
+}
+
+impl Gpos {
+    pub(crate) fn encode(&self, w: &mut WireWriter) -> WireResult<()> {
+        w.write_char_string(&self.longitude)?;
+        w.write_char_string(&self.latitude)?;
+        w.write_char_string(&self.altitude)
+    }
+
+    pub(crate) fn decode(r: &mut WireReader<'_>) -> WireResult<Gpos> {
+        Ok(Gpos {
+            longitude: r.read_char_string("GPOS longitude")?,
+            latitude: r.read_char_string("GPOS latitude")?,
+            altitude: r.read_char_string("GPOS altitude")?,
+        })
+    }
+}
+
+/// LOC: binary geodetic location (RFC 1876).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Loc {
+    /// Format version, must be 0.
+    pub version: u8,
+    /// Sphere diameter, exponent-encoded.
+    pub size: u8,
+    /// Horizontal precision, exponent-encoded.
+    pub horiz_pre: u8,
+    /// Vertical precision, exponent-encoded.
+    pub vert_pre: u8,
+    /// Latitude, 1/1000 arcsec, offset 2^31.
+    pub latitude: u32,
+    /// Longitude, 1/1000 arcsec, offset 2^31.
+    pub longitude: u32,
+    /// Altitude, centimeters above -100km.
+    pub altitude: u32,
+}
+
+impl Loc {
+    pub(crate) fn encode(&self, w: &mut WireWriter) -> WireResult<()> {
+        w.write_u8(self.version)?;
+        w.write_u8(self.size)?;
+        w.write_u8(self.horiz_pre)?;
+        w.write_u8(self.vert_pre)?;
+        w.write_u32(self.latitude)?;
+        w.write_u32(self.longitude)?;
+        w.write_u32(self.altitude)
+    }
+
+    pub(crate) fn decode(r: &mut WireReader<'_>) -> WireResult<Loc> {
+        Ok(Loc {
+            version: r.read_u8("LOC version")?,
+            size: r.read_u8("LOC size")?,
+            horiz_pre: r.read_u8("LOC horiz pre")?,
+            vert_pre: r.read_u8("LOC vert pre")?,
+            latitude: r.read_u32("LOC latitude")?,
+            longitude: r.read_u32("LOC longitude")?,
+            altitude: r.read_u32("LOC altitude")?,
+        })
+    }
+}
+
+/// URI record (RFC 7553).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Uri {
+    /// Lower is preferred.
+    pub priority: u16,
+    /// Relative weight among same-priority records.
+    pub weight: u16,
+    /// The URI itself (not a character-string; the rest of RDATA).
+    pub target: Vec<u8>,
+}
+
+impl Uri {
+    pub(crate) fn encode(&self, w: &mut WireWriter) -> WireResult<()> {
+        w.write_u16(self.priority)?;
+        w.write_u16(self.weight)?;
+        w.write_bytes(&self.target)
+    }
+
+    pub(crate) fn decode(r: &mut WireReader<'_>, end: usize) -> WireResult<Uri> {
+        let priority = r.read_u16("URI priority")?;
+        let weight = r.read_u16("URI weight")?;
+        let remaining = end.saturating_sub(r.position());
+        Ok(Uri {
+            priority,
+            weight,
+            target: r.read_bytes(remaining, "URI target")?.to_vec(),
+        })
+    }
+}
+
+/// CAA: certification authority authorization (RFC 8659).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Caa {
+    /// Bit 7 is the critical flag.
+    pub flags: u8,
+    /// Property tag (`issue`, `issuewild`, `iodef`, ...).
+    pub tag: Vec<u8>,
+    /// Property value.
+    pub value: Vec<u8>,
+}
+
+impl Caa {
+    /// The critical bit (RFC 8659 §4.1.1).
+    pub fn critical(&self) -> bool {
+        self.flags & 0x80 != 0
+    }
+
+    /// Tag as lossy text, lowercased — CAA tags are case-insensitive.
+    pub fn tag_str(&self) -> String {
+        String::from_utf8_lossy(&self.tag).to_ascii_lowercase()
+    }
+
+    /// Value as lossy text.
+    pub fn value_str(&self) -> String {
+        String::from_utf8_lossy(&self.value).into_owned()
+    }
+
+    /// True if the tag is one RFC 8659 defines. The §6 case study counts
+    /// records failing this as "invalid tags".
+    pub fn tag_is_standard(&self) -> bool {
+        matches!(
+            self.tag_str().as_str(),
+            "issue" | "issuewild" | "iodef" | "contactemail" | "contactphone" | "issuemail"
+        )
+    }
+
+    pub(crate) fn encode(&self, w: &mut WireWriter) -> WireResult<()> {
+        w.write_u8(self.flags)?;
+        w.write_char_string(&self.tag)?;
+        w.write_bytes(&self.value)
+    }
+
+    pub(crate) fn decode(r: &mut WireReader<'_>, end: usize) -> WireResult<Caa> {
+        let flags = r.read_u8("CAA flags")?;
+        let tag = r.read_char_string("CAA tag")?;
+        let remaining = end.saturating_sub(r.position());
+        Ok(Caa {
+            flags,
+            tag,
+            value: r.read_bytes(remaining, "CAA value")?.to_vec(),
+        })
+    }
+}
+
+/// CERT: certificate record (RFC 4398).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CertRec {
+    /// Certificate type (1=PKIX, 2=SPKI, 3=PGP, ...).
+    pub cert_type: u16,
+    /// Key tag.
+    pub key_tag: u16,
+    /// Algorithm.
+    pub algorithm: u8,
+    /// Certificate or CRL bytes.
+    pub certificate: Vec<u8>,
+}
+
+impl CertRec {
+    pub(crate) fn encode(&self, w: &mut WireWriter) -> WireResult<()> {
+        w.write_u16(self.cert_type)?;
+        w.write_u16(self.key_tag)?;
+        w.write_u8(self.algorithm)?;
+        w.write_bytes(&self.certificate)
+    }
+
+    pub(crate) fn decode(r: &mut WireReader<'_>, end: usize) -> WireResult<CertRec> {
+        let cert_type = r.read_u16("CERT type")?;
+        let key_tag = r.read_u16("CERT key tag")?;
+        let algorithm = r.read_u8("CERT algorithm")?;
+        let remaining = end.saturating_sub(r.position());
+        Ok(CertRec {
+            cert_type,
+            key_tag,
+            algorithm,
+            certificate: r.read_bytes(remaining, "CERT data")?.to_vec(),
+        })
+    }
+}
+
+/// SSHFP: SSH host key fingerprint (RFC 4255).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sshfp {
+    /// Key algorithm (1=RSA, 2=DSA, 3=ECDSA, 4=Ed25519).
+    pub algorithm: u8,
+    /// Fingerprint type (1=SHA-1, 2=SHA-256).
+    pub fp_type: u8,
+    /// Fingerprint bytes.
+    pub fingerprint: Vec<u8>,
+}
+
+impl Sshfp {
+    pub(crate) fn encode(&self, w: &mut WireWriter) -> WireResult<()> {
+        w.write_u8(self.algorithm)?;
+        w.write_u8(self.fp_type)?;
+        w.write_bytes(&self.fingerprint)
+    }
+
+    pub(crate) fn decode(r: &mut WireReader<'_>, end: usize) -> WireResult<Sshfp> {
+        let algorithm = r.read_u8("SSHFP algorithm")?;
+        let fp_type = r.read_u8("SSHFP fp type")?;
+        let remaining = end.saturating_sub(r.position());
+        Ok(Sshfp {
+            algorithm,
+            fp_type,
+            fingerprint: r.read_bytes(remaining, "SSHFP fingerprint")?.to_vec(),
+        })
+    }
+}
+
+/// TLSA / SMIMEA: DANE certificate association (RFC 6698 / 8162).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tlsa {
+    /// Certificate usage (0-3).
+    pub usage: u8,
+    /// Selector (0=full cert, 1=SPKI).
+    pub selector: u8,
+    /// Matching type (0=exact, 1=SHA-256, 2=SHA-512).
+    pub matching_type: u8,
+    /// Certificate association data.
+    pub cert_data: Vec<u8>,
+}
+
+impl Tlsa {
+    pub(crate) fn encode(&self, w: &mut WireWriter) -> WireResult<()> {
+        w.write_u8(self.usage)?;
+        w.write_u8(self.selector)?;
+        w.write_u8(self.matching_type)?;
+        w.write_bytes(&self.cert_data)
+    }
+
+    pub(crate) fn decode(r: &mut WireReader<'_>, end: usize) -> WireResult<Tlsa> {
+        let usage = r.read_u8("TLSA usage")?;
+        let selector = r.read_u8("TLSA selector")?;
+        let matching_type = r.read_u8("TLSA matching type")?;
+        let remaining = end.saturating_sub(r.position());
+        Ok(Tlsa {
+            usage,
+            selector,
+            matching_type,
+            cert_data: r.read_bytes(remaining, "TLSA data")?.to_vec(),
+        })
+    }
+}
+
+/// HIP: host identity protocol (RFC 8005).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hip {
+    /// Public key algorithm.
+    pub pk_algorithm: u8,
+    /// Host identity tag.
+    pub hit: Vec<u8>,
+    /// Public key.
+    pub public_key: Vec<u8>,
+    /// Rendezvous servers, in preference order.
+    pub rendezvous: Vec<Name>,
+}
+
+impl Hip {
+    pub(crate) fn encode(&self, w: &mut WireWriter) -> WireResult<()> {
+        if self.hit.len() > 255 {
+            return Err(WireError::InvalidValue { field: "HIP hit length" });
+        }
+        if self.public_key.len() > 65535 {
+            return Err(WireError::InvalidValue { field: "HIP pk length" });
+        }
+        w.write_u8(self.hit.len() as u8)?;
+        w.write_u8(self.pk_algorithm)?;
+        w.write_u16(self.public_key.len() as u16)?;
+        w.write_bytes(&self.hit)?;
+        w.write_bytes(&self.public_key)?;
+        for rv in &self.rendezvous {
+            w.write_name_uncompressed(rv)?;
+        }
+        Ok(())
+    }
+
+    pub(crate) fn decode(r: &mut WireReader<'_>, end: usize) -> WireResult<Hip> {
+        let hit_len = r.read_u8("HIP hit length")? as usize;
+        let pk_algorithm = r.read_u8("HIP algorithm")?;
+        let pk_len = r.read_u16("HIP pk length")? as usize;
+        let hit = r.read_bytes(hit_len, "HIP hit")?.to_vec();
+        let public_key = r.read_bytes(pk_len, "HIP public key")?.to_vec();
+        let mut rendezvous = Vec::new();
+        while r.position() < end {
+            rendezvous.push(r.read_name()?);
+        }
+        Ok(Hip {
+            pk_algorithm,
+            hit,
+            public_key,
+            rendezvous,
+        })
+    }
+}
+
+/// TKEY: transaction key establishment (RFC 2930).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tkey {
+    /// Algorithm name.
+    pub algorithm: Name,
+    /// Inception time (UNIX seconds).
+    pub inception: u32,
+    /// Expiration time (UNIX seconds).
+    pub expiration: u32,
+    /// Mode (2 = Diffie-Hellman, 3 = GSS-API, ...).
+    pub mode: u16,
+    /// Extended error.
+    pub error: u16,
+    /// Key data.
+    pub key: Vec<u8>,
+    /// Other data.
+    pub other: Vec<u8>,
+}
+
+impl Tkey {
+    pub(crate) fn encode(&self, w: &mut WireWriter) -> WireResult<()> {
+        if self.key.len() > 65535 || self.other.len() > 65535 {
+            return Err(WireError::InvalidValue { field: "TKEY data length" });
+        }
+        w.write_name_uncompressed(&self.algorithm)?;
+        w.write_u32(self.inception)?;
+        w.write_u32(self.expiration)?;
+        w.write_u16(self.mode)?;
+        w.write_u16(self.error)?;
+        w.write_u16(self.key.len() as u16)?;
+        w.write_bytes(&self.key)?;
+        w.write_u16(self.other.len() as u16)?;
+        w.write_bytes(&self.other)
+    }
+
+    pub(crate) fn decode(r: &mut WireReader<'_>) -> WireResult<Tkey> {
+        let algorithm = r.read_name()?;
+        let inception = r.read_u32("TKEY inception")?;
+        let expiration = r.read_u32("TKEY expiration")?;
+        let mode = r.read_u16("TKEY mode")?;
+        let error = r.read_u16("TKEY error")?;
+        let key_len = r.read_u16("TKEY key length")? as usize;
+        let key = r.read_bytes(key_len, "TKEY key")?.to_vec();
+        let other_len = r.read_u16("TKEY other length")? as usize;
+        let other = r.read_bytes(other_len, "TKEY other")?.to_vec();
+        Ok(Tkey {
+            algorithm,
+            inception,
+            expiration,
+            mode,
+            error,
+            key,
+            other,
+        })
+    }
+}
+
+/// SVCB / HTTPS: service binding (RFC 9460).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Svcb {
+    /// 0 = alias mode, >0 = service priority.
+    pub priority: u16,
+    /// Target name (`.` means the owner itself).
+    pub target: Name,
+    /// SvcParams as (key, value) pairs, ascending by key.
+    pub params: Vec<(u16, Vec<u8>)>,
+}
+
+impl Svcb {
+    pub(crate) fn encode(&self, w: &mut WireWriter) -> WireResult<()> {
+        w.write_u16(self.priority)?;
+        w.write_name_uncompressed(&self.target)?;
+        for (key, value) in &self.params {
+            if value.len() > 65535 {
+                return Err(WireError::InvalidValue { field: "SVCB param length" });
+            }
+            w.write_u16(*key)?;
+            w.write_u16(value.len() as u16)?;
+            w.write_bytes(value)?;
+        }
+        Ok(())
+    }
+
+    pub(crate) fn decode(r: &mut WireReader<'_>, end: usize) -> WireResult<Svcb> {
+        let priority = r.read_u16("SVCB priority")?;
+        let target = r.read_name()?;
+        let mut params = Vec::new();
+        let mut last_key: Option<u16> = None;
+        while r.position() < end {
+            let key = r.read_u16("SVCB param key")?;
+            if let Some(prev) = last_key {
+                // RFC 9460 §2.2: keys strictly ascending.
+                if key <= prev {
+                    return Err(WireError::InvalidValue { field: "SVCB param order" });
+                }
+            }
+            last_key = Some(key);
+            let len = r.read_u16("SVCB param length")? as usize;
+            params.push((key, r.read_bytes(len, "SVCB param value")?.to_vec()));
+        }
+        Ok(Svcb {
+            priority,
+            target,
+            params,
+        })
+    }
+}
+
+/// L32: ILNP 32-bit locator (RFC 6742).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct L32 {
+    /// Lower is preferred.
+    pub preference: u16,
+    /// IPv4-form locator.
+    pub locator: Ipv4Addr,
+}
+
+impl L32 {
+    pub(crate) fn encode(&self, w: &mut WireWriter) -> WireResult<()> {
+        w.write_u16(self.preference)?;
+        w.write_bytes(&self.locator.octets())
+    }
+
+    pub(crate) fn decode(r: &mut WireReader<'_>) -> WireResult<L32> {
+        let preference = r.read_u16("L32 preference")?;
+        let b = r.read_bytes(4, "L32 locator")?;
+        Ok(L32 {
+            preference,
+            locator: Ipv4Addr::new(b[0], b[1], b[2], b[3]),
+        })
+    }
+}
+
+/// L64: ILNP 64-bit locator (RFC 6742).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct L64 {
+    /// Lower is preferred.
+    pub preference: u16,
+    /// 64-bit locator.
+    pub locator: u64,
+}
+
+impl L64 {
+    pub(crate) fn encode(&self, w: &mut WireWriter) -> WireResult<()> {
+        w.write_u16(self.preference)?;
+        w.write_u64(self.locator)
+    }
+
+    pub(crate) fn decode(r: &mut WireReader<'_>) -> WireResult<L64> {
+        Ok(L64 {
+            preference: r.read_u16("L64 preference")?,
+            locator: r.read_u64("L64 locator")?,
+        })
+    }
+}
+
+/// NID: ILNP node identifier (RFC 6742).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Nid {
+    /// Lower is preferred.
+    pub preference: u16,
+    /// 64-bit node identifier.
+    pub node_id: u64,
+}
+
+impl Nid {
+    pub(crate) fn encode(&self, w: &mut WireWriter) -> WireResult<()> {
+        w.write_u16(self.preference)?;
+        w.write_u64(self.node_id)
+    }
+
+    pub(crate) fn decode(r: &mut WireReader<'_>) -> WireResult<Nid> {
+        Ok(Nid {
+            preference: r.read_u16("NID preference")?,
+            node_id: r.read_u64("NID node id")?,
+        })
+    }
+}
+
+/// LP: ILNP locator pointer (RFC 6742).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lp {
+    /// Lower is preferred.
+    pub preference: u16,
+    /// Name holding L32/L64 records.
+    pub fqdn: Name,
+}
+
+impl Lp {
+    pub(crate) fn encode(&self, w: &mut WireWriter) -> WireResult<()> {
+        w.write_u16(self.preference)?;
+        w.write_name_uncompressed(&self.fqdn)
+    }
+
+    pub(crate) fn decode(r: &mut WireReader<'_>) -> WireResult<Lp> {
+        Ok(Lp {
+            preference: r.read_u16("LP preference")?,
+            fqdn: r.read_name()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rdata::RData;
+    use crate::rtype::RecordType;
+
+    fn roundtrip(rtype: RecordType, rdata: &RData) {
+        let mut w = WireWriter::new();
+        rdata.encode(&mut w).unwrap();
+        let bytes = w.finish();
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(&RData::decode(rtype, bytes.len(), &mut r).unwrap(), rdata);
+    }
+
+    #[test]
+    fn caa_roundtrip_and_helpers() {
+        let caa = Caa {
+            flags: 0x80,
+            tag: b"issue".to_vec(),
+            value: b"letsencrypt.org".to_vec(),
+        };
+        assert!(caa.critical());
+        assert!(caa.tag_is_standard());
+        assert_eq!(caa.value_str(), "letsencrypt.org");
+        roundtrip(RecordType::CAA, &RData::Caa(caa));
+    }
+
+    #[test]
+    fn caa_invalid_tag_detected() {
+        let caa = Caa {
+            flags: 0,
+            tag: b"issuer".to_vec(), // the §6 registrar bug: bad tag names
+            value: b"comodoca.com".to_vec(),
+        };
+        assert!(!caa.tag_is_standard());
+    }
+
+    #[test]
+    fn caa_tag_case_insensitive() {
+        let caa = Caa {
+            flags: 0,
+            tag: b"IsSuE".to_vec(),
+            value: Vec::new(),
+        };
+        assert!(caa.tag_is_standard());
+        assert_eq!(caa.tag_str(), "issue");
+    }
+
+    #[test]
+    fn hinfo_isdn_gpos_roundtrip() {
+        roundtrip(
+            RecordType::HINFO,
+            &RData::Hinfo(Hinfo {
+                cpu: b"AMD64".to_vec(),
+                os: b"Linux".to_vec(),
+            }),
+        );
+        roundtrip(
+            RecordType::ISDN,
+            &RData::Isdn(Isdn {
+                address: b"150862028003217".to_vec(),
+                subaddress: Some(b"004".to_vec()),
+            }),
+        );
+        roundtrip(
+            RecordType::ISDN,
+            &RData::Isdn(Isdn {
+                address: b"150862028003217".to_vec(),
+                subaddress: None,
+            }),
+        );
+        roundtrip(
+            RecordType::GPOS,
+            &RData::Gpos(Gpos {
+                longitude: b"-32.6882".to_vec(),
+                latitude: b"116.8652".to_vec(),
+                altitude: b"10.0".to_vec(),
+            }),
+        );
+    }
+
+    #[test]
+    fn loc_roundtrip() {
+        roundtrip(
+            RecordType::LOC,
+            &RData::Loc(Loc {
+                version: 0,
+                size: 0x12,
+                horiz_pre: 0x16,
+                vert_pre: 0x13,
+                latitude: 2_332_887_285,
+                longitude: 2_146_974_024,
+                altitude: 10_000_100,
+            }),
+        );
+    }
+
+    #[test]
+    fn uri_roundtrip() {
+        roundtrip(
+            RecordType::URI,
+            &RData::Uri(Uri {
+                priority: 10,
+                weight: 1,
+                target: b"https://example.com/".to_vec(),
+            }),
+        );
+    }
+
+    #[test]
+    fn dane_family_roundtrip() {
+        roundtrip(
+            RecordType::TLSA,
+            &RData::Tlsa(Tlsa {
+                usage: 3,
+                selector: 1,
+                matching_type: 1,
+                cert_data: vec![0xAB; 32],
+            }),
+        );
+        roundtrip(
+            RecordType::SSHFP,
+            &RData::Sshfp(Sshfp {
+                algorithm: 4,
+                fp_type: 2,
+                fingerprint: vec![0xCD; 32],
+            }),
+        );
+        roundtrip(
+            RecordType::CERT,
+            &RData::Cert(CertRec {
+                cert_type: 1,
+                key_tag: 12345,
+                algorithm: 8,
+                certificate: vec![0x30, 0x82],
+            }),
+        );
+    }
+
+    #[test]
+    fn hip_roundtrip() {
+        roundtrip(
+            RecordType::HIP,
+            &RData::Hip(Hip {
+                pk_algorithm: 2,
+                hit: vec![0x20; 16],
+                public_key: vec![0x99; 64],
+                rendezvous: vec![
+                    "rvs1.example.com".parse().unwrap(),
+                    "rvs2.example.com".parse().unwrap(),
+                ],
+            }),
+        );
+    }
+
+    #[test]
+    fn tkey_roundtrip() {
+        roundtrip(
+            RecordType::TKEY,
+            &RData::Tkey(Tkey {
+                algorithm: "gss-tsig".parse().unwrap(),
+                inception: 1_652_810_400,
+                expiration: 1_652_814_000,
+                mode: 3,
+                error: 0,
+                key: vec![1, 2, 3],
+                other: Vec::new(),
+            }),
+        );
+    }
+
+    #[test]
+    fn svcb_roundtrip() {
+        roundtrip(
+            RecordType::HTTPS,
+            &RData::Https(Svcb {
+                priority: 1,
+                target: Name::root(),
+                params: vec![(1, b"\x02h2".to_vec()), (4, vec![192, 0, 2, 1])],
+            }),
+        );
+    }
+
+    #[test]
+    fn svcb_param_order_enforced() {
+        let mut w = WireWriter::new();
+        w.write_u16(1).unwrap();
+        w.write_name_uncompressed(&Name::root()).unwrap();
+        // key 4 then key 1: out of order
+        for key in [4u16, 1] {
+            w.write_u16(key).unwrap();
+            w.write_u16(0).unwrap();
+        }
+        let bytes = w.finish();
+        let mut r = WireReader::new(&bytes);
+        assert!(Svcb::decode(&mut r, bytes.len()).is_err());
+    }
+
+    #[test]
+    fn ilnp_family_roundtrip() {
+        roundtrip(
+            RecordType::L32,
+            &RData::L32(L32 {
+                preference: 10,
+                locator: "10.1.2.0".parse().unwrap(),
+            }),
+        );
+        roundtrip(
+            RecordType::L64,
+            &RData::L64(L64 {
+                preference: 10,
+                locator: 0x2001_0DB8_1140_1000,
+            }),
+        );
+        roundtrip(
+            RecordType::NID,
+            &RData::Nid(Nid {
+                preference: 10,
+                node_id: 0x0014_4FFF_FF20_EE64,
+            }),
+        );
+        roundtrip(
+            RecordType::LP,
+            &RData::Lp(Lp {
+                preference: 10,
+                fqdn: "l64-subnet.example.com".parse().unwrap(),
+            }),
+        );
+    }
+}

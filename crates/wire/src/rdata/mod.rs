@@ -1,0 +1,453 @@
+//! Typed RDATA for every record type ZDNS supports.
+//!
+//! Decoding is lenient where the DNS is lenient (unknown types become
+//! [`RData::Opaque`]) and strict where structure matters (declared RDLENGTH
+//! must match what the typed codec consumes). Names inside RDATA are decoded
+//! with full compression-pointer support — real servers compress NS/CNAME/
+//! SOA/MX targets — but are always encoded uncompressed, which is valid for
+//! every type and required for modern ones (RFC 3597 §4).
+
+mod basic;
+mod dnssec;
+mod misc;
+
+pub use basic::{Afsdb, Kx, Mx, Naptr, Px, Rp, Rt, Soa, Srv, Talink, TxtData};
+pub use dnssec::{Csync, Dnskey, Ds, Nsec, Nsec3, Nsec3Param, Nxt, Rrsig, TypeBitmap};
+pub use misc::{
+    Caa, CertRec, Gpos, Hinfo, Hip, Isdn, L32, L64, Loc, Lp, Nid, Sshfp, Svcb, Tkey, Tlsa, Uri,
+};
+
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+use crate::buffer::{WireReader, WireWriter};
+use crate::error::{WireError, WireResult};
+use crate::name::Name;
+use crate::rtype::RecordType;
+
+/// Typed record data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RData {
+    /// IPv4 host address.
+    A(Ipv4Addr),
+    /// IPv6 host address.
+    Aaaa(Ipv6Addr),
+    /// Authoritative name server.
+    Ns(Name),
+    /// Canonical name (alias).
+    Cname(Name),
+    /// Delegation name (subtree alias).
+    Dname(Name),
+    /// Domain name pointer (reverse DNS).
+    Ptr(Name),
+    /// Mailbox (obsolete).
+    Mb(Name),
+    /// Mail destination (obsolete).
+    Md(Name),
+    /// Mail forwarder (obsolete).
+    Mf(Name),
+    /// Mail group member (obsolete).
+    Mg(Name),
+    /// Mail rename (obsolete).
+    Mr(Name),
+    /// NSAP pointer (obsolete).
+    NsapPtr(Name),
+    /// Start of authority.
+    Soa(Soa),
+    /// Mail exchange.
+    Mx(Mx),
+    /// Text strings.
+    Txt(TxtData),
+    /// Sender Policy Framework (deprecated duplicate of TXT).
+    Spf(TxtData),
+    /// Application visibility and control.
+    Avc(TxtData),
+    /// Node information (experimental, TXT-shaped).
+    Ninfo(TxtData),
+    /// Service locator.
+    Srv(Srv),
+    /// Naming authority pointer.
+    Naptr(Naptr),
+    /// Responsible person.
+    Rp(Rp),
+    /// AFS database location.
+    Afsdb(Afsdb),
+    /// X.400 mapping.
+    Px(Px),
+    /// Key exchanger.
+    Kx(Kx),
+    /// Route through (obsolete).
+    Rt(Rt),
+    /// Trust anchor link.
+    Talink(Talink),
+    /// Delegation signer (also CDS).
+    Ds(Ds),
+    /// Child delegation signer.
+    Cds(Ds),
+    /// DNSSEC public key (also CDNSKEY, legacy KEY).
+    Dnskey(Dnskey),
+    /// Child DNSKEY.
+    Cdnskey(Dnskey),
+    /// Legacy KEY record (RFC 2535).
+    Key(Dnskey),
+    /// DNSSEC signature.
+    Rrsig(Rrsig),
+    /// Authenticated denial of existence.
+    Nsec(Nsec),
+    /// Hashed authenticated denial.
+    Nsec3(Nsec3),
+    /// NSEC3 parameters.
+    Nsec3Param(Nsec3Param),
+    /// Child-to-parent synchronization.
+    Csync(Csync),
+    /// Legacy denial of existence (RFC 2535, obsolete).
+    Nxt(Nxt),
+    /// Host information.
+    Hinfo(Hinfo),
+    /// ISDN address (obsolete).
+    Isdn(Isdn),
+    /// Geographic position (obsolete).
+    Gpos(Gpos),
+    /// Location information.
+    Loc(Loc),
+    /// Uniform resource identifier.
+    Uri(Uri),
+    /// Certification authority authorization.
+    Caa(Caa),
+    /// Certificate.
+    Cert(CertRec),
+    /// SSH key fingerprint.
+    Sshfp(Sshfp),
+    /// TLSA certificate association.
+    Tlsa(Tlsa),
+    /// S/MIME certificate association.
+    Smimea(Tlsa),
+    /// Host identity protocol.
+    Hip(Hip),
+    /// Transaction key.
+    Tkey(Tkey),
+    /// Service binding.
+    Svcb(Svcb),
+    /// HTTPS service binding.
+    Https(Svcb),
+    /// ILNP 32-bit locator.
+    L32(L32),
+    /// ILNP 64-bit locator.
+    L64(L64),
+    /// ILNP node identifier.
+    Nid(Nid),
+    /// ILNP locator pointer.
+    Lp(Lp),
+    /// EUI-48 address.
+    Eui48([u8; 6]),
+    /// EUI-64 address.
+    Eui64([u8; 8]),
+    /// Raw bytes for types without internal structure (NULL, EID, ATMA,
+    /// DHCID, OPENPGPKEY, UINFO, UID, GID, UNSPEC) and for unknown types.
+    Opaque(Vec<u8>),
+}
+
+impl RData {
+    /// The record type this data belongs with. For [`RData::Opaque`] this is
+    /// unknowable from the data alone, so the record carries the type; this
+    /// returns the natural type for typed variants and `NULL` for opaque.
+    pub fn natural_type(&self) -> RecordType {
+        match self {
+            RData::A(_) => RecordType::A,
+            RData::Aaaa(_) => RecordType::AAAA,
+            RData::Ns(_) => RecordType::NS,
+            RData::Cname(_) => RecordType::CNAME,
+            RData::Dname(_) => RecordType::DNAME,
+            RData::Ptr(_) => RecordType::PTR,
+            RData::Mb(_) => RecordType::MB,
+            RData::Md(_) => RecordType::MD,
+            RData::Mf(_) => RecordType::MF,
+            RData::Mg(_) => RecordType::MG,
+            RData::Mr(_) => RecordType::MR,
+            RData::NsapPtr(_) => RecordType::NSAPPTR,
+            RData::Soa(_) => RecordType::SOA,
+            RData::Mx(_) => RecordType::MX,
+            RData::Txt(_) => RecordType::TXT,
+            RData::Spf(_) => RecordType::SPF,
+            RData::Avc(_) => RecordType::AVC,
+            RData::Ninfo(_) => RecordType::NINFO,
+            RData::Srv(_) => RecordType::SRV,
+            RData::Naptr(_) => RecordType::NAPTR,
+            RData::Rp(_) => RecordType::RP,
+            RData::Afsdb(_) => RecordType::AFSDB,
+            RData::Px(_) => RecordType::PX,
+            RData::Kx(_) => RecordType::KX,
+            RData::Rt(_) => RecordType::RT,
+            RData::Talink(_) => RecordType::TALINK,
+            RData::Ds(_) => RecordType::DS,
+            RData::Cds(_) => RecordType::CDS,
+            RData::Dnskey(_) => RecordType::DNSKEY,
+            RData::Cdnskey(_) => RecordType::CDNSKEY,
+            RData::Key(_) => RecordType::KEY,
+            RData::Rrsig(_) => RecordType::RRSIG,
+            RData::Nsec(_) => RecordType::NSEC,
+            RData::Nsec3(_) => RecordType::NSEC3,
+            RData::Nsec3Param(_) => RecordType::NSEC3PARAM,
+            RData::Csync(_) => RecordType::CSYNC,
+            RData::Nxt(_) => RecordType::NXT,
+            RData::Hinfo(_) => RecordType::HINFO,
+            RData::Isdn(_) => RecordType::ISDN,
+            RData::Gpos(_) => RecordType::GPOS,
+            RData::Loc(_) => RecordType::LOC,
+            RData::Uri(_) => RecordType::URI,
+            RData::Caa(_) => RecordType::CAA,
+            RData::Cert(_) => RecordType::CERT,
+            RData::Sshfp(_) => RecordType::SSHFP,
+            RData::Tlsa(_) => RecordType::TLSA,
+            RData::Smimea(_) => RecordType::SMIMEA,
+            RData::Hip(_) => RecordType::HIP,
+            RData::Tkey(_) => RecordType::TKEY,
+            RData::Svcb(_) => RecordType::SVCB,
+            RData::Https(_) => RecordType::HTTPS,
+            RData::L32(_) => RecordType::L32,
+            RData::L64(_) => RecordType::L64,
+            RData::Nid(_) => RecordType::NID,
+            RData::Lp(_) => RecordType::LP,
+            RData::Eui48(_) => RecordType::EUI48,
+            RData::Eui64(_) => RecordType::EUI64,
+            RData::Opaque(_) => RecordType::NULL,
+        }
+    }
+
+    /// Encode just the RDATA (no length prefix).
+    pub fn encode(&self, w: &mut WireWriter) -> WireResult<()> {
+        match self {
+            RData::A(addr) => w.write_bytes(&addr.octets()),
+            RData::Aaaa(addr) => w.write_bytes(&addr.octets()),
+            RData::Ns(n)
+            | RData::Cname(n)
+            | RData::Dname(n)
+            | RData::Ptr(n)
+            | RData::Mb(n)
+            | RData::Md(n)
+            | RData::Mf(n)
+            | RData::Mg(n)
+            | RData::Mr(n)
+            | RData::NsapPtr(n) => w.write_name_uncompressed(n),
+            RData::Soa(v) => v.encode(w),
+            RData::Mx(v) => v.encode(w),
+            RData::Txt(v) | RData::Spf(v) | RData::Avc(v) | RData::Ninfo(v) => v.encode(w),
+            RData::Srv(v) => v.encode(w),
+            RData::Naptr(v) => v.encode(w),
+            RData::Rp(v) => v.encode(w),
+            RData::Afsdb(v) => v.encode(w),
+            RData::Px(v) => v.encode(w),
+            RData::Kx(v) => v.encode(w),
+            RData::Rt(v) => v.encode(w),
+            RData::Talink(v) => v.encode(w),
+            RData::Ds(v) | RData::Cds(v) => v.encode(w),
+            RData::Dnskey(v) | RData::Cdnskey(v) | RData::Key(v) => v.encode(w),
+            RData::Rrsig(v) => v.encode(w),
+            RData::Nsec(v) => v.encode(w),
+            RData::Nsec3(v) => v.encode(w),
+            RData::Nsec3Param(v) => v.encode(w),
+            RData::Csync(v) => v.encode(w),
+            RData::Nxt(v) => v.encode(w),
+            RData::Hinfo(v) => v.encode(w),
+            RData::Isdn(v) => v.encode(w),
+            RData::Gpos(v) => v.encode(w),
+            RData::Loc(v) => v.encode(w),
+            RData::Uri(v) => v.encode(w),
+            RData::Caa(v) => v.encode(w),
+            RData::Cert(v) => v.encode(w),
+            RData::Sshfp(v) => v.encode(w),
+            RData::Tlsa(v) | RData::Smimea(v) => v.encode(w),
+            RData::Hip(v) => v.encode(w),
+            RData::Tkey(v) => v.encode(w),
+            RData::Svcb(v) | RData::Https(v) => v.encode(w),
+            RData::L32(v) => v.encode(w),
+            RData::L64(v) => v.encode(w),
+            RData::Nid(v) => v.encode(w),
+            RData::Lp(v) => v.encode(w),
+            RData::Eui48(b) => w.write_bytes(b),
+            RData::Eui64(b) => w.write_bytes(b),
+            RData::Opaque(b) => w.write_bytes(b),
+        }
+    }
+
+    /// Decode RDATA of the given type. The reader sits at the first RDATA
+    /// octet; `rdlen` is the declared RDLENGTH. On success the reader sits
+    /// exactly at the end of the RDATA.
+    pub fn decode(rtype: RecordType, rdlen: usize, r: &mut WireReader<'_>) -> WireResult<RData> {
+        let start = r.position();
+        let end = start
+            .checked_add(rdlen)
+            .ok_or(WireError::Truncated { context: "rdata" })?;
+        if end > r.len() {
+            return Err(WireError::Truncated { context: "rdata" });
+        }
+        let data = match rtype {
+            RecordType::A => {
+                let b = r.read_bytes(4, "A rdata")?;
+                RData::A(Ipv4Addr::new(b[0], b[1], b[2], b[3]))
+            }
+            RecordType::AAAA => {
+                let b = r.read_bytes(16, "AAAA rdata")?;
+                let mut o = [0u8; 16];
+                o.copy_from_slice(b);
+                RData::Aaaa(Ipv6Addr::from(o))
+            }
+            RecordType::NS => RData::Ns(r.read_name()?),
+            RecordType::CNAME => RData::Cname(r.read_name()?),
+            RecordType::DNAME => RData::Dname(r.read_name()?),
+            RecordType::PTR => RData::Ptr(r.read_name()?),
+            RecordType::MB => RData::Mb(r.read_name()?),
+            RecordType::MD => RData::Md(r.read_name()?),
+            RecordType::MF => RData::Mf(r.read_name()?),
+            RecordType::MG => RData::Mg(r.read_name()?),
+            RecordType::MR => RData::Mr(r.read_name()?),
+            RecordType::NSAPPTR => RData::NsapPtr(r.read_name()?),
+            RecordType::SOA => RData::Soa(Soa::decode(r)?),
+            RecordType::MX => RData::Mx(Mx::decode(r)?),
+            RecordType::TXT => RData::Txt(TxtData::decode(r, end)?),
+            RecordType::SPF => RData::Spf(TxtData::decode(r, end)?),
+            RecordType::AVC => RData::Avc(TxtData::decode(r, end)?),
+            RecordType::NINFO => RData::Ninfo(TxtData::decode(r, end)?),
+            RecordType::SRV => RData::Srv(Srv::decode(r)?),
+            RecordType::NAPTR => RData::Naptr(Naptr::decode(r)?),
+            RecordType::RP => RData::Rp(Rp::decode(r)?),
+            RecordType::AFSDB => RData::Afsdb(Afsdb::decode(r)?),
+            RecordType::PX => RData::Px(Px::decode(r)?),
+            RecordType::KX => RData::Kx(Kx::decode(r)?),
+            RecordType::RT => RData::Rt(Rt::decode(r)?),
+            RecordType::TALINK => RData::Talink(Talink::decode(r)?),
+            RecordType::DS => RData::Ds(Ds::decode(r, end)?),
+            RecordType::CDS => RData::Cds(Ds::decode(r, end)?),
+            RecordType::DNSKEY => RData::Dnskey(Dnskey::decode(r, end)?),
+            RecordType::CDNSKEY => RData::Cdnskey(Dnskey::decode(r, end)?),
+            RecordType::KEY => RData::Key(Dnskey::decode(r, end)?),
+            RecordType::RRSIG => RData::Rrsig(Rrsig::decode(r, end)?),
+            RecordType::NSEC => RData::Nsec(Nsec::decode(r, end)?),
+            RecordType::NSEC3 => RData::Nsec3(Nsec3::decode(r, end)?),
+            RecordType::NSEC3PARAM => RData::Nsec3Param(Nsec3Param::decode(r)?),
+            RecordType::CSYNC => RData::Csync(Csync::decode(r, end)?),
+            RecordType::NXT => RData::Nxt(Nxt::decode(r, end)?),
+            RecordType::HINFO => RData::Hinfo(Hinfo::decode(r)?),
+            RecordType::ISDN => RData::Isdn(Isdn::decode(r, end)?),
+            RecordType::GPOS => RData::Gpos(Gpos::decode(r)?),
+            RecordType::LOC => RData::Loc(Loc::decode(r)?),
+            RecordType::URI => RData::Uri(Uri::decode(r, end)?),
+            RecordType::CAA => RData::Caa(Caa::decode(r, end)?),
+            RecordType::CERT => RData::Cert(CertRec::decode(r, end)?),
+            RecordType::SSHFP => RData::Sshfp(Sshfp::decode(r, end)?),
+            RecordType::TLSA => RData::Tlsa(Tlsa::decode(r, end)?),
+            RecordType::SMIMEA => RData::Smimea(Tlsa::decode(r, end)?),
+            RecordType::HIP => RData::Hip(Hip::decode(r, end)?),
+            RecordType::TKEY => RData::Tkey(Tkey::decode(r)?),
+            RecordType::SVCB => RData::Svcb(Svcb::decode(r, end)?),
+            RecordType::HTTPS => RData::Https(Svcb::decode(r, end)?),
+            RecordType::L32 => RData::L32(L32::decode(r)?),
+            RecordType::L64 => RData::L64(L64::decode(r)?),
+            RecordType::NID => RData::Nid(Nid::decode(r)?),
+            RecordType::LP => RData::Lp(Lp::decode(r)?),
+            RecordType::EUI48 => {
+                let b = r.read_bytes(6, "EUI48 rdata")?;
+                let mut o = [0u8; 6];
+                o.copy_from_slice(b);
+                RData::Eui48(o)
+            }
+            RecordType::EUI64 => {
+                let b = r.read_bytes(8, "EUI64 rdata")?;
+                let mut o = [0u8; 8];
+                o.copy_from_slice(b);
+                RData::Eui64(o)
+            }
+            // EID, ATMA, DHCID, OPENPGPKEY, UINFO, UID, GID, UNSPEC, NULL and
+            // anything unknown: keep the raw bytes (RFC 3597 treatment).
+            _ => RData::Opaque(r.read_bytes(rdlen, "opaque rdata")?.to_vec()),
+        };
+        let consumed = r.position() - start;
+        if consumed != rdlen {
+            // A compressed name inside RDATA can legitimately make the
+            // in-place representation shorter than RDLENGTH only if the
+            // server lied about RDLENGTH; either way the record is malformed.
+            return Err(WireError::RdataLength {
+                declared: rdlen,
+                consumed,
+            });
+        }
+        Ok(data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(rtype: RecordType, rdata: &RData) -> RData {
+        let mut w = WireWriter::new();
+        rdata.encode(&mut w).unwrap();
+        let bytes = w.finish();
+        let mut r = WireReader::new(&bytes);
+        let decoded = RData::decode(rtype, bytes.len(), &mut r).unwrap();
+        assert!(r.is_empty(), "{rtype}: trailing bytes");
+        decoded
+    }
+
+    #[test]
+    fn a_roundtrip() {
+        let d = RData::A("192.0.2.33".parse().unwrap());
+        assert_eq!(roundtrip(RecordType::A, &d), d);
+    }
+
+    #[test]
+    fn aaaa_roundtrip() {
+        let d = RData::Aaaa("2001:db8::33".parse().unwrap());
+        assert_eq!(roundtrip(RecordType::AAAA, &d), d);
+    }
+
+    #[test]
+    fn name_types_roundtrip() {
+        let n: Name = "ns1.example.com".parse().unwrap();
+        for (t, d) in [
+            (RecordType::NS, RData::Ns(n.clone())),
+            (RecordType::CNAME, RData::Cname(n.clone())),
+            (RecordType::PTR, RData::Ptr(n.clone())),
+            (RecordType::DNAME, RData::Dname(n.clone())),
+            (RecordType::MB, RData::Mb(n.clone())),
+            (RecordType::MG, RData::Mg(n.clone())),
+            (RecordType::MR, RData::Mr(n.clone())),
+            (RecordType::NSAPPTR, RData::NsapPtr(n.clone())),
+        ] {
+            assert_eq!(roundtrip(t, &d), d);
+        }
+    }
+
+    #[test]
+    fn truncated_a_rejected() {
+        let bytes = [192, 0, 2];
+        let mut r = WireReader::new(&bytes);
+        assert!(RData::decode(RecordType::A, 3, &mut r).is_err());
+    }
+
+    #[test]
+    fn rdlength_mismatch_rejected() {
+        // A 4-byte A record with a declared length of 5.
+        let bytes = [192, 0, 2, 1, 0];
+        let mut r = WireReader::new(&bytes);
+        assert!(matches!(
+            RData::decode(RecordType::A, 5, &mut r),
+            Err(WireError::RdataLength { declared: 5, consumed: 4 })
+        ));
+    }
+
+    #[test]
+    fn unknown_type_kept_opaque() {
+        let bytes = [1, 2, 3, 4, 5];
+        let mut r = WireReader::new(&bytes);
+        let d = RData::decode(RecordType::Unknown(999), 5, &mut r).unwrap();
+        assert_eq!(d, RData::Opaque(vec![1, 2, 3, 4, 5]));
+    }
+
+    #[test]
+    fn eui_roundtrips() {
+        let d48 = RData::Eui48([1, 2, 3, 4, 5, 6]);
+        assert_eq!(roundtrip(RecordType::EUI48, &d48), d48);
+        let d64 = RData::Eui64([1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(roundtrip(RecordType::EUI64, &d64), d64);
+    }
+}

@@ -1,0 +1,147 @@
+//! Property tests: encode/decode roundtrips and no-panic guarantees.
+
+use proptest::prelude::*;
+
+use zdns_wire::rdata::{Mx, Soa, TxtData};
+use zdns_wire::{
+    Flags, Message, Name, Question, RData, Rcode, RcodeField, Record, RecordClass, RecordType,
+};
+
+fn arb_label() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(any::<u8>(), 1..=20)
+}
+
+fn arb_name() -> impl Strategy<Value = Name> {
+    proptest::collection::vec(arb_label(), 0..=5)
+        .prop_map(|labels| Name::from_labels(labels).expect("bounded labels are valid"))
+}
+
+fn arb_rdata() -> impl Strategy<Value = RData> {
+    prop_oneof![
+        any::<[u8; 4]>().prop_map(|b| RData::A(b.into())),
+        any::<[u8; 16]>().prop_map(|b| RData::Aaaa(b.into())),
+        arb_name().prop_map(RData::Ns),
+        arb_name().prop_map(RData::Cname),
+        arb_name().prop_map(RData::Ptr),
+        (arb_name(), arb_name(), any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>())
+            .prop_map(|(mname, rname, serial, refresh, retry, expire, minimum)| {
+                RData::Soa(Soa { mname, rname, serial, refresh, retry, expire, minimum })
+            }),
+        (any::<u16>(), arb_name()).prop_map(|(preference, exchange)| RData::Mx(Mx {
+            preference,
+            exchange
+        })),
+        proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..=60), 1..=4)
+            .prop_map(|strings| RData::Txt(TxtData { strings })),
+        proptest::collection::vec(any::<u8>(), 0..=40).prop_map(RData::Opaque),
+    ]
+}
+
+fn arb_record() -> impl Strategy<Value = RData> {
+    arb_rdata()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn name_text_roundtrip(name in arb_name()) {
+        let text = name.to_string();
+        let reparsed: Name = text.parse().unwrap();
+        prop_assert_eq!(name, reparsed);
+    }
+
+    #[test]
+    fn name_wire_roundtrip(name in arb_name()) {
+        let mut w = zdns_wire::WireWriter::new();
+        w.write_name(&name).unwrap();
+        let bytes = w.finish();
+        let mut r = zdns_wire::WireReader::new(&bytes);
+        prop_assert_eq!(r.read_name().unwrap(), name);
+    }
+
+    #[test]
+    fn message_roundtrip(
+        id in any::<u16>(),
+        qname in arb_name(),
+        rdatas in proptest::collection::vec(arb_record(), 0..=6),
+        rcode_val in 0u16..=20,
+    ) {
+        let mut msg = Message::query(id, Question::new(qname.clone(), RecordType::A));
+        msg.flags = Flags { response: true, ..Flags::default() };
+        msg.rcode = RcodeField(Rcode::from_u16(rcode_val));
+        for rd in rdatas {
+            // Opaque data has no natural type on the wire; pair it with NULL
+            // which decodes back to opaque.
+            let rec = Record {
+                name: qname.clone(),
+                rtype: rd.natural_type(),
+                class: RecordClass::IN,
+                ttl: 300,
+                rdata: rd,
+            };
+            msg.answers.push(rec);
+        }
+        let bytes = msg.encode().unwrap();
+        let decoded = Message::decode(&bytes).unwrap();
+        prop_assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn decode_arbitrary_bytes_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..=600)) {
+        let _ = Message::decode(&bytes);
+    }
+
+    #[test]
+    fn decode_mutated_valid_message_never_panics(
+        qname in arb_name(),
+        rdatas in proptest::collection::vec(arb_record(), 0..=4),
+        flip_at in any::<prop::sample::Index>(),
+        new_byte in any::<u8>(),
+    ) {
+        let mut msg = Message::query(7, Question::new(qname.clone(), RecordType::ANY));
+        for rd in rdatas {
+            msg.answers.push(Record {
+                name: qname.clone(),
+                rtype: rd.natural_type(),
+                class: RecordClass::IN,
+                ttl: 60,
+                rdata: rd,
+            });
+        }
+        let mut bytes = msg.encode().unwrap();
+        let idx = flip_at.index(bytes.len());
+        bytes[idx] = new_byte;
+        let _ = Message::decode(&bytes);
+    }
+
+    #[test]
+    fn udp_truncation_respects_limit(
+        qname in arb_name(),
+        count in 1usize..=80,
+        limit in 100usize..=1400,
+    ) {
+        let mut msg = Message::query(9, Question::new(qname.clone(), RecordType::A));
+        msg.flags.response = true;
+        for i in 0..count {
+            msg.answers.push(Record::new(
+                qname.clone(),
+                300,
+                RData::A(std::net::Ipv4Addr::from(0x0A00_0000u32 + i as u32)),
+            ));
+        }
+        let (bytes, truncated) = msg.encode_udp(limit).unwrap();
+        let header_question_len = 12 + qname.wire_len() + 4;
+        // Unless even the header+question exceed the limit, the datagram fits.
+        if header_question_len + 11 < limit {
+            prop_assert!(bytes.len() <= limit);
+        }
+        let decoded = Message::decode(&bytes).unwrap();
+        if truncated {
+            prop_assert!(decoded.flags.truncated);
+            prop_assert!(decoded.answers.len() < count);
+        } else {
+            prop_assert_eq!(decoded.answers.len(), count);
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Cloudflare-style DNS content categories (§5 checks that availability is
+//! independent of category — so the categorizer assigns them independently
+//! of everything else, making that the ground truth).
+
+use zdns_zones::hashing::h64;
+
+/// Content categories, following Cloudflare's DNS category taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DomainCategory {
+    /// Technology and computing.
+    Technology,
+    /// Entertainment and media.
+    Entertainment,
+    /// Health and medicine.
+    Medical,
+    /// Banking and finance.
+    Finance,
+    /// Schools and universities.
+    Education,
+    /// News and journalism.
+    News,
+    /// E-commerce.
+    Shopping,
+    /// Government services.
+    Government,
+    /// Travel and hospitality.
+    Travel,
+    /// Everything else.
+    Other,
+}
+
+/// All categories.
+pub const ALL_CATEGORIES: [DomainCategory; 10] = [
+    DomainCategory::Technology,
+    DomainCategory::Entertainment,
+    DomainCategory::Medical,
+    DomainCategory::Finance,
+    DomainCategory::Education,
+    DomainCategory::News,
+    DomainCategory::Shopping,
+    DomainCategory::Government,
+    DomainCategory::Travel,
+    DomainCategory::Other,
+];
+
+impl DomainCategory {
+    /// Stable label.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DomainCategory::Technology => "technology",
+            DomainCategory::Entertainment => "entertainment",
+            DomainCategory::Medical => "medical",
+            DomainCategory::Finance => "finance",
+            DomainCategory::Education => "education",
+            DomainCategory::News => "news",
+            DomainCategory::Shopping => "shopping",
+            DomainCategory::Government => "government",
+            DomainCategory::Travel => "travel",
+            DomainCategory::Other => "other",
+        }
+    }
+}
+
+/// Categorize a base domain (deterministic, independent of DNS behaviour).
+pub fn categorize(seed: u64, base_domain: &str) -> DomainCategory {
+    let h = h64(seed, "category", base_domain.to_ascii_lowercase().as_bytes());
+    // Skewed: ~30% Other, the rest split.
+    match h % 100 {
+        0..=13 => DomainCategory::Technology,
+        14..=25 => DomainCategory::Entertainment,
+        26..=31 => DomainCategory::Medical,
+        32..=39 => DomainCategory::Finance,
+        40..=45 => DomainCategory::Education,
+        46..=52 => DomainCategory::News,
+        53..=64 => DomainCategory::Shopping,
+        65..=67 => DomainCategory::Government,
+        68..=72 => DomainCategory::Travel,
+        _ => DomainCategory::Other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn categorization_is_deterministic() {
+        assert_eq!(categorize(1, "example.com"), categorize(1, "EXAMPLE.com"));
+    }
+
+    #[test]
+    fn all_categories_reachable() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..5_000 {
+            seen.insert(categorize(1, &format!("d{i}.com")));
+        }
+        assert_eq!(seen.len(), ALL_CATEGORIES.len());
+    }
+}

@@ -1,0 +1,233 @@
+//! The evaluation corpus: a deterministic generator of CT-log-like fully
+//! qualified domain names matching the paper's Appendix A / Table 3 mix
+//! (234M fqdns over 93M base domains across 1702 TLDs; 55% legacy gTLD /
+//! 39% ccTLD / 6% new gTLD by fqdn).
+
+use zdns_zones::hashing::{h64, unit};
+use zdns_zones::tlds::{TldCategory, TldRegistry};
+
+/// Subdomain labels seen on certificates, in rough popularity order.
+const SUB_LABELS: [&str; 14] = [
+    "www", "mail", "api", "dev", "shop", "m", "blog", "app", "staging", "cdn", "vpn", "portal",
+    "webmail", "test",
+];
+
+/// Word fragments for base-domain labels.
+const FRAGMENTS: [&str; 24] = [
+    "blue", "fast", "cloud", "media", "shop", "tech", "data", "net", "soft", "green", "prime",
+    "alpha", "nova", "metro", "core", "peak", "digi", "grid", "zen", "flux", "bright", "atlas",
+    "vertex", "orbit",
+];
+
+/// Deterministic CT-log-like corpus over a TLD registry.
+pub struct CtCorpus {
+    tlds: TldRegistry,
+    seed: u64,
+}
+
+/// Table 3-style counts measured over a generated sample.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CorpusStats {
+    /// Fully qualified names generated.
+    pub fqdns: u64,
+    /// Distinct base domains.
+    pub domains: u64,
+    /// fqdns per category: (legacy, ng, cc).
+    pub fqdns_by_category: (u64, u64, u64),
+    /// domains per category: (legacy, ng, cc).
+    pub domains_by_category: (u64, u64, u64),
+    /// Distinct TLDs seen per category: (legacy, ng, cc).
+    pub tlds_by_category: (u64, u64, u64),
+}
+
+impl CtCorpus {
+    /// Build a corpus generator (same seed ⇒ same names as the universe).
+    pub fn new(seed: u64, n_cctlds: usize, n_ngtlds: usize) -> CtCorpus {
+        CtCorpus {
+            tlds: TldRegistry::generate(seed, n_cctlds, n_ngtlds),
+            seed,
+        }
+    }
+
+    /// The TLD registry in use.
+    pub fn tlds(&self) -> &TldRegistry {
+        &self.tlds
+    }
+
+    /// The `i`-th base domain: a word-ish label under a weighted TLD.
+    pub fn base_domain(&self, i: u64) -> String {
+        let h = h64(self.seed, "corpus-base", &i.to_le_bytes());
+        let tld = self.tlds.sample(h);
+        let a = FRAGMENTS[(h >> 8) as usize % FRAGMENTS.len()];
+        let b = FRAGMENTS[(h >> 16) as usize % FRAGMENTS.len()];
+        // The index keeps names collision-free without a dedup set.
+        format!("{a}{b}{i}.{}", tld.label)
+    }
+
+    /// How many fqdns the corpus emits for base domain `i` (≥1; the mean
+    /// tracks the per-category fqdns/domain ratios from Table 3).
+    pub fn fqdns_for_base(&self, i: u64) -> u64 {
+        let h = h64(self.seed, "corpus-subcount", &i.to_le_bytes());
+        let tld = self
+            .tlds
+            .by_label(self.base_domain(i).rsplit('.').next().expect("has tld"))
+            .expect("generated TLD exists");
+        let mean = tld.fqdns_per_domain.max(1.0);
+        // Geometric-ish: 1 + extra, mean matches.
+        let p = 1.0 / mean;
+        let u = unit(h);
+        let extra = (u.ln() / (1.0 - p).ln()).floor() as u64;
+        1 + extra.min(24)
+    }
+
+    /// The `j`-th fqdn of base domain `i` (j=0 is the apex).
+    pub fn fqdn(&self, i: u64, j: u64) -> String {
+        let base = self.base_domain(i);
+        if j == 0 {
+            return base;
+        }
+        let idx = (j as usize - 1) % SUB_LABELS.len();
+        if j as usize - 1 < SUB_LABELS.len() {
+            format!("{}.{base}", SUB_LABELS[idx])
+        } else {
+            format!("{}{}.{base}", SUB_LABELS[idx], j)
+        }
+    }
+
+    /// Iterator over `n` fqdns drawn across base domains in corpus order.
+    pub fn fqdns(&self, n: u64) -> impl Iterator<Item = String> + '_ {
+        let mut base = 0u64;
+        let mut sub = 0u64;
+        let mut per_base = self.fqdns_for_base(0);
+        (0..n).map(move |_| {
+            if sub >= per_base {
+                base += 1;
+                sub = 0;
+                per_base = self.fqdns_for_base(base);
+            }
+            let out = self.fqdn(base, sub);
+            sub += 1;
+            out
+        })
+    }
+
+    /// Iterator over `n` distinct base domains (the §6 CAA scan input).
+    pub fn base_domains(&self, n: u64) -> impl Iterator<Item = String> + '_ {
+        (0..n).map(|i| self.base_domain(i))
+    }
+
+    /// Generate a sample and measure its Table 3 shape.
+    pub fn stats(&self, sample_fqdns: u64) -> CorpusStats {
+        let mut stats = CorpusStats::default();
+        let mut seen_tlds: std::collections::HashSet<(u8, String)> = std::collections::HashSet::new();
+        let mut base = 0u64;
+        let mut emitted = 0u64;
+        while emitted < sample_fqdns {
+            let domain = self.base_domain(base);
+            let tld_label = domain.rsplit('.').next().expect("has tld").to_string();
+            let tld = self.tlds.by_label(&tld_label).expect("generated TLD");
+            let cat = match tld.category {
+                TldCategory::LegacyGtld => 0u8,
+                TldCategory::NewGtld => 1,
+                TldCategory::CcTld => 2,
+                TldCategory::Infra => unreachable!("corpus never samples arpa"),
+            };
+            let fqdns = self.fqdns_for_base(base).min(sample_fqdns - emitted);
+            stats.domains += 1;
+            stats.fqdns += fqdns;
+            match cat {
+                0 => {
+                    stats.domains_by_category.0 += 1;
+                    stats.fqdns_by_category.0 += fqdns;
+                }
+                1 => {
+                    stats.domains_by_category.1 += 1;
+                    stats.fqdns_by_category.1 += fqdns;
+                }
+                _ => {
+                    stats.domains_by_category.2 += 1;
+                    stats.fqdns_by_category.2 += fqdns;
+                }
+            }
+            seen_tlds.insert((cat, tld_label));
+            emitted += fqdns;
+            base += 1;
+        }
+        for (cat, _) in seen_tlds {
+            match cat {
+                0 => stats.tlds_by_category.0 += 1,
+                1 => stats.tlds_by_category.1 += 1,
+                _ => stats.tlds_by_category.2 += 1,
+            }
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> CtCorpus {
+        CtCorpus::new(0x5DA5_2D45, 486, 1211)
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = corpus();
+        let b = corpus();
+        for i in 0..100 {
+            assert_eq!(a.base_domain(i), b.base_domain(i));
+        }
+    }
+
+    #[test]
+    fn base_domains_unique() {
+        let c = corpus();
+        let set: std::collections::HashSet<String> = c.base_domains(10_000).collect();
+        assert_eq!(set.len(), 10_000);
+    }
+
+    #[test]
+    fn fqdn_zero_is_apex() {
+        let c = corpus();
+        assert_eq!(c.fqdn(7, 0), c.base_domain(7));
+        assert!(c.fqdn(7, 1).starts_with("www."));
+    }
+
+    #[test]
+    fn fqdns_have_valid_names() {
+        let c = corpus();
+        for name in c.fqdns(5_000) {
+            assert!(
+                name.parse::<zdns_wire::Name>().is_ok(),
+                "invalid name {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn category_mix_tracks_table3() {
+        let c = corpus();
+        let stats = c.stats(100_000);
+        let total_fqdns = stats.fqdns as f64;
+        let legacy_share = stats.fqdns_by_category.0 as f64 / total_fqdns;
+        let ng_share = stats.fqdns_by_category.1 as f64 / total_fqdns;
+        let cc_share = stats.fqdns_by_category.2 as f64 / total_fqdns;
+        // Table 3 fqdn shares: 55.3% / 6.1% / 38.7%. The corpus couples
+        // TLD sampling (by domain) with fqdns-per-domain (by category), so
+        // tolerate a few points of drift.
+        assert!((legacy_share - 0.553).abs() < 0.06, "legacy {legacy_share}");
+        assert!((ng_share - 0.061).abs() < 0.03, "ng {ng_share}");
+        assert!((cc_share - 0.387).abs() < 0.06, "cc {cc_share}");
+    }
+
+    #[test]
+    fn fqdns_per_domain_ratio_near_2_5() {
+        let c = corpus();
+        let stats = c.stats(100_000);
+        let ratio = stats.fqdns as f64 / stats.domains as f64;
+        // 234M / 93.5M ≈ 2.51.
+        assert!((ratio - 2.51).abs() < 0.35, "{ratio}");
+    }
+}

@@ -1,0 +1,102 @@
+//! The public IPv4 space — the PTR sweep workload ("3.7B publicly
+//! accessible IPv4 addresses", §3.1).
+
+use std::net::Ipv4Addr;
+
+use zdns_zones::addressing::is_reserved;
+use zdns_zones::hashing::splitmix64;
+
+/// Exact number of non-reserved IPv4 addresses under the reproduction's
+/// reservation rules (computed once; ~3.7B).
+pub fn public_ipv4_count() -> u64 {
+    // Count reserved space analytically per the `is_reserved` rules.
+    let full: u64 = 1 << 32;
+    let slash8: u64 = 1 << 24;
+    let mut reserved: u64 = 0;
+    reserved += 3 * slash8; // 0/8, 10/8, 127/8
+    reserved += 64 * (1 << 16); // 100.64/10
+    reserved += 1 << 16; // 169.254/16
+    reserved += 16 * (1 << 16); // 172.16/12
+    reserved += 1 << 16; // 192.168/16
+    reserved += 1 << 16; // 192.0/16
+    reserved += 2 * (1 << 16); // 198.18/15
+    reserved += 32 * slash8; // 224/4 + 240/4
+    full - reserved
+}
+
+/// Deterministic pseudo-random walk over the public IPv4 space (no
+/// repeats within a period of 2^32, reserved space skipped) — the ZMap-
+/// style permutation scanners use.
+pub struct Ipv4Walk {
+    state: u32,
+    remaining: u64,
+}
+
+/// Multiplier for a full-period LCG mod 2^32 (Hull–Dobell conditions).
+const LCG_A: u32 = 1_664_525;
+const LCG_C: u32 = 1_013_904_223;
+
+impl Ipv4Walk {
+    /// Walk `count` public addresses starting from a seed.
+    pub fn new(seed: u64, count: u64) -> Ipv4Walk {
+        Ipv4Walk {
+            state: splitmix64(seed) as u32,
+            remaining: count,
+        }
+    }
+}
+
+impl Iterator for Ipv4Walk {
+    type Item = Ipv4Addr;
+
+    fn next(&mut self) -> Option<Ipv4Addr> {
+        if self.remaining == 0 {
+            return None;
+        }
+        loop {
+            self.state = self.state.wrapping_mul(LCG_A).wrapping_add(LCG_C);
+            let addr = Ipv4Addr::from(self.state);
+            if !is_reserved(addr) {
+                self.remaining -= 1;
+                return Some(addr);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_is_about_3_7_billion() {
+        let count = public_ipv4_count();
+        assert!((3_600_000_000..3_750_000_000).contains(&count), "{count}");
+    }
+
+    #[test]
+    fn walk_skips_reserved() {
+        for ip in Ipv4Walk::new(7, 100_000) {
+            assert!(!is_reserved(ip), "{ip}");
+        }
+    }
+
+    #[test]
+    fn walk_is_deterministic_and_covers_widely() {
+        let a: Vec<Ipv4Addr> = Ipv4Walk::new(9, 10_000).collect();
+        let b: Vec<Ipv4Addr> = Ipv4Walk::new(9, 10_000).collect();
+        assert_eq!(a, b);
+        // A different seed gives a different walk.
+        let c: Vec<Ipv4Addr> = Ipv4Walk::new(10, 10_000).collect();
+        assert_ne!(a, c);
+        // Spread across many /8s.
+        let octets: std::collections::HashSet<u8> = a.iter().map(|ip| ip.octets()[0]).collect();
+        assert!(octets.len() > 100, "{}", octets.len());
+    }
+
+    #[test]
+    fn no_short_cycles() {
+        let seen: std::collections::HashSet<Ipv4Addr> = Ipv4Walk::new(3, 50_000).collect();
+        assert_eq!(seen.len(), 50_000, "LCG walk repeated early");
+    }
+}

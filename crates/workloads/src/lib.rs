@@ -1,0 +1,15 @@
+//! # zdns-workloads
+//!
+//! Workload generators for the evaluation: the CT-log-like domain corpus
+//! (Appendix A / Table 3), the public IPv4 space for PTR sweeps, and the
+//! content-category model the §5 case study correlates against.
+
+#![warn(missing_docs)]
+
+pub mod categories;
+pub mod corpus;
+pub mod ipv4;
+
+pub use categories::{categorize, DomainCategory, ALL_CATEGORIES};
+pub use corpus::{CorpusStats, CtCorpus};
+pub use ipv4::{public_ipv4_count, Ipv4Walk};

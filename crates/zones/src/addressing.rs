@@ -1,0 +1,198 @@
+//! IP address layout of the synthetic Internet.
+//!
+//! Server roles are encoded in the address itself so the universe can
+//! answer "who is 206.13.57.1?" without any lookup table — the same trick
+//! that keeps the namespace procedural.
+//!
+//! ```text
+//! 198.41.0.{1..=13}      root servers
+//! 199.(i/256).(i%256).j  TLD i, server j            (j ≥ 1)
+//! 204.p.j.53             provider p, auth server j
+//! 205.a.j.53             reverse /8 zone a.in-addr.arpa, server j (j ≥ 1)
+//! 206.a.b.{1,2}          reverse /16 zone b.a.in-addr.arpa servers
+//! ```
+
+use std::net::Ipv4Addr;
+
+/// What lives at a synthetic server address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServerRole {
+    /// One of the 13 root servers.
+    Root {
+        /// 0-based index (a=0 .. m=12).
+        index: u8,
+    },
+    /// A TLD zone server.
+    Tld {
+        /// TLD registry index.
+        tld_index: u16,
+        /// 0-based server index within the TLD's fleet.
+        server: u8,
+    },
+    /// A hosting provider's authoritative server.
+    ProviderAuth {
+        /// Provider registry index.
+        provider: u16,
+        /// 0-based nameserver index.
+        server: u8,
+    },
+    /// Server for a reverse /8 zone `a.in-addr.arpa`.
+    Rdns8 {
+        /// The /8 first octet.
+        octet: u8,
+        /// 0-based server index (0 or 1).
+        server: u8,
+    },
+    /// Server for a reverse /16 zone `b.a.in-addr.arpa`.
+    Rdns16 {
+        /// First octet of the /16.
+        a: u8,
+        /// Second octet of the /16.
+        b: u8,
+        /// 0-based server index (0 or 1).
+        server: u8,
+    },
+    /// Server for a reverse /24 zone `c.b.a.in-addr.arpa` (a minority of
+    /// /16 operators delegate this deep; one server per zone).
+    Rdns24 {
+        /// First octet.
+        a: u8,
+        /// Second octet.
+        b: u8,
+        /// Third octet.
+        c: u8,
+    },
+}
+
+impl ServerRole {
+    /// The address this role lives at.
+    pub fn address(self) -> Ipv4Addr {
+        match self {
+            ServerRole::Root { index } => Ipv4Addr::new(198, 41, 0, index + 1),
+            ServerRole::Tld { tld_index, server } => Ipv4Addr::new(
+                199,
+                (tld_index >> 8) as u8,
+                (tld_index & 0xFF) as u8,
+                server + 1,
+            ),
+            ServerRole::ProviderAuth { provider, server } => {
+                Ipv4Addr::new(204, provider as u8, server, 53)
+            }
+            ServerRole::Rdns8 { octet, server } => Ipv4Addr::new(205, octet, server + 1, 53),
+            ServerRole::Rdns16 { a, b, server } => Ipv4Addr::new(206, a, b, server + 1),
+            ServerRole::Rdns24 { a, b, c } => Ipv4Addr::new(207, a, b, c),
+        }
+    }
+
+    /// Decode an address back into a role, if it is a synthetic server.
+    pub fn decode(addr: Ipv4Addr) -> Option<ServerRole> {
+        let [o1, o2, o3, o4] = addr.octets();
+        match o1 {
+            198 if o2 == 41 && o3 == 0 && (1..=13).contains(&o4) => {
+                Some(ServerRole::Root { index: o4 - 1 })
+            }
+            199 if o4 >= 1 => Some(ServerRole::Tld {
+                tld_index: (o2 as u16) << 8 | o3 as u16,
+                server: o4 - 1,
+            }),
+            204 if o4 == 53 => Some(ServerRole::ProviderAuth {
+                provider: o2 as u16,
+                server: o3,
+            }),
+            205 if o4 == 53 && o3 >= 1 => Some(ServerRole::Rdns8 {
+                octet: o2,
+                server: o3 - 1,
+            }),
+            206 if o4 >= 1 && o4 <= 2 => Some(ServerRole::Rdns16 {
+                a: o2,
+                b: o3,
+                server: o4 - 1,
+            }),
+            207 => Some(ServerRole::Rdns24 { a: o2, b: o3, c: o4 }),
+            _ => None,
+        }
+    }
+}
+
+/// True if the address falls in a range the synthetic Internet reserves for
+/// infrastructure; host (leaf A-record) addresses must avoid these.
+pub fn is_infrastructure_block(addr: Ipv4Addr) -> bool {
+    matches!(addr.octets()[0], 198 | 199 | 204 | 205 | 206 | 207)
+}
+
+/// True if the address is outside the public, routable IPv4 space (the
+/// paper's "3.7B publicly accessible IPv4 addresses" excludes these).
+pub fn is_reserved(addr: Ipv4Addr) -> bool {
+    let [a, b, ..] = addr.octets();
+    match a {
+        0 | 10 | 127 => true,
+        100 if (64..=127).contains(&b) => true, // 100.64/10 CGNAT
+        169 if b == 254 => true,
+        172 if (16..=31).contains(&b) => true,
+        192 if b == 168 => true,
+        192 if b == 0 => true, // 192.0.0/24 + 192.0.2/24 test nets
+        198 if b == 18 || b == 19 => true,
+        224..=255 => true, // multicast + future + broadcast
+        _ => false,
+    }
+}
+
+/// Map an arbitrary hash to a plausible public host address that avoids
+/// both reserved space and the synthetic infrastructure blocks.
+pub fn host_address(mut h: u64) -> Ipv4Addr {
+    loop {
+        let candidate = Ipv4Addr::from((h & 0xFFFF_FFFF) as u32);
+        if !is_reserved(candidate) && !is_infrastructure_block(candidate) {
+            return candidate;
+        }
+        h = crate::hashing::splitmix64(h);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roles_roundtrip() {
+        let roles = [
+            ServerRole::Root { index: 0 },
+            ServerRole::Root { index: 12 },
+            ServerRole::Tld { tld_index: 0, server: 0 },
+            ServerRole::Tld { tld_index: 1702, server: 5 },
+            ServerRole::ProviderAuth { provider: 199, server: 3 },
+            ServerRole::Rdns8 { octet: 17, server: 1 },
+            ServerRole::Rdns16 { a: 17, b: 201, server: 0 },
+            ServerRole::Rdns24 { a: 17, b: 201, c: 5 },
+        ];
+        for role in roles {
+            assert_eq!(ServerRole::decode(role.address()), Some(role), "{role:?}");
+        }
+    }
+
+    #[test]
+    fn non_servers_decode_none() {
+        for ip in ["8.8.8.8", "1.1.1.1", "93.184.216.34", "198.41.0.0", "198.41.0.14"] {
+            assert_eq!(ServerRole::decode(ip.parse().unwrap()), None, "{ip}");
+        }
+    }
+
+    #[test]
+    fn host_addresses_avoid_infrastructure_and_reserved() {
+        for i in 0..10_000u64 {
+            let a = host_address(crate::hashing::splitmix64(i));
+            assert!(!is_reserved(a), "{a}");
+            assert!(!is_infrastructure_block(a), "{a}");
+        }
+    }
+
+    #[test]
+    fn reserved_space_checks() {
+        assert!(is_reserved("10.1.2.3".parse().unwrap()));
+        assert!(is_reserved("192.168.1.1".parse().unwrap()));
+        assert!(is_reserved("224.0.0.1".parse().unwrap()));
+        assert!(is_reserved("100.64.0.1".parse().unwrap()));
+        assert!(!is_reserved("100.63.0.1".parse().unwrap()));
+        assert!(!is_reserved("8.8.8.8".parse().unwrap()));
+    }
+}

@@ -1,0 +1,113 @@
+//! Deterministic hashing for procedural content generation.
+//!
+//! The synthetic Internet derives every fact (does this domain exist? which
+//! provider hosts it? does it publish CAA?) from a stable hash of
+//! `(seed, facet, subject)`. Two components that ask the same question get
+//! the same answer without sharing state, which is what keeps a
+//! billions-of-names namespace representable in zero memory.
+
+/// A 64-bit stable hash (FNV-1a core with a splitmix64 finisher for good
+/// avalanche behaviour on short inputs).
+pub fn h64(seed: u64, facet: &str, subject: &[u8]) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+    const FNV_PRIME: u64 = 0x100000001b3;
+    let mut h = FNV_OFFSET ^ seed;
+    for &b in facet.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h ^= 0xff;
+    h = h.wrapping_mul(FNV_PRIME);
+    for &b in subject {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    splitmix64(h)
+}
+
+/// splitmix64 finisher.
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+/// Uniform draw in `[0, 1)` from a hash.
+pub fn unit(h: u64) -> f64 {
+    // 53 mantissa bits of uniformity.
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Bernoulli draw: true with probability `p`.
+pub fn chance(seed: u64, facet: &str, subject: &[u8], p: f64) -> bool {
+    unit(h64(seed, facet, subject)) < p
+}
+
+/// Uniform integer in `[0, n)`.
+pub fn pick(seed: u64, facet: &str, subject: &[u8], n: usize) -> usize {
+    debug_assert!(n > 0);
+    (h64(seed, facet, subject) % n as u64) as usize
+}
+
+/// Weighted index draw over cumulative weights (ascending, last == total).
+pub fn pick_weighted(seed: u64, facet: &str, subject: &[u8], cumulative: &[f64]) -> usize {
+    let total = *cumulative.last().expect("non-empty weights");
+    let x = unit(h64(seed, facet, subject)) * total;
+    match cumulative.binary_search_by(|w| w.partial_cmp(&x).expect("finite weights")) {
+        Ok(i) => (i + 1).min(cumulative.len() - 1),
+        Err(i) => i.min(cumulative.len() - 1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(h64(1, "x", b"abc"), h64(1, "x", b"abc"));
+        assert_ne!(h64(1, "x", b"abc"), h64(2, "x", b"abc"));
+        assert_ne!(h64(1, "x", b"abc"), h64(1, "y", b"abc"));
+        assert_ne!(h64(1, "x", b"abc"), h64(1, "x", b"abd"));
+    }
+
+    #[test]
+    fn unit_in_range() {
+        for i in 0..1000u64 {
+            let u = unit(splitmix64(i));
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn chance_frequency_tracks_p() {
+        let p = 0.3;
+        let hits = (0..20_000i32)
+            .filter(|i| chance(42, "t", &i.to_le_bytes(), p))
+            .count();
+        let freq = hits as f64 / 20_000.0;
+        assert!((freq - p).abs() < 0.02, "freq {freq}");
+    }
+
+    #[test]
+    fn pick_covers_range() {
+        let mut seen = [false; 7];
+        for i in 0..1000u32 {
+            seen[pick(7, "p", &i.to_le_bytes(), 7)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn pick_weighted_respects_weights() {
+        // weights 1:3 → second outcome ~75%.
+        let cum = [1.0, 4.0];
+        let n = 20_000;
+        let second = (0..n)
+            .filter(|i: &i32| pick_weighted(9, "w", &i.to_le_bytes(), &cum) == 1)
+            .count();
+        let freq = second as f64 / n as f64;
+        assert!((freq - 0.75).abs() < 0.02, "freq {freq}");
+    }
+}

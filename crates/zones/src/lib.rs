@@ -1,0 +1,22 @@
+//! # zdns-zones
+//!
+//! The authoritative side of the simulated Internet the ZDNS reproduction
+//! scans: explicit [`zone::Zone`]s with full RFC semantics for tests and
+//! loopback servers, and the procedural [`synth::SyntheticUniverse`] that
+//! models 93M base domains, 1702 TLDs (Table 3), the IPv4 reverse tree, and
+//! the §5/§6 case-study populations in O(1) memory.
+
+#![warn(missing_docs)]
+
+pub mod addressing;
+pub mod hashing;
+pub mod providers;
+pub mod synth;
+pub mod tlds;
+pub mod universe;
+pub mod zone;
+
+pub use addressing::ServerRole;
+pub use synth::{DomainProfile, SynthConfig, SyntheticUniverse};
+pub use universe::{AuthResponse, ExplicitUniverse, LatencyClass, ServerProfile, Universe};
+pub use zone::{Zone, ZoneAnswer};

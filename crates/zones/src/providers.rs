@@ -1,0 +1,231 @@
+//! DNS hosting providers.
+//!
+//! The §5 case study's headline findings are provider effects: Cloudflare
+//! and GoDaddy each host ~12% of domains and answer consistently; a small
+//! registrar ("namebrightdns.com" in the paper) accounts for 31% of the
+//! domains whose nameservers need ten retries. The provider registry makes
+//! those populations explicit.
+
+use crate::hashing::h64;
+use crate::universe::LatencyClass;
+
+/// How reliably a provider's nameservers answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReliabilityClass {
+    /// Anycast fleets: negligible loss.
+    Excellent,
+    /// Ordinary hosting: ~0.5% loss.
+    Good,
+    /// The long tail: a few % loss.
+    Poor,
+    /// Probabilistic blocking: consecutive queries trip a temporary
+    /// timeout, the §5 "temporary probabilistic blocking" behaviour.
+    Blocking,
+}
+
+/// One DNS hosting provider.
+#[derive(Debug, Clone)]
+pub struct Provider {
+    /// Stable index (also encodes its server IPs).
+    pub index: u16,
+    /// Provider label used in nameserver hostnames (`ns1.<label>.com`).
+    pub label: String,
+    /// Number of distinct nameserver hosts.
+    pub ns_count: u8,
+    /// Share of base domains hosted here.
+    pub weight: f64,
+    /// Whether all of this provider's nameservers serve identical answers
+    /// (§5: >99.99% of domains are consistent; the exceptions concentrate
+    /// in inconsistent providers).
+    pub consistent: bool,
+    /// Reliability.
+    pub reliability: ReliabilityClass,
+    /// Latency class of its nameservers.
+    pub latency: LatencyClass,
+}
+
+/// The provider population.
+pub struct ProviderRegistry {
+    providers: Vec<Provider>,
+    cumulative: Vec<f64>,
+}
+
+/// Index of the Cloudflare-like anycast provider.
+pub const PROVIDER_CLOUDFLARE: u16 = 0;
+/// Index of the GoDaddy-like registrar provider.
+pub const PROVIDER_GODADDY: u16 = 1;
+/// Index of the namebright-like provider with blocking nameservers (§5).
+pub const PROVIDER_NAMEBRIGHT: u16 = 2;
+
+impl ProviderRegistry {
+    /// Generate `n` providers (`n ≥ 8`, ≤ 250 so indices fit the IP scheme).
+    pub fn generate(seed: u64, n: usize) -> ProviderRegistry {
+        assert!((8..=250).contains(&n), "provider count must be in 8..=250");
+        let mut providers = Vec::with_capacity(n);
+        providers.push(Provider {
+            index: PROVIDER_CLOUDFLARE,
+            label: "cloudflare-dns".into(),
+            ns_count: 4,
+            weight: 0.12,
+            consistent: true,
+            reliability: ReliabilityClass::Excellent,
+            latency: LatencyClass::Fast,
+        });
+        providers.push(Provider {
+            index: PROVIDER_GODADDY,
+            label: "domaincontrol".into(),
+            ns_count: 4,
+            weight: 0.12,
+            consistent: true,
+            reliability: ReliabilityClass::Excellent,
+            latency: LatencyClass::Fast,
+        });
+        providers.push(Provider {
+            index: PROVIDER_NAMEBRIGHT,
+            label: "namebrightdns".into(),
+            ns_count: 2,
+            weight: 0.002,
+            consistent: true,
+            reliability: ReliabilityClass::Blocking,
+            latency: LatencyClass::Medium,
+        });
+        // The long tail shares the remaining weight, Zipf-distributed.
+        let remaining = 1.0 - 0.12 - 0.12 - 0.002;
+        let tail = n - 3;
+        let raw: Vec<f64> = (0..tail).map(|i| 1.0 / ((i + 2) as f64)).collect();
+        let total: f64 = raw.iter().sum();
+        for (j, w) in raw.into_iter().enumerate() {
+            let index = (j + 3) as u16;
+            let r = h64(seed, "provider-rel", &index.to_le_bytes());
+            let reliability = match r % 100 {
+                0..=69 => ReliabilityClass::Good,
+                70..=94 => ReliabilityClass::Excellent,
+                _ => ReliabilityClass::Poor,
+            };
+            let latency = match (r >> 8) % 100 {
+                0..=39 => LatencyClass::Fast,
+                40..=84 => LatencyClass::Medium,
+                _ => LatencyClass::Slow,
+            };
+            providers.push(Provider {
+                index,
+                label: format!("nsprovider{index}"),
+                ns_count: 2 + ((r >> 16) % 3) as u8,
+                weight: remaining * w / total,
+                // §5: response inconsistency is rare; only a sliver of the
+                // tail serves inconsistent answers.
+                consistent: (r >> 24) % 1000 != 0,
+                reliability,
+                latency,
+            });
+        }
+        let mut cumulative = Vec::with_capacity(providers.len());
+        let mut acc = 0.0;
+        for p in &providers {
+            acc += p.weight;
+            cumulative.push(acc);
+        }
+        ProviderRegistry {
+            providers,
+            cumulative,
+        }
+    }
+
+    /// All providers.
+    pub fn all(&self) -> &[Provider] {
+        &self.providers
+    }
+
+    /// Get by index.
+    pub fn by_index(&self, index: u16) -> Option<&Provider> {
+        self.providers.get(index as usize)
+    }
+
+    /// Sample a provider by hosting weight using hash `h`.
+    pub fn sample(&self, h: u64) -> &Provider {
+        let total = *self.cumulative.last().expect("non-empty");
+        let x = crate::hashing::unit(crate::hashing::splitmix64(h)) * total;
+        let idx = match self
+            .cumulative
+            .binary_search_by(|w| w.partial_cmp(&x).expect("finite"))
+        {
+            Ok(i) => i + 1,
+            Err(i) => i,
+        };
+        &self.providers[idx.min(self.providers.len() - 1)]
+    }
+
+    /// The base domain that holds this provider's nameserver host records,
+    /// e.g. `cloudflare-dns.com`.
+    pub fn ns_domain(&self, index: u16) -> String {
+        format!("{}.com", self.providers[index as usize].label)
+    }
+
+    /// Hostname of nameserver `k` for provider `index`:
+    /// `ns{k+1}.{label}.com`.
+    pub fn ns_hostname(&self, index: u16, k: u8) -> String {
+        format!("ns{}.{}.com", k + 1, self.providers[index as usize].label)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn registry() -> ProviderRegistry {
+        ProviderRegistry::generate(42, 200)
+    }
+
+    #[test]
+    fn headline_providers_present() {
+        let r = registry();
+        assert_eq!(r.by_index(PROVIDER_CLOUDFLARE).unwrap().weight, 0.12);
+        assert_eq!(r.by_index(PROVIDER_GODADDY).unwrap().weight, 0.12);
+        assert_eq!(
+            r.by_index(PROVIDER_NAMEBRIGHT).unwrap().reliability,
+            ReliabilityClass::Blocking
+        );
+    }
+
+    #[test]
+    fn weights_sum_to_one() {
+        let total: f64 = registry().all().iter().map(|p| p.weight).sum();
+        assert!((total - 1.0).abs() < 1e-9, "{total}");
+    }
+
+    #[test]
+    fn sampling_hits_cloudflare_share() {
+        let r = registry();
+        let n = 50_000;
+        let cf = (0..n)
+            .filter(|i: &i32| r.sample(h64(9, "pv", &i.to_le_bytes())).index == PROVIDER_CLOUDFLARE)
+            .count();
+        let freq = cf as f64 / n as f64;
+        assert!((freq - 0.12).abs() < 0.01, "{freq}");
+    }
+
+    #[test]
+    fn ns_hostnames_shape() {
+        let r = registry();
+        assert_eq!(r.ns_hostname(PROVIDER_CLOUDFLARE, 0), "ns1.cloudflare-dns.com");
+        assert_eq!(r.ns_domain(PROVIDER_NAMEBRIGHT), "namebrightdns.com");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = ProviderRegistry::generate(5, 50);
+        let b = ProviderRegistry::generate(5, 50);
+        for (x, y) in a.all().iter().zip(b.all()) {
+            assert_eq!(x.label, y.label);
+            assert_eq!(x.weight, y.weight);
+        }
+    }
+
+    #[test]
+    fn most_providers_consistent() {
+        let r = registry();
+        let inconsistent = r.all().iter().filter(|p| !p.consistent).count();
+        // §5: inconsistency is rare.
+        assert!(inconsistent <= 3, "{inconsistent}");
+    }
+}

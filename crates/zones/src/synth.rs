@@ -1,0 +1,1937 @@
+//! The synthetic Internet: a procedural model of the public DNS namespace.
+//!
+//! Nothing is stored per-domain. Every fact — existence, hosting provider,
+//! record contents, CAA configuration, per-nameserver flakiness — is a
+//! deterministic function of `(seed, question)`, so the model covers 93M
+//! base domains and the full IPv4 reverse tree in O(1) memory while giving
+//! every component (resolvers, baselines, case studies) the same answers.
+//!
+//! The distributions are calibrated to the paper:
+//! * Table 3 TLD mix (via [`crate::tlds`]).
+//! * ~70% of corpus names resolve (Appendix A).
+//! * §5 availability: ~0.55% of domains have a nameserver needing ≥2
+//!   retries, ~0.01% needing 10, concentrated in `namebrightdns.com`, `.vn`
+//!   and `.ng`; >99.99% of domains answer consistently across nameservers.
+//! * §6 CAA deployment: ~1.69% of NOERROR domains, ccTLDs over-represented,
+//!   `.pl` alone ~25% of CAA-enabled cc domains, tag and issuer mix.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use zdns_wire::rdata::{Caa, Mx, Soa, TxtData};
+use zdns_wire::{Name, Question, RData, Record, RecordType};
+
+use crate::addressing::{host_address, is_reserved, ServerRole};
+use crate::hashing::{chance, h64, unit};
+use crate::providers::{Provider, ProviderRegistry, ReliabilityClass, PROVIDER_NAMEBRIGHT};
+use crate::tlds::{Tld, TldCategory, TldRegistry};
+use crate::universe::{AuthResponse, LatencyClass, ServerProfile, Universe};
+
+/// CAA ecosystem parameters (§6 defaults).
+#[derive(Debug, Clone)]
+pub struct CaaConfig {
+    /// CAA rate for gTLD domains.
+    pub rate_gtld: f64,
+    /// CAA rate for ccTLD domains other than `.pl`.
+    pub rate_cctld: f64,
+    /// CAA rate for `.pl` domains (drives its 25%-of-cc share).
+    pub rate_pl: f64,
+    /// P(issue tag present | CAA holder).
+    pub p_issue: f64,
+    /// P(issuewild tag | CAA holder).
+    pub p_issuewild: f64,
+    /// P(iodef tag | CAA holder).
+    pub p_iodef: f64,
+    /// P(domain has only iodef | CAA holder) — the "Visa" population.
+    pub p_iodef_only: f64,
+    /// P(invalid tag | CAA holder), concentrated at one registrar.
+    pub p_invalid: f64,
+    /// Provider index whose domains produce most invalid tags.
+    pub invalid_registrar: u16,
+    /// P(CAA reachable only through a CNAME | CAA holder) ≈ 8000/1.08M.
+    pub p_via_cname: f64,
+    /// P(Let's Encrypt in issue set | CAA holder with issue).
+    pub p_letsencrypt: f64,
+    /// P(Comodo in issue set).
+    pub p_comodo: f64,
+    /// P(DigiCert in issue set).
+    pub p_digicert: f64,
+}
+
+impl Default for CaaConfig {
+    fn default() -> Self {
+        CaaConfig {
+            rate_gtld: 0.0158,
+            rate_cctld: 0.0145,
+            rate_pl: 0.085,
+            p_issue: 0.968,
+            p_issuewild: 0.5527,
+            p_iodef: 0.0687,
+            p_iodef_only: 0.0006,
+            p_invalid: 0.00043,
+            invalid_registrar: 3,
+            p_via_cname: 0.0074,
+            p_letsencrypt: 0.924,
+            p_comodo: 0.52,
+            p_digicert: 0.51,
+        }
+    }
+}
+
+/// Availability fault parameters (§5 defaults).
+#[derive(Debug, Clone)]
+pub struct FlakyConfig {
+    /// P(domain has a lightly flaky NS) — needs ≥2 retries sometimes.
+    pub p_light: f64,
+    /// Baseline P(deeply flaky NS) — needs ~10 retries.
+    pub p_deep_base: f64,
+    /// Deep-flaky rate for namebright-hosted domains.
+    pub p_deep_namebright: f64,
+    /// Deep-flaky rate for `.vn` domains.
+    pub p_deep_vn: f64,
+    /// Deep-flaky rate for `.ng` domains.
+    pub p_deep_ng: f64,
+    /// Drop probability of a lightly flaky nameserver.
+    pub light_drop: f64,
+    /// Drop probability of a deeply flaky nameserver.
+    pub deep_drop: f64,
+}
+
+impl Default for FlakyConfig {
+    fn default() -> Self {
+        FlakyConfig {
+            p_light: 0.0054,
+            p_deep_base: 0.00005,
+            p_deep_namebright: 0.016,
+            p_deep_vn: 0.00085,
+            p_deep_ng: 0.00071,
+            light_drop: 0.55,
+            deep_drop: 0.90,
+        }
+    }
+}
+
+/// Full configuration of the synthetic Internet.
+#[derive(Debug, Clone)]
+pub struct SynthConfig {
+    /// Master seed; every fact derives from it.
+    pub seed: u64,
+    /// ccTLD count (Table 3: 486).
+    pub n_cctlds: usize,
+    /// New-gTLD count (Table 3: 1211).
+    pub n_ngtlds: usize,
+    /// Hosting provider count.
+    pub n_providers: usize,
+    /// P(a corpus base domain exists) ≈ 0.70 (Appendix A).
+    pub domain_exists_prob: f64,
+    /// P(an arbitrary additional subdomain fqdn exists).
+    pub subdomain_exists_prob: f64,
+    /// P(a public IPv4 address has a PTR record).
+    pub ptr_exists_prob: f64,
+    /// Fraction of reverse /16 zones whose operator delegates further at
+    /// /24, as most real in-addr.arpa operators do. The /24 NS records
+    /// dominate the PTR cache working set, which is what gives Figure 2's
+    /// cache-size sweep its shape.
+    pub rdns24_fraction: f64,
+    /// P(a TLD→leaf referral carries no glue).
+    pub glueless_prob: f64,
+    /// P(one of a domain's nameservers is lame — answers REFUSED).
+    pub lame_prob: f64,
+    /// P(www is a CNAME to the apex rather than an A record).
+    pub www_cname_prob: f64,
+    /// P(domain has MX).
+    pub mx_prob: f64,
+    /// P(domain has TXT).
+    pub txt_prob: f64,
+    /// P(TXT holder publishes SPF).
+    pub spf_given_txt: f64,
+    /// P(domain apex has AAAA).
+    pub aaaa_prob: f64,
+    /// P(domain has a wildcard under the apex).
+    pub wildcard_prob: f64,
+    /// P(domain's A answers differ across its nameservers) — §5 says
+    /// inconsistency is <0.01% of domains.
+    pub inconsistent_prob: f64,
+    /// CAA parameters.
+    pub caa: CaaConfig,
+    /// Availability fault parameters.
+    pub flaky: FlakyConfig,
+    /// TTL for infrastructure (NS/glue) records.
+    pub infra_ttl: u32,
+    /// TTL for leaf records.
+    pub leaf_ttl: u32,
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        SynthConfig {
+            seed: 0x5DA5_2D45,
+            n_cctlds: 486,
+            n_ngtlds: 1211,
+            n_providers: 200,
+            domain_exists_prob: 0.70,
+            subdomain_exists_prob: 0.82,
+            ptr_exists_prob: 0.62,
+            rdns24_fraction: 0.85,
+            glueless_prob: 0.12,
+            lame_prob: 0.004,
+            www_cname_prob: 0.30,
+            mx_prob: 0.45,
+            txt_prob: 0.55,
+            spf_given_txt: 0.80,
+            aaaa_prob: 0.35,
+            wildcard_prob: 0.02,
+            inconsistent_prob: 0.00005,
+            caa: CaaConfig::default(),
+            flaky: FlakyConfig::default(),
+            infra_ttl: 172_800,
+            leaf_ttl: 300,
+        }
+    }
+}
+
+/// How a domain's `www` label behaves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WwwKind {
+    /// `www` has its own A record.
+    ARecord,
+    /// `www` is a CNAME to the apex.
+    CnameToApex,
+    /// `www` does not exist.
+    Absent,
+}
+
+/// Per-nameserver flakiness of a domain (§5 availability model).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlakyNs {
+    /// Which of the domain's nameservers is flaky.
+    pub ns_index: u8,
+    /// Probability a query to that NS for this domain is dropped.
+    pub drop_prob: f64,
+    /// True for the ~10-retry population.
+    pub deep: bool,
+}
+
+/// Everything derivable about one base domain — the ground truth the case
+/// studies compare scan output against.
+#[derive(Debug, Clone)]
+pub struct DomainProfile {
+    /// The base domain.
+    pub base: Name,
+    /// Whether it exists (resolves) at all.
+    pub exists: bool,
+    /// Hosting provider index.
+    pub provider: u16,
+    /// Number of nameservers serving it.
+    pub ns_count: u8,
+    /// Apex IPv4 address.
+    pub apex_a: Ipv4Addr,
+    /// Apex has AAAA.
+    pub has_aaaa: bool,
+    /// `www` behaviour.
+    pub www: WwwKind,
+    /// Has MX (and a `mail` host).
+    pub has_mx: bool,
+    /// Has TXT.
+    pub has_txt: bool,
+    /// TXT holder publishes SPF.
+    pub has_spf: bool,
+    /// Wildcard `*.base` exists.
+    pub has_wildcard: bool,
+    /// CAA records at the apex (empty = no CAA).
+    pub caa_records: Vec<Caa>,
+    /// CAA is reachable only via a CNAME hop (§6's 8000 domains).
+    pub caa_via_cname: bool,
+    /// One nameserver is lame (answers REFUSED).
+    pub lame_ns: Option<u8>,
+    /// The TLD→domain referral omits glue.
+    pub glueless: bool,
+    /// A answers differ across nameservers.
+    pub inconsistent: bool,
+    /// Flaky-nameserver model.
+    pub flaky: Option<FlakyNs>,
+}
+
+/// The procedural universe.
+pub struct SyntheticUniverse {
+    cfg: SynthConfig,
+    tlds: TldRegistry,
+    providers: ProviderRegistry,
+    /// Provider NS base domains (`cloudflare-dns.com`) → provider index,
+    /// so infrastructure domains resolve coherently.
+    provider_domains: HashMap<Name, u16>,
+    arpa_index: u16,
+}
+
+impl SyntheticUniverse {
+    /// Build the universe from a config.
+    pub fn new(cfg: SynthConfig) -> SyntheticUniverse {
+        let tlds = TldRegistry::generate(cfg.seed, cfg.n_cctlds, cfg.n_ngtlds);
+        let providers = ProviderRegistry::generate(cfg.seed, cfg.n_providers);
+        let provider_domains = providers
+            .all()
+            .iter()
+            .map(|p| {
+                let name: Name = providers
+                    .ns_domain(p.index)
+                    .parse()
+                    .expect("provider domains are valid names");
+                (name, p.index)
+            })
+            .collect();
+        let arpa_index = tlds.by_label("arpa").expect("arpa exists").index;
+        SyntheticUniverse {
+            cfg,
+            tlds,
+            providers,
+            provider_domains,
+            arpa_index,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SynthConfig {
+        &self.cfg
+    }
+
+    /// The TLD registry.
+    pub fn tlds(&self) -> &TldRegistry {
+        &self.tlds
+    }
+
+    /// The provider registry.
+    pub fn providers(&self) -> &ProviderRegistry {
+        &self.providers
+    }
+
+    fn seed(&self) -> u64 {
+        self.cfg.seed
+    }
+
+    /// The TLD of a name (its last label), if registered.
+    pub fn tld_of(&self, name: &Name) -> Option<&Tld> {
+        let labels = name.labels();
+        let last = labels.last()?;
+        let label = String::from_utf8_lossy(last).to_ascii_lowercase();
+        self.tlds.by_label(&label)
+    }
+
+    /// The base (registrable) domain of a name: its last two labels.
+    pub fn base_of(&self, name: &Name) -> Option<Name> {
+        if name.label_count() < 2 {
+            return None;
+        }
+        Some(name.suffix(2))
+    }
+
+    fn base_key(&self, base: &Name) -> Vec<u8> {
+        base.to_ascii_lower().into_bytes()
+    }
+
+    /// Does this base domain exist (delegated from its TLD)?
+    pub fn domain_exists(&self, base: &Name) -> bool {
+        if self.provider_domains.contains_key(base) {
+            return true;
+        }
+        let Some(tld) = self.tld_of(base) else {
+            return false;
+        };
+        if tld.category == TldCategory::Infra {
+            return false;
+        }
+        chance(
+            self.seed(),
+            "exists",
+            &self.base_key(base),
+            self.cfg.domain_exists_prob,
+        )
+    }
+
+    /// The provider hosting a base domain.
+    pub fn provider_of(&self, base: &Name) -> &Provider {
+        if let Some(&idx) = self.provider_domains.get(base) {
+            return self.providers.by_index(idx).expect("registered provider");
+        }
+        self.providers
+            .sample(h64(self.seed(), "provider", &self.base_key(base)))
+    }
+
+    /// Full derived profile for a base domain.
+    pub fn domain_profile(&self, base: &Name) -> DomainProfile {
+        let key = self.base_key(base);
+        let seed = self.seed();
+        let provider = self.provider_of(base);
+        let exists = self.domain_exists(base);
+        let tld = self.tld_of(base);
+        let tld_label = tld.map(|t| t.label.as_str()).unwrap_or("");
+        let tld_category = tld.map(|t| t.category);
+
+        let www = if chance(seed, "www-exists", &key, 0.95) {
+            if chance(seed, "www-cname", &key, self.cfg.www_cname_prob) {
+                WwwKind::CnameToApex
+            } else {
+                WwwKind::ARecord
+            }
+        } else {
+            WwwKind::Absent
+        };
+        let has_txt = chance(seed, "txt", &key, self.cfg.txt_prob);
+
+        // CAA (§6 model).
+        let caa_rate = match (tld_category, tld_label) {
+            (Some(TldCategory::CcTld), "pl") => self.cfg.caa.rate_pl,
+            (Some(TldCategory::CcTld), _) => self.cfg.caa.rate_cctld,
+            (Some(TldCategory::Infra), _) | (None, _) => 0.0,
+            _ => self.cfg.caa.rate_gtld,
+        };
+        let has_caa = chance(seed, "caa", &key, caa_rate);
+        let mut caa_records = Vec::new();
+        let mut caa_via_cname = false;
+        if has_caa {
+            let c = &self.cfg.caa;
+            caa_via_cname = chance(seed, "caa-cname", &key, c.p_via_cname);
+            let iodef_only = chance(seed, "caa-iodef-only", &key, c.p_iodef_only);
+            let invalid_rate = if provider.index == c.invalid_registrar {
+                c.p_invalid * 40.0
+            } else {
+                c.p_invalid * 0.3
+            };
+            let invalid = chance(seed, "caa-invalid", &key, invalid_rate);
+            if invalid {
+                // The registrar bug: a misspelled tag that validators reject.
+                caa_records.push(Caa {
+                    flags: 0,
+                    tag: b"issuer".to_vec(),
+                    value: b"comodoca.com".to_vec(),
+                });
+            } else if iodef_only {
+                caa_records.push(Caa {
+                    flags: 0,
+                    tag: b"iodef".to_vec(),
+                    value: b"mailto:security@visa-like.example".to_vec(),
+                });
+            } else {
+                if chance(seed, "caa-issue", &key, c.p_issue) {
+                    if chance(seed, "caa-le", &key, c.p_letsencrypt) {
+                        caa_records.push(issue_record("issue", "letsencrypt.org"));
+                    }
+                    if chance(seed, "caa-comodo", &key, c.p_comodo) {
+                        caa_records.push(issue_record("issue", "comodoca.com"));
+                    }
+                    if chance(seed, "caa-digicert", &key, c.p_digicert) {
+                        caa_records.push(issue_record("issue", "digicert.com"));
+                    }
+                    if caa_records.is_empty() {
+                        caa_records.push(issue_record("issue", "pki.goog"));
+                    }
+                }
+                if chance(seed, "caa-issuewild", &key, c.p_issuewild) {
+                    let wild_val = if chance(seed, "caa-le-wild", &key, c.p_letsencrypt) {
+                        "letsencrypt.org"
+                    } else {
+                        "digicert.com"
+                    };
+                    caa_records.push(issue_record("issuewild", wild_val));
+                }
+                if chance(seed, "caa-iodef", &key, c.p_iodef) {
+                    caa_records.push(Caa {
+                        flags: 0,
+                        tag: b"iodef".to_vec(),
+                        value: format!("mailto:hostmaster@{}", base.to_ascii_lower()).into_bytes(),
+                    });
+                }
+            }
+        }
+
+        // §5 availability model.
+        let f = &self.cfg.flaky;
+        let deep_rate = if provider.index == PROVIDER_NAMEBRIGHT {
+            f.p_deep_namebright
+        } else {
+            match tld_label {
+                "vn" => f.p_deep_vn,
+                "ng" => f.p_deep_ng,
+                _ => f.p_deep_base,
+            }
+        };
+        let ns_count = provider.ns_count;
+        let flaky = if chance(seed, "flaky-deep", &key, deep_rate) {
+            Some(FlakyNs {
+                ns_index: (h64(seed, "flaky-ns", &key) % ns_count as u64) as u8,
+                drop_prob: f.deep_drop,
+                deep: true,
+            })
+        } else if chance(seed, "flaky-light", &key, f.p_light) {
+            Some(FlakyNs {
+                ns_index: (h64(seed, "flaky-ns", &key) % ns_count as u64) as u8,
+                drop_prob: f.light_drop,
+                deep: false,
+            })
+        } else {
+            None
+        };
+
+        let inconsistent = !provider.consistent
+            || chance(seed, "inconsistent", &key, self.cfg.inconsistent_prob);
+
+        DomainProfile {
+            base: base.clone(),
+            exists,
+            provider: provider.index,
+            ns_count,
+            apex_a: host_address(h64(seed, "apex-a", &key)),
+            has_aaaa: chance(seed, "aaaa", &key, self.cfg.aaaa_prob),
+            www,
+            has_mx: chance(seed, "mx", &key, self.cfg.mx_prob),
+            has_txt,
+            has_spf: has_txt && chance(seed, "spf", &key, self.cfg.spf_given_txt),
+            has_wildcard: chance(seed, "wildcard", &key, self.cfg.wildcard_prob),
+            caa_records,
+            caa_via_cname,
+            lame_ns: if chance(seed, "lame", &key, self.cfg.lame_prob) {
+                Some((h64(seed, "lame-ns", &key) % ns_count as u64) as u8)
+            } else {
+                None
+            },
+            glueless: chance(seed, "glueless", &key, self.cfg.glueless_prob),
+            inconsistent,
+            flaky,
+        }
+    }
+
+    /// Whether the /16 `a.b` delegates its /24s to dedicated servers.
+    pub fn rdns16_delegates_deeper(&self, a: u8, b: u8) -> bool {
+        chance(self.seed(), "rdns-deep", &[a, b], self.cfg.rdns24_fraction)
+    }
+
+    /// Whether a public IPv4 address has a PTR record.
+    pub fn ptr_exists(&self, ip: Ipv4Addr) -> bool {
+        !is_reserved(ip)
+            && chance(self.seed(), "ptr", &ip.octets(), self.cfg.ptr_exists_prob)
+    }
+
+    /// The synthesized PTR target for an address.
+    pub fn ptr_name(&self, ip: Ipv4Addr) -> Name {
+        let o = ip.octets();
+        let asn = h64(self.seed(), "ptr-asn", &[o[0], o[1]]) % 64_000 + 1000;
+        format!("{}-{}-{}-{}.dyn.as{}.net", o[0], o[1], o[2], o[3], asn)
+            .parse()
+            .expect("synthesized PTR names are valid")
+    }
+
+    // ---- responders ------------------------------------------------------
+
+    fn root_soa(&self) -> Record {
+        Record::new(
+            Name::root(),
+            86_400,
+            RData::Soa(Soa {
+                mname: "a.root-servers.net".parse().expect("static"),
+                rname: "nstld.verisign-grs.com".parse().expect("static"),
+                serial: 2022_05_18,
+                refresh: 1800,
+                retry: 900,
+                expire: 604_800,
+                minimum: 86_400,
+            }),
+        )
+    }
+
+    fn tld_soa(&self, tld: &Tld) -> Record {
+        let apex: Name = tld.label.parse().expect("TLD labels are valid");
+        Record::new(
+            apex.clone(),
+            900,
+            RData::Soa(Soa {
+                mname: self.tld_ns_name(tld, 0),
+                rname: apex.child("hostmaster").expect("valid"),
+                serial: 1,
+                refresh: 1800,
+                retry: 900,
+                expire: 604_800,
+                minimum: 900,
+            }),
+        )
+    }
+
+    fn tld_ns_name(&self, tld: &Tld, server: u8) -> Name {
+        format!("ns{}.nic.{}", server + 1, tld.label)
+            .parse()
+            .expect("TLD NS names are valid")
+    }
+
+    fn tld_referral(&self, tld: &Tld) -> AuthResponse {
+        let apex: Name = tld.label.parse().expect("valid");
+        let mut ns = Vec::new();
+        let mut glue = Vec::new();
+        for j in 0..tld.server_count {
+            let ns_name = self.tld_ns_name(tld, j);
+            ns.push(Record::new(
+                apex.clone(),
+                self.cfg.infra_ttl,
+                RData::Ns(ns_name.clone()),
+            ));
+            glue.push(Record::new(
+                ns_name,
+                self.cfg.infra_ttl,
+                RData::A(ServerRole::Tld { tld_index: tld.index, server: j }.address()),
+            ));
+        }
+        AuthResponse {
+            rcode: zdns_wire::Rcode::NoError,
+            authoritative: false,
+            answers: Vec::new(),
+            authorities: ns,
+            additionals: glue,
+        }
+    }
+
+    fn respond_root(&self, q: &Question) -> AuthResponse {
+        if q.name.is_root() {
+            // Priming query: all roots + glue.
+            let hints = self.root_hints();
+            let answers = hints
+                .iter()
+                .map(|(n, _)| Record::new(Name::root(), 518_400, RData::Ns(n.clone())))
+                .collect();
+            let additionals = hints
+                .iter()
+                .map(|(n, a)| Record::new(n.clone(), 518_400, RData::A(*a)))
+                .collect();
+            return AuthResponse {
+                rcode: zdns_wire::Rcode::NoError,
+                authoritative: true,
+                answers: if q.qtype == RecordType::NS || q.qtype == RecordType::ANY {
+                    answers
+                } else {
+                    Vec::new()
+                },
+                authorities: Vec::new(),
+                additionals,
+            };
+        }
+        match self.tld_of(&q.name) {
+            Some(tld) => self.tld_referral(tld),
+            None => AuthResponse {
+                rcode: zdns_wire::Rcode::NxDomain,
+                authoritative: true,
+                answers: Vec::new(),
+                authorities: vec![self.root_soa()],
+                additionals: Vec::new(),
+            },
+        }
+    }
+
+    fn leaf_referral(&self, base: &Name, profile: &DomainProfile) -> AuthResponse {
+        let provider = self
+            .providers
+            .by_index(profile.provider)
+            .expect("valid provider");
+        let mut ns = Vec::new();
+        let mut glue = Vec::new();
+        for k in 0..provider.ns_count {
+            let ns_name: Name = self
+                .providers
+                .ns_hostname(provider.index, k)
+                .parse()
+                .expect("valid NS hostnames");
+            ns.push(Record::new(
+                base.clone(),
+                self.cfg.infra_ttl,
+                RData::Ns(ns_name.clone()),
+            ));
+            if !profile.glueless {
+                glue.push(Record::new(
+                    ns_name,
+                    self.cfg.infra_ttl,
+                    RData::A(
+                        ServerRole::ProviderAuth {
+                            provider: provider.index,
+                            server: k,
+                        }
+                        .address(),
+                    ),
+                ));
+            }
+        }
+        AuthResponse {
+            rcode: zdns_wire::Rcode::NoError,
+            authoritative: false,
+            answers: Vec::new(),
+            authorities: ns,
+            additionals: glue,
+        }
+    }
+
+    fn respond_tld(&self, tld_index: u16, q: &Question) -> AuthResponse {
+        let Some(tld) = self.tlds.by_index(tld_index) else {
+            return AuthResponse::refused();
+        };
+        let apex: Name = tld.label.parse().expect("valid");
+        // The arpa servers also serve in-addr.arpa.
+        if tld.index == self.arpa_index {
+            return self.respond_arpa(q);
+        }
+        if !q.name.is_subdomain_of(&apex) {
+            return AuthResponse::refused();
+        }
+        if q.name == apex {
+            return self.tld_apex_answer(tld, q);
+        }
+        // Names for the TLD's own nameservers (`ns1.nic.<tld>`).
+        let nic = apex.child("nic").expect("valid");
+        if q.name.is_subdomain_of(&nic) {
+            return self.tld_nic_answer(tld, q, &nic);
+        }
+        let Some(base) = self.base_of(&q.name) else {
+            return AuthResponse::refused();
+        };
+        if self.domain_exists(&base) {
+            let profile = self.domain_profile(&base);
+            self.leaf_referral(&base, &profile)
+        } else {
+            AuthResponse {
+                rcode: zdns_wire::Rcode::NxDomain,
+                authoritative: true,
+                answers: Vec::new(),
+                authorities: vec![self.tld_soa(tld)],
+                additionals: Vec::new(),
+            }
+        }
+    }
+
+    fn tld_apex_answer(&self, tld: &Tld, q: &Question) -> AuthResponse {
+        let apex: Name = tld.label.parse().expect("valid");
+        let mut answers = Vec::new();
+        if matches!(q.qtype, RecordType::NS | RecordType::ANY) {
+            for j in 0..tld.server_count {
+                answers.push(Record::new(
+                    apex.clone(),
+                    self.cfg.infra_ttl,
+                    RData::Ns(self.tld_ns_name(tld, j)),
+                ));
+            }
+        }
+        if matches!(q.qtype, RecordType::SOA | RecordType::ANY) {
+            answers.push(self.tld_soa(tld));
+        }
+        if answers.is_empty() {
+            return AuthResponse {
+                rcode: zdns_wire::Rcode::NoError,
+                authoritative: true,
+                answers: Vec::new(),
+                authorities: vec![self.tld_soa(tld)],
+                additionals: Vec::new(),
+            };
+        }
+        AuthResponse {
+            rcode: zdns_wire::Rcode::NoError,
+            authoritative: true,
+            answers,
+            authorities: Vec::new(),
+            additionals: Vec::new(),
+        }
+    }
+
+    fn tld_nic_answer(&self, tld: &Tld, q: &Question, nic: &Name) -> AuthResponse {
+        // ns{j}.nic.<tld> has an A record pointing at the TLD server.
+        if q.name.label_count() == nic.label_count() + 1 {
+            let first = String::from_utf8_lossy(&q.name.labels()[0]).to_ascii_lowercase();
+            if let Some(j) = first
+                .strip_prefix("ns")
+                .and_then(|s| s.parse::<u8>().ok())
+                .filter(|&j| j >= 1 && j <= tld.server_count)
+            {
+                if matches!(q.qtype, RecordType::A | RecordType::ANY) {
+                    return AuthResponse {
+                        rcode: zdns_wire::Rcode::NoError,
+                        authoritative: true,
+                        answers: vec![Record::new(
+                            q.name.clone(),
+                            self.cfg.infra_ttl,
+                            RData::A(
+                                ServerRole::Tld { tld_index: tld.index, server: j - 1 }.address(),
+                            ),
+                        )],
+                        authorities: Vec::new(),
+                        additionals: Vec::new(),
+                    };
+                }
+                return AuthResponse {
+                    rcode: zdns_wire::Rcode::NoError,
+                    authoritative: true,
+                    answers: Vec::new(),
+                    authorities: vec![self.tld_soa(tld)],
+                    additionals: Vec::new(),
+                };
+            }
+        }
+        AuthResponse {
+            rcode: zdns_wire::Rcode::NxDomain,
+            authoritative: true,
+            answers: Vec::new(),
+            authorities: vec![self.tld_soa(tld)],
+            additionals: Vec::new(),
+        }
+    }
+
+    fn respond_arpa(&self, q: &Question) -> AuthResponse {
+        let in_addr: Name = "in-addr.arpa".parse().expect("static");
+        let arpa: Name = "arpa".parse().expect("static");
+        if !q.name.is_subdomain_of(&arpa) {
+            return AuthResponse::refused();
+        }
+        let soa = Record::new(
+            in_addr.clone(),
+            3600,
+            RData::Soa(Soa {
+                mname: "ns1.in-addr.arpa".parse().expect("static"),
+                rname: "hostmaster.in-addr.arpa".parse().expect("static"),
+                serial: 1,
+                refresh: 1800,
+                retry: 900,
+                expire: 604_800,
+                minimum: 3600,
+            }),
+        );
+        if q.name == arpa || q.name == in_addr {
+            return AuthResponse {
+                rcode: zdns_wire::Rcode::NoError,
+                authoritative: true,
+                answers: Vec::new(),
+                authorities: vec![soa],
+                additionals: Vec::new(),
+            };
+        }
+        if !q.name.is_subdomain_of(&in_addr) {
+            // ip6.arpa and friends are not modelled: authoritative NXDOMAIN.
+            return AuthResponse {
+                rcode: zdns_wire::Rcode::NxDomain,
+                authoritative: true,
+                answers: Vec::new(),
+                authorities: vec![soa],
+                additionals: Vec::new(),
+            };
+        }
+        // d.c.b.a.in-addr.arpa → labels[len-3] is `a`.
+        let labels = q.name.labels();
+        let a_label = &labels[labels.len() - 3];
+        let Some(a) = parse_octet(a_label) else {
+            return AuthResponse {
+                rcode: zdns_wire::Rcode::NxDomain,
+                authoritative: true,
+                answers: Vec::new(),
+                authorities: vec![soa],
+                additionals: Vec::new(),
+            };
+        };
+        // Referral to the /8 zone.
+        let cut: Name = format!("{a}.in-addr.arpa").parse().expect("valid");
+        let mut ns = Vec::new();
+        let mut glue = Vec::new();
+        for j in 0..2u8 {
+            let ns_name: Name = format!("ns{}.{}.in-addr.arpa", j + 1, a)
+                .parse()
+                .expect("valid");
+            ns.push(Record::new(
+                cut.clone(),
+                self.cfg.infra_ttl,
+                RData::Ns(ns_name.clone()),
+            ));
+            glue.push(Record::new(
+                ns_name,
+                self.cfg.infra_ttl,
+                RData::A(ServerRole::Rdns8 { octet: a, server: j }.address()),
+            ));
+        }
+        AuthResponse {
+            rcode: zdns_wire::Rcode::NoError,
+            authoritative: false,
+            answers: Vec::new(),
+            authorities: ns,
+            additionals: glue,
+        }
+    }
+
+    fn respond_rdns8(&self, octet: u8, q: &Question) -> AuthResponse {
+        let apex: Name = format!("{octet}.in-addr.arpa").parse().expect("valid");
+        if !q.name.is_subdomain_of(&apex) {
+            return AuthResponse::refused();
+        }
+        let soa = self.rdns_soa(&apex);
+        let labels = q.name.labels();
+        // Handle the zone's own NS host A records (`ns1.<octet>.in-addr.arpa`).
+        if labels.len() == 4 {
+            let first = String::from_utf8_lossy(&labels[0]).to_ascii_lowercase();
+            if let Some(j) = first.strip_prefix("ns").and_then(|s| s.parse::<u8>().ok()) {
+                if (1..=2).contains(&j) && matches!(q.qtype, RecordType::A | RecordType::ANY) {
+                    return AuthResponse {
+                        rcode: zdns_wire::Rcode::NoError,
+                        authoritative: true,
+                        answers: vec![Record::new(
+                            q.name.clone(),
+                            self.cfg.infra_ttl,
+                            RData::A(ServerRole::Rdns8 { octet, server: j - 1 }.address()),
+                        )],
+                        authorities: Vec::new(),
+                        additionals: Vec::new(),
+                    };
+                }
+            }
+        }
+        if q.name == apex || labels.len() < 4 {
+            return AuthResponse {
+                rcode: zdns_wire::Rcode::NoError,
+                authoritative: true,
+                answers: Vec::new(),
+                authorities: vec![soa],
+                additionals: Vec::new(),
+            };
+        }
+        // c.b.<octet>.in-addr.arpa or deeper: refer to the /16 zone.
+        let b_label = &labels[labels.len() - 4];
+        let Some(b) = parse_octet(b_label) else {
+            return AuthResponse {
+                rcode: zdns_wire::Rcode::NxDomain,
+                authoritative: true,
+                answers: Vec::new(),
+                authorities: vec![soa],
+                additionals: Vec::new(),
+            };
+        };
+        let cut: Name = format!("{b}.{octet}.in-addr.arpa").parse().expect("valid");
+        let mut ns = Vec::new();
+        let mut glue = Vec::new();
+        for j in 0..2u8 {
+            let ns_name: Name = format!("ns{}.{}.{}.in-addr.arpa", j + 1, b, octet)
+                .parse()
+                .expect("valid");
+            ns.push(Record::new(
+                cut.clone(),
+                self.cfg.infra_ttl,
+                RData::Ns(ns_name.clone()),
+            ));
+            glue.push(Record::new(
+                ns_name,
+                self.cfg.infra_ttl,
+                RData::A(ServerRole::Rdns16 { a: octet, b, server: j }.address()),
+            ));
+        }
+        AuthResponse {
+            rcode: zdns_wire::Rcode::NoError,
+            authoritative: false,
+            answers: Vec::new(),
+            authorities: ns,
+            additionals: glue,
+        }
+    }
+
+    fn rdns_soa(&self, apex: &Name) -> Record {
+        Record::new(
+            apex.clone(),
+            3600,
+            RData::Soa(Soa {
+                mname: apex.child("ns1").expect("valid"),
+                rname: apex.child("hostmaster").expect("valid"),
+                serial: 1,
+                refresh: 1800,
+                retry: 900,
+                expire: 604_800,
+                minimum: 3600,
+            }),
+        )
+    }
+
+    fn respond_rdns16(&self, a: u8, b: u8, q: &Question) -> AuthResponse {
+        let apex: Name = format!("{b}.{a}.in-addr.arpa").parse().expect("valid");
+        if !q.name.is_subdomain_of(&apex) {
+            return AuthResponse::refused();
+        }
+        let soa = self.rdns_soa(&apex);
+        let labels = q.name.labels();
+        // NS host addresses for this zone.
+        if labels.len() == 5 {
+            let first = String::from_utf8_lossy(&labels[0]).to_ascii_lowercase();
+            if let Some(j) = first.strip_prefix("ns").and_then(|s| s.parse::<u8>().ok()) {
+                if (1..=2).contains(&j) && matches!(q.qtype, RecordType::A | RecordType::ANY) {
+                    return AuthResponse {
+                        rcode: zdns_wire::Rcode::NoError,
+                        authoritative: true,
+                        answers: vec![Record::new(
+                            q.name.clone(),
+                            self.cfg.infra_ttl,
+                            RData::A(ServerRole::Rdns16 { a, b, server: j - 1 }.address()),
+                        )],
+                        authorities: Vec::new(),
+                        additionals: Vec::new(),
+                    };
+                }
+            }
+        }
+        if labels.len() != 6 {
+            // The apex or an empty non-terminal (c.b.a.in-addr.arpa).
+            return AuthResponse {
+                rcode: zdns_wire::Rcode::NoError,
+                authoritative: true,
+                answers: Vec::new(),
+                authorities: vec![soa],
+                additionals: Vec::new(),
+            };
+        }
+        let (Some(d), Some(c)) = (parse_octet(&labels[0]), parse_octet(&labels[1])) else {
+            return AuthResponse {
+                rcode: zdns_wire::Rcode::NxDomain,
+                authoritative: true,
+                answers: Vec::new(),
+                authorities: vec![soa],
+                additionals: Vec::new(),
+            };
+        };
+        if self.rdns16_delegates_deeper(a, b) {
+            // This operator splits the zone at /24: refer.
+            let cut: Name = format!("{c}.{b}.{a}.in-addr.arpa").parse().expect("valid");
+            let ns_name: Name = format!("ns1.{c}.{b}.{a}.in-addr.arpa")
+                .parse()
+                .expect("valid");
+            return AuthResponse {
+                rcode: zdns_wire::Rcode::NoError,
+                authoritative: false,
+                answers: Vec::new(),
+                authorities: vec![Record::new(
+                    cut,
+                    self.cfg.infra_ttl,
+                    RData::Ns(ns_name.clone()),
+                )],
+                additionals: vec![Record::new(
+                    ns_name,
+                    self.cfg.infra_ttl,
+                    RData::A(ServerRole::Rdns24 { a, b, c }.address()),
+                )],
+            };
+        }
+        let ip = Ipv4Addr::new(a, b, c, d);
+        if q.qtype != RecordType::PTR && q.qtype != RecordType::ANY {
+            return AuthResponse {
+                rcode: zdns_wire::Rcode::NoError,
+                authoritative: true,
+                answers: Vec::new(),
+                authorities: vec![soa],
+                additionals: Vec::new(),
+            };
+        }
+        if self.ptr_exists(ip) {
+            AuthResponse {
+                rcode: zdns_wire::Rcode::NoError,
+                authoritative: true,
+                answers: vec![Record::new(
+                    q.name.clone(),
+                    self.cfg.leaf_ttl,
+                    RData::Ptr(self.ptr_name(ip)),
+                )],
+                authorities: Vec::new(),
+                additionals: Vec::new(),
+            }
+        } else {
+            AuthResponse {
+                rcode: zdns_wire::Rcode::NxDomain,
+                authoritative: true,
+                answers: Vec::new(),
+                authorities: vec![soa],
+                additionals: Vec::new(),
+            }
+        }
+    }
+
+    fn respond_rdns24(&self, a: u8, b: u8, c: u8, q: &Question) -> AuthResponse {
+        let apex: Name = format!("{c}.{b}.{a}.in-addr.arpa").parse().expect("valid");
+        if !q.name.is_subdomain_of(&apex) || !self.rdns16_delegates_deeper(a, b) {
+            return AuthResponse::refused();
+        }
+        let soa = self.rdns_soa(&apex);
+        let labels = q.name.labels();
+        // NS host address for this zone.
+        if labels.len() == 6 {
+            let first = String::from_utf8_lossy(&labels[0]).to_ascii_lowercase();
+            if first == "ns1" && matches!(q.qtype, RecordType::A | RecordType::ANY) {
+                return AuthResponse {
+                    rcode: zdns_wire::Rcode::NoError,
+                    authoritative: true,
+                    answers: vec![Record::new(
+                        q.name.clone(),
+                        self.cfg.infra_ttl,
+                        RData::A(ServerRole::Rdns24 { a, b, c }.address()),
+                    )],
+                    authorities: Vec::new(),
+                    additionals: Vec::new(),
+                };
+            }
+        }
+        if labels.len() != 6 {
+            return AuthResponse {
+                rcode: zdns_wire::Rcode::NoError,
+                authoritative: true,
+                answers: Vec::new(),
+                authorities: vec![soa],
+                additionals: Vec::new(),
+            };
+        }
+        let Some(d) = parse_octet(&labels[0]) else {
+            return AuthResponse {
+                rcode: zdns_wire::Rcode::NxDomain,
+                authoritative: true,
+                answers: Vec::new(),
+                authorities: vec![soa],
+                additionals: Vec::new(),
+            };
+        };
+        let ip = Ipv4Addr::new(a, b, c, d);
+        if q.qtype != RecordType::PTR && q.qtype != RecordType::ANY {
+            return AuthResponse {
+                rcode: zdns_wire::Rcode::NoError,
+                authoritative: true,
+                answers: Vec::new(),
+                authorities: vec![soa],
+                additionals: Vec::new(),
+            };
+        }
+        if self.ptr_exists(ip) {
+            AuthResponse {
+                rcode: zdns_wire::Rcode::NoError,
+                authoritative: true,
+                answers: vec![Record::new(
+                    q.name.clone(),
+                    self.cfg.leaf_ttl,
+                    RData::Ptr(self.ptr_name(ip)),
+                )],
+                authorities: Vec::new(),
+                additionals: Vec::new(),
+            }
+        } else {
+            AuthResponse {
+                rcode: zdns_wire::Rcode::NxDomain,
+                authoritative: true,
+                answers: Vec::new(),
+                authorities: vec![soa],
+                additionals: Vec::new(),
+            }
+        }
+    }
+
+    fn respond_provider(&self, provider: u16, server: u8, q: &Question) -> AuthResponse {
+        let Some(p) = self.providers.by_index(provider) else {
+            return AuthResponse::refused();
+        };
+        if server >= p.ns_count {
+            return AuthResponse::refused();
+        }
+        let Some(base) = self.base_of(&q.name) else {
+            return AuthResponse::refused();
+        };
+        if !self.domain_exists(&base) || self.provider_of(&base).index != provider {
+            // Lame: this server is not authoritative for the name.
+            return AuthResponse::refused();
+        }
+        let profile = self.domain_profile(&base);
+        // A lame NS answers REFUSED even for its own domains (§3.1's lame
+        // delegations).
+        if profile.lame_ns == Some(server) {
+            return AuthResponse::refused();
+        }
+        // The provider's own NS-host domain answers its ns{k} A records.
+        if let Some(&own) = self.provider_domains.get(&base) {
+            if own == provider {
+                if let Some(resp) = self.provider_domain_answer(p, &base, q) {
+                    return resp;
+                }
+            }
+        }
+        self.leaf_answer(p, server, &base, &profile, q)
+    }
+
+    /// Answers within the provider's own `<label>.com` domain (NS hosts).
+    fn provider_domain_answer(
+        &self,
+        p: &Provider,
+        base: &Name,
+        q: &Question,
+    ) -> Option<AuthResponse> {
+        if q.name.label_count() != base.label_count() + 1 {
+            return None;
+        }
+        let first = String::from_utf8_lossy(&q.name.labels()[0]).to_ascii_lowercase();
+        let k = first.strip_prefix("ns").and_then(|s| s.parse::<u8>().ok())?;
+        if k < 1 || k > p.ns_count {
+            return None;
+        }
+        if matches!(q.qtype, RecordType::A | RecordType::ANY) {
+            Some(AuthResponse {
+                rcode: zdns_wire::Rcode::NoError,
+                authoritative: true,
+                answers: vec![Record::new(
+                    q.name.clone(),
+                    self.cfg.infra_ttl,
+                    RData::A(
+                        ServerRole::ProviderAuth { provider: p.index, server: k - 1 }.address(),
+                    ),
+                )],
+                authorities: Vec::new(),
+                additionals: Vec::new(),
+            })
+        } else {
+            Some(AuthResponse {
+                rcode: zdns_wire::Rcode::NoError,
+                authoritative: true,
+                answers: Vec::new(),
+                authorities: vec![self.leaf_soa(base)],
+                additionals: Vec::new(),
+            })
+        }
+    }
+
+    fn leaf_soa(&self, base: &Name) -> Record {
+        let provider = self.provider_of(base);
+        Record::new(
+            base.clone(),
+            self.cfg.leaf_ttl,
+            RData::Soa(Soa {
+                mname: self
+                    .providers
+                    .ns_hostname(provider.index, 0)
+                    .parse()
+                    .expect("valid"),
+                rname: base.child("hostmaster").expect("valid"),
+                serial: 2022,
+                refresh: 7200,
+                retry: 3600,
+                expire: 1_209_600,
+                minimum: self.cfg.leaf_ttl,
+            }),
+        )
+    }
+
+    fn apex_a_value(&self, profile: &DomainProfile, server: u8) -> Ipv4Addr {
+        if profile.inconsistent {
+            // §5: the rare inconsistent domains answer differently per NS.
+            let mut key = self.base_key(&profile.base);
+            key.push(server);
+            host_address(h64(self.seed(), "apex-a-inconsistent", &key))
+        } else {
+            profile.apex_a
+        }
+    }
+
+    fn leaf_answer(
+        &self,
+        p: &Provider,
+        server: u8,
+        base: &Name,
+        profile: &DomainProfile,
+        q: &Question,
+    ) -> AuthResponse {
+        let ttl = self.cfg.leaf_ttl;
+        let nodata = || AuthResponse {
+            rcode: zdns_wire::Rcode::NoError,
+            authoritative: true,
+            answers: Vec::new(),
+            authorities: vec![self.leaf_soa(base)],
+            additionals: Vec::new(),
+        };
+        let nxdomain = || AuthResponse {
+            rcode: zdns_wire::Rcode::NxDomain,
+            authoritative: true,
+            answers: Vec::new(),
+            authorities: vec![self.leaf_soa(base)],
+            additionals: Vec::new(),
+        };
+        let answer = |records: Vec<Record>| AuthResponse {
+            rcode: zdns_wire::Rcode::NoError,
+            authoritative: true,
+            answers: records,
+            authorities: Vec::new(),
+            additionals: Vec::new(),
+        };
+
+        if q.name == *base {
+            return match q.qtype {
+                RecordType::A => answer(vec![Record::new(
+                    base.clone(),
+                    ttl,
+                    RData::A(self.apex_a_value(profile, server)),
+                )]),
+                RecordType::AAAA if profile.has_aaaa => {
+                    let h = h64(self.seed(), "apex-aaaa", &self.base_key(base));
+                    let segs = [
+                        0x2001u16,
+                        0x0db8 ^ (h >> 48) as u16,
+                        (h >> 32) as u16,
+                        (h >> 16) as u16,
+                        0,
+                        0,
+                        0,
+                        (h as u16) | 1,
+                    ];
+                    answer(vec![Record::new(
+                        base.clone(),
+                        ttl,
+                        RData::Aaaa(segs.into()),
+                    )])
+                }
+                RecordType::NS => {
+                    let records = (0..p.ns_count)
+                        .map(|k| {
+                            Record::new(
+                                base.clone(),
+                                ttl,
+                                RData::Ns(
+                                    self.providers
+                                        .ns_hostname(p.index, k)
+                                        .parse()
+                                        .expect("valid"),
+                                ),
+                            )
+                        })
+                        .collect();
+                    answer(records)
+                }
+                RecordType::SOA => answer(vec![self.leaf_soa(base)]),
+                RecordType::MX if profile.has_mx => answer(vec![Record::new(
+                    base.clone(),
+                    ttl,
+                    RData::Mx(Mx {
+                        preference: 10,
+                        exchange: base.child("mail").expect("valid"),
+                    }),
+                )]),
+                RecordType::TXT if profile.has_txt => {
+                    let mut records = Vec::new();
+                    if profile.has_spf {
+                        records.push(Record::new(
+                            base.clone(),
+                            ttl,
+                            RData::Txt(TxtData::from_text("v=spf1 mx a -all")),
+                        ));
+                    }
+                    records.push(Record::new(
+                        base.clone(),
+                        ttl,
+                        RData::Txt(TxtData::from_text(&format!(
+                            "site-verification={:016x}",
+                            h64(self.seed(), "txt-token", &self.base_key(base))
+                        ))),
+                    ));
+                    answer(records)
+                }
+                RecordType::CAA => {
+                    if profile.caa_records.is_empty() {
+                        nodata()
+                    } else if profile.caa_via_cname {
+                        // §6: ~8000 domains need a CNAME hop for CAA.
+                        let target: Name = format!(
+                            "caa.{}",
+                            self.providers.ns_domain(p.index)
+                        )
+                        .parse()
+                        .expect("valid");
+                        answer(vec![Record::new(
+                            base.clone(),
+                            ttl,
+                            RData::Cname(target),
+                        )])
+                    } else {
+                        let records = profile
+                            .caa_records
+                            .iter()
+                            .map(|c| Record::new(base.clone(), ttl, RData::Caa(c.clone())))
+                            .collect();
+                        answer(records)
+                    }
+                }
+                RecordType::ANY => answer(vec![Record::new(
+                    base.clone(),
+                    ttl,
+                    RData::A(self.apex_a_value(profile, server)),
+                )]),
+                _ => nodata(),
+            };
+        }
+
+        // Subdomain handling.
+        let sub_label = String::from_utf8_lossy(&q.name.labels()[0]).to_ascii_lowercase();
+        let depth = q.name.label_count() - base.label_count();
+        if depth == 1 {
+            match sub_label.as_str() {
+                "www" => match profile.www {
+                    WwwKind::Absent => {
+                        if profile.has_wildcard {
+                            return self.wildcard_answer(base, profile, q, server);
+                        }
+                        return nxdomain();
+                    }
+                    WwwKind::CnameToApex => {
+                        let mut records = vec![Record::new(
+                            q.name.clone(),
+                            ttl,
+                            RData::Cname(base.clone()),
+                        )];
+                        if matches!(q.qtype, RecordType::A | RecordType::ANY) {
+                            records.push(Record::new(
+                                base.clone(),
+                                ttl,
+                                RData::A(self.apex_a_value(profile, server)),
+                            ));
+                        }
+                        return answer(records);
+                    }
+                    WwwKind::ARecord => {
+                        if matches!(q.qtype, RecordType::A | RecordType::ANY) {
+                            let mut key = self.base_key(base);
+                            key.extend_from_slice(b"|www");
+                            return answer(vec![Record::new(
+                                q.name.clone(),
+                                ttl,
+                                RData::A(host_address(h64(self.seed(), "sub-a", &key))),
+                            )]);
+                        }
+                        return nodata();
+                    }
+                },
+                "mail" if profile.has_mx => {
+                    if matches!(q.qtype, RecordType::A | RecordType::ANY) {
+                        let mut key = self.base_key(base);
+                        key.extend_from_slice(b"|mail");
+                        return answer(vec![Record::new(
+                            q.name.clone(),
+                            ttl,
+                            RData::A(host_address(h64(self.seed(), "sub-a", &key))),
+                        )]);
+                    }
+                    return nodata();
+                }
+                "caa" => {
+                    // Target of §6 CNAME-reached CAA (on provider domains).
+                    if self.provider_domains.get(base) == Some(&p.index)
+                        && q.qtype == RecordType::CAA
+                    {
+                        return answer(vec![Record::new(
+                            q.name.clone(),
+                            ttl,
+                            RData::Caa(issue_record("issue", "letsencrypt.org")),
+                        )]);
+                    }
+                }
+                _ => {}
+            }
+        }
+        // Generic subdomain: exists by hash, else wildcard, else NXDOMAIN.
+        let fqdn_key = q.name.to_ascii_lower().into_bytes();
+        if chance(
+            self.seed(),
+            "sub-exists",
+            &fqdn_key,
+            self.cfg.subdomain_exists_prob,
+        ) {
+            if matches!(q.qtype, RecordType::A | RecordType::ANY) {
+                return answer(vec![Record::new(
+                    q.name.clone(),
+                    ttl,
+                    RData::A(host_address(h64(self.seed(), "sub-a", &fqdn_key))),
+                )]);
+            }
+            return nodata();
+        }
+        if profile.has_wildcard {
+            return self.wildcard_answer(base, profile, q, server);
+        }
+        nxdomain()
+    }
+
+    fn wildcard_answer(
+        &self,
+        base: &Name,
+        profile: &DomainProfile,
+        q: &Question,
+        server: u8,
+    ) -> AuthResponse {
+        if matches!(q.qtype, RecordType::A | RecordType::ANY) {
+            AuthResponse {
+                rcode: zdns_wire::Rcode::NoError,
+                authoritative: true,
+                answers: vec![Record::new(
+                    q.name.clone(),
+                    self.cfg.leaf_ttl,
+                    RData::A(self.apex_a_value(profile, server)),
+                )],
+                authorities: Vec::new(),
+                additionals: Vec::new(),
+            }
+        } else {
+            AuthResponse {
+                rcode: zdns_wire::Rcode::NoError,
+                authoritative: true,
+                answers: Vec::new(),
+                authorities: vec![self.leaf_soa(base)],
+                additionals: Vec::new(),
+            }
+        }
+    }
+}
+
+fn parse_octet(label: &[u8]) -> Option<u8> {
+    let s = std::str::from_utf8(label).ok()?;
+    // Reject leading zeros and empty labels the way the reverse tree does.
+    if s.is_empty() || s.len() > 3 || (s.len() > 1 && s.starts_with('0')) {
+        return None;
+    }
+    s.parse().ok()
+}
+
+fn issue_record(tag: &str, value: &str) -> Caa {
+    Caa {
+        flags: 0,
+        tag: tag.as_bytes().to_vec(),
+        value: value.as_bytes().to_vec(),
+    }
+}
+
+impl Universe for SyntheticUniverse {
+    fn respond(&self, server: Ipv4Addr, question: &Question) -> Option<AuthResponse> {
+        let role = ServerRole::decode(server)?;
+        Some(match role {
+            ServerRole::Root { .. } => self.respond_root(question),
+            ServerRole::Tld { tld_index, .. } => self.respond_tld(tld_index, question),
+            ServerRole::ProviderAuth { provider, server } => {
+                self.respond_provider(provider, server, question)
+            }
+            ServerRole::Rdns8 { octet, .. } => self.respond_rdns8(octet, question),
+            ServerRole::Rdns16 { a, b, .. } => self.respond_rdns16(a, b, question),
+            ServerRole::Rdns24 { a, b, c } => self.respond_rdns24(a, b, c, question),
+        })
+    }
+
+    fn server_profile(&self, server: Ipv4Addr) -> ServerProfile {
+        match ServerRole::decode(server) {
+            Some(ServerRole::Root { .. }) => ServerProfile {
+                latency: LatencyClass::Fast,
+                base_drop: 0.0005,
+                processing_us: 50,
+            },
+            Some(ServerRole::Tld { .. }) => ServerProfile {
+                latency: LatencyClass::Fast,
+                base_drop: 0.001,
+                processing_us: 60,
+            },
+            Some(ServerRole::ProviderAuth { provider, .. }) => {
+                let p = self.providers.by_index(provider);
+                match p.map(|p| (p.latency, p.reliability)) {
+                    Some((latency, reliability)) => ServerProfile {
+                        latency,
+                        base_drop: match reliability {
+                            ReliabilityClass::Excellent => 0.0005,
+                            ReliabilityClass::Good => 0.005,
+                            ReliabilityClass::Poor => 0.03,
+                            ReliabilityClass::Blocking => 0.01,
+                        },
+                        processing_us: 120,
+                    },
+                    None => ServerProfile::default(),
+                }
+            }
+            Some(ServerRole::Rdns8 { .. }) => ServerProfile {
+                latency: LatencyClass::Medium,
+                base_drop: 0.002,
+                processing_us: 100,
+            },
+            Some(ServerRole::Rdns24 { a, b, .. }) | Some(ServerRole::Rdns16 { a, b, .. }) => {
+                // Reverse-zone quality varies by operator; hash the /16.
+                let h = h64(self.seed(), "rdns-profile", &[a, b]);
+                ServerProfile {
+                    latency: match h % 10 {
+                        0..=4 => LatencyClass::Medium,
+                        5..=7 => LatencyClass::Fast,
+                        _ => LatencyClass::Slow,
+                    },
+                    base_drop: 0.002 + unit(h) * 0.01,
+                    processing_us: 100,
+                }
+            }
+            None => ServerProfile::default(),
+        }
+    }
+
+    fn drop_probability(&self, server: Ipv4Addr, qname: &Name) -> f64 {
+        // §5 per-(domain, nameserver) probabilistic blocking.
+        let Some(ServerRole::ProviderAuth { provider, server: k }) = ServerRole::decode(server)
+        else {
+            return 0.0;
+        };
+        let Some(base) = self.base_of(qname) else {
+            return 0.0;
+        };
+        if !self.domain_exists(&base) || self.provider_of(&base).index != provider {
+            return 0.0;
+        }
+        match self.domain_profile(&base).flaky {
+            Some(f) if f.ns_index == k => f.drop_prob,
+            _ => 0.0,
+        }
+    }
+
+    fn root_hints(&self) -> Vec<(Name, Ipv4Addr)> {
+        (0..13u8)
+            .map(|i| {
+                let letter = (b'a' + i) as char;
+                let name: Name = format!("{letter}.root-servers.net")
+                    .parse()
+                    .expect("valid");
+                (name, ServerRole::Root { index: i }.address())
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zdns_wire::Rcode;
+
+    fn universe() -> SyntheticUniverse {
+        SyntheticUniverse::new(SynthConfig::default())
+    }
+
+    fn existing_domain(u: &SyntheticUniverse, tld: &str) -> Name {
+        for i in 0..10_000 {
+            let name: Name = format!("domain{i}.{tld}").parse().unwrap();
+            if u.domain_exists(&name) {
+                return name;
+            }
+        }
+        panic!("no existing domain found in .{tld}");
+    }
+
+    #[test]
+    fn root_refers_to_tld_with_glue() {
+        let u = universe();
+        let root = ServerRole::Root { index: 0 }.address();
+        let q = Question::new("example.com".parse().unwrap(), RecordType::A);
+        let resp = u.respond(root, &q).unwrap();
+        assert_eq!(resp.rcode, Rcode::NoError);
+        assert!(!resp.authoritative);
+        assert!(!resp.authorities.is_empty());
+        assert_eq!(resp.authorities.len(), resp.additionals.len());
+        // Every NS has matching glue.
+        for rec in &resp.authorities {
+            assert_eq!(rec.rtype, RecordType::NS);
+            assert_eq!(rec.name, "com".parse::<Name>().unwrap());
+        }
+    }
+
+    #[test]
+    fn root_nxdomain_for_unknown_tld() {
+        let u = universe();
+        let root = ServerRole::Root { index: 3 }.address();
+        let q = Question::new("example.nosuchtld0".parse().unwrap(), RecordType::A);
+        let resp = u.respond(root, &q).unwrap();
+        assert_eq!(resp.rcode, Rcode::NxDomain);
+        assert_eq!(resp.authorities[0].rtype, RecordType::SOA);
+    }
+
+    #[test]
+    fn full_referral_chain_resolves_a_query() {
+        let u = universe();
+        let base = existing_domain(&u, "com");
+        let q = Question::new(base.clone(), RecordType::A);
+
+        // Hop 1: root.
+        let root_resp = u
+            .respond(ServerRole::Root { index: 0 }.address(), &q)
+            .unwrap();
+        let tld_glue = match &root_resp.additionals[0].rdata {
+            RData::A(a) => *a,
+            other => panic!("{other:?}"),
+        };
+        // Hop 2: TLD.
+        let tld_resp = u.respond(tld_glue, &q).unwrap();
+        assert!(!tld_resp.authoritative);
+        assert!(!tld_resp.authorities.is_empty(), "TLD must refer");
+        let profile = u.domain_profile(&base);
+        if profile.glueless {
+            assert!(tld_resp.additionals.is_empty());
+            return; // glueless path exercised elsewhere
+        }
+        let auth_glue = match &tld_resp.additionals[0].rdata {
+            RData::A(a) => *a,
+            other => panic!("{other:?}"),
+        };
+        // Hop 3: provider authoritative server.
+        let auth_resp = u.respond(auth_glue, &q).unwrap();
+        if profile.lame_ns == Some(0) {
+            assert_eq!(auth_resp.rcode, Rcode::Refused);
+        } else {
+            assert_eq!(auth_resp.rcode, Rcode::NoError);
+            assert!(auth_resp.authoritative);
+            assert_eq!(auth_resp.answers[0].rdata, RData::A(profile.apex_a));
+        }
+    }
+
+    #[test]
+    fn ptr_chain_resolves() {
+        let u = universe();
+        // Find an IP with a PTR record.
+        let ip = (0..u32::MAX)
+            .map(|i| Ipv4Addr::from(0x0800_0000u32.wrapping_add(i * 7919)))
+            .find(|&ip| u.ptr_exists(ip))
+            .unwrap();
+        let qname = Name::reverse_ipv4(ip);
+        let q = Question::new(qname.clone(), RecordType::PTR);
+
+        let root_resp = u
+            .respond(ServerRole::Root { index: 0 }.address(), &q)
+            .unwrap();
+        // root refers to arpa TLD servers.
+        let arpa_ip = match &root_resp.additionals[0].rdata {
+            RData::A(a) => *a,
+            other => panic!("{other:?}"),
+        };
+        let arpa_resp = u.respond(arpa_ip, &q).unwrap();
+        let rdns8_ip = match &arpa_resp.additionals[0].rdata {
+            RData::A(a) => *a,
+            other => panic!("{other:?}"),
+        };
+        let rdns8_resp = u.respond(rdns8_ip, &q).unwrap();
+        let rdns16_ip = match &rdns8_resp.additionals[0].rdata {
+            RData::A(a) => *a,
+            other => panic!("{other:?}"),
+        };
+        let mut final_resp = u.respond(rdns16_ip, &q).unwrap();
+        if !final_resp.authoritative {
+            // Most /16 operators delegate at /24: one more hop.
+            let rdns24_ip = match &final_resp.additionals[0].rdata {
+                RData::A(a) => *a,
+                other => panic!("{other:?}"),
+            };
+            final_resp = u.respond(rdns24_ip, &q).unwrap();
+        }
+        assert_eq!(final_resp.rcode, Rcode::NoError);
+        assert_eq!(final_resp.answers[0].rtype, RecordType::PTR);
+        assert_eq!(final_resp.answers[0].rdata, RData::Ptr(u.ptr_name(ip)));
+    }
+
+    #[test]
+    fn ptr_absent_is_nxdomain() {
+        let u = universe();
+        let ip = (0..u32::MAX)
+            .map(|i| Ipv4Addr::from(0x0900_0000u32.wrapping_add(i * 104729)))
+            .find(|&ip| !is_reserved(ip) && !u.ptr_exists(ip))
+            .unwrap();
+        let q = Question::new(Name::reverse_ipv4(ip), RecordType::PTR);
+        let o = ip.octets();
+        let server = if u.rdns16_delegates_deeper(o[0], o[1]) {
+            ServerRole::Rdns24 { a: o[0], b: o[1], c: o[2] }.address()
+        } else {
+            ServerRole::Rdns16 { a: o[0], b: o[1], server: 0 }.address()
+        };
+        let resp = u.respond(server, &q).unwrap();
+        assert_eq!(resp.rcode, Rcode::NxDomain);
+    }
+
+    #[test]
+    fn nonexistent_domain_is_tld_nxdomain() {
+        let u = universe();
+        let name: Name = loop {
+            for i in 0..10_000 {
+                let n: Name = format!("missing{i}.com").parse().unwrap();
+                if !u.domain_exists(&n) {
+                    break;
+                }
+            }
+            break "definitely-missing-xyzzy.com".parse().unwrap();
+        };
+        if u.domain_exists(&name) {
+            return; // astronomically unlikely; fine
+        }
+        let tld = u.tlds().by_label("com").unwrap();
+        let server = ServerRole::Tld { tld_index: tld.index, server: 0 }.address();
+        let q = Question::new(name, RecordType::A);
+        let resp = u.respond(server, &q).unwrap();
+        assert_eq!(resp.rcode, Rcode::NxDomain);
+    }
+
+    #[test]
+    fn provider_ns_hostnames_resolve_coherently() {
+        let u = universe();
+        // Glue addresses from a TLD referral must match what the provider's
+        // own authoritative servers answer for the same hostname.
+        let base = existing_domain(&u, "net");
+        let profile = u.domain_profile(&base);
+        let provider = u.providers().by_index(profile.provider).unwrap();
+        let ns_host: Name = u
+            .providers()
+            .ns_hostname(provider.index, 0)
+            .parse()
+            .unwrap();
+        // Ask a (non-lame) server of the provider hosting its own domain.
+        let ns_domain: Name = u.providers().ns_domain(provider.index).parse().unwrap();
+        let own_profile = u.domain_profile(&ns_domain);
+        let k = (0..provider.ns_count)
+            .find(|&k| own_profile.lame_ns != Some(k))
+            .unwrap();
+        let server = ServerRole::ProviderAuth { provider: provider.index, server: k }.address();
+        let q = Question::new(ns_host, RecordType::A);
+        let resp = u.respond(server, &q).unwrap();
+        assert_eq!(resp.rcode, Rcode::NoError, "{resp:?}");
+        assert_eq!(
+            resp.answers[0].rdata,
+            RData::A(ServerRole::ProviderAuth { provider: provider.index, server: 0 }.address())
+        );
+    }
+
+    #[test]
+    fn domain_existence_rate_near_config() {
+        let u = universe();
+        let n = 20_000;
+        let hits = (0..n)
+            .filter(|i| u.domain_exists(&format!("d{i}.com").parse().unwrap()))
+            .count();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - 0.70).abs() < 0.02, "{rate}");
+    }
+
+    #[test]
+    fn caa_rates_match_section6() {
+        let u = universe();
+        let n = 60_000;
+        // Existing .com domains.
+        let mut caa_com = 0;
+        let mut total_com = 0;
+        for i in 0..n {
+            let base: Name = format!("c{i}.com").parse().unwrap();
+            if u.domain_exists(&base) {
+                total_com += 1;
+                if !u.domain_profile(&base).caa_records.is_empty() {
+                    caa_com += 1;
+                }
+            }
+        }
+        let rate_com = caa_com as f64 / total_com as f64;
+        assert!((rate_com - 0.0158).abs() < 0.004, "com CAA rate {rate_com}");
+        // .pl domains are far more likely to hold CAA.
+        let mut caa_pl = 0;
+        let mut total_pl = 0;
+        for i in 0..n {
+            let base: Name = format!("c{i}.pl").parse().unwrap();
+            if u.domain_exists(&base) {
+                total_pl += 1;
+                if !u.domain_profile(&base).caa_records.is_empty() {
+                    caa_pl += 1;
+                }
+            }
+        }
+        let rate_pl = caa_pl as f64 / total_pl as f64;
+        assert!(rate_pl > 0.06, "pl CAA rate {rate_pl}");
+    }
+
+    #[test]
+    fn flaky_rates_match_section5() {
+        let u = universe();
+        let n = 200_000;
+        let mut flaky = 0;
+        let mut deep = 0;
+        let mut existing = 0;
+        for i in 0..n {
+            let base: Name = format!("f{i}.com").parse().unwrap();
+            if !u.domain_exists(&base) {
+                continue;
+            }
+            existing += 1;
+            match u.domain_profile(&base).flaky {
+                Some(f) if f.deep => {
+                    deep += 1;
+                    flaky += 1;
+                }
+                Some(_) => flaky += 1,
+                None => {}
+            }
+        }
+        let flaky_rate = flaky as f64 / existing as f64;
+        let deep_rate = deep as f64 / existing as f64;
+        // §5: 0.55% of domains need ≥2 retries on some NS; 0.01% need 10.
+        assert!((flaky_rate - 0.0055).abs() < 0.002, "flaky {flaky_rate}");
+        assert!(deep_rate < 0.001, "deep {deep_rate}");
+    }
+
+    #[test]
+    fn namebright_domains_concentrate_deep_flakiness() {
+        let u = universe();
+        // All namebright-hosted domains come from its own weight; sample
+        // domains and check relative deep-flaky rates.
+        let mut nb_deep = 0;
+        let mut nb_total = 0;
+        for i in 0..400_000 {
+            let base: Name = format!("nb{i}.com").parse().unwrap();
+            if !u.domain_exists(&base) {
+                continue;
+            }
+            let p = u.domain_profile(&base);
+            if p.provider == PROVIDER_NAMEBRIGHT {
+                nb_total += 1;
+                if matches!(p.flaky, Some(f) if f.deep) {
+                    nb_deep += 1;
+                }
+            }
+        }
+        assert!(nb_total > 100, "sample too small: {nb_total}");
+        let rate = nb_deep as f64 / nb_total as f64;
+        assert!(rate > 0.005, "namebright deep rate {rate}");
+    }
+
+    #[test]
+    fn drop_probability_only_for_flaky_ns() {
+        let u = universe();
+        // Find a flaky domain.
+        for i in 0..400_000 {
+            let base: Name = format!("f{i}.com").parse().unwrap();
+            if !u.domain_exists(&base) {
+                continue;
+            }
+            let p = u.domain_profile(&base);
+            if let Some(f) = p.flaky {
+                let flaky_server = ServerRole::ProviderAuth {
+                    provider: p.provider,
+                    server: f.ns_index,
+                }
+                .address();
+                let other_server = ServerRole::ProviderAuth {
+                    provider: p.provider,
+                    server: (f.ns_index + 1) % p.ns_count,
+                }
+                .address();
+                assert!(u.drop_probability(flaky_server, &base) > 0.0);
+                assert_eq!(u.drop_probability(other_server, &base), 0.0);
+                return;
+            }
+        }
+        panic!("no flaky domain found");
+    }
+
+    #[test]
+    fn thirteen_root_hints() {
+        let u = universe();
+        let hints = u.root_hints();
+        assert_eq!(hints.len(), 13);
+        assert_eq!(hints[0].0.to_string(), "a.root-servers.net");
+        assert_eq!(hints[12].0.to_string(), "m.root-servers.net");
+    }
+
+    #[test]
+    fn responses_are_deterministic() {
+        let u1 = universe();
+        let u2 = universe();
+        let q = Question::new("determinism.org".parse().unwrap(), RecordType::A);
+        for server in [
+            ServerRole::Root { index: 0 }.address(),
+            ServerRole::Tld { tld_index: 2, server: 0 }.address(),
+        ] {
+            assert_eq!(u1.respond(server, &q), u2.respond(server, &q));
+        }
+    }
+}
