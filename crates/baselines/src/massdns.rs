@@ -78,7 +78,12 @@ impl SimClient for MassDnsMachine {
         StepStatus::Running
     }
 
-    fn on_event(&mut self, event: ClientEvent, _now: SimTime, out: &mut Vec<OutQuery>) -> StepStatus {
+    fn on_event(
+        &mut self,
+        event: ClientEvent,
+        _now: SimTime,
+        out: &mut Vec<OutQuery>,
+    ) -> StepStatus {
         match event {
             ClientEvent::Response { tag, message, .. } => {
                 if tag != self.tag {
@@ -98,6 +103,12 @@ impl SimClient for MassDnsMachine {
                     return StepStatus::Running;
                 }
                 self.retry_or_fail("TIMEOUT", out)
+            }
+            ClientEvent::TransportFailed { tag } => {
+                if tag != self.tag {
+                    return StepStatus::Running;
+                }
+                self.retry_or_fail("ERROR", out)
             }
         }
     }

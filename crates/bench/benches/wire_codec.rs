@@ -90,7 +90,11 @@ fn bench_codec(c: &mut Criterion) {
         b.iter(|| Message::decode(black_box(&answer_bytes)).unwrap())
     });
     c.bench_function("name_parse", |b| {
-        b.iter(|| "www.subdomain.example-domain.co.uk".parse::<Name>().unwrap())
+        b.iter(|| {
+            "www.subdomain.example-domain.co.uk"
+                .parse::<Name>()
+                .unwrap()
+        })
     });
     c.bench_function("udp_truncation_encode", |b| {
         b.iter(|| black_box(&referral).encode_udp(512).unwrap())

@@ -63,12 +63,18 @@ fn main() {
                     summarize(&rec.rdata)
                 );
             }
-            println!(";; Received from {} (depth {})\n", step.name_server, step.depth);
+            println!(
+                ";; Received from {} (depth {})\n",
+                step.name_server, step.depth
+            );
         }
     }
 
     println!("=== ZDNS JSON output (Appendix C, Figure 6) ===\n");
-    println!("{}", serde_json::to_string_pretty(&result.to_json()).expect("valid JSON"));
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&result.to_json()).expect("valid JSON")
+    );
 }
 
 fn summarize(rdata: &zdns_wire::RData) -> String {

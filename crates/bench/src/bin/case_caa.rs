@@ -87,13 +87,19 @@ fn main() {
             if !issue.is_empty() {
                 t.issue.fetch_add(1, Ordering::Relaxed);
             }
-            if o.data["issuewild"].as_array().is_some_and(|a| !a.is_empty()) {
+            if o.data["issuewild"]
+                .as_array()
+                .is_some_and(|a| !a.is_empty())
+            {
                 t.issuewild.fetch_add(1, Ordering::Relaxed);
             }
             if o.data["has_iodef"] == true {
                 t.iodef.fetch_add(1, Ordering::Relaxed);
             }
-            if o.data["invalid_tags"].as_array().is_some_and(|a| !a.is_empty()) {
+            if o.data["invalid_tags"]
+                .as_array()
+                .is_some_and(|a| !a.is_empty())
+            {
                 t.invalid.fetch_add(1, Ordering::Relaxed);
             }
             if o.data["via_cname"] == true {
@@ -168,17 +174,26 @@ fn main() {
     ]);
     table.row(&[
         "Let's Encrypt in issue set".to_string(),
-        format!("{:.1}%", pct(&tally.le, tally.issue.load(Ordering::Relaxed) as f64)),
+        format!(
+            "{:.1}%",
+            pct(&tally.le, tally.issue.load(Ordering::Relaxed) as f64)
+        ),
         "92.4%".to_string(),
     ]);
     table.row(&[
         "Comodo in issue set".to_string(),
-        format!("{:.1}%", pct(&tally.comodo, tally.issue.load(Ordering::Relaxed) as f64)),
+        format!(
+            "{:.1}%",
+            pct(&tally.comodo, tally.issue.load(Ordering::Relaxed) as f64)
+        ),
         ">50%".to_string(),
     ]);
     table.row(&[
         "DigiCert in issue set".to_string(),
-        format!("{:.1}%", pct(&tally.digicert, tally.issue.load(Ordering::Relaxed) as f64)),
+        format!(
+            "{:.1}%",
+            pct(&tally.digicert, tally.issue.load(Ordering::Relaxed) as f64)
+        ),
         ">50%".to_string(),
     ]);
 }

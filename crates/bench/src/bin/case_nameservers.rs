@@ -95,7 +95,10 @@ fn main() {
     );
 
     let total = total.load(Ordering::Relaxed) as f64;
-    println!("§5 nameserver (in)consistency — {scan_size} domains scanned, {} resolvable\n", total as u64);
+    println!(
+        "§5 nameserver (in)consistency — {scan_size} domains scanned, {} resolvable\n",
+        total as u64
+    );
     println!(
         "completed in {} of virtual time (paper: 18.5h for 234M fqdns)\n",
         zdns_bench::human_time(zdns_netsim::as_secs_f64(report.makespan))
@@ -103,12 +106,18 @@ fn main() {
     let table = TablePrinter::new(&["metric", "measured", "paper"]);
     table.row(&[
         "domains with NS needing >=2 retries".to_string(),
-        format!("{:.2}%", flaky2.load(Ordering::Relaxed) as f64 / total * 100.0),
+        format!(
+            "{:.2}%",
+            flaky2.load(Ordering::Relaxed) as f64 / total * 100.0
+        ),
         "0.55%".to_string(),
     ]);
     table.row(&[
         "domains with NS needing 10 retries".to_string(),
-        format!("{:.3}%", flaky10.load(Ordering::Relaxed) as f64 / total * 100.0),
+        format!(
+            "{:.3}%",
+            flaky10.load(Ordering::Relaxed) as f64 / total * 100.0
+        ),
         "0.01%".to_string(),
     ]);
     table.row(&[

@@ -41,7 +41,12 @@ fn main() {
                 resolver.label()
             );
             let table = TablePrinter::new(&[
-                "threads", "prefix", "eff_threads", "succ/s", "succ_%", "queries/s",
+                "threads",
+                "prefix",
+                "eff_threads",
+                "succ/s",
+                "succ_%",
+                "queries/s",
             ]);
             for &(ips, prefix_label) in prefixes {
                 for &threads in threads_grid {

@@ -15,7 +15,9 @@ fn main() {
     let cache_grid: &[usize] = if quick {
         &[50_000, 200_000, 600_000, 1_000_000]
     } else {
-        &[50_000, 100_000, 200_000, 400_000, 600_000, 800_000, 1_000_000]
+        &[
+            50_000, 100_000, 200_000, 400_000, 600_000, 800_000, 1_000_000,
+        ]
     };
     let threads = if quick { 10_000 } else { 50_000 };
     println!("Figure 2: successes/second and hit rate vs cache size @ {threads} threads\n");

@@ -30,15 +30,57 @@ fn main() {
 
     println!("Table 1: ZDNS performance (measured sample + full-scale extrapolation)\n");
     let table = TablePrinter::new(&[
-        "lookup", "resolver", "workload", "succ_%", "succ/s", "time(full)", "paper",
+        "lookup",
+        "resolver",
+        "workload",
+        "succ_%",
+        "succ/s",
+        "time(full)",
+        "paper",
     ]);
     let rows: [(Workload, TargetResolver, f64, &str, &str); 6] = [
-        (Workload::A, TargetResolver::Google, full_a, "50M", "10.6m / 96.4%"),
-        (Workload::A, TargetResolver::Cloudflare, full_a, "50M", "10.3m / 97.0%"),
-        (Workload::A, TargetResolver::Iterative, full_a, "50M", "46.3m / 96.7%"),
-        (Workload::Ptr, TargetResolver::Google, full_ptr, "100% IPv4", "12.1h / 93.0%"),
-        (Workload::Ptr, TargetResolver::Cloudflare, full_ptr, "100% IPv4", "12.9h / 93.5%"),
-        (Workload::Ptr, TargetResolver::Iterative, full_ptr, "100% IPv4", "116.7h / 88.5%"),
+        (
+            Workload::A,
+            TargetResolver::Google,
+            full_a,
+            "50M",
+            "10.6m / 96.4%",
+        ),
+        (
+            Workload::A,
+            TargetResolver::Cloudflare,
+            full_a,
+            "50M",
+            "10.3m / 97.0%",
+        ),
+        (
+            Workload::A,
+            TargetResolver::Iterative,
+            full_a,
+            "50M",
+            "46.3m / 96.7%",
+        ),
+        (
+            Workload::Ptr,
+            TargetResolver::Google,
+            full_ptr,
+            "100% IPv4",
+            "12.1h / 93.0%",
+        ),
+        (
+            Workload::Ptr,
+            TargetResolver::Cloudflare,
+            full_ptr,
+            "100% IPv4",
+            "12.9h / 93.5%",
+        ),
+        (
+            Workload::Ptr,
+            TargetResolver::Iterative,
+            full_ptr,
+            "100% IPv4",
+            "116.7h / 88.5%",
+        ),
     ];
     for (workload, resolver, total, label, paper) in rows {
         let spec = ScanSpec {

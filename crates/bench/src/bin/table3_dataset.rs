@@ -25,8 +25,17 @@ fn main() {
     let stats = corpus.stats(sample);
     let scale = 234_531_389.0 / stats.fqdns as f64;
 
-    println!("Table 3: Certificate Transparency domains dataset (sample of {sample} fqdns, scaled)\n");
-    let table = TablePrinter::new(&["category", "fqdn", "domain", "tld", "paper_fqdn", "paper_domain"]);
+    println!(
+        "Table 3: Certificate Transparency domains dataset (sample of {sample} fqdns, scaled)\n"
+    );
+    let table = TablePrinter::new(&[
+        "category",
+        "fqdn",
+        "domain",
+        "tld",
+        "paper_fqdn",
+        "paper_domain",
+    ]);
     let rows = [
         (
             "legacy gTLDs",

@@ -226,8 +226,7 @@ pub fn run_scan(universe: &Arc<SyntheticUniverse>, spec: &ScanSpec) -> ScanOutco
             // Offset the corpus window per seed so consecutive trials do
             // not overlap names (the paper's §4.1 methodology).
             let offset = spec.seed.wrapping_mul(1_000_003) % 1_000_000_000;
-            let mut names =
-                (0..spec.jobs).map(move |i| corpus.fqdn(offset + i, (i * 7) % 3));
+            let mut names = (0..spec.jobs).map(move |i| corpus.fqdn(offset + i, (i * 7) % 3));
             let r2 = resolver.clone();
             engine.run(move || {
                 let name = names.next()?;
@@ -240,10 +239,7 @@ pub fn run_scan(universe: &Arc<SyntheticUniverse>, spec: &ScanSpec) -> ScanOutco
             let r2 = resolver.clone();
             engine.run(move || {
                 let ip = ips.next()?;
-                Some(r2.machine(
-                    Question::new(Name::reverse_ipv4(ip), RecordType::PTR),
-                    None,
-                ))
+                Some(r2.machine(Question::new(Name::reverse_ipv4(ip), RecordType::PTR), None))
             })
         }
     };

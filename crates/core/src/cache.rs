@@ -225,11 +225,7 @@ mod tests {
     }
 
     fn a_record(name: &str, addr: &str, ttl: u32) -> Record {
-        Record::new(
-            name.parse().unwrap(),
-            ttl,
-            RData::A(addr.parse().unwrap()),
-        )
+        Record::new(name.parse().unwrap(), ttl, RData::A(addr.parse().unwrap()))
     }
 
     fn key(name: &str, rtype: RecordType) -> CacheKey {
@@ -300,11 +296,7 @@ mod tests {
         for i in 0..10 * SHARDS {
             cache.put(
                 key(&format!("zone{i}.test"), RecordType::NS),
-                vec![ns_record(
-                    &format!("zone{i}.test"),
-                    "ns.zone.test",
-                    3600,
-                )],
+                vec![ns_record(&format!("zone{i}.test"), "ns.zone.test", 3600)],
                 0,
             );
         }
@@ -357,9 +349,7 @@ mod tests {
             .deepest_cut(&"www.example.com".parse().unwrap(), 0)
             .unwrap();
         assert_eq!(cut, "example.com".parse().unwrap());
-        let (cut2, _) = cache
-            .deepest_cut(&"other.com".parse().unwrap(), 0)
-            .unwrap();
+        let (cut2, _) = cache.deepest_cut(&"other.com".parse().unwrap(), 0).unwrap();
         assert_eq!(cut2, "com".parse().unwrap());
         assert!(cache
             .deepest_cut(&"example.org".parse().unwrap(), 0)

@@ -2,8 +2,8 @@
 
 use std::net::Ipv4Addr;
 
-use zdns_wire::Name;
 use zdns_netsim::{SimTime, MILLIS, SECONDS};
+use zdns_wire::Name;
 
 /// Where answers come from.
 #[derive(Debug, Clone, PartialEq, Eq)]

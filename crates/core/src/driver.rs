@@ -1,0 +1,128 @@
+//! The driver abstraction: one interface over the two ways ZDNS pushes
+//! lookup machines through real sockets.
+//!
+//! * [`BlockingDriver`] — one machine at a time over a blocking
+//!   [`Transport`]; what [`crate::Resolver::lookup`] uses for single
+//!   lookups, and the worker-per-lookup fallback for scans.
+//! * [`crate::reactor::Reactor`] — an event loop that multiplexes
+//!   hundreds-to-thousands of in-flight machines over one non-blocking UDP
+//!   socket (the paper's architecture: thousands of lookup routines,
+//!   long-lived sockets).
+//!
+//! Both implement [`Driver`], so scan orchestration in `zdns-framework`
+//! can pick either without caring which.
+
+use zdns_netsim::{JobOutcome, SimClient};
+
+use crate::resolver::{drive_blocking, AddrMap};
+use crate::transport::Transport;
+
+/// What a driver's machine source returns on each pull.
+pub enum Admission {
+    /// A machine to drive.
+    Admit(Box<dyn SimClient>),
+    /// Nothing available right now; ask again shortly (an upstream input
+    /// channel is momentarily empty but not closed).
+    Later,
+    /// No more machines will ever arrive.
+    Exhausted,
+}
+
+/// Counters every driver reports after a scan.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DriverReport {
+    /// Machines driven to completion.
+    pub completed: u64,
+    /// Machines that finished with a successful outcome.
+    pub successes: u64,
+    /// Datagrams received and routed to a live machine.
+    pub datagrams_delivered: u64,
+    /// Datagrams that matched no in-flight query (late, stale, or spoofed).
+    pub stale_datagrams: u64,
+    /// Datagrams that would not decode.
+    pub decode_errors: u64,
+    /// Transient socket-level receive errors (e.g. ICMP unreachable
+    /// surfaced as ECONNREFUSED) — distinct from undecodable datagrams.
+    pub socket_errors: u64,
+    /// Per-query timeouts fired.
+    pub timeouts_fired: u64,
+    /// Exchanges routed to the blocking TCP side-pool (truncation
+    /// fallback).
+    pub tcp_fallbacks: u64,
+    /// Highest number of concurrently in-flight machines observed.
+    pub peak_in_flight: usize,
+}
+
+impl DriverReport {
+    /// Fold another driver's counters into this one (sums, except
+    /// `peak_in_flight` which takes the max) — how a scan aggregates its
+    /// per-worker reports.
+    pub fn merge(&mut self, other: &DriverReport) {
+        self.completed += other.completed;
+        self.successes += other.successes;
+        self.datagrams_delivered += other.datagrams_delivered;
+        self.stale_datagrams += other.stale_datagrams;
+        self.decode_errors += other.decode_errors;
+        self.socket_errors += other.socket_errors;
+        self.timeouts_fired += other.timeouts_fired;
+        self.tcp_fallbacks += other.tcp_fallbacks;
+        self.peak_in_flight = self.peak_in_flight.max(other.peak_in_flight);
+    }
+}
+
+/// Drives lookup machines over real I/O until the source is exhausted.
+pub trait Driver {
+    /// Pull machines from `source` (respecting the driver's own concurrency
+    /// model) and invoke `on_done` with each machine's outcome — `None`
+    /// when a machine wedged (running with nothing in flight).
+    fn run_scan(
+        &mut self,
+        source: &mut dyn FnMut() -> Admission,
+        on_done: &mut dyn FnMut(Option<JobOutcome>),
+    ) -> DriverReport;
+}
+
+/// The one-lookup-at-a-time driver: each admitted machine is driven to
+/// completion over the blocking transport before the next is pulled.
+pub struct BlockingDriver<T: Transport> {
+    transport: T,
+    addr_map: std::sync::Arc<AddrMap>,
+}
+
+impl<T: Transport> BlockingDriver<T> {
+    /// Build from a transport and address mapping.
+    pub fn new(transport: T, addr_map: std::sync::Arc<AddrMap>) -> BlockingDriver<T> {
+        BlockingDriver {
+            transport,
+            addr_map,
+        }
+    }
+}
+
+impl<T: Transport> Driver for BlockingDriver<T> {
+    fn run_scan(
+        &mut self,
+        source: &mut dyn FnMut() -> Admission,
+        on_done: &mut dyn FnMut(Option<JobOutcome>),
+    ) -> DriverReport {
+        let mut report = DriverReport::default();
+        loop {
+            match source() {
+                Admission::Admit(mut machine) => {
+                    report.peak_in_flight = report.peak_in_flight.max(1);
+                    let outcome =
+                        drive_blocking(machine.as_mut(), &mut self.transport, &*self.addr_map);
+                    report.completed += 1;
+                    if matches!(&outcome, Some(o) if o.success) {
+                        report.successes += 1;
+                    }
+                    on_done(outcome);
+                }
+                Admission::Later => {
+                    std::thread::sleep(std::time::Duration::from_micros(200));
+                }
+                Admission::Exhausted => return report,
+            }
+        }
+    }
+}

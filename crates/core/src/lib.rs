@@ -14,9 +14,11 @@
 
 pub mod cache;
 pub mod config;
+pub mod driver;
 pub mod machine;
-pub mod result;
+pub mod reactor;
 pub mod resolver;
+pub mod result;
 pub mod stats;
 pub mod status;
 pub mod trace;
@@ -24,12 +26,14 @@ pub mod transport;
 
 pub use cache::{Cache, CacheKey, CacheStats};
 pub use config::{ResolutionMode, ResolverConfig};
+pub use driver::{Admission, BlockingDriver, Driver, DriverReport};
 pub use machine::{
     DirectMachine, ExternalMachine, IterativeMachine, ResolveTarget, ResolverCore, ResultSink,
 };
+pub use reactor::{Reactor, ReactorConfig};
 pub use resolver::{collecting_sink, drive_blocking, AddrMap, Resolver};
 pub use result::{DelegationInfo, LookupResult};
-pub use stats::Stats;
+pub use stats::{Stats, StatsSnapshot};
 pub use status::Status;
 pub use trace::TraceStep;
-pub use transport::{Transport, TransportError, UdpTransport};
+pub use transport::{blocking_tcp_exchange, Transport, TransportError, UdpTransport};

@@ -17,9 +17,7 @@
 use std::net::Ipv4Addr;
 use std::sync::Arc;
 
-use zdns_netsim::{
-    ClientEvent, JobOutcome, OutQuery, Protocol, SimClient, SimTime, StepStatus,
-};
+use zdns_netsim::{ClientEvent, JobOutcome, OutQuery, Protocol, SimClient, SimTime, StepStatus};
 use zdns_wire::{Message, Name, Question, RData, Rcode, Record, RecordType};
 
 use crate::cache::{Cache, CacheKey};
@@ -82,6 +80,7 @@ pub struct ExternalMachine {
     started: SimTime,
     tag: u64,
     over_tcp: bool,
+    transport_failed: bool,
     sink: Option<ResultSink>,
 }
 
@@ -113,6 +112,7 @@ impl ExternalMachine {
             started: 0,
             tag: 0,
             over_tcp: false,
+            transport_failed: false,
             sink,
         }
     }
@@ -124,7 +124,10 @@ impl ExternalMachine {
     fn send(&mut self, out: &mut Vec<OutQuery>) {
         self.queries += 1;
         self.tag += 1;
-        let mut msg = Message::query(query_id(&self.question.name, self.queries), self.question.clone());
+        let mut msg = Message::query(
+            query_id(&self.question.name, self.queries),
+            self.question.clone(),
+        );
         msg.flags.recursion_desired = true;
         let protocol = if self.over_tcp || self.core.config.tcp_only {
             Protocol::Tcp
@@ -144,7 +147,12 @@ impl ExternalMachine {
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     }
 
-    fn finish(&mut self, now: SimTime, status: Status, response: Option<(&Message, Ipv4Addr)>) -> StepStatus {
+    fn finish(
+        &mut self,
+        now: SimTime,
+        status: Status,
+        response: Option<(&Message, Ipv4Addr)>,
+    ) -> StepStatus {
         self.core.stats.record_lookup(status);
         let result = LookupResult {
             name: self.question.name.clone(),
@@ -187,9 +195,20 @@ impl SimClient for ExternalMachine {
         StepStatus::Running
     }
 
-    fn on_event(&mut self, event: ClientEvent, now: SimTime, out: &mut Vec<OutQuery>) -> StepStatus {
+    fn on_event(
+        &mut self,
+        event: ClientEvent,
+        now: SimTime,
+        out: &mut Vec<OutQuery>,
+    ) -> StepStatus {
+        let failed = matches!(event, ClientEvent::TransportFailed { .. });
         match event {
-            ClientEvent::Response { tag, from, message, protocol } => {
+            ClientEvent::Response {
+                tag,
+                from,
+                message,
+                protocol,
+            } => {
                 if tag != self.tag {
                     return StepStatus::Running; // stale
                 }
@@ -212,9 +231,12 @@ impl SimClient for ExternalMachine {
                 let status = Status::from_rcode(message.rcode());
                 self.finish(now, status, Some((&message, from)))
             }
-            ClientEvent::Timeout { tag } => {
+            ClientEvent::Timeout { tag } | ClientEvent::TransportFailed { tag } => {
                 if tag != self.tag {
                     return StepStatus::Running;
+                }
+                if failed {
+                    self.transport_failed = true;
                 }
                 self.attempt += 1;
                 self.retries_used += 1;
@@ -228,6 +250,10 @@ impl SimClient for ExternalMachine {
                     self.server_idx += 1;
                     self.send(out);
                     StepStatus::Running
+                } else if self.transport_failed {
+                    // At least one attempt died to an I/O failure rather
+                    // than silence: report ERROR, not TIMEOUT.
+                    self.finish(now, Status::Error, None)
                 } else {
                     self.finish(now, Status::Timeout, None)
                 }
@@ -331,15 +357,8 @@ impl IterativeMachine {
             }
         };
         if cached && self.core.config.trace {
-            self.trace.push(step_for(
-                &q,
-                &zone,
-                1,
-                "cache".to_string(),
-                1,
-                true,
-                None,
-            ));
+            self.trace
+                .push(step_for(&q, &zone, 1, "cache".to_string(), 1, true, None));
         }
         let mut walk = Walk {
             q,
@@ -366,10 +385,17 @@ impl IterativeMachine {
         walk.candidates.sort_by_key(|c| c.addr.is_none());
     }
 
-    fn candidates_from_ns(&self, ns_records: &[Record], glue: &[Record], now: SimTime) -> Vec<Candidate> {
+    fn candidates_from_ns(
+        &self,
+        ns_records: &[Record],
+        glue: &[Record],
+        now: SimTime,
+    ) -> Vec<Candidate> {
         let mut out = Vec::new();
         for rec in ns_records {
-            let RData::Ns(ns_name) = &rec.rdata else { continue };
+            let RData::Ns(ns_name) = &rec.rdata else {
+                continue;
+            };
             let mut addr = glue.iter().find_map(|g| {
                 if g.name == *ns_name {
                     match &g.rdata {
@@ -574,7 +600,11 @@ impl IterativeMachine {
             .unwrap_or_default();
         let delegation = self.stack.first().map(|w| DelegationInfo {
             zone: w.zone.clone(),
-            nameservers: w.candidates.iter().map(|c| (c.ns.clone(), c.addr)).collect(),
+            nameservers: w
+                .candidates
+                .iter()
+                .map(|c| (c.ns.clone(), c.addr))
+                .collect(),
         });
         self.finish_with(now, status, message, answers, delegation)
     }
@@ -593,8 +623,12 @@ impl IterativeMachine {
             qtype: self.original.qtype,
             status,
             answers,
-            authorities: message.map(|(m, _)| m.authorities.clone()).unwrap_or_default(),
-            additionals: message.map(|(m, _)| m.additionals.clone()).unwrap_or_default(),
+            authorities: message
+                .map(|(m, _)| m.authorities.clone())
+                .unwrap_or_default(),
+            additionals: message
+                .map(|(m, _)| m.additionals.clone())
+                .unwrap_or_default(),
             flags: message.map(|(m, _)| m.flags),
             resolver: message.map(|(_, ip)| format!("{ip}:53")),
             protocol: if self.over_tcp { "tcp" } else { "udp" },
@@ -617,7 +651,14 @@ impl IterativeMachine {
 
     /// Selective caching (§3.4): NS RRsets at zone cuts plus in-bailiwick
     /// glue addresses — never the leaf answers.
-    fn cache_referral(&self, cut: &Name, ns_records: &[Record], glue: &[Record], bailiwick: &Name, now: SimTime) {
+    fn cache_referral(
+        &self,
+        cut: &Name,
+        ns_records: &[Record],
+        glue: &[Record],
+        bailiwick: &Name,
+        now: SimTime,
+    ) {
         self.core.cache.put(
             CacheKey {
                 name: cut.clone(),
@@ -784,7 +825,12 @@ impl SimClient for IterativeMachine {
         self.advance(now, out)
     }
 
-    fn on_event(&mut self, event: ClientEvent, now: SimTime, out: &mut Vec<OutQuery>) -> StepStatus {
+    fn on_event(
+        &mut self,
+        event: ClientEvent,
+        now: SimTime,
+        out: &mut Vec<OutQuery>,
+    ) -> StepStatus {
         match event {
             ClientEvent::Response {
                 tag,
@@ -817,6 +863,21 @@ impl SimClient for IterativeMachine {
                     self.advance(now, out)
                 }
             }
+            ClientEvent::TransportFailed { tag } => {
+                if tag != self.tag {
+                    return StepStatus::Running;
+                }
+                // An I/O failure is not silence — the server (or the route
+                // to it) is broken, so skip straight to the next candidate
+                // instead of burning retries on it.
+                self.retries_used += 1;
+                self.core
+                    .stats
+                    .retries
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                self.current_candidate_exhausted();
+                self.advance(now, out)
+            }
         }
     }
 }
@@ -838,6 +899,7 @@ pub struct DirectMachine {
     started: SimTime,
     tag: u64,
     over_tcp: bool,
+    transport_failed: bool,
     sink: Option<ResultSink>,
 }
 
@@ -861,6 +923,7 @@ impl DirectMachine {
             started: 0,
             tag: 0,
             over_tcp: false,
+            transport_failed: false,
             sink,
         }
     }
@@ -868,7 +931,10 @@ impl DirectMachine {
     fn send(&mut self, out: &mut Vec<OutQuery>) {
         self.queries += 1;
         self.tag += 1;
-        let mut msg = Message::query(query_id(&self.question.name, self.queries), self.question.clone());
+        let mut msg = Message::query(
+            query_id(&self.question.name, self.queries),
+            self.question.clone(),
+        );
         msg.flags.recursion_desired = self.recursion_desired;
         out.push(OutQuery {
             to: self.server,
@@ -923,9 +989,20 @@ impl SimClient for DirectMachine {
         StepStatus::Running
     }
 
-    fn on_event(&mut self, event: ClientEvent, now: SimTime, out: &mut Vec<OutQuery>) -> StepStatus {
+    fn on_event(
+        &mut self,
+        event: ClientEvent,
+        now: SimTime,
+        out: &mut Vec<OutQuery>,
+    ) -> StepStatus {
+        let failed = matches!(event, ClientEvent::TransportFailed { .. });
         match event {
-            ClientEvent::Response { tag, message, protocol, .. } => {
+            ClientEvent::Response {
+                tag,
+                message,
+                protocol,
+                ..
+            } => {
                 if tag != self.tag {
                     return StepStatus::Running;
                 }
@@ -940,15 +1017,20 @@ impl SimClient for DirectMachine {
                 let status = Status::from_rcode(message.rcode());
                 self.finish(now, status, Some(&message))
             }
-            ClientEvent::Timeout { tag } => {
+            ClientEvent::Timeout { tag } | ClientEvent::TransportFailed { tag } => {
                 if tag != self.tag {
                     return StepStatus::Running;
+                }
+                if failed {
+                    self.transport_failed = true;
                 }
                 self.attempt += 1;
                 self.retries_used += 1;
                 if self.attempt <= self.core.config.retries {
                     self.send(out);
                     StepStatus::Running
+                } else if self.transport_failed {
+                    self.finish(now, Status::Error, None)
                 } else {
                     self.finish(now, Status::Timeout, None)
                 }

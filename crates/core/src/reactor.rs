@@ -1,0 +1,919 @@
+//! The event-driven real-socket engine.
+//!
+//! One [`Reactor`] owns one long-lived non-blocking UDP socket (the
+//! paper's §3.4 socket-reuse trick) and multiplexes hundreds-to-thousands
+//! of in-flight lookup machines over it:
+//!
+//! * a **demux table** keyed by `(peer address, wire transaction id)`
+//!   routes each incoming datagram to the machine that owns it — wire ids
+//!   are reallocated per query so concurrent machines can never collide;
+//! * a **hashed timer wheel** arms one entry per in-flight query and
+//!   delivers [`ClientEvent::Timeout`] when it fires, which is what makes
+//!   the machines' own retry logic run without any blocking waits;
+//! * a small **blocking TCP side-pool** absorbs truncation-fallback
+//!   exchanges so the UDP loop never stalls on a TCP handshake.
+//!
+//! The lookup machines are unchanged — the same [`SimClient`] state
+//! machines the discrete-event simulator drives. The reactor is just the
+//! third driver for them (after the simulator and [`drive_blocking`]),
+//! and is what `run_real_scan` uses so that real-I/O throughput scales
+//! with in-flight lookups instead of OS threads.
+//!
+//! [`drive_blocking`]: crate::resolver::drive_blocking
+
+use std::collections::HashMap;
+use std::net::{Ipv4Addr, SocketAddr, UdpSocket};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use zdns_netsim::{ClientEvent, JobOutcome, OutQuery, Protocol, SimClient, SimTime, MILLIS};
+
+use crate::driver::{Admission, Driver, DriverReport};
+use crate::resolver::AddrMap;
+use crate::transport::{blocking_tcp_exchange, TransportError};
+
+/// Tunables for one reactor.
+#[derive(Debug, Clone)]
+pub struct ReactorConfig {
+    /// Admission window: how many lookup machines may be in flight at
+    /// once on this reactor's socket.
+    pub max_in_flight: usize,
+    /// Source address the UDP socket binds to.
+    pub source: Ipv4Addr,
+    /// Threads in the blocking TCP side-pool (truncation fallback).
+    pub tcp_pool: usize,
+    /// Timer-wheel slot count (rounded up to a power of two).
+    pub wheel_slots: usize,
+    /// Timer-wheel slot width in nanoseconds.
+    pub wheel_granularity: SimTime,
+}
+
+impl Default for ReactorConfig {
+    fn default() -> Self {
+        ReactorConfig {
+            max_in_flight: 1_024,
+            source: Ipv4Addr::UNSPECIFIED,
+            tcp_pool: 2,
+            wheel_slots: 1_024,
+            wheel_granularity: 4 * MILLIS,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Timer wheel
+// ---------------------------------------------------------------------------
+
+type DemuxKey = (SocketAddr, u16);
+
+struct TimerEntry {
+    deadline: SimTime,
+    token: u64,
+    key: DemuxKey,
+}
+
+/// A hashed timer wheel with lazy cancellation: cancelled tokens are
+/// dropped when their slot next drains, and the `armed` set tracks the
+/// armed, not-yet-cancelled population exactly — so cancelling a token
+/// that already fired (or was already cancelled) is a harmless no-op.
+struct TimerWheel {
+    slots: Vec<Vec<TimerEntry>>,
+    granularity: SimTime,
+    cursor: usize,
+    cursor_time: SimTime,
+    armed: std::collections::HashSet<u64>,
+    cancelled: std::collections::HashSet<u64>,
+}
+
+impl TimerWheel {
+    fn new(slots: usize, granularity: SimTime) -> TimerWheel {
+        let n = slots.next_power_of_two().max(2);
+        TimerWheel {
+            slots: (0..n).map(|_| Vec::new()).collect(),
+            granularity: granularity.max(1),
+            cursor: 0,
+            cursor_time: 0,
+            armed: std::collections::HashSet::new(),
+            cancelled: std::collections::HashSet::new(),
+        }
+    }
+
+    /// Arm a timer. Deadlines beyond the wheel horizon are parked in the
+    /// furthest slot and re-inserted as the wheel turns.
+    fn arm(&mut self, deadline: SimTime, token: u64, key: DemuxKey) {
+        let horizon = self.granularity * self.slots.len() as SimTime;
+        let offset = deadline.saturating_sub(self.cursor_time).min(horizon - 1);
+        let ticks = offset / self.granularity;
+        let idx = (self.cursor + ticks as usize) % self.slots.len();
+        self.slots[idx].push(TimerEntry {
+            deadline,
+            token,
+            key,
+        });
+        self.armed.insert(token);
+    }
+
+    /// Cancel an armed timer by token (lazy: the entry is purged when its
+    /// slot drains). Tokens that already fired or were already cancelled
+    /// are ignored.
+    fn cancel(&mut self, token: u64) {
+        if self.armed.remove(&token) {
+            self.cancelled.insert(token);
+        }
+    }
+
+    /// Advance to `now`, collecting every fired `(token, key)`.
+    fn expire(&mut self, now: SimTime, fired: &mut Vec<(u64, DemuxKey)>) {
+        while self.cursor_time + self.granularity <= now {
+            let slot = std::mem::take(&mut self.slots[self.cursor]);
+            let slot_end = self.cursor_time + self.granularity;
+            for entry in slot {
+                if self.cancelled.remove(&entry.token) {
+                    continue;
+                }
+                if entry.deadline >= slot_end {
+                    // Parked from beyond the horizon: re-insert relative to
+                    // the advanced cursor (stays armed).
+                    self.arm(entry.deadline, entry.token, entry.key);
+                } else {
+                    self.armed.remove(&entry.token);
+                    fired.push((entry.token, entry.key));
+                }
+            }
+            self.cursor = (self.cursor + 1) % self.slots.len();
+            self.cursor_time = slot_end;
+        }
+    }
+
+    /// Nanoseconds until the next tick that could fire something, if any
+    /// timer is armed.
+    fn ns_until_next_tick(&self, now: SimTime) -> Option<SimTime> {
+        if self.armed.is_empty() {
+            return None;
+        }
+        Some((self.cursor_time + self.granularity).saturating_sub(now))
+    }
+
+    /// Armed, not-cancelled timers.
+    fn live(&self) -> usize {
+        self.armed.len()
+    }
+
+    /// Physically stored entries (live + lazily-cancelled).
+    fn stored(&self) -> usize {
+        self.slots.iter().map(Vec::len).sum()
+    }
+
+    /// Drop every lazily-cancelled entry now (end-of-run sweep).
+    fn sweep_cancelled(&mut self) {
+        for slot in &mut self.slots {
+            slot.retain(|e| !self.cancelled.remove(&e.token));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Readiness wait
+// ---------------------------------------------------------------------------
+
+#[cfg(unix)]
+mod readiness {
+    use std::os::fd::RawFd;
+
+    #[repr(C)]
+    struct PollFd {
+        fd: i32,
+        events: i16,
+        revents: i16,
+    }
+
+    const POLLIN: i16 = 0x001;
+    const POLLOUT: i16 = 0x004;
+
+    extern "C" {
+        fn poll(
+            fds: *mut PollFd,
+            nfds: std::ffi::c_ulong,
+            timeout: std::ffi::c_int,
+        ) -> std::ffi::c_int;
+    }
+
+    fn wait_for(fd: RawFd, events: i16, timeout_ms: i32) -> bool {
+        let mut pfd = PollFd {
+            fd,
+            events,
+            revents: 0,
+        };
+        // SAFETY: `pfd` is a valid pollfd for the duration of the call and
+        // `nfds` matches the array length (1).
+        let r = unsafe { poll(&mut pfd, 1, timeout_ms.max(0)) };
+        r > 0 && (pfd.revents & events) != 0
+    }
+
+    /// Block until `fd` is readable or `timeout_ms` elapses. Hand-rolled
+    /// `poll(2)` so the reactor needs no external event-loop crate.
+    pub fn wait_readable(fd: RawFd, timeout_ms: i32) -> bool {
+        wait_for(fd, POLLIN, timeout_ms)
+    }
+
+    /// Block until `fd` is writable or `timeout_ms` elapses.
+    pub fn wait_writable(fd: RawFd, timeout_ms: i32) -> bool {
+        wait_for(fd, POLLOUT, timeout_ms)
+    }
+}
+
+#[cfg(not(unix))]
+mod readiness {
+    /// Portable fallback: nap briefly and let the non-blocking read probe.
+    pub fn wait_readable(_fd: i32, timeout_ms: i32) -> bool {
+        std::thread::sleep(std::time::Duration::from_millis(
+            timeout_ms.clamp(0, 2) as u64
+        ));
+        true
+    }
+
+    /// Portable fallback for writability.
+    pub fn wait_writable(_fd: i32, timeout_ms: i32) -> bool {
+        std::thread::sleep(std::time::Duration::from_millis(
+            timeout_ms.clamp(0, 1) as u64
+        ));
+        true
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TCP side-pool
+// ---------------------------------------------------------------------------
+
+struct TcpJob {
+    slot: usize,
+    generation: u64,
+    tag: u64,
+    sim_ip: Ipv4Addr,
+    query: zdns_wire::Message,
+    to: SocketAddr,
+    timeout: Duration,
+}
+
+struct TcpDone {
+    slot: usize,
+    generation: u64,
+    tag: u64,
+    sim_ip: Ipv4Addr,
+    result: Result<zdns_wire::Message, TransportError>,
+}
+
+struct TcpPool {
+    tx: Option<mpsc::Sender<TcpJob>>,
+    rx: mpsc::Receiver<TcpDone>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl TcpPool {
+    fn start(workers: usize) -> TcpPool {
+        let (job_tx, job_rx) = mpsc::channel::<TcpJob>();
+        let (done_tx, done_rx) = mpsc::channel::<TcpDone>();
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let mut threads = Vec::new();
+        for _ in 0..workers.max(1) {
+            let job_rx = Arc::clone(&job_rx);
+            let done_tx = done_tx.clone();
+            threads.push(std::thread::spawn(move || loop {
+                let job = match job_rx.lock().unwrap_or_else(|e| e.into_inner()).recv() {
+                    Ok(job) => job,
+                    Err(_) => return,
+                };
+                let result = blocking_tcp_exchange(&job.query, job.to, job.timeout);
+                let done = TcpDone {
+                    slot: job.slot,
+                    generation: job.generation,
+                    tag: job.tag,
+                    sim_ip: job.sim_ip,
+                    result,
+                };
+                if done_tx.send(done).is_err() {
+                    return;
+                }
+            }));
+        }
+        TcpPool {
+            tx: Some(job_tx),
+            rx: done_rx,
+            threads,
+        }
+    }
+}
+
+impl Drop for TcpPool {
+    fn drop(&mut self) {
+        self.tx.take(); // close the job queue so workers exit
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The reactor
+// ---------------------------------------------------------------------------
+
+struct Pending {
+    slot: usize,
+    tag: u64,
+    sim_ip: Ipv4Addr,
+    orig_id: u16,
+    timer_token: u64,
+}
+
+struct Slot {
+    machine: Box<dyn SimClient>,
+    /// Demux keys of this machine's in-flight UDP queries.
+    keys: Vec<DemuxKey>,
+    /// Exchanges parked in the TCP side-pool.
+    tcp_pending: usize,
+}
+
+/// The event-driven driver: one non-blocking UDP socket, a demux table,
+/// a timer wheel, and up to [`ReactorConfig::max_in_flight`] concurrent
+/// lookup machines.
+pub struct Reactor {
+    socket: UdpSocket,
+    addr_map: Arc<AddrMap>,
+    config: ReactorConfig,
+    slots: Vec<Option<Slot>>,
+    /// Bumped each time a slot retires, so completions addressed to a
+    /// previous occupant of a recycled slot are recognizably stale.
+    generations: Vec<u64>,
+    free_slots: Vec<usize>,
+    in_flight: usize,
+    demux: HashMap<DemuxKey, Pending>,
+    wheel: TimerWheel,
+    next_token: u64,
+    txid_cursor: u16,
+    started: Instant,
+    tcp: TcpPool,
+    tcp_inflight: usize,
+    report: DriverReport,
+    recv_buf: Box<[u8; 65_535]>,
+}
+
+impl Reactor {
+    /// Bind the long-lived socket and start the TCP side-pool.
+    pub fn new(config: ReactorConfig, addr_map: Arc<AddrMap>) -> std::io::Result<Reactor> {
+        let socket = UdpSocket::bind((config.source, 0))?;
+        Reactor::from_socket(socket, config, addr_map)
+    }
+
+    /// Build around an already-bound socket. Lets callers bind (and surface
+    /// bind failures) on one thread, then construct the reactor on the
+    /// worker thread that will drive it — the reactor itself is not `Send`
+    /// because the machines it owns are not.
+    pub fn from_socket(
+        socket: UdpSocket,
+        config: ReactorConfig,
+        addr_map: Arc<AddrMap>,
+    ) -> std::io::Result<Reactor> {
+        socket.set_nonblocking(true)?;
+        // A reactor keeps hundreds of queries in flight on one socket;
+        // responses arrive in bursts the default buffer would drop.
+        zdns_netsim::set_recv_buffer(&socket, 8 << 20);
+        let wheel = TimerWheel::new(config.wheel_slots, config.wheel_granularity);
+        let tcp = TcpPool::start(config.tcp_pool);
+        Ok(Reactor {
+            socket,
+            addr_map,
+            config,
+            slots: Vec::new(),
+            generations: Vec::new(),
+            free_slots: Vec::new(),
+            in_flight: 0,
+            demux: HashMap::new(),
+            wheel,
+            next_token: 0,
+            txid_cursor: 1,
+            started: Instant::now(),
+            tcp,
+            tcp_inflight: 0,
+            report: DriverReport::default(),
+            recv_buf: Box::new([0u8; 65_535]),
+        })
+    }
+
+    /// The bound local address (one reused source port for every lookup).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.socket.local_addr()
+    }
+
+    /// Machines currently in flight.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    /// Armed (not cancelled, not fired) timer entries.
+    pub fn live_timers(&self) -> usize {
+        self.wheel.live()
+    }
+
+    /// Timer entries physically stored in the wheel (live plus entries
+    /// cancelled but not yet swept).
+    pub fn stored_timers(&self) -> usize {
+        self.wheel.stored()
+    }
+
+    /// In-flight UDP queries awaiting demux.
+    pub fn pending_queries(&self) -> usize {
+        self.demux.len()
+    }
+
+    fn now(&self) -> SimTime {
+        self.started.elapsed().as_nanos() as u64
+    }
+
+    /// Admit one machine, starting it immediately.
+    fn admit(&mut self, machine: Box<dyn SimClient>, on_done: &mut dyn FnMut(Option<JobOutcome>)) {
+        let idx = match self.free_slots.pop() {
+            Some(idx) => idx,
+            None => {
+                self.slots.push(None);
+                self.generations.push(0);
+                self.slots.len() - 1
+            }
+        };
+        self.slots[idx] = Some(Slot {
+            machine,
+            keys: Vec::new(),
+            tcp_pending: 0,
+        });
+        self.in_flight += 1;
+        self.report.peak_in_flight = self.report.peak_in_flight.max(self.in_flight);
+
+        let mut slot = self.slots[idx].take().expect("fresh slot");
+        let mut out = Vec::new();
+        let status = slot.machine.start(self.now(), &mut out);
+        self.after_step(idx, slot, status, out, on_done);
+    }
+
+    /// Common post-step handling: either the machine finished, or its new
+    /// queries go on the wire (which may synchronously produce failure
+    /// events that feed straight back into the machine).
+    fn after_step(
+        &mut self,
+        idx: usize,
+        slot: Slot,
+        status: zdns_netsim::StepStatus,
+        out: Vec<OutQuery>,
+        on_done: &mut dyn FnMut(Option<JobOutcome>),
+    ) {
+        use zdns_netsim::StepStatus;
+        match status {
+            StepStatus::Done(outcome) => {
+                self.retire(idx, slot);
+                self.report.completed += 1;
+                if outcome.success {
+                    self.report.successes += 1;
+                }
+                on_done(Some(outcome));
+            }
+            StepStatus::Running => {
+                self.slots[idx] = Some(slot);
+                let mut immediate = Vec::new();
+                self.register_out(idx, out, &mut immediate);
+                for event in immediate {
+                    self.deliver(idx, event, on_done);
+                }
+                self.reap_if_wedged(idx, on_done);
+            }
+        }
+    }
+
+    /// A running machine with nothing in flight would hang the scan; fail
+    /// it closed, mirroring `drive_blocking`.
+    fn reap_if_wedged(&mut self, idx: usize, on_done: &mut dyn FnMut(Option<JobOutcome>)) {
+        let wedged = match &self.slots[idx] {
+            Some(slot) => slot.keys.is_empty() && slot.tcp_pending == 0,
+            None => false,
+        };
+        if wedged {
+            let slot = self.slots[idx].take().expect("checked above");
+            self.retire(idx, slot);
+            self.report.completed += 1;
+            on_done(None);
+        }
+    }
+
+    /// Release a finished machine's slot and cancel anything it left in
+    /// the demux table or timer wheel.
+    fn retire(&mut self, idx: usize, slot: Slot) {
+        for key in slot.keys {
+            if let Some(pending) = self.demux.remove(&key) {
+                self.wheel.cancel(pending.timer_token);
+            }
+        }
+        self.slots[idx] = None;
+        self.generations[idx] += 1;
+        self.free_slots.push(idx);
+        self.in_flight -= 1;
+    }
+
+    /// Allocate a wire transaction id that is unique for `peer`,
+    /// preferring the machine's own deterministic id.
+    fn allocate_txid(&mut self, peer: SocketAddr, preferred: u16) -> Option<u16> {
+        if !self.demux.contains_key(&(peer, preferred)) {
+            return Some(preferred);
+        }
+        for _ in 0..=u16::MAX {
+            let candidate = self.txid_cursor;
+            self.txid_cursor = self.txid_cursor.wrapping_add(1);
+            if !self.demux.contains_key(&(peer, candidate)) {
+                return Some(candidate);
+            }
+        }
+        None
+    }
+
+    /// Put a machine's emitted queries on the wire: UDP through the shared
+    /// socket + demux table + timer wheel, TCP through the side-pool.
+    fn register_out(&mut self, idx: usize, out: Vec<OutQuery>, immediate: &mut Vec<ClientEvent>) {
+        for mut oq in out {
+            let dest = (self.addr_map)(oq.to);
+            match oq.protocol {
+                Protocol::Tcp => {
+                    let job = TcpJob {
+                        slot: idx,
+                        generation: self.generations[idx],
+                        tag: oq.tag,
+                        sim_ip: oq.to,
+                        query: oq.query,
+                        to: dest,
+                        timeout: Duration::from_nanos(oq.timeout),
+                    };
+                    if let Some(tx) = &self.tcp.tx {
+                        if tx.send(job).is_ok() {
+                            if let Some(slot) = self.slots[idx].as_mut() {
+                                slot.tcp_pending += 1;
+                            }
+                            self.tcp_inflight += 1;
+                            self.report.tcp_fallbacks += 1;
+                            continue;
+                        }
+                    }
+                    immediate.push(ClientEvent::TransportFailed { tag: oq.tag });
+                }
+                Protocol::Udp => {
+                    let Some(txid) = self.allocate_txid(dest, oq.query.id) else {
+                        immediate.push(ClientEvent::TransportFailed { tag: oq.tag });
+                        continue;
+                    };
+                    let orig_id = oq.query.id;
+                    oq.query.id = txid;
+                    let bytes = match oq.query.encode() {
+                        Ok(b) => b,
+                        Err(_) => {
+                            immediate.push(ClientEvent::TransportFailed { tag: oq.tag });
+                            continue;
+                        }
+                    };
+                    match self.send_udp(&bytes, dest) {
+                        Ok(()) => {
+                            let token = self.next_token;
+                            self.next_token += 1;
+                            let key = (dest, txid);
+                            let deadline = self.now() + oq.timeout;
+                            self.wheel.arm(deadline, token, key);
+                            self.demux.insert(
+                                key,
+                                Pending {
+                                    slot: idx,
+                                    tag: oq.tag,
+                                    sim_ip: oq.to,
+                                    orig_id,
+                                    timer_token: token,
+                                },
+                            );
+                            if let Some(slot) = self.slots[idx].as_mut() {
+                                slot.keys.push(key);
+                            }
+                        }
+                        Err(_) => {
+                            immediate.push(ClientEvent::TransportFailed { tag: oq.tag });
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Non-blocking send; a full send buffer gets one short poll for
+    /// writability (not a blind sleep) before giving up, so the event
+    /// loop is never stalled longer than the poll timeout.
+    fn send_udp(&self, bytes: &[u8], dest: SocketAddr) -> std::io::Result<()> {
+        for attempt in 0..2 {
+            match self.socket.send_to(bytes, dest) {
+                Ok(_) => return Ok(()),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if attempt == 0 {
+                        #[cfg(unix)]
+                        {
+                            use std::os::fd::AsRawFd;
+                            readiness::wait_writable(self.socket.as_raw_fd(), 1);
+                        }
+                        #[cfg(not(unix))]
+                        readiness::wait_writable(0, 1);
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(std::io::Error::new(
+            std::io::ErrorKind::WouldBlock,
+            "socket send buffer full",
+        ))
+    }
+
+    /// Feed one event to the machine in `idx` and process the aftermath.
+    fn deliver(
+        &mut self,
+        idx: usize,
+        event: ClientEvent,
+        on_done: &mut dyn FnMut(Option<JobOutcome>),
+    ) {
+        let Some(mut slot) = self.slots[idx].take() else {
+            return; // machine already retired (e.g. late TCP completion)
+        };
+        let mut out = Vec::new();
+        let status = slot.machine.on_event(event, self.now(), &mut out);
+        self.after_step(idx, slot, status, out, on_done);
+    }
+
+    /// Drain every datagram currently queued on the socket.
+    fn drain_datagrams(&mut self, on_done: &mut dyn FnMut(Option<JobOutcome>)) {
+        loop {
+            match self.socket.recv_from(&mut self.recv_buf[..]) {
+                Ok((len, peer)) => {
+                    let Ok(mut message) = zdns_wire::Message::decode(&self.recv_buf[..len]) else {
+                        self.report.decode_errors += 1;
+                        continue;
+                    };
+                    if !message.flags.response {
+                        // An echoed query (QR=0) from a reflecting server or
+                        // middlebox must not complete a lookup as a response.
+                        self.report.stale_datagrams += 1;
+                        continue;
+                    }
+                    let key = (peer, message.id);
+                    let Some(pending) = self.demux.remove(&key) else {
+                        // Late, stale, or unsolicited: exactly the datagrams
+                        // the demux table exists to reject.
+                        self.report.stale_datagrams += 1;
+                        continue;
+                    };
+                    self.wheel.cancel(pending.timer_token);
+                    if let Some(slot) = self.slots[pending.slot].as_mut() {
+                        if let Some(pos) = slot.keys.iter().position(|k| *k == key) {
+                            slot.keys.swap_remove(pos);
+                        }
+                    }
+                    // Restore the machine's own transaction id before the
+                    // message re-enters machine logic.
+                    message.id = pending.orig_id;
+                    self.report.datagrams_delivered += 1;
+                    let event = ClientEvent::Response {
+                        tag: pending.tag,
+                        from: pending.sim_ip,
+                        message,
+                        protocol: Protocol::Udp,
+                    };
+                    self.deliver(pending.slot, event, on_done);
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    return;
+                }
+                Err(_) => {
+                    // Transient socket error (e.g. ICMP unreachable surfaced
+                    // as ECONNREFUSED on some platforms): skip it — the
+                    // per-query timer still guards the lookup.
+                    self.report.socket_errors += 1;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Collect finished TCP side-pool exchanges.
+    fn drain_tcp(&mut self, on_done: &mut dyn FnMut(Option<JobOutcome>)) {
+        while let Ok(done) = self.tcp.rx.try_recv() {
+            self.tcp_inflight -= 1;
+            if self.generations[done.slot] != done.generation {
+                // The owning machine retired while this exchange was in the
+                // side-pool; the slot may already belong to someone else.
+                self.report.stale_datagrams += 1;
+                continue;
+            }
+            if let Some(slot) = self.slots[done.slot].as_mut() {
+                slot.tcp_pending -= 1;
+            }
+            let event = match done.result {
+                Ok(message) => ClientEvent::Response {
+                    tag: done.tag,
+                    from: done.sim_ip,
+                    message,
+                    protocol: Protocol::Tcp,
+                },
+                Err(TransportError::Timeout) => ClientEvent::Timeout { tag: done.tag },
+                Err(_) => ClientEvent::TransportFailed { tag: done.tag },
+            };
+            self.deliver(done.slot, event, on_done);
+        }
+    }
+
+    /// Fire every expired per-query timer.
+    fn fire_timers(&mut self, on_done: &mut dyn FnMut(Option<JobOutcome>)) {
+        let mut fired = Vec::new();
+        self.wheel.expire(self.now(), &mut fired);
+        for (token, key) in fired {
+            let stale = match self.demux.get(&key) {
+                Some(pending) => pending.timer_token != token,
+                None => true,
+            };
+            if stale {
+                continue;
+            }
+            let pending = self.demux.remove(&key).expect("checked above");
+            if let Some(slot) = self.slots[pending.slot].as_mut() {
+                if let Some(pos) = slot.keys.iter().position(|k| *k == key) {
+                    slot.keys.swap_remove(pos);
+                }
+            }
+            self.report.timeouts_fired += 1;
+            self.deliver(
+                pending.slot,
+                ClientEvent::Timeout { tag: pending.tag },
+                on_done,
+            );
+        }
+    }
+}
+
+impl Driver for Reactor {
+    fn run_scan(
+        &mut self,
+        source: &mut dyn FnMut() -> Admission,
+        on_done: &mut dyn FnMut(Option<JobOutcome>),
+    ) -> DriverReport {
+        #[cfg(unix)]
+        use std::os::fd::AsRawFd;
+
+        // A reactor is reusable; each scan reports its own counts.
+        self.report = DriverReport::default();
+        let mut exhausted = false;
+        loop {
+            // Admission: top the window up from the source.
+            while !exhausted && self.in_flight < self.config.max_in_flight {
+                match source() {
+                    Admission::Admit(machine) => self.admit(machine, on_done),
+                    Admission::Later => break,
+                    Admission::Exhausted => exhausted = true,
+                }
+            }
+            if self.in_flight == 0 && exhausted {
+                break;
+            }
+
+            // Sleep until the next timer tick could fire, capped so TCP
+            // completions and a refilling source are noticed promptly.
+            let now = self.now();
+            let mut wait_ns = self.wheel.ns_until_next_tick(now).unwrap_or(5 * MILLIS);
+            if self.tcp_inflight > 0 || !exhausted {
+                wait_ns = wait_ns.min(2 * MILLIS);
+            }
+            let wait_ms = wait_ns.div_ceil(MILLIS).clamp(0, 50) as i32;
+            #[cfg(unix)]
+            let fd = self.socket.as_raw_fd();
+            #[cfg(not(unix))]
+            let fd = 0;
+            if self.in_flight > 0 || !exhausted {
+                readiness::wait_readable(fd, wait_ms);
+            }
+
+            self.drain_datagrams(on_done);
+            self.drain_tcp(on_done);
+            self.fire_timers(on_done);
+        }
+
+        // End-of-run hygiene: every slot is free, the demux table is empty,
+        // and lazily-cancelled timers get swept so nothing leaks into the
+        // next scan on this reactor.
+        self.wheel.sweep_cancelled();
+        self.report.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(n: u16) -> DemuxKey {
+        ("127.0.0.1:53".parse().unwrap(), n)
+    }
+
+    #[test]
+    fn wheel_fires_in_deadline_order_windows() {
+        let mut wheel = TimerWheel::new(8, MILLIS);
+        wheel.arm(2 * MILLIS, 1, key(1));
+        wheel.arm(5 * MILLIS, 2, key(2));
+        let mut fired = Vec::new();
+        wheel.expire(3 * MILLIS, &mut fired);
+        assert_eq!(fired.iter().map(|(t, _)| *t).collect::<Vec<_>>(), vec![1]);
+        wheel.expire(6 * MILLIS, &mut fired);
+        assert_eq!(
+            fired.iter().map(|(t, _)| *t).collect::<Vec<_>>(),
+            vec![1, 2]
+        );
+        assert_eq!(wheel.live(), 0);
+    }
+
+    #[test]
+    fn wheel_cancellation_is_exact_and_sweepable() {
+        let mut wheel = TimerWheel::new(8, MILLIS);
+        wheel.arm(2 * MILLIS, 1, key(1));
+        wheel.arm(2 * MILLIS, 2, key(2));
+        wheel.cancel(1);
+        assert_eq!(wheel.live(), 1);
+        let mut fired = Vec::new();
+        wheel.expire(4 * MILLIS, &mut fired);
+        assert_eq!(fired.iter().map(|(t, _)| *t).collect::<Vec<_>>(), vec![2]);
+        assert_eq!(wheel.live(), 0);
+        wheel.sweep_cancelled();
+        assert_eq!(wheel.stored(), 0);
+    }
+
+    #[test]
+    fn wheel_parks_beyond_horizon_and_still_fires() {
+        let mut wheel = TimerWheel::new(4, MILLIS); // horizon = 4ms
+        wheel.arm(11 * MILLIS, 7, key(7));
+        let mut fired = Vec::new();
+        wheel.expire(10 * MILLIS, &mut fired);
+        assert!(fired.is_empty(), "{fired:?}");
+        assert_eq!(wheel.live(), 1);
+        wheel.expire(12 * MILLIS, &mut fired);
+        assert_eq!(fired.iter().map(|(t, _)| *t).collect::<Vec<_>>(), vec![7]);
+        assert_eq!(wheel.live(), 0);
+    }
+
+    #[test]
+    fn wheel_cancel_after_fire_is_a_noop() {
+        let mut wheel = TimerWheel::new(8, MILLIS);
+        wheel.arm(2 * MILLIS, 1, key(1));
+        wheel.arm(2 * MILLIS, 2, key(2));
+        let mut fired = Vec::new();
+        wheel.expire(4 * MILLIS, &mut fired);
+        assert_eq!(fired.len(), 2);
+        assert_eq!(wheel.live(), 0);
+        // A machine retiring right after its timers fired in the same batch
+        // cancels tokens that are no longer armed: must not corrupt counts.
+        wheel.cancel(1);
+        wheel.cancel(2);
+        assert_eq!(wheel.live(), 0);
+        wheel.arm(6 * MILLIS, 3, key(3));
+        assert_eq!(wheel.live(), 1);
+        fired.clear();
+        wheel.expire(8 * MILLIS, &mut fired);
+        assert_eq!(fired.iter().map(|(t, _)| *t).collect::<Vec<_>>(), vec![3]);
+        wheel.sweep_cancelled();
+        assert_eq!(wheel.stored(), 0);
+    }
+
+    #[test]
+    fn txid_allocation_avoids_collisions() {
+        let addr_map: Arc<AddrMap> = Arc::new(|ip| SocketAddr::new(std::net::IpAddr::V4(ip), 53));
+        let mut reactor = Reactor::new(
+            ReactorConfig {
+                source: Ipv4Addr::LOCALHOST,
+                ..ReactorConfig::default()
+            },
+            addr_map,
+        )
+        .unwrap();
+        let peer: SocketAddr = "127.0.0.1:5300".parse().unwrap();
+        assert_eq!(reactor.allocate_txid(peer, 42), Some(42));
+        reactor.demux.insert(
+            (peer, 42),
+            Pending {
+                slot: 0,
+                tag: 1,
+                sim_ip: Ipv4Addr::LOCALHOST,
+                orig_id: 42,
+                timer_token: 0,
+            },
+        );
+        let other = reactor.allocate_txid(peer, 42).unwrap();
+        assert_ne!(other, 42);
+        // A different peer can reuse the same wire id freely.
+        let peer2: SocketAddr = "127.0.0.1:5301".parse().unwrap();
+        assert_eq!(reactor.allocate_txid(peer2, 42), Some(42));
+    }
+}

@@ -5,6 +5,7 @@
 //! discrete-event engine for scale experiments, or drive them over real
 //! sockets with [`Resolver::lookup`].
 
+use std::collections::VecDeque;
 use std::net::{Ipv4Addr, SocketAddr};
 use std::sync::Arc;
 use std::time::Duration;
@@ -55,11 +56,9 @@ impl Resolver {
                 ResolveTarget::Answer,
                 sink,
             )),
-            ResolutionMode::External { .. } => Box::new(ExternalMachine::new(
-                Arc::clone(&self.core),
-                question,
-                sink,
-            )),
+            ResolutionMode::External { .. } => {
+                Box::new(ExternalMachine::new(Arc::clone(&self.core), question, sink))
+            }
         }
     }
 
@@ -164,6 +163,12 @@ impl Resolver {
 /// Drive any lookup machine to completion over a blocking transport —
 /// the real-socket counterpart of feeding the machine to the simulator.
 /// Returns the machine's final outcome.
+///
+/// Queries the machine emits are serviced strictly in emission order (a
+/// blocking transport can only have one exchange on the wire at a time);
+/// everything emitted in one step is kept, not just the last query. I/O
+/// failures surface as [`ClientEvent::TransportFailed`], so machines can
+/// report `Status::Error` rather than mislabelling them as timeouts.
 pub fn drive_blocking(
     machine: &mut dyn SimClient,
     transport: &mut dyn Transport,
@@ -172,16 +177,17 @@ pub fn drive_blocking(
     let started = std::time::Instant::now();
     let mut out = Vec::new();
     let mut status = machine.start(0, &mut out);
+    let mut queue: std::collections::VecDeque<zdns_netsim::OutQuery> = VecDeque::new();
     loop {
+        queue.extend(out.drain(..));
         if let StepStatus::Done(outcome) = status {
             return Some(outcome);
         }
-        let Some(oq) = out.pop() else {
+        let Some(oq) = queue.pop_front() else {
             // A running machine with nothing in flight is a bug; fail
             // closed rather than spinning.
             return None;
         };
-        out.clear();
         let dest = addr_map(oq.to);
         let timeout = Duration::from_nanos(oq.timeout);
         let now = started.elapsed().as_nanos() as u64;
@@ -193,7 +199,7 @@ pub fn drive_blocking(
                 protocol: oq.protocol,
             },
             Err(TransportError::Timeout) => ClientEvent::Timeout { tag: oq.tag },
-            Err(_) => ClientEvent::Timeout { tag: oq.tag },
+            Err(_) => ClientEvent::TransportFailed { tag: oq.tag },
         };
         status = machine.on_event(event, now, &mut out);
     }

@@ -38,6 +38,18 @@ impl Stats {
         self.status_counts.lock().clone()
     }
 
+    /// Point-in-time copy of the atomic counters (diff two snapshots to
+    /// scope counters to one scan on a shared resolver).
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            lookups: self.lookups.load(Ordering::Relaxed),
+            successes: self.successes.load(Ordering::Relaxed),
+            queries_sent: self.queries_sent.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            tcp_fallbacks: self.tcp_fallbacks.load(Ordering::Relaxed),
+        }
+    }
+
     /// Success fraction so far.
     pub fn success_rate(&self) -> f64 {
         let l = self.lookups.load(Ordering::Relaxed);
@@ -46,6 +58,21 @@ impl Stats {
         }
         self.successes.load(Ordering::Relaxed) as f64 / l as f64
     }
+}
+
+/// A point-in-time copy of [`Stats`] counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Lookups completed.
+    pub lookups: u64,
+    /// Successful lookups.
+    pub successes: u64,
+    /// Queries sent on the wire.
+    pub queries_sent: u64,
+    /// Retries performed.
+    pub retries: u64,
+    /// TCP fallbacks after truncation.
+    pub tcp_fallbacks: u64,
 }
 
 #[cfg(test)]

@@ -96,8 +96,8 @@ impl UdpTransport {
                         continue;
                     }
                     match Message::decode(&self.buf[..len]) {
-                        Ok(msg) if msg.id == query.id => return Ok(msg),
-                        Ok(_) => continue, // stale transaction
+                        Ok(msg) if msg.id == query.id && msg.flags.response => return Ok(msg),
+                        Ok(_) => continue, // stale transaction or echoed query
                         Err(e) => return Err(TransportError::Decode(e)),
                     }
                 }
@@ -118,32 +118,42 @@ impl UdpTransport {
         to: SocketAddr,
         timeout: Duration,
     ) -> Result<Message, TransportError> {
-        let bytes = query.encode().map_err(TransportError::Decode)?;
-        let mut stream = TcpStream::connect_timeout(&to, timeout).map_err(TransportError::Io)?;
-        stream
-            .set_read_timeout(Some(timeout))
-            .map_err(TransportError::Io)?;
-        stream
-            .set_write_timeout(Some(timeout))
-            .map_err(TransportError::Io)?;
-        stream
-            .write_all(&(bytes.len() as u16).to_be_bytes())
-            .map_err(TransportError::Io)?;
-        stream.write_all(&bytes).map_err(TransportError::Io)?;
-        let mut len_buf = [0u8; 2];
-        stream.read_exact(&mut len_buf).map_err(|e| {
-            if e.kind() == std::io::ErrorKind::WouldBlock || e.kind() == std::io::ErrorKind::TimedOut
-            {
-                TransportError::Timeout
-            } else {
-                TransportError::Io(e)
-            }
-        })?;
-        let len = u16::from_be_bytes(len_buf) as usize;
-        let mut msg = vec![0u8; len];
-        stream.read_exact(&mut msg).map_err(TransportError::Io)?;
-        Message::decode(&msg).map_err(TransportError::Decode)
+        blocking_tcp_exchange(query, to, timeout)
     }
+}
+
+/// One blocking TCP request/response exchange: connect, length-prefixed
+/// write, length-prefixed read. Used for truncation fallback by both the
+/// blocking transport and the reactor's TCP side-pool.
+pub fn blocking_tcp_exchange(
+    query: &Message,
+    to: SocketAddr,
+    timeout: Duration,
+) -> Result<Message, TransportError> {
+    let bytes = query.encode().map_err(TransportError::Decode)?;
+    let mut stream = TcpStream::connect_timeout(&to, timeout).map_err(TransportError::Io)?;
+    stream
+        .set_read_timeout(Some(timeout))
+        .map_err(TransportError::Io)?;
+    stream
+        .set_write_timeout(Some(timeout))
+        .map_err(TransportError::Io)?;
+    stream
+        .write_all(&(bytes.len() as u16).to_be_bytes())
+        .map_err(TransportError::Io)?;
+    stream.write_all(&bytes).map_err(TransportError::Io)?;
+    let mut len_buf = [0u8; 2];
+    stream.read_exact(&mut len_buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::WouldBlock || e.kind() == std::io::ErrorKind::TimedOut {
+            TransportError::Timeout
+        } else {
+            TransportError::Io(e)
+        }
+    })?;
+    let len = u16::from_be_bytes(len_buf) as usize;
+    let mut msg = vec![0u8; len];
+    stream.read_exact(&mut msg).map_err(TransportError::Io)?;
+    Message::decode(&msg).map_err(TransportError::Decode)
 }
 
 impl Transport for UdpTransport {
@@ -194,6 +204,9 @@ mod tests {
         let err = t
             .exchange(&query, dead, Protocol::Tcp, Duration::from_millis(200))
             .unwrap_err();
-        assert!(matches!(err, TransportError::Io(_) | TransportError::Timeout));
+        assert!(matches!(
+            err,
+            TransportError::Io(_) | TransportError::Timeout
+        ));
     }
 }

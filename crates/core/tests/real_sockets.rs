@@ -1,11 +1,15 @@
 //! Resolution over real OS sockets: the blocking driver + long-lived UDP
 //! socket against in-process loopback servers (root → TLD → leaf), including
-//! truncation → TCP fallback.
+//! truncation → TCP fallback, plus the reactor driver multiplexing hundreds
+//! of in-flight lookups over one socket.
 
-use std::net::{Ipv4Addr, SocketAddr};
+use std::net::{Ipv4Addr, SocketAddr, UdpSocket};
 use std::sync::Arc;
 
-use zdns_core::{AddrMap, Resolver, ResolverConfig, Status, UdpTransport};
+use zdns_core::{
+    collecting_sink, AddrMap, Admission, Driver, Reactor, ReactorConfig, Resolver, ResolverConfig,
+    Status, UdpTransport,
+};
 use zdns_netsim::WireServer;
 use zdns_wire::rdata::TxtData;
 use zdns_wire::{Name, Question, RData, Record, RecordType};
@@ -25,7 +29,11 @@ fn mini_universe() -> ExplicitUniverse {
         &[("ns1.nic.test".parse().unwrap(), RData::A(tld_ip))],
     );
 
-    let mut tld = Zone::new("test".parse().unwrap(), "ns1.nic.test".parse().unwrap(), 900);
+    let mut tld = Zone::new(
+        "test".parse().unwrap(),
+        "ns1.nic.test".parse().unwrap(),
+        900,
+    );
     tld.delegate(
         "example.test".parse().unwrap(),
         &["ns1.example.test".parse().unwrap()],
@@ -54,11 +62,7 @@ fn mini_universe() -> ExplicitUniverse {
         leaf.add(Record::new(
             "big.example.test".parse().unwrap(),
             300,
-            RData::Txt(TxtData::from_text(&format!(
-                "{}{}",
-                "x".repeat(60),
-                i
-            ))),
+            RData::Txt(TxtData::from_text(&format!("{}{}", "x".repeat(60), i))),
         ));
     }
 
@@ -128,8 +132,14 @@ fn cname_chase_over_real_udp() {
 
     let result = resolver.lookup_a("www.example.test", &mut transport, &map);
     assert_eq!(result.status, Status::NoError, "{result:?}");
-    assert!(result.answers.iter().any(|r| matches!(r.rdata, RData::Cname(_))));
-    assert!(result.answers.iter().any(|r| matches!(r.rdata, RData::A(_))));
+    assert!(result
+        .answers
+        .iter()
+        .any(|r| matches!(r.rdata, RData::Cname(_))));
+    assert!(result
+        .answers
+        .iter()
+        .any(|r| matches!(r.rdata, RData::A(_))));
 }
 
 #[test]
@@ -184,4 +194,279 @@ fn nxdomain_over_real_sockets() {
     let result = resolver.lookup_a("missing.example.test", &mut transport, &map);
     assert_eq!(result.status, Status::NxDomain);
     assert!(result.status.is_success(), "NXDOMAIN is a successful scan");
+}
+
+// ---------------------------------------------------------------------------
+// Reactor driver: many in-flight machines on one socket
+// ---------------------------------------------------------------------------
+
+/// Expected address for the i-th scan name (unique per name so a demux
+/// mix-up between two in-flight lookups is always detectable).
+fn scan_addr(i: usize) -> Ipv4Addr {
+    Ipv4Addr::new(10, 7, (i / 256) as u8, (i % 256) as u8)
+}
+
+/// A universe with one fat authoritative zone holding `n` uniquely
+/// addressed names, served from a single IP — so one WireServer can play
+/// the external resolver for hundreds of concurrent lookups.
+fn scan_universe(n: usize) -> (ExplicitUniverse, Ipv4Addr) {
+    let server_ip: Ipv4Addr = "203.0.113.53".parse().unwrap();
+    let mut zone = Zone::new(
+        "scan.test".parse().unwrap(),
+        "ns1.scan.test".parse().unwrap(),
+        300,
+    );
+    for i in 0..n {
+        zone.add(Record::new(
+            format!("n{i}.scan.test").parse().unwrap(),
+            300,
+            RData::A(scan_addr(i)),
+        ));
+    }
+    let mut u = ExplicitUniverse::new();
+    u.host(server_ip, zone);
+    (u, server_ip)
+}
+
+/// Feed `machines` through `reactor`, asserting everything drains.
+fn drive_all(reactor: &mut Reactor, mut machines: Vec<Box<dyn zdns_netsim::SimClient>>) -> u64 {
+    machines.reverse(); // pop() admits in original order
+    let mut feed = || match machines.pop() {
+        Some(m) => Admission::Admit(m),
+        None => Admission::Exhausted,
+    };
+    let mut completed = 0u64;
+    let mut on_done = |_outcome| completed += 1;
+    let report = reactor.run_scan(&mut feed, &mut on_done);
+    assert_eq!(report.completed, completed);
+    completed
+}
+
+#[test]
+fn reactor_multiplexes_500_lookups_on_one_socket() {
+    const N: usize = 500;
+    let (u, server_ip) = scan_universe(N);
+    let u = Arc::new(u);
+    let server = WireServer::start(Arc::clone(&u) as Arc<dyn Universe>, server_ip).unwrap();
+    let real = server.addr();
+    let map: Arc<AddrMap> = Arc::new(move |_ip| real);
+
+    let mut config = ResolverConfig::external(vec![server_ip]);
+    config.timeout = 2 * zdns_netsim::SECONDS;
+    config.retries = 2;
+    let resolver = Resolver::new(config);
+    let (sink, collected) = collecting_sink();
+
+    let mut reactor = Reactor::new(
+        ReactorConfig {
+            max_in_flight: N, // all 500 in flight at once
+            source: Ipv4Addr::LOCALHOST,
+            ..ReactorConfig::default()
+        },
+        map,
+    )
+    .unwrap();
+    let port = reactor.local_addr().unwrap().port();
+
+    // Inject hostile traffic at the reactor's socket before the scan: raw
+    // garbage (decode errors) and well-formed DNS "responses" from a peer
+    // that is not the server (stale/late datagrams). The demux table must
+    // reject all of it by (peer, transaction id).
+    let injector = UdpSocket::bind((Ipv4Addr::LOCALHOST, 0)).unwrap();
+    let target = SocketAddr::new(Ipv4Addr::LOCALHOST.into(), port);
+    for i in 0..40u16 {
+        injector.send_to(&[0xFF, 0xEE, 0xDD], target).unwrap();
+        let mut fake = zdns_wire::Message::query(
+            i, // ids that will collide with in-flight wire ids
+            Question::new("n0.scan.test".parse().unwrap(), RecordType::A),
+        );
+        fake.flags.response = true;
+        injector.send_to(&fake.encode().unwrap(), target).unwrap();
+    }
+
+    let machines: Vec<_> = (0..N)
+        .map(|i| {
+            resolver.machine(
+                Question::new(format!("n{i}.scan.test").parse().unwrap(), RecordType::A),
+                Some(sink.clone()),
+            )
+        })
+        .collect();
+    let completed = drive_all(&mut reactor, machines);
+    assert_eq!(completed, N as u64);
+
+    // Per-lookup demux correctness: every result carries exactly the
+    // address planted for its own name, so interleaved and out-of-order
+    // responses were all routed to their owning machine.
+    let results = collected.lock();
+    assert_eq!(results.len(), N);
+    for r in results.iter() {
+        assert_eq!(r.status, Status::NoError, "{:?}", r.name);
+        let text = r.name.to_string();
+        let digits: String = text
+            .trim_start_matches('n')
+            .chars()
+            .take_while(char::is_ascii_digit)
+            .collect();
+        let i: usize = digits.parse().expect("name carries its index");
+        assert_eq!(
+            r.answers.iter().find_map(|rec| match rec.rdata {
+                RData::A(a) => Some(a),
+                _ => None,
+            }),
+            Some(scan_addr(i)),
+            "lookup {i} got someone else's answer"
+        );
+    }
+
+    // Nothing leaked: no in-flight queries, no armed timers, and the
+    // end-of-run sweep cleared lazily-cancelled wheel entries too.
+    assert_eq!(reactor.in_flight(), 0);
+    assert_eq!(reactor.pending_queries(), 0);
+    assert_eq!(reactor.live_timers(), 0, "leaked armed timers");
+    assert_eq!(reactor.stored_timers(), 0, "leaked cancelled timer entries");
+}
+
+#[test]
+fn reactor_times_out_and_retries_via_timer_wheel() {
+    // A bound-but-silent "server": every query must be timed out by the
+    // wheel, retried by the machine, and finally reported as TIMEOUT.
+    let silent = UdpSocket::bind((Ipv4Addr::LOCALHOST, 0)).unwrap();
+    let dead = silent.local_addr().unwrap();
+    let map: Arc<AddrMap> = Arc::new(move |_ip| dead);
+
+    let mut config = ResolverConfig::external(vec!["192.0.2.1".parse().unwrap()]);
+    config.retries = 1;
+    config.timeout = 40 * zdns_netsim::MILLIS;
+    let resolver = Resolver::new(config);
+    let (sink, collected) = collecting_sink();
+
+    let mut reactor = Reactor::new(
+        ReactorConfig {
+            max_in_flight: 64,
+            source: Ipv4Addr::LOCALHOST,
+            wheel_granularity: zdns_netsim::MILLIS,
+            ..ReactorConfig::default()
+        },
+        map,
+    )
+    .unwrap();
+
+    const N: usize = 50;
+    let machines: Vec<_> = (0..N)
+        .map(|i| {
+            resolver.machine(
+                Question::new(format!("t{i}.dead.test").parse().unwrap(), RecordType::A),
+                Some(sink.clone()),
+            )
+        })
+        .collect();
+    let completed = drive_all(&mut reactor, machines);
+    assert_eq!(completed, N as u64);
+
+    let results = collected.lock();
+    assert_eq!(results.len(), N);
+    for r in results.iter() {
+        assert_eq!(r.status, Status::Timeout);
+        assert_eq!(r.queries_sent, 2, "initial + 1 retry");
+    }
+    assert_eq!(reactor.live_timers(), 0);
+    assert_eq!(reactor.pending_queries(), 0);
+}
+
+#[test]
+fn reactor_routes_truncation_fallback_to_tcp_side_pool() {
+    let u = Arc::new(mini_universe());
+    let resolver = resolver_for(&u);
+    let (_servers, map) = start_servers(Arc::clone(&u));
+    let map: Arc<AddrMap> = Arc::from(map);
+    let (sink, collected) = collecting_sink();
+
+    let mut reactor = Reactor::new(
+        ReactorConfig {
+            max_in_flight: 8,
+            source: Ipv4Addr::LOCALHOST,
+            ..ReactorConfig::default()
+        },
+        map,
+    )
+    .unwrap();
+    let machines = vec![resolver.machine(
+        Question::new("big.example.test".parse().unwrap(), RecordType::TXT),
+        Some(sink),
+    )];
+    let completed = drive_all(&mut reactor, machines);
+    assert_eq!(completed, 1);
+
+    let results = collected.lock();
+    assert_eq!(results[0].status, Status::NoError, "{:?}", results[0]);
+    assert_eq!(results[0].answers.len(), 24, "full RRset via TCP");
+    assert_eq!(results[0].protocol, "tcp");
+    assert_eq!(reactor.live_timers(), 0);
+}
+
+#[test]
+fn reactor_is_reusable_with_per_scan_reports() {
+    let (u, server_ip) = scan_universe(8);
+    let u = Arc::new(u);
+    let server = WireServer::start(Arc::clone(&u) as Arc<dyn Universe>, server_ip).unwrap();
+    let real = server.addr();
+    let map: Arc<AddrMap> = Arc::new(move |_ip| real);
+    let resolver = Resolver::new(ResolverConfig::external(vec![server_ip]));
+    let mut reactor = Reactor::new(
+        ReactorConfig {
+            max_in_flight: 8,
+            source: Ipv4Addr::LOCALHOST,
+            ..ReactorConfig::default()
+        },
+        map,
+    )
+    .unwrap();
+
+    for (scan, count) in [(1, 5usize), (2, 3usize)] {
+        let machines: Vec<_> = (0..count)
+            .map(|i| {
+                resolver.machine(
+                    Question::new(format!("n{i}.scan.test").parse().unwrap(), RecordType::A),
+                    None,
+                )
+            })
+            .collect();
+        let completed = drive_all(&mut reactor, machines);
+        assert_eq!(completed, count as u64, "scan {scan}");
+    }
+    assert_eq!(reactor.in_flight(), 0);
+    assert_eq!(reactor.live_timers(), 0);
+}
+
+#[test]
+fn reactor_reports_transport_errors_not_timeouts() {
+    // An address map pointing at an unreachable destination (port 0 is
+    // invalid for sendto) forces an immediate socket error: the machine
+    // must finish with ERROR, not TIMEOUT.
+    let map: Arc<AddrMap> = Arc::new(|_ip| SocketAddr::new(Ipv4Addr::LOCALHOST.into(), 0));
+    let mut config = ResolverConfig::external(vec!["192.0.2.1".parse().unwrap()]);
+    config.retries = 1;
+    let resolver = Resolver::new(config);
+    let (sink, collected) = collecting_sink();
+
+    let mut reactor = Reactor::new(
+        ReactorConfig {
+            max_in_flight: 4,
+            source: Ipv4Addr::LOCALHOST,
+            ..ReactorConfig::default()
+        },
+        map,
+    )
+    .unwrap();
+    let machines = vec![resolver.machine(
+        Question::new("err.test".parse().unwrap(), RecordType::A),
+        Some(sink),
+    )];
+    drive_all(&mut reactor, machines);
+
+    let results = collected.lock();
+    assert_eq!(results.len(), 1);
+    assert_eq!(results[0].status, Status::Error, "I/O failure is ERROR");
+    assert_eq!(reactor.live_timers(), 0);
 }

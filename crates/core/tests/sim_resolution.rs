@@ -56,10 +56,7 @@ fn iterative_resolves_existing_domains() {
     let u = universe();
     let resolver = iterative_resolver(&u);
     let names = existing_domains(&u, "com", 40);
-    let expected: Vec<_> = names
-        .iter()
-        .map(|n| u.domain_profile(n).apex_a)
-        .collect();
+    let expected: Vec<_> = names.iter().map(|n| u.domain_profile(n).apex_a).collect();
     let (report, results) = run_lookups(Arc::clone(&u), &resolver, names.clone(), RecordType::A, 8);
     assert_eq!(report.jobs, 40);
     assert!(report.success_rate() > 0.85, "{:?}", report.status_counts);
@@ -185,7 +182,10 @@ fn external_mode_resolves_via_public_resolver() {
     assert_eq!(report.jobs, 30);
     assert!(report.success_rate() > 0.85, "{:?}", report.status_counts);
     let results = collected.lock();
-    let ok = results.iter().filter(|r| r.status == Status::NoError).count();
+    let ok = results
+        .iter()
+        .filter(|r| r.status == Status::NoError)
+        .count();
     assert!(ok > 20);
     // External lookups send exactly one query when nothing fails, and the
     // resolver's RA bit is set.
@@ -265,7 +265,10 @@ fn caa_lookup_follows_cname_chain() {
         .iter()
         .find(|r| r.status == Status::NoError && !r.answers.is_empty())
         .expect("CAA resolution succeeded");
-    assert!(ok.answers.iter().any(|r| matches!(r.rdata, RData::Cname(_))));
+    assert!(ok
+        .answers
+        .iter()
+        .any(|r| matches!(r.rdata, RData::Cname(_))));
     assert!(ok.answers.iter().any(|r| matches!(r.rdata, RData::Caa(_))));
 }
 
@@ -276,7 +279,13 @@ fn delegation_info_lists_leaf_nameservers() {
     let names = existing_domains(&u, "com", 5);
     let profile = u.domain_profile(&names[0]);
     let provider = u.providers().by_index(profile.provider).unwrap();
-    let (_, results) = run_lookups(Arc::clone(&u), &resolver, vec![names[0].clone()], RecordType::A, 1);
+    let (_, results) = run_lookups(
+        Arc::clone(&u),
+        &resolver,
+        vec![names[0].clone()],
+        RecordType::A,
+        1,
+    );
     let r = &results[0];
     let delegation = r.delegation.as_ref().expect("delegation recorded");
     assert_eq!(delegation.nameservers.len(), provider.ns_count as usize);
@@ -291,10 +300,7 @@ fn flaky_nameservers_consume_retries() {
     // Find deep-flaky domains (the §5 ten-retry population).
     let flaky: Vec<Name> = (0..2_000_000)
         .map(|i| format!("fk{i}.vn").parse::<Name>().unwrap())
-        .filter(|n| {
-            u.domain_exists(n)
-                && matches!(u.domain_profile(n).flaky, Some(f) if f.deep)
-        })
+        .filter(|n| u.domain_exists(n) && matches!(u.domain_profile(n).flaky, Some(f) if f.deep))
         .take(5)
         .collect();
     assert!(!flaky.is_empty(), "no deep-flaky .vn domains");

@@ -83,11 +83,40 @@ fn main() {
     let group = conf.output;
     let emitted = Arc::new(AtomicU64::new(0));
     let emitted2 = Arc::clone(&emitted);
-
-    let report = runner::run_sim_scan(&conf, universe, module, inputs, move |o| {
+    let on_output = move |o: zdns_modules::ModuleOutput| {
         emitted2.fetch_add(1, Ordering::Relaxed);
         let _ = writeln!(sink, "{}", output::to_line(&o, group));
-    });
+    };
+
+    if conf.real {
+        // Real sockets: the reactor drives --max-in-flight concurrent
+        // lookups over a handful of long-lived UDP sockets, addressing
+        // servers directly (`ip:53`). Iterative mode is refused: its root
+        // hints come from the *synthetic* universe, so a real iterative
+        // scan would spray live packets at third-party addresses that are
+        // not DNS servers.
+        if matches!(conf.resolver.mode, zdns_core::ResolutionMode::Iterative) {
+            eprintln!(
+                "zdns: --real requires --name-servers (iterative mode has no \
+                 real root hints yet; the built-in hints are simulation-only)"
+            );
+            std::process::exit(2);
+        }
+        let resolver = runner::resolver_for(&conf, universe.as_ref());
+        let addr_map: Arc<zdns_core::AddrMap> =
+            Arc::new(|ip: std::net::Ipv4Addr| std::net::SocketAddr::new(ip.into(), 53));
+        let report = runner::run_real_scan(&conf, &resolver, module, addr_map, inputs, on_output);
+        for error in &report.worker_errors {
+            eprintln!("zdns: {error}");
+        }
+        eprintln!("{}", report.summary_line());
+        if report.lookups == 0 && !report.worker_errors.is_empty() {
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let report = runner::run_sim_scan(&conf, universe, module, inputs, on_output);
 
     if conf.status_updates {
         eprintln!(
@@ -126,6 +155,10 @@ FLAGS:
   --source-ips N           scanning source addresses (1=/32, 8=/29, 16=/28)
   --seed N                 simulated-Internet seed
   --max-names N            stop after N inputs
-  --status-updates         print run statistics to stderr"
+  --status-updates         print run statistics to stderr
+  --real                   scan over real sockets (servers at ip:53) using
+                           the event-driven reactor instead of the simulator
+  --max-in-flight N        reactor admission window: concurrent lookups in
+                           flight across all workers (default: --threads)"
     );
 }

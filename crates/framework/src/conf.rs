@@ -46,6 +46,11 @@ pub struct Conf {
     pub status_updates: bool,
     /// Cap on names read from input (0 = unlimited).
     pub max_names: usize,
+    /// Scan over real sockets instead of the simulator.
+    pub real: bool,
+    /// Admission window for the real-socket reactor: total lookups in
+    /// flight across all reactor workers (0 = use `threads`).
+    pub max_in_flight: usize,
 }
 
 impl Default for Conf {
@@ -61,6 +66,8 @@ impl Default for Conf {
             source_ips: 1,
             status_updates: false,
             max_names: 0,
+            real: false,
+            max_in_flight: 0,
         }
     }
 }
@@ -173,6 +180,12 @@ impl Conf {
                         .map_err(|_| ConfError("bad --source-ips".into()))?;
                 }
                 "--status-updates" => conf.status_updates = true,
+                "--real" => conf.real = true,
+                "--max-in-flight" => {
+                    conf.max_in_flight = take_value(&mut i)?
+                        .parse()
+                        .map_err(|_| ConfError("bad --max-in-flight".into()))?;
+                }
                 "--max-names" => {
                     conf.max_names = take_value(&mut i)?
                         .parse()
@@ -263,12 +276,26 @@ mod tests {
     #[test]
     fn unknown_flag_rejected() {
         assert!(Conf::parse(["A", "--bogus"]).is_err());
-        assert!(Conf::parse(["--threads", "5"]).is_err(), "module must come first");
+        assert!(
+            Conf::parse(["--threads", "5"]).is_err(),
+            "module must come first"
+        );
     }
 
     #[test]
     fn source_ips_expand_to_prefix() {
         let conf = Conf::parse(["A", "--source-ips", "8"]).unwrap();
         assert_eq!(conf.client_ips().len(), 8);
+    }
+
+    #[test]
+    fn real_scan_flags() {
+        let conf = Conf::parse(["A", "--real", "--max-in-flight", "2048"]).unwrap();
+        assert!(conf.real);
+        assert_eq!(conf.max_in_flight, 2048);
+        let default = Conf::parse(["A"]).unwrap();
+        assert!(!default.real);
+        assert_eq!(default.max_in_flight, 0, "0 = derive from --threads");
+        assert!(Conf::parse(["A", "--max-in-flight", "x"]).is_err());
     }
 }

@@ -5,17 +5,21 @@
 //! * [`run_sim_scan`] — hands machines to the discrete-event engine, one
 //!   per lookup routine, against a simulated Internet. This is how the
 //!   paper-scale experiments run.
-//! * [`run_real_scan`] — a worker-thread pool where every worker owns one
-//!   long-lived UDP socket and drives machines over real I/O (used against
-//!   loopback wire servers in tests and demos).
+//! * [`run_real_scan`] — a small pool of reactor workers, each owning one
+//!   long-lived non-blocking UDP socket and multiplexing hundreds of
+//!   in-flight lookup machines over it (the paper's event-driven
+//!   architecture: concurrency comes from in-flight lookups, not OS
+//!   threads). The admission window is `--max-in-flight`.
 
-use std::net::Ipv4Addr;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::HashMap;
+use std::net::{Ipv4Addr, UdpSocket};
 use std::sync::Arc;
 
 use crossbeam::channel;
 use parking_lot::Mutex;
-use zdns_core::{drive_blocking, AddrMap, Resolver, ResolverConfig, UdpTransport};
+use zdns_core::{
+    AddrMap, Admission, Driver, DriverReport, Reactor, ReactorConfig, Resolver, ResolverConfig,
+};
 use zdns_modules::{LookupModule, ModuleOutput, ModuleSink};
 use zdns_netsim::{Engine, EngineConfig, PublicResolverConfig, PublicResolverSim, RunReport};
 use zdns_zones::Universe;
@@ -91,19 +95,89 @@ where
     })
 }
 
-/// Report from a real-socket scan.
+/// Report from a real-socket scan — parity with the simulator's
+/// [`RunReport`]: per-status counts, query/retry totals, and rates.
 #[derive(Debug, Default)]
 pub struct RealScanReport {
     /// Lookups completed.
     pub lookups: u64,
     /// Lookups with NOERROR/NXDOMAIN status.
     pub successes: u64,
+    /// Outcome counts by status string.
+    pub status_counts: HashMap<String, u64>,
+    /// Queries sent on the wire during this scan.
+    pub queries_sent: u64,
+    /// Retries consumed by timeouts/transport failures.
+    pub retries: u64,
+    /// Reactor workers that drove the scan.
+    pub workers: usize,
+    /// Aggregated driver telemetry (demux stats, timer fires, peak
+    /// in-flight per worker).
+    pub driver: DriverReport,
+    /// Worker startup failures (socket bind errors). A scan that could not
+    /// start any worker reports every input as failed here.
+    pub worker_errors: Vec<String>,
     /// Wall-clock duration.
     pub elapsed: std::time::Duration,
 }
 
-/// Run a scan over real sockets with a pool of worker threads. The worker
-/// count is `min(conf.threads, 256)` — OS threads are not goroutines.
+impl RealScanReport {
+    /// Overall success fraction.
+    pub fn success_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            return 0.0;
+        }
+        self.successes as f64 / self.lookups as f64
+    }
+
+    /// Completed lookups per wall-clock second.
+    pub fn lookups_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.lookups as f64 / secs
+    }
+
+    /// The stderr summary line for this scan.
+    pub fn summary_line(&self) -> String {
+        let mut counts: Vec<(&String, &u64)> = self.status_counts.iter().collect();
+        counts.sort_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
+        let statuses = counts
+            .iter()
+            .map(|(s, n)| format!("{s}={n}"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        format!(
+            "zdns: {} lookups, {:.1}% success, {} queries, {} retries, {:.2}s, {:.0} lookups/s, {} workers (peak {} in flight) [{}]",
+            self.lookups,
+            self.success_rate() * 100.0,
+            self.queries_sent,
+            self.retries,
+            self.elapsed.as_secs_f64(),
+            self.lookups_per_sec(),
+            self.workers,
+            self.driver.peak_in_flight,
+            statuses,
+        )
+    }
+}
+
+/// How many reactor workers a real scan uses: enough to spread the demux
+/// load over cores, never more than 8 — concurrency comes from the
+/// per-worker admission window, not from thread count.
+pub fn real_worker_count(conf: &Conf) -> usize {
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4);
+    conf.threads.clamp(1, cores.min(8))
+}
+
+/// Run a scan over real sockets: a handful of reactor workers, each
+/// multiplexing up to `max_in_flight / workers` concurrent lookups over
+/// one long-lived UDP socket. Socket bind failures are reported in
+/// [`RealScanReport::worker_errors`]; if no worker can start, the scan
+/// fails fast instead of deadlocking on the input channel.
 pub fn run_real_scan<I>(
     conf: &Conf,
     resolver: &Resolver,
@@ -115,45 +189,105 @@ pub fn run_real_scan<I>(
 where
     I: Iterator<Item = String>,
 {
-    let workers = conf.threads.clamp(1, 256);
-    let (input_tx, input_rx) = channel::bounded::<String>(workers * 4);
-    let (output_tx, output_rx) = channel::unbounded::<ModuleOutput>();
-    let successes = Arc::new(AtomicU64::new(0));
-    let lookups = Arc::new(AtomicU64::new(0));
+    let total_window = if conf.max_in_flight > 0 {
+        conf.max_in_flight
+    } else {
+        conf.threads.max(1)
+    };
+    // Never spawn more workers than the window allows, and split the
+    // window exactly: the aggregate in-flight cap must not exceed what
+    // the user asked for (a polite scanner's rate contract).
+    let workers = real_worker_count(conf).min(total_window);
     let started = std::time::Instant::now();
+    let mut report = RealScanReport {
+        workers,
+        ..RealScanReport::default()
+    };
+
+    // Bind every worker socket up front so startup failures surface
+    // immediately (satellite of the reactor refactor: a worker that dies
+    // silently can deadlock a bounded input channel).
+    let mut sockets = Vec::new();
+    for i in 0..workers {
+        match UdpSocket::bind((Ipv4Addr::UNSPECIFIED, 0)) {
+            Ok(socket) => sockets.push(socket),
+            Err(e) => report
+                .worker_errors
+                .push(format!("worker {i}: socket bind failed: {e}")),
+        }
+    }
+    if sockets.is_empty() {
+        report.elapsed = started.elapsed();
+        return report;
+    }
+    let workers = sockets.len();
+    report.workers = workers;
+
+    let (input_tx, input_rx) = channel::bounded::<String>(total_window.max(workers * 4));
+    let (output_tx, output_rx) = channel::unbounded::<ModuleOutput>();
+    let stats_before = resolver.core().stats.snapshot();
+    let merged: Arc<Mutex<(HashMap<String, u64>, DriverReport)>> =
+        Arc::new(Mutex::new((HashMap::new(), DriverReport::default())));
+    let startup_errors: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
 
     std::thread::scope(|scope| {
-        for _ in 0..workers {
+        let base_window = total_window / workers;
+        let extra = total_window % workers;
+        for (worker_idx, socket) in sockets.into_iter().enumerate() {
+            let per_worker_window = (base_window + usize::from(worker_idx < extra)).max(1);
             let input_rx = input_rx.clone();
             let output_tx = output_tx.clone();
             let module = Arc::clone(&module);
             let resolver = resolver.clone();
             let addr_map = Arc::clone(&addr_map);
-            let successes = Arc::clone(&successes);
-            let lookups = Arc::clone(&lookups);
+            let merged = Arc::clone(&merged);
+            let startup_errors = Arc::clone(&startup_errors);
             scope.spawn(move || {
-                // One long-lived socket per routine (§3.4).
-                let Ok(mut transport) = UdpTransport::bind(Ipv4Addr::UNSPECIFIED) else {
-                    return;
+                let config = ReactorConfig {
+                    max_in_flight: per_worker_window,
+                    ..ReactorConfig::default()
                 };
-                while let Ok(input) = input_rx.recv() {
-                    let (tx2, collected) = channel::bounded::<ModuleOutput>(4);
-                    let sink: ModuleSink = Arc::new(move |o| {
-                        let _ = tx2.send(o);
-                    });
-                    let mut machine = module.make_machine(&input, &resolver, sink);
-                    let outcome = drive_blocking(machine.as_mut(), &mut transport, &*addr_map);
-                    lookups.fetch_add(1, Ordering::Relaxed);
-                    if matches!(&outcome, Some(o) if o.success) {
-                        successes.fetch_add(1, Ordering::Relaxed);
+                // One long-lived socket per worker (§3.4), shared by every
+                // lookup the worker has in flight.
+                let mut reactor = match Reactor::from_socket(socket, config, addr_map) {
+                    Ok(reactor) => reactor,
+                    Err(e) => {
+                        // Record the death; dropping this worker's input_rx
+                        // clone is what lets the feeding loop fail fast when
+                        // every worker dies.
+                        startup_errors
+                            .lock()
+                            .push(format!("worker {worker_idx}: reactor start failed: {e}"));
+                        return;
                     }
-                    while let Ok(output) = collected.try_recv() {
-                        let _ = output_tx.send(output);
+                };
+                let sink: ModuleSink = Arc::new(move |o| {
+                    let _ = output_tx.send(o);
+                });
+                let mut statuses: HashMap<String, u64> = HashMap::new();
+                let mut feed = || match input_rx.try_recv() {
+                    Ok(input) => {
+                        Admission::Admit(module.make_machine(&input, &resolver, sink.clone()))
                     }
+                    Err(channel::TryRecvError::Empty) => Admission::Later,
+                    Err(channel::TryRecvError::Disconnected) => Admission::Exhausted,
+                };
+                let mut on_done = |outcome: Option<zdns_netsim::JobOutcome>| {
+                    let status = outcome.map(|o| o.status).unwrap_or_else(|| "ERROR".into());
+                    *statuses.entry(status).or_insert(0) += 1;
+                };
+                let driver_report = reactor.run_scan(&mut feed, &mut on_done);
+                let mut merged = merged.lock();
+                for (status, n) in statuses {
+                    *merged.0.entry(status).or_insert(0) += n;
                 }
+                merged.1.merge(&driver_report);
             });
         }
         drop(output_tx);
+        // The parent must not hold a receiver: once every worker is gone,
+        // sends below error out instead of deadlocking on a full channel.
+        drop(input_rx);
         // Writer thread drains outputs while inputs feed in.
         let writer = scope.spawn(move || {
             let mut on_output = on_output;
@@ -170,16 +304,25 @@ where
         let _ = writer.join();
     });
 
-    RealScanReport {
-        lookups: lookups.load(Ordering::Relaxed),
-        successes: successes.load(Ordering::Relaxed),
-        elapsed: started.elapsed(),
-    }
+    let stats_after = resolver.core().stats.snapshot();
+    let merged = Arc::try_unwrap(merged)
+        .map(Mutex::into_inner)
+        .unwrap_or_else(|arc| arc.lock().clone());
+    report.worker_errors.extend(startup_errors.lock().drain(..));
+    report.status_counts = merged.0;
+    report.driver = merged.1;
+    report.lookups = report.driver.completed;
+    report.successes = report.driver.successes;
+    report.queries_sent = stats_after.queries_sent - stats_before.queries_sent;
+    report.retries = stats_after.retries - stats_before.retries;
+    report.elapsed = started.elapsed();
+    report
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
     use zdns_modules::ModuleRegistry;
     use zdns_zones::{SynthConfig, SyntheticUniverse};
 
@@ -191,13 +334,9 @@ mod tests {
         let outputs = Arc::new(Mutex::new(Vec::new()));
         let sink_outputs = Arc::clone(&outputs);
         let inputs: Vec<String> = (0..50).map(|i| format!("runner{i}.com")).collect();
-        let report = run_sim_scan(
-            &conf,
-            universe,
-            module,
-            inputs.into_iter(),
-            move |o| sink_outputs.lock().push(o),
-        );
+        let report = run_sim_scan(&conf, universe, module, inputs.into_iter(), move |o| {
+            sink_outputs.lock().push(o)
+        });
         assert_eq!(report.jobs, 50);
         assert_eq!(outputs.lock().len(), 50);
         // ~70% exist; NXDOMAIN also counts as success.
@@ -212,15 +351,9 @@ mod tests {
         let count = Arc::new(AtomicU64::new(0));
         let c2 = Arc::clone(&count);
         let inputs: Vec<String> = (0..30).map(|i| format!("ext{i}.net")).collect();
-        let report = run_sim_scan(
-            &conf,
-            universe,
-            module,
-            inputs.into_iter(),
-            move |_| {
-                c2.fetch_add(1, Ordering::Relaxed);
-            },
-        );
+        let report = run_sim_scan(&conf, universe, module, inputs.into_iter(), move |_| {
+            c2.fetch_add(1, Ordering::Relaxed);
+        });
         assert_eq!(count.load(Ordering::Relaxed), 30);
         // External mode sends ~1 query per lookup (plus retries).
         let qpl = report.queries_sent as f64 / report.jobs as f64;

@@ -119,8 +119,7 @@ impl AllNsMachine {
             }
             let mut inner = match probe.addr {
                 Some(addr) => {
-                    let inner =
-                        Inner::direct(&self.resolver, self.question.clone(), addr, false);
+                    let inner = Inner::direct(&self.resolver, self.question.clone(), addr, false);
                     self.phase = Phase::Probe(inner);
                     match &mut self.phase {
                         Phase::Probe(i) => match i.start(now, out) {
@@ -157,9 +156,7 @@ impl AllNsMachine {
             .iter()
             .filter(|p| matches!(p.status, Some(s) if s.is_success()) && !p.answers.is_empty())
             .collect();
-        let consistent = answered
-            .windows(2)
-            .all(|w| w[0].answers == w[1].answers);
+        let consistent = answered.windows(2).all(|w| w[0].answers == w[1].answers);
         let max_retries = self.probes.iter().map(|p| p.retries).max().unwrap_or(0);
         let nameservers: Vec<_> = self
             .probes
@@ -207,7 +204,12 @@ impl SimClient for AllNsMachine {
         }
     }
 
-    fn on_event(&mut self, event: ClientEvent, now: SimTime, out: &mut Vec<OutQuery>) -> StepStatus {
+    fn on_event(
+        &mut self,
+        event: ClientEvent,
+        now: SimTime,
+        out: &mut Vec<OutQuery>,
+    ) -> StepStatus {
         let done = match &mut self.phase {
             Phase::Walk(i) | Phase::NsAddr(i) | Phase::Probe(i) => i.on_event(event, now, out),
         };

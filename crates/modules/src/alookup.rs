@@ -116,7 +116,12 @@ impl SimClient for ALookupMachine {
         }
     }
 
-    fn on_event(&mut self, event: ClientEvent, now: SimTime, out: &mut Vec<OutQuery>) -> StepStatus {
+    fn on_event(
+        &mut self,
+        event: ClientEvent,
+        now: SimTime,
+        out: &mut Vec<OutQuery>,
+    ) -> StepStatus {
         let done = match &mut self.phase {
             Phase::A(inner) | Phase::Aaaa(inner) => inner.on_event(event, now, out),
         };
@@ -150,7 +155,11 @@ impl LookupModule for ALookupModule {
                 sink,
             });
         };
-        let first_type = if self.ipv4 { RecordType::A } else { RecordType::AAAA };
+        let first_type = if self.ipv4 {
+            RecordType::A
+        } else {
+            RecordType::AAAA
+        };
         let inner = Inner::lookup(resolver, Question::new(name.clone(), first_type));
         Box::new(ALookupMachine {
             input: input.to_string(),

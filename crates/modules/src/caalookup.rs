@@ -79,7 +79,12 @@ impl SimClient for CaaMachine {
         }
     }
 
-    fn on_event(&mut self, event: ClientEvent, now: SimTime, out: &mut Vec<OutQuery>) -> StepStatus {
+    fn on_event(
+        &mut self,
+        event: ClientEvent,
+        now: SimTime,
+        out: &mut Vec<OutQuery>,
+    ) -> StepStatus {
         match self.inner.on_event(event, now, out) {
             Some(result) => self.finish(result),
             None => StepStatus::Running,

@@ -43,7 +43,12 @@ impl SimClient for BindVersionMachine {
         }
     }
 
-    fn on_event(&mut self, event: ClientEvent, now: SimTime, out: &mut Vec<OutQuery>) -> StepStatus {
+    fn on_event(
+        &mut self,
+        event: ClientEvent,
+        now: SimTime,
+        out: &mut Vec<OutQuery>,
+    ) -> StepStatus {
         match self.inner.on_event(event, now, out) {
             Some(result) => self.finish(result),
             None => StepStatus::Running,
@@ -215,7 +220,12 @@ impl SimClient for NsMachine {
         }
     }
 
-    fn on_event(&mut self, event: ClientEvent, now: SimTime, out: &mut Vec<OutQuery>) -> StepStatus {
+    fn on_event(
+        &mut self,
+        event: ClientEvent,
+        now: SimTime,
+        out: &mut Vec<OutQuery>,
+    ) -> StepStatus {
         let done = match &mut self.phase {
             NsPhase::Ns(inner) | NsPhase::Addr(inner) => inner.on_event(event, now, out),
         };

@@ -151,7 +151,12 @@ impl SimClient for MxMachine {
         }
     }
 
-    fn on_event(&mut self, event: ClientEvent, now: SimTime, out: &mut Vec<OutQuery>) -> StepStatus {
+    fn on_event(
+        &mut self,
+        event: ClientEvent,
+        now: SimTime,
+        out: &mut Vec<OutQuery>,
+    ) -> StepStatus {
         let done = match &mut self.phase {
             Phase::Mx(inner) | Phase::ExchangeA(inner) => inner.on_event(event, now, out),
         };

@@ -57,7 +57,12 @@ impl SimClient for RawMachine {
         }
     }
 
-    fn on_event(&mut self, event: ClientEvent, now: SimTime, out: &mut Vec<OutQuery>) -> StepStatus {
+    fn on_event(
+        &mut self,
+        event: ClientEvent,
+        now: SimTime,
+        out: &mut Vec<OutQuery>,
+    ) -> StepStatus {
         match self.inner.on_event(event, now, out) {
             Some(result) => self.finish(result),
             None => StepStatus::Running,
@@ -106,7 +111,9 @@ mod tests {
     #[test]
     fn all_raw_modules_cover_footnote_types() {
         let names: Vec<&str> = RawModule::all().map(|m| m.name()).collect();
-        for required in ["A", "AAAA", "CAA", "MX", "TXT", "PTR", "NS", "SOA", "NSEC3", "URI"] {
+        for required in [
+            "A", "AAAA", "CAA", "MX", "TXT", "PTR", "NS", "SOA", "NSEC3", "URI",
+        ] {
             assert!(names.contains(&required), "missing {required}");
         }
         assert!(names.len() >= 64, "only {} raw modules", names.len());

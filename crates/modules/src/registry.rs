@@ -86,8 +86,21 @@ mod tests {
     fn standard_registry_has_everything() {
         let r = ModuleRegistry::standard();
         for name in [
-            "A", "AAAA", "MX", "TXT", "PTR", "CAA", "NSEC", "SPF", "DMARC", "ALOOKUP",
-            "MXLOOKUP", "NSLOOKUP", "CAALOOKUP", "BINDVERSION", "ALLNAMESERVERS",
+            "A",
+            "AAAA",
+            "MX",
+            "TXT",
+            "PTR",
+            "CAA",
+            "NSEC",
+            "SPF",
+            "DMARC",
+            "ALOOKUP",
+            "MXLOOKUP",
+            "NSLOOKUP",
+            "CAALOOKUP",
+            "BINDVERSION",
+            "ALLNAMESERVERS",
         ] {
             assert!(r.get(name).is_some(), "missing {name}");
         }

@@ -91,7 +91,12 @@ impl SimClient for TxtFilterMachine {
         }
     }
 
-    fn on_event(&mut self, event: ClientEvent, now: SimTime, out: &mut Vec<OutQuery>) -> StepStatus {
+    fn on_event(
+        &mut self,
+        event: ClientEvent,
+        now: SimTime,
+        out: &mut Vec<OutQuery>,
+    ) -> StepStatus {
         match self.inner.on_event(event, now, out) {
             Some(result) => self.finish(result),
             None => StepStatus::Running,

@@ -67,10 +67,20 @@ fn mxlookup_resolves_exchange_addresses() {
     let r = resolver(&u);
     let with_mx = find_domains(&u, "com", |p| p.has_mx, 5, 100_000);
     assert!(!with_mx.is_empty());
-    let outputs = run_module(Arc::clone(&u), &zdns_modules::MxLookupModule::default(), &r, with_mx);
+    let outputs = run_module(
+        Arc::clone(&u),
+        &zdns_modules::MxLookupModule::default(),
+        &r,
+        with_mx,
+    );
     let ok = outputs
         .iter()
-        .find(|o| o.status.is_success() && o.data["exchanges"].as_array().is_some_and(|a| !a.is_empty()))
+        .find(|o| {
+            o.status.is_success()
+                && o.data["exchanges"]
+                    .as_array()
+                    .is_some_and(|a| !a.is_empty())
+        })
         .expect("an MX success");
     let exchange = &ok.data["exchanges"][0];
     assert!(exchange["name"].as_str().unwrap().starts_with("mail."));
@@ -84,18 +94,18 @@ fn mxlookup_resolves_exchange_addresses() {
 fn alookup_reports_cnames_and_addresses() {
     let u = universe();
     let r = resolver(&u);
-    let www_cname: Vec<String> = find_domains(
-        &u,
-        "net",
-        |p| p.www == WwwKind::CnameToApex,
-        4,
-        100_000,
-    )
-    .into_iter()
-    .map(|d| format!("www.{d}"))
-    .collect();
+    let www_cname: Vec<String> =
+        find_domains(&u, "net", |p| p.www == WwwKind::CnameToApex, 4, 100_000)
+            .into_iter()
+            .map(|d| format!("www.{d}"))
+            .collect();
     assert!(!www_cname.is_empty());
-    let outputs = run_module(Arc::clone(&u), &zdns_modules::ALookupModule::default(), &r, www_cname);
+    let outputs = run_module(
+        Arc::clone(&u),
+        &zdns_modules::ALookupModule::default(),
+        &r,
+        www_cname,
+    );
     let ok = outputs
         .iter()
         .find(|o| o.status.is_success() && !o.data["cnames"].as_array().unwrap().is_empty())
@@ -126,14 +136,18 @@ fn spf_module_filters_txt() {
 fn caalookup_classifies_tags() {
     let u = universe();
     let r = resolver(&u);
-    let with_caa = find_domains(&u, "pl", |p| !p.caa_records.is_empty() && !p.caa_via_cname, 6, 400_000);
+    let with_caa = find_domains(
+        &u,
+        "pl",
+        |p| !p.caa_records.is_empty() && !p.caa_via_cname,
+        6,
+        400_000,
+    );
     assert!(!with_caa.is_empty());
     let outputs = run_module(Arc::clone(&u), &zdns_modules::CaaLookupModule, &r, with_caa);
     let ok = outputs
         .iter()
-        .find(|o| {
-            o.status.is_success() && !o.data["records"].as_array().unwrap().is_empty()
-        })
+        .find(|o| o.status.is_success() && !o.data["records"].as_array().unwrap().is_empty())
         .expect("a CAA holder resolved");
     // §6: the issue tag dominates; Let's Encrypt is in nearly all records.
     let issue = ok.data["issue"].as_array().unwrap();
@@ -145,7 +159,13 @@ fn caalookup_classifies_tags() {
 fn all_nameservers_probes_every_server() {
     let u = universe();
     let r = resolver(&u);
-    let domains = find_domains(&u, "com", |p| p.lame_ns.is_none() && !p.glueless, 4, 100_000);
+    let domains = find_domains(
+        &u,
+        "com",
+        |p| p.lame_ns.is_none() && !p.glueless,
+        4,
+        100_000,
+    );
     let outputs = run_module(
         Arc::clone(&u),
         &zdns_modules::AllNameserversModule::default(),
@@ -172,7 +192,13 @@ fn all_nameservers_detects_inconsistency() {
     let u = universe();
     let r = resolver(&u);
     // Inconsistent domains are ~1/10000; widen the net.
-    let inconsistent = find_domains(&u, "com", |p| p.inconsistent && p.lame_ns.is_none(), 2, 2_000_000);
+    let inconsistent = find_domains(
+        &u,
+        "com",
+        |p| p.inconsistent && p.lame_ns.is_none(),
+        2,
+        2_000_000,
+    );
     if inconsistent.is_empty() {
         return; // seed produced none in budget; other tests cover the path
     }

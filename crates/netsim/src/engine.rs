@@ -75,6 +75,14 @@ pub enum ClientEvent {
         /// Correlation tag from the [`OutQuery`].
         tag: u64,
     },
+    /// The transport failed outright (socket error, unreachable network,
+    /// undecodable response) — distinct from a timeout so drivers over real
+    /// sockets can surface `Status::Error` instead of masking I/O failures
+    /// as `Status::Timeout`. The simulator itself never emits this.
+    TransportFailed {
+        /// Correlation tag from the [`OutQuery`].
+        tag: u64,
+    },
 }
 
 /// Final report for one finished job.
@@ -343,14 +351,7 @@ impl Engine {
 
     fn schedule(&mut self, time: SimTime, slot: u32, kind: EventKind) {
         self.seq += 1;
-        self.events.insert(
-            self.seq,
-            Event {
-                time,
-                slot,
-                kind,
-            },
-        );
+        self.events.insert(self.seq, Event { time, slot, kind });
         self.heap.push(Reverse((time, self.seq)));
     }
 
@@ -375,10 +376,7 @@ impl Engine {
     }
 
     /// Run jobs from `source` until it is exhausted and all slots drain.
-    pub fn run(
-        &mut self,
-        mut source: impl FnMut() -> Option<Box<dyn SimClient>>,
-    ) -> RunReport {
+    pub fn run(&mut self, mut source: impl FnMut() -> Option<Box<dyn SimClient>>) -> RunReport {
         let effective_threads = self
             .config
             .threads
@@ -490,11 +488,7 @@ impl Engine {
             }
             self.report.success_series[bucket] += 1;
         }
-        *self
-            .report
-            .status_counts
-            .entry(outcome.status)
-            .or_insert(0) += 1;
+        *self.report.status_counts.entry(outcome.status).or_insert(0) += 1;
         self.report.makespan = self.report.makespan.max(now);
         self.report.total_job_duration += now.saturating_sub(slot.started_at);
     }
@@ -535,8 +529,8 @@ impl Engine {
         }
         if oq.to.is_loopback() && self.config.local_resolver_cpu_us > 0 {
             // The co-located resolver's recursion work shares our cores.
-            send_cost += (self.config.local_resolver_cpu_us * MICROS)
-                / self.config.cores.max(1) as u64;
+            send_cost +=
+                (self.config.local_resolver_cpu_us * MICROS) / self.config.cores.max(1) as u64;
         }
         let t_send = self.cpu_consume(now, send_cost);
         let deadline = now + oq.timeout;
@@ -550,7 +544,11 @@ impl Engine {
                     self.schedule(
                         deadline,
                         slot,
-                        EventKind::Outcome { generation, tag: oq.tag, response: None },
+                        EventKind::Outcome {
+                            generation,
+                            tag: oq.tag,
+                            response: None,
+                        },
                     );
                     return;
                 }
@@ -562,17 +560,17 @@ impl Engine {
             self.schedule(
                 deadline,
                 slot,
-                EventKind::Outcome { generation, tag: oq.tag, response: None },
+                EventKind::Outcome {
+                    generation,
+                    tag: oq.tag,
+                    response: None,
+                },
             );
             return;
         };
 
         // Public resolver path.
-        if let Some(idx) = self
-            .resolvers
-            .iter()
-            .position(|r| r.config.addr == oq.to)
-        {
+        if let Some(idx) = self.resolvers.iter().position(|r| r.config.addr == oq.to) {
             // Split borrows: resolver handles need the universe and rng.
             let universe = Arc::clone(&self.universe);
             let outcome = self.resolvers[idx].handle(
@@ -589,7 +587,11 @@ impl Engine {
                     self.schedule(
                         deadline,
                         slot,
-                        EventKind::Outcome { generation, tag: oq.tag, response: None },
+                        EventKind::Outcome {
+                            generation,
+                            tag: oq.tag,
+                            response: None,
+                        },
                     );
                 }
                 ResolverOutcome::ServFail { latency } => {
@@ -602,7 +604,16 @@ impl Engine {
                     msg.flags.recursion_available = true;
                     msg.rcode = zdns_wire::RcodeField(zdns_wire::Rcode::ServFail);
                     let arrival = t_send + latency;
-                    self.deliver_or_timeout(slot, generation, oq.tag, arrival, deadline, oq.to, msg, oq.protocol);
+                    self.deliver_or_timeout(
+                        slot,
+                        generation,
+                        oq.tag,
+                        arrival,
+                        deadline,
+                        oq.to,
+                        msg,
+                        oq.protocol,
+                    );
                 }
                 ResolverOutcome::Answer { message, latency } => {
                     let arrival = t_send + latency;
@@ -629,7 +640,11 @@ impl Engine {
             self.schedule(
                 deadline,
                 slot,
-                EventKind::Outcome { generation, tag: oq.tag, response: None },
+                EventKind::Outcome {
+                    generation,
+                    tag: oq.tag,
+                    response: None,
+                },
             );
             return;
         }
@@ -638,7 +653,11 @@ impl Engine {
             self.schedule(
                 deadline,
                 slot,
-                EventKind::Outcome { generation, tag: oq.tag, response: None },
+                EventKind::Outcome {
+                    generation,
+                    tag: oq.tag,
+                    response: None,
+                },
             );
             return;
         };
@@ -671,7 +690,14 @@ impl Engine {
         }
         let arrival = t_send + rtt + profile.processing_us * MICROS;
         self.deliver_or_timeout(
-            slot, generation, oq.tag, arrival, deadline, oq.to, response, oq.protocol,
+            slot,
+            generation,
+            oq.tag,
+            arrival,
+            deadline,
+            oq.to,
+            response,
+            oq.protocol,
         );
     }
 
@@ -688,7 +714,15 @@ impl Engine {
         protocol: Protocol,
     ) {
         if arrival > deadline {
-            self.schedule(deadline, slot, EventKind::Outcome { generation, tag, response: None });
+            self.schedule(
+                deadline,
+                slot,
+                EventKind::Outcome {
+                    generation,
+                    tag,
+                    response: None,
+                },
+            );
         } else {
             self.schedule(
                 arrival,
@@ -782,10 +816,7 @@ mod tests {
                         self.retries -= 1;
                         out.push(OutQuery {
                             to: self.to,
-                            query: Message::query(
-                                1,
-                                Question::new(self.name.clone(), self.qtype),
-                            ),
+                            query: Message::query(1, Question::new(self.name.clone(), self.qtype)),
                             protocol: Protocol::Udp,
                             timeout: 2 * SECONDS,
                             tag: 0,
@@ -798,6 +829,11 @@ mod tests {
                         })
                     }
                 }
+                // The simulator never produces transport failures.
+                ClientEvent::TransportFailed { .. } => StepStatus::Done(JobOutcome {
+                    success: false,
+                    status: "ERROR".to_string(),
+                }),
             }
         }
     }
@@ -998,6 +1034,9 @@ mod tests {
         let estimated = estimate_size(&msg);
         let ratio = estimated as f64 / actual as f64;
         // Compression makes the estimate high; it must stay in the ballpark.
-        assert!((0.8..2.5).contains(&ratio), "est {estimated} actual {actual}");
+        assert!(
+            (0.8..2.5).contains(&ratio),
+            "est {estimated} actual {actual}"
+        );
     }
 }

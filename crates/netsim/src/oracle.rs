@@ -158,7 +158,9 @@ fn resolve_no_cname(
         }
         let mut next: Vec<Ipv4Addr> = Vec::new();
         for ns in &ns_records {
-            let RData::Ns(ns_name) = &ns.rdata else { continue };
+            let RData::Ns(ns_name) = &ns.rdata else {
+                continue;
+            };
             // In-referral glue first.
             let glued: Vec<Ipv4Addr> = glue
                 .iter()
@@ -253,7 +255,10 @@ mod tests {
         let www = base.child("www").unwrap();
         let ans = resolve(&u, &Question::new(www, RecordType::A));
         assert_eq!(ans.rcode, Rcode::NoError);
-        assert!(ans.answers.iter().any(|r| matches!(r.rdata, RData::Cname(_))));
+        assert!(ans
+            .answers
+            .iter()
+            .any(|r| matches!(r.rdata, RData::Cname(_))));
         assert!(ans.answers.iter().any(|r| matches!(r.rdata, RData::A(_))));
     }
 
@@ -296,7 +301,10 @@ mod tests {
             .expect("a CAA-via-CNAME domain in .pl");
         let ans = resolve(&u, &Question::new(base, RecordType::CAA));
         assert_eq!(ans.rcode, Rcode::NoError, "{ans:?}");
-        assert!(ans.answers.iter().any(|r| matches!(r.rdata, RData::Cname(_))));
+        assert!(ans
+            .answers
+            .iter()
+            .any(|r| matches!(r.rdata, RData::Cname(_))));
         assert!(ans.answers.iter().any(|r| matches!(r.rdata, RData::Caa(_))));
     }
 }

@@ -22,6 +22,43 @@ pub struct WireServer {
     threads: Vec<JoinHandle<()>>,
 }
 
+/// Ask the kernel for a large receive buffer on `socket`. Event-driven
+/// clients put hundreds-to-thousands of datagrams in flight at once; the
+/// default buffer (a few hundred KB) silently drops the burst, which
+/// surfaces as timeouts. Best-effort: unsupported platforms are a no-op.
+pub fn set_recv_buffer(socket: &UdpSocket, bytes: usize) {
+    #[cfg(any(target_os = "linux", target_os = "android"))]
+    {
+        use std::os::fd::AsRawFd;
+        const SOL_SOCKET: i32 = 1;
+        const SO_RCVBUF: i32 = 8;
+        extern "C" {
+            fn setsockopt(
+                fd: i32,
+                level: i32,
+                name: i32,
+                value: *const std::ffi::c_void,
+                len: u32,
+            ) -> i32;
+        }
+        let value = bytes as i32;
+        // SAFETY: fd is a live socket; value points at a properly sized int.
+        unsafe {
+            setsockopt(
+                socket.as_raw_fd(),
+                SOL_SOCKET,
+                SO_RCVBUF,
+                &value as *const i32 as *const std::ffi::c_void,
+                std::mem::size_of::<i32>() as u32,
+            );
+        }
+    }
+    #[cfg(not(any(target_os = "linux", target_os = "android")))]
+    {
+        let _ = (socket, bytes);
+    }
+}
+
 impl WireServer {
     /// Address the server listens on (UDP and TCP share the port).
     pub fn addr(&self) -> SocketAddr {
@@ -31,8 +68,25 @@ impl WireServer {
     /// Start serving `universe` on an ephemeral 127.0.0.1 port. Queries are
     /// answered as if this socket were the server at `impersonate` inside
     /// the universe.
-    pub fn start(universe: Arc<dyn Universe>, impersonate: Ipv4Addr) -> std::io::Result<WireServer> {
+    pub fn start(
+        universe: Arc<dyn Universe>,
+        impersonate: Ipv4Addr,
+    ) -> std::io::Result<WireServer> {
+        WireServer::start_with_latency(universe, impersonate, Duration::ZERO)
+    }
+
+    /// Like [`WireServer::start`] but every UDP response is delayed by
+    /// `latency` *without* serializing queries behind each other — the
+    /// benchmark knob that makes concurrency architecture visible: a
+    /// driver with N lookups in flight completes ~N per latency window,
+    /// regardless of how many OS threads it has.
+    pub fn start_with_latency(
+        universe: Arc<dyn Universe>,
+        impersonate: Ipv4Addr,
+        latency: Duration,
+    ) -> std::io::Result<WireServer> {
         let udp = UdpSocket::bind((Ipv4Addr::LOCALHOST, 0))?;
+        set_recv_buffer(&udp, 8 << 20);
         let addr = udp.local_addr()?;
         let tcp = TcpListener::bind(addr)?;
         tcp.set_nonblocking(true)?;
@@ -41,6 +95,35 @@ impl WireServer {
 
         let udp_stop = Arc::clone(&stop);
         let udp_universe = Arc::clone(&universe);
+        let mut threads = Vec::new();
+
+        // Delayed responses queue in arrival order (due times are
+        // monotonic), drained by a dedicated sender thread.
+        type Delayed = (std::time::Instant, std::net::SocketAddr, Vec<u8>);
+        let delayed: Arc<std::sync::Mutex<std::collections::VecDeque<Delayed>>> =
+            Arc::new(std::sync::Mutex::new(std::collections::VecDeque::new()));
+        if latency > Duration::ZERO {
+            let delayed = Arc::clone(&delayed);
+            let sender = udp.try_clone()?;
+            let sender_stop = Arc::clone(&stop);
+            threads.push(std::thread::spawn(move || {
+                while !sender_stop.load(Ordering::Relaxed) {
+                    let next = delayed.lock().unwrap().pop_front();
+                    match next {
+                        Some((due, peer, bytes)) => {
+                            let now = std::time::Instant::now();
+                            if due > now {
+                                std::thread::sleep(due - now);
+                            }
+                            let _ = sender.send_to(&bytes, peer);
+                        }
+                        None => std::thread::sleep(Duration::from_micros(200)),
+                    }
+                }
+            }));
+        }
+
+        let udp_delayed = Arc::clone(&delayed);
         let udp_thread = std::thread::spawn(move || {
             let mut buf = [0u8; 65_535];
             while !udp_stop.load(Ordering::Relaxed) {
@@ -48,7 +131,15 @@ impl WireServer {
                     continue;
                 };
                 if let Some(bytes) = answer(&udp_universe, impersonate, &buf[..len], true) {
-                    let _ = udp.send_to(&bytes, peer);
+                    if latency > Duration::ZERO {
+                        udp_delayed.lock().unwrap().push_back((
+                            std::time::Instant::now() + latency,
+                            peer,
+                            bytes,
+                        ));
+                    } else {
+                        let _ = udp.send_to(&bytes, peer);
+                    }
                 }
             }
         });
@@ -83,10 +174,12 @@ impl WireServer {
             }
         });
 
+        threads.push(udp_thread);
+        threads.push(tcp_thread);
         Ok(WireServer {
             addr,
             stop,
-            threads: vec![udp_thread, tcp_thread],
+            threads,
         })
     }
 }

@@ -1,0 +1,246 @@
+//! Minimal in-tree stand-in for the `crossbeam` crate.
+//!
+//! Provides the multi-producer multi-consumer channels the workspace uses
+//! (`channel::bounded` / `channel::unbounded`), implemented with a
+//! `Mutex<VecDeque>` plus condition variables. Semantics follow crossbeam:
+//! cloneable senders *and* receivers, `recv` errors once the queue is empty
+//! and every sender is gone, `send` errors once every receiver is gone.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Chan<T> {
+        state: Mutex<State<T>>,
+        cap: Option<usize>,
+        not_empty: Condvar,
+        not_full: Condvar,
+    }
+
+    /// Sending half of a channel.
+    pub struct Sender<T>(Arc<Chan<T>>);
+
+    /// Receiving half of a channel.
+    pub struct Receiver<T>(Arc<Chan<T>>);
+
+    /// The receivers disconnected; carries the unsent value.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// The channel is empty and all senders disconnected.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Outcome of a non-blocking receive attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Nothing queued right now.
+        Empty,
+        /// Nothing queued and all senders disconnected.
+        Disconnected,
+    }
+
+    impl std::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    fn new_chan<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let chan = Arc::new(Chan {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            cap,
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (Sender(Arc::clone(&chan)), Receiver(chan))
+    }
+
+    /// A channel holding at most `cap` queued messages.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        new_chan(Some(cap.max(1)))
+    }
+
+    /// A channel with no capacity limit.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        new_chan(None)
+    }
+
+    impl<T> Sender<T> {
+        /// Send a message, blocking while the channel is full.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut state = self.0.state.lock().unwrap();
+            loop {
+                if state.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                match self.0.cap {
+                    Some(cap) if state.queue.len() >= cap => {
+                        state = self.0.not_full.wait(state).unwrap();
+                    }
+                    _ => break,
+                }
+            }
+            state.queue.push_back(value);
+            drop(state);
+            self.0.not_empty.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receive a message, blocking until one arrives or all senders drop.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = self.0.state.lock().unwrap();
+            loop {
+                if let Some(v) = state.queue.pop_front() {
+                    drop(state);
+                    self.0.not_full.notify_one();
+                    return Ok(v);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self.0.not_empty.wait(state).unwrap();
+            }
+        }
+
+        /// Receive without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut state = self.0.state.lock().unwrap();
+            if let Some(v) = state.queue.pop_front() {
+                drop(state);
+                self.0.not_full.notify_one();
+                return Ok(v);
+            }
+            if state.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Number of messages currently queued.
+        pub fn len(&self) -> usize {
+            self.0.state.lock().unwrap().queue.len()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// Blocking iterator over received messages.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter(self)
+        }
+    }
+
+    /// Iterator yielded by [`Receiver::iter`].
+    pub struct Iter<'a, T>(&'a Receiver<T>);
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.0.recv().ok()
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.0.state.lock().unwrap().senders += 1;
+            Sender(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.0.state.lock().unwrap().receivers += 1;
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.0.state.lock().unwrap();
+            state.senders -= 1;
+            if state.senders == 0 {
+                drop(state);
+                self.0.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut state = self.0.state.lock().unwrap();
+            state.receivers -= 1;
+            if state.receivers == 0 {
+                drop(state);
+                self.0.not_full.notify_all();
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn mpmc_roundtrip() {
+            let (tx, rx) = bounded::<u32>(2);
+            let rx2 = rx.clone();
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx2.recv(), Ok(2));
+            drop(tx);
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn workers_share_one_receiver() {
+            let (tx, rx) = bounded::<u64>(4);
+            let mut handles = Vec::new();
+            for _ in 0..4 {
+                let rx = rx.clone();
+                handles.push(std::thread::spawn(move || {
+                    let mut sum = 0;
+                    while let Ok(v) = rx.recv() {
+                        sum += v;
+                    }
+                    sum
+                }));
+            }
+            for i in 1..=100u64 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+            assert_eq!(total, 5050);
+        }
+
+        #[test]
+        fn send_fails_without_receivers() {
+            let (tx, rx) = unbounded::<u8>();
+            drop(rx);
+            assert_eq!(tx.send(9), Err(SendError(9)));
+        }
+    }
+}

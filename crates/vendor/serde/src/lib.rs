@@ -1,0 +1,83 @@
+//! Minimal in-tree stand-in for the `serde` crate.
+//!
+//! Provides the trait shapes the workspace's hand-written impls compile
+//! against (`Serialize`/`Serializer` with `serialize_str`, string-based
+//! `Deserialize`/`Deserializer`, `de::Error::custom`) plus re-exports of
+//! the no-op derive macros. JSON output in this workspace goes through
+//! explicit `to_json()` methods, not through these traits.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Types that can serialize themselves.
+pub trait Serialize {
+    /// Serialize `self` into the given serializer.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A data-format serializer (string-focused subset).
+pub trait Serializer: Sized {
+    /// Output produced on success.
+    type Ok;
+    /// Error type.
+    type Error: ser::Error;
+
+    /// Serialize a string value.
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+
+    /// Serialize a boolean value.
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error>;
+
+    /// Serialize an unsigned integer value.
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Types that can deserialize themselves.
+pub trait Deserialize<'de>: Sized {
+    /// Deserialize `Self` from the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A data-format deserializer (string-focused subset).
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: de::Error;
+
+    /// Pull one string value out of the input.
+    fn deserialize_string_value(self) -> Result<String, Self::Error>;
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_string_value()
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for &str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+/// Serialization-side error support.
+pub mod ser {
+    /// Errors a serializer can produce.
+    pub trait Error: Sized + std::fmt::Debug + std::fmt::Display {
+        /// Build an error from any message.
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+    }
+}
+
+/// Deserialization-side error support.
+pub mod de {
+    /// Errors a deserializer can produce.
+    pub trait Error: Sized + std::fmt::Debug + std::fmt::Display {
+        /// Build an error from any message.
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+    }
+}

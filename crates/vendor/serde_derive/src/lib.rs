@@ -1,0 +1,20 @@
+//! Minimal in-tree stand-in for `serde_derive`.
+//!
+//! Nothing in this workspace serializes through derived impls — all JSON
+//! output flows through hand-written `to_json()` methods — so the derive
+//! macros only need to *accept* the `#[derive(Serialize, Deserialize)]`
+//! and `#[serde(...)]` syntax the sources use. They emit no code.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and its `#[serde(...)]` attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and its `#[serde(...)]` attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,70 @@
+//! Minimal in-tree stand-in for the `serde_json` crate.
+//!
+//! Implements the subset the workspace uses: the [`Value`] tree, an
+//! insertion-ordered [`Map`], the recursive [`json!`] constructor macro,
+//! compact (`Display`) and pretty rendering, indexing, and the comparison
+//! operators tests rely on. No parser — this workspace only *produces*
+//! JSON.
+
+mod macros;
+mod map;
+mod parse;
+mod value;
+
+pub use map::Map;
+pub use value::{Number, Value};
+
+/// Serialization error (the rendering paths here are infallible, but the
+/// real crate's signatures return `Result`, so callers unwrap).
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl serde::ser::Error for Error {
+    fn custom<T: std::fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl serde::de::Error for Error {
+    fn custom<T: std::fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+/// Types that can be captured into a [`Value`] by reference — what the
+/// [`json!`] macro uses for interpolated expressions (so interpolating a
+/// field never moves it, matching real serde_json's `&`-based capture).
+pub trait ToJsonValue {
+    /// Build the JSON representation.
+    fn to_json_value(&self) -> Value;
+}
+
+/// Convert any supported type into a [`Value`].
+pub fn to_value<T: ToJsonValue + ?Sized>(value: &T) -> Value {
+    value.to_json_value()
+}
+
+/// Parse a JSON document into a [`Value`].
+pub fn from_str(input: &str) -> Result<Value, Error> {
+    parse::parse(input)
+}
+
+/// Render a value as a compact JSON string.
+pub fn to_string(value: &Value) -> Result<String, Error> {
+    Ok(value.to_string())
+}
+
+/// Render a value as an indented JSON string.
+pub fn to_string_pretty(value: &Value) -> Result<String, Error> {
+    let mut out = String::new();
+    value::write_pretty(value, 0, &mut out);
+    Ok(out)
+}

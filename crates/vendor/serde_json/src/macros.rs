@@ -1,0 +1,185 @@
+//! The `json!` constructor macro — a tt-muncher in the style of the real
+//! serde_json implementation, trimmed to the forms this workspace uses.
+
+/// Build a [`crate::Value`] from JSON-like syntax.
+#[macro_export]
+macro_rules! json {
+    ($($json:tt)+) => {
+        $crate::json_internal!($($json)+)
+    };
+}
+
+/// Implementation detail of [`json!`].
+#[macro_export]
+#[doc(hidden)]
+macro_rules! json_internal {
+    //-----------------------------------------------------------------
+    // Array munching: accumulate element expressions inside [..].
+    //-----------------------------------------------------------------
+    (@array [$($elems:expr,)*]) => {
+        vec![$($elems,)*]
+    };
+    (@array [$($elems:expr),*]) => {
+        vec![$($elems),*]
+    };
+    (@array [$($elems:expr,)*] null $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(null)] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] true $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(true)] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] false $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(false)] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] [$($array:tt)*] $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!([$($array)*])] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] {$($map:tt)*} $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!({$($map)*})] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] $next:expr, $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!($next),] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] $last:expr) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!($last)])
+    };
+    (@array [$($elems:expr),*] , $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)*] $($rest)*)
+    };
+
+    //-----------------------------------------------------------------
+    // Object munching: accumulate key tokens, then the value.
+    //-----------------------------------------------------------------
+    (@object $object:ident () () ()) => {};
+    (@object $object:ident [$($key:tt)+] ($value:expr) , $($rest:tt)*) => {
+        let _ = $object.insert(($($key)+).into(), $value);
+        $crate::json_internal!(@object $object () ($($rest)*) ($($rest)*));
+    };
+    (@object $object:ident [$($key:tt)+] ($value:expr)) => {
+        let _ = $object.insert(($($key)+).into(), $value);
+    };
+    (@object $object:ident ($($key:tt)+) (: null $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!(null)) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: true $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!(true)) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: false $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!(false)) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: [$($array:tt)*] $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!([$($array)*])) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: {$($map:tt)*} $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!({$($map)*})) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: $value:expr , $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!($value)) , $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: $value:expr) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!($value)));
+    };
+    // Munch one more token onto the key accumulator.
+    (@object $object:ident ($($key:tt)*) ($tt:tt $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object ($($key)* $tt) ($($rest)*) ($copy));
+    };
+
+    //-----------------------------------------------------------------
+    // Entry points.
+    //-----------------------------------------------------------------
+    (null) => {
+        $crate::Value::Null
+    };
+    (true) => {
+        $crate::Value::Bool(true)
+    };
+    (false) => {
+        $crate::Value::Bool(false)
+    };
+    ([]) => {
+        $crate::Value::Array(vec![])
+    };
+    ([ $($tt:tt)+ ]) => {
+        $crate::Value::Array($crate::json_internal!(@array [] $($tt)+))
+    };
+    ({}) => {
+        $crate::Value::Object($crate::Map::new())
+    };
+    ({ $($tt:tt)+ }) => {
+        $crate::Value::Object({
+            let mut object = $crate::Map::new();
+            $crate::json_internal!(@object object () ($($tt)+) ($($tt)+));
+            object
+        })
+    };
+    ($other:expr) => {
+        $crate::to_value(&$other)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Value;
+
+    #[test]
+    fn scalars() {
+        assert_eq!(json!(null), Value::Null);
+        assert_eq!(json!(true), Value::Bool(true));
+        assert_eq!(json!(7), 7u64);
+        assert_eq!(json!("x"), "x");
+    }
+
+    #[test]
+    fn nested_object_and_arrays() {
+        let preference = 10u16;
+        let v = json!({
+            "name": "example.com",
+            "answers": [{"answer": "192.0.2.1", "type": "A"}, {"answer": "192.0.2.2", "type": "A"}],
+            "mx": {"preference": preference, "exchange": format!("mx.{}", "example.com")},
+            "flags": {"authoritative": true},
+            "empty": [],
+            "trailing": 1,
+        });
+        assert_eq!(v["name"], "example.com");
+        assert_eq!(v["answers"][1]["answer"], "192.0.2.2");
+        assert_eq!(v["mx"]["preference"], 10);
+        assert_eq!(v["flags"]["authoritative"], true);
+        assert!(v["empty"].as_array().unwrap().is_empty());
+        assert_eq!(v["missing"], Value::Null);
+    }
+
+    #[test]
+    fn rendering_is_compact_and_ordered() {
+        let v = json!({"b": 1, "a": [true, null, "s"]});
+        assert_eq!(v.to_string(), r#"{"b":1,"a":[true,null,"s"]}"#);
+    }
+
+    #[test]
+    fn float_rendering_keeps_decimal_point() {
+        assert_eq!(json!(1.5).to_string(), "1.5");
+        assert_eq!(json!(2.0).to_string(), "2.0");
+        assert_eq!(json!(2u32).to_string(), "2");
+    }
+
+    #[test]
+    fn string_escaping() {
+        let v = json!({"k": "a\"b\\c\nd"});
+        assert_eq!(v.to_string(), "{\"k\":\"a\\\"b\\\\c\\nd\"}");
+    }
+
+    #[test]
+    fn index_assignment_inserts() {
+        let mut v = json!({"a": 1});
+        v["b"] = json!([2]);
+        assert_eq!(v["b"][0], 2);
+    }
+
+    #[test]
+    fn pretty_rendering() {
+        let v = json!({"a": [1]});
+        assert_eq!(
+            crate::to_string_pretty(&v).unwrap(),
+            "{\n  \"a\": [\n    1\n  ]\n}"
+        );
+    }
+}

@@ -1,0 +1,619 @@
+//! The JSON value tree, rendering, indexing, and comparisons.
+
+use crate::map::Map;
+
+/// A JSON number: integer or float, preserved as produced.
+#[derive(Debug, Clone, Copy)]
+pub enum Number {
+    /// Unsigned integer.
+    U(u64),
+    /// Signed (negative) integer.
+    I(i64),
+    /// Floating point.
+    F(f64),
+}
+
+impl Number {
+    /// Value as `u64` if representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::U(v) => Some(v),
+            Number::I(v) => u64::try_from(v).ok(),
+            Number::F(_) => None,
+        }
+    }
+
+    /// Value as `i64` if representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::U(v) => i64::try_from(v).ok(),
+            Number::I(v) => Some(v),
+            Number::F(_) => None,
+        }
+    }
+
+    /// Value as `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Number::U(v) => Some(v as f64),
+            Number::I(v) => Some(v as f64),
+            Number::F(v) => Some(v),
+        }
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        match (self.as_i64(), other.as_i64()) {
+            (Some(a), Some(b)) => return a == b,
+            (None, None) => {}
+            _ => {
+                // One side is a big u64 or a float; fall through to f64.
+            }
+        }
+        if let (Some(a), Some(b)) = (self.as_u64(), other.as_u64()) {
+            return a == b;
+        }
+        self.as_f64() == other.as_f64()
+    }
+}
+
+impl std::fmt::Display for Number {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            Number::U(v) => write!(f, "{v}"),
+            Number::I(v) => write!(f, "{v}"),
+            Number::F(v) => {
+                if v.is_finite() && v.fract() == 0.0 && v.abs() < 1e15 {
+                    // Match serde_json: floats always carry a decimal point.
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+        }
+    }
+}
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// `null`.
+    #[default]
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object.
+    Object(Map<String, Value>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// Member lookup: `&str` keys on objects, `usize` indices on arrays.
+    pub fn get<I: JsonIndex>(&self, index: I) -> Option<&Value> {
+        index.index_into(self)
+    }
+
+    /// Mutable member lookup.
+    pub fn get_mut<I: JsonIndex>(&mut self, index: I) -> Option<&mut Value> {
+        index.index_into_mut(self)
+    }
+
+    /// String content if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean content if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// `u64` content if this is a representable number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// `i64` content if this is a representable number.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// `f64` content if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => n.as_f64(),
+            _ => None,
+        }
+    }
+
+    /// Array content if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Mutable array content if this is an array.
+    pub fn as_array_mut(&mut self) -> Option<&mut Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Object content if this is an object.
+    pub fn as_object(&self) -> Option<&Map<String, Value>> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Mutable object content if this is an object.
+    pub fn as_object_mut(&mut self) -> Option<&mut Map<String, Value>> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Whether this is a string.
+    pub fn is_string(&self) -> bool {
+        matches!(self, Value::String(_))
+    }
+
+    /// Whether this is a number.
+    pub fn is_number(&self) -> bool {
+        matches!(self, Value::Number(_))
+    }
+
+    /// Whether this is a boolean.
+    pub fn is_boolean(&self) -> bool {
+        matches!(self, Value::Bool(_))
+    }
+
+    /// Whether this is an array.
+    pub fn is_array(&self) -> bool {
+        matches!(self, Value::Array(_))
+    }
+
+    /// Whether this is an object.
+    pub fn is_object(&self) -> bool {
+        matches!(self, Value::Object(_))
+    }
+
+    /// Replace this value with `Null`, returning the old value.
+    pub fn take(&mut self) -> Value {
+        std::mem::take(self)
+    }
+}
+
+/// Polymorphic index type for [`Value::get`] and `value[...]`.
+pub trait JsonIndex {
+    /// Immutable lookup.
+    fn index_into<'a>(&self, v: &'a Value) -> Option<&'a Value>;
+    /// Mutable lookup.
+    fn index_into_mut<'a>(&self, v: &'a mut Value) -> Option<&'a mut Value>;
+    /// Lookup used by `value[...] = x`, inserting on objects.
+    fn index_or_insert<'a>(&self, v: &'a mut Value) -> &'a mut Value;
+}
+
+impl JsonIndex for str {
+    fn index_into<'a>(&self, v: &'a Value) -> Option<&'a Value> {
+        v.as_object().and_then(|o| o.get(self))
+    }
+    fn index_into_mut<'a>(&self, v: &'a mut Value) -> Option<&'a mut Value> {
+        v.as_object_mut().and_then(|o| o.get_mut(self))
+    }
+    fn index_or_insert<'a>(&self, v: &'a mut Value) -> &'a mut Value {
+        if v.is_null() {
+            *v = Value::Object(Map::new());
+        }
+        let obj = v
+            .as_object_mut()
+            .unwrap_or_else(|| panic!("cannot index non-object with string {self:?}"));
+        if !obj.contains_key(self) {
+            obj.insert(self.to_string(), Value::Null);
+        }
+        obj.get_mut(self).expect("just inserted")
+    }
+}
+
+impl JsonIndex for &str {
+    fn index_into<'a>(&self, v: &'a Value) -> Option<&'a Value> {
+        (**self).index_into(v)
+    }
+    fn index_into_mut<'a>(&self, v: &'a mut Value) -> Option<&'a mut Value> {
+        (**self).index_into_mut(v)
+    }
+    fn index_or_insert<'a>(&self, v: &'a mut Value) -> &'a mut Value {
+        (**self).index_or_insert(v)
+    }
+}
+
+impl JsonIndex for String {
+    fn index_into<'a>(&self, v: &'a Value) -> Option<&'a Value> {
+        self.as_str().index_into(v)
+    }
+    fn index_into_mut<'a>(&self, v: &'a mut Value) -> Option<&'a mut Value> {
+        self.as_str().index_into_mut(v)
+    }
+    fn index_or_insert<'a>(&self, v: &'a mut Value) -> &'a mut Value {
+        self.as_str().index_or_insert(v)
+    }
+}
+
+impl JsonIndex for usize {
+    fn index_into<'a>(&self, v: &'a Value) -> Option<&'a Value> {
+        v.as_array().and_then(|a| a.get(*self))
+    }
+    fn index_into_mut<'a>(&self, v: &'a mut Value) -> Option<&'a mut Value> {
+        v.as_array_mut().and_then(|a| a.get_mut(*self))
+    }
+    fn index_or_insert<'a>(&self, v: &'a mut Value) -> &'a mut Value {
+        v.as_array_mut()
+            .and_then(|a| a.get_mut(*self))
+            .unwrap_or_else(|| panic!("cannot index with out-of-bounds {self}"))
+    }
+}
+
+impl<I: JsonIndex> std::ops::Index<I> for Value {
+    type Output = Value;
+    fn index(&self, index: I) -> &Value {
+        index.index_into(self).unwrap_or(&NULL)
+    }
+}
+
+impl<I: JsonIndex> std::ops::IndexMut<I> for Value {
+    fn index_mut(&mut self, index: I) -> &mut Value {
+        index.index_or_insert(self)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Conversions
+// ---------------------------------------------------------------------------
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+
+impl From<&String> for Value {
+    fn from(v: &String) -> Value {
+        Value::String(v.clone())
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_string())
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Number(Number::F(v))
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Value {
+        Value::Number(Number::F(v as f64))
+    }
+}
+
+macro_rules! from_unsigned {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                Value::Number(Number::U(v as u64))
+            }
+        }
+    )*};
+}
+from_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! from_signed {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                if v < 0 {
+                    Value::Number(Number::I(v as i64))
+                } else {
+                    Value::Number(Number::U(v as u64))
+                }
+            }
+        }
+    )*};
+}
+from_signed!(i8, i16, i32, i64, isize);
+
+impl From<std::borrow::Cow<'_, str>> for Value {
+    fn from(v: std::borrow::Cow<'_, str>) -> Value {
+        Value::String(v.into_owned())
+    }
+}
+
+impl From<char> for Value {
+    fn from(v: char) -> Value {
+        Value::String(v.to_string())
+    }
+}
+
+impl From<&Value> for Value {
+    fn from(v: &Value) -> Value {
+        v.clone()
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Value {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value> + Clone> From<&[T]> for Value {
+    fn from(v: &[T]) -> Value {
+        Value::Array(v.iter().cloned().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Value {
+        match v {
+            Some(inner) => inner.into(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl From<Map<String, Value>> for Value {
+    fn from(v: Map<String, Value>) -> Value {
+        Value::Object(v)
+    }
+}
+
+impl<T: Into<Value>> FromIterator<T> for Value {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Value {
+        Value::Array(iter.into_iter().map(Into::into).collect())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reference capture for the json! macro
+// ---------------------------------------------------------------------------
+
+use crate::ToJsonValue;
+
+impl<T: ToJsonValue + ?Sized> ToJsonValue for &T {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+macro_rules! to_json_via_from {
+    ($($t:ty),*) => {$(
+        impl ToJsonValue for $t {
+            fn to_json_value(&self) -> Value {
+                Value::from(self.clone())
+            }
+        }
+    )*};
+}
+to_json_via_from!(bool, String, char, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl ToJsonValue for str {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl ToJsonValue for Value {
+    fn to_json_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl ToJsonValue for Map<String, Value> {
+    fn to_json_value(&self) -> Value {
+        Value::Object(self.clone())
+    }
+}
+
+impl ToJsonValue for std::borrow::Cow<'_, str> {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.clone().into_owned())
+    }
+}
+
+impl<T: ToJsonValue> ToJsonValue for Vec<T> {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(ToJsonValue::to_json_value).collect())
+    }
+}
+
+impl<T: ToJsonValue> ToJsonValue for [T] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(ToJsonValue::to_json_value).collect())
+    }
+}
+
+impl<T: ToJsonValue> ToJsonValue for Option<T> {
+    fn to_json_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_json_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Comparisons used by tests: value == literal (and the reverse)
+// ---------------------------------------------------------------------------
+
+macro_rules! partial_eq_via_from {
+    ($($t:ty),*) => {$(
+        impl PartialEq<$t> for Value {
+            // Comparisons go through a temporary Value so one rule covers
+            // every literal type; these run in tests, not hot paths.
+            #[allow(clippy::cmp_owned)]
+            fn eq(&self, other: &$t) -> bool {
+                *self == Value::from(other.clone())
+            }
+        }
+        impl PartialEq<Value> for $t {
+            #[allow(clippy::cmp_owned)]
+            fn eq(&self, other: &Value) -> bool {
+                Value::from(self.clone()) == *other
+            }
+        }
+    )*};
+}
+partial_eq_via_from!(bool, String, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<Value> for &str {
+    fn eq(&self, other: &Value) -> bool {
+        other.as_str() == Some(*self)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rendering
+// ---------------------------------------------------------------------------
+
+fn write_escaped(s: &str, out: &mut impl std::fmt::Write) -> std::fmt::Result {
+    out.write_char('"')?;
+    for c in s.chars() {
+        match c {
+            '"' => out.write_str("\\\"")?,
+            '\\' => out.write_str("\\\\")?,
+            '\n' => out.write_str("\\n")?,
+            '\r' => out.write_str("\\r")?,
+            '\t' => out.write_str("\\t")?,
+            '\u{08}' => out.write_str("\\b")?,
+            '\u{0C}' => out.write_str("\\f")?,
+            c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32)?,
+            c => out.write_char(c)?,
+        }
+    }
+    out.write_char('"')
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Number(n) => write!(f, "{n}"),
+            Value::String(s) => write_escaped(s, f),
+            Value::Array(a) => {
+                f.write_str("[")?;
+                for (i, v) in a.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                f.write_str("]")
+            }
+            Value::Object(o) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in o.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write_escaped(k, f)?;
+                    f.write_str(":")?;
+                    write!(f, "{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+pub(crate) fn write_pretty(value: &Value, depth: usize, out: &mut String) {
+    use std::fmt::Write;
+    let pad = "  ".repeat(depth + 1);
+    let close_pad = "  ".repeat(depth);
+    match value {
+        Value::Array(a) if !a.is_empty() => {
+            out.push_str("[\n");
+            for (i, v) in a.iter().enumerate() {
+                out.push_str(&pad);
+                write_pretty(v, depth + 1, out);
+                if i + 1 < a.len() {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&close_pad);
+            out.push(']');
+        }
+        Value::Object(o) if !o.is_empty() => {
+            out.push_str("{\n");
+            let len = o.len();
+            for (i, (k, v)) in o.iter().enumerate() {
+                out.push_str(&pad);
+                let _ = write_escaped(k, out);
+                out.push_str(": ");
+                write_pretty(v, depth + 1, out);
+                if i + 1 < len {
+                    out.push(',');
+                }
+                out.push('\n');
+            }
+            out.push_str(&close_pad);
+            out.push('}');
+        }
+        other => {
+            let _ = write!(out, "{other}");
+        }
+    }
+}

@@ -131,10 +131,9 @@ impl<'a> WireReader<'a> {
         // A name can contain at most 127 labels; allow some pointer hops too.
         let mut hops = 0usize;
         loop {
-            let len_byte = *self
-                .buf
-                .get(pos)
-                .ok_or(WireError::Truncated { context: "name label" })?;
+            let len_byte = *self.buf.get(pos).ok_or(WireError::Truncated {
+                context: "name label",
+            })?;
             match len_byte & 0b1100_0000 {
                 0b0000_0000 => {
                     let len = len_byte as usize;
@@ -151,7 +150,9 @@ impl<'a> WireReader<'a> {
                     let start = pos + 1;
                     let end = start + len;
                     if end > self.buf.len() {
-                        return Err(WireError::Truncated { context: "name label body" });
+                        return Err(WireError::Truncated {
+                            context: "name label body",
+                        });
                     }
                     wire_len += len + 1;
                     if wire_len > crate::name::MAX_NAME_LEN {
@@ -161,10 +162,9 @@ impl<'a> WireReader<'a> {
                     pos = end;
                 }
                 0b1100_0000 => {
-                    let second = *self
-                        .buf
-                        .get(pos + 1)
-                        .ok_or(WireError::Truncated { context: "compression pointer" })?;
+                    let second = *self.buf.get(pos + 1).ok_or(WireError::Truncated {
+                        context: "compression pointer",
+                    })?;
                     let target = ((len_byte as usize & 0x3f) << 8) | second as usize;
                     // Pointers must reference earlier data; equal-or-later
                     // targets would allow loops.

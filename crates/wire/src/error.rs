@@ -71,7 +71,10 @@ impl fmt::Display for WireError {
                 write!(f, "record count exceeds message size in {section}")
             }
             WireError::RdataLength { declared, consumed } => {
-                write!(f, "rdata length mismatch: declared {declared}, consumed {consumed}")
+                write!(
+                    f,
+                    "rdata length mismatch: declared {declared}, consumed {consumed}"
+                )
             }
             WireError::CharStringTooLong(n) => {
                 write!(f, "character-string of {n} octets exceeds 255")

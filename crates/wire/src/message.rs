@@ -193,7 +193,9 @@ impl Message {
             let rtype = RecordType::from_u16(r.read_u16("record type")?);
             if rtype == RecordType::OPT {
                 if !name.is_root() {
-                    return Err(WireError::InvalidValue { field: "OPT owner name" });
+                    return Err(WireError::InvalidValue {
+                        field: "OPT owner name",
+                    });
                 }
                 // Later OPT wins is a protocol violation; first one counts.
                 let parsed = Edns::decode_body(&mut r)?;

@@ -166,7 +166,10 @@ impl Name {
         }
         parts.push("ip6".into());
         parts.push("arpa".into());
-        parts.join(".").parse().expect("reverse name is always valid")
+        parts
+            .join(".")
+            .parse()
+            .expect("reverse name is always valid")
     }
 }
 
@@ -174,7 +177,7 @@ fn eq_label(a: &[u8], b: &[u8]) -> bool {
     a.len() == b.len()
         && a.iter()
             .zip(b.iter())
-            .all(|(x, y)| x.to_ascii_lowercase() == y.to_ascii_lowercase())
+            .all(|(x, y)| x.eq_ignore_ascii_case(y))
 }
 
 fn push_label_byte(s: &mut String, b: u8) {

@@ -44,7 +44,11 @@ impl Question {
         let name = r.read_name()?;
         let qtype = RecordType::from_u16(r.read_u16("question type")?);
         let qclass = RecordClass::from_u16(r.read_u16("question class")?);
-        Ok(Question { name, qtype, qclass })
+        Ok(Question {
+            name,
+            qtype,
+            qclass,
+        })
     }
 }
 

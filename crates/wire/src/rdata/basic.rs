@@ -350,7 +350,7 @@ mod tests {
             &RData::Soa(Soa {
                 mname: "ns1.example.com".parse().unwrap(),
                 rname: "hostmaster.example.com".parse().unwrap(),
-                serial: 2022_05_18,
+                serial: 20_220_518,
                 refresh: 7200,
                 retry: 3600,
                 expire: 1209600,

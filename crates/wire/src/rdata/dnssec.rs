@@ -30,7 +30,9 @@ impl TypeBitmap {
 
     /// Membership test.
     pub fn contains(&self, t: RecordType) -> bool {
-        self.types.binary_search_by_key(&t.to_u16(), |x| x.to_u16()).is_ok()
+        self.types
+            .binary_search_by_key(&t.to_u16(), |x| x.to_u16())
+            .is_ok()
     }
 
     pub(crate) fn encode(&self, w: &mut WireWriter) -> WireResult<()> {
@@ -61,13 +63,17 @@ impl TypeBitmap {
             if let Some(prev) = last_window {
                 // Windows must be ascending; repeats indicate corruption.
                 if window <= prev {
-                    return Err(WireError::InvalidValue { field: "bitmap window order" });
+                    return Err(WireError::InvalidValue {
+                        field: "bitmap window order",
+                    });
                 }
             }
             last_window = Some(window);
             let len = r.read_u8("bitmap length")? as usize;
             if len == 0 || len > 32 {
-                return Err(WireError::InvalidValue { field: "bitmap length" });
+                return Err(WireError::InvalidValue {
+                    field: "bitmap length",
+                });
             }
             let bytes = r.read_bytes(len, "bitmap data")?;
             for (byte_idx, &b) in bytes.iter().enumerate() {
@@ -141,7 +147,11 @@ impl Dnskey {
         rdata.extend_from_slice(&self.public_key);
         let mut acc: u32 = 0;
         for (i, &b) in rdata.iter().enumerate() {
-            acc += if i % 2 == 0 { (b as u32) << 8 } else { b as u32 };
+            acc += if i % 2 == 0 {
+                (b as u32) << 8
+            } else {
+                b as u32
+            };
         }
         acc += (acc >> 16) & 0xFFFF;
         (acc & 0xFFFF) as u16

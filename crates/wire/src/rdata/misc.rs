@@ -55,7 +55,10 @@ impl Isdn {
         } else {
             None
         };
-        Ok(Isdn { address, subaddress })
+        Ok(Isdn {
+            address,
+            subaddress,
+        })
     }
 }
 
@@ -329,10 +332,14 @@ pub struct Hip {
 impl Hip {
     pub(crate) fn encode(&self, w: &mut WireWriter) -> WireResult<()> {
         if self.hit.len() > 255 {
-            return Err(WireError::InvalidValue { field: "HIP hit length" });
+            return Err(WireError::InvalidValue {
+                field: "HIP hit length",
+            });
         }
         if self.public_key.len() > 65535 {
-            return Err(WireError::InvalidValue { field: "HIP pk length" });
+            return Err(WireError::InvalidValue {
+                field: "HIP pk length",
+            });
         }
         w.write_u8(self.hit.len() as u8)?;
         w.write_u8(self.pk_algorithm)?;
@@ -386,7 +393,9 @@ pub struct Tkey {
 impl Tkey {
     pub(crate) fn encode(&self, w: &mut WireWriter) -> WireResult<()> {
         if self.key.len() > 65535 || self.other.len() > 65535 {
-            return Err(WireError::InvalidValue { field: "TKEY data length" });
+            return Err(WireError::InvalidValue {
+                field: "TKEY data length",
+            });
         }
         w.write_name_uncompressed(&self.algorithm)?;
         w.write_u32(self.inception)?;
@@ -438,7 +447,9 @@ impl Svcb {
         w.write_name_uncompressed(&self.target)?;
         for (key, value) in &self.params {
             if value.len() > 65535 {
-                return Err(WireError::InvalidValue { field: "SVCB param length" });
+                return Err(WireError::InvalidValue {
+                    field: "SVCB param length",
+                });
             }
             w.write_u16(*key)?;
             w.write_u16(value.len() as u16)?;
@@ -457,7 +468,9 @@ impl Svcb {
             if let Some(prev) = last_key {
                 // RFC 9460 §2.2: keys strictly ascending.
                 if key <= prev {
-                    return Err(WireError::InvalidValue { field: "SVCB param order" });
+                    return Err(WireError::InvalidValue {
+                        field: "SVCB param order",
+                    });
                 }
             }
             last_key = Some(key);

@@ -14,7 +14,7 @@ mod misc;
 pub use basic::{Afsdb, Kx, Mx, Naptr, Px, Rp, Rt, Soa, Srv, Talink, TxtData};
 pub use dnssec::{Csync, Dnskey, Ds, Nsec, Nsec3, Nsec3Param, Nxt, Rrsig, TypeBitmap};
 pub use misc::{
-    Caa, CertRec, Gpos, Hinfo, Hip, Isdn, L32, L64, Loc, Lp, Nid, Sshfp, Svcb, Tkey, Tlsa, Uri,
+    Caa, CertRec, Gpos, Hinfo, Hip, Isdn, Loc, Lp, Nid, Sshfp, Svcb, Tkey, Tlsa, Uri, L32, L64,
 };
 
 use std::net::{Ipv4Addr, Ipv6Addr};
@@ -431,7 +431,10 @@ mod tests {
         let mut r = WireReader::new(&bytes);
         assert!(matches!(
             RData::decode(RecordType::A, 5, &mut r),
-            Err(WireError::RdataLength { declared: 5, consumed: 4 })
+            Err(WireError::RdataLength {
+                declared: 5,
+                consumed: 4
+            })
         ));
     }
 

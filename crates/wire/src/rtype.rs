@@ -261,7 +261,9 @@ impl FromStr for RecordClass {
             "ANY" => Ok(RecordClass::Any),
             other => {
                 if let Some(num) = other.strip_prefix("CLASS") {
-                    num.parse::<u16>().map(RecordClass::from_u16).map_err(|_| ())
+                    num.parse::<u16>()
+                        .map(RecordClass::from_u16)
+                        .map_err(|_| ())
                 } else {
                     Err(())
                 }
@@ -309,12 +311,69 @@ mod tests {
         // parse. Every one of them must resolve to a concrete type here
         // (DMARC is a TXT-convention handled at the module layer).
         let listed = [
-            "A", "AAAA", "AFSDB", "ANY", "ATMA", "AVC", "AXFR", "CAA", "CDNSKEY", "CDS", "CERT",
-            "CNAME", "CSYNC", "DHCID", "DNSKEY", "DS", "EID", "EUI48", "EUI64", "GID", "GPOS",
-            "HINFO", "HIP", "ISDN", "KEY", "KX", "L32", "L64", "LOC", "LP", "MB", "MD", "MF",
-            "MG", "MR", "MX", "NAPTR", "NID", "NINFO", "NS", "NSAPPTR", "NSEC", "NSEC3",
-            "NSEC3PARAM", "NXT", "OPENPGPKEY", "PTR", "PX", "RP", "RRSIG", "RT", "SMIMEA", "SOA",
-            "SPF", "SRV", "SSHFP", "TALINK", "TKEY", "TLSA", "TXT", "UID", "UINFO", "UNSPEC",
+            "A",
+            "AAAA",
+            "AFSDB",
+            "ANY",
+            "ATMA",
+            "AVC",
+            "AXFR",
+            "CAA",
+            "CDNSKEY",
+            "CDS",
+            "CERT",
+            "CNAME",
+            "CSYNC",
+            "DHCID",
+            "DNSKEY",
+            "DS",
+            "EID",
+            "EUI48",
+            "EUI64",
+            "GID",
+            "GPOS",
+            "HINFO",
+            "HIP",
+            "ISDN",
+            "KEY",
+            "KX",
+            "L32",
+            "L64",
+            "LOC",
+            "LP",
+            "MB",
+            "MD",
+            "MF",
+            "MG",
+            "MR",
+            "MX",
+            "NAPTR",
+            "NID",
+            "NINFO",
+            "NS",
+            "NSAPPTR",
+            "NSEC",
+            "NSEC3",
+            "NSEC3PARAM",
+            "NXT",
+            "OPENPGPKEY",
+            "PTR",
+            "PX",
+            "RP",
+            "RRSIG",
+            "RT",
+            "SMIMEA",
+            "SOA",
+            "SPF",
+            "SRV",
+            "SSHFP",
+            "TALINK",
+            "TKEY",
+            "TLSA",
+            "TXT",
+            "UID",
+            "UINFO",
+            "UNSPEC",
             "URI",
         ];
         for name in listed {

@@ -63,7 +63,11 @@ impl DomainCategory {
 
 /// Categorize a base domain (deterministic, independent of DNS behaviour).
 pub fn categorize(seed: u64, base_domain: &str) -> DomainCategory {
-    let h = h64(seed, "category", base_domain.to_ascii_lowercase().as_bytes());
+    let h = h64(
+        seed,
+        "category",
+        base_domain.to_ascii_lowercase().as_bytes(),
+    );
     // Skewed: ~30% Other, the rest split.
     match h % 100 {
         0..=13 => DomainCategory::Technology,

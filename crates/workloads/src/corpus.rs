@@ -119,7 +119,8 @@ impl CtCorpus {
     /// Generate a sample and measure its Table 3 shape.
     pub fn stats(&self, sample_fqdns: u64) -> CorpusStats {
         let mut stats = CorpusStats::default();
-        let mut seen_tlds: std::collections::HashSet<(u8, String)> = std::collections::HashSet::new();
+        let mut seen_tlds: std::collections::HashSet<(u8, String)> =
+            std::collections::HashSet::new();
         let mut base = 0u64;
         let mut emitted = 0u64;
         while emitted < sample_fqdns {

@@ -103,12 +103,16 @@ impl ServerRole {
                 octet: o2,
                 server: o3 - 1,
             }),
-            206 if o4 >= 1 && o4 <= 2 => Some(ServerRole::Rdns16 {
+            206 if (1..=2).contains(&o4) => Some(ServerRole::Rdns16 {
                 a: o2,
                 b: o3,
                 server: o4 - 1,
             }),
-            207 => Some(ServerRole::Rdns24 { a: o2, b: o3, c: o4 }),
+            207 => Some(ServerRole::Rdns24 {
+                a: o2,
+                b: o3,
+                c: o4,
+            }),
             _ => None,
         }
     }
@@ -158,12 +162,32 @@ mod tests {
         let roles = [
             ServerRole::Root { index: 0 },
             ServerRole::Root { index: 12 },
-            ServerRole::Tld { tld_index: 0, server: 0 },
-            ServerRole::Tld { tld_index: 1702, server: 5 },
-            ServerRole::ProviderAuth { provider: 199, server: 3 },
-            ServerRole::Rdns8 { octet: 17, server: 1 },
-            ServerRole::Rdns16 { a: 17, b: 201, server: 0 },
-            ServerRole::Rdns24 { a: 17, b: 201, c: 5 },
+            ServerRole::Tld {
+                tld_index: 0,
+                server: 0,
+            },
+            ServerRole::Tld {
+                tld_index: 1702,
+                server: 5,
+            },
+            ServerRole::ProviderAuth {
+                provider: 199,
+                server: 3,
+            },
+            ServerRole::Rdns8 {
+                octet: 17,
+                server: 1,
+            },
+            ServerRole::Rdns16 {
+                a: 17,
+                b: 201,
+                server: 0,
+            },
+            ServerRole::Rdns24 {
+                a: 17,
+                b: 201,
+                c: 5,
+            },
         ];
         for role in roles {
             assert_eq!(ServerRole::decode(role.address()), Some(role), "{role:?}");
@@ -172,7 +196,13 @@ mod tests {
 
     #[test]
     fn non_servers_decode_none() {
-        for ip in ["8.8.8.8", "1.1.1.1", "93.184.216.34", "198.41.0.0", "198.41.0.14"] {
+        for ip in [
+            "8.8.8.8",
+            "1.1.1.1",
+            "93.184.216.34",
+            "198.41.0.0",
+            "198.41.0.14",
+        ] {
             assert_eq!(ServerRole::decode(ip.parse().unwrap()), None, "{ip}");
         }
     }

@@ -114,7 +114,7 @@ impl ProviderRegistry {
                 weight: remaining * w / total,
                 // §5: response inconsistency is rare; only a sliver of the
                 // tail serves inconsistent answers.
-                consistent: (r >> 24) % 1000 != 0,
+                consistent: !(r >> 24).is_multiple_of(1000),
                 reliability,
                 latency,
             });
@@ -207,7 +207,10 @@ mod tests {
     #[test]
     fn ns_hostnames_shape() {
         let r = registry();
-        assert_eq!(r.ns_hostname(PROVIDER_CLOUDFLARE, 0), "ns1.cloudflare-dns.com");
+        assert_eq!(
+            r.ns_hostname(PROVIDER_CLOUDFLARE, 0),
+            "ns1.cloudflare-dns.com"
+        );
         assert_eq!(r.ns_domain(PROVIDER_NAMEBRIGHT), "namebrightdns.com");
     }
 

@@ -471,8 +471,8 @@ impl SyntheticUniverse {
             None
         };
 
-        let inconsistent = !provider.consistent
-            || chance(seed, "inconsistent", &key, self.cfg.inconsistent_prob);
+        let inconsistent =
+            !provider.consistent || chance(seed, "inconsistent", &key, self.cfg.inconsistent_prob);
 
         DomainProfile {
             base: base.clone(),
@@ -506,8 +506,7 @@ impl SyntheticUniverse {
 
     /// Whether a public IPv4 address has a PTR record.
     pub fn ptr_exists(&self, ip: Ipv4Addr) -> bool {
-        !is_reserved(ip)
-            && chance(self.seed(), "ptr", &ip.octets(), self.cfg.ptr_exists_prob)
+        !is_reserved(ip) && chance(self.seed(), "ptr", &ip.octets(), self.cfg.ptr_exists_prob)
     }
 
     /// The synthesized PTR target for an address.
@@ -528,7 +527,7 @@ impl SyntheticUniverse {
             RData::Soa(Soa {
                 mname: "a.root-servers.net".parse().expect("static"),
                 rname: "nstld.verisign-grs.com".parse().expect("static"),
-                serial: 2022_05_18,
+                serial: 20_220_518,
                 refresh: 1800,
                 retry: 900,
                 expire: 604_800,
@@ -574,7 +573,13 @@ impl SyntheticUniverse {
             glue.push(Record::new(
                 ns_name,
                 self.cfg.infra_ttl,
-                RData::A(ServerRole::Tld { tld_index: tld.index, server: j }.address()),
+                RData::A(
+                    ServerRole::Tld {
+                        tld_index: tld.index,
+                        server: j,
+                    }
+                    .address(),
+                ),
             ));
         }
         AuthResponse {
@@ -750,7 +755,11 @@ impl SyntheticUniverse {
                             q.name.clone(),
                             self.cfg.infra_ttl,
                             RData::A(
-                                ServerRole::Tld { tld_index: tld.index, server: j - 1 }.address(),
+                                ServerRole::Tld {
+                                    tld_index: tld.index,
+                                    server: j - 1,
+                                }
+                                .address(),
                             ),
                         )],
                         authorities: Vec::new(),
@@ -841,7 +850,13 @@ impl SyntheticUniverse {
             glue.push(Record::new(
                 ns_name,
                 self.cfg.infra_ttl,
-                RData::A(ServerRole::Rdns8 { octet: a, server: j }.address()),
+                RData::A(
+                    ServerRole::Rdns8 {
+                        octet: a,
+                        server: j,
+                    }
+                    .address(),
+                ),
             ));
         }
         AuthResponse {
@@ -871,7 +886,13 @@ impl SyntheticUniverse {
                         answers: vec![Record::new(
                             q.name.clone(),
                             self.cfg.infra_ttl,
-                            RData::A(ServerRole::Rdns8 { octet, server: j - 1 }.address()),
+                            RData::A(
+                                ServerRole::Rdns8 {
+                                    octet,
+                                    server: j - 1,
+                                }
+                                .address(),
+                            ),
                         )],
                         authorities: Vec::new(),
                         additionals: Vec::new(),
@@ -914,7 +935,14 @@ impl SyntheticUniverse {
             glue.push(Record::new(
                 ns_name,
                 self.cfg.infra_ttl,
-                RData::A(ServerRole::Rdns16 { a: octet, b, server: j }.address()),
+                RData::A(
+                    ServerRole::Rdns16 {
+                        a: octet,
+                        b,
+                        server: j,
+                    }
+                    .address(),
+                ),
             ));
         }
         AuthResponse {
@@ -960,7 +988,14 @@ impl SyntheticUniverse {
                         answers: vec![Record::new(
                             q.name.clone(),
                             self.cfg.infra_ttl,
-                            RData::A(ServerRole::Rdns16 { a, b, server: j - 1 }.address()),
+                            RData::A(
+                                ServerRole::Rdns16 {
+                                    a,
+                                    b,
+                                    server: j - 1,
+                                }
+                                .address(),
+                            ),
                         )],
                         authorities: Vec::new(),
                         additionals: Vec::new(),
@@ -1159,7 +1194,9 @@ impl SyntheticUniverse {
             return None;
         }
         let first = String::from_utf8_lossy(&q.name.labels()[0]).to_ascii_lowercase();
-        let k = first.strip_prefix("ns").and_then(|s| s.parse::<u8>().ok())?;
+        let k = first
+            .strip_prefix("ns")
+            .and_then(|s| s.parse::<u8>().ok())?;
         if k < 1 || k > p.ns_count {
             return None;
         }
@@ -1171,7 +1208,11 @@ impl SyntheticUniverse {
                     q.name.clone(),
                     self.cfg.infra_ttl,
                     RData::A(
-                        ServerRole::ProviderAuth { provider: p.index, server: k - 1 }.address(),
+                        ServerRole::ProviderAuth {
+                            provider: p.index,
+                            server: k - 1,
+                        }
+                        .address(),
                     ),
                 )],
                 authorities: Vec::new(),
@@ -1326,17 +1367,10 @@ impl SyntheticUniverse {
                         nodata()
                     } else if profile.caa_via_cname {
                         // §6: ~8000 domains need a CNAME hop for CAA.
-                        let target: Name = format!(
-                            "caa.{}",
-                            self.providers.ns_domain(p.index)
-                        )
-                        .parse()
-                        .expect("valid");
-                        answer(vec![Record::new(
-                            base.clone(),
-                            ttl,
-                            RData::Cname(target),
-                        )])
+                        let target: Name = format!("caa.{}", self.providers.ns_domain(p.index))
+                            .parse()
+                            .expect("valid");
+                        answer(vec![Record::new(base.clone(), ttl, RData::Cname(target))])
                     } else {
                         let records = profile
                             .caa_records
@@ -1368,11 +1402,8 @@ impl SyntheticUniverse {
                         return nxdomain();
                     }
                     WwwKind::CnameToApex => {
-                        let mut records = vec![Record::new(
-                            q.name.clone(),
-                            ttl,
-                            RData::Cname(base.clone()),
-                        )];
+                        let mut records =
+                            vec![Record::new(q.name.clone(), ttl, RData::Cname(base.clone()))];
                         if matches!(q.qtype, RecordType::A | RecordType::ANY) {
                             records.push(Record::new(
                                 base.clone(),
@@ -1407,18 +1438,17 @@ impl SyntheticUniverse {
                     }
                     return nodata();
                 }
-                "caa" => {
+                "caa"
                     // Target of §6 CNAME-reached CAA (on provider domains).
                     if self.provider_domains.get(base) == Some(&p.index)
                         && q.qtype == RecordType::CAA
-                    {
+                    => {
                         return answer(vec![Record::new(
                             q.name.clone(),
                             ttl,
                             RData::Caa(issue_record("issue", "letsencrypt.org")),
                         )]);
                     }
-                }
                 _ => {}
             }
         }
@@ -1560,7 +1590,10 @@ impl Universe for SyntheticUniverse {
 
     fn drop_probability(&self, server: Ipv4Addr, qname: &Name) -> f64 {
         // §5 per-(domain, nameserver) probabilistic blocking.
-        let Some(ServerRole::ProviderAuth { provider, server: k }) = ServerRole::decode(server)
+        let Some(ServerRole::ProviderAuth {
+            provider,
+            server: k,
+        }) = ServerRole::decode(server)
         else {
             return 0.0;
         };
@@ -1580,9 +1613,7 @@ impl Universe for SyntheticUniverse {
         (0..13u8)
             .map(|i| {
                 let letter = (b'a' + i) as char;
-                let name: Name = format!("{letter}.root-servers.net")
-                    .parse()
-                    .expect("valid");
+                let name: Name = format!("{letter}.root-servers.net").parse().expect("valid");
                 (name, ServerRole::Root { index: i }.address())
             })
             .collect()
@@ -1726,9 +1757,19 @@ mod tests {
         let q = Question::new(Name::reverse_ipv4(ip), RecordType::PTR);
         let o = ip.octets();
         let server = if u.rdns16_delegates_deeper(o[0], o[1]) {
-            ServerRole::Rdns24 { a: o[0], b: o[1], c: o[2] }.address()
+            ServerRole::Rdns24 {
+                a: o[0],
+                b: o[1],
+                c: o[2],
+            }
+            .address()
         } else {
-            ServerRole::Rdns16 { a: o[0], b: o[1], server: 0 }.address()
+            ServerRole::Rdns16 {
+                a: o[0],
+                b: o[1],
+                server: 0,
+            }
+            .address()
         };
         let resp = u.respond(server, &q).unwrap();
         assert_eq!(resp.rcode, Rcode::NxDomain);
@@ -1737,20 +1778,19 @@ mod tests {
     #[test]
     fn nonexistent_domain_is_tld_nxdomain() {
         let u = universe();
-        let name: Name = loop {
-            for i in 0..10_000 {
-                let n: Name = format!("missing{i}.com").parse().unwrap();
-                if !u.domain_exists(&n) {
-                    break;
-                }
-            }
-            break "definitely-missing-xyzzy.com".parse().unwrap();
-        };
+        let name: Name = (0..10_000)
+            .map(|i| format!("missing{i}.com").parse::<Name>().unwrap())
+            .find(|n| !u.domain_exists(n))
+            .unwrap_or_else(|| "definitely-missing-xyzzy.com".parse().unwrap());
         if u.domain_exists(&name) {
             return; // astronomically unlikely; fine
         }
         let tld = u.tlds().by_label("com").unwrap();
-        let server = ServerRole::Tld { tld_index: tld.index, server: 0 }.address();
+        let server = ServerRole::Tld {
+            tld_index: tld.index,
+            server: 0,
+        }
+        .address();
         let q = Question::new(name, RecordType::A);
         let resp = u.respond(server, &q).unwrap();
         assert_eq!(resp.rcode, Rcode::NxDomain);
@@ -1775,13 +1815,23 @@ mod tests {
         let k = (0..provider.ns_count)
             .find(|&k| own_profile.lame_ns != Some(k))
             .unwrap();
-        let server = ServerRole::ProviderAuth { provider: provider.index, server: k }.address();
+        let server = ServerRole::ProviderAuth {
+            provider: provider.index,
+            server: k,
+        }
+        .address();
         let q = Question::new(ns_host, RecordType::A);
         let resp = u.respond(server, &q).unwrap();
         assert_eq!(resp.rcode, Rcode::NoError, "{resp:?}");
         assert_eq!(
             resp.answers[0].rdata,
-            RData::A(ServerRole::ProviderAuth { provider: provider.index, server: 0 }.address())
+            RData::A(
+                ServerRole::ProviderAuth {
+                    provider: provider.index,
+                    server: 0
+                }
+                .address()
+            )
         );
     }
 
@@ -1929,7 +1979,11 @@ mod tests {
         let q = Question::new("determinism.org".parse().unwrap(), RecordType::A);
         for server in [
             ServerRole::Root { index: 0 }.address(),
-            ServerRole::Tld { tld_index: 2, server: 0 }.address(),
+            ServerRole::Tld {
+                tld_index: 2,
+                server: 0,
+            }
+            .address(),
         ] {
             assert_eq!(u1.respond(server, &q), u2.respond(server, &q));
         }

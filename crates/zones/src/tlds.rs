@@ -299,7 +299,10 @@ mod tests {
         let mut cc = 0;
         let mut ng = 0;
         for i in 0..n {
-            match r.sample(h64(1, "sample-test", &(i as u32).to_le_bytes())).category {
+            match r
+                .sample(h64(1, "sample-test", &(i as u32).to_le_bytes()))
+                .category
+            {
                 TldCategory::LegacyGtld => legacy += 1,
                 TldCategory::CcTld => cc += 1,
                 TldCategory::NewGtld => ng += 1,

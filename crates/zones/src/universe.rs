@@ -229,7 +229,9 @@ impl Universe for ExplicitUniverse {
             .filter(|z| question.name.is_subdomain_of(z.origin()))
             .max_by_key(|z| z.origin().label_count());
         Some(match best {
-            Some(zone) => AuthResponse::from_zone_answer(zone.lookup(&question.name, question.qtype)),
+            Some(zone) => {
+                AuthResponse::from_zone_answer(zone.lookup(&question.name, question.qtype))
+            }
             None => AuthResponse::refused(),
         })
     }
@@ -252,7 +254,11 @@ mod tests {
     fn explicit_universe_routes_to_deepest_zone() {
         let mut u = ExplicitUniverse::new();
         let ip = Ipv4Addr::new(127, 0, 0, 1);
-        let mut parent = Zone::new("example".parse().unwrap(), "ns.example".parse().unwrap(), 300);
+        let mut parent = Zone::new(
+            "example".parse().unwrap(),
+            "ns.example".parse().unwrap(),
+            300,
+        );
         parent.delegate(
             "sub.example".parse().unwrap(),
             &["ns.sub.example".parse().unwrap()],
@@ -293,7 +299,11 @@ mod tests {
         let ip = Ipv4Addr::new(127, 0, 0, 2);
         u.host(
             ip,
-            Zone::new("example".parse().unwrap(), "ns.example".parse().unwrap(), 300),
+            Zone::new(
+                "example".parse().unwrap(),
+                "ns.example".parse().unwrap(),
+                300,
+            ),
         );
         let q = Question::new("other.test".parse().unwrap(), RecordType::A);
         assert_eq!(u.respond(ip, &q).unwrap().rcode, Rcode::Refused);
@@ -302,10 +312,7 @@ mod tests {
     #[test]
     fn response_message_mirrors_query() {
         let resp = AuthResponse::empty();
-        let query = Message::query(
-            77,
-            Question::new("q.test".parse().unwrap(), RecordType::A),
-        );
+        let query = Message::query(77, Question::new("q.test".parse().unwrap(), RecordType::A));
         let msg = resp.to_message(&query);
         assert_eq!(msg.id, 77);
         assert!(msg.flags.response);

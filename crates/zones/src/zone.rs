@@ -74,7 +74,9 @@ impl Zone {
             default_ttl,
             RData::Soa(Soa {
                 mname: primary_ns,
-                rname: origin.child("hostmaster").unwrap_or_else(|_| origin.clone()),
+                rname: origin
+                    .child("hostmaster")
+                    .unwrap_or_else(|_| origin.clone()),
                 serial: 1,
                 refresh: 7200,
                 retry: 3600,
@@ -145,10 +147,11 @@ impl Zone {
         }
         self.delegations.insert(cut, ns_records);
         for (name, rdata) in glue {
-            self.glue
-                .entry(name.clone())
-                .or_default()
-                .push(Record::new(name.clone(), self.default_ttl, rdata.clone()));
+            self.glue.entry(name.clone()).or_default().push(Record::new(
+                name.clone(),
+                self.default_ttl,
+                rdata.clone(),
+            ));
         }
     }
 
@@ -166,11 +169,7 @@ impl Zone {
                 // A cut at the qname itself only matters for non-NS/DS
                 // queries; for simplicity we treat NS-at-cut as a referral
                 // too, which is what a parent-side server does.
-                let key = self
-                    .delegations
-                    .get_key_value(&n)
-                    .expect("present")
-                    .0;
+                let key = self.delegations.get_key_value(&n).expect("present").0;
                 return Some((key, ns));
             }
             if n.label_count() == 0 {
@@ -204,8 +203,7 @@ impl Zone {
         // Exact name match.
         if let Some(sets) = self.rrsets.get(qname) {
             if qtype == RecordType::ANY {
-                let records: Vec<Record> =
-                    sets.values().flat_map(|v| v.iter().cloned()).collect();
+                let records: Vec<Record> = sets.values().flat_map(|v| v.iter().cloned()).collect();
                 return ZoneAnswer::Answer { records };
             }
             if let Some(recs) = sets.get(&qtype.to_u16()) {
@@ -446,7 +444,10 @@ mod tests {
         let z = example_zone();
         match z.lookup(&"anything.wild.example.com".parse().unwrap(), RecordType::A) {
             ZoneAnswer::Answer { records } => {
-                assert_eq!(records[0].name, "anything.wild.example.com".parse().unwrap());
+                assert_eq!(
+                    records[0].name,
+                    "anything.wild.example.com".parse().unwrap()
+                );
                 assert_eq!(records[0].rdata, RData::A(Ipv4Addr::new(192, 0, 2, 3)));
             }
             other => panic!("{other:?}"),

@@ -58,20 +58,28 @@ fn main() {
     let with_le = holders
         .iter()
         .filter(|o| {
-            o.data["issue"]
-                .as_array()
-                .is_some_and(|a| a.iter().any(|v| v.as_str().unwrap_or("").contains("letsencrypt")))
+            o.data["issue"].as_array().is_some_and(|a| {
+                a.iter()
+                    .any(|v| v.as_str().unwrap_or("").contains("letsencrypt"))
+            })
         })
         .count();
     println!(
         "Let's Encrypt present in {:.0}% of issue sets  [paper: 92.4%]",
         with_le as f64 / holders.len().max(1) as f64 * 100.0
     );
-    let via_cname = holders.iter().filter(|o| o.data["via_cname"] == true).count();
+    let via_cname = holders
+        .iter()
+        .filter(|o| o.data["via_cname"] == true)
+        .count();
     println!("CAA reached through a CNAME chain: {via_cname}  [paper: ~0.7% of holders]");
     let invalid = holders
         .iter()
-        .filter(|o| o.data["invalid_tags"].as_array().is_some_and(|a| !a.is_empty()))
+        .filter(|o| {
+            o.data["invalid_tags"]
+                .as_array()
+                .is_some_and(|a| !a.is_empty())
+        })
         .count();
     println!("domains with invalid CAA tags: {invalid}  [paper: 0.04% of holders]");
 

@@ -24,7 +24,9 @@ fn main() {
         EngineConfig {
             threads,
             // /28 scanning prefix: 16 source addresses.
-            client_ips: (1..=16).map(|i| std::net::Ipv4Addr::new(192, 0, 2, i)).collect(),
+            client_ips: (1..=16)
+                .map(|i| std::net::Ipv4Addr::new(192, 0, 2, i))
+                .collect(),
             ..EngineConfig::default()
         },
         Arc::clone(&universe) as Arc<dyn Universe>,
@@ -33,24 +35,21 @@ fn main() {
     let r2 = resolver.clone();
     let report = engine.run(move || {
         let ip = ips.next()?;
-        Some(r2.machine(
-            Question::new(Name::reverse_ipv4(ip), RecordType::PTR),
-            None,
-        ))
+        Some(r2.machine(Question::new(Name::reverse_ipv4(ip), RecordType::PTR), None))
     });
 
     let rate = report.steady_success_rate();
     let full_space = public_ipv4_count() as f64;
-    println!("PTR sweep sample: {} addresses @ {threads} threads", report.jobs);
+    println!(
+        "PTR sweep sample: {} addresses @ {threads} threads",
+        report.jobs
+    );
     println!(
         "success rate: {:.1}%   (paper, iterative full sweep: 88.5%)",
         report.success_rate() * 100.0
     );
     println!("steady rate:  {rate:.0} lookups/s");
-    println!(
-        "status breakdown: {:?}",
-        report.status_counts
-    );
+    println!("status breakdown: {:?}", report.status_counts);
     println!(
         "extrapolated full public IPv4 ({:.2}B addresses): {:.1}h  (paper: 116.7h at 50K threads)",
         full_space / 1e9,

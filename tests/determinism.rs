@@ -25,10 +25,7 @@ fn run_once(seed: u64) -> (u64, u64, u64) {
         }
         i += 1;
         Some(resolver.machine(
-            Question::new(
-                format!("det{i}.com").parse().unwrap(),
-                RecordType::A,
-            ),
+            Question::new(format!("det{i}.com").parse().unwrap(), RecordType::A),
             None,
         ))
     });
@@ -66,7 +63,10 @@ fn trace_json_has_appendix_c_fields() {
     let mut once = Some(());
     engine.run(move || {
         once.take()?;
-        Some(resolver.machine(Question::new(name.clone(), RecordType::A), Some(sink.clone())))
+        Some(resolver.machine(
+            Question::new(name.clone(), RecordType::A),
+            Some(sink.clone()),
+        ))
     });
     let results = results.lock();
     let result = results.first().expect("one result");
@@ -76,9 +76,20 @@ fn trace_json_has_appendix_c_fields() {
         assert!(json.get(key).is_some(), "missing {key}");
     }
     let step = &json["trace"][0];
-    for key in ["cached", "class", "depth", "layer", "name", "name_server", "try", "type"] {
+    for key in [
+        "cached",
+        "class",
+        "depth",
+        "layer",
+        "name",
+        "name_server",
+        "try",
+        "type",
+    ] {
         assert!(step.get(key).is_some(), "trace step missing {key}");
     }
     // Step results mirror the per-hop response shape.
-    assert!(step["results"]["flags"]["response"].as_bool().unwrap_or(false));
+    assert!(step["results"]["flags"]["response"]
+        .as_bool()
+        .unwrap_or(false));
 }

@@ -27,7 +27,7 @@ fn cli_style_scan_produces_parseable_jsonl() {
         &conf,
         universe() as Arc<dyn Universe>,
         module,
-        corpus.base_domains(300).map(|s| s),
+        corpus.base_domains(300),
         move |o| {
             sink_lines
                 .lock()

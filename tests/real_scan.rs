@@ -23,7 +23,11 @@ fn build_universe() -> ExplicitUniverse {
         &["ns1.nic.test".parse().unwrap()],
         &[("ns1.nic.test".parse().unwrap(), RData::A(tld_ip))],
     );
-    let mut tld = Zone::new("test".parse().unwrap(), "ns1.nic.test".parse().unwrap(), 900);
+    let mut tld = Zone::new(
+        "test".parse().unwrap(),
+        "ns1.nic.test".parse().unwrap(),
+        900,
+    );
     let mut universe = ExplicitUniverse::new();
     let mut leaf_zones = Vec::new();
     for i in 0..20 {
@@ -36,7 +40,11 @@ fn build_universe() -> ExplicitUniverse {
                 RData::A(leaf_ip),
             )],
         );
-        let mut zone = Zone::new(apex.clone(), format!("ns1.scan{i}.test").parse().unwrap(), 300);
+        let mut zone = Zone::new(
+            apex.clone(),
+            format!("ns1.scan{i}.test").parse().unwrap(),
+            300,
+        );
         zone.add(Record::new(
             apex,
             300,
@@ -99,4 +107,80 @@ fn real_scan_resolves_through_loopback_servers() {
     assert_eq!(report.lookups, 20);
     assert_eq!(report.successes, 20, "all loopback scans succeed");
     assert_eq!(ok.load(Ordering::Relaxed), 20);
+
+    // RunReport parity: per-status counts, query/retry totals, rates, and
+    // reactor telemetry all populate.
+    assert_eq!(report.status_counts.get("NOERROR"), Some(&20));
+    assert!(
+        report.queries_sent >= 20,
+        "iterative walks send multiple queries: {}",
+        report.queries_sent
+    );
+    assert!(report.lookups_per_sec() > 0.0);
+    assert!((report.success_rate() - 1.0).abs() < f64::EPSILON);
+    assert!(
+        report.worker_errors.is_empty(),
+        "{:?}",
+        report.worker_errors
+    );
+    assert!(report.workers >= 1 && report.workers <= 8);
+    assert!(report.driver.peak_in_flight >= 1);
+    assert_eq!(report.driver.completed, 20);
+    let line = report.summary_line();
+    assert!(line.contains("20 lookups"), "{line}");
+    assert!(line.contains("NOERROR=20"), "{line}");
+}
+
+#[test]
+fn real_scan_respects_max_in_flight_window() {
+    let universe = Arc::new(build_universe());
+    let ips: Vec<Ipv4Addr> = ["198.41.0.1", "199.0.0.1", "204.10.0.53"]
+        .iter()
+        .map(|s| s.parse().unwrap())
+        .collect();
+    let mut servers = Vec::new();
+    let mut mapping: Vec<(Ipv4Addr, SocketAddr)> = Vec::new();
+    for ip in ips {
+        let server = WireServer::start(Arc::clone(&universe) as Arc<dyn Universe>, ip).unwrap();
+        mapping.push((ip, server.addr()));
+        servers.push(server);
+    }
+    let addr_map: Arc<AddrMap> = Arc::new(move |ip| {
+        mapping
+            .iter()
+            .find(|(sim, _)| *sim == ip)
+            .map(|(_, real)| *real)
+            .unwrap_or_else(|| SocketAddr::new(ip.into(), 53))
+    });
+
+    // A window of 1 forces strictly sequential admission — the scan still
+    // completes, it just cannot overlap lookups.
+    let mut conf = Conf::parse([
+        "A",
+        "--iterative",
+        "--threads",
+        "1",
+        "--retries",
+        "2",
+        "--max-in-flight",
+        "1",
+    ])
+    .unwrap();
+    conf.resolver.timeout = zdns::netsim::SECONDS;
+    conf.resolver.iteration_timeout = zdns::netsim::SECONDS;
+    let resolver = resolver_for(&conf, universe.as_ref());
+    let module = ModuleRegistry::standard().get("A").unwrap();
+    let inputs: Vec<String> = (0..6).map(|i| format!("scan{i}.test")).collect();
+
+    let report = run_real_scan(
+        &conf,
+        &resolver,
+        module,
+        addr_map,
+        inputs.into_iter(),
+        |_| {},
+    );
+    assert_eq!(report.lookups, 6);
+    assert_eq!(report.successes, 6);
+    assert_eq!(report.driver.peak_in_flight, 1, "window of 1 = no overlap");
 }
