@@ -171,6 +171,19 @@ impl Cache {
 
     /// Look up a live RRset, refreshing its LRU position.
     pub fn get(&self, name: &Name, rtype: RecordType, now: SimTime) -> Option<Vec<Record>> {
+        let found = self.probe(name, rtype, now);
+        if found.is_some() {
+            self.stats.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.stats.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    /// [`Cache::get`] without touching the hit/miss counters (LRU refresh
+    /// and expiry still apply) — for multi-probe operations that must
+    /// count as one logical lookup.
+    fn probe(&self, name: &Name, rtype: RecordType, now: SimTime) -> Option<Vec<Record>> {
         let key = CacheKey {
             name: name.clone(),
             rtype,
@@ -180,7 +193,6 @@ impl Cache {
             Some(entry) if entry.expires > now => {
                 let records = entry.records.clone();
                 shard.touch(&key);
-                self.stats.hits.fetch_add(1, Ordering::Relaxed);
                 Some(records)
             }
             Some(_) => {
@@ -188,25 +200,28 @@ impl Cache {
                 if let Some(old) = shard.map.remove(&key) {
                     shard.lru.remove(&old.stamp);
                 }
-                self.stats.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
-            None => {
-                self.stats.misses.fetch_add(1, Ordering::Relaxed);
-                None
-            }
+            None => None,
         }
     }
 
     /// Find the deepest cached NS RRset enclosing `qname` (the zone cut an
     /// iterative walk can start from). Returns `(cut, ns_records)`.
+    ///
+    /// Counts exactly one hit (a usable cut was found) or one miss (none
+    /// was) per call: probing every suffix depth must not inflate
+    /// `CacheStats.misses` by the number of unexplored depths, or the
+    /// Figure-2 hit-rate sweep measures the walk, not the policy.
     pub fn deepest_cut(&self, qname: &Name, now: SimTime) -> Option<(Name, Vec<Record>)> {
         for depth in (1..=qname.label_count()).rev() {
             let candidate = qname.suffix(depth);
-            if let Some(records) = self.get(&candidate, RecordType::NS, now) {
+            if let Some(records) = self.probe(&candidate, RecordType::NS, now) {
+                self.stats.hits.fetch_add(1, Ordering::Relaxed);
                 return Some((candidate, records));
             }
         }
+        self.stats.misses.fetch_add(1, Ordering::Relaxed);
         None
     }
 }
@@ -354,6 +369,31 @@ mod tests {
         assert!(cache
             .deepest_cut(&"example.org".parse().unwrap(), 0)
             .is_none());
+    }
+
+    #[test]
+    fn deepest_cut_counts_one_stat_per_call() {
+        let cache = Cache::new(1024);
+        cache.put(
+            key("com", RecordType::NS),
+            vec![ns_record("com", "a.gtld-servers.net", 172800)],
+            0,
+        );
+        // A miss probes every suffix depth but must count once, or the
+        // Figure-2 hit-rate sweep is skewed by unexplored depths.
+        assert!(cache
+            .deepest_cut(&"a.b.c.d.example.org".parse().unwrap(), 0)
+            .is_none());
+        assert_eq!(cache.stats.misses.load(Ordering::Relaxed), 1);
+        assert_eq!(cache.stats.hits.load(Ordering::Relaxed), 0);
+        // A hit at any depth counts one hit — and none of the deeper
+        // probes that missed on the way down.
+        assert!(cache
+            .deepest_cut(&"www.deep.example.com".parse().unwrap(), 0)
+            .is_some());
+        assert_eq!(cache.stats.misses.load(Ordering::Relaxed), 1);
+        assert_eq!(cache.stats.hits.load(Ordering::Relaxed), 1);
+        assert!((cache.stats.hit_rate() - 0.5).abs() < 1e-9);
     }
 
     #[test]

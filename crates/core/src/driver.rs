@@ -14,7 +14,8 @@
 
 use zdns_netsim::{JobOutcome, SimClient};
 
-use crate::resolver::{drive_blocking, AddrMap};
+use crate::pacer::Pacer;
+use crate::resolver::{drive_blocking_paced, AddrMap};
 use crate::transport::Transport;
 
 /// What a driver's machine source returns on each pull.
@@ -39,6 +40,9 @@ pub struct DriverReport {
     pub datagrams_delivered: u64,
     /// Datagrams that matched no in-flight query (late, stale, or spoofed).
     pub stale_datagrams: u64,
+    /// TCP side-pool completions whose owning machine had already retired
+    /// — completions, not datagrams, so they get their own counter.
+    pub stale_tcp_completions: u64,
     /// Datagrams that would not decode.
     pub decode_errors: u64,
     /// Transient socket-level receive errors (e.g. ICMP unreachable
@@ -51,6 +55,17 @@ pub struct DriverReport {
     pub tcp_fallbacks: u64,
     /// Highest number of concurrently in-flight machines observed.
     pub peak_in_flight: usize,
+    /// UDP sends held back by the pacer (each deferral counts once, at
+    /// admission).
+    pub queries_deferred: u64,
+    /// Deepest the deferred-send queue ever got.
+    pub max_deferred_depth: usize,
+    /// Deferrals whose binding constraint was per-destination (host
+    /// bucket or backoff penalty) rather than the global budget.
+    pub per_host_throttles: u64,
+    /// Sends requeued after send-buffer backpressure (WouldBlock) —
+    /// counted as backpressure, not as lookup errors.
+    pub backpressure_requeues: u64,
 }
 
 impl DriverReport {
@@ -62,11 +77,16 @@ impl DriverReport {
         self.successes += other.successes;
         self.datagrams_delivered += other.datagrams_delivered;
         self.stale_datagrams += other.stale_datagrams;
+        self.stale_tcp_completions += other.stale_tcp_completions;
         self.decode_errors += other.decode_errors;
         self.socket_errors += other.socket_errors;
         self.timeouts_fired += other.timeouts_fired;
         self.tcp_fallbacks += other.tcp_fallbacks;
         self.peak_in_flight = self.peak_in_flight.max(other.peak_in_flight);
+        self.queries_deferred += other.queries_deferred;
+        self.max_deferred_depth = self.max_deferred_depth.max(other.max_deferred_depth);
+        self.per_host_throttles += other.per_host_throttles;
+        self.backpressure_requeues += other.backpressure_requeues;
     }
 }
 
@@ -87,6 +107,7 @@ pub trait Driver {
 pub struct BlockingDriver<T: Transport> {
     transport: T,
     addr_map: std::sync::Arc<AddrMap>,
+    pacer: Option<Pacer>,
 }
 
 impl<T: Transport> BlockingDriver<T> {
@@ -95,7 +116,15 @@ impl<T: Transport> BlockingDriver<T> {
         BlockingDriver {
             transport,
             addr_map,
+            pacer: None,
         }
+    }
+
+    /// Gate every send through `pacer` (sleeping until release), so the
+    /// blocking driver honours the same budgets as the reactor.
+    pub fn with_pacer(mut self, pacer: Pacer) -> BlockingDriver<T> {
+        self.pacer = Some(pacer);
+        self
     }
 }
 
@@ -110,8 +139,13 @@ impl<T: Transport> Driver for BlockingDriver<T> {
             match source() {
                 Admission::Admit(mut machine) => {
                     report.peak_in_flight = report.peak_in_flight.max(1);
-                    let outcome =
-                        drive_blocking(machine.as_mut(), &mut self.transport, &*self.addr_map);
+                    let outcome = drive_blocking_paced(
+                        machine.as_mut(),
+                        &mut self.transport,
+                        &*self.addr_map,
+                        self.pacer.as_mut(),
+                        Some(&mut report),
+                    );
                     report.completed += 1;
                     if matches!(&outcome, Some(o) if o.success) {
                         report.successes += 1;

@@ -16,6 +16,7 @@ pub mod cache;
 pub mod config;
 pub mod driver;
 pub mod machine;
+pub mod pacer;
 pub mod reactor;
 pub mod resolver;
 pub mod result;
@@ -30,8 +31,9 @@ pub use driver::{Admission, BlockingDriver, Driver, DriverReport};
 pub use machine::{
     DirectMachine, ExternalMachine, IterativeMachine, ResolveTarget, ResolverCore, ResultSink,
 };
+pub use pacer::{Pacer, PacerConfig};
 pub use reactor::{Reactor, ReactorConfig};
-pub use resolver::{collecting_sink, drive_blocking, AddrMap, Resolver};
+pub use resolver::{collecting_sink, drive_blocking, drive_blocking_paced, AddrMap, Resolver};
 pub use result::{DelegationInfo, LookupResult};
 pub use stats::{Stats, StatsSnapshot};
 pub use status::Status;

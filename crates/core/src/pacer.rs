@@ -1,0 +1,385 @@
+//! Client-side pacing + adaptive backoff (polite scanning).
+//!
+//! The paper's central operational finding is that resolver-side rate
+//! limiting dominates scan fidelity: Google Public DNS's per-client-IP
+//! token buckets cost /32 scans a ~6× success-rate drop, and retries
+//! *inside* the penalty window cannot succeed. The [`Pacer`] is the
+//! client-side answer — keep the offered load under the budget instead
+//! of discovering it through drops:
+//!
+//! * a **global budget** (packets/second) shared by every destination;
+//! * **per-destination token buckets**, so one hot resolver cannot eat
+//!   the whole budget while others idle;
+//! * **adaptive per-destination backoff**: timeout/error streaks grow a
+//!   penalty multiplicatively, successes decay it — the real-socket
+//!   stand-in for ICMP source-quench-style signals.
+//!
+//! Admission is *reservation-based* ([`TokenBucket::reserve`]): a
+//! deferred send gets a firm release time and its budget is debited at
+//! admission, so a queue of deferred sends drains at exactly the
+//! configured rate with no thundering herd and no re-polling.
+//!
+//! The same `Pacer` drives every execution mode: the reactor arms
+//! release times on its timer wheel, `drive_blocking` sleeps until
+//! release, and the discrete-event engine accepts it as a
+//! [`SendGate`] so paced scans are reproducible under virtual time.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use zdns_pacing::{Nanos, PaceDecision, SendGate, TokenBucket, SECONDS};
+
+/// Tunables for one [`Pacer`].
+#[derive(Debug, Clone)]
+pub struct PacerConfig {
+    /// Global send budget in packets/second (0 = unlimited).
+    pub rate_pps: f64,
+    /// Per-destination send budget in packets/second (0 = unlimited).
+    pub per_host_pps: f64,
+    /// Enable adaptive per-destination backoff on timeout/error streaks.
+    pub backoff: bool,
+    /// Bucket burst in packets; 0 derives `max(1, rate / 20)` — a 50 ms
+    /// burst window.
+    pub burst: f64,
+    /// First backoff penalty; doubles per consecutive failure.
+    pub backoff_base: Nanos,
+    /// Penalty growth cap.
+    pub backoff_cap: Nanos,
+}
+
+impl Default for PacerConfig {
+    fn default() -> Self {
+        PacerConfig {
+            rate_pps: 0.0,
+            per_host_pps: 0.0,
+            backoff: false,
+            burst: 0.0,
+            backoff_base: 200 * zdns_pacing::MILLIS,
+            backoff_cap: 8 * SECONDS,
+        }
+    }
+}
+
+impl PacerConfig {
+    /// True when any pacing or backoff behaviour is configured.
+    pub fn enabled(&self) -> bool {
+        self.rate_pps > 0.0 || self.per_host_pps > 0.0 || self.backoff
+    }
+
+    /// Split the budgets across `workers` parallel drivers so their
+    /// aggregate send rate stays within the configured totals.
+    pub fn split(&self, workers: usize) -> PacerConfig {
+        let n = workers.max(1) as f64;
+        PacerConfig {
+            rate_pps: self.rate_pps / n,
+            per_host_pps: self.per_host_pps / n,
+            ..self.clone()
+        }
+    }
+
+    fn burst_for(&self, rate: f64) -> f64 {
+        if self.burst > 0.0 {
+            self.burst
+        } else {
+            (rate / 20.0).max(1.0)
+        }
+    }
+}
+
+/// Per-destination pacing state.
+struct HostState {
+    bucket: Option<TokenBucket>,
+    /// Backoff gate: no send to this destination before this instant.
+    not_before: Nanos,
+    /// Consecutive failures (timeouts/transport errors) without a
+    /// success.
+    streak: u32,
+}
+
+/// Soft cap on tracked destinations; beyond it, idle entries are pruned.
+const MAX_HOSTS: usize = 65_536;
+
+/// The client-side pacing + backoff subsystem. One per driver (reactor
+/// worker / blocking driver / simulation engine); not thread-safe by
+/// design — drivers own their pacer the way they own their socket.
+pub struct Pacer {
+    config: PacerConfig,
+    global: Option<TokenBucket>,
+    hosts: HashMap<Ipv4Addr, HostState>,
+    /// Destinations currently serving a backoff penalty (observability).
+    pub backoff_events: u64,
+}
+
+impl Pacer {
+    /// Build from a config.
+    pub fn new(config: PacerConfig) -> Pacer {
+        let global = (config.rate_pps > 0.0)
+            .then(|| TokenBucket::new(config.rate_pps, config.burst_for(config.rate_pps)));
+        Pacer {
+            config,
+            global,
+            hosts: HashMap::new(),
+            backoff_events: 0,
+        }
+    }
+
+    /// The configuration this pacer was built from.
+    pub fn config(&self) -> &PacerConfig {
+        &self.config
+    }
+
+    /// Destinations with live pacing state.
+    pub fn tracked_hosts(&self) -> usize {
+        self.hosts.len()
+    }
+
+    fn host_state(&mut self, dest: Ipv4Addr, now: Nanos) -> &mut HostState {
+        if self.hosts.len() >= MAX_HOSTS && !self.hosts.contains_key(&dest) {
+            // Prune destinations that are idle: no penalty pending and no
+            // failure streak worth remembering.
+            self.hosts
+                .retain(|_, st| st.streak > 0 || st.not_before > now);
+        }
+        let config = &self.config;
+        self.hosts.entry(dest).or_insert_with(|| HostState {
+            bucket: (config.per_host_pps > 0.0).then(|| {
+                TokenBucket::new(config.per_host_pps, config.burst_for(config.per_host_pps))
+            }),
+            not_before: 0,
+            streak: 0,
+        })
+    }
+}
+
+impl SendGate for Pacer {
+    fn admit(&mut self, dest: Ipv4Addr, now: Nanos) -> PaceDecision {
+        if !self.config.enabled() {
+            return PaceDecision::Ready;
+        }
+        // Reservations are *chained*, not max'd independently: the host
+        // bucket reserves starting from whatever instant the global
+        // budget (and any backoff penalty) already pushed the send to.
+        // Taking a max of independent reservations would let a slower
+        // constraint collapse many spaced release times onto one instant
+        // — e.g. every retry held behind an 8s penalty firing together
+        // when it expires — and a thundering herd at a struggling
+        // destination is exactly what the pacer exists to prevent.
+        let mut release = match self.global.as_mut() {
+            Some(bucket) => bucket.reserve(now),
+            None => now,
+        };
+        let mut host_limited = false;
+        if self.config.per_host_pps > 0.0 || self.config.backoff {
+            let state = self.host_state(dest, now);
+            let floor = release.max(state.not_before);
+            let host_release = match state.bucket.as_mut() {
+                Some(bucket) => bucket.reserve(floor),
+                None => floor,
+            };
+            if host_release > release {
+                host_limited = host_release > now;
+                release = host_release;
+            }
+        }
+        if release <= now {
+            PaceDecision::Ready
+        } else {
+            PaceDecision::Defer {
+                until: release,
+                host_limited,
+            }
+        }
+    }
+
+    fn on_success(&mut self, dest: Ipv4Addr, _now: Nanos) {
+        if !self.config.backoff {
+            return;
+        }
+        if let Some(state) = self.hosts.get_mut(&dest) {
+            // Decay: a success halves the remembered failure streak.
+            state.streak /= 2;
+        }
+    }
+
+    fn on_failure(&mut self, dest: Ipv4Addr, now: Nanos) {
+        if !self.config.backoff {
+            return;
+        }
+        let (base, cap) = (self.config.backoff_base, self.config.backoff_cap);
+        let state = self.host_state(dest, now);
+        state.streak = state.streak.saturating_add(1);
+        // Multiplicative increase: base × 2^(streak-1), capped.
+        let penalty = base
+            .saturating_mul(1u64 << (state.streak - 1).min(24))
+            .min(cap);
+        state.not_before = state.not_before.max(now + penalty);
+        self.backoff_events += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const IP_A: Ipv4Addr = Ipv4Addr::new(192, 0, 2, 1);
+    const IP_B: Ipv4Addr = Ipv4Addr::new(192, 0, 2, 2);
+
+    fn releases(pacer: &mut Pacer, dest: Ipv4Addr, n: usize, now: Nanos) -> Vec<Nanos> {
+        (0..n)
+            .map(|_| match pacer.admit(dest, now) {
+                PaceDecision::Ready => now,
+                PaceDecision::Defer { until, .. } => until,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn disabled_pacer_never_defers() {
+        let mut pacer = Pacer::new(PacerConfig::default());
+        for i in 0..1_000 {
+            assert_eq!(pacer.admit(IP_A, i), PaceDecision::Ready);
+        }
+        assert_eq!(pacer.tracked_hosts(), 0, "disabled pacer tracks nothing");
+    }
+
+    #[test]
+    fn global_budget_spreads_sends_at_rate() {
+        let mut pacer = Pacer::new(PacerConfig {
+            rate_pps: 100.0,
+            burst: 1.0,
+            ..PacerConfig::default()
+        });
+        let times = releases(&mut pacer, IP_A, 51, 0);
+        assert_eq!(times[0], 0);
+        // 50 deferred sends at 100 pps: the last releases at ~500ms.
+        let last = *times.last().unwrap();
+        let expected = 500 * zdns_pacing::MILLIS;
+        assert!(
+            (last as i64 - expected as i64).unsigned_abs() < 5 * zdns_pacing::MILLIS,
+            "{last}"
+        );
+        // Strictly increasing, 1/rate apart.
+        for pair in times.windows(2) {
+            assert!(pair[1] > pair[0]);
+        }
+    }
+
+    #[test]
+    fn per_host_budget_is_independent_per_destination() {
+        let mut pacer = Pacer::new(PacerConfig {
+            per_host_pps: 10.0,
+            burst: 1.0,
+            ..PacerConfig::default()
+        });
+        assert_eq!(pacer.admit(IP_A, 0), PaceDecision::Ready);
+        // Second send to A defers on A's bucket...
+        let PaceDecision::Defer { host_limited, .. } = pacer.admit(IP_A, 0) else {
+            panic!("expected deferral");
+        };
+        assert!(host_limited);
+        // ...but B is untouched.
+        assert_eq!(pacer.admit(IP_B, 0), PaceDecision::Ready);
+    }
+
+    #[test]
+    fn backoff_grows_multiplicatively_and_decays_on_success() {
+        let config = PacerConfig {
+            backoff: true,
+            backoff_base: 100 * zdns_pacing::MILLIS,
+            ..PacerConfig::default()
+        };
+        let mut pacer = Pacer::new(config);
+        pacer.on_failure(IP_A, 0);
+        let PaceDecision::Defer { until: p1, .. } = pacer.admit(IP_A, 0) else {
+            panic!("penalty must defer");
+        };
+        pacer.on_failure(IP_A, 0);
+        let PaceDecision::Defer { until: p2, .. } = pacer.admit(IP_A, 0) else {
+            panic!("penalty must defer");
+        };
+        assert_eq!(p1, 100 * zdns_pacing::MILLIS);
+        assert_eq!(p2, 200 * zdns_pacing::MILLIS, "doubled on second failure");
+        // Successes decay the streak; after the penalty expires the next
+        // failure starts from a shorter penalty again.
+        pacer.on_success(IP_A, p2);
+        pacer.on_success(IP_A, p2);
+        let later = p2 + SECONDS;
+        pacer.on_failure(IP_A, later);
+        let PaceDecision::Defer { until: p3, .. } = pacer.admit(IP_A, later) else {
+            panic!("penalty must defer");
+        };
+        assert_eq!(p3 - later, 100 * zdns_pacing::MILLIS, "decayed to base");
+        // Unpenalized destinations are unaffected throughout.
+        assert_eq!(pacer.admit(IP_B, later), PaceDecision::Ready);
+    }
+
+    #[test]
+    fn penalty_expiry_does_not_release_a_herd() {
+        // Sends held behind a backoff penalty must come out spaced at
+        // the per-host rate when the penalty lifts, not all at once.
+        let mut pacer = Pacer::new(PacerConfig {
+            per_host_pps: 100.0, // 10ms spacing
+            burst: 1.0,
+            backoff: true,
+            backoff_base: SECONDS,
+            ..PacerConfig::default()
+        });
+        pacer.on_failure(IP_A, 0); // not_before = 1s
+        let times = releases(&mut pacer, IP_A, 10, 0);
+        assert!(times[0] >= SECONDS, "penalty must hold the first send");
+        for pair in times.windows(2) {
+            assert!(
+                pair[1] >= pair[0] + SECONDS / 100 - 2,
+                "herd after penalty expiry: {times:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn backoff_penalty_caps() {
+        let mut pacer = Pacer::new(PacerConfig {
+            backoff: true,
+            backoff_base: SECONDS,
+            backoff_cap: 4 * SECONDS,
+            ..PacerConfig::default()
+        });
+        for _ in 0..40 {
+            pacer.on_failure(IP_A, 0);
+        }
+        let PaceDecision::Defer { until, .. } = pacer.admit(IP_A, 0) else {
+            panic!("penalty must defer");
+        };
+        assert_eq!(until, 4 * SECONDS, "penalty capped");
+    }
+
+    #[test]
+    fn split_divides_budgets_across_workers() {
+        let config = PacerConfig {
+            rate_pps: 1000.0,
+            per_host_pps: 100.0,
+            ..PacerConfig::default()
+        };
+        let per_worker = config.split(4);
+        assert_eq!(per_worker.rate_pps, 250.0);
+        assert_eq!(per_worker.per_host_pps, 25.0);
+        assert!(per_worker.enabled());
+    }
+
+    #[test]
+    fn host_table_prunes_idle_entries() {
+        let mut pacer = Pacer::new(PacerConfig {
+            per_host_pps: 1000.0,
+            ..PacerConfig::default()
+        });
+        for i in 0..(MAX_HOSTS + 100) as u32 {
+            let ip = Ipv4Addr::from(0x0A00_0000 + i);
+            let _ = pacer.admit(ip, u64::from(i) * SECONDS);
+        }
+        assert!(pacer.tracked_hosts() <= MAX_HOSTS + 100);
+        assert!(
+            pacer.tracked_hosts() < MAX_HOSTS,
+            "idle hosts must be pruned, got {}",
+            pacer.tracked_hosts()
+        );
+    }
+}

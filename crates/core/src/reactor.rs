@@ -11,7 +11,12 @@
 //!   delivers [`ClientEvent::Timeout`] when it fires, which is what makes
 //!   the machines' own retry logic run without any blocking waits;
 //! * a small **blocking TCP side-pool** absorbs truncation-fallback
-//!   exchanges so the UDP loop never stalls on a TCP handshake.
+//!   exchanges so the UDP loop never stalls on a TCP handshake;
+//! * a **pacer** ([`crate::pacer::Pacer`]) gates every UDP send against
+//!   global and per-destination budgets: deferred sends are parked on a
+//!   queue whose release times are armed on the same timer wheel — no
+//!   extra threads, no busy-wait — and timeout/error streaks feed
+//!   per-destination adaptive backoff.
 //!
 //! The lookup machines are unchanged — the same [`SimClient`] state
 //! machines the discrete-event simulator drives. The reactor is just the
@@ -28,8 +33,10 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use zdns_netsim::{ClientEvent, JobOutcome, OutQuery, Protocol, SimClient, SimTime, MILLIS};
+use zdns_pacing::{PaceDecision, SendGate};
 
 use crate::driver::{Admission, Driver, DriverReport};
+use crate::pacer::{Pacer, PacerConfig};
 use crate::resolver::AddrMap;
 use crate::transport::{blocking_tcp_exchange, TransportError};
 
@@ -47,6 +54,10 @@ pub struct ReactorConfig {
     pub wheel_slots: usize,
     /// Timer-wheel slot width in nanoseconds.
     pub wheel_granularity: SimTime,
+    /// Pacing + backoff budgets for this reactor's sends (disabled by
+    /// default). Scans splitting one budget over several workers should
+    /// hand each reactor `PacerConfig::split(workers)`.
+    pub pacer: PacerConfig,
 }
 
 impl Default for ReactorConfig {
@@ -57,6 +68,7 @@ impl Default for ReactorConfig {
             tcp_pool: 2,
             wheel_slots: 1_024,
             wheel_granularity: 4 * MILLIS,
+            pacer: PacerConfig::default(),
         }
     }
 }
@@ -332,7 +344,54 @@ struct Slot {
     keys: Vec<DemuxKey>,
     /// Exchanges parked in the TCP side-pool.
     tcp_pending: usize,
+    /// Sends held on the pacer's deferred queue.
+    deferred: usize,
 }
+
+/// A UDP send the pacer is holding back. Its budget was reserved at
+/// admission, so when the wheel fires it goes straight to the wire.
+struct DeferredSend {
+    slot: usize,
+    generation: u64,
+    /// Backpressure requeues this send has already been through.
+    attempts: u32,
+    oq: OutQuery,
+}
+
+/// Wheel key for deferred-send releases. Never collides with demux
+/// lookups: releases are resolved by token (globally unique) before the
+/// demux path is consulted.
+fn pace_key() -> DemuxKey {
+    (
+        SocketAddr::new(std::net::IpAddr::V4(Ipv4Addr::UNSPECIFIED), 0),
+        0,
+    )
+}
+
+/// How a UDP send attempt ended.
+enum SendStatus {
+    /// On the wire.
+    Sent,
+    /// The socket send buffer was full after a writability wait —
+    /// backpressure, not failure.
+    Backpressure,
+    /// A real socket error.
+    Failed,
+}
+
+/// Ceiling on consecutive receive errors absorbed in one drain pass, so
+/// a repeating error cannot spin the loop while still letting queued
+/// datagrams behind an error be drained (not stranded until next poll).
+const MAX_DRAIN_ERRORS: u32 = 64;
+
+/// Delay before retrying a send that hit send-buffer backpressure.
+const BACKPRESSURE_DELAY: SimTime = 2 * MILLIS;
+
+/// Backpressure requeues one send may consume before it fails the
+/// lookup. A bounded retry keeps WouldBlock from looping a query on the
+/// deferred queue forever with no timeout armed (the per-query timer
+/// only starts at an actual send).
+const MAX_BACKPRESSURE_RETRIES: u32 = 8;
 
 /// The event-driven driver: one non-blocking UDP socket, a demux table,
 /// a timer wheel, and up to [`ReactorConfig::max_in_flight`] concurrent
@@ -349,6 +408,8 @@ pub struct Reactor {
     in_flight: usize,
     demux: HashMap<DemuxKey, Pending>,
     wheel: TimerWheel,
+    pacer: Pacer,
+    deferred: HashMap<u64, DeferredSend>,
     next_token: u64,
     txid_cursor: u16,
     started: Instant,
@@ -380,6 +441,7 @@ impl Reactor {
         zdns_netsim::set_recv_buffer(&socket, 8 << 20);
         let wheel = TimerWheel::new(config.wheel_slots, config.wheel_granularity);
         let tcp = TcpPool::start(config.tcp_pool);
+        let pacer = Pacer::new(config.pacer.clone());
         Ok(Reactor {
             socket,
             addr_map,
@@ -390,6 +452,8 @@ impl Reactor {
             in_flight: 0,
             demux: HashMap::new(),
             wheel,
+            pacer,
+            deferred: HashMap::new(),
             next_token: 0,
             txid_cursor: 1,
             started: Instant::now(),
@@ -426,6 +490,11 @@ impl Reactor {
         self.demux.len()
     }
 
+    /// Sends currently held on the pacer's deferred queue.
+    pub fn deferred_sends(&self) -> usize {
+        self.deferred.len()
+    }
+
     fn now(&self) -> SimTime {
         self.started.elapsed().as_nanos() as u64
     }
@@ -444,6 +513,7 @@ impl Reactor {
             machine,
             keys: Vec::new(),
             tcp_pending: 0,
+            deferred: 0,
         });
         self.in_flight += 1;
         self.report.peak_in_flight = self.report.peak_in_flight.max(self.in_flight);
@@ -488,10 +558,11 @@ impl Reactor {
     }
 
     /// A running machine with nothing in flight would hang the scan; fail
-    /// it closed, mirroring `drive_blocking`.
+    /// it closed, mirroring `drive_blocking`. A machine whose sends are
+    /// merely held by the pacer is waiting, not wedged.
     fn reap_if_wedged(&mut self, idx: usize, on_done: &mut dyn FnMut(Option<JobOutcome>)) {
         let wedged = match &self.slots[idx] {
-            Some(slot) => slot.keys.is_empty() && slot.tcp_pending == 0,
+            Some(slot) => slot.keys.is_empty() && slot.tcp_pending == 0 && slot.deferred == 0,
             None => false,
         };
         if wedged {
@@ -532,13 +603,14 @@ impl Reactor {
         None
     }
 
-    /// Put a machine's emitted queries on the wire: UDP through the shared
-    /// socket + demux table + timer wheel, TCP through the side-pool.
+    /// Route a machine's emitted queries: UDP through the pacer (then
+    /// the shared socket + demux table + timer wheel), TCP through the
+    /// side-pool.
     fn register_out(&mut self, idx: usize, out: Vec<OutQuery>, immediate: &mut Vec<ClientEvent>) {
-        for mut oq in out {
-            let dest = (self.addr_map)(oq.to);
+        for oq in out {
             match oq.protocol {
                 Protocol::Tcp => {
+                    let dest = (self.addr_map)(oq.to);
                     let job = TcpJob {
                         slot: idx,
                         generation: self.generations[idx],
@@ -560,57 +632,136 @@ impl Reactor {
                     }
                     immediate.push(ClientEvent::TransportFailed { tag: oq.tag });
                 }
-                Protocol::Udp => {
-                    let Some(txid) = self.allocate_txid(dest, oq.query.id) else {
-                        immediate.push(ClientEvent::TransportFailed { tag: oq.tag });
-                        continue;
-                    };
-                    let orig_id = oq.query.id;
-                    oq.query.id = txid;
-                    let bytes = match oq.query.encode() {
-                        Ok(b) => b,
-                        Err(_) => {
-                            immediate.push(ClientEvent::TransportFailed { tag: oq.tag });
-                            continue;
+                Protocol::Udp => match self.pacer.admit(oq.to, self.now()) {
+                    PaceDecision::Ready => self.send_udp_query(idx, oq, 0, immediate),
+                    PaceDecision::Defer {
+                        until,
+                        host_limited,
+                    } => {
+                        if host_limited {
+                            self.report.per_host_throttles += 1;
                         }
-                    };
-                    match self.send_udp(&bytes, dest) {
-                        Ok(()) => {
-                            let token = self.next_token;
-                            self.next_token += 1;
-                            let key = (dest, txid);
-                            let deadline = self.now() + oq.timeout;
-                            self.wheel.arm(deadline, token, key);
-                            self.demux.insert(
-                                key,
-                                Pending {
-                                    slot: idx,
-                                    tag: oq.tag,
-                                    sim_ip: oq.to,
-                                    orig_id,
-                                    timer_token: token,
-                                },
-                            );
-                            if let Some(slot) = self.slots[idx].as_mut() {
-                                slot.keys.push(key);
-                            }
-                        }
-                        Err(_) => {
-                            immediate.push(ClientEvent::TransportFailed { tag: oq.tag });
-                        }
+                        self.report.queries_deferred += 1;
+                        self.defer_send(idx, oq, 0, until);
                     }
+                },
+            }
+        }
+    }
+
+    /// Park a UDP send on the deferred queue, armed on the timer wheel
+    /// for its pacer-assigned release time.
+    fn defer_send(&mut self, idx: usize, oq: OutQuery, attempts: u32, release: SimTime) {
+        let token = self.next_token;
+        self.next_token += 1;
+        self.wheel.arm(release, token, pace_key());
+        self.deferred.insert(
+            token,
+            DeferredSend {
+                slot: idx,
+                generation: self.generations[idx],
+                attempts,
+                oq,
+            },
+        );
+        if let Some(slot) = self.slots[idx].as_mut() {
+            slot.deferred += 1;
+        }
+        self.report.max_deferred_depth = self.report.max_deferred_depth.max(self.deferred.len());
+    }
+
+    /// A deferred send's release time arrived: its budget is already
+    /// reserved, so it goes straight to the wire (unless its owner
+    /// retired while it was held).
+    fn release_deferred(
+        &mut self,
+        sent: DeferredSend,
+        on_done: &mut dyn FnMut(Option<JobOutcome>),
+    ) {
+        if self.generations[sent.slot] != sent.generation {
+            return; // owner finished while the send was held
+        }
+        if let Some(slot) = self.slots[sent.slot].as_mut() {
+            slot.deferred -= 1;
+        }
+        let mut immediate = Vec::new();
+        self.send_udp_query(sent.slot, sent.oq, sent.attempts, &mut immediate);
+        for event in immediate {
+            self.deliver(sent.slot, event, on_done);
+        }
+    }
+
+    /// Put one admitted UDP query on the wire: allocate a wire id, arm
+    /// its timeout, and register it for demux. Send-buffer backpressure
+    /// requeues the datagram on the deferred queue instead of failing the
+    /// lookup.
+    fn send_udp_query(
+        &mut self,
+        idx: usize,
+        mut oq: OutQuery,
+        attempts: u32,
+        immediate: &mut Vec<ClientEvent>,
+    ) {
+        let dest = (self.addr_map)(oq.to);
+        let Some(txid) = self.allocate_txid(dest, oq.query.id) else {
+            immediate.push(ClientEvent::TransportFailed { tag: oq.tag });
+            return;
+        };
+        let orig_id = oq.query.id;
+        oq.query.id = txid;
+        let bytes = match oq.query.encode() {
+            Ok(b) => b,
+            Err(_) => {
+                immediate.push(ClientEvent::TransportFailed { tag: oq.tag });
+                return;
+            }
+        };
+        match self.send_udp(&bytes, dest) {
+            SendStatus::Sent => {
+                let token = self.next_token;
+                self.next_token += 1;
+                let key = (dest, txid);
+                let deadline = self.now() + oq.timeout;
+                self.wheel.arm(deadline, token, key);
+                self.demux.insert(
+                    key,
+                    Pending {
+                        slot: idx,
+                        tag: oq.tag,
+                        sim_ip: oq.to,
+                        orig_id,
+                        timer_token: token,
+                    },
+                );
+                if let Some(slot) = self.slots[idx].as_mut() {
+                    slot.keys.push(key);
                 }
+            }
+            SendStatus::Backpressure if attempts < MAX_BACKPRESSURE_RETRIES => {
+                // The wire id was never registered; restore the machine's
+                // own id and retry shortly.
+                oq.query.id = orig_id;
+                self.report.backpressure_requeues += 1;
+                self.defer_send(idx, oq, attempts + 1, self.now() + BACKPRESSURE_DELAY);
+            }
+            SendStatus::Backpressure => {
+                // Sustained backpressure: fail the lookup rather than
+                // cycling it on the deferred queue with no timeout armed.
+                immediate.push(ClientEvent::TransportFailed { tag: oq.tag });
+            }
+            SendStatus::Failed => {
+                immediate.push(ClientEvent::TransportFailed { tag: oq.tag });
             }
         }
     }
 
     /// Non-blocking send; a full send buffer gets one short poll for
-    /// writability (not a blind sleep) before giving up, so the event
-    /// loop is never stalled longer than the poll timeout.
-    fn send_udp(&self, bytes: &[u8], dest: SocketAddr) -> std::io::Result<()> {
+    /// writability (not a blind sleep) before reporting backpressure, so
+    /// the event loop is never stalled longer than the poll timeout.
+    fn send_udp(&self, bytes: &[u8], dest: SocketAddr) -> SendStatus {
         for attempt in 0..2 {
             match self.socket.send_to(bytes, dest) {
-                Ok(_) => return Ok(()),
+                Ok(_) => return SendStatus::Sent,
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                     if attempt == 0 {
                         #[cfg(unix)]
@@ -622,13 +773,10 @@ impl Reactor {
                         readiness::wait_writable(0, 1);
                     }
                 }
-                Err(e) => return Err(e),
+                Err(_) => return SendStatus::Failed,
             }
         }
-        Err(std::io::Error::new(
-            std::io::ErrorKind::WouldBlock,
-            "socket send buffer full",
-        ))
+        SendStatus::Backpressure
     }
 
     /// Feed one event to the machine in `idx` and process the aftermath.
@@ -648,6 +796,7 @@ impl Reactor {
 
     /// Drain every datagram currently queued on the socket.
     fn drain_datagrams(&mut self, on_done: &mut dyn FnMut(Option<JobOutcome>)) {
+        let mut errors = 0u32;
         loop {
             match self.socket.recv_from(&mut self.recv_buf[..]) {
                 Ok((len, peer)) => {
@@ -678,6 +827,7 @@ impl Reactor {
                     // message re-enters machine logic.
                     message.id = pending.orig_id;
                     self.report.datagrams_delivered += 1;
+                    self.pacer.on_success(pending.sim_ip, self.now());
                     let event = ClientEvent::Response {
                         tag: pending.tag,
                         from: pending.sim_ip,
@@ -695,9 +845,15 @@ impl Reactor {
                 Err(_) => {
                     // Transient socket error (e.g. ICMP unreachable surfaced
                     // as ECONNREFUSED on some platforms): skip it — the
-                    // per-query timer still guards the lookup.
+                    // per-query timer still guards the lookup — and keep
+                    // draining, so one error doesn't strand already-queued
+                    // datagrams until the next poll round. The cap stops a
+                    // repeating error from spinning this loop.
                     self.report.socket_errors += 1;
-                    return;
+                    errors += 1;
+                    if errors >= MAX_DRAIN_ERRORS {
+                        return;
+                    }
                 }
             }
         }
@@ -710,31 +866,47 @@ impl Reactor {
             if self.generations[done.slot] != done.generation {
                 // The owning machine retired while this exchange was in the
                 // side-pool; the slot may already belong to someone else.
-                self.report.stale_datagrams += 1;
+                // These are completions, not datagrams — they get their own
+                // counter so demux telemetry stays honest.
+                self.report.stale_tcp_completions += 1;
                 continue;
             }
             if let Some(slot) = self.slots[done.slot].as_mut() {
                 slot.tcp_pending -= 1;
             }
             let event = match done.result {
-                Ok(message) => ClientEvent::Response {
-                    tag: done.tag,
-                    from: done.sim_ip,
-                    message,
-                    protocol: Protocol::Tcp,
-                },
-                Err(TransportError::Timeout) => ClientEvent::Timeout { tag: done.tag },
-                Err(_) => ClientEvent::TransportFailed { tag: done.tag },
+                Ok(message) => {
+                    self.pacer.on_success(done.sim_ip, self.now());
+                    ClientEvent::Response {
+                        tag: done.tag,
+                        from: done.sim_ip,
+                        message,
+                        protocol: Protocol::Tcp,
+                    }
+                }
+                Err(TransportError::Timeout) => {
+                    self.pacer.on_failure(done.sim_ip, self.now());
+                    ClientEvent::Timeout { tag: done.tag }
+                }
+                Err(_) => {
+                    self.pacer.on_failure(done.sim_ip, self.now());
+                    ClientEvent::TransportFailed { tag: done.tag }
+                }
             };
             self.deliver(done.slot, event, on_done);
         }
     }
 
-    /// Fire every expired per-query timer.
+    /// Fire every expired timer: deferred-send releases go to the wire,
+    /// per-query timeouts go to their machines (and feed backoff).
     fn fire_timers(&mut self, on_done: &mut dyn FnMut(Option<JobOutcome>)) {
         let mut fired = Vec::new();
         self.wheel.expire(self.now(), &mut fired);
         for (token, key) in fired {
+            if let Some(sent) = self.deferred.remove(&token) {
+                self.release_deferred(sent, on_done);
+                continue;
+            }
             let stale = match self.demux.get(&key) {
                 Some(pending) => pending.timer_token != token,
                 None => true,
@@ -749,6 +921,7 @@ impl Reactor {
                 }
             }
             self.report.timeouts_fired += 1;
+            self.pacer.on_failure(pending.sim_ip, self.now());
             self.deliver(
                 pending.slot,
                 ClientEvent::Timeout { tag: pending.tag },
@@ -805,8 +978,12 @@ impl Driver for Reactor {
         }
 
         // End-of-run hygiene: every slot is free, the demux table is empty,
-        // and lazily-cancelled timers get swept so nothing leaks into the
-        // next scan on this reactor.
+        // deferred sends whose owners retired are dropped with their wheel
+        // entries, and lazily-cancelled timers get swept so nothing leaks
+        // into the next scan on this reactor.
+        for (token, _) in self.deferred.drain() {
+            self.wheel.cancel(token);
+        }
         self.wheel.sweep_cancelled();
         self.report.clone()
     }

@@ -7,8 +7,8 @@ use std::net::{Ipv4Addr, SocketAddr, UdpSocket};
 use std::sync::Arc;
 
 use zdns_core::{
-    collecting_sink, AddrMap, Admission, Driver, Reactor, ReactorConfig, Resolver, ResolverConfig,
-    Status, UdpTransport,
+    collecting_sink, AddrMap, Admission, Driver, PacerConfig, Reactor, ReactorConfig, Resolver,
+    ResolverConfig, Status, UdpTransport,
 };
 use zdns_netsim::WireServer;
 use zdns_wire::rdata::TxtData;
@@ -229,7 +229,11 @@ fn scan_universe(n: usize) -> (ExplicitUniverse, Ipv4Addr) {
 }
 
 /// Feed `machines` through `reactor`, asserting everything drains.
-fn drive_all(reactor: &mut Reactor, mut machines: Vec<Box<dyn zdns_netsim::SimClient>>) -> u64 {
+/// Returns the scan's driver report (`report.completed` = lookups).
+fn drive_all(
+    reactor: &mut Reactor,
+    mut machines: Vec<Box<dyn zdns_netsim::SimClient>>,
+) -> zdns_core::DriverReport {
     machines.reverse(); // pop() admits in original order
     let mut feed = || match machines.pop() {
         Some(m) => Admission::Admit(m),
@@ -239,7 +243,7 @@ fn drive_all(reactor: &mut Reactor, mut machines: Vec<Box<dyn zdns_netsim::SimCl
     let mut on_done = |_outcome| completed += 1;
     let report = reactor.run_scan(&mut feed, &mut on_done);
     assert_eq!(report.completed, completed);
-    completed
+    report
 }
 
 #[test]
@@ -292,7 +296,7 @@ fn reactor_multiplexes_500_lookups_on_one_socket() {
             )
         })
         .collect();
-    let completed = drive_all(&mut reactor, machines);
+    let completed = drive_all(&mut reactor, machines).completed;
     assert_eq!(completed, N as u64);
 
     // Per-lookup demux correctness: every result carries exactly the
@@ -361,7 +365,7 @@ fn reactor_times_out_and_retries_via_timer_wheel() {
             )
         })
         .collect();
-    let completed = drive_all(&mut reactor, machines);
+    let completed = drive_all(&mut reactor, machines).completed;
     assert_eq!(completed, N as u64);
 
     let results = collected.lock();
@@ -395,7 +399,7 @@ fn reactor_routes_truncation_fallback_to_tcp_side_pool() {
         Question::new("big.example.test".parse().unwrap(), RecordType::TXT),
         Some(sink),
     )];
-    let completed = drive_all(&mut reactor, machines);
+    let completed = drive_all(&mut reactor, machines).completed;
     assert_eq!(completed, 1);
 
     let results = collected.lock();
@@ -432,7 +436,7 @@ fn reactor_is_reusable_with_per_scan_reports() {
                 )
             })
             .collect();
-        let completed = drive_all(&mut reactor, machines);
+        let completed = drive_all(&mut reactor, machines).completed;
         assert_eq!(completed, count as u64, "scan {scan}");
     }
     assert_eq!(reactor.in_flight(), 0);
@@ -468,5 +472,127 @@ fn reactor_reports_transport_errors_not_timeouts() {
     let results = collected.lock();
     assert_eq!(results.len(), 1);
     assert_eq!(results[0].status, Status::Error, "I/O failure is ERROR");
+    assert_eq!(reactor.live_timers(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Pacing: the deferred send queue and the rate contract
+// ---------------------------------------------------------------------------
+
+#[test]
+fn reactor_holds_send_rate_within_ten_percent_of_budget() {
+    const N: usize = 500;
+    const RATE: f64 = 1000.0;
+    let (u, server_ip) = scan_universe(N);
+    let u = Arc::new(u);
+    let server = WireServer::start(Arc::clone(&u) as Arc<dyn Universe>, server_ip).unwrap();
+    let real = server.addr();
+    let map: Arc<AddrMap> = Arc::new(move |_ip| real);
+
+    let mut config = ResolverConfig::external(vec![server_ip]);
+    config.timeout = 4 * zdns_netsim::SECONDS;
+    config.retries = 2;
+    let resolver = Resolver::new(config);
+    let stats_before = resolver.core().stats.snapshot();
+
+    let mut reactor = Reactor::new(
+        ReactorConfig {
+            max_in_flight: N, // everything admitted at once: pure pacing
+            source: Ipv4Addr::LOCALHOST,
+            wheel_granularity: zdns_netsim::MILLIS,
+            pacer: PacerConfig {
+                rate_pps: RATE,
+                burst: 1.0,
+                ..PacerConfig::default()
+            },
+            ..ReactorConfig::default()
+        },
+        map,
+    )
+    .unwrap();
+
+    let machines: Vec<_> = (0..N)
+        .map(|i| {
+            resolver.machine(
+                Question::new(format!("n{i}.scan.test").parse().unwrap(), RecordType::A),
+                None,
+            )
+        })
+        .collect();
+    let started = std::time::Instant::now();
+    let report = drive_all(&mut reactor, machines);
+    let elapsed = started.elapsed().as_secs_f64();
+
+    assert_eq!(report.completed, N as u64);
+    assert_eq!(report.successes, N as u64, "loopback scan must succeed");
+    assert!(report.queries_deferred > 0, "pacing must actually engage");
+
+    // The rate contract: sends per wall-clock second within ±10% of the
+    // configured budget (N queries take ~(N-1)/RATE seconds when paced).
+    let queries = resolver.core().stats.snapshot().queries_sent - stats_before.queries_sent;
+    let measured_pps = queries as f64 / elapsed;
+    assert!(
+        (measured_pps - RATE).abs() <= RATE * 0.10,
+        "measured {measured_pps:.0} pps vs budget {RATE:.0} pps ({queries} queries in {elapsed:.3}s)"
+    );
+
+    // Nothing leaked: the deferred queue drained and its wheel entries
+    // are gone with it.
+    assert_eq!(reactor.deferred_sends(), 0);
+    assert_eq!(reactor.in_flight(), 0);
+    assert_eq!(reactor.live_timers(), 0);
+    assert_eq!(reactor.stored_timers(), 0);
+}
+
+#[test]
+fn reactor_backoff_defers_retries_to_a_silent_destination() {
+    // A bound-but-silent server: every timeout feeds the pacer's failure
+    // streak, so retries to that destination are held back (per-host
+    // throttle events), not blasted.
+    let silent = UdpSocket::bind((Ipv4Addr::LOCALHOST, 0)).unwrap();
+    let dead = silent.local_addr().unwrap();
+    let map: Arc<AddrMap> = Arc::new(move |_ip| dead);
+
+    let mut config = ResolverConfig::external(vec!["192.0.2.1".parse().unwrap()]);
+    config.retries = 2;
+    config.timeout = 30 * zdns_netsim::MILLIS;
+    let resolver = Resolver::new(config);
+
+    let mut reactor = Reactor::new(
+        ReactorConfig {
+            max_in_flight: 8,
+            source: Ipv4Addr::LOCALHOST,
+            wheel_granularity: zdns_netsim::MILLIS,
+            pacer: PacerConfig {
+                backoff: true,
+                backoff_base: 20 * zdns_netsim::MILLIS,
+                ..PacerConfig::default()
+            },
+            ..ReactorConfig::default()
+        },
+        map,
+    )
+    .unwrap();
+
+    let machines: Vec<_> = (0..4)
+        .map(|i| {
+            resolver.machine(
+                Question::new(format!("b{i}.dead.test").parse().unwrap(), RecordType::A),
+                None,
+            )
+        })
+        .collect();
+    let report = drive_all(&mut reactor, machines);
+
+    assert_eq!(report.completed, 4);
+    assert_eq!(report.successes, 0);
+    assert!(report.timeouts_fired >= 8, "{}", report.timeouts_fired);
+    assert!(
+        report.queries_deferred > 0 && report.per_host_throttles > 0,
+        "retries into a failure streak must be throttled (deferred {}, per-host {})",
+        report.queries_deferred,
+        report.per_host_throttles
+    );
+    assert_eq!(reactor.deferred_sends(), 0);
     assert_eq!(reactor.live_timers(), 0);
 }

@@ -159,6 +159,12 @@ FLAGS:
   --real                   scan over real sockets (servers at ip:53) using
                            the event-driven reactor instead of the simulator
   --max-in-flight N        reactor admission window: concurrent lookups in
-                           flight across all workers (default: --threads)"
+                           flight across all workers (default: --threads)
+  --rate-pps N             polite scanning: global send budget in packets/s,
+                           split across workers (default: unlimited)
+  --per-host-pps N         per-destination send budget in packets/s
+  --backoff                adaptive per-destination backoff: timeout/error
+                           streaks grow a penalty multiplicatively, successes
+                           decay it"
     );
 }

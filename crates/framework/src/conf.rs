@@ -6,7 +6,7 @@
 
 use std::net::Ipv4Addr;
 
-use zdns_core::{ResolutionMode, ResolverConfig};
+use zdns_core::{PacerConfig, ResolutionMode, ResolverConfig};
 use zdns_netsim::{SimTime, MILLIS, SECONDS};
 
 /// Which output fields to keep (ZDNS's `--output-fields` groups).
@@ -51,6 +51,13 @@ pub struct Conf {
     /// Admission window for the real-socket reactor: total lookups in
     /// flight across all reactor workers (0 = use `threads`).
     pub max_in_flight: usize,
+    /// Global send budget in packets/second, shared across all workers
+    /// (0 = unlimited). Polite scanning's primary knob.
+    pub rate_pps: f64,
+    /// Per-destination send budget in packets/second (0 = unlimited).
+    pub per_host_pps: f64,
+    /// Adaptive per-destination backoff on timeout/error streaks.
+    pub backoff: bool,
 }
 
 impl Default for Conf {
@@ -68,6 +75,9 @@ impl Default for Conf {
             max_names: 0,
             real: false,
             max_in_flight: 0,
+            rate_pps: 0.0,
+            per_host_pps: 0.0,
+            backoff: false,
         }
     }
 }
@@ -186,6 +196,21 @@ impl Conf {
                         .parse()
                         .map_err(|_| ConfError("bad --max-in-flight".into()))?;
                 }
+                "--rate-pps" => {
+                    conf.rate_pps = take_value(&mut i)?
+                        .parse()
+                        .ok()
+                        .filter(|v: &f64| v.is_finite() && *v >= 0.0)
+                        .ok_or_else(|| ConfError("bad --rate-pps".into()))?;
+                }
+                "--per-host-pps" => {
+                    conf.per_host_pps = take_value(&mut i)?
+                        .parse()
+                        .ok()
+                        .filter(|v: &f64| v.is_finite() && *v >= 0.0)
+                        .ok_or_else(|| ConfError("bad --per-host-pps".into()))?;
+                }
+                "--backoff" => conf.backoff = true,
                 "--max-names" => {
                     conf.max_names = take_value(&mut i)?
                         .parse()
@@ -213,6 +238,18 @@ impl Conf {
             conf.resolver.iteration_timeout = 1_500 * MILLIS;
         }
         Ok(conf)
+    }
+
+    /// The pacing + backoff budgets this scan was asked for (the whole
+    /// scan's budget — drivers running in parallel split it with
+    /// [`PacerConfig::split`]).
+    pub fn pacer_config(&self) -> PacerConfig {
+        PacerConfig {
+            rate_pps: self.rate_pps,
+            per_host_pps: self.per_host_pps,
+            backoff: self.backoff,
+            ..PacerConfig::default()
+        }
     }
 
     /// The scanning source addresses derived from `source_ips`.
@@ -286,6 +323,31 @@ mod tests {
     fn source_ips_expand_to_prefix() {
         let conf = Conf::parse(["A", "--source-ips", "8"]).unwrap();
         assert_eq!(conf.client_ips().len(), 8);
+    }
+
+    #[test]
+    fn pacing_flags() {
+        let conf = Conf::parse([
+            "A",
+            "--rate-pps",
+            "5000",
+            "--per-host-pps",
+            "250.5",
+            "--backoff",
+        ])
+        .unwrap();
+        assert_eq!(conf.rate_pps, 5000.0);
+        assert_eq!(conf.per_host_pps, 250.5);
+        assert!(conf.backoff);
+        let pc = conf.pacer_config();
+        assert!(pc.enabled());
+        assert_eq!(pc.split(2).rate_pps, 2500.0);
+
+        let default = Conf::parse(["A"]).unwrap();
+        assert!(!default.pacer_config().enabled(), "pacing is opt-in");
+        assert!(Conf::parse(["A", "--rate-pps", "-3"]).is_err());
+        assert!(Conf::parse(["A", "--rate-pps", "x"]).is_err());
+        assert!(Conf::parse(["A", "--per-host-pps", "inf"]).is_err());
     }
 
     #[test]

@@ -18,7 +18,8 @@ use std::sync::Arc;
 use crossbeam::channel;
 use parking_lot::Mutex;
 use zdns_core::{
-    AddrMap, Admission, Driver, DriverReport, Reactor, ReactorConfig, Resolver, ResolverConfig,
+    AddrMap, Admission, Driver, DriverReport, Pacer, Reactor, ReactorConfig, Resolver,
+    ResolverConfig,
 };
 use zdns_modules::{LookupModule, ModuleOutput, ModuleSink};
 use zdns_netsim::{Engine, EngineConfig, PublicResolverConfig, PublicResolverSim, RunReport};
@@ -85,6 +86,13 @@ where
     engine.add_resolver(PublicResolverSim::new(PublicResolverConfig::cloudflare(
         CLOUDFLARE_DNS,
     )));
+    // Polite-scanning budgets apply under virtual time too: the engine
+    // admits every simulated send through the same pacer the real-socket
+    // drivers use.
+    let pacer_config = conf.pacer_config();
+    if pacer_config.enabled() {
+        engine.set_send_gate(Box::new(Pacer::new(pacer_config)));
+    }
     let callback = Arc::new(Mutex::new(on_output));
     let sink: ModuleSink = Arc::new(move |o| (callback.lock())(o));
     let resolver = resolver.clone();
@@ -148,8 +156,22 @@ impl RealScanReport {
             .map(|(s, n)| format!("{s}={n}"))
             .collect::<Vec<_>>()
             .join(" ");
+        let pacing = if self.driver.queries_deferred > 0
+            || self.driver.per_host_throttles > 0
+            || self.driver.backpressure_requeues > 0
+        {
+            format!(
+                ", {} deferred (max queue {}, {} per-host throttles, {} backpressure)",
+                self.driver.queries_deferred,
+                self.driver.max_deferred_depth,
+                self.driver.per_host_throttles,
+                self.driver.backpressure_requeues,
+            )
+        } else {
+            String::new()
+        };
         format!(
-            "zdns: {} lookups, {:.1}% success, {} queries, {} retries, {:.2}s, {:.0} lookups/s, {} workers (peak {} in flight) [{}]",
+            "zdns: {} lookups, {:.1}% success, {} queries, {} retries, {:.2}s, {:.0} lookups/s, {} workers (peak {} in flight){} [{}]",
             self.lookups,
             self.success_rate() * 100.0,
             self.queries_sent,
@@ -158,6 +180,7 @@ impl RealScanReport {
             self.lookups_per_sec(),
             self.workers,
             self.driver.peak_in_flight,
+            pacing,
             statuses,
         )
     }
@@ -242,9 +265,13 @@ where
             let addr_map = Arc::clone(&addr_map);
             let merged = Arc::clone(&merged);
             let startup_errors = Arc::clone(&startup_errors);
+            let pacer = conf.pacer_config().split(workers);
             scope.spawn(move || {
                 let config = ReactorConfig {
                     max_in_flight: per_worker_window,
+                    // Each worker gets an equal slice of the scan-wide
+                    // budgets so the aggregate rate honours the flags.
+                    pacer,
                     ..ReactorConfig::default()
                 };
                 // One long-lived socket per worker (§3.4), shared by every

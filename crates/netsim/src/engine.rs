@@ -25,6 +25,7 @@ use std::sync::Arc;
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use zdns_pacing::{PaceDecision, SendGate};
 use zdns_wire::Message;
 use zdns_zones::Universe;
 
@@ -211,6 +212,9 @@ pub struct RunReport {
     pub rx_overflow_drops: u64,
     /// Queries answered from... dropped silently in the network.
     pub net_drops: u64,
+    /// Sends held back by the client-side send gate (pacing). Each
+    /// deferral counts once, at first admission.
+    pub paced_deferrals: u64,
     /// Virtual time of the last completion.
     pub makespan: SimTime,
     /// Sum of per-job durations (for mean latency).
@@ -286,8 +290,16 @@ enum EventKind {
     Outcome {
         generation: u32,
         tag: u64,
+        /// The server this exchange targeted (send-gate feedback needs it
+        /// even for timeouts, which carry no response).
+        dest: Ipv4Addr,
         /// None = timeout; Some = response to deliver.
         response: Option<(Ipv4Addr, Message, Protocol)>,
+    },
+    /// A send the gate deferred: dispatch it now, without re-admission.
+    PacedSend {
+        generation: u32,
+        oq: OutQuery,
     },
 }
 
@@ -309,6 +321,7 @@ pub struct Engine {
     config: EngineConfig,
     universe: Arc<dyn Universe>,
     resolvers: Vec<PublicResolverSim>,
+    send_gate: Option<Box<dyn SendGate>>,
     rng: SmallRng,
     heap: BinaryHeap<Reverse<(SimTime, u64)>>,
     events: HashMap<u64, Event>,
@@ -326,6 +339,7 @@ impl Engine {
             config,
             universe,
             resolvers: Vec::new(),
+            send_gate: None,
             rng: SmallRng::seed_from_u64(seed),
             heap: BinaryHeap::new(),
             events: HashMap::new(),
@@ -339,6 +353,15 @@ impl Engine {
     /// Attach a public resolver model (Google/Cloudflare/local Unbound).
     pub fn add_resolver(&mut self, resolver: PublicResolverSim) {
         self.resolvers.push(resolver);
+    }
+
+    /// Attach a client-side send gate (pacing + backoff). Every query any
+    /// simulated client emits is admitted through it; deferred sends are
+    /// rescheduled to their release time, and per-destination outcomes
+    /// are fed back so adaptive backoff closes its loop under virtual
+    /// time exactly as it does over real sockets.
+    pub fn set_send_gate(&mut self, gate: Box<dyn SendGate>) {
+        self.send_gate = Some(gate);
     }
 
     /// Per-resolver drop counters, for reports.
@@ -426,13 +449,27 @@ impl Engine {
                         }
                     }
                 }
+                EventKind::PacedSend { generation, oq } => {
+                    if slots[slot_idx].generation != generation {
+                        continue; // owner finished while the send was held
+                    }
+                    let ip = slots[slot_idx].ip;
+                    self.dispatch(ip, generation, slot_idx as u32, time, oq, true);
+                }
                 EventKind::Outcome {
                     generation,
                     tag,
+                    dest,
                     response,
                 } => {
                     if slots[slot_idx].generation != generation {
                         continue; // stale event from a finished job
+                    }
+                    if let Some(gate) = self.send_gate.as_mut() {
+                        match &response {
+                            Some((from, _, _)) => gate.on_success(*from, time),
+                            None => gate.on_failure(dest, time),
+                        }
                     }
                     let Some(mut client) = slots[slot_idx].client.take() else {
                         continue;
@@ -501,12 +538,13 @@ impl Engine {
         actions: &mut Vec<OutQuery>,
     ) {
         for oq in actions.drain(..) {
-            self.dispatch(slot.ip, slot.generation, slot_idx, now, oq);
+            self.dispatch(slot.ip, slot.generation, slot_idx, now, oq, false);
         }
     }
 
     /// Decide the fate of one query at send time and schedule its single
-    /// outcome event.
+    /// outcome event. `paced` marks a send released from the gate's hold
+    /// queue — its budget is already reserved, so it must not re-admit.
     fn dispatch(
         &mut self,
         client_ip: Ipv4Addr,
@@ -514,7 +552,21 @@ impl Engine {
         slot: u32,
         now: SimTime,
         oq: OutQuery,
+        paced: bool,
     ) {
+        if !paced {
+            if let Some(gate) = self.send_gate.as_mut() {
+                if let PaceDecision::Defer { until, .. } = gate.admit(oq.to, now) {
+                    self.report.paced_deferrals += 1;
+                    self.schedule(
+                        until.max(now + 1),
+                        slot,
+                        EventKind::PacedSend { generation, oq },
+                    );
+                    return;
+                }
+            }
+        }
         self.report.queries_sent += 1;
         let bucket = (now / SECONDS) as usize;
         if self.report.query_series.len() <= bucket {
@@ -547,6 +599,7 @@ impl Engine {
                         EventKind::Outcome {
                             generation,
                             tag: oq.tag,
+                            dest: oq.to,
                             response: None,
                         },
                     );
@@ -563,6 +616,7 @@ impl Engine {
                 EventKind::Outcome {
                     generation,
                     tag: oq.tag,
+                    dest: oq.to,
                     response: None,
                 },
             );
@@ -590,6 +644,7 @@ impl Engine {
                         EventKind::Outcome {
                             generation,
                             tag: oq.tag,
+                            dest: oq.to,
                             response: None,
                         },
                     );
@@ -643,6 +698,7 @@ impl Engine {
                 EventKind::Outcome {
                     generation,
                     tag: oq.tag,
+                    dest: oq.to,
                     response: None,
                 },
             );
@@ -656,6 +712,7 @@ impl Engine {
                 EventKind::Outcome {
                     generation,
                     tag: oq.tag,
+                    dest: oq.to,
                     response: None,
                 },
             );
@@ -720,6 +777,7 @@ impl Engine {
                 EventKind::Outcome {
                     generation,
                     tag,
+                    dest: from,
                     response: None,
                 },
             );
@@ -730,6 +788,7 @@ impl Engine {
                 EventKind::Outcome {
                     generation,
                     tag,
+                    dest: from,
                     response: Some((from, message, protocol)),
                 },
             );

@@ -24,3 +24,4 @@ pub use ratelimit::TokenBucket;
 pub use resolvers::{PublicResolverConfig, PublicResolverSim, ResolverOutcome};
 pub use time::{as_secs_f64, from_secs_f64, SimTime, MICROS, MILLIS, SECONDS};
 pub use wire_server::{set_recv_buffer, WireServer};
+pub use zdns_pacing::{PaceDecision, SendGate};

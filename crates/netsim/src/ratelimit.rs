@@ -1,89 +1,8 @@
 //! Token-bucket rate limiting — the mechanism behind Google Public DNS's
 //! per-client-IP limits that cost the paper's /32 scans a 6× success drop.
+//!
+//! The implementation lives in `zdns-pacing` so the simulator's
+//! server-side limiters and the real-socket drivers' client-side pacer
+//! share one bucket; this module re-exports it under its historical path.
 
-use crate::time::{SimTime, SECONDS};
-
-/// A token bucket: `rate` tokens/second, capacity `burst`.
-#[derive(Debug, Clone)]
-pub struct TokenBucket {
-    rate: f64,
-    burst: f64,
-    tokens: f64,
-    last_refill: SimTime,
-}
-
-impl TokenBucket {
-    /// New bucket, initially full.
-    pub fn new(rate: f64, burst: f64) -> TokenBucket {
-        TokenBucket {
-            rate,
-            burst,
-            tokens: burst,
-            last_refill: 0,
-        }
-    }
-
-    fn refill(&mut self, now: SimTime) {
-        if now > self.last_refill {
-            let dt = (now - self.last_refill) as f64 / SECONDS as f64;
-            self.tokens = (self.tokens + dt * self.rate).min(self.burst);
-            self.last_refill = now;
-        }
-    }
-
-    /// Take one token if available.
-    pub fn try_take(&mut self, now: SimTime) -> bool {
-        self.refill(now);
-        if self.tokens >= 1.0 {
-            self.tokens -= 1.0;
-            true
-        } else {
-            false
-        }
-    }
-
-    /// Current token count (after refill), for tests and introspection.
-    pub fn available(&mut self, now: SimTime) -> f64 {
-        self.refill(now);
-        self.tokens
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn burst_then_limits() {
-        let mut tb = TokenBucket::new(10.0, 5.0);
-        // Burst of 5 allowed immediately.
-        for _ in 0..5 {
-            assert!(tb.try_take(0));
-        }
-        assert!(!tb.try_take(0));
-        // After 100ms, one token has refilled.
-        assert!(tb.try_take(SECONDS / 10));
-        assert!(!tb.try_take(SECONDS / 10));
-    }
-
-    #[test]
-    fn refill_caps_at_burst() {
-        let mut tb = TokenBucket::new(1000.0, 10.0);
-        assert!((tb.available(100 * SECONDS) - 10.0).abs() < 1e-9);
-    }
-
-    #[test]
-    fn sustained_rate_is_enforced() {
-        let mut tb = TokenBucket::new(100.0, 10.0);
-        let mut granted = 0;
-        // Offer 10x the rate for 10 simulated seconds.
-        for i in 0..10_000u64 {
-            let now = i * SECONDS / 1000;
-            if tb.try_take(now) {
-                granted += 1;
-            }
-        }
-        // ~100/s for 10s plus the initial burst.
-        assert!((1000..=1050).contains(&granted), "{granted}");
-    }
-}
+pub use zdns_pacing::TokenBucket;

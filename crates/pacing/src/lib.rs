@@ -1,0 +1,205 @@
+//! # zdns-pacing
+//!
+//! Rate-budgeting primitives shared by every layer that schedules packet
+//! sends: the discrete-event simulator's resolver models (the *server*
+//! side of rate limiting — Google Public DNS's per-client-IP buckets cost
+//! the paper's /32 scans a ~6× success drop) and the real-socket drivers'
+//! client-side pacer (the *polite scanning* countermeasure). One
+//! [`TokenBucket`] implementation serves both, so the simulated limiter
+//! and the client pacer can never drift apart semantically.
+//!
+//! Time is plain nanoseconds (`u64`) — the same representation as
+//! `zdns_netsim::SimTime` — so the types work identically under virtual
+//! and wall-clock time.
+
+#![warn(missing_docs)]
+
+use std::net::Ipv4Addr;
+
+/// Nanoseconds — wall-clock or virtual, callers decide.
+pub type Nanos = u64;
+
+/// One microsecond in [`Nanos`].
+pub const MICROS: Nanos = 1_000;
+/// One millisecond in [`Nanos`].
+pub const MILLIS: Nanos = 1_000_000;
+/// One second in [`Nanos`].
+pub const SECONDS: Nanos = 1_000_000_000;
+
+/// A token bucket: `rate` tokens/second, capacity `burst`.
+///
+/// Two consumption styles:
+///
+/// * [`TokenBucket::try_take`] — classic server-side limiting: take a
+///   token if one is available *now*, else reject. Never goes negative.
+/// * [`TokenBucket::reserve`] — client-side pacing: always succeeds,
+///   debiting the bucket (possibly into debt) and returning the earliest
+///   instant the caller may act. Consecutive reservations get distinct,
+///   `1/rate`-spaced release times, so a queue of deferred sends drains
+///   at exactly the configured rate with no thundering herd.
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    rate: f64,
+    burst: f64,
+    tokens: f64,
+    last_refill: Nanos,
+}
+
+impl TokenBucket {
+    /// New bucket, initially full.
+    pub fn new(rate: f64, burst: f64) -> TokenBucket {
+        TokenBucket {
+            rate,
+            burst,
+            tokens: burst,
+            last_refill: 0,
+        }
+    }
+
+    fn refill(&mut self, now: Nanos) {
+        if now > self.last_refill {
+            let dt = (now - self.last_refill) as f64 / SECONDS as f64;
+            self.tokens = (self.tokens + dt * self.rate).min(self.burst);
+            self.last_refill = now;
+        }
+    }
+
+    /// Take one token if available.
+    pub fn try_take(&mut self, now: Nanos) -> bool {
+        self.refill(now);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Debit one token unconditionally and return the earliest instant
+    /// the debited send may go on the wire: `now` when a token was
+    /// available, otherwise the future time at which the accumulated debt
+    /// is repaid by refill.
+    pub fn reserve(&mut self, now: Nanos) -> Nanos {
+        self.refill(now);
+        self.tokens -= 1.0;
+        if self.tokens >= 0.0 {
+            return now;
+        }
+        // tokens is negative: the bucket owes |tokens| tokens of refill
+        // before this reservation is covered.
+        let wait_secs = -self.tokens / self.rate;
+        now + (wait_secs * SECONDS as f64).ceil() as Nanos
+    }
+
+    /// Current token count (after refill), for tests and introspection.
+    pub fn available(&mut self, now: Nanos) -> f64 {
+        self.refill(now);
+        self.tokens
+    }
+
+    /// The configured fill rate in tokens/second.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+/// Verdict of a send-gate admission check.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PaceDecision {
+    /// Send immediately.
+    Ready,
+    /// Hold the send until `until`; the gate has already accounted for
+    /// it, so the caller must send at that time *without* re-admitting.
+    Defer {
+        /// Absolute release time in the caller's clock domain.
+        until: Nanos,
+        /// True when the binding constraint was per-destination (host
+        /// bucket or backoff penalty) rather than the global budget —
+        /// what drivers report as a per-destination throttle event.
+        host_limited: bool,
+    },
+}
+
+/// The client-side pacing interface a send path consults before putting
+/// a query on the wire. Implemented by `zdns_core::pacer::Pacer`;
+/// accepted by the simulation engine as a pluggable hook so the same
+/// pacer closes the loop under virtual time.
+pub trait SendGate {
+    /// Admit one send to `dest` at `now`. A [`PaceDecision::Defer`]
+    /// reserves the send's budget — the caller must perform it at the
+    /// returned release time without calling `admit` again.
+    fn admit(&mut self, dest: Ipv4Addr, now: Nanos) -> PaceDecision;
+
+    /// Feedback: a response from `dest` was delivered to its lookup.
+    fn on_success(&mut self, dest: Ipv4Addr, now: Nanos);
+
+    /// Feedback: a query to `dest` timed out or failed in transport —
+    /// the real-socket stand-in for ICMP backpressure signals.
+    fn on_failure(&mut self, dest: Ipv4Addr, now: Nanos);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn burst_then_limits() {
+        let mut tb = TokenBucket::new(10.0, 5.0);
+        for _ in 0..5 {
+            assert!(tb.try_take(0));
+        }
+        assert!(!tb.try_take(0));
+        // After 100ms, one token has refilled.
+        assert!(tb.try_take(SECONDS / 10));
+        assert!(!tb.try_take(SECONDS / 10));
+    }
+
+    #[test]
+    fn refill_caps_at_burst() {
+        let mut tb = TokenBucket::new(1000.0, 10.0);
+        assert!((tb.available(100 * SECONDS) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sustained_rate_is_enforced() {
+        let mut tb = TokenBucket::new(100.0, 10.0);
+        let mut granted = 0;
+        // Offer 10x the rate for 10 simulated seconds.
+        for i in 0..10_000u64 {
+            let now = i * SECONDS / 1000;
+            if tb.try_take(now) {
+                granted += 1;
+            }
+        }
+        // ~100/s for 10s plus the initial burst.
+        assert!((1000..=1050).contains(&granted), "{granted}");
+    }
+
+    #[test]
+    fn reserve_spaces_releases_at_exact_rate() {
+        let mut tb = TokenBucket::new(100.0, 1.0);
+        let first = tb.reserve(0);
+        assert_eq!(first, 0, "burst token covers the first send");
+        let mut prev = first;
+        for _ in 0..50 {
+            let next = tb.reserve(0);
+            let gap = next - prev;
+            // 1/rate = 10ms, ±1ns of ceil slack per reservation.
+            assert!((gap as i64 - (SECONDS / 100) as i64).abs() <= 2, "{gap}");
+            prev = next;
+        }
+    }
+
+    #[test]
+    fn reserve_debt_is_repaid_by_waiting() {
+        let mut tb = TokenBucket::new(10.0, 1.0);
+        let t1 = tb.reserve(0);
+        let t2 = tb.reserve(0);
+        assert_eq!(t1, 0);
+        assert!(t2 >= SECONDS / 10);
+        // By t2 the debt is exactly repaid: the next reservation lands
+        // one more interval out.
+        let t3 = tb.reserve(t2);
+        assert!(t3 >= t2 + SECONDS / 10 - 2, "{t3} vs {t2}");
+    }
+}

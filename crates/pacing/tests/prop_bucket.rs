@@ -1,0 +1,103 @@
+//! Property tests for the shared token bucket: no offered load pattern
+//! may push grants (server side) or release times (client side) past the
+//! configured budget over *any* observation window, and a saturated
+//! bucket must converge to exactly its rate.
+
+use proptest::prelude::*;
+use zdns_pacing::{TokenBucket, SECONDS};
+
+/// Count how many of `times` fall inside `[start, start + window)`.
+fn in_window(times: &[u64], start: u64, window: u64) -> usize {
+    times
+        .iter()
+        .filter(|&&t| t >= start && t < start + window)
+        .count()
+}
+
+/// The budget ceiling for one window: the initial burst plus refill over
+/// the window, with one token of slack for boundary rounding.
+fn ceiling(rate: f64, burst: f64, window: u64) -> usize {
+    (burst + rate * window as f64 / SECONDS as f64).ceil() as usize + 1
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn try_take_never_exceeds_budget_over_any_window(
+        rate_x10 in 10u64..5_000,
+        burst in 1u64..64,
+        gaps in proptest::collection::vec(0u64..20_000_000, 50..400),
+    ) {
+        let rate = rate_x10 as f64 / 10.0;
+        let mut tb = TokenBucket::new(rate, burst as f64);
+        let mut now = 0u64;
+        let mut grants = Vec::new();
+        for gap in &gaps {
+            now += gap;
+            if tb.try_take(now) {
+                grants.push(now);
+            }
+        }
+        // Slide a set of windows over the grant times; none may hold more
+        // than burst + rate * window tokens.
+        for window in [50 * zdns_pacing::MILLIS, 500 * zdns_pacing::MILLIS, SECONDS] {
+            for &start in &grants {
+                prop_assert!(
+                    in_window(&grants, start, window) <= ceiling(rate, burst as f64, window),
+                    "window {window} from {start} exceeded budget"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reserve_release_times_never_exceed_budget_over_any_window(
+        rate_x10 in 10u64..5_000,
+        burst in 1u64..64,
+        gaps in proptest::collection::vec(0u64..5_000_000, 50..400),
+    ) {
+        let rate = rate_x10 as f64 / 10.0;
+        let mut tb = TokenBucket::new(rate, burst as f64);
+        let mut now = 0u64;
+        let mut releases = Vec::new();
+        for gap in &gaps {
+            now += gap;
+            let at = tb.reserve(now);
+            prop_assert!(at >= now, "release in the past");
+            releases.push(at);
+        }
+        releases.sort_unstable();
+        for window in [100 * zdns_pacing::MILLIS, SECONDS] {
+            for &start in &releases {
+                prop_assert!(
+                    in_window(&releases, start, window) <= ceiling(rate, burst as f64, window),
+                    "window {window} from {start} exceeded budget"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn saturated_reserve_converges_to_rate(
+        rate in 10u64..2_000,
+        n in 100usize..600,
+    ) {
+        // Demand everything up front: the bucket must spread N sends over
+        // exactly (N - burst) / rate seconds.
+        let burst = 1.0;
+        let mut tb = TokenBucket::new(rate as f64, burst);
+        let mut last = 0u64;
+        for _ in 0..n {
+            last = tb.reserve(0);
+        }
+        let expected = ((n as f64 - burst) / rate as f64 * SECONDS as f64) as i64;
+        let got = last as i64;
+        // ±1% plus ceil slack: one nanosecond per reservation.
+        let tolerance = expected / 100 + n as i64 + 2;
+        prop_assert!(
+            (got - expected).abs() <= tolerance,
+            "{n} sends at {rate}/s: last release {got}, expected {expected}"
+        );
+    }
+}
