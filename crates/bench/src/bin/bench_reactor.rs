@@ -1,0 +1,262 @@
+//! Reactor syscall-batching A/B: lookups/sec for the batched
+//! (`sendmmsg`/`recvmmsg`, `--batch-size 32`) reactor versus per-datagram
+//! syscalls (`--batch-size 1`) on a zero-latency loopback workload with a
+//! 1000-lookup admission window — the configuration where syscall cost,
+//! not network latency, is the binding constraint.
+//!
+//! Writes a `BENCH_reactor.json` artifact recording both rates so CI can
+//! track the bench trajectory, and exits non-zero if `--min-speedup X` is
+//! given and the batched/per-datagram ratio lands below it (the perf
+//! gate).
+//!
+//! Run: `cargo run --release -p zdns-bench --bin bench_reactor -- [--quick]
+//! [--out PATH] [--min-speedup X]`
+
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+use std::time::Instant;
+
+use zdns_bench::quick_mode;
+use zdns_core::{
+    AddrMap, Admission, Driver, DriverReport, Reactor, ReactorConfig, Resolver, ResolverConfig,
+};
+use zdns_netsim::{WireServer, SECONDS};
+use zdns_wire::{Name, Question, RData, Record, RecordType};
+use zdns_zones::{ExplicitUniverse, Universe, Zone};
+
+/// The admission window the acceptance criterion names.
+const IN_FLIGHT: usize = 1_000;
+/// Batch depth for the batched configuration (the reactor default).
+const BATCH: usize = 32;
+
+/// `n` A records behind `servers` zero-latency loopback wire servers;
+/// external-mode lookups hash across the servers, spreading server-side
+/// work over several OS threads so the measured bottleneck is the
+/// client's syscall layer.
+fn loopback_fleet(
+    n: usize,
+    servers: usize,
+) -> (Vec<WireServer>, Resolver, Arc<AddrMap>, Vec<Question>) {
+    let server_ips: Vec<Ipv4Addr> = (0..servers)
+        .map(|i| Ipv4Addr::new(203, 0, 113, 50 + i as u8))
+        .collect();
+    let mut fleet = Vec::new();
+    let mut mapping = Vec::new();
+    for ip in &server_ips {
+        let mut zone = Zone::new(
+            "bench.test".parse().unwrap(),
+            "ns1.bench.test".parse().unwrap(),
+            300,
+        );
+        for i in 0..n {
+            zone.add(Record::new(
+                format!("b{i}.bench.test").parse().unwrap(),
+                300,
+                RData::A(Ipv4Addr::new(10, 9, (i / 256) as u8, (i % 256) as u8)),
+            ));
+        }
+        let mut universe = ExplicitUniverse::new();
+        universe.host(*ip, zone);
+        let server = WireServer::start(Arc::new(universe) as Arc<dyn Universe>, *ip).unwrap();
+        mapping.push((*ip, server.addr()));
+        fleet.push(server);
+    }
+    let addr_map: Arc<AddrMap> = Arc::new(move |ip| {
+        mapping
+            .iter()
+            .find(|(sim, _)| *sim == ip)
+            .map(|(_, real)| *real)
+            .expect("every query targets a bench server")
+    });
+    let mut config = ResolverConfig::external(server_ips);
+    config.timeout = 2 * SECONDS;
+    config.retries = 2;
+    let resolver = Resolver::new(config);
+    let questions = (0..n)
+        .map(|i| {
+            Question::new(
+                format!("b{i}.bench.test").parse::<Name>().unwrap(),
+                RecordType::A,
+            )
+        })
+        .collect();
+    (fleet, resolver, addr_map, questions)
+}
+
+/// Drive every question through one reactor and return
+/// (lookups/sec, driver report).
+fn run_once(
+    resolver: &Resolver,
+    addr_map: &Arc<AddrMap>,
+    questions: &[Question],
+    batch_size: usize,
+) -> (f64, DriverReport) {
+    let mut reactor = Reactor::new(
+        ReactorConfig {
+            max_in_flight: IN_FLIGHT,
+            source: Ipv4Addr::LOCALHOST,
+            batch_size,
+            ..ReactorConfig::default()
+        },
+        Arc::clone(addr_map),
+    )
+    .unwrap();
+    let mut next = 0usize;
+    let mut feed = || {
+        if next < questions.len() {
+            let machine = resolver.machine(questions[next].clone(), None);
+            next += 1;
+            Admission::Admit(machine)
+        } else {
+            Admission::Exhausted
+        }
+    };
+    let mut done = 0usize;
+    let mut on_done = |_| done += 1;
+    let started = Instant::now();
+    let report = reactor.run_scan(&mut feed, &mut on_done);
+    let elapsed = started.elapsed();
+    assert_eq!(done, questions.len(), "every lookup must complete");
+    (questions.len() as f64 / elapsed.as_secs_f64(), report)
+}
+
+/// Best of `rounds` runs (loopback benches are noisy on shared runners).
+fn best_of(
+    rounds: usize,
+    resolver: &Resolver,
+    addr_map: &Arc<AddrMap>,
+    questions: &[Question],
+    batch_size: usize,
+) -> (f64, DriverReport) {
+    let mut best: Option<(f64, DriverReport)> = None;
+    for _ in 0..rounds {
+        let run = run_once(resolver, addr_map, questions, batch_size);
+        if best.as_ref().map(|(r, _)| run.0 > *r).unwrap_or(true) {
+            best = Some(run);
+        }
+    }
+    best.expect("rounds >= 1")
+}
+
+fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Measure this kernel's raw per-datagram send cost through `BatchIo`
+/// itself — per-datagram path vs batched path — so the artifact records
+/// how expensive syscall *boundaries* are where the bench ran. On
+/// mitigation-heavy kernels (KPTI etc.) the boundary runs 0.5–1.5µs and
+/// batching pays off ~10×; on paravirt kernels with cheap entry it can
+/// be tens of nanoseconds, bounding the achievable end-to-end speedup.
+fn measure_syscall_costs() -> (f64, f64) {
+    use zdns_core::BatchIo;
+    let tx = std::net::UdpSocket::bind((Ipv4Addr::LOCALHOST, 0)).unwrap();
+    let rx = std::net::UdpSocket::bind((Ipv4Addr::LOCALHOST, 0)).unwrap();
+    let to = rx.local_addr().unwrap();
+    tx.set_nonblocking(true).unwrap();
+    let payload = vec![0u8; 40];
+    let n = 32_000usize;
+    let msgs: Vec<(&[u8], std::net::SocketAddr)> =
+        (0..n).map(|_| (payload.as_slice(), to)).collect();
+    let mut statuses = Vec::new();
+    let mut time_path = |io: &mut BatchIo| {
+        statuses.clear();
+        let started = Instant::now();
+        let stats = io.send_batch(&tx, &msgs, &mut statuses, &mut |_| {});
+        started.elapsed().as_nanos() as f64 / stats.sent.max(1) as f64
+    };
+    let per_dg = time_path(&mut BatchIo::per_datagram(1));
+    let batched = time_path(&mut BatchIo::new(BATCH));
+    (per_dg, batched)
+}
+
+fn main() {
+    let quick = quick_mode();
+    let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_reactor.json".to_string());
+    let min_speedup: Option<f64> = arg_value("--min-speedup").map(|v| v.parse().unwrap());
+    let lookups = if quick { 8_000 } else { 30_000 };
+    let rounds = if quick { 2 } else { 3 };
+
+    let (sendto_ns, sendmmsg_ns) = measure_syscall_costs();
+    println!(
+        "kernel syscall layer: {sendto_ns:.0} ns/dg per-datagram, {sendmmsg_ns:.0} ns/dg \
+         batched ({:.0} ns boundary saved per datagram)",
+        sendto_ns - sendmmsg_ns
+    );
+
+    let (_fleet, resolver, addr_map, questions) = loopback_fleet(lookups, 4);
+
+    // Warm up server threads, caches, and the page allocator before
+    // either timed configuration runs.
+    let warm: Vec<Question> = questions.iter().take(lookups / 4).cloned().collect();
+    let _ = run_once(&resolver, &addr_map, &warm, BATCH);
+
+    let (per_datagram_rate, per_datagram_report) =
+        best_of(rounds, &resolver, &addr_map, &questions, 1);
+    let (batched_rate, batched_report) = best_of(rounds, &resolver, &addr_map, &questions, BATCH);
+    let speedup = batched_rate / per_datagram_rate;
+
+    let batched_fill = batched_report.datagrams_sent as f64 / batched_report.send_syscalls as f64;
+    println!(
+        "reactor loopback bench: {lookups} lookups, {IN_FLIGHT} in-flight window, 4 servers \
+         (peak in flight: {} per-datagram / {} batched)",
+        per_datagram_report.peak_in_flight, batched_report.peak_in_flight
+    );
+    println!(
+        "  per-datagram (batch 1):  {per_datagram_rate:>9.0} lookups/s  \
+         ({} send syscalls)",
+        per_datagram_report.send_syscalls
+    );
+    println!(
+        "  batched     (batch {BATCH}): {batched_rate:>9.0} lookups/s  \
+         ({} send syscalls, {batched_fill:.1} dg/syscall, fill {})",
+        batched_report.send_syscalls,
+        batched_report.send_batch_fill.summary()
+    );
+    println!("  speedup: {speedup:.2}x");
+
+    let json = serde_json::json!({
+        "bench": "reactor_batched_vs_per_datagram",
+        "kernel": {
+            "sendto_ns_per_datagram": sendto_ns,
+            "sendmmsg_ns_per_datagram": sendmmsg_ns,
+            "syscall_boundary_ns_saved_per_datagram": sendto_ns - sendmmsg_ns,
+        },
+        "workload": {
+            "lookups": lookups,
+            "in_flight": IN_FLIGHT,
+            "servers": 4,
+            "latency_ms": 0,
+            "quick": quick,
+        },
+        "per_datagram": {
+            "batch_size": 1,
+            "lookups_per_sec": per_datagram_rate,
+            "send_syscalls": per_datagram_report.send_syscalls,
+            "recv_syscalls": per_datagram_report.recv_syscalls,
+        },
+        "batched": {
+            "batch_size": BATCH,
+            "lookups_per_sec": batched_rate,
+            "send_syscalls": batched_report.send_syscalls,
+            "recv_syscalls": batched_report.recv_syscalls,
+            "datagrams_per_send_syscall": batched_fill,
+            "send_batch_fill": batched_report.send_batch_fill.summary(),
+            "recv_batch_fill": batched_report.recv_batch_fill.summary(),
+        },
+        "speedup": speedup,
+    });
+    std::fs::write(&out_path, serde_json::to_string_pretty(&json).unwrap()).unwrap();
+    println!("wrote {out_path}");
+
+    if let Some(min) = min_speedup {
+        if speedup < min {
+            eprintln!("bench_reactor: FAIL — speedup {speedup:.2}x below the {min:.2}x gate");
+            std::process::exit(1);
+        }
+        println!("bench_reactor: speedup gate passed ({speedup:.2}x >= {min:.2}x)");
+    }
+}

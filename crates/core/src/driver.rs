@@ -18,6 +18,64 @@ use crate::pacer::Pacer;
 use crate::resolver::{drive_blocking_paced, AddrMap};
 use crate::transport::Transport;
 
+/// Power-of-two histogram of datagrams per syscall, the observability
+/// feed for the reactor's batched I/O layer: bucket `i` counts syscalls
+/// that moved `2^i ..= 2^(i+1)-1` datagrams (the last bucket is
+/// open-ended at ≥ 128).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BatchHistogram {
+    buckets: [u64; 8],
+}
+
+impl BatchHistogram {
+    /// Bucket labels, index-aligned with [`BatchHistogram::buckets`].
+    pub const LABELS: [&'static str; 8] = [
+        "1", "2-3", "4-7", "8-15", "16-31", "32-63", "64-127", "128+",
+    ];
+
+    /// Record one syscall that moved `n` datagrams.
+    pub fn record(&mut self, n: usize) {
+        if n == 0 {
+            return;
+        }
+        let mut idx = 0;
+        let mut bound = 2;
+        while idx < 7 && n >= bound {
+            idx += 1;
+            bound *= 2;
+        }
+        self.buckets[idx] += 1;
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &BatchHistogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+    }
+
+    /// Syscalls recorded.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// The raw bucket counts.
+    pub fn buckets(&self) -> &[u64; 8] {
+        &self.buckets
+    }
+
+    /// Compact `label:count` rendering of the non-empty buckets.
+    pub fn summary(&self) -> String {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| **n > 0)
+            .map(|(i, n)| format!("{}:{}", Self::LABELS[i], n))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
 /// What a driver's machine source returns on each pull.
 pub enum Admission {
     /// A machine to drive.
@@ -66,6 +124,25 @@ pub struct DriverReport {
     /// Sends requeued after send-buffer backpressure (WouldBlock) —
     /// counted as backpressure, not as lookup errors.
     pub backpressure_requeues: u64,
+    /// Send syscalls issued by the batched I/O layer (`sendmmsg` calls,
+    /// or individual `send_to` calls on the fallback path).
+    pub send_syscalls: u64,
+    /// Datagrams put on the wire. `datagrams_sent / send_syscalls` is the
+    /// realized send-side batching factor.
+    pub datagrams_sent: u64,
+    /// Receive syscalls issued (`recvmmsg` calls, or `recv_from` calls —
+    /// including terminal would-block probes — on the fallback path).
+    pub recv_syscalls: u64,
+    /// Datagrams pulled off the socket (delivered + stale + undecodable).
+    pub datagrams_received: u64,
+    /// Receive batches that came back shorter than the arena — the queue
+    /// emptied mid-batch. A normal sign of keeping up, tracked separately
+    /// so a short `recvmmsg` return is never mistaken for a socket error.
+    pub recv_partial_batches: u64,
+    /// Datagrams-per-syscall distribution on the send side.
+    pub send_batch_fill: BatchHistogram,
+    /// Datagrams-per-drain-batch distribution on the receive side.
+    pub recv_batch_fill: BatchHistogram,
 }
 
 impl DriverReport {
@@ -87,6 +164,13 @@ impl DriverReport {
         self.max_deferred_depth = self.max_deferred_depth.max(other.max_deferred_depth);
         self.per_host_throttles += other.per_host_throttles;
         self.backpressure_requeues += other.backpressure_requeues;
+        self.send_syscalls += other.send_syscalls;
+        self.datagrams_sent += other.datagrams_sent;
+        self.recv_syscalls += other.recv_syscalls;
+        self.datagrams_received += other.datagrams_received;
+        self.recv_partial_batches += other.recv_partial_batches;
+        self.send_batch_fill.merge(&other.send_batch_fill);
+        self.recv_batch_fill.merge(&other.recv_batch_fill);
     }
 }
 

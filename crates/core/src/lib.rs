@@ -27,15 +27,18 @@ pub mod transport;
 
 pub use cache::{Cache, CacheKey, CacheStats};
 pub use config::{ResolutionMode, ResolverConfig};
-pub use driver::{Admission, BlockingDriver, Driver, DriverReport};
+pub use driver::{Admission, BatchHistogram, BlockingDriver, Driver, DriverReport};
 pub use machine::{
     DirectMachine, ExternalMachine, IterativeMachine, ResolveTarget, ResolverCore, ResultSink,
 };
 pub use pacer::{Pacer, PacerConfig};
-pub use reactor::{Reactor, ReactorConfig};
+pub use reactor::{Reactor, ReactorConfig, DEFAULT_BATCH_SIZE};
 pub use resolver::{collecting_sink, drive_blocking, drive_blocking_paced, AddrMap, Resolver};
 pub use result::{DelegationInfo, LookupResult};
 pub use stats::{Stats, StatsSnapshot};
 pub use status::Status;
 pub use trace::TraceStep;
-pub use transport::{blocking_tcp_exchange, Transport, TransportError, UdpTransport};
+pub use transport::{
+    blocking_tcp_exchange, BatchIo, BatchSendStatus, RecvBatch, SendBatchStats, Transport,
+    TransportError, UdpTransport, VectoredSend,
+};

@@ -16,7 +16,13 @@
 //!   global and per-destination budgets: deferred sends are parked on a
 //!   queue whose release times are armed on the same timer wheel — no
 //!   extra threads, no busy-wait — and timeout/error streaks feed
-//!   per-destination adaptive backoff.
+//!   per-destination adaptive backoff;
+//! * a **batched syscall layer** ([`BatchIo`]) amortizes per-datagram
+//!   syscall cost: sends emitted in the same event-loop tick — admission
+//!   bursts, same-tick retries, and pacer deferred-queue releases that
+//!   mature on the same wheel tick — are staged and flushed through one
+//!   `sendmmsg(2)`, and receives drain through a reusable
+//!   `recvmmsg(2)` arena of [`ReactorConfig::batch_size`] buffers.
 //!
 //! The lookup machines are unchanged — the same [`SimClient`] state
 //! machines the discrete-event simulator drives. The reactor is just the
@@ -38,7 +44,8 @@ use zdns_pacing::{PaceDecision, SendGate};
 use crate::driver::{Admission, Driver, DriverReport};
 use crate::pacer::{Pacer, PacerConfig};
 use crate::resolver::AddrMap;
-use crate::transport::{blocking_tcp_exchange, TransportError};
+use crate::transport::readiness;
+use crate::transport::{blocking_tcp_exchange, BatchIo, BatchSendStatus, TransportError};
 
 /// Tunables for one reactor.
 #[derive(Debug, Clone)]
@@ -58,7 +65,16 @@ pub struct ReactorConfig {
     /// default). Scans splitting one budget over several workers should
     /// hand each reactor `PacerConfig::split(workers)`.
     pub pacer: PacerConfig,
+    /// Datagrams per syscall on the hot path: same-tick sends coalesce
+    /// into one `sendmmsg` of up to this many datagrams, and the receive
+    /// arena pre-allocates this many buffers for `recvmmsg`. `1` forces
+    /// the per-datagram `send_to`/`recv_from` path.
+    pub batch_size: usize,
 }
+
+/// Default [`ReactorConfig::batch_size`]: deep enough to amortize
+/// syscall cost, shallow enough that the arena stays ~2 MB per worker.
+pub const DEFAULT_BATCH_SIZE: usize = 32;
 
 impl Default for ReactorConfig {
     fn default() -> Self {
@@ -69,6 +85,7 @@ impl Default for ReactorConfig {
             wheel_slots: 1_024,
             wheel_granularity: 4 * MILLIS,
             pacer: PacerConfig::default(),
+            batch_size: DEFAULT_BATCH_SIZE,
         }
     }
 }
@@ -186,75 +203,6 @@ impl TimerWheel {
 }
 
 // ---------------------------------------------------------------------------
-// Readiness wait
-// ---------------------------------------------------------------------------
-
-#[cfg(unix)]
-mod readiness {
-    use std::os::fd::RawFd;
-
-    #[repr(C)]
-    struct PollFd {
-        fd: i32,
-        events: i16,
-        revents: i16,
-    }
-
-    const POLLIN: i16 = 0x001;
-    const POLLOUT: i16 = 0x004;
-
-    extern "C" {
-        fn poll(
-            fds: *mut PollFd,
-            nfds: std::ffi::c_ulong,
-            timeout: std::ffi::c_int,
-        ) -> std::ffi::c_int;
-    }
-
-    fn wait_for(fd: RawFd, events: i16, timeout_ms: i32) -> bool {
-        let mut pfd = PollFd {
-            fd,
-            events,
-            revents: 0,
-        };
-        // SAFETY: `pfd` is a valid pollfd for the duration of the call and
-        // `nfds` matches the array length (1).
-        let r = unsafe { poll(&mut pfd, 1, timeout_ms.max(0)) };
-        r > 0 && (pfd.revents & events) != 0
-    }
-
-    /// Block until `fd` is readable or `timeout_ms` elapses. Hand-rolled
-    /// `poll(2)` so the reactor needs no external event-loop crate.
-    pub fn wait_readable(fd: RawFd, timeout_ms: i32) -> bool {
-        wait_for(fd, POLLIN, timeout_ms)
-    }
-
-    /// Block until `fd` is writable or `timeout_ms` elapses.
-    pub fn wait_writable(fd: RawFd, timeout_ms: i32) -> bool {
-        wait_for(fd, POLLOUT, timeout_ms)
-    }
-}
-
-#[cfg(not(unix))]
-mod readiness {
-    /// Portable fallback: nap briefly and let the non-blocking read probe.
-    pub fn wait_readable(_fd: i32, timeout_ms: i32) -> bool {
-        std::thread::sleep(std::time::Duration::from_millis(
-            timeout_ms.clamp(0, 2) as u64
-        ));
-        true
-    }
-
-    /// Portable fallback for writability.
-    pub fn wait_writable(_fd: i32, timeout_ms: i32) -> bool {
-        std::thread::sleep(std::time::Duration::from_millis(
-            timeout_ms.clamp(0, 1) as u64
-        ));
-        true
-    }
-}
-
-// ---------------------------------------------------------------------------
 // TCP side-pool
 // ---------------------------------------------------------------------------
 
@@ -346,6 +294,8 @@ struct Slot {
     tcp_pending: usize,
     /// Sends held on the pacer's deferred queue.
     deferred: usize,
+    /// Sends staged for the next batch flush (same-tick coalescing).
+    staged: usize,
 }
 
 /// A UDP send the pacer is holding back. Its budget was reserved at
@@ -368,15 +318,28 @@ fn pace_key() -> DemuxKey {
     )
 }
 
-/// How a UDP send attempt ended.
-enum SendStatus {
-    /// On the wire.
-    Sent,
-    /// The socket send buffer was full after a writability wait —
-    /// backpressure, not failure.
-    Backpressure,
-    /// A real socket error.
-    Failed,
+/// A UDP send admitted by the pacer and waiting for the next batch
+/// flush. Staging is what lets every send emitted in one event-loop tick
+/// share a single `sendmmsg`.
+struct StagedSend {
+    slot: usize,
+    generation: u64,
+    /// Backpressure requeues this send has already been through.
+    attempts: u32,
+    oq: OutQuery,
+}
+
+/// A staged send that has its wire id, demux entry, and timeout armed,
+/// and is about to go through the batched syscall. Registration happens
+/// at prep time (before the syscall) so two same-tick sends to one peer
+/// can never pick the same wire id; non-`Sent` outcomes roll it back.
+struct PreparedSend {
+    slot: usize,
+    attempts: u32,
+    key: DemuxKey,
+    orig_id: u16,
+    oq: OutQuery,
+    bytes: Vec<u8>,
 }
 
 /// Ceiling on consecutive receive errors absorbed in one drain pass, so
@@ -416,7 +379,8 @@ pub struct Reactor {
     tcp: TcpPool,
     tcp_inflight: usize,
     report: DriverReport,
-    recv_buf: Box<[u8; 65_535]>,
+    batch: BatchIo,
+    staged: Vec<StagedSend>,
 }
 
 impl Reactor {
@@ -442,6 +406,7 @@ impl Reactor {
         let wheel = TimerWheel::new(config.wheel_slots, config.wheel_granularity);
         let tcp = TcpPool::start(config.tcp_pool);
         let pacer = Pacer::new(config.pacer.clone());
+        let batch = BatchIo::new(config.batch_size);
         Ok(Reactor {
             socket,
             addr_map,
@@ -460,7 +425,8 @@ impl Reactor {
             tcp,
             tcp_inflight: 0,
             report: DriverReport::default(),
-            recv_buf: Box::new([0u8; 65_535]),
+            batch,
+            staged: Vec::new(),
         })
     }
 
@@ -514,6 +480,7 @@ impl Reactor {
             keys: Vec::new(),
             tcp_pending: 0,
             deferred: 0,
+            staged: 0,
         });
         self.in_flight += 1;
         self.report.peak_in_flight = self.report.peak_in_flight.max(self.in_flight);
@@ -559,10 +526,16 @@ impl Reactor {
 
     /// A running machine with nothing in flight would hang the scan; fail
     /// it closed, mirroring `drive_blocking`. A machine whose sends are
-    /// merely held by the pacer is waiting, not wedged.
+    /// merely held by the pacer — or staged for the next batch flush —
+    /// is waiting, not wedged.
     fn reap_if_wedged(&mut self, idx: usize, on_done: &mut dyn FnMut(Option<JobOutcome>)) {
         let wedged = match &self.slots[idx] {
-            Some(slot) => slot.keys.is_empty() && slot.tcp_pending == 0 && slot.deferred == 0,
+            Some(slot) => {
+                slot.keys.is_empty()
+                    && slot.tcp_pending == 0
+                    && slot.deferred == 0
+                    && slot.staged == 0
+            }
             None => false,
         };
         if wedged {
@@ -633,7 +606,7 @@ impl Reactor {
                     immediate.push(ClientEvent::TransportFailed { tag: oq.tag });
                 }
                 Protocol::Udp => match self.pacer.admit(oq.to, self.now()) {
-                    PaceDecision::Ready => self.send_udp_query(idx, oq, 0, immediate),
+                    PaceDecision::Ready => self.stage_send(idx, oq, 0),
                     PaceDecision::Defer {
                         until,
                         host_limited,
@@ -671,112 +644,158 @@ impl Reactor {
     }
 
     /// A deferred send's release time arrived: its budget is already
-    /// reserved, so it goes straight to the wire (unless its owner
-    /// retired while it was held).
-    fn release_deferred(
-        &mut self,
-        sent: DeferredSend,
-        on_done: &mut dyn FnMut(Option<JobOutcome>),
-    ) {
+    /// reserved, so it goes into the next batch flush (unless its owner
+    /// retired while it was held). Releases that mature on the same wheel
+    /// tick therefore coalesce into one `sendmmsg`.
+    fn release_deferred(&mut self, sent: DeferredSend) {
         if self.generations[sent.slot] != sent.generation {
             return; // owner finished while the send was held
         }
         if let Some(slot) = self.slots[sent.slot].as_mut() {
             slot.deferred -= 1;
         }
-        let mut immediate = Vec::new();
-        self.send_udp_query(sent.slot, sent.oq, sent.attempts, &mut immediate);
-        for event in immediate {
-            self.deliver(sent.slot, event, on_done);
-        }
+        self.stage_send(sent.slot, sent.oq, sent.attempts);
     }
 
-    /// Put one admitted UDP query on the wire: allocate a wire id, arm
-    /// its timeout, and register it for demux. Send-buffer backpressure
-    /// requeues the datagram on the deferred queue instead of failing the
-    /// lookup.
-    fn send_udp_query(
-        &mut self,
-        idx: usize,
-        mut oq: OutQuery,
-        attempts: u32,
-        immediate: &mut Vec<ClientEvent>,
-    ) {
-        let dest = (self.addr_map)(oq.to);
-        let Some(txid) = self.allocate_txid(dest, oq.query.id) else {
-            immediate.push(ClientEvent::TransportFailed { tag: oq.tag });
-            return;
-        };
-        let orig_id = oq.query.id;
-        oq.query.id = txid;
-        let bytes = match oq.query.encode() {
-            Ok(b) => b,
-            Err(_) => {
-                immediate.push(ClientEvent::TransportFailed { tag: oq.tag });
-                return;
-            }
-        };
-        match self.send_udp(&bytes, dest) {
-            SendStatus::Sent => {
+    /// Queue one pacer-admitted UDP send for the next batch flush.
+    fn stage_send(&mut self, idx: usize, oq: OutQuery, attempts: u32) {
+        if let Some(slot) = self.slots[idx].as_mut() {
+            slot.staged += 1;
+        }
+        self.staged.push(StagedSend {
+            slot: idx,
+            generation: self.generations[idx],
+            attempts,
+            oq,
+        });
+    }
+
+    /// Flush every staged send through the batched syscall layer, looping
+    /// until the stage is empty (a `TransportFailed` delivered here can
+    /// make its machine emit a retry, which stages again).
+    ///
+    /// Each flush is three phases so no machine code runs while the batch
+    /// is being assembled:
+    /// 1. **prep** — per send: allocate a wire id, encode, arm the
+    ///    timeout, and register the demux entry (registering *before* the
+    ///    syscall is what keeps two same-tick sends to one peer from
+    ///    colliding on a wire id);
+    /// 2. **syscall** — one `sendmmsg` per `batch_size` datagrams (or
+    ///    per-datagram sends on the fallback path);
+    /// 3. **settle** — non-`Sent` datagrams roll their registration back:
+    ///    backpressure requeues on the deferred queue, errors fail the
+    ///    lookup.
+    fn flush_staged(&mut self, on_done: &mut dyn FnMut(Option<JobOutcome>)) {
+        let mut statuses: Vec<BatchSendStatus> = Vec::new();
+        while !self.staged.is_empty() {
+            let staged = std::mem::take(&mut self.staged);
+            let mut events: Vec<(usize, ClientEvent)> = Vec::new();
+            let mut prepared: Vec<PreparedSend> = Vec::with_capacity(staged.len());
+            for send in staged {
+                if self.generations[send.slot] != send.generation {
+                    continue; // owner retired while the send was staged
+                }
+                if let Some(slot) = self.slots[send.slot].as_mut() {
+                    slot.staged -= 1;
+                }
+                let mut oq = send.oq;
+                let dest = (self.addr_map)(oq.to);
+                let Some(txid) = self.allocate_txid(dest, oq.query.id) else {
+                    events.push((send.slot, ClientEvent::TransportFailed { tag: oq.tag }));
+                    continue;
+                };
+                let orig_id = oq.query.id;
+                oq.query.id = txid;
+                let bytes = match oq.query.encode() {
+                    Ok(b) => b,
+                    Err(_) => {
+                        events.push((send.slot, ClientEvent::TransportFailed { tag: oq.tag }));
+                        continue;
+                    }
+                };
                 let token = self.next_token;
                 self.next_token += 1;
                 let key = (dest, txid);
-                let deadline = self.now() + oq.timeout;
-                self.wheel.arm(deadline, token, key);
+                self.wheel.arm(self.now() + oq.timeout, token, key);
                 self.demux.insert(
                     key,
                     Pending {
-                        slot: idx,
+                        slot: send.slot,
                         tag: oq.tag,
                         sim_ip: oq.to,
                         orig_id,
                         timer_token: token,
                     },
                 );
-                if let Some(slot) = self.slots[idx].as_mut() {
+                if let Some(slot) = self.slots[send.slot].as_mut() {
                     slot.keys.push(key);
                 }
+                prepared.push(PreparedSend {
+                    slot: send.slot,
+                    attempts: send.attempts,
+                    key,
+                    orig_id,
+                    oq,
+                    bytes,
+                });
             }
-            SendStatus::Backpressure if attempts < MAX_BACKPRESSURE_RETRIES => {
-                // The wire id was never registered; restore the machine's
-                // own id and retry shortly.
-                oq.query.id = orig_id;
-                self.report.backpressure_requeues += 1;
-                self.defer_send(idx, oq, attempts + 1, self.now() + BACKPRESSURE_DELAY);
-            }
-            SendStatus::Backpressure => {
-                // Sustained backpressure: fail the lookup rather than
-                // cycling it on the deferred queue with no timeout armed.
-                immediate.push(ClientEvent::TransportFailed { tag: oq.tag });
-            }
-            SendStatus::Failed => {
-                immediate.push(ClientEvent::TransportFailed { tag: oq.tag });
-            }
-        }
-    }
 
-    /// Non-blocking send; a full send buffer gets one short poll for
-    /// writability (not a blind sleep) before reporting backpressure, so
-    /// the event loop is never stalled longer than the poll timeout.
-    fn send_udp(&self, bytes: &[u8], dest: SocketAddr) -> SendStatus {
-        for attempt in 0..2 {
-            match self.socket.send_to(bytes, dest) {
-                Ok(_) => return SendStatus::Sent,
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    if attempt == 0 {
-                        #[cfg(unix)]
-                        {
-                            use std::os::fd::AsRawFd;
-                            readiness::wait_writable(self.socket.as_raw_fd(), 1);
+            if !prepared.is_empty() {
+                let msgs: Vec<(&[u8], SocketAddr)> = prepared
+                    .iter()
+                    .map(|p| (p.bytes.as_slice(), p.key.0))
+                    .collect();
+                statuses.clear();
+                let (batch, report) = (&mut self.batch, &mut self.report);
+                let stats = batch.send_batch(&self.socket, &msgs, &mut statuses, &mut |fill| {
+                    report.send_batch_fill.record(fill)
+                });
+                self.report.send_syscalls += stats.syscalls;
+                self.report.datagrams_sent += stats.sent;
+
+                for (p, status) in prepared.into_iter().zip(statuses.iter()) {
+                    if matches!(status, BatchSendStatus::Sent) {
+                        continue; // registration done at prep time
+                    }
+                    // Roll the registration back: the datagram never made
+                    // it onto the wire.
+                    if let Some(pending) = self.demux.remove(&p.key) {
+                        self.wheel.cancel(pending.timer_token);
+                    }
+                    if let Some(slot) = self.slots[p.slot].as_mut() {
+                        if let Some(pos) = slot.keys.iter().position(|k| *k == p.key) {
+                            slot.keys.swap_remove(pos);
                         }
-                        #[cfg(not(unix))]
-                        readiness::wait_writable(0, 1);
+                    }
+                    match status {
+                        BatchSendStatus::Backpressure if p.attempts < MAX_BACKPRESSURE_RETRIES => {
+                            // Restore the machine's own id and retry
+                            // shortly; a bounded retry keeps WouldBlock
+                            // from cycling a query on the deferred queue
+                            // forever with no timeout armed.
+                            let mut oq = p.oq;
+                            oq.query.id = p.orig_id;
+                            self.report.backpressure_requeues += 1;
+                            self.defer_send(
+                                p.slot,
+                                oq,
+                                p.attempts + 1,
+                                self.now() + BACKPRESSURE_DELAY,
+                            );
+                        }
+                        _ => {
+                            // Sustained backpressure or a hard socket
+                            // error: fail the lookup.
+                            events.push((p.slot, ClientEvent::TransportFailed { tag: p.oq.tag }));
+                        }
                     }
                 }
-                Err(_) => return SendStatus::Failed,
+            }
+
+            for (idx, event) in events {
+                self.deliver(idx, event, on_done);
             }
         }
-        SendStatus::Backpressure
     }
 
     /// Feed one event to the machine in `idx` and process the aftermath.
@@ -794,61 +813,72 @@ impl Reactor {
         self.after_step(idx, slot, status, out, on_done);
     }
 
-    /// Drain every datagram currently queued on the socket.
+    /// Drain every datagram currently queued on the socket, one arena
+    /// batch at a time.
+    ///
+    /// Hard socket errors (e.g. ICMP unreachable surfaced as
+    /// ECONNREFUSED) are skipped — the per-query timer still guards the
+    /// lookup — and draining continues so one error doesn't strand
+    /// already-queued datagrams until the next poll round; the
+    /// [`MAX_DRAIN_ERRORS`] cap stops a repeating error from spinning the
+    /// loop. A *short batch* (fewer datagrams than the arena holds) is a
+    /// normal drain — the queue simply emptied — and is counted in
+    /// `recv_partial_batches`, never against the error cap.
     fn drain_datagrams(&mut self, on_done: &mut dyn FnMut(Option<JobOutcome>)) {
         let mut errors = 0u32;
         loop {
-            match self.socket.recv_from(&mut self.recv_buf[..]) {
-                Ok((len, peer)) => {
-                    let Ok(mut message) = zdns_wire::Message::decode(&self.recv_buf[..len]) else {
-                        self.report.decode_errors += 1;
-                        continue;
-                    };
-                    if !message.flags.response {
-                        // An echoed query (QR=0) from a reflecting server or
-                        // middlebox must not complete a lookup as a response.
-                        self.report.stale_datagrams += 1;
-                        continue;
-                    }
-                    let key = (peer, message.id);
-                    let Some(pending) = self.demux.remove(&key) else {
-                        // Late, stale, or unsolicited: exactly the datagrams
-                        // the demux table exists to reject.
-                        self.report.stale_datagrams += 1;
-                        continue;
-                    };
-                    self.wheel.cancel(pending.timer_token);
-                    if let Some(slot) = self.slots[pending.slot].as_mut() {
-                        if let Some(pos) = slot.keys.iter().position(|k| *k == key) {
-                            slot.keys.swap_remove(pos);
-                        }
-                    }
-                    // Restore the machine's own transaction id before the
-                    // message re-enters machine logic.
-                    message.id = pending.orig_id;
-                    self.report.datagrams_delivered += 1;
-                    self.pacer.on_success(pending.sim_ip, self.now());
-                    let event = ClientEvent::Response {
-                        tag: pending.tag,
-                        from: pending.sim_ip,
-                        message,
-                        protocol: Protocol::Udp,
-                    };
-                    self.deliver(pending.slot, event, on_done);
+            let batch = self.batch.recv_into_arena(&self.socket);
+            self.report.recv_syscalls += batch.syscalls;
+            if batch.count > 0 {
+                self.report.datagrams_received += batch.count as u64;
+                self.report.recv_batch_fill.record(batch.count);
+                if batch.count < self.batch.batch_size() {
+                    self.report.recv_partial_batches += 1;
                 }
-                Err(e)
-                    if e.kind() == std::io::ErrorKind::WouldBlock
-                        || e.kind() == std::io::ErrorKind::TimedOut =>
-                {
-                    return;
+            }
+            for i in 0..batch.count {
+                let peer = self.batch.arena_peer(i);
+                let decoded = zdns_wire::Message::decode(self.batch.arena_bytes(i));
+                let Ok(mut message) = decoded else {
+                    self.report.decode_errors += 1;
+                    continue;
+                };
+                if !message.flags.response {
+                    // An echoed query (QR=0) from a reflecting server or
+                    // middlebox must not complete a lookup as a response.
+                    self.report.stale_datagrams += 1;
+                    continue;
                 }
-                Err(_) => {
-                    // Transient socket error (e.g. ICMP unreachable surfaced
-                    // as ECONNREFUSED on some platforms): skip it — the
-                    // per-query timer still guards the lookup — and keep
-                    // draining, so one error doesn't strand already-queued
-                    // datagrams until the next poll round. The cap stops a
-                    // repeating error from spinning this loop.
+                let key = (peer, message.id);
+                let Some(pending) = self.demux.remove(&key) else {
+                    // Late, stale, or unsolicited: exactly the datagrams
+                    // the demux table exists to reject.
+                    self.report.stale_datagrams += 1;
+                    continue;
+                };
+                self.wheel.cancel(pending.timer_token);
+                if let Some(slot) = self.slots[pending.slot].as_mut() {
+                    if let Some(pos) = slot.keys.iter().position(|k| *k == key) {
+                        slot.keys.swap_remove(pos);
+                    }
+                }
+                // Restore the machine's own transaction id before the
+                // message re-enters machine logic.
+                message.id = pending.orig_id;
+                self.report.datagrams_delivered += 1;
+                self.pacer.on_success(pending.sim_ip, self.now());
+                let event = ClientEvent::Response {
+                    tag: pending.tag,
+                    from: pending.sim_ip,
+                    message,
+                    protocol: Protocol::Udp,
+                };
+                self.deliver(pending.slot, event, on_done);
+            }
+            match batch.err {
+                None if batch.count == 0 => return, // socket drained
+                None => {}                          // keep draining
+                Some(_) => {
                     self.report.socket_errors += 1;
                     errors += 1;
                     if errors >= MAX_DRAIN_ERRORS {
@@ -904,7 +934,9 @@ impl Reactor {
         self.wheel.expire(self.now(), &mut fired);
         for (token, key) in fired {
             if let Some(sent) = self.deferred.remove(&token) {
-                self.release_deferred(sent, on_done);
+                // Staged, not sent: every deferred release maturing on
+                // this tick lands in the same upcoming batch flush.
+                self.release_deferred(sent);
                 continue;
             }
             let stale = match self.demux.get(&key) {
@@ -956,6 +988,13 @@ impl Driver for Reactor {
                 break;
             }
 
+            // Flush the admission burst in one batch before sleeping —
+            // nothing would ever answer an unsent query.
+            self.flush_staged(on_done);
+            if self.in_flight == 0 && exhausted {
+                break;
+            }
+
             // Sleep until the next timer tick could fire, capped so TCP
             // completions and a refilling source are noticed promptly.
             let now = self.now();
@@ -975,7 +1014,12 @@ impl Driver for Reactor {
             self.drain_datagrams(on_done);
             self.drain_tcp(on_done);
             self.fire_timers(on_done);
+            // Same-tick coalescing: retries emitted by responses and
+            // timeouts above, plus deferred releases that just matured,
+            // all go out in one sendmmsg.
+            self.flush_staged(on_done);
         }
+        debug_assert!(self.staged.is_empty(), "staged sends leaked past the scan");
 
         // End-of-run hygiene: every slot is free, the demux table is empty,
         // deferred sends whose owners retired are dropped with their wheel

@@ -1,9 +1,15 @@
-//! Blocking transports over real OS sockets.
+//! Transports over real OS sockets.
 //!
 //! `UdpTransport` implements the paper's socket-reuse optimization: one
 //! long-lived unconnected UDP socket per lookup routine, bound once to a
 //! static source port and reused for every destination, with TCP
 //! connections created only on demand (truncation fallback).
+//!
+//! [`BatchIo`] is the reactor's batched syscall layer: it coalesces
+//! same-tick sends into single `sendmmsg(2)` calls and drains the socket
+//! through a reusable `recvmmsg(2)` arena, with an automatic per-datagram
+//! fallback (`send_to`/`recv_from`) for non-Linux targets and for
+//! `--batch-size 1`.
 
 use std::io::{Read, Write};
 use std::net::{Ipv4Addr, SocketAddr, TcpStream, UdpSocket};
@@ -11,6 +17,89 @@ use std::time::{Duration, Instant};
 
 use zdns_netsim::Protocol;
 use zdns_wire::{Message, WireError};
+
+// ---------------------------------------------------------------------------
+// Readiness wait
+// ---------------------------------------------------------------------------
+
+#[cfg(unix)]
+pub(crate) mod readiness {
+    use std::os::fd::RawFd;
+
+    #[repr(C)]
+    struct PollFd {
+        fd: i32,
+        events: i16,
+        revents: i16,
+    }
+
+    const POLLIN: i16 = 0x001;
+    const POLLOUT: i16 = 0x004;
+
+    extern "C" {
+        fn poll(
+            fds: *mut PollFd,
+            nfds: std::ffi::c_ulong,
+            timeout: std::ffi::c_int,
+        ) -> std::ffi::c_int;
+    }
+
+    fn wait_for(fd: RawFd, events: i16, timeout_ms: i32) -> bool {
+        let mut pfd = PollFd {
+            fd,
+            events,
+            revents: 0,
+        };
+        // SAFETY: `pfd` is a valid pollfd for the duration of the call and
+        // `nfds` matches the array length (1).
+        let r = unsafe { poll(&mut pfd, 1, timeout_ms.max(0)) };
+        r > 0 && (pfd.revents & events) != 0
+    }
+
+    /// Block until `fd` is readable or `timeout_ms` elapses. Hand-rolled
+    /// `poll(2)` so the reactor needs no external event-loop crate.
+    pub fn wait_readable(fd: RawFd, timeout_ms: i32) -> bool {
+        wait_for(fd, POLLIN, timeout_ms)
+    }
+
+    /// Block until `fd` is writable or `timeout_ms` elapses.
+    pub fn wait_writable(fd: RawFd, timeout_ms: i32) -> bool {
+        wait_for(fd, POLLOUT, timeout_ms)
+    }
+}
+
+#[cfg(not(unix))]
+pub(crate) mod readiness {
+    /// Portable fallback: nap briefly and let the non-blocking read probe.
+    pub fn wait_readable(_fd: i32, timeout_ms: i32) -> bool {
+        std::thread::sleep(std::time::Duration::from_millis(
+            timeout_ms.clamp(0, 2) as u64
+        ));
+        true
+    }
+
+    /// Portable fallback for writability.
+    pub fn wait_writable(_fd: i32, timeout_ms: i32) -> bool {
+        std::thread::sleep(std::time::Duration::from_millis(
+            timeout_ms.clamp(0, 1) as u64
+        ));
+        true
+    }
+}
+
+/// Wait for `socket` to become writable (bounded by `timeout_ms`).
+fn wait_socket_writable(socket: &UdpSocket, timeout_ms: i32) {
+    #[cfg(unix)]
+    {
+        use std::os::fd::AsRawFd;
+        readiness::wait_writable(socket.as_raw_fd(), timeout_ms);
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = socket;
+        readiness::wait_writable(0, timeout_ms);
+    }
+}
 
 /// Transport-level failures.
 #[derive(Debug)]
@@ -168,6 +257,382 @@ impl Transport for UdpTransport {
             Protocol::Udp => self.exchange_udp(query, to, timeout),
             Protocol::Tcp => self.exchange_tcp(query, to, timeout),
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Batched syscall I/O
+// ---------------------------------------------------------------------------
+
+/// Largest UDP datagram (and therefore receive-arena slot).
+const MAX_UDP_DATAGRAM: usize = 65_535;
+
+/// Hard ceiling on datagrams per syscall (the kernel caps `vlen` at
+/// `UIO_MAXIOV` = 1024 anyway).
+const MAX_BATCH: usize = 1_024;
+
+/// How one datagram in a flushed send batch ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSendStatus {
+    /// On the wire.
+    Sent,
+    /// The socket send buffer was full after a writability wait —
+    /// backpressure, not failure. Once one datagram hits backpressure the
+    /// rest of the flush is marked the same way (the buffer is full for
+    /// them too) so the whole suffix can be requeued in order.
+    Backpressure,
+    /// A real socket error on this datagram.
+    Failed,
+}
+
+/// Telemetry from one [`BatchIo::send_batch`] flush.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SendBatchStats {
+    /// Send syscalls issued (including the one that reported blocked).
+    pub syscalls: u64,
+    /// Datagrams that made it onto the wire.
+    pub sent: u64,
+}
+
+/// Result of one [`BatchIo::recv_into_arena`] call.
+#[derive(Debug)]
+pub struct RecvBatch {
+    /// Datagrams now sitting in the arena (`0..count` are valid).
+    pub count: usize,
+    /// Receive syscalls issued (the batched path uses exactly one; the
+    /// fallback path uses one per datagram plus the terminal probe).
+    pub syscalls: u64,
+    /// Hard socket error hit after `count` datagrams, if any. A short
+    /// batch with `err == None` is a normal drain (the queue emptied),
+    /// **not** an error — `WouldBlock` is never reported here.
+    pub err: Option<std::io::Error>,
+}
+
+/// The vectored-send primitive [`BatchIo`] drives: attempt the given
+/// datagrams front-first, return how many consecutive ones were sent
+/// (≥ 1) or the error that stopped the first. Injectable so tests can
+/// script short returns and `WouldBlock` mid-batch deterministically.
+pub type VectoredSend<'a> = dyn FnMut(&[(&[u8], SocketAddr)]) -> std::io::Result<usize> + 'a;
+
+/// Batched syscall layer for one non-blocking UDP socket.
+///
+/// Sends staged by the caller are coalesced into `sendmmsg(2)` calls;
+/// receives drain into a reusable arena of `batch_size` pre-allocated
+/// buffers via `recvmmsg(2)`. On non-Linux targets — or when constructed
+/// with [`BatchIo::per_datagram`] / `batch_size == 1` — the same API runs
+/// over plain `send_to`/`recv_from`, one datagram per syscall, with
+/// identical per-datagram semantics (the property tests in
+/// `crates/core/tests/batch_io.rs` hold the two paths to the same
+/// delivered sequences).
+pub struct BatchIo {
+    batch_size: usize,
+    batched: bool,
+    arena: Vec<Box<[u8]>>,
+    lens: Vec<usize>,
+    peers: Vec<SocketAddr>,
+    /// Pre-allocated FFI vectors, rewritten in place before every
+    /// syscall — the hot path never touches the allocator.
+    #[cfg(any(target_os = "linux", target_os = "android"))]
+    scratch: zdns_netsim::MmsgScratch,
+}
+
+impl BatchIo {
+    /// Build with the best supported mode: batched `sendmmsg`/`recvmmsg`
+    /// on Linux when `batch_size > 1`, per-datagram syscalls otherwise.
+    pub fn new(batch_size: usize) -> BatchIo {
+        let batch_size = batch_size.clamp(1, MAX_BATCH);
+        BatchIo::build(batch_size, libc::MMSG_SUPPORTED && batch_size > 1)
+    }
+
+    /// Force the per-datagram fallback path (used for `--batch-size 1`,
+    /// for A/B benchmarks, and by the equivalence property tests).
+    pub fn per_datagram(batch_size: usize) -> BatchIo {
+        BatchIo::build(batch_size.clamp(1, MAX_BATCH), false)
+    }
+
+    fn build(batch_size: usize, batched: bool) -> BatchIo {
+        BatchIo {
+            batch_size,
+            batched,
+            arena: (0..batch_size)
+                .map(|_| vec![0u8; MAX_UDP_DATAGRAM].into_boxed_slice())
+                .collect(),
+            lens: vec![0; batch_size],
+            peers: vec![SocketAddr::new(Ipv4Addr::UNSPECIFIED.into(), 0); batch_size],
+            #[cfg(any(target_os = "linux", target_os = "android"))]
+            scratch: zdns_netsim::MmsgScratch::new(),
+        }
+    }
+
+    /// Datagrams per syscall this layer aims for (also the arena depth).
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// Whether the `sendmmsg`/`recvmmsg` path is active.
+    pub fn is_batched(&self) -> bool {
+        self.batched
+    }
+
+    // -- send ---------------------------------------------------------------
+
+    /// Flush `msgs` to the wire in batches, appending one
+    /// [`BatchSendStatus`] per datagram (in order) to `statuses`.
+    /// `on_syscall` observes the fill of each successful syscall — the
+    /// datagrams-per-syscall histogram feed.
+    pub fn send_batch(
+        &mut self,
+        socket: &UdpSocket,
+        msgs: &[(&[u8], SocketAddr)],
+        statuses: &mut Vec<BatchSendStatus>,
+        on_syscall: &mut dyn FnMut(usize),
+    ) -> SendBatchStats {
+        // One writability wait per flush: the first post-wait WouldBlock
+        // marks the whole remaining suffix as backpressure instead of
+        // stalling the event loop once per datagram.
+        let mut waited = false;
+        #[cfg(any(target_os = "linux", target_os = "android"))]
+        if self.batched {
+            let scratch = &mut self.scratch;
+            let mut primitive = |chunk: &[(&[u8], SocketAddr)]| loop {
+                match send_many_once(socket, scratch, chunk) {
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock && !waited => {
+                        waited = true;
+                        wait_socket_writable(socket, 1);
+                    }
+                    other => return other,
+                }
+            };
+            return settle_send(self.batch_size, &mut primitive, msgs, statuses, on_syscall);
+        }
+        let mut primitive = |chunk: &[(&[u8], SocketAddr)]| loop {
+            let (bytes, dest) = chunk[0];
+            match socket.send_to(bytes, dest).map(|_| 1) {
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock && !waited => {
+                    waited = true;
+                    wait_socket_writable(socket, 1);
+                }
+                other => return other,
+            }
+        };
+        settle_send(self.batch_size, &mut primitive, msgs, statuses, on_syscall)
+    }
+
+    /// The settling engine behind [`BatchIo::send_batch`], with the
+    /// vectored-send primitive injected. Chunks `msgs` by `batch_size`,
+    /// retries short returns from the next unsent datagram, maps a
+    /// `WouldBlock` to backpressure for the entire unsent suffix, and
+    /// maps any other error to a single failed datagram (then keeps
+    /// going). Public so the property tests can script syscall outcomes.
+    pub fn send_batch_with(
+        &mut self,
+        send: &mut VectoredSend<'_>,
+        msgs: &[(&[u8], SocketAddr)],
+        statuses: &mut Vec<BatchSendStatus>,
+        on_syscall: &mut dyn FnMut(usize),
+    ) -> SendBatchStats {
+        settle_send(self.batch_size, send, msgs, statuses, on_syscall)
+    }
+
+    // -- receive ------------------------------------------------------------
+
+    /// Drain up to `batch_size` datagrams from `socket` into the arena.
+    /// Never blocks; see [`RecvBatch`] for how short batches and errors
+    /// are told apart.
+    pub fn recv_into_arena(&mut self, socket: &UdpSocket) -> RecvBatch {
+        if self.batched {
+            if let Some(batch) = self.recv_many_once(socket) {
+                return batch;
+            }
+        }
+        let mut count = 0;
+        let mut syscalls = 0;
+        while count < self.batch_size {
+            syscalls += 1;
+            match socket.recv_from(&mut self.arena[count]) {
+                Ok((len, peer)) => {
+                    self.lens[count] = len;
+                    self.peers[count] = peer;
+                    count += 1;
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    return RecvBatch {
+                        count,
+                        syscalls,
+                        err: None,
+                    };
+                }
+                Err(e) => {
+                    return RecvBatch {
+                        count,
+                        syscalls,
+                        err: Some(e),
+                    };
+                }
+            }
+        }
+        RecvBatch {
+            count,
+            syscalls,
+            err: None,
+        }
+    }
+
+    /// Bytes of the `i`-th datagram in the arena (valid after a
+    /// [`BatchIo::recv_into_arena`] returning `count > i`).
+    pub fn arena_bytes(&self, i: usize) -> &[u8] {
+        &self.arena[i][..self.lens[i]]
+    }
+
+    /// Peer address of the `i`-th datagram in the arena.
+    pub fn arena_peer(&self, i: usize) -> SocketAddr {
+        self.peers[i]
+    }
+
+    /// One `recvmmsg` call filling the arena. `None` means the platform
+    /// path is unavailable and the caller should fall back.
+    #[cfg(any(target_os = "linux", target_os = "android"))]
+    fn recv_many_once(&mut self, socket: &UdpSocket) -> Option<RecvBatch> {
+        use std::os::fd::AsRawFd;
+        let hdrs = self.scratch.prepare_recv(&mut self.arena);
+        // SAFETY: every mmsghdr points at live, correctly-sized storage
+        // (arena buffers and the reusable scratch arrays) that outlives
+        // the call; vlen matches the slice length.
+        let r = unsafe {
+            libc::recvmmsg(
+                socket.as_raw_fd(),
+                hdrs.as_mut_ptr(),
+                hdrs.len() as libc::c_uint,
+                libc::MSG_DONTWAIT,
+                std::ptr::null_mut(),
+            )
+        };
+        if r < 0 {
+            let e = std::io::Error::last_os_error();
+            let err = match e.kind() {
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => None,
+                _ => Some(e),
+            };
+            return Some(RecvBatch {
+                count: 0,
+                syscalls: 1,
+                err,
+            });
+        }
+        let count = r as usize;
+        for i in 0..count {
+            self.lens[i] = self.scratch.received_len(i).min(MAX_UDP_DATAGRAM);
+            if let Some(peer) = self.scratch.peer(i) {
+                self.peers[i] = peer;
+            } else {
+                // Non-IPv4 peer on a v4 socket should be impossible; mark
+                // the slot empty so it decodes to nothing.
+                self.lens[i] = 0;
+            }
+        }
+        Some(RecvBatch {
+            count,
+            syscalls: 1,
+            err: None,
+        })
+    }
+
+    #[cfg(not(any(target_os = "linux", target_os = "android")))]
+    fn recv_many_once(&mut self, _socket: &UdpSocket) -> Option<RecvBatch> {
+        None
+    }
+}
+
+/// The settling engine shared by both send paths: chunk `msgs` by
+/// `batch_size`, retry short returns from the next unsent datagram, map
+/// `WouldBlock` to backpressure for the entire unsent suffix, and map
+/// any other error to a single failed datagram (then keep going). An
+/// `Ok(0)` return violates the [`VectoredSend`] contract and is settled
+/// as one failed datagram rather than silently marked sent.
+fn settle_send(
+    batch_size: usize,
+    send: &mut VectoredSend<'_>,
+    msgs: &[(&[u8], SocketAddr)],
+    statuses: &mut Vec<BatchSendStatus>,
+    on_syscall: &mut dyn FnMut(usize),
+) -> SendBatchStats {
+    let mut stats = SendBatchStats::default();
+    let mut pos = 0;
+    while pos < msgs.len() {
+        let end = (pos + batch_size).min(msgs.len());
+        match send(&msgs[pos..end]) {
+            Ok(0) => {
+                debug_assert!(
+                    false,
+                    "vectored send returned Ok(0), violating its contract"
+                );
+                stats.syscalls += 1;
+                statuses.push(BatchSendStatus::Failed);
+                pos += 1;
+            }
+            Ok(n) => {
+                let n = n.min(end - pos);
+                stats.syscalls += 1;
+                stats.sent += n as u64;
+                on_syscall(n);
+                statuses.extend(std::iter::repeat_n(BatchSendStatus::Sent, n));
+                pos += n;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                stats.syscalls += 1;
+                statuses.extend(std::iter::repeat_n(
+                    BatchSendStatus::Backpressure,
+                    msgs.len() - pos,
+                ));
+                return stats;
+            }
+            Err(_) => {
+                stats.syscalls += 1;
+                statuses.push(BatchSendStatus::Failed);
+                pos += 1;
+            }
+        }
+    }
+    stats
+}
+
+/// One `sendmmsg` attempt on the longest IPv4 prefix of `msgs` (a
+/// non-IPv4 head is sent singly through `std`). Returns datagrams sent.
+#[cfg(any(target_os = "linux", target_os = "android"))]
+fn send_many_once(
+    socket: &UdpSocket,
+    scratch: &mut zdns_netsim::MmsgScratch,
+    msgs: &[(&[u8], SocketAddr)],
+) -> std::io::Result<usize> {
+    use std::os::fd::AsRawFd;
+    let run = msgs
+        .iter()
+        .take_while(|(_, dest)| dest.is_ipv4())
+        .count()
+        .min(MAX_BATCH);
+    if run == 0 {
+        let (bytes, dest) = msgs[0];
+        return socket.send_to(bytes, dest).map(|_| 1);
+    }
+    let hdrs = scratch.prepare_send(&msgs[..run]);
+    // SAFETY: every mmsghdr points at live storage (payload slices and
+    // the reusable scratch arrays) that outlives the call; the payload
+    // buffers are only read; vlen matches the slice length.
+    let r = unsafe {
+        libc::sendmmsg(
+            socket.as_raw_fd(),
+            hdrs.as_mut_ptr(),
+            hdrs.len() as libc::c_uint,
+            libc::MSG_DONTWAIT,
+        )
+    };
+    if r < 0 {
+        Err(std::io::Error::last_os_error())
+    } else {
+        Ok(r as usize)
     }
 }
 

@@ -160,6 +160,10 @@ FLAGS:
                            the event-driven reactor instead of the simulator
   --max-in-flight N        reactor admission window: concurrent lookups in
                            flight across all workers (default: --threads)
+  --batch-size N           datagrams per syscall on the reactor hot path:
+                           same-tick sends coalesce into one sendmmsg and
+                           receives drain through an N-buffer recvmmsg arena
+                           (default 32; 1 = per-datagram syscalls)
   --rate-pps N             polite scanning: global send budget in packets/s,
                            split across workers (default: unlimited)
   --per-host-pps N         per-destination send budget in packets/s

@@ -58,6 +58,11 @@ pub struct Conf {
     pub per_host_pps: f64,
     /// Adaptive per-destination backoff on timeout/error streaks.
     pub backoff: bool,
+    /// Datagrams per syscall on the reactor hot path: same-tick sends
+    /// coalesce into one `sendmmsg` of up to this many datagrams, and the
+    /// receive arena holds this many pre-allocated buffers. `0` = the
+    /// reactor default; `1` = per-datagram syscalls.
+    pub batch_size: usize,
 }
 
 impl Default for Conf {
@@ -78,6 +83,7 @@ impl Default for Conf {
             rate_pps: 0.0,
             per_host_pps: 0.0,
             backoff: false,
+            batch_size: 0,
         }
     }
 }
@@ -211,6 +217,13 @@ impl Conf {
                         .ok_or_else(|| ConfError("bad --per-host-pps".into()))?;
                 }
                 "--backoff" => conf.backoff = true,
+                "--batch-size" => {
+                    conf.batch_size = take_value(&mut i)?
+                        .parse()
+                        .ok()
+                        .filter(|v: &usize| *v >= 1)
+                        .ok_or_else(|| ConfError("bad --batch-size".into()))?;
+                }
                 "--max-names" => {
                     conf.max_names = take_value(&mut i)?
                         .parse()
@@ -359,5 +372,17 @@ mod tests {
         assert!(!default.real);
         assert_eq!(default.max_in_flight, 0, "0 = derive from --threads");
         assert!(Conf::parse(["A", "--max-in-flight", "x"]).is_err());
+    }
+
+    #[test]
+    fn batch_size_flag() {
+        let conf = Conf::parse(["A", "--batch-size", "64"]).unwrap();
+        assert_eq!(conf.batch_size, 64);
+        let one = Conf::parse(["A", "--batch-size", "1"]).unwrap();
+        assert_eq!(one.batch_size, 1, "1 = per-datagram syscalls");
+        let default = Conf::parse(["A"]).unwrap();
+        assert_eq!(default.batch_size, 0, "0 = reactor default");
+        assert!(Conf::parse(["A", "--batch-size", "0"]).is_err());
+        assert!(Conf::parse(["A", "--batch-size", "x"]).is_err());
     }
 }

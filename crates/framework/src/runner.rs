@@ -170,8 +170,18 @@ impl RealScanReport {
         } else {
             String::new()
         };
+        let batching = if self.driver.send_syscalls > 0 {
+            format!(
+                ", {:.1} dg/send-syscall ({} sent / {} syscalls)",
+                self.driver.datagrams_sent as f64 / self.driver.send_syscalls as f64,
+                self.driver.datagrams_sent,
+                self.driver.send_syscalls,
+            )
+        } else {
+            String::new()
+        };
         format!(
-            "zdns: {} lookups, {:.1}% success, {} queries, {} retries, {:.2}s, {:.0} lookups/s, {} workers (peak {} in flight){} [{}]",
+            "zdns: {} lookups, {:.1}% success, {} queries, {} retries, {:.2}s, {:.0} lookups/s, {} workers (peak {} in flight){}{} [{}]",
             self.lookups,
             self.success_rate() * 100.0,
             self.queries_sent,
@@ -181,6 +191,7 @@ impl RealScanReport {
             self.workers,
             self.driver.peak_in_flight,
             pacing,
+            batching,
             statuses,
         )
     }
@@ -266,12 +277,18 @@ where
             let merged = Arc::clone(&merged);
             let startup_errors = Arc::clone(&startup_errors);
             let pacer = conf.pacer_config().split(workers);
+            let batch_size = if conf.batch_size > 0 {
+                conf.batch_size
+            } else {
+                ReactorConfig::default().batch_size
+            };
             scope.spawn(move || {
                 let config = ReactorConfig {
                     max_in_flight: per_worker_window,
                     // Each worker gets an equal slice of the scan-wide
                     // budgets so the aggregate rate honours the flags.
                     pacer,
+                    batch_size,
                     ..ReactorConfig::default()
                 };
                 // One long-lived socket per worker (§3.4), shared by every

@@ -10,6 +10,8 @@
 
 pub mod engine;
 pub mod latency;
+#[cfg(any(target_os = "linux", target_os = "android"))]
+pub mod mmsg;
 pub mod oracle;
 pub mod ratelimit;
 pub mod resolvers;
@@ -20,8 +22,10 @@ pub use engine::{
     estimate_size, ClientEvent, Engine, EngineConfig, GcModel, JobOutcome, OutQuery, Protocol,
     RunReport, SimClient, StepStatus,
 };
+#[cfg(any(target_os = "linux", target_os = "android"))]
+pub use mmsg::MmsgScratch;
 pub use ratelimit::TokenBucket;
 pub use resolvers::{PublicResolverConfig, PublicResolverSim, ResolverOutcome};
 pub use time::{as_secs_f64, from_secs_f64, SimTime, MICROS, MILLIS, SECONDS};
-pub use wire_server::{set_recv_buffer, WireServer};
+pub use wire_server::{set_recv_buffer, RecvArena, WireServer};
 pub use zdns_pacing::{PaceDecision, SendGate};

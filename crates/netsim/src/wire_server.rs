@@ -59,6 +59,96 @@ pub fn set_recv_buffer(socket: &UdpSocket, bytes: usize) {
     }
 }
 
+/// A reusable receive arena for batch-draining a UDP socket with
+/// `recvmmsg(2)`: `depth` pre-allocated buffers filled in one syscall.
+///
+/// This is what lets the loopback wire servers absorb the bursts a
+/// batched reactor produces (one `sendmmsg` can land 32+ queries on the
+/// server socket in one tick) without paying one `recv_from` syscall per
+/// datagram. On non-Linux targets it degrades to a single `recv_from`
+/// per call.
+pub struct RecvArena {
+    bufs: Vec<Box<[u8]>>,
+    lens: Vec<usize>,
+    peers: Vec<SocketAddr>,
+    #[cfg(any(target_os = "linux", target_os = "android"))]
+    scratch: crate::mmsg::MmsgScratch,
+}
+
+impl RecvArena {
+    /// Pre-allocate `depth` full-size (64 KiB) datagram buffers.
+    pub fn new(depth: usize) -> RecvArena {
+        let depth = depth.clamp(1, 1_024);
+        RecvArena {
+            bufs: (0..depth)
+                .map(|_| vec![0u8; 65_535].into_boxed_slice())
+                .collect(),
+            lens: vec![0; depth],
+            peers: vec![SocketAddr::new(std::net::IpAddr::V4(Ipv4Addr::UNSPECIFIED), 0); depth],
+            #[cfg(any(target_os = "linux", target_os = "android"))]
+            scratch: crate::mmsg::MmsgScratch::new(),
+        }
+    }
+
+    /// Receive up to `depth` datagrams in one call, honouring the
+    /// socket's blocking mode and read timeout for the *first* datagram
+    /// (`MSG_WAITFORONE`): returns as soon as at least one arrives, with
+    /// everything else already queued picked up for free. Returns the
+    /// number received (0 on timeout or error).
+    pub fn recv_batch(&mut self, socket: &UdpSocket) -> usize {
+        #[cfg(any(target_os = "linux", target_os = "android"))]
+        {
+            use std::os::fd::AsRawFd;
+            let hdrs = self.scratch.prepare_recv(&mut self.bufs);
+            // SAFETY: every mmsghdr points at live, correctly-sized
+            // storage (the arena buffers and the scratch arrays) that
+            // outlives the call; vlen matches the slice length.
+            let r = unsafe {
+                libc::recvmmsg(
+                    socket.as_raw_fd(),
+                    hdrs.as_mut_ptr(),
+                    hdrs.len() as libc::c_uint,
+                    libc::MSG_WAITFORONE,
+                    std::ptr::null_mut(),
+                )
+            };
+            if r <= 0 {
+                return 0;
+            }
+            let count = r as usize;
+            for i in 0..count {
+                if let Some(peer) = self.scratch.peer(i) {
+                    self.lens[i] = self.scratch.received_len(i).min(self.bufs[i].len());
+                    self.peers[i] = peer;
+                } else {
+                    // Non-IPv4 peer: impossible on a v4 socket. Keep the
+                    // slot (the payloads are position-aligned with the
+                    // buffers) but make it decode to nothing.
+                    self.lens[i] = 0;
+                }
+            }
+            count
+        }
+        #[cfg(not(any(target_os = "linux", target_os = "android")))]
+        {
+            match socket.recv_from(&mut self.bufs[0]) {
+                Ok((len, peer)) => {
+                    self.lens[0] = len;
+                    self.peers[0] = peer;
+                    1
+                }
+                Err(_) => 0,
+            }
+        }
+    }
+
+    /// The `i`-th received datagram (valid after a `recv_batch` that
+    /// returned `count > i`).
+    pub fn datagram(&self, i: usize) -> (&[u8], SocketAddr) {
+        (&self.bufs[i][..self.lens[i]], self.peers[i])
+    }
+}
+
 impl WireServer {
     /// Address the server listens on (UDP and TCP share the port).
     pub fn addr(&self) -> SocketAddr {
@@ -125,20 +215,25 @@ impl WireServer {
 
         let udp_delayed = Arc::clone(&delayed);
         let udp_thread = std::thread::spawn(move || {
-            let mut buf = [0u8; 65_535];
+            // Batch-drain the socket: a batched reactor client can land
+            // dozens of queries in one sendmmsg, and picking them all up
+            // in one recvmmsg keeps this single server thread from
+            // becoming the syscall bottleneck of loopback tests/benches.
+            let mut arena = RecvArena::new(32);
             while !udp_stop.load(Ordering::Relaxed) {
-                let Ok((len, peer)) = udp.recv_from(&mut buf) else {
-                    continue;
-                };
-                if let Some(bytes) = answer(&udp_universe, impersonate, &buf[..len], true) {
-                    if latency > Duration::ZERO {
-                        udp_delayed.lock().unwrap().push_back((
-                            std::time::Instant::now() + latency,
-                            peer,
-                            bytes,
-                        ));
-                    } else {
-                        let _ = udp.send_to(&bytes, peer);
+                let count = arena.recv_batch(&udp);
+                for i in 0..count {
+                    let (raw, peer) = arena.datagram(i);
+                    if let Some(bytes) = answer(&udp_universe, impersonate, raw, true) {
+                        if latency > Duration::ZERO {
+                            udp_delayed.lock().unwrap().push_back((
+                                std::time::Instant::now() + latency,
+                                peer,
+                                bytes,
+                            ));
+                        } else {
+                            let _ = udp.send_to(&bytes, peer);
+                        }
                     }
                 }
             }

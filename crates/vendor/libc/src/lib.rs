@@ -1,0 +1,172 @@
+//! Minimal in-tree stand-in for the `libc` crate.
+//!
+//! The container builds fully offline, so this shim declares only the raw
+//! FFI surface the workspace's batched UDP I/O layer uses: the
+//! `sendmmsg(2)`/`recvmmsg(2)` entry points and the structs they take
+//! (`iovec`, `sockaddr_in`, `msghdr`, `mmsghdr`, `timespec`). Everything
+//! is Linux ABI; non-Linux targets compile the crate but get no extern
+//! declarations, and callers are expected to gate on
+//! [`MMSG_SUPPORTED`] / `cfg(target_os = "linux")` and fall back to
+//! per-datagram `std` socket calls.
+
+#![warn(missing_docs)]
+#![allow(non_camel_case_types)]
+
+pub use std::ffi::{c_int, c_uint, c_void};
+
+/// Whether this target has the `sendmmsg`/`recvmmsg` declarations.
+pub const MMSG_SUPPORTED: bool = cfg!(any(target_os = "linux", target_os = "android"));
+
+/// `AF_INET` for [`sockaddr_in::sin_family`].
+pub const AF_INET: u16 = 2;
+
+/// Non-blocking flag for one `sendmmsg`/`recvmmsg` call, regardless of
+/// the socket's own blocking mode.
+pub const MSG_DONTWAIT: c_int = 0x40;
+
+/// `recvmmsg` flag: return as soon as at least one datagram has been
+/// received instead of blocking for the full `vlen`.
+pub const MSG_WAITFORONE: c_int = 0x10000;
+
+/// One scatter/gather segment (`struct iovec`).
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct iovec {
+    /// Segment base address.
+    pub iov_base: *mut c_void,
+    /// Segment length in bytes.
+    pub iov_len: usize,
+}
+
+/// An IPv4 socket address (`struct sockaddr_in`). Port and address are
+/// stored big-endian, as the kernel expects.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct sockaddr_in {
+    /// Address family ([`AF_INET`]).
+    pub sin_family: u16,
+    /// Port, network byte order.
+    pub sin_port: u16,
+    /// IPv4 address, network byte order.
+    pub sin_addr: u32,
+    /// Padding to `sizeof(struct sockaddr)`.
+    pub sin_zero: [u8; 8],
+}
+
+impl sockaddr_in {
+    /// An all-zero address, ready to be filled in by `recvmmsg`.
+    pub fn zeroed() -> sockaddr_in {
+        sockaddr_in {
+            sin_family: 0,
+            sin_port: 0,
+            sin_addr: 0,
+            sin_zero: [0; 8],
+        }
+    }
+
+    /// Build a kernel-ready address from host-order parts.
+    pub fn from_parts(addr: std::net::Ipv4Addr, port: u16) -> sockaddr_in {
+        sockaddr_in {
+            sin_family: AF_INET,
+            sin_port: port.to_be(),
+            sin_addr: u32::from(addr).to_be(),
+            sin_zero: [0; 8],
+        }
+    }
+
+    /// Recover the host-order socket address, if this is an IPv4 one.
+    pub fn to_addr(self) -> Option<std::net::SocketAddr> {
+        if self.sin_family != AF_INET {
+            return None;
+        }
+        Some(std::net::SocketAddr::new(
+            std::net::IpAddr::V4(std::net::Ipv4Addr::from(u32::from_be(self.sin_addr))),
+            u16::from_be(self.sin_port),
+        ))
+    }
+}
+
+/// One message header (`struct msghdr`), x86-64 Linux layout.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct msghdr {
+    /// Peer address buffer (in: for `sendmmsg`; out: for `recvmmsg`).
+    pub msg_name: *mut c_void,
+    /// Size of the buffer `msg_name` points at.
+    pub msg_namelen: u32,
+    /// Scatter/gather array.
+    pub msg_iov: *mut iovec,
+    /// Number of `iovec` entries.
+    pub msg_iovlen: usize,
+    /// Ancillary data (unused here: null).
+    pub msg_control: *mut c_void,
+    /// Ancillary data length.
+    pub msg_controllen: usize,
+    /// Flags on received messages (e.g. `MSG_TRUNC`).
+    pub msg_flags: c_int,
+}
+
+/// One entry of a `sendmmsg`/`recvmmsg` vector (`struct mmsghdr`).
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct mmsghdr {
+    /// The message itself.
+    pub msg_hdr: msghdr,
+    /// Bytes transferred for this entry (filled in by the kernel).
+    pub msg_len: c_uint,
+}
+
+/// Kernel timespec for the `recvmmsg` timeout parameter.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct timespec {
+    /// Whole seconds.
+    pub tv_sec: i64,
+    /// Nanoseconds.
+    pub tv_nsec: i64,
+}
+
+#[cfg(any(target_os = "linux", target_os = "android"))]
+extern "C" {
+    /// Send up to `vlen` datagrams in one syscall. Returns the number
+    /// sent (≥1) or -1 with `errno` if none could be sent.
+    pub fn sendmmsg(sockfd: c_int, msgvec: *mut mmsghdr, vlen: c_uint, flags: c_int) -> c_int;
+
+    /// Receive up to `vlen` datagrams in one syscall. Returns the number
+    /// received (≥1) or -1 with `errno`.
+    pub fn recvmmsg(
+        sockfd: c_int,
+        msgvec: *mut mmsghdr,
+        vlen: c_uint,
+        flags: c_int,
+        timeout: *mut timespec,
+    ) -> c_int;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sockaddr_roundtrip() {
+        let ip: std::net::Ipv4Addr = "192.0.2.7".parse().unwrap();
+        let sa = sockaddr_in::from_parts(ip, 5353);
+        assert_eq!(sa.sin_family, AF_INET);
+        let back = sa.to_addr().unwrap();
+        assert_eq!(back, "192.0.2.7:5353".parse().unwrap());
+        assert_eq!(sockaddr_in::zeroed().to_addr(), None);
+    }
+
+    #[test]
+    fn abi_layout_matches_linux() {
+        // The kernel reads these layouts directly; a size drift would
+        // corrupt the batch. (x86-64 Linux values.)
+        assert_eq!(std::mem::size_of::<sockaddr_in>(), 16);
+        assert_eq!(std::mem::size_of::<iovec>(), 16);
+        #[cfg(target_pointer_width = "64")]
+        {
+            assert_eq!(std::mem::size_of::<msghdr>(), 56);
+            assert_eq!(std::mem::size_of::<mmsghdr>(), 64);
+        }
+    }
+}

@@ -243,7 +243,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::{Range, RangeInclusive};
 
-    /// Acceptable size specifications for [`vec`].
+    /// Acceptable size specifications for [`vec()`].
     pub trait SizeRange {
         /// Draw a length from the range.
         fn pick(&self, rng: &mut TestRng) -> usize;
@@ -273,7 +273,7 @@ pub mod collection {
         VecStrategy { element, size }
     }
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec()`].
     pub struct VecStrategy<S, R> {
         element: S,
         size: R,
