@@ -12,7 +12,7 @@ use zdns_netsim::{
     ClientEvent, EngineConfig, GcModel, JobOutcome, OutQuery, Protocol, SimClient, SimTime,
     StepStatus, MILLIS,
 };
-use zdns_wire::{Message, Name, Question, Rcode, RecordType};
+use zdns_wire::{Name, Question, Rcode, RecordType};
 
 /// MassDNS's default retry cap ("performs up to an additional 50 retries").
 pub const MASSDNS_RETRIES: u32 = 50;
@@ -45,18 +45,19 @@ impl MassDnsMachine {
 
     fn send(&mut self, out: &mut Vec<OutQuery>) {
         self.tag += 1;
-        let mut msg = Message::query((self.tag & 0xFFFF) as u16, self.question.clone());
-        msg.flags.recursion_desired = true;
         out.push(OutQuery {
             to: self.resolver,
-            query: msg,
+            id: (self.tag & 0xFFFF) as u16,
+            question: self.question.clone(),
+            recursion_desired: true,
+            cookie: None,
             protocol: Protocol::Udp,
             timeout: self.timeout,
             tag: self.tag,
         });
     }
 
-    fn retry_or_fail(&mut self, status: &str, out: &mut Vec<OutQuery>) -> StepStatus {
+    fn retry_or_fail(&mut self, status: &'static str, out: &mut Vec<OutQuery>) -> StepStatus {
         self.attempt += 1;
         if self.attempt <= MASSDNS_RETRIES {
             // No backoff, no pacing: exactly the behaviour the paper
@@ -66,7 +67,7 @@ impl MassDnsMachine {
         } else {
             StepStatus::Done(JobOutcome {
                 success: false,
-                status: status.to_string(),
+                status,
             })
         }
     }
@@ -92,7 +93,7 @@ impl SimClient for MassDnsMachine {
                 match message.rcode() {
                     Rcode::NoError | Rcode::NxDomain => StepStatus::Done(JobOutcome {
                         success: true,
-                        status: message.rcode().as_str().to_string(),
+                        status: message.rcode().as_str(),
                     }),
                     // SERVFAIL triggers the aggressive retry loop.
                     _ => self.retry_or_fail(message.rcode().as_str(), out),

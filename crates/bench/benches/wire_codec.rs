@@ -3,7 +3,10 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use zdns_wire::rdata::{Mx, Soa, TxtData};
-use zdns_wire::{Message, Name, Question, RData, Record, RecordType};
+use zdns_wire::{
+    encode_query_into, Cookie, Message, MessageView, Name, Question, RData, Record, RecordType,
+    ScratchBuf,
+};
 
 fn referral_response() -> Message {
     let mut m = Message::query(
@@ -88,6 +91,66 @@ fn bench_codec(c: &mut Criterion) {
     });
     c.bench_function("decode_answer_mixed", |b| {
         b.iter(|| Message::decode(black_box(&answer_bytes)).unwrap())
+    });
+    // The borrowed view path: parse + scan the sections the way the
+    // resolver's machine does (rtype checks, A addresses, NS targets) —
+    // nothing promoted, nothing allocated.
+    c.bench_function("decode_referral_13ns_view", |b| {
+        b.iter(|| {
+            let view = MessageView::parse(black_box(&referral_bytes)).unwrap();
+            let mut ns = 0usize;
+            for rec in view.authorities() {
+                if rec.rtype == RecordType::NS {
+                    ns += 1;
+                }
+            }
+            let mut addrs = 0usize;
+            for rec in view.additionals() {
+                if rec.a_addr().is_some() {
+                    addrs += 1;
+                }
+            }
+            black_box((view.rcode(), ns, addrs))
+        })
+    });
+    c.bench_function("decode_answer_mixed_view", |b| {
+        b.iter(|| {
+            let view = MessageView::parse(black_box(&answer_bytes)).unwrap();
+            let mut seen = 0usize;
+            for rec in view.answers() {
+                seen += usize::from(rec.ttl > 0);
+            }
+            black_box((view.flags(), seen))
+        })
+    });
+    // The reusable-scratch encode path vs the per-call Vec the owned
+    // encoder returns.
+    let question = Question::new("www.example.com".parse().unwrap(), RecordType::A);
+    let cookie = Cookie::client([1, 2, 3, 4, 5, 6, 7, 8]);
+    let mut scratch = ScratchBuf::new();
+    c.bench_function("encode_query_scratch", |b| {
+        b.iter(|| {
+            scratch.reset();
+            encode_query_into(&mut scratch, 0x4242, &question, true, Some(&cookie)).unwrap();
+            black_box(scratch.len())
+        })
+    });
+    c.bench_function("encode_query_owned", |b| {
+        b.iter(|| {
+            let mut msg = Message::query(0x4242, question.clone());
+            msg.flags.recursion_desired = true;
+            black_box(msg.encode().unwrap().len())
+        })
+    });
+    let mut referral_scratch = ScratchBuf::new();
+    c.bench_function("encode_referral_13ns_scratch", |b| {
+        b.iter(|| {
+            referral_scratch.reset();
+            black_box(&referral)
+                .encode_into(&mut referral_scratch)
+                .unwrap();
+            black_box(referral_scratch.len())
+        })
     });
     c.bench_function("name_parse", |b| {
         b.iter(|| {

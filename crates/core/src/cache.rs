@@ -120,11 +120,19 @@ impl Cache {
         self.len() == 0
     }
 
-    fn shard_for(&self, key: &CacheKey) -> &Mutex<Shard> {
+    /// The shard `key` routes to. `Name`'s hash is case-insensitive and
+    /// allocation-free, so case-variant spellings of one name always land
+    /// on the same shard without building a lowercased key — exposed so
+    /// tests can pin that property down.
+    pub fn shard_index(&self, key: &CacheKey) -> usize {
         use std::hash::{Hash, Hasher};
         let mut h = std::collections::hash_map::DefaultHasher::new();
         key.hash(&mut h);
-        &self.shards[(h.finish() as usize) & (SHARDS - 1)]
+        (h.finish() as usize) & (SHARDS - 1)
+    }
+
+    fn shard_for(&self, key: &CacheKey) -> &Mutex<Shard> {
+        &self.shards[self.shard_index(key)]
     }
 
     /// The selective policy: only infrastructure RRsets are admitted.

@@ -44,6 +44,9 @@ pub struct ResolverConfig {
     pub tcp_only: bool,
     /// Record the full lookup chain (Appendix C's trace output).
     pub trace: bool,
+    /// Attach DNS cookies (RFC 7873) to queries and echo learned server
+    /// cookies on retries to the same server.
+    pub edns_cookies: bool,
     /// Root hints for iterative mode.
     pub root_hints: Vec<(Name, Ipv4Addr)>,
 }
@@ -62,6 +65,7 @@ impl Default for ResolverConfig {
             tcp_on_truncated: true,
             tcp_only: false,
             trace: true,
+            edns_cookies: true,
             root_hints: Vec::new(),
         }
     }

@@ -12,6 +12,7 @@
 
 #![warn(missing_docs)]
 
+pub mod alloc_count;
 pub mod cache;
 pub mod config;
 pub mod driver;
@@ -25,6 +26,7 @@ pub mod status;
 pub mod trace;
 pub mod transport;
 
+pub use alloc_count::CountingAllocator;
 pub use cache::{Cache, CacheKey, CacheStats};
 pub use config::{ResolutionMode, ResolverConfig};
 pub use driver::{Admission, BatchHistogram, BlockingDriver, Driver, DriverReport};
@@ -39,6 +41,6 @@ pub use stats::{Stats, StatsSnapshot};
 pub use status::Status;
 pub use trace::TraceStep;
 pub use transport::{
-    blocking_tcp_exchange, BatchIo, BatchSendStatus, RecvBatch, SendBatchStats, Transport,
-    TransportError, UdpTransport, VectoredSend,
+    blocking_tcp_exchange, BatchIo, BatchSendStatus, RecvBatch, SendBatchStats, SendSlot,
+    Transport, TransportError, UdpTransport, VectoredSend,
 };

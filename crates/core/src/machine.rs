@@ -13,12 +13,22 @@
 //!   resolvers with retry/rotation (the Google/Cloudflare rows).
 //! * [`DirectMachine`] — one server, one question, n retries; the building
 //!   block for the §5 `--all-nameservers` extension and misc modules.
+//!
+//! Responses arrive as [`MsgRef`] — a borrowed [`zdns_wire::MessageView`]
+//! on the reactor's UDP hot path, an owned [`zdns_wire::Message`] elsewhere.
+//! Machines inspect the borrowed form and **promote** records to owned
+//! values only when they keep them: the CNAME chain, referral NS/glue
+//! RRsets headed for the cache, and the final [`LookupResult`] (which is
+//! not even built unless a result sink is attached). Queries go out as
+//! [`OutQuery`] field bundles, not messages — on the reactor they are
+//! encoded straight into a scratch buffer, so the steady-state send path
+//! performs zero heap allocations.
 
 use std::net::Ipv4Addr;
 use std::sync::Arc;
 
 use zdns_netsim::{ClientEvent, JobOutcome, OutQuery, Protocol, SimClient, SimTime, StepStatus};
-use zdns_wire::{Message, Name, Question, RData, Rcode, Record, RecordType};
+use zdns_wire::{Cookie, MsgRef, Name, Question, RData, Rcode, Record, RecordType};
 
 use crate::cache::{Cache, CacheKey};
 use crate::config::{ResolutionMode, ResolverConfig};
@@ -47,6 +57,14 @@ impl ResolverCore {
             stats: Stats::default(),
         })
     }
+
+    /// The machine-side cookie state for a lookup of `name`, if cookies
+    /// are enabled.
+    fn cookie_state(&self, name: &Name) -> Option<CookieState> {
+        self.config
+            .edns_cookies
+            .then(|| CookieState::new(client_cookie_for(name)))
+    }
 }
 
 /// Callback invoked with the full result of each finished lookup.
@@ -62,6 +80,59 @@ fn query_id(name: &Name, counter: u32) -> u16 {
         }
     }
     (h ^ counter.rotate_left(16)) as u16
+}
+
+/// Deterministic 8-octet client cookie for a lookup (FNV-1a 64 over the
+/// lowercased name; real deployments would mix in a secret, but the sim
+/// and loopback paths value reproducibility).
+fn client_cookie_for(name: &Name) -> [u8; 8] {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for l in name.labels() {
+        for &b in l.iter() {
+            h ^= b.to_ascii_lowercase() as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h ^= 0xFF;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h.to_be_bytes()
+}
+
+/// RFC 7873 client-side cookie state: our client cookie, plus the last
+/// full (client + server) cookie learned, pinned to the server it came
+/// from. Retries to that server echo the full cookie; queries to anyone
+/// else carry the bare client cookie.
+#[derive(Debug, Clone, Copy)]
+struct CookieState {
+    client: [u8; 8],
+    learned: Option<(Ipv4Addr, Cookie)>,
+}
+
+impl CookieState {
+    fn new(client: [u8; 8]) -> CookieState {
+        CookieState {
+            client,
+            learned: None,
+        }
+    }
+
+    /// The cookie to attach to a query for `dest`.
+    fn for_dest(&self, dest: Ipv4Addr) -> Cookie {
+        match &self.learned {
+            Some((server, cookie)) if *server == dest => *cookie,
+            _ => Cookie::client(self.client),
+        }
+    }
+
+    /// Record the cookie a response from `from` carried. Only cookies that
+    /// echo our client part and actually contain a server part are kept.
+    fn learn(&mut self, from: Ipv4Addr, cookie: Option<Cookie>) {
+        if let Some(cookie) = cookie {
+            if cookie.client_part() == self.client && cookie.has_server_part() {
+                self.learned = Some((from, cookie));
+            }
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -81,6 +152,7 @@ pub struct ExternalMachine {
     tag: u64,
     over_tcp: bool,
     transport_failed: bool,
+    cookies: Option<CookieState>,
     sink: Option<ResultSink>,
 }
 
@@ -101,6 +173,7 @@ impl ExternalMachine {
         } else {
             query_id(&question.name, 0) as usize % servers.len()
         };
+        let cookies = core.cookie_state(&question.name);
         ExternalMachine {
             core,
             question,
@@ -113,6 +186,7 @@ impl ExternalMachine {
             tag: 0,
             over_tcp: false,
             transport_failed: false,
+            cookies,
             sink,
         }
     }
@@ -121,22 +195,27 @@ impl ExternalMachine {
         self.servers[self.server_idx % self.servers.len()]
     }
 
+    /// The cookie this machine's most recent query carried (tests).
+    #[doc(hidden)]
+    pub fn last_cookie_for(&self, dest: Ipv4Addr) -> Option<Cookie> {
+        self.cookies.as_ref().map(|c| c.for_dest(dest))
+    }
+
     fn send(&mut self, out: &mut Vec<OutQuery>) {
         self.queries += 1;
         self.tag += 1;
-        let mut msg = Message::query(
-            query_id(&self.question.name, self.queries),
-            self.question.clone(),
-        );
-        msg.flags.recursion_desired = true;
+        let to = self.current_server();
         let protocol = if self.over_tcp || self.core.config.tcp_only {
             Protocol::Tcp
         } else {
             Protocol::Udp
         };
         out.push(OutQuery {
-            to: self.current_server(),
-            query: msg,
+            to,
+            id: query_id(&self.question.name, self.queries),
+            question: self.question.clone(),
+            recursion_desired: true,
+            cookie: self.cookies.as_ref().map(|c| c.for_dest(to)),
             protocol,
             timeout: self.core.config.timeout,
             tag: self.tag,
@@ -151,36 +230,39 @@ impl ExternalMachine {
         &mut self,
         now: SimTime,
         status: Status,
-        response: Option<(&Message, Ipv4Addr)>,
+        response: Option<(&MsgRef<'_>, Ipv4Addr)>,
     ) -> StepStatus {
         self.core.stats.record_lookup(status);
-        let result = LookupResult {
-            name: self.question.name.clone(),
-            qtype: self.question.qtype,
-            status,
-            answers: response.map(|(m, _)| m.answers.clone()).unwrap_or_default(),
-            authorities: response
-                .map(|(m, _)| m.authorities.clone())
-                .unwrap_or_default(),
-            additionals: response
-                .map(|(m, _)| m.additionals.clone())
-                .unwrap_or_default(),
-            flags: response.map(|(m, _)| m.flags),
-            resolver: response.map(|(_, ip)| format!("{ip}:53")),
-            protocol: if self.over_tcp { "tcp" } else { "udp" },
-            trace: Vec::new(),
-            delegation: None,
-            queries_sent: self.queries,
-            retries_used: self.retries_used,
-            duration: now.saturating_sub(self.started),
-            timestamp: now,
-        };
         if let Some(sink) = &self.sink {
+            // Promotion happens here — and only here — because the result
+            // is being kept. Sink-less lookups (scans that only count
+            // statuses) never materialize the sections at all.
+            let result = LookupResult {
+                name: self.question.name.clone(),
+                qtype: self.question.qtype,
+                status,
+                answers: response.map(|(m, _)| m.answers_vec()).unwrap_or_default(),
+                authorities: response
+                    .map(|(m, _)| m.authorities_vec())
+                    .unwrap_or_default(),
+                additionals: response
+                    .map(|(m, _)| m.additionals_vec())
+                    .unwrap_or_default(),
+                flags: response.map(|(m, _)| m.flags()),
+                resolver: response.map(|(_, ip)| format!("{ip}:53")),
+                protocol: if self.over_tcp { "tcp" } else { "udp" },
+                trace: Vec::new(),
+                delegation: None,
+                queries_sent: self.queries,
+                retries_used: self.retries_used,
+                duration: now.saturating_sub(self.started),
+                timestamp: now,
+            };
             sink(result);
         }
         StepStatus::Done(JobOutcome {
             success: status.is_success(),
-            status: status.as_str().to_string(),
+            status: status.as_str(),
         })
     }
 }
@@ -197,7 +279,7 @@ impl SimClient for ExternalMachine {
 
     fn on_event(
         &mut self,
-        event: ClientEvent,
+        event: ClientEvent<'_>,
         now: SimTime,
         out: &mut Vec<OutQuery>,
     ) -> StepStatus {
@@ -212,9 +294,11 @@ impl SimClient for ExternalMachine {
                 if tag != self.tag {
                     return StepStatus::Running; // stale
                 }
-                if message.flags.truncated
-                    && protocol == Protocol::Udp
-                    && self.core.config.tcp_on_truncated
+                if let Some(cookies) = self.cookies.as_mut() {
+                    cookies.learn(from, message.cookie());
+                }
+                let flags = message.flags();
+                if flags.truncated && protocol == Protocol::Udp && self.core.config.tcp_on_truncated
                 {
                     // Retry over TCP against the same resolver.
                     self.over_tcp = true;
@@ -225,7 +309,7 @@ impl SimClient for ExternalMachine {
                     self.send(out);
                     return StepStatus::Running;
                 }
-                if message.flags.truncated {
+                if flags.truncated {
                     return self.finish(now, Status::Truncated, Some((&message, from)));
                 }
                 let status = Status::from_rcode(message.rcode());
@@ -307,6 +391,7 @@ pub struct IterativeMachine {
     started: SimTime,
     tag: u64,
     over_tcp: bool,
+    cookies: Option<CookieState>,
     sink: Option<ResultSink>,
     #[allow(dead_code)]
     target: ResolveTarget,
@@ -320,6 +405,7 @@ impl IterativeMachine {
         target: ResolveTarget,
         sink: Option<ResultSink>,
     ) -> IterativeMachine {
+        let cookies = core.cookie_state(&question.name);
         IterativeMachine {
             core,
             original: question,
@@ -330,6 +416,7 @@ impl IterativeMachine {
             started: 0,
             tag: 0,
             over_tcp: false,
+            cookies,
             sink,
             target,
         }
@@ -433,7 +520,6 @@ impl IterativeMachine {
         let addr = candidate.addr.expect("send_current requires an address");
         self.queries += 1;
         self.tag += 1;
-        let msg = Message::query(query_id(&walk.q.name, self.queries), walk.q.clone());
         let protocol = if self.over_tcp || self.core.config.tcp_only {
             Protocol::Tcp
         } else {
@@ -441,7 +527,10 @@ impl IterativeMachine {
         };
         out.push(OutQuery {
             to: addr,
-            query: msg,
+            id: query_id(&walk.q.name, self.queries),
+            question: walk.q.clone(),
+            recursion_desired: false,
+            cookie: self.cookies.as_ref().map(|c| c.for_dest(addr)),
             protocol,
             timeout: self.core.config.iteration_timeout,
             tag: self.tag,
@@ -521,7 +610,7 @@ impl IterativeMachine {
         self.over_tcp = false;
     }
 
-    fn record_trace(&mut self, message: &Message, from: Ipv4Addr) {
+    fn record_trace(&mut self, message: &MsgRef<'_>, from: Ipv4Addr) {
         if !self.core.config.trace {
             return;
         }
@@ -533,7 +622,7 @@ impl IterativeMachine {
             format!("{from}:53"),
             walk.attempt + 1,
             false,
-            Some(message.clone()),
+            message.to_message().ok(),
         ));
     }
 
@@ -542,14 +631,14 @@ impl IterativeMachine {
         &mut self,
         now: SimTime,
         status: Status,
-        message: Option<(&Message, Ipv4Addr)>,
+        message: Option<(&MsgRef<'_>, Ipv4Addr)>,
         out: &mut Vec<OutQuery>,
     ) -> StepStatus {
         let walk = self.stack.pop().expect("active walk");
         if self.stack.is_empty() {
             let mut answers = walk.chain.clone();
             if let Some((m, _)) = message {
-                answers.extend(m.answers.iter().cloned());
+                answers.extend(m.answers_vec());
             }
             let delegation = Some(DelegationInfo {
                 zone: walk.zone.clone(),
@@ -564,16 +653,13 @@ impl IterativeMachine {
         // NS-address sub-walk: hand addresses to the parent candidate.
         let mut addrs: Vec<Ipv4Addr> = Vec::new();
         if status == Status::NoError {
-            let mut collect = |records: &[Record]| {
-                for r in records {
-                    if let RData::A(a) = r.rdata {
-                        addrs.push(a);
-                    }
+            for r in &walk.chain {
+                if let RData::A(a) = r.rdata {
+                    addrs.push(a);
                 }
-            };
-            collect(&walk.chain);
+            }
             if let Some((m, _)) = message {
-                collect(&m.answers);
+                addrs.extend(m.answers().filter_map(|r| r.a_addr()));
             }
         }
         if let Some(ci) = walk.parent_cand {
@@ -590,7 +676,7 @@ impl IterativeMachine {
         &mut self,
         now: SimTime,
         status: Status,
-        message: Option<(&Message, Ipv4Addr)>,
+        message: Option<(&MsgRef<'_>, Ipv4Addr)>,
     ) -> StepStatus {
         // Failure outside a completed walk: salvage whatever chain exists.
         let answers = self
@@ -613,39 +699,39 @@ impl IterativeMachine {
         &mut self,
         now: SimTime,
         status: Status,
-        message: Option<(&Message, Ipv4Addr)>,
+        message: Option<(&MsgRef<'_>, Ipv4Addr)>,
         answers: Vec<Record>,
         delegation: Option<DelegationInfo>,
     ) -> StepStatus {
         self.core.stats.record_lookup(status);
-        let result = LookupResult {
-            name: self.original.name.clone(),
-            qtype: self.original.qtype,
-            status,
-            answers,
-            authorities: message
-                .map(|(m, _)| m.authorities.clone())
-                .unwrap_or_default(),
-            additionals: message
-                .map(|(m, _)| m.additionals.clone())
-                .unwrap_or_default(),
-            flags: message.map(|(m, _)| m.flags),
-            resolver: message.map(|(_, ip)| format!("{ip}:53")),
-            protocol: if self.over_tcp { "tcp" } else { "udp" },
-            trace: std::mem::take(&mut self.trace),
-            delegation,
-            queries_sent: self.queries,
-            retries_used: self.retries_used,
-            duration: now.saturating_sub(self.started),
-            timestamp: now,
-        };
         if let Some(sink) = &self.sink {
+            let result = LookupResult {
+                name: self.original.name.clone(),
+                qtype: self.original.qtype,
+                status,
+                answers,
+                authorities: message
+                    .map(|(m, _)| m.authorities_vec())
+                    .unwrap_or_default(),
+                additionals: message
+                    .map(|(m, _)| m.additionals_vec())
+                    .unwrap_or_default(),
+                flags: message.map(|(m, _)| m.flags()),
+                resolver: message.map(|(_, ip)| format!("{ip}:53")),
+                protocol: if self.over_tcp { "tcp" } else { "udp" },
+                trace: std::mem::take(&mut self.trace),
+                delegation,
+                queries_sent: self.queries,
+                retries_used: self.retries_used,
+                duration: now.saturating_sub(self.started),
+                timestamp: now,
+            };
             sink(result);
         }
         self.stack.clear();
         StepStatus::Done(JobOutcome {
             success: status.is_success(),
-            status: status.as_str().to_string(),
+            status: status.as_str(),
         })
     }
 
@@ -694,16 +780,19 @@ impl IterativeMachine {
 
     fn handle_response(
         &mut self,
-        message: Message,
+        message: MsgRef<'_>,
         from: Ipv4Addr,
         protocol: Protocol,
         now: SimTime,
         out: &mut Vec<OutQuery>,
     ) -> StepStatus {
         self.record_trace(&message, from);
+        if let Some(cookies) = self.cookies.as_mut() {
+            cookies.learn(from, message.cookie());
+        }
 
         // Truncation → TCP fallback against the same server.
-        if message.flags.truncated {
+        if message.flags().truncated {
             if protocol == Protocol::Udp && self.core.config.tcp_on_truncated {
                 self.over_tcp = true;
                 self.core
@@ -730,22 +819,30 @@ impl IterativeMachine {
 
         let walk = self.stack.last_mut().expect("active walk");
         let wants = walk.q.qtype;
-        let has_final = message
-            .answers
-            .iter()
-            .any(|r| r.rtype == wants || wants == RecordType::ANY);
-        let trailing_cname = message.answers.iter().rev().find_map(|r| match &r.rdata {
-            RData::Cname(t) if wants != RecordType::CNAME => Some(t.clone()),
-            _ => None,
-        });
+        // One borrowed pass over the answer section: nothing is promoted
+        // unless this response turns out to be a CNAME restart or a keeper.
+        let mut has_final = false;
+        let mut trailing_cname: Option<Name> = None;
+        let mut answers_empty = true;
+        for rec in message.answers() {
+            answers_empty = false;
+            if rec.rtype() == wants || wants == RecordType::ANY {
+                has_final = true;
+            }
+            if wants != RecordType::CNAME {
+                if let Some(target) = rec.cname_target() {
+                    trailing_cname = Some(target);
+                }
+            }
+        }
 
-        if !message.answers.is_empty() {
+        if !answers_empty {
             if has_final {
                 return self.finish_walk(now, Status::NoError, Some((&message, from)), out);
             }
             if let Some(target) = trailing_cname {
                 // CNAME restart: keep the chain, walk again for the target.
-                walk.chain.extend(message.answers.iter().cloned());
+                walk.chain.extend(message.answers_vec());
                 walk.cname_hops += 1;
                 if walk.cname_hops > 8 {
                     return self.finish(now, Status::ServFail, Some((&message, from)));
@@ -769,13 +866,13 @@ impl IterativeMachine {
         }
 
         // No answers: referral or negative.
+        let authoritative = message.flags().authoritative;
         let ns_refs: Vec<Record> = message
-            .authorities
-            .iter()
-            .filter(|r| r.rtype == RecordType::NS)
-            .cloned()
+            .authorities()
+            .filter(|r| r.rtype() == RecordType::NS)
+            .filter_map(|r| r.to_record())
             .collect();
-        if !ns_refs.is_empty() && !message.flags.authoritative {
+        if !ns_refs.is_empty() && !authoritative {
             let cut = ns_refs[0].name.clone();
             // Validity: the cut must enclose the qname and be strictly
             // deeper than the current zone — otherwise it is a lame upward
@@ -796,7 +893,9 @@ impl IterativeMachine {
             walk.attempt = 0;
             walk.cand_idx = 0;
             self.over_tcp = false;
-            let glue = message.additionals.clone();
+            // Referral RRsets are kept (candidates + selective cache), so
+            // this is exactly the promote-on-keep point.
+            let glue = message.additionals_vec();
             let candidates = self.candidates_from_ns(&ns_refs, &glue, now);
             let w = self.stack.last_mut().expect("active walk");
             w.candidates = candidates;
@@ -804,7 +903,7 @@ impl IterativeMachine {
             self.cache_referral(&cut, &ns_refs, &glue, &bailiwick, now);
             return self.advance(now, out);
         }
-        if message.flags.authoritative {
+        if authoritative {
             // NODATA.
             return self.finish_walk(now, Status::NoError, Some((&message, from)), out);
         }
@@ -827,7 +926,7 @@ impl SimClient for IterativeMachine {
 
     fn on_event(
         &mut self,
-        event: ClientEvent,
+        event: ClientEvent<'_>,
         now: SimTime,
         out: &mut Vec<OutQuery>,
     ) -> StepStatus {
@@ -900,6 +999,7 @@ pub struct DirectMachine {
     tag: u64,
     over_tcp: bool,
     transport_failed: bool,
+    cookies: Option<CookieState>,
     sink: Option<ResultSink>,
 }
 
@@ -912,6 +1012,7 @@ impl DirectMachine {
         recursion_desired: bool,
         sink: Option<ResultSink>,
     ) -> DirectMachine {
+        let cookies = core.cookie_state(&question.name);
         DirectMachine {
             core,
             question,
@@ -924,21 +1025,26 @@ impl DirectMachine {
             tag: 0,
             over_tcp: false,
             transport_failed: false,
+            cookies,
             sink,
         }
+    }
+
+    /// The cookie the next query will carry (tests).
+    #[doc(hidden)]
+    pub fn next_cookie(&self) -> Option<Cookie> {
+        self.cookies.as_ref().map(|c| c.for_dest(self.server))
     }
 
     fn send(&mut self, out: &mut Vec<OutQuery>) {
         self.queries += 1;
         self.tag += 1;
-        let mut msg = Message::query(
-            query_id(&self.question.name, self.queries),
-            self.question.clone(),
-        );
-        msg.flags.recursion_desired = self.recursion_desired;
         out.push(OutQuery {
             to: self.server,
-            query: msg,
+            id: query_id(&self.question.name, self.queries),
+            question: self.question.clone(),
+            recursion_desired: self.recursion_desired,
+            cookie: self.cookies.as_ref().map(|c| c.for_dest(self.server)),
             protocol: if self.over_tcp || self.core.config.tcp_only {
                 Protocol::Tcp
             } else {
@@ -953,31 +1059,31 @@ impl DirectMachine {
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     }
 
-    fn finish(&mut self, now: SimTime, status: Status, message: Option<&Message>) -> StepStatus {
+    fn finish(&mut self, now: SimTime, status: Status, message: Option<&MsgRef<'_>>) -> StepStatus {
         self.core.stats.record_lookup(status);
-        let result = LookupResult {
-            name: self.question.name.clone(),
-            qtype: self.question.qtype,
-            status,
-            answers: message.map(|m| m.answers.clone()).unwrap_or_default(),
-            authorities: message.map(|m| m.authorities.clone()).unwrap_or_default(),
-            additionals: message.map(|m| m.additionals.clone()).unwrap_or_default(),
-            flags: message.map(|m| m.flags),
-            resolver: Some(format!("{}:53", self.server)),
-            protocol: if self.over_tcp { "tcp" } else { "udp" },
-            trace: Vec::new(),
-            delegation: None,
-            queries_sent: self.queries,
-            retries_used: self.retries_used,
-            duration: now.saturating_sub(self.started),
-            timestamp: now,
-        };
         if let Some(sink) = &self.sink {
+            let result = LookupResult {
+                name: self.question.name.clone(),
+                qtype: self.question.qtype,
+                status,
+                answers: message.map(|m| m.answers_vec()).unwrap_or_default(),
+                authorities: message.map(|m| m.authorities_vec()).unwrap_or_default(),
+                additionals: message.map(|m| m.additionals_vec()).unwrap_or_default(),
+                flags: message.map(|m| m.flags()),
+                resolver: Some(format!("{}:53", self.server)),
+                protocol: if self.over_tcp { "tcp" } else { "udp" },
+                trace: Vec::new(),
+                delegation: None,
+                queries_sent: self.queries,
+                retries_used: self.retries_used,
+                duration: now.saturating_sub(self.started),
+                timestamp: now,
+            };
             sink(result);
         }
         StepStatus::Done(JobOutcome {
             success: status.is_success(),
-            status: status.as_str().to_string(),
+            status: status.as_str(),
         })
     }
 }
@@ -991,7 +1097,7 @@ impl SimClient for DirectMachine {
 
     fn on_event(
         &mut self,
-        event: ClientEvent,
+        event: ClientEvent<'_>,
         now: SimTime,
         out: &mut Vec<OutQuery>,
     ) -> StepStatus {
@@ -999,14 +1105,17 @@ impl SimClient for DirectMachine {
         match event {
             ClientEvent::Response {
                 tag,
+                from,
                 message,
                 protocol,
-                ..
             } => {
                 if tag != self.tag {
                     return StepStatus::Running;
                 }
-                if message.flags.truncated
+                if let Some(cookies) = self.cookies.as_mut() {
+                    cookies.learn(from, message.cookie());
+                }
+                if message.flags().truncated
                     && protocol == Protocol::Udp
                     && self.core.config.tcp_on_truncated
                 {

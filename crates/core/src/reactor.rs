@@ -40,12 +40,13 @@ use std::time::{Duration, Instant};
 
 use zdns_netsim::{ClientEvent, JobOutcome, OutQuery, Protocol, SimClient, SimTime, MILLIS};
 use zdns_pacing::{PaceDecision, SendGate};
+use zdns_wire::{encode_query_into, Message, MessageView, MsgRef, ScratchBuf};
 
 use crate::driver::{Admission, Driver, DriverReport};
 use crate::pacer::{Pacer, PacerConfig};
 use crate::resolver::AddrMap;
 use crate::transport::readiness;
-use crate::transport::{blocking_tcp_exchange, BatchIo, BatchSendStatus, TransportError};
+use crate::transport::{blocking_tcp_exchange, BatchIo, BatchSendStatus, SendSlot, TransportError};
 
 /// Tunables for one reactor.
 #[derive(Debug, Clone)]
@@ -70,6 +71,12 @@ pub struct ReactorConfig {
     /// arena pre-allocates this many buffers for `recvmmsg`. `1` forces
     /// the per-datagram `send_to`/`recv_from` path.
     pub batch_size: usize,
+    /// Decode every received datagram into an owned [`Message`] instead of
+    /// stepping machines on a borrowed [`MessageView`] over the arena.
+    /// The view path is the default; this fallback exists for A/B
+    /// benchmarks and as a big red switch if a view-path bug ever needs
+    /// ruling out in production.
+    pub owned_decode: bool,
 }
 
 /// Default [`ReactorConfig::batch_size`]: deep enough to amortize
@@ -86,6 +93,7 @@ impl Default for ReactorConfig {
             wheel_granularity: 4 * MILLIS,
             pacer: PacerConfig::default(),
             batch_size: DEFAULT_BATCH_SIZE,
+            owned_decode: false,
         }
     }
 }
@@ -96,18 +104,33 @@ impl Default for ReactorConfig {
 
 type DemuxKey = (SocketAddr, u16);
 
+/// Slab sentinel: end of a slot's chain / no entry.
+const NIL: u32 = u32::MAX;
+
 struct TimerEntry {
     deadline: SimTime,
     token: u64,
     key: DemuxKey,
+    /// Next entry in the owning slot's chain (slab index).
+    next: u32,
 }
 
 /// A hashed timer wheel with lazy cancellation: cancelled tokens are
 /// dropped when their slot next drains, and the `armed` set tracks the
 /// armed, not-yet-cancelled population exactly — so cancelling a token
 /// that already fired (or was already cancelled) is a harmless no-op.
+///
+/// Entries live in one slab with intrusive per-slot chains (a `u32` head
+/// per slot) instead of a `Vec` per slot: wall-clock keeps marching the
+/// cursor into fresh slot indices, and per-slot buffers would regrow from
+/// zero every lap. The slab grows to the peak concurrent entry count once
+/// and is recycled through a free list from then on — arming a timer in
+/// the steady state performs zero heap allocations, which the
+/// `zero_alloc` integration test enforces.
 struct TimerWheel {
-    slots: Vec<Vec<TimerEntry>>,
+    entries: Vec<TimerEntry>,
+    free: Vec<u32>,
+    heads: Vec<u32>,
     granularity: SimTime,
     cursor: usize,
     cursor_time: SimTime,
@@ -119,7 +142,9 @@ impl TimerWheel {
     fn new(slots: usize, granularity: SimTime) -> TimerWheel {
         let n = slots.next_power_of_two().max(2);
         TimerWheel {
-            slots: (0..n).map(|_| Vec::new()).collect(),
+            entries: Vec::new(),
+            free: Vec::new(),
+            heads: vec![NIL; n],
             granularity: granularity.max(1),
             cursor: 0,
             cursor_time: 0,
@@ -128,18 +153,35 @@ impl TimerWheel {
         }
     }
 
+    /// The slot a deadline routes to from the current cursor position.
+    fn slot_for(&self, deadline: SimTime) -> usize {
+        let horizon = self.granularity * self.heads.len() as SimTime;
+        let offset = deadline.saturating_sub(self.cursor_time).min(horizon - 1);
+        let ticks = offset / self.granularity;
+        (self.cursor + ticks as usize) % self.heads.len()
+    }
+
     /// Arm a timer. Deadlines beyond the wheel horizon are parked in the
     /// furthest slot and re-inserted as the wheel turns.
     fn arm(&mut self, deadline: SimTime, token: u64, key: DemuxKey) {
-        let horizon = self.granularity * self.slots.len() as SimTime;
-        let offset = deadline.saturating_sub(self.cursor_time).min(horizon - 1);
-        let ticks = offset / self.granularity;
-        let idx = (self.cursor + ticks as usize) % self.slots.len();
-        self.slots[idx].push(TimerEntry {
+        let idx = self.slot_for(deadline);
+        let entry = TimerEntry {
             deadline,
             token,
             key,
-        });
+            next: self.heads[idx],
+        };
+        let slab_idx = match self.free.pop() {
+            Some(i) => {
+                self.entries[i as usize] = entry;
+                i
+            }
+            None => {
+                self.entries.push(entry);
+                (self.entries.len() - 1) as u32
+            }
+        };
+        self.heads[idx] = slab_idx;
         self.armed.insert(token);
     }
 
@@ -155,22 +197,33 @@ impl TimerWheel {
     /// Advance to `now`, collecting every fired `(token, key)`.
     fn expire(&mut self, now: SimTime, fired: &mut Vec<(u64, DemuxKey)>) {
         while self.cursor_time + self.granularity <= now {
-            let slot = std::mem::take(&mut self.slots[self.cursor]);
+            // Detach the whole chain first: re-arms of parked entries can
+            // only target *other* slots (a parked deadline is ≥ one tick
+            // away), so walking the detached chain stays sound.
+            let mut next = std::mem::replace(&mut self.heads[self.cursor], NIL);
             let slot_end = self.cursor_time + self.granularity;
-            for entry in slot {
-                if self.cancelled.remove(&entry.token) {
+            while next != NIL {
+                let i = next as usize;
+                next = self.entries[i].next;
+                let (deadline, token, key) = {
+                    let e = &self.entries[i];
+                    (e.deadline, e.token, e.key)
+                };
+                self.free.push(i as u32);
+                if self.cancelled.remove(&token) {
                     continue;
                 }
-                if entry.deadline >= slot_end {
+                if deadline >= slot_end {
                     // Parked from beyond the horizon: re-insert relative to
-                    // the advanced cursor (stays armed).
-                    self.arm(entry.deadline, entry.token, entry.key);
+                    // the advanced cursor (stays armed). The slab node just
+                    // freed is immediately reused — no allocation.
+                    self.arm(deadline, token, key);
                 } else {
-                    self.armed.remove(&entry.token);
-                    fired.push((entry.token, entry.key));
+                    self.armed.remove(&token);
+                    fired.push((token, key));
                 }
             }
-            self.cursor = (self.cursor + 1) % self.slots.len();
+            self.cursor = (self.cursor + 1) % self.heads.len();
             self.cursor_time = slot_end;
         }
     }
@@ -191,13 +244,29 @@ impl TimerWheel {
 
     /// Physically stored entries (live + lazily-cancelled).
     fn stored(&self) -> usize {
-        self.slots.iter().map(Vec::len).sum()
+        self.entries.len() - self.free.len()
     }
 
     /// Drop every lazily-cancelled entry now (end-of-run sweep).
     fn sweep_cancelled(&mut self) {
-        for slot in &mut self.slots {
-            slot.retain(|e| !self.cancelled.remove(&e.token));
+        for slot in 0..self.heads.len() {
+            let mut idx = self.heads[slot];
+            let mut prev = NIL;
+            while idx != NIL {
+                let next = self.entries[idx as usize].next;
+                if self.cancelled.remove(&self.entries[idx as usize].token) {
+                    // Unlink and free.
+                    if prev == NIL {
+                        self.heads[slot] = next;
+                    } else {
+                        self.entries[prev as usize].next = next;
+                    }
+                    self.free.push(idx);
+                } else {
+                    prev = idx;
+                }
+                idx = next;
+            }
         }
     }
 }
@@ -333,13 +402,14 @@ struct StagedSend {
 /// and is about to go through the batched syscall. Registration happens
 /// at prep time (before the syscall) so two same-tick sends to one peer
 /// can never pick the same wire id; non-`Sent` outcomes roll it back.
+/// The encoded bytes live in the flush's shared scratch arena (the slot
+/// range rides in the parallel [`SendSlot`] vector), so preparing a send
+/// touches the allocator zero times in the steady state.
 struct PreparedSend {
     slot: usize,
     attempts: u32,
     key: DemuxKey,
-    orig_id: u16,
     oq: OutQuery,
-    bytes: Vec<u8>,
 }
 
 /// Ceiling on consecutive receive errors absorbed in one drain pass, so
@@ -379,8 +449,32 @@ pub struct Reactor {
     tcp: TcpPool,
     tcp_inflight: usize,
     report: DriverReport,
-    batch: BatchIo,
+    /// `Option` so [`Reactor::drain_datagrams`] can move the arena out
+    /// while borrowed views over it are delivered to machines (which need
+    /// `&mut self`); always `Some` between method calls.
+    batch: Option<BatchIo>,
     staged: Vec<StagedSend>,
+    /// Whether receives step machines on owned messages instead of views.
+    owned_decode: bool,
+    // -- steady-state allocation pools -------------------------------------
+    /// Shared encode arena for one flush's datagrams.
+    send_scratch: ScratchBuf,
+    /// `(offset, len, dest)` per prepared datagram, parallel to `prepared`.
+    send_slots: Vec<SendSlot>,
+    /// Prepared sends of the current flush (reused across flushes).
+    prepared: Vec<PreparedSend>,
+    /// Per-datagram outcomes of the current flush (reused).
+    statuses: Vec<BatchSendStatus>,
+    /// Recycled machine-output buffers: stepping a machine pops one,
+    /// finishing the step pushes it back, so per-lookup stepping never
+    /// allocates. A small pool (not one buffer) because event delivery
+    /// re-enters: a step can synchronously trigger another step.
+    out_pool: Vec<Vec<OutQuery>>,
+    /// Recycled per-slot demux-key vectors (admit pops, retire pushes).
+    keys_pool: Vec<Vec<DemuxKey>>,
+    /// Recycled buffer for expired timers (so timeout storms stay
+    /// allocation-free too).
+    fired: Vec<(u64, DemuxKey)>,
 }
 
 impl Reactor {
@@ -407,6 +501,7 @@ impl Reactor {
         let tcp = TcpPool::start(config.tcp_pool);
         let pacer = Pacer::new(config.pacer.clone());
         let batch = BatchIo::new(config.batch_size);
+        let owned_decode = config.owned_decode;
         Ok(Reactor {
             socket,
             addr_map,
@@ -425,8 +520,16 @@ impl Reactor {
             tcp,
             tcp_inflight: 0,
             report: DriverReport::default(),
-            batch,
+            batch: Some(batch),
             staged: Vec::new(),
+            owned_decode,
+            send_scratch: ScratchBuf::new(),
+            send_slots: Vec::new(),
+            prepared: Vec::new(),
+            statuses: Vec::new(),
+            out_pool: Vec::new(),
+            keys_pool: Vec::new(),
+            fired: Vec::new(),
         })
     }
 
@@ -465,6 +568,20 @@ impl Reactor {
         self.started.elapsed().as_nanos() as u64
     }
 
+    /// Pop a recycled machine-output buffer (or make a fresh one — only
+    /// before the pool has warmed up).
+    fn take_out_buf(&mut self) -> Vec<OutQuery> {
+        self.out_pool.pop().unwrap_or_default()
+    }
+
+    /// Return a machine-output buffer to the pool.
+    fn put_out_buf(&mut self, mut out: Vec<OutQuery>) {
+        out.clear();
+        if self.out_pool.len() < 64 {
+            self.out_pool.push(out);
+        }
+    }
+
     /// Admit one machine, starting it immediately.
     fn admit(&mut self, machine: Box<dyn SimClient>, on_done: &mut dyn FnMut(Option<JobOutcome>)) {
         let idx = match self.free_slots.pop() {
@@ -475,9 +592,10 @@ impl Reactor {
                 self.slots.len() - 1
             }
         };
+        let keys = self.keys_pool.pop().unwrap_or_default();
         self.slots[idx] = Some(Slot {
             machine,
-            keys: Vec::new(),
+            keys,
             tcp_pending: 0,
             deferred: 0,
             staged: 0,
@@ -486,7 +604,7 @@ impl Reactor {
         self.report.peak_in_flight = self.report.peak_in_flight.max(self.in_flight);
 
         let mut slot = self.slots[idx].take().expect("fresh slot");
-        let mut out = Vec::new();
+        let mut out = self.take_out_buf();
         let status = slot.machine.start(self.now(), &mut out);
         self.after_step(idx, slot, status, out, on_done);
     }
@@ -499,12 +617,13 @@ impl Reactor {
         idx: usize,
         slot: Slot,
         status: zdns_netsim::StepStatus,
-        out: Vec<OutQuery>,
+        mut out: Vec<OutQuery>,
         on_done: &mut dyn FnMut(Option<JobOutcome>),
     ) {
         use zdns_netsim::StepStatus;
         match status {
             StepStatus::Done(outcome) => {
+                self.put_out_buf(out);
                 self.retire(idx, slot);
                 self.report.completed += 1;
                 if outcome.success {
@@ -515,7 +634,8 @@ impl Reactor {
             StepStatus::Running => {
                 self.slots[idx] = Some(slot);
                 let mut immediate = Vec::new();
-                self.register_out(idx, out, &mut immediate);
+                self.register_out(idx, &mut out, &mut immediate);
+                self.put_out_buf(out);
                 for event in immediate {
                     self.deliver(idx, event, on_done);
                 }
@@ -549,10 +669,14 @@ impl Reactor {
     /// Release a finished machine's slot and cancel anything it left in
     /// the demux table or timer wheel.
     fn retire(&mut self, idx: usize, slot: Slot) {
-        for key in slot.keys {
+        let mut keys = slot.keys;
+        for key in keys.drain(..) {
             if let Some(pending) = self.demux.remove(&key) {
                 self.wheel.cancel(pending.timer_token);
             }
+        }
+        if self.keys_pool.len() < 4_096 {
+            self.keys_pool.push(keys);
         }
         self.slots[idx] = None;
         self.generations[idx] += 1;
@@ -579,8 +703,13 @@ impl Reactor {
     /// Route a machine's emitted queries: UDP through the pacer (then
     /// the shared socket + demux table + timer wheel), TCP through the
     /// side-pool.
-    fn register_out(&mut self, idx: usize, out: Vec<OutQuery>, immediate: &mut Vec<ClientEvent>) {
-        for oq in out {
+    fn register_out(
+        &mut self,
+        idx: usize,
+        out: &mut Vec<OutQuery>,
+        immediate: &mut Vec<ClientEvent<'static>>,
+    ) {
+        for oq in out.drain(..) {
             match oq.protocol {
                 Protocol::Tcp => {
                     let dest = (self.addr_map)(oq.to);
@@ -589,7 +718,7 @@ impl Reactor {
                         generation: self.generations[idx],
                         tag: oq.tag,
                         sim_ip: oq.to,
-                        query: oq.query,
+                        query: oq.to_message(),
                         to: dest,
                         timeout: Duration::from_nanos(oq.timeout),
                     };
@@ -686,33 +815,50 @@ impl Reactor {
     ///    backpressure requeues on the deferred queue, errors fail the
     ///    lookup.
     fn flush_staged(&mut self, on_done: &mut dyn FnMut(Option<JobOutcome>)) {
-        let mut statuses: Vec<BatchSendStatus> = Vec::new();
         while !self.staged.is_empty() {
-            let staged = std::mem::take(&mut self.staged);
-            let mut events: Vec<(usize, ClientEvent)> = Vec::new();
-            let mut prepared: Vec<PreparedSend> = Vec::with_capacity(staged.len());
-            for send in staged {
+            // Working storage is owned by the reactor and recycled every
+            // flush: the encode arena, the slot list, the prepared list,
+            // and the status list all keep their capacity, so a
+            // steady-state flush performs zero heap allocations.
+            let mut staged = std::mem::take(&mut self.staged);
+            let mut prepared = std::mem::take(&mut self.prepared);
+            let mut send_slots = std::mem::take(&mut self.send_slots);
+            let mut statuses = std::mem::take(&mut self.statuses);
+            let mut scratch = std::mem::take(&mut self.send_scratch);
+            prepared.clear();
+            send_slots.clear();
+            statuses.clear();
+            scratch.reset();
+            let mut events: Vec<(usize, u64)> = Vec::new();
+            for send in staged.drain(..) {
                 if self.generations[send.slot] != send.generation {
                     continue; // owner retired while the send was staged
                 }
                 if let Some(slot) = self.slots[send.slot].as_mut() {
                     slot.staged -= 1;
                 }
-                let mut oq = send.oq;
+                let oq = send.oq;
                 let dest = (self.addr_map)(oq.to);
-                let Some(txid) = self.allocate_txid(dest, oq.query.id) else {
-                    events.push((send.slot, ClientEvent::TransportFailed { tag: oq.tag }));
+                // The machine's own id is never mutated: the wire carries
+                // `txid`, the demux entry remembers the original.
+                let Some(txid) = self.allocate_txid(dest, oq.id) else {
+                    events.push((send.slot, oq.tag));
                     continue;
                 };
-                let orig_id = oq.query.id;
-                oq.query.id = txid;
-                let bytes = match oq.query.encode() {
-                    Ok(b) => b,
-                    Err(_) => {
-                        events.push((send.slot, ClientEvent::TransportFailed { tag: oq.tag }));
-                        continue;
-                    }
-                };
+                let start = scratch.len();
+                if encode_query_into(
+                    &mut scratch,
+                    txid,
+                    &oq.question,
+                    oq.recursion_desired,
+                    oq.cookie.as_ref(),
+                )
+                .is_err()
+                {
+                    events.push((send.slot, oq.tag));
+                    continue;
+                }
+                let len = scratch.len() - start;
                 let token = self.next_token;
                 self.next_token += 1;
                 let key = (dest, txid);
@@ -723,37 +869,38 @@ impl Reactor {
                         slot: send.slot,
                         tag: oq.tag,
                         sim_ip: oq.to,
-                        orig_id,
+                        orig_id: oq.id,
                         timer_token: token,
                     },
                 );
                 if let Some(slot) = self.slots[send.slot].as_mut() {
                     slot.keys.push(key);
                 }
+                send_slots.push((start as u32, len as u32, dest));
                 prepared.push(PreparedSend {
                     slot: send.slot,
                     attempts: send.attempts,
                     key,
-                    orig_id,
                     oq,
-                    bytes,
                 });
             }
 
             if !prepared.is_empty() {
-                let msgs: Vec<(&[u8], SocketAddr)> = prepared
-                    .iter()
-                    .map(|p| (p.bytes.as_slice(), p.key.0))
-                    .collect();
-                statuses.clear();
-                let (batch, report) = (&mut self.batch, &mut self.report);
-                let stats = batch.send_batch(&self.socket, &msgs, &mut statuses, &mut |fill| {
-                    report.send_batch_fill.record(fill)
-                });
+                let (batch, report) = (
+                    self.batch.as_mut().expect("batch io present"),
+                    &mut self.report,
+                );
+                let stats = batch.send_slots(
+                    &self.socket,
+                    scratch.as_slice(),
+                    &send_slots,
+                    &mut statuses,
+                    &mut |fill| report.send_batch_fill.record(fill),
+                );
                 self.report.send_syscalls += stats.syscalls;
                 self.report.datagrams_sent += stats.sent;
 
-                for (p, status) in prepared.into_iter().zip(statuses.iter()) {
+                for (p, status) in prepared.drain(..).zip(statuses.iter()) {
                     if matches!(status, BatchSendStatus::Sent) {
                         continue; // registration done at prep time
                     }
@@ -769,16 +916,14 @@ impl Reactor {
                     }
                     match status {
                         BatchSendStatus::Backpressure if p.attempts < MAX_BACKPRESSURE_RETRIES => {
-                            // Restore the machine's own id and retry
-                            // shortly; a bounded retry keeps WouldBlock
-                            // from cycling a query on the deferred queue
-                            // forever with no timeout armed.
-                            let mut oq = p.oq;
-                            oq.query.id = p.orig_id;
+                            // Retry shortly; a bounded retry keeps
+                            // WouldBlock from cycling a query on the
+                            // deferred queue forever with no timeout
+                            // armed.
                             self.report.backpressure_requeues += 1;
                             self.defer_send(
                                 p.slot,
-                                oq,
+                                p.oq,
                                 p.attempts + 1,
                                 self.now() + BACKPRESSURE_DELAY,
                             );
@@ -786,14 +931,22 @@ impl Reactor {
                         _ => {
                             // Sustained backpressure or a hard socket
                             // error: fail the lookup.
-                            events.push((p.slot, ClientEvent::TransportFailed { tag: p.oq.tag }));
+                            events.push((p.slot, p.oq.tag));
                         }
                     }
                 }
             }
 
-            for (idx, event) in events {
-                self.deliver(idx, event, on_done);
+            // Restore the recycled storage *before* delivering failure
+            // events: a machine reacting to one may stage a retry, which
+            // must land in the capacity-retaining `staged` vector.
+            self.staged = staged;
+            self.prepared = prepared;
+            self.send_slots = send_slots;
+            self.statuses = statuses;
+            self.send_scratch = scratch;
+            for (idx, tag) in events {
+                self.deliver(idx, ClientEvent::TransportFailed { tag }, on_done);
             }
         }
     }
@@ -802,13 +955,13 @@ impl Reactor {
     fn deliver(
         &mut self,
         idx: usize,
-        event: ClientEvent,
+        event: ClientEvent<'_>,
         on_done: &mut dyn FnMut(Option<JobOutcome>),
     ) {
         let Some(mut slot) = self.slots[idx].take() else {
             return; // machine already retired (e.g. late TCP completion)
         };
-        let mut out = Vec::new();
+        let mut out = self.take_out_buf();
         let status = slot.machine.on_event(event, self.now(), &mut out);
         self.after_step(idx, slot, status, out, on_done);
     }
@@ -825,31 +978,61 @@ impl Reactor {
     /// normal drain — the queue simply emptied — and is counted in
     /// `recv_partial_batches`, never against the error cap.
     fn drain_datagrams(&mut self, on_done: &mut dyn FnMut(Option<JobOutcome>)) {
+        // Move the arena out so machines (stepped via `&mut self`) can be
+        // handed borrowed views straight over its buffers — the zero-copy
+        // receive path: no `to_vec`, no owned decode per datagram.
+        let mut io = self.batch.take().expect("batch io present");
         let mut errors = 0u32;
-        loop {
-            let batch = self.batch.recv_into_arena(&self.socket);
+        'drain: loop {
+            let batch = io.recv_into_arena(&self.socket);
             self.report.recv_syscalls += batch.syscalls;
             if batch.count > 0 {
                 self.report.datagrams_received += batch.count as u64;
                 self.report.recv_batch_fill.record(batch.count);
-                if batch.count < self.batch.batch_size() {
+                if batch.count < io.batch_size() {
                     self.report.recv_partial_batches += 1;
                 }
             }
             for i in 0..batch.count {
-                let peer = self.batch.arena_peer(i);
-                let decoded = zdns_wire::Message::decode(self.batch.arena_bytes(i));
-                let Ok(mut message) = decoded else {
-                    self.report.decode_errors += 1;
-                    continue;
+                let peer = io.arena_peer(i);
+                let bytes = io.arena_bytes(i);
+                // Parse up front (view sweep or owned decode), but touch
+                // the demux table only after the datagram proves to be a
+                // well-formed response.
+                let mut owned: Option<zdns_wire::Message> = None;
+                let mut view: Option<MessageView<'_>> = None;
+                let (is_response, wire_id) = if self.owned_decode {
+                    match Message::decode(bytes) {
+                        Ok(m) => {
+                            let meta = (m.flags.response, m.id);
+                            owned = Some(m);
+                            meta
+                        }
+                        Err(_) => {
+                            self.report.decode_errors += 1;
+                            continue;
+                        }
+                    }
+                } else {
+                    match MessageView::parse(bytes) {
+                        Ok(v) => {
+                            let meta = (v.flags().response, v.id());
+                            view = Some(v);
+                            meta
+                        }
+                        Err(_) => {
+                            self.report.decode_errors += 1;
+                            continue;
+                        }
+                    }
                 };
-                if !message.flags.response {
+                if !is_response {
                     // An echoed query (QR=0) from a reflecting server or
                     // middlebox must not complete a lookup as a response.
                     self.report.stale_datagrams += 1;
                     continue;
                 }
-                let key = (peer, message.id);
+                let key = (peer, wire_id);
                 let Some(pending) = self.demux.remove(&key) else {
                     // Late, stale, or unsolicited: exactly the datagrams
                     // the demux table exists to reject.
@@ -862,9 +1045,16 @@ impl Reactor {
                         slot.keys.swap_remove(pos);
                     }
                 }
-                // Restore the machine's own transaction id before the
-                // message re-enters machine logic.
-                message.id = pending.orig_id;
+                // The machine sees its own transaction id: the view
+                // overrides it without touching the arena, the owned
+                // fallback rewrites the field.
+                let message = match owned {
+                    Some(mut m) => {
+                        m.id = pending.orig_id;
+                        MsgRef::Owned(m)
+                    }
+                    None => MsgRef::View(view.expect("view parsed").with_id(pending.orig_id)),
+                };
                 self.report.datagrams_delivered += 1;
                 self.pacer.on_success(pending.sim_ip, self.now());
                 let event = ClientEvent::Response {
@@ -876,17 +1066,18 @@ impl Reactor {
                 self.deliver(pending.slot, event, on_done);
             }
             match batch.err {
-                None if batch.count == 0 => return, // socket drained
-                None => {}                          // keep draining
+                None if batch.count == 0 => break 'drain, // socket drained
+                None => {}                                // keep draining
                 Some(_) => {
                     self.report.socket_errors += 1;
                     errors += 1;
                     if errors >= MAX_DRAIN_ERRORS {
-                        return;
+                        break 'drain;
                     }
                 }
             }
         }
+        self.batch = Some(io);
     }
 
     /// Collect finished TCP side-pool exchanges.
@@ -910,7 +1101,7 @@ impl Reactor {
                     ClientEvent::Response {
                         tag: done.tag,
                         from: done.sim_ip,
-                        message,
+                        message: MsgRef::Owned(message),
                         protocol: Protocol::Tcp,
                     }
                 }
@@ -930,9 +1121,10 @@ impl Reactor {
     /// Fire every expired timer: deferred-send releases go to the wire,
     /// per-query timeouts go to their machines (and feed backoff).
     fn fire_timers(&mut self, on_done: &mut dyn FnMut(Option<JobOutcome>)) {
-        let mut fired = Vec::new();
+        let mut fired = std::mem::take(&mut self.fired);
+        fired.clear();
         self.wheel.expire(self.now(), &mut fired);
-        for (token, key) in fired {
+        for (token, key) in fired.drain(..) {
             if let Some(sent) = self.deferred.remove(&token) {
                 // Staged, not sent: every deferred release maturing on
                 // this tick lands in the same upcoming batch flush.
@@ -960,6 +1152,7 @@ impl Reactor {
                 on_done,
             );
         }
+        self.fired = fired;
     }
 }
 

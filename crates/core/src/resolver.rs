@@ -237,7 +237,8 @@ pub fn drive_blocking_paced(
         }
         let dest = addr_map(oq.to);
         let timeout = Duration::from_nanos(oq.timeout);
-        let exchanged = transport.exchange(&oq.query, dest, oq.protocol, timeout);
+        let query = oq.to_message();
+        let exchanged = transport.exchange(&query, dest, oq.protocol, timeout);
         let now = started.elapsed().as_nanos() as u64;
         if let Some(pacer) = pacer.as_deref_mut() {
             // Any transport error counts as a failure signal, matching
@@ -252,7 +253,7 @@ pub fn drive_blocking_paced(
             Ok(message) => ClientEvent::Response {
                 tag: oq.tag,
                 from: oq.to,
-                message,
+                message: zdns_wire::MsgRef::Owned(message),
                 protocol: oq.protocol,
             },
             Err(TransportError::Timeout) => ClientEvent::Timeout { tag: oq.tag },

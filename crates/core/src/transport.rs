@@ -314,6 +314,12 @@ pub struct RecvBatch {
 /// script short returns and `WouldBlock` mid-batch deterministically.
 pub type VectoredSend<'a> = dyn FnMut(&[(&[u8], SocketAddr)]) -> std::io::Result<usize> + 'a;
 
+/// One datagram staged in a shared encode arena: `(offset, length,
+/// destination)`. The reactor encodes a whole flush into one scratch
+/// buffer and hands [`BatchIo::send_slots`] this slot list, so no
+/// per-flush `Vec<(&[u8], SocketAddr)>` ever needs to be materialized.
+pub type SendSlot = (u32, u32, SocketAddr);
+
 /// Batched syscall layer for one non-blocking UDP socket.
 ///
 /// Sends staged by the caller are coalesced into `sendmmsg(2)` calls;
@@ -434,6 +440,46 @@ impl BatchIo {
         settle_send(self.batch_size, send, msgs, statuses, on_syscall)
     }
 
+    /// [`BatchIo::send_batch`] over [`SendSlot`]s into a shared encode
+    /// arena — the reactor's zero-alloc flush path. Identical settling
+    /// semantics; the iovecs are built pointing straight into `arena`.
+    pub fn send_slots(
+        &mut self,
+        socket: &UdpSocket,
+        arena: &[u8],
+        slots: &[SendSlot],
+        statuses: &mut Vec<BatchSendStatus>,
+        on_syscall: &mut dyn FnMut(usize),
+    ) -> SendBatchStats {
+        let mut waited = false;
+        #[cfg(any(target_os = "linux", target_os = "android"))]
+        if self.batched {
+            let scratch = &mut self.scratch;
+            let mut primitive = |chunk: &[SendSlot]| loop {
+                match send_many_once_slots(socket, scratch, arena, chunk) {
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock && !waited => {
+                        waited = true;
+                        wait_socket_writable(socket, 1);
+                    }
+                    other => return other,
+                }
+            };
+            return settle_send_slots(self.batch_size, &mut primitive, slots, statuses, on_syscall);
+        }
+        let mut primitive = |chunk: &[SendSlot]| loop {
+            let (start, len, dest) = chunk[0];
+            let bytes = &arena[start as usize..(start + len) as usize];
+            match socket.send_to(bytes, dest).map(|_| 1) {
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock && !waited => {
+                    waited = true;
+                    wait_socket_writable(socket, 1);
+                }
+                other => return other,
+            }
+        };
+        settle_send_slots(self.batch_size, &mut primitive, slots, statuses, on_syscall)
+    }
+
     // -- receive ------------------------------------------------------------
 
     /// Drain up to `batch_size` datagrams from `socket` into the arena.
@@ -546,16 +592,39 @@ impl BatchIo {
     }
 }
 
-/// The settling engine shared by both send paths: chunk `msgs` by
+/// The settling engine behind [`BatchIo::send_batch`] (borrowed-slice
+/// datagrams).
+fn settle_send(
+    batch_size: usize,
+    send: &mut VectoredSend<'_>,
+    msgs: &[(&[u8], SocketAddr)],
+    statuses: &mut Vec<BatchSendStatus>,
+    on_syscall: &mut dyn FnMut(usize),
+) -> SendBatchStats {
+    settle_engine(batch_size, send, msgs, statuses, on_syscall)
+}
+
+/// The settling engine behind [`BatchIo::send_slots`] (arena slots).
+fn settle_send_slots(
+    batch_size: usize,
+    send: &mut dyn FnMut(&[SendSlot]) -> std::io::Result<usize>,
+    slots: &[SendSlot],
+    statuses: &mut Vec<BatchSendStatus>,
+    on_syscall: &mut dyn FnMut(usize),
+) -> SendBatchStats {
+    settle_engine(batch_size, send, slots, statuses, on_syscall)
+}
+
+/// The settling engine shared by every send path: chunk `msgs` by
 /// `batch_size`, retry short returns from the next unsent datagram, map
 /// `WouldBlock` to backpressure for the entire unsent suffix, and map
 /// any other error to a single failed datagram (then keep going). An
 /// `Ok(0)` return violates the [`VectoredSend`] contract and is settled
 /// as one failed datagram rather than silently marked sent.
-fn settle_send(
+fn settle_engine<T>(
     batch_size: usize,
-    send: &mut VectoredSend<'_>,
-    msgs: &[(&[u8], SocketAddr)],
+    send: &mut dyn FnMut(&[T]) -> std::io::Result<usize>,
+    msgs: &[T],
     statuses: &mut Vec<BatchSendStatus>,
     on_syscall: &mut dyn FnMut(usize),
 ) -> SendBatchStats {
@@ -597,6 +666,45 @@ fn settle_send(
         }
     }
     stats
+}
+
+/// [`send_many_once`] over arena slots: one `sendmmsg` attempt on the
+/// longest IPv4 prefix of `slots`, iovecs pointed straight into `arena`.
+#[cfg(any(target_os = "linux", target_os = "android"))]
+fn send_many_once_slots(
+    socket: &UdpSocket,
+    scratch: &mut zdns_netsim::MmsgScratch,
+    arena: &[u8],
+    slots: &[SendSlot],
+) -> std::io::Result<usize> {
+    use std::os::fd::AsRawFd;
+    let run = slots
+        .iter()
+        .take_while(|(_, _, dest)| dest.is_ipv4())
+        .count()
+        .min(MAX_BATCH);
+    if run == 0 {
+        let (start, len, dest) = slots[0];
+        let bytes = &arena[start as usize..(start + len) as usize];
+        return socket.send_to(bytes, dest).map(|_| 1);
+    }
+    let hdrs = scratch.prepare_send_slots(arena, &slots[..run]);
+    // SAFETY: every mmsghdr points at live storage (the arena and the
+    // reusable scratch arrays) that outlives the call; the arena is only
+    // read; vlen matches the slice length.
+    let r = unsafe {
+        libc::sendmmsg(
+            socket.as_raw_fd(),
+            hdrs.as_mut_ptr(),
+            hdrs.len() as libc::c_uint,
+            libc::MSG_DONTWAIT,
+        )
+    };
+    if r < 0 {
+        Err(std::io::Error::last_os_error())
+    } else {
+        Ok(r as usize)
+    }
 }
 
 /// One `sendmmsg` attempt on the longest IPv4 prefix of `msgs` (a

@@ -1,0 +1,109 @@
+//! Property tests for the cache's case-insensitive, allocation-free keys.
+//!
+//! The selective cache used to rely on each probe hashing a `Name` whose
+//! labels lived in per-label heap boxes; the inline-storage `Name` now
+//! hashes and compares lowercased bytes in place. These properties pin the
+//! observable contract: any case-variant spelling of a name routes to the
+//! same shard and finds the same entry.
+
+use proptest::prelude::*;
+use zdns_core::{Cache, CacheKey};
+use zdns_wire::{Name, RData, Record, RecordType};
+
+/// A lowercase DNS-ish name with 1..=4 labels (the vendored proptest has
+/// no regex strategies, so labels are derived from integer seeds).
+fn arb_name_text() -> impl Strategy<Value = String> {
+    proptest::collection::vec(any::<u64>(), 1..=4).prop_map(|seeds| {
+        seeds
+            .iter()
+            .map(|seed| {
+                let len = 1 + (seed % 12) as usize;
+                (0..len)
+                    .map(|i| {
+                        let v = (seed >> (i * 5)) & 0x1F;
+                        char::from(if v < 26 {
+                            b'a' + v as u8
+                        } else {
+                            b'0' + (v - 26) as u8
+                        })
+                    })
+                    .collect::<String>()
+            })
+            .collect::<Vec<_>>()
+            .join(".")
+    })
+}
+
+/// Flip the case of a subset of ASCII letters, selected by a bitmask.
+fn case_variant(text: &str, mask: u64) -> String {
+    text.chars()
+        .enumerate()
+        .map(|(i, c)| {
+            if c.is_ascii_alphabetic() && (mask >> (i % 64)) & 1 == 1 {
+                c.to_ascii_uppercase()
+            } else {
+                c
+            }
+        })
+        .collect()
+}
+
+fn ns_record(zone: &Name) -> Record {
+    Record::new(
+        zone.clone(),
+        3600,
+        RData::Ns("ns1.cache-case.test".parse().unwrap()),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn mixed_case_names_hit_the_same_shard_and_entry(
+        text in arb_name_text(),
+        mask in any::<u64>(),
+    ) {
+        let lower: Name = text.parse().unwrap();
+        let mixed: Name = case_variant(&text, mask).parse().unwrap();
+        let cache = Cache::new(4096);
+
+        // Identical shard routing, no lowercased scratch key involved.
+        let key_lower = CacheKey { name: lower.clone(), rtype: RecordType::NS };
+        let key_mixed = CacheKey { name: mixed.clone(), rtype: RecordType::NS };
+        prop_assert_eq!(cache.shard_index(&key_lower), cache.shard_index(&key_mixed));
+
+        // Insert under one spelling, hit under the other.
+        cache.put(key_lower, vec![ns_record(&lower)], 0);
+        let hit = cache.get(&mixed, RecordType::NS, 0);
+        prop_assert!(hit.is_some(), "case variant missed: {} vs {}", lower, mixed);
+
+        // And the deepest-cut walk sees it through a case-variant child.
+        let child: Name = case_variant(&format!("www.{text}"), mask.rotate_left(7))
+            .parse()
+            .unwrap();
+        let (cut, _) = cache.deepest_cut(&child, 0).expect("cut cached above");
+        prop_assert_eq!(cut, lower);
+    }
+
+    #[test]
+    fn case_variants_are_one_entry_not_two(
+        text in arb_name_text(),
+        mask in any::<u64>(),
+    ) {
+        let lower: Name = text.parse().unwrap();
+        let mixed: Name = case_variant(&text, mask).parse().unwrap();
+        let cache = Cache::new(4096);
+        cache.put(
+            CacheKey { name: lower.clone(), rtype: RecordType::NS },
+            vec![ns_record(&lower)],
+            0,
+        );
+        cache.put(
+            CacheKey { name: mixed, rtype: RecordType::NS },
+            vec![ns_record(&lower)],
+            0,
+        );
+        prop_assert_eq!(cache.len(), 1);
+    }
+}

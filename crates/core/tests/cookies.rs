@@ -1,0 +1,173 @@
+//! EDNS(0) cookie (RFC 7873) behaviour across the stack.
+//!
+//! * Machines attach a client cookie to every query, learn the server
+//!   cookie from responses, and echo the full cookie on retries to the
+//!   same server (scripted-event tests — no sockets, fully deterministic).
+//! * The loopback `WireServer` echoes client cookies with its fixed server
+//!   cookie appended, end to end over real sockets.
+
+use std::net::{Ipv4Addr, SocketAddr};
+use std::sync::Arc;
+use std::time::Duration;
+
+use zdns_core::{
+    DirectMachine, ExternalMachine, ResolverConfig, ResolverCore, Transport, UdpTransport,
+};
+use zdns_netsim::{ClientEvent, OutQuery, Protocol, SimClient, StepStatus, SERVER_COOKIE};
+use zdns_wire::{Cookie, Message, MsgRef, Question, RecordType, CLIENT_COOKIE_LEN};
+use zdns_zones::{ExplicitUniverse, Universe, Zone};
+
+const SERVER: Ipv4Addr = Ipv4Addr::new(198, 51, 100, 53);
+
+fn external_core() -> Arc<ResolverCore> {
+    let mut config = ResolverConfig::external(vec![SERVER]);
+    config.retries = 3;
+    ResolverCore::new(config)
+}
+
+/// Build the full cookie a server would echo: the query's client part plus
+/// `server` bytes.
+fn echoed(query_cookie: &Cookie, server: &[u8]) -> Cookie {
+    let mut full = [0u8; 40];
+    full[..CLIENT_COOKIE_LEN].copy_from_slice(query_cookie.client_part());
+    full[CLIENT_COOKIE_LEN..CLIENT_COOKIE_LEN + server.len()].copy_from_slice(server);
+    Cookie::from_wire(&full[..CLIENT_COOKIE_LEN + server.len()]).unwrap()
+}
+
+/// A truncated response carrying `cookie`, answering `oq`.
+fn truncated_response(oq: &OutQuery, cookie: Cookie) -> Message {
+    let mut resp = Message::query(oq.id, oq.question.clone());
+    resp.flags.response = true;
+    resp.flags.truncated = true;
+    resp.edns.as_mut().unwrap().set_cookie(cookie);
+    resp
+}
+
+#[test]
+fn direct_machine_echoes_server_cookie_on_same_server_retry() {
+    let core = external_core();
+    let question = Question::new("cookie.test".parse().unwrap(), RecordType::A);
+    let mut machine = DirectMachine::new(core, question, SERVER, false, None);
+    let mut out = Vec::new();
+    assert!(matches!(machine.start(0, &mut out), StepStatus::Running));
+    let first = out.pop().unwrap();
+    let first_cookie = first.cookie.expect("cookies on by default");
+    assert!(
+        !first_cookie.has_server_part(),
+        "first query carries a client-only cookie"
+    );
+
+    // The server answers truncated (forcing a same-server TCP retry) and
+    // echoes a full cookie.
+    let full = echoed(&first_cookie, b"srv-cook");
+    let resp = truncated_response(&first, full);
+    let status = machine.on_event(
+        ClientEvent::Response {
+            tag: first.tag,
+            from: SERVER,
+            message: MsgRef::Owned(resp),
+            protocol: Protocol::Udp,
+        },
+        1,
+        &mut out,
+    );
+    assert!(matches!(status, StepStatus::Running));
+    let retry = out.pop().unwrap();
+    assert_eq!(retry.protocol, Protocol::Tcp);
+    assert_eq!(
+        retry.cookie,
+        Some(full),
+        "retry to the same server echoes the learned full cookie"
+    );
+}
+
+#[test]
+fn external_machine_pins_cookies_per_server() {
+    let core = {
+        let other = Ipv4Addr::new(198, 51, 100, 54);
+        let mut config = ResolverConfig::external(vec![SERVER, other]);
+        config.retries = 3;
+        ResolverCore::new(config)
+    };
+    let question = Question::new("rotate.cookie.test".parse().unwrap(), RecordType::A);
+    let mut machine = ExternalMachine::new(core, question, None);
+    let mut out = Vec::new();
+    machine.start(0, &mut out);
+    let first = out.pop().unwrap();
+    let first_cookie = first.cookie.unwrap();
+
+    // Learn a full cookie from the first server via a truncated response.
+    let full = echoed(&first_cookie, b"pinsrvck");
+    let resp = truncated_response(&first, full);
+    machine.on_event(
+        ClientEvent::Response {
+            tag: first.tag,
+            from: first.to,
+            message: MsgRef::Owned(resp),
+            protocol: Protocol::Udp,
+        },
+        1,
+        &mut out,
+    );
+    let tcp_retry = out.pop().unwrap();
+    assert_eq!(tcp_retry.to, first.to);
+    assert_eq!(tcp_retry.cookie, Some(full));
+
+    // A timeout rotates to the other upstream: the learned cookie must NOT
+    // follow — other servers get the bare client cookie.
+    machine.on_event(ClientEvent::Timeout { tag: tcp_retry.tag }, 2, &mut out);
+    let rotated = out.pop().unwrap();
+    assert_ne!(rotated.to, first.to, "retry rotates to the next upstream");
+    let rotated_cookie = rotated.cookie.unwrap();
+    assert!(!rotated_cookie.has_server_part());
+    assert_eq!(rotated_cookie.client_part(), first_cookie.client_part());
+}
+
+#[test]
+fn cookies_can_be_disabled_by_config() {
+    let mut config = ResolverConfig::external(vec![SERVER]);
+    config.edns_cookies = false;
+    let core = ResolverCore::new(config);
+    let question = Question::new("nocookie.test".parse().unwrap(), RecordType::A);
+    let mut machine = DirectMachine::new(core, question, SERVER, false, None);
+    let mut out = Vec::new();
+    machine.start(0, &mut out);
+    assert_eq!(out.pop().unwrap().cookie, None);
+}
+
+#[test]
+fn wire_server_echoes_cookie_over_real_sockets() {
+    let server_ip = Ipv4Addr::new(203, 0, 113, 9);
+    let mut zone = Zone::new(
+        "echo.test".parse().unwrap(),
+        "ns1.echo.test".parse().unwrap(),
+        300,
+    );
+    zone.add(zdns_wire::Record::new(
+        "echo.test".parse().unwrap(),
+        300,
+        zdns_wire::RData::A("192.0.2.99".parse().unwrap()),
+    ));
+    let mut universe = ExplicitUniverse::new();
+    universe.host(server_ip, zone);
+    let server =
+        zdns_netsim::WireServer::start(Arc::new(universe) as Arc<dyn Universe>, server_ip).unwrap();
+
+    let question = Question::new("echo.test".parse().unwrap(), RecordType::A);
+    let client_cookie = Cookie::client(*b"CLNTCOOK");
+    let mut query = Message::query(0x7777, question);
+    query.edns.as_mut().unwrap().set_cookie(client_cookie);
+
+    let mut transport = UdpTransport::bind(Ipv4Addr::LOCALHOST).unwrap();
+    let addr: SocketAddr = server.addr();
+    let response = transport
+        .exchange(&query, addr, Protocol::Udp, Duration::from_secs(2))
+        .unwrap();
+    let echoed = response
+        .edns
+        .as_ref()
+        .and_then(|e| e.cookie())
+        .expect("server echoes a cookie");
+    assert_eq!(echoed.client_part(), client_cookie.client_part());
+    assert_eq!(echoed.server_part(), &SERVER_COOKIE);
+}

@@ -1,0 +1,251 @@
+//! The zero-alloc message lifecycle, enforced by a counting allocator.
+//!
+//! Claim under test (the PR-4 tentpole): once warmed up, the reactor's
+//! view-path loop — borrowed `MessageView` decode over the receive arena,
+//! scratch-buffer query encode, pooled bookkeeping — performs **zero heap
+//! allocations per lookup**. Machine *construction* (boxing a machine,
+//! cloning the server list) is the admission source's cost, so the test
+//! pre-builds machines before the measured region; everything the reactor
+//! and machines do per lookup afterwards is measured.
+//!
+//! Counters are per-thread, so the loopback wire server threads (which do
+//! allocate) cannot pollute the reactor thread's measurement.
+
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+use zdns_core::alloc_count::{thread_allocations, CountingAllocator};
+use zdns_core::{
+    AddrMap, Admission, Cache, CacheKey, Driver, Reactor, ReactorConfig, Resolver, ResolverConfig,
+};
+use zdns_netsim::{JobOutcome, SimClient, WireServer, SECONDS};
+use zdns_wire::{
+    encode_query_into, Cookie, MessageView, Name, Question, RData, Record, RecordType, ScratchBuf,
+};
+use zdns_zones::{ExplicitUniverse, Universe, Zone};
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+/// `n` A records behind one zero-latency loopback wire server.
+fn loopback_fleet(n: usize) -> (WireServer, Resolver, Arc<AddrMap>, Vec<Question>) {
+    let server_ip = Ipv4Addr::new(203, 0, 113, 77);
+    let mut zone = Zone::new(
+        "zeroalloc.test".parse().unwrap(),
+        "ns1.zeroalloc.test".parse().unwrap(),
+        300,
+    );
+    for i in 0..n {
+        zone.add(Record::new(
+            format!("z{i}.zeroalloc.test").parse().unwrap(),
+            300,
+            RData::A(Ipv4Addr::new(10, 7, (i / 256) as u8, (i % 256) as u8)),
+        ));
+    }
+    let mut universe = ExplicitUniverse::new();
+    universe.host(server_ip, zone);
+    let server = WireServer::start(Arc::new(universe) as Arc<dyn Universe>, server_ip).unwrap();
+    let real = server.addr();
+    let addr_map: Arc<AddrMap> = Arc::new(move |_| real);
+    let mut config = ResolverConfig::external(vec![server_ip]);
+    config.timeout = 2 * SECONDS;
+    config.retries = 2;
+    let resolver = Resolver::new(config);
+    let questions = (0..n)
+        .map(|i| {
+            Question::new(
+                format!("z{i}.zeroalloc.test").parse::<Name>().unwrap(),
+                RecordType::A,
+            )
+        })
+        .collect();
+    (server, resolver, addr_map, questions)
+}
+
+/// Drive `questions` through `reactor` from a pre-built machine pool.
+/// Returns (completed, successes, allocations during the scan).
+fn run_prebuilt(
+    reactor: &mut Reactor,
+    resolver: &Resolver,
+    questions: &[Question],
+    trap: bool,
+) -> (usize, usize, u64) {
+    let mut machines: Vec<Box<dyn SimClient>> = questions
+        .iter()
+        .rev()
+        .map(|q| resolver.machine(q.clone(), None))
+        .collect();
+    let mut done = 0usize;
+    let mut ok = 0usize;
+    let before = thread_allocations();
+    if trap && std::env::var_os("ZDNS_TRAP_ALLOCS").is_some() {
+        zdns_core::alloc_count::trap_allocations(true);
+    }
+    {
+        let mut feed = || match machines.pop() {
+            Some(m) => Admission::Admit(m),
+            None => Admission::Exhausted,
+        };
+        let mut on_done = |outcome: Option<JobOutcome>| {
+            done += 1;
+            if matches!(&outcome, Some(o) if o.success) {
+                ok += 1;
+            }
+        };
+        reactor.run_scan(&mut feed, &mut on_done);
+    }
+    zdns_core::alloc_count::trap_allocations(false);
+    let allocs = thread_allocations() - before;
+    (done, ok, allocs)
+}
+
+#[test]
+fn steady_state_view_path_scan_allocates_zero_per_lookup() {
+    const WARMUP: usize = 1500;
+    const MEASURED: usize = 1000;
+    let (_server, resolver, addr_map, questions) = loopback_fleet(WARMUP + MEASURED);
+    let mut reactor = Reactor::new(
+        ReactorConfig {
+            max_in_flight: 256,
+            source: Ipv4Addr::LOCALHOST,
+            ..ReactorConfig::default()
+        },
+        addr_map,
+    )
+    .unwrap();
+
+    // Warmup: grows every pool, map, wheel slot, and scratch buffer to its
+    // steady-state high-water mark.
+    let (done, ok, _) = run_prebuilt(&mut reactor, &resolver, &questions[..WARMUP], false);
+    assert_eq!(done, WARMUP);
+    assert!(ok * 10 >= WARMUP * 9, "warmup success {ok}/{WARMUP}");
+
+    // Measured: the reactor loop itself — admission from the pre-built
+    // pool, scratch encode, sendmmsg, recvmmsg, view decode, machine
+    // stepping, retire — must not touch the allocator at all.
+    let (done, ok, allocs) = run_prebuilt(&mut reactor, &resolver, &questions[WARMUP..], true);
+    assert_eq!(done, MEASURED);
+    assert!(ok * 10 >= MEASURED * 9, "measured success {ok}/{MEASURED}");
+    assert_eq!(
+        allocs, 0,
+        "steady-state view-path scan allocated {allocs} times over {MEASURED} lookups"
+    );
+}
+
+#[test]
+fn owned_decode_fallback_stays_green() {
+    const LOOKUPS: usize = 800;
+    let (_server, resolver, addr_map, questions) = loopback_fleet(LOOKUPS);
+    let mut reactor = Reactor::new(
+        ReactorConfig {
+            max_in_flight: 128,
+            source: Ipv4Addr::LOCALHOST,
+            owned_decode: true,
+            ..ReactorConfig::default()
+        },
+        addr_map,
+    )
+    .unwrap();
+    let (done, ok, _) = run_prebuilt(&mut reactor, &resolver, &questions, false);
+    // The fallback allocates (that is its nature); it must simply keep
+    // resolving correctly.
+    assert_eq!(done, LOOKUPS);
+    assert!(
+        ok * 10 >= LOOKUPS * 9,
+        "owned fallback success {ok}/{LOOKUPS}"
+    );
+}
+
+#[test]
+fn codec_paths_allocate_zero_after_warmup() {
+    let question = Question::new("host.codec.zeroalloc.test".parse().unwrap(), RecordType::A);
+    let cookie = Cookie::client([7, 7, 7, 7, 7, 7, 7, 7]);
+    // A realistic referral-sized response to parse.
+    let mut response = zdns_wire::Message::query(0x5151, question.clone());
+    response.flags.response = true;
+    for i in 0..6u8 {
+        let ns: Name = format!("ns{i}.codec.zeroalloc.test").parse().unwrap();
+        response.answers.push(Record::new(
+            question.name.clone(),
+            300,
+            RData::A(Ipv4Addr::new(192, 0, 2, i)),
+        ));
+        response.additionals.push(Record::new(
+            ns,
+            300,
+            RData::A(Ipv4Addr::new(198, 51, 100, i)),
+        ));
+    }
+    let bytes = response.encode().unwrap();
+    let mut scratch = ScratchBuf::new();
+    let target: Name = "codec.zeroalloc.test".parse().unwrap();
+
+    let exercise = |scratch: &mut ScratchBuf| {
+        scratch.reset();
+        encode_query_into(scratch, 0xABCD, &question, true, Some(&cookie)).unwrap();
+        let view = MessageView::parse(&bytes).unwrap();
+        let mut addrs = 0usize;
+        for rec in view.answers() {
+            if rec.a_addr().is_some() {
+                addrs += 1;
+            }
+        }
+        let mut owners = 0usize;
+        for rec in view.additionals() {
+            if rec.name().to_name().is_subdomain_of(&target) {
+                owners += 1;
+            }
+        }
+        assert_eq!((addrs, owners), (6, 6));
+        std::hint::black_box(view.rcode());
+    };
+
+    for _ in 0..8 {
+        exercise(&mut scratch); // warm the scratch buffer
+    }
+    let before = thread_allocations();
+    for _ in 0..1_000 {
+        exercise(&mut scratch);
+    }
+    let allocs = thread_allocations() - before;
+    assert_eq!(
+        allocs, 0,
+        "borrowed decode + scratch encode allocated {allocs} times over 1000 iterations"
+    );
+}
+
+#[test]
+fn cache_misses_and_shard_routing_allocate_zero() {
+    let cache = Cache::new(4096);
+    let com: Name = "com".parse().unwrap();
+    cache.put(
+        CacheKey {
+            name: com.clone(),
+            rtype: RecordType::NS,
+        },
+        vec![Record::new(
+            com,
+            172_800,
+            RData::Ns("a.gtld-servers.net".parse().unwrap()),
+        )],
+        0,
+    );
+    let absent: Name = "WWW.Absent.Example.ORG".parse().unwrap();
+    let probe_key = CacheKey {
+        name: "MiXeD.CaSe.CoM".parse().unwrap(),
+        rtype: RecordType::NS,
+    };
+    let before = thread_allocations();
+    for _ in 0..1_000 {
+        // Key hashing, shard routing, and suffix-walk probes all run on
+        // inline name storage: no lowercased String, no per-label boxes.
+        std::hint::black_box(cache.shard_index(&probe_key));
+        assert!(cache.get(&absent, RecordType::NS, 0).is_none());
+        assert!(cache.deepest_cut(&absent, 0).is_none());
+    }
+    let allocs = thread_allocations() - before;
+    assert_eq!(
+        allocs, 0,
+        "cache probes allocated {allocs} times over 1000 iterations"
+    );
+}

@@ -308,7 +308,7 @@ where
                 let sink: ModuleSink = Arc::new(move |o| {
                     let _ = output_tx.send(o);
                 });
-                let mut statuses: HashMap<String, u64> = HashMap::new();
+                let mut statuses: HashMap<&'static str, u64> = HashMap::new();
                 let mut feed = || match input_rx.try_recv() {
                     Ok(input) => {
                         Admission::Admit(module.make_machine(&input, &resolver, sink.clone()))
@@ -317,13 +317,13 @@ where
                     Err(channel::TryRecvError::Disconnected) => Admission::Exhausted,
                 };
                 let mut on_done = |outcome: Option<zdns_netsim::JobOutcome>| {
-                    let status = outcome.map(|o| o.status).unwrap_or_else(|| "ERROR".into());
+                    let status = outcome.map(|o| o.status).unwrap_or("ERROR");
                     *statuses.entry(status).or_insert(0) += 1;
                 };
                 let driver_report = reactor.run_scan(&mut feed, &mut on_done);
                 let mut merged = merged.lock();
                 for (status, n) in statuses {
-                    *merged.0.entry(status).or_insert(0) += n;
+                    *merged.0.entry(status.to_string()).or_insert(0) += n;
                 }
                 merged.1.merge(&driver_report);
             });

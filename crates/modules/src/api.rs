@@ -150,7 +150,7 @@ pub fn emit(
     });
     StepStatus::Done(JobOutcome {
         success: status.is_success(),
-        status: status.as_str().to_string(),
+        status: status.as_str(),
     })
 }
 
@@ -181,7 +181,7 @@ impl SimClient for FailMachine {
     fn on_event(&mut self, _e: ClientEvent, _now: SimTime, _o: &mut Vec<OutQuery>) -> StepStatus {
         StepStatus::Done(JobOutcome {
             success: false,
-            status: self.status.as_str().to_string(),
+            status: self.status.as_str(),
         })
     }
 }

@@ -26,7 +26,7 @@ use std::sync::Arc;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use zdns_pacing::{PaceDecision, SendGate};
-use zdns_wire::Message;
+use zdns_wire::{Cookie, Message, MsgRef, Question};
 use zdns_zones::Universe;
 
 use crate::latency::sample_rtt;
@@ -43,12 +43,25 @@ pub enum Protocol {
 }
 
 /// A query a client wants sent.
+///
+/// Deliberately *not* a full [`Message`]: the fields below are everything a
+/// ZDNS query contains, held inline so emitting a query performs no heap
+/// allocation beyond the (inline-storage) question name. Drivers that need
+/// the owned message — the simulator, the blocking transport, the TCP
+/// side-pool — build one with [`OutQuery::to_message`]; the reactor encodes
+/// the wire bytes directly from these fields through a scratch buffer.
 #[derive(Debug, Clone)]
 pub struct OutQuery {
     /// Destination server.
     pub to: Ipv4Addr,
-    /// The full query message.
-    pub query: Message,
+    /// The machine's own transaction id (drivers may rewrite the wire id).
+    pub id: u16,
+    /// The question being asked.
+    pub question: Question,
+    /// RD flag: ask the server to recurse (external mode).
+    pub recursion_desired: bool,
+    /// DNS cookie to attach to the query's OPT record (RFC 7873).
+    pub cookie: Option<Cookie>,
     /// UDP or TCP.
     pub protocol: Protocol,
     /// Client-side timeout.
@@ -57,17 +70,32 @@ pub struct OutQuery {
     pub tag: u64,
 }
 
-/// What a client receives back.
+impl OutQuery {
+    /// Build the owned query [`Message`] these fields describe (EDNS
+    /// attached, cookie included). Off the hot path by design.
+    pub fn to_message(&self) -> Message {
+        let mut msg = Message::query(self.id, self.question.clone());
+        msg.flags.recursion_desired = self.recursion_desired;
+        if let (Some(cookie), Some(edns)) = (self.cookie.as_ref(), msg.edns.as_mut()) {
+            edns.set_cookie(*cookie);
+        }
+        msg
+    }
+}
+
+/// What a client receives back. The lifetime is the borrow of the receive
+/// buffer: the reactor's UDP path delivers [`MsgRef::View`]s straight over
+/// its arena, everything else delivers owned messages.
 #[derive(Debug)]
-pub enum ClientEvent {
+pub enum ClientEvent<'a> {
     /// A response arrived in time.
     Response {
         /// Correlation tag from the [`OutQuery`].
         tag: u64,
         /// The responding server.
         from: Ipv4Addr,
-        /// The response message.
-        message: Message,
+        /// The response message, borrowed or owned.
+        message: MsgRef<'a>,
         /// Protocol it arrived over.
         protocol: Protocol,
     },
@@ -87,12 +115,13 @@ pub enum ClientEvent {
 }
 
 /// Final report for one finished job.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 pub struct JobOutcome {
     /// "Success" in the paper's sense: a NOERROR or NXDOMAIN result.
     pub success: bool,
     /// ZDNS-style status string (`NOERROR`, `TIMEOUT`, `SERVFAIL`, ...).
-    pub status: String,
+    /// A static string so finishing a lookup never allocates.
+    pub status: &'static str,
 }
 
 /// Client state-machine progress.
@@ -107,9 +136,14 @@ pub enum StepStatus {
 pub trait SimClient {
     /// Begin the job, pushing initial queries. May complete immediately.
     fn start(&mut self, now: SimTime, out: &mut Vec<OutQuery>) -> StepStatus;
-    /// Handle a response or timeout.
-    fn on_event(&mut self, event: ClientEvent, now: SimTime, out: &mut Vec<OutQuery>)
-        -> StepStatus;
+    /// Handle a response or timeout. Responses may be borrowed views over
+    /// the driver's receive buffer — promote only what you keep.
+    fn on_event(
+        &mut self,
+        event: ClientEvent<'_>,
+        now: SimTime,
+        out: &mut Vec<OutQuery>,
+    ) -> StepStatus;
 }
 
 /// Garbage-collection pause model (§3.4 "Increased Garbage Collection").
@@ -488,7 +522,7 @@ impl Engine {
                                     ClientEvent::Response {
                                         tag,
                                         from,
-                                        message,
+                                        message: MsgRef::Owned(message),
                                         protocol,
                                     },
                                     done_at,
@@ -525,7 +559,13 @@ impl Engine {
             }
             self.report.success_series[bucket] += 1;
         }
-        *self.report.status_counts.entry(outcome.status).or_insert(0) += 1;
+        if let Some(n) = self.report.status_counts.get_mut(outcome.status) {
+            *n += 1;
+        } else {
+            self.report
+                .status_counts
+                .insert(outcome.status.to_string(), 1);
+        }
         self.report.makespan = self.report.makespan.max(now);
         self.report.total_job_duration += now.saturating_sub(slot.started_at);
     }
@@ -589,7 +629,7 @@ impl Engine {
 
         // Optional wire fidelity: push the query through the real codec.
         let query = if self.config.wire_fidelity {
-            match oq.query.encode().and_then(|b| Message::decode(&b)) {
+            match oq.to_message().encode().and_then(|b| Message::decode(&b)) {
                 Ok(m) => m,
                 Err(_) => {
                     // Unencodable query: client sees a timeout.
@@ -607,7 +647,7 @@ impl Engine {
                 }
             }
         } else {
-            oq.query.clone()
+            oq.to_message()
         };
         let Some(question) = query.question().cloned() else {
             self.schedule(
@@ -847,51 +887,54 @@ mod tests {
         retries: u32,
     }
 
-    impl SimClient for OneShot {
-        fn start(&mut self, _now: SimTime, out: &mut Vec<OutQuery>) -> StepStatus {
-            out.push(OutQuery {
+    impl OneShot {
+        fn query(&self) -> OutQuery {
+            OutQuery {
                 to: self.to,
-                query: Message::query(1, Question::new(self.name.clone(), self.qtype)),
+                id: 1,
+                question: Question::new(self.name.clone(), self.qtype),
+                recursion_desired: false,
+                cookie: None,
                 protocol: Protocol::Udp,
                 timeout: 2 * SECONDS,
                 tag: 0,
-            });
+            }
+        }
+    }
+
+    impl SimClient for OneShot {
+        fn start(&mut self, _now: SimTime, out: &mut Vec<OutQuery>) -> StepStatus {
+            out.push(self.query());
             StepStatus::Running
         }
 
         fn on_event(
             &mut self,
-            event: ClientEvent,
+            event: ClientEvent<'_>,
             _now: SimTime,
             out: &mut Vec<OutQuery>,
         ) -> StepStatus {
             match event {
                 ClientEvent::Response { message, .. } => StepStatus::Done(JobOutcome {
                     success: matches!(message.rcode(), Rcode::NoError | Rcode::NxDomain),
-                    status: message.rcode().as_str().to_string(),
+                    status: message.rcode().as_str(),
                 }),
                 ClientEvent::Timeout { .. } => {
                     if self.retries > 0 {
                         self.retries -= 1;
-                        out.push(OutQuery {
-                            to: self.to,
-                            query: Message::query(1, Question::new(self.name.clone(), self.qtype)),
-                            protocol: Protocol::Udp,
-                            timeout: 2 * SECONDS,
-                            tag: 0,
-                        });
+                        out.push(self.query());
                         StepStatus::Running
                     } else {
                         StepStatus::Done(JobOutcome {
                             success: false,
-                            status: "TIMEOUT".to_string(),
+                            status: "TIMEOUT",
                         })
                     }
                 }
                 // The simulator never produces transport failures.
                 ClientEvent::TransportFailed { .. } => StepStatus::Done(JobOutcome {
                     success: false,
-                    status: "ERROR".to_string(),
+                    status: "ERROR",
                 }),
             }
         }

@@ -106,6 +106,33 @@ impl MmsgScratch {
         &mut self.hdrs[..n]
     }
 
+    /// Like [`MmsgScratch::prepare_send`], but the payloads are
+    /// `(offset, len)` slots into one shared arena buffer — the shape the
+    /// reactor's scratch-encoded send path produces. Avoids materializing a
+    /// `Vec<(&[u8], SocketAddr)>` per flush: the iovecs are pointed straight
+    /// into the arena.
+    pub fn prepare_send_slots(
+        &mut self,
+        arena: &[u8],
+        slots: &[(u32, u32, SocketAddr)],
+    ) -> &mut [libc::mmsghdr] {
+        let n = slots.len();
+        self.reset(n);
+        for (i, (start, len, dest)) in slots.iter().enumerate() {
+            let SocketAddr::V4(v4) = dest else {
+                unreachable!("prepare_send_slots takes IPv4 destinations only");
+            };
+            let bytes = &arena[*start as usize..(*start + *len) as usize];
+            self.addrs[i] = libc::sockaddr_in::from_parts(*v4.ip(), v4.port());
+            self.iovs[i] = libc::iovec {
+                iov_base: bytes.as_ptr() as *mut libc::c_void,
+                iov_len: bytes.len(),
+            };
+            self.link(i);
+        }
+        &mut self.hdrs[..n]
+    }
+
     /// Peer address recorded for received entry `i`, if it was IPv4.
     pub fn peer(&self, i: usize) -> Option<SocketAddr> {
         self.addrs[i].to_addr()

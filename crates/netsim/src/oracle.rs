@@ -104,7 +104,7 @@ fn resolve_no_cname(
         return OracleAnswer::failed(Rcode::ServFail, *queries);
     }
     let mut servers: Vec<Ipv4Addr> = universe.root_hints().iter().map(|(_, a)| *a).collect();
-    let mut visited_cuts: HashSet<String> = HashSet::new();
+    let mut visited_cuts: HashSet<Name> = HashSet::new();
     for _hop in 0..MAX_DEPTH {
         let mut referral: Option<(Vec<Record>, Vec<Record>)> = None;
         let mut last_rcode = Rcode::ServFail;
@@ -151,7 +151,7 @@ fn resolve_no_cname(
         };
         // Loop protection: never descend into the same cut twice.
         if let Some(first) = ns_records.first() {
-            let cut = first.name.to_ascii_lower();
+            let cut = first.name.clone();
             if !visited_cuts.insert(cut) {
                 return OracleAnswer::failed(Rcode::ServFail, *queries);
             }

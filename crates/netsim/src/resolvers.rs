@@ -13,7 +13,7 @@ use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
 use rand::Rng;
-use zdns_wire::{Message, Question, Rcode};
+use zdns_wire::{Message, Name, Question, Rcode};
 use zdns_zones::Universe;
 
 use crate::oracle;
@@ -151,7 +151,7 @@ pub struct PublicResolverSim {
     pub config: PublicResolverConfig,
     buckets: HashMap<Ipv4Addr, TokenBucket>,
     penalties: HashMap<Ipv4Addr, PenaltyState>,
-    servfail_cache: HashMap<String, SimTime>,
+    servfail_cache: HashMap<Name, SimTime>,
     window_start: SimTime,
     window_count: u64,
     /// Total queries dropped by the per-client limiter (observability).
@@ -198,14 +198,16 @@ impl PublicResolverSim {
         }
         // Negative SERVFAIL cache: a recently failed name keeps failing
         // fast until the entry expires.
-        let qname_key = question.name.to_ascii_lower();
-        if let Some(&until) = self.servfail_cache.get(&qname_key) {
+        // `Name` hashes and compares case-insensitively without
+        // allocating, so the negative cache needs no lowercased String
+        // key per query.
+        if let Some(&until) = self.servfail_cache.get(&question.name) {
             if now < until {
                 return ResolverOutcome::ServFail {
                     latency: self.rtt(rng),
                 };
             }
-            self.servfail_cache.remove(&qname_key);
+            self.servfail_cache.remove(&question.name);
         }
         // Per-client rate limit (Google's behaviour: silent drop).
         if let Some(qps) = self.config.per_client_qps {
@@ -250,7 +252,7 @@ impl PublicResolverSim {
                         self.servfail_cache.clear();
                     }
                     self.servfail_cache
-                        .insert(qname_key, now + self.config.servfail_cache_ttl);
+                        .insert(question.name.clone(), now + self.config.servfail_cache_ttl);
                 }
                 // Sheds load the way big anycast fleets do: mostly silent
                 // drops, some SERVFAILs.
@@ -316,7 +318,6 @@ mod tests {
     use rand::SeedableRng;
     use zdns_wire::{Name, RecordType};
     use zdns_zones::{SynthConfig, SyntheticUniverse};
-
     fn setup() -> (SyntheticUniverse, PublicResolverSim, SmallRng) {
         let u = SyntheticUniverse::new(SynthConfig::default());
         let r = PublicResolverSim::new(PublicResolverConfig::google("8.8.8.8".parse().unwrap()));

@@ -12,7 +12,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use zdns_wire::Message;
+use zdns_wire::{Cookie, MessageView, ScratchBuf, CLIENT_COOKIE_LEN};
 use zdns_zones::Universe;
 
 /// A running loopback DNS server.
@@ -220,19 +220,24 @@ impl WireServer {
             // in one recvmmsg keeps this single server thread from
             // becoming the syscall bottleneck of loopback tests/benches.
             let mut arena = RecvArena::new(32);
+            // The server answers through the same borrowed-view decode and
+            // scratch-buffer encode the client hot path uses, so loopback
+            // tests exercise both sides of the zero-alloc lifecycle.
+            let mut scratch = ScratchBuf::new();
             while !udp_stop.load(Ordering::Relaxed) {
                 let count = arena.recv_batch(&udp);
                 for i in 0..count {
                     let (raw, peer) = arena.datagram(i);
-                    if let Some(bytes) = answer(&udp_universe, impersonate, raw, true) {
+                    scratch.reset();
+                    if answer_into(&udp_universe, impersonate, raw, true, &mut scratch) {
                         if latency > Duration::ZERO {
                             udp_delayed.lock().unwrap().push_back((
                                 std::time::Instant::now() + latency,
                                 peer,
-                                bytes,
+                                scratch.as_slice().to_vec(),
                             ));
                         } else {
-                            let _ = udp.send_to(&bytes, peer);
+                            let _ = udp.send_to(scratch.as_slice(), peer);
                         }
                     }
                 }
@@ -242,6 +247,7 @@ impl WireServer {
         let tcp_stop = Arc::clone(&stop);
         let tcp_universe = Arc::clone(&universe);
         let tcp_thread = std::thread::spawn(move || {
+            let mut scratch = ScratchBuf::new();
             while !tcp_stop.load(Ordering::Relaxed) {
                 match tcp.accept() {
                     Ok((mut stream, _)) => {
@@ -255,10 +261,12 @@ impl WireServer {
                         if stream.read_exact(&mut msg_buf).is_err() {
                             continue;
                         }
-                        if let Some(bytes) = answer(&tcp_universe, impersonate, &msg_buf, false) {
+                        scratch.reset();
+                        if answer_into(&tcp_universe, impersonate, &msg_buf, false, &mut scratch) {
+                            let bytes = scratch.as_slice();
                             let prefix = (bytes.len() as u16).to_be_bytes();
                             let _ = stream.write_all(&prefix);
-                            let _ = stream.write_all(&bytes);
+                            let _ = stream.write_all(bytes);
                         }
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -279,25 +287,48 @@ impl WireServer {
     }
 }
 
-fn answer(
+/// The 8-octet server cookie this loopback server appends when a query
+/// carries a client cookie (RFC 7873). Deterministic so tests can assert
+/// the echo.
+pub const SERVER_COOKIE: [u8; 8] = *b"ZDNSSRVR";
+
+/// Decode `raw` as a borrowed [`MessageView`], answer it from the
+/// universe, and encode the response into `scratch` (one message, starting
+/// at the scratch's current position). Returns false for undecodable or
+/// unanswerable queries.
+fn answer_into(
     universe: &Arc<dyn Universe>,
     impersonate: Ipv4Addr,
     raw: &[u8],
     udp: bool,
-) -> Option<Vec<u8>> {
-    let query = Message::decode(raw).ok()?;
-    let question = query.question()?;
-    let auth = universe.respond(impersonate, question)?;
-    let response = auth.to_message(&query);
+    scratch: &mut ScratchBuf,
+) -> bool {
+    let Ok(query) = MessageView::parse(raw) else {
+        return false;
+    };
+    let Some(question_view) = query.question() else {
+        return false;
+    };
+    let question = question_view.to_question();
+    let Some(auth) = universe.respond(impersonate, &question) else {
+        return false;
+    };
+    let mut response = auth.to_message_for(&query);
+    // RFC 7873: echo the client cookie back with our server cookie
+    // appended, so cookie-aware clients can pin retries to us.
+    if let (Some(cookie), Some(edns)) = (query.cookie(), response.edns.as_mut()) {
+        let mut full = [0u8; CLIENT_COOKIE_LEN + SERVER_COOKIE.len()];
+        full[..CLIENT_COOKIE_LEN].copy_from_slice(cookie.client_part());
+        full[CLIENT_COOKIE_LEN..].copy_from_slice(&SERVER_COOKIE);
+        if let Some(full) = Cookie::from_wire(&full) {
+            edns.set_cookie(full);
+        }
+    }
     if udp {
-        let limit = query
-            .edns
-            .as_ref()
-            .map(|e| e.udp_payload_size as usize)
-            .unwrap_or(512);
-        response.encode_udp(limit).ok().map(|(bytes, _)| bytes)
+        let limit = query.udp_payload_size().unwrap_or(512) as usize;
+        response.encode_udp_into(scratch, limit).is_ok()
     } else {
-        response.encode().ok()
+        response.encode_into(scratch).is_ok()
     }
 }
 
@@ -313,7 +344,7 @@ impl Drop for WireServer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use zdns_wire::{Question, RData, Rcode, Record, RecordType};
+    use zdns_wire::{Message, Question, RData, Rcode, Record, RecordType};
     use zdns_zones::{ExplicitUniverse, Zone};
 
     fn test_universe() -> (Arc<dyn Universe>, Ipv4Addr) {

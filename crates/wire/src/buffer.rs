@@ -1,13 +1,15 @@
 //! Low-level wire reader/writer.
 //!
-//! `WireReader` walks a received datagram; `WireWriter` builds one. The writer
-//! owns the name-compression table (RFC 1035 §4.1.4) because compression
-//! offsets are a property of the message being assembled, not of any one name.
-
-use std::collections::HashMap;
+//! `WireReader` walks a received datagram. [`ScratchBuf`] builds one (or
+//! several, back to back): it is the reusable, allocation-free-in-steady-state
+//! encode buffer the whole message lifecycle writes through, and it owns the
+//! name-compression table (RFC 1035 §4.1.4) because compression offsets are a
+//! property of the message being assembled, not of any one name. `WireWriter`
+//! is a thin convenience wrapper for one-shot encodes that returns an owned
+//! `Vec<u8>`.
 
 use crate::error::{WireError, WireResult};
-use crate::name::Name;
+use crate::name::{Name, NameBuilder};
 
 /// Maximum size of a DNS message we will encode (TCP limit; UDP is smaller).
 pub const MAX_MESSAGE_SIZE: usize = u16::MAX as usize;
@@ -122,9 +124,10 @@ impl<'a> WireReader<'a> {
     /// The cursor ends just past the name as it appears *at this position*
     /// (i.e. after the pointer, if one was used). Pointer chains are limited
     /// and must strictly move backwards, which makes loops impossible.
+    /// Labels are assembled on the stack — one short name costs zero heap
+    /// allocations.
     pub fn read_name(&mut self) -> WireResult<Name> {
-        let mut labels: Vec<Box<[u8]>> = Vec::new();
-        let mut wire_len = 1usize; // trailing root octet
+        let mut builder = NameBuilder::new();
         let mut pos = self.pos;
         // Position to restore after the name read at the original location.
         let mut resume: Option<usize> = None;
@@ -154,11 +157,10 @@ impl<'a> WireReader<'a> {
                             context: "name label body",
                         });
                     }
-                    wire_len += len + 1;
-                    if wire_len > crate::name::MAX_NAME_LEN {
-                        return Err(WireError::NameTooLong(wire_len));
+                    if builder.wire_len() + len + 1 > crate::name::MAX_NAME_LEN {
+                        return Err(WireError::NameTooLong(builder.wire_len() + len + 1));
                     }
-                    labels.push(self.buf[start..end].into());
+                    builder.push(&self.buf[start..end])?;
                     pos = end;
                 }
                 0b1100_0000 => {
@@ -186,32 +188,82 @@ impl<'a> WireReader<'a> {
         if let Some(r) = resume {
             self.pos = r;
         }
-        Name::from_labels(labels)
+        Ok(builder.finish())
     }
 }
 
-/// Growable output buffer with a name-compression table.
-#[derive(Debug, Default)]
-pub struct WireWriter {
-    buf: Vec<u8>,
-    /// Lowercased name suffix → offset of its first occurrence.
-    compress: HashMap<Vec<u8>, u16>,
-    /// When false, names are written uncompressed (RDATA of modern types must
-    /// not be compressed per RFC 3597).
-    compression_enabled: bool,
+/// One entry of the reusable compression table: the FNV hash of the
+/// lowercased label-suffix, and the suffix's offset relative to the start
+/// of the message being assembled.
+#[derive(Debug, Clone, Copy)]
+struct CompressEntry {
+    hash: u32,
+    offset: u16,
 }
 
-impl WireWriter {
-    /// New writer with compression enabled.
-    pub fn new() -> Self {
-        WireWriter {
+/// A reusable, growable encode buffer with a name-compression table.
+///
+/// In the steady state — after it has grown to the size of the largest
+/// message it has carried — encoding through a `ScratchBuf` performs **zero
+/// heap allocations**: the byte buffer and the compression table both retain
+/// their capacity across [`ScratchBuf::reset`] / [`ScratchBuf::begin_message`].
+///
+/// Several messages can be encoded back to back into one buffer (the
+/// reactor's per-flush send arena does exactly this): [`ScratchBuf::begin_message`]
+/// marks a new message start, and compression offsets are always relative to
+/// that start, so pointers stay valid when the message is sent on its own.
+#[derive(Debug, Default)]
+pub struct ScratchBuf {
+    buf: Vec<u8>,
+    /// Start of the message currently being assembled.
+    base: usize,
+    /// Compression entries for the current message only.
+    compress: Vec<CompressEntry>,
+}
+
+impl ScratchBuf {
+    /// New empty scratch buffer.
+    pub fn new() -> ScratchBuf {
+        ScratchBuf {
             buf: Vec::with_capacity(512),
-            compress: HashMap::new(),
-            compression_enabled: true,
+            base: 0,
+            compress: Vec::new(),
         }
     }
 
-    /// Bytes written so far.
+    /// Drop all content (capacity is retained) and start over at offset 0.
+    pub fn reset(&mut self) {
+        self.buf.clear();
+        self.compress.clear();
+        self.base = 0;
+    }
+
+    /// Mark the start of a new message at the current write position and
+    /// return its offset. Compression state from the previous message is
+    /// discarded — pointers never cross message boundaries.
+    pub fn begin_message(&mut self) -> usize {
+        self.base = self.buf.len();
+        self.compress.clear();
+        self.base
+    }
+
+    /// Offset where the current message starts.
+    pub fn message_start(&self) -> usize {
+        self.base
+    }
+
+    /// The bytes of the message currently being assembled.
+    pub fn message_bytes(&self) -> &[u8] {
+        &self.buf[self.base..]
+    }
+
+    /// Roll the current message back entirely (after a failed encode).
+    pub fn abort_message(&mut self) {
+        self.buf.truncate(self.base);
+        self.compress.clear();
+    }
+
+    /// Total bytes written (across all messages in the buffer).
     pub fn len(&self) -> usize {
         self.buf.len()
     }
@@ -221,18 +273,21 @@ impl WireWriter {
         self.buf.is_empty()
     }
 
-    /// Consume the writer, returning the encoded message.
-    pub fn finish(self) -> Vec<u8> {
-        self.buf
-    }
-
-    /// View of the bytes written so far.
+    /// View of all bytes written so far.
     pub fn as_slice(&self) -> &[u8] {
         &self.buf
     }
 
+    /// Consume the buffer's contents, leaving it empty (capacity is *not*
+    /// retained — this is the one-shot [`WireWriter::finish`] path).
+    pub fn take_bytes(&mut self) -> Vec<u8> {
+        self.base = 0;
+        self.compress.clear();
+        std::mem::take(&mut self.buf)
+    }
+
     fn ensure_capacity(&mut self, extra: usize) -> WireResult<()> {
-        let total = self.buf.len() + extra;
+        let total = self.buf.len() - self.base + extra;
         if total > MAX_MESSAGE_SIZE {
             return Err(WireError::MessageTooLong(total));
         }
@@ -290,16 +345,17 @@ impl WireWriter {
         self.write_bytes(v)
     }
 
-    /// Overwrite two bytes at `pos` with a big-endian u16 (used to patch
-    /// RDLENGTH after the RDATA is known).
+    /// Overwrite two bytes at absolute position `pos` with a big-endian u16
+    /// (used to patch RDLENGTH after the RDATA is known).
     pub fn patch_u16(&mut self, pos: usize, v: u16) {
         debug_assert!(pos + 2 <= self.buf.len());
         self.buf[pos..pos + 2].copy_from_slice(&v.to_be_bytes());
     }
 
-    /// Write a name, compressing against previously written names.
+    /// Write a name, compressing against previously written names of the
+    /// current message.
     pub fn write_name(&mut self, name: &Name) -> WireResult<()> {
-        self.write_name_inner(name, self.compression_enabled)
+        self.write_name_inner(name, true)
     }
 
     /// Write a name without compression (required inside RDATA of types
@@ -309,24 +365,136 @@ impl WireWriter {
     }
 
     fn write_name_inner(&mut self, name: &Name, compress: bool) -> WireResult<()> {
-        let labels = name.labels();
-        for i in 0..labels.len() {
-            let suffix_key = Name::suffix_key(&labels[i..]);
+        let storage = name.storage_bytes();
+        let mut pos = 0usize;
+        while pos < storage.len() {
+            let suffix = &storage[pos..];
+            let hash = fnv_lower(suffix);
             if compress {
-                if let Some(&off) = self.compress.get(&suffix_key) {
+                if let Some(off) = self.find_suffix(hash, suffix) {
                     return self.write_u16(0xC000 | off);
                 }
             }
-            let here = self.buf.len();
+            let here = self.buf.len() - self.base;
             // Offsets beyond 0x3FFF cannot be pointer targets.
             if compress && here <= 0x3FFF {
-                self.compress.insert(suffix_key, here as u16);
+                self.compress.push(CompressEntry {
+                    hash,
+                    offset: here as u16,
+                });
             }
-            let label = &labels[i];
-            self.write_u8(label.len() as u8)?;
-            self.write_bytes(label)?;
+            let label_end = pos + 1 + storage[pos] as usize;
+            self.write_bytes(&storage[pos..label_end])?;
+            pos = label_end;
         }
         self.write_u8(0)
+    }
+
+    /// Look for an already-written name suffix equal (case-insensitively)
+    /// to `suffix` (length-prefixed label storage). The hash prefilter makes
+    /// the scan cheap; a hit is confirmed by walking the encoded labels.
+    fn find_suffix(&self, hash: u32, suffix: &[u8]) -> Option<u16> {
+        for entry in &self.compress {
+            if entry.hash == hash && self.encoded_matches(entry.offset as usize, suffix) {
+                return Some(entry.offset);
+            }
+        }
+        None
+    }
+
+    /// Compare the encoded (possibly pointer-continued) name at
+    /// message-relative `off` against `suffix` storage.
+    fn encoded_matches(&self, off: usize, suffix: &[u8]) -> bool {
+        let msg = &self.buf[self.base..];
+        let mut pos = off;
+        let mut s = 0usize;
+        let mut hops = 0usize;
+        loop {
+            let Some(&len_byte) = msg.get(pos) else {
+                return false;
+            };
+            match len_byte & 0b1100_0000 {
+                0b0000_0000 => {
+                    let len = len_byte as usize;
+                    if len == 0 {
+                        return s == suffix.len();
+                    }
+                    if s >= suffix.len() || suffix[s] as usize != len {
+                        return false;
+                    }
+                    let Some(enc) = msg.get(pos + 1..pos + 1 + len) else {
+                        return false;
+                    };
+                    let want = &suffix[s + 1..s + 1 + len];
+                    if !enc.eq_ignore_ascii_case(want) {
+                        return false;
+                    }
+                    pos += 1 + len;
+                    s += 1 + len;
+                }
+                0b1100_0000 => {
+                    let Some(&second) = msg.get(pos + 1) else {
+                        return false;
+                    };
+                    let target = ((len_byte as usize & 0x3f) << 8) | second as usize;
+                    if target >= pos {
+                        return false;
+                    }
+                    hops += 1;
+                    if hops > 126 {
+                        return false;
+                    }
+                    pos = target;
+                }
+                _ => return false,
+            }
+        }
+    }
+}
+
+/// FNV-1a over ASCII-lowercased bytes — the compression table's prefilter.
+fn fnv_lower(bytes: &[u8]) -> u32 {
+    let mut h: u32 = 0x811C_9DC5;
+    for &b in bytes {
+        h ^= b.to_ascii_lowercase() as u32;
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+/// Growable output buffer for one-shot encodes: a [`ScratchBuf`] that hands
+/// its bytes back as an owned `Vec<u8>`. Prefer borrowing a long-lived
+/// `ScratchBuf` on hot paths.
+#[derive(Debug, Default)]
+pub struct WireWriter {
+    inner: ScratchBuf,
+}
+
+impl WireWriter {
+    /// New writer with compression enabled.
+    pub fn new() -> Self {
+        WireWriter {
+            inner: ScratchBuf::new(),
+        }
+    }
+
+    /// Consume the writer, returning the encoded message.
+    pub fn finish(mut self) -> Vec<u8> {
+        self.inner.take_bytes()
+    }
+}
+
+impl std::ops::Deref for WireWriter {
+    type Target = ScratchBuf;
+
+    fn deref(&self) -> &ScratchBuf {
+        &self.inner
+    }
+}
+
+impl std::ops::DerefMut for WireWriter {
+    fn deref_mut(&mut self) -> &mut ScratchBuf {
+        &mut self.inner
     }
 }
 
@@ -383,6 +551,62 @@ mod tests {
         let mut r = WireReader::new(&bytes);
         assert_eq!(r.read_name().unwrap(), a);
         assert_eq!(r.read_name().unwrap(), b);
+    }
+
+    #[test]
+    fn name_compression_is_case_insensitive() {
+        let mut w = WireWriter::new();
+        let a: Name = "mail.EXAMPLE.com".parse().unwrap();
+        let b: Name = "example.COM".parse().unwrap();
+        w.write_name(&a).unwrap();
+        let before = w.len();
+        w.write_name(&b).unwrap();
+        assert_eq!(w.len() - before, 2);
+        let bytes = w.finish();
+        let mut r = WireReader::new(&bytes);
+        assert_eq!(r.read_name().unwrap(), a);
+        assert_eq!(r.read_name().unwrap(), b);
+    }
+
+    #[test]
+    fn compression_never_crosses_message_boundaries() {
+        let mut s = ScratchBuf::new();
+        let a: Name = "mail.example.com".parse().unwrap();
+        s.begin_message();
+        s.write_name(&a).unwrap();
+        let first_len = s.len();
+        let second = s.begin_message();
+        s.write_name(&a).unwrap();
+        // The second message must re-emit the full name, not point into
+        // the first message.
+        assert_eq!(s.len() - second, first_len);
+        let mut r = WireReader::new(&s.as_slice()[second..]);
+        assert_eq!(r.read_name().unwrap(), a);
+    }
+
+    #[test]
+    fn scratch_reuse_keeps_capacity_and_resets_content() {
+        let mut s = ScratchBuf::new();
+        let a: Name = "a.example.com".parse().unwrap();
+        s.begin_message();
+        s.write_name(&a).unwrap();
+        let len = s.len();
+        s.reset();
+        assert!(s.is_empty());
+        s.begin_message();
+        s.write_name(&a).unwrap();
+        assert_eq!(s.len(), len);
+    }
+
+    #[test]
+    fn abort_message_rolls_back() {
+        let mut s = ScratchBuf::new();
+        s.write_u16(0xAAAA).unwrap();
+        let base = s.begin_message();
+        s.write_u32(0xDEAD_BEEF).unwrap();
+        s.abort_message();
+        assert_eq!(s.len(), base);
+        assert_eq!(s.as_slice(), &[0xAA, 0xAA]);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::buffer::{WireReader, WireWriter};
+use crate::buffer::{ScratchBuf, WireReader};
 use crate::error::WireResult;
 
 /// DNS opcodes (RFC 1035 §4.1.1 plus updates).
@@ -194,7 +194,7 @@ pub struct Header {
 
 impl Header {
     /// Encode the header.
-    pub fn encode(&self, w: &mut WireWriter) -> WireResult<()> {
+    pub fn encode(&self, w: &mut ScratchBuf) -> WireResult<()> {
         w.write_u16(self.id)?;
         let f = &self.flags;
         let mut hi: u8 = 0;
@@ -264,6 +264,7 @@ impl Header {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::buffer::WireWriter;
 
     #[test]
     fn header_roundtrip() {

@@ -28,14 +28,21 @@ mod question;
 pub mod rdata;
 mod record;
 mod rtype;
+mod view;
 
-pub use buffer::{WireReader, WireWriter, MAX_MESSAGE_SIZE};
-pub use edns::{Edns, DEFAULT_UDP_PAYLOAD};
+pub use buffer::{ScratchBuf, WireReader, WireWriter, MAX_MESSAGE_SIZE};
+pub use edns::{
+    Cookie, Edns, CLIENT_COOKIE_LEN, DEFAULT_UDP_PAYLOAD, MAX_COOKIE_LEN, OPTION_COOKIE,
+};
 pub use error::{WireError, WireResult};
 pub use header::{Flags, Header, Opcode, OpcodeField, Rcode};
-pub use message::{Message, RcodeField};
-pub use name::{Name, MAX_LABEL_LEN, MAX_NAME_LEN};
+pub use message::{encode_query_into, Message, RcodeField};
+pub use name::{LabelIter, Name, INLINE_NAME_LEN, MAX_LABEL_LEN, MAX_NAME_LEN};
 pub use question::Question;
 pub use rdata::RData;
 pub use record::Record;
 pub use rtype::{RecordClass, RecordType};
+pub use view::{
+    MessageView, MsgRef, NameRef, NameRefLabels, QuestionView, QuestionViews, RecordCursor,
+    RecordEntry, RecordView, RecordViews,
+};

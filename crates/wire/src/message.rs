@@ -1,7 +1,7 @@
 //! The full DNS message: header + four sections, with EDNS folded in.
 
-use crate::buffer::{WireReader, WireWriter};
-use crate::edns::Edns;
+use crate::buffer::{ScratchBuf, WireReader};
+use crate::edns::{Cookie, Edns};
 use crate::error::{WireError, WireResult};
 use crate::header::{Flags, Header, Opcode, OpcodeField, Rcode};
 use crate::question::Question;
@@ -77,7 +77,9 @@ impl Message {
     /// Encode with no size limit (TCP) — the message may still not exceed
     /// 64 KiB.
     pub fn encode(&self) -> WireResult<Vec<u8>> {
-        self.encode_bounded(None).map(|(bytes, _)| bytes)
+        let mut scratch = ScratchBuf::new();
+        self.encode_into(&mut scratch)?;
+        Ok(scratch.take_bytes())
     }
 
     /// Encode for UDP: if the message exceeds `limit`, sections are dropped
@@ -85,34 +87,58 @@ impl Message {
     /// authoritative servers do. Returns the bytes and whether truncation
     /// happened.
     pub fn encode_udp(&self, limit: usize) -> WireResult<(Vec<u8>, bool)> {
-        self.encode_bounded(Some(limit))
+        let mut scratch = ScratchBuf::new();
+        let truncated = self.encode_udp_into(&mut scratch, limit)?;
+        Ok((scratch.take_bytes(), truncated))
     }
 
-    fn encode_bounded(&self, limit: Option<usize>) -> WireResult<(Vec<u8>, bool)> {
-        // Fast path: encode everything; only if a limit is given and
-        // exceeded do we re-encode with fewer records.
-        let mut drop_records = 0usize;
+    /// Encode one message (no size limit) into `scratch` as a new message
+    /// starting at the current write position. In the steady state the
+    /// scratch buffer retains its capacity, so this path performs zero heap
+    /// allocations. On error the partial message is rolled back.
+    pub fn encode_into(&self, scratch: &mut ScratchBuf) -> WireResult<()> {
+        scratch.begin_message();
+        self.encode_dropping(scratch, 0, false).inspect_err(|_| {
+            scratch.abort_message();
+        })
+    }
+
+    /// [`Message::encode_into`] with a UDP size limit: drops trailing
+    /// records and sets TC when the message would exceed `limit`. Returns
+    /// whether truncation happened.
+    pub fn encode_udp_into(&self, scratch: &mut ScratchBuf, limit: usize) -> WireResult<bool> {
+        scratch.begin_message();
         let total_records = self.answers.len() + self.authorities.len() + self.additionals.len();
+        let mut drop_records = 0usize;
         loop {
-            let bytes = self.encode_dropping(drop_records, drop_records > 0)?;
-            match limit {
-                Some(l) if bytes.len() > l => {
-                    if drop_records >= total_records {
-                        // Even the bare header + question exceeds the limit;
-                        // return it truncated anyway (matches BIND).
-                        return Ok((bytes, true));
-                    }
-                    drop_records += ((bytes.len() - l) / 64).max(1);
-                    drop_records = drop_records.min(total_records);
+            match self.encode_dropping(scratch, drop_records, drop_records > 0) {
+                Ok(()) => {}
+                Err(e) => {
+                    scratch.abort_message();
+                    return Err(e);
                 }
-                _ => return Ok((bytes, drop_records > 0)),
+            }
+            let encoded = scratch.message_bytes().len();
+            if encoded > limit {
+                if drop_records >= total_records {
+                    // Even the bare header + question exceeds the limit;
+                    // return it truncated anyway (matches BIND).
+                    return Ok(true);
+                }
+                drop_records += ((encoded - limit) / 64).max(1);
+                drop_records = drop_records.min(total_records);
+                // Re-encode the same message from its start.
+                scratch.abort_message();
+                scratch.begin_message();
+            } else {
+                return Ok(drop_records > 0);
             }
         }
     }
 
     /// Encode while dropping the last `drop` records (additionals first,
     /// then authorities, then answers) and optionally forcing TC.
-    fn encode_dropping(&self, drop: usize, truncated: bool) -> WireResult<Vec<u8>> {
+    fn encode_dropping(&self, w: &mut ScratchBuf, drop: usize, truncated: bool) -> WireResult<()> {
         let keep = |section: &[Record], already_dropped: usize, drop: usize| -> usize {
             let to_drop = drop.saturating_sub(already_dropped);
             section.len().saturating_sub(to_drop)
@@ -136,26 +162,25 @@ impl Message {
             nscount: keep_auth as u16,
             arcount: (keep_add + usize::from(self.edns.is_some())) as u16,
         };
-        let mut w = WireWriter::new();
-        header.encode(&mut w)?;
+        header.encode(w)?;
         for q in &self.questions {
-            q.encode(&mut w)?;
+            q.encode(w)?;
         }
         for rec in &self.answers[..keep_ans] {
-            rec.encode(&mut w)?;
+            rec.encode(w)?;
         }
         for rec in &self.authorities[..keep_auth] {
-            rec.encode(&mut w)?;
+            rec.encode(w)?;
         }
         for rec in &self.additionals[..keep_add] {
-            rec.encode(&mut w)?;
+            rec.encode(w)?;
         }
         if let Some(edns) = &self.edns {
             let mut edns = edns.clone();
             edns.extended_rcode = (rcode_val >> 4) as u8;
-            edns.encode(&mut w)?;
+            edns.encode(w)?;
         }
-        Ok(w.finish())
+        Ok(())
     }
 
     /// Decode a full message. Unknown record types decode as opaque; a
@@ -230,9 +255,46 @@ impl Message {
     }
 }
 
+/// Encode a standard query — header, one question, and a default OPT
+/// (optionally carrying a DNS [`Cookie`]) — straight into `scratch`,
+/// without constructing a [`Message`]. This is the reactor's send path:
+/// in the steady state it performs zero heap allocations.
+///
+/// The encoded bytes are identical to
+/// `Message::query(id, question)` with `recursion_desired` applied and the
+/// cookie attached via [`Edns::set_cookie`].
+pub fn encode_query_into(
+    scratch: &mut ScratchBuf,
+    id: u16,
+    question: &Question,
+    recursion_desired: bool,
+    cookie: Option<&Cookie>,
+) -> WireResult<()> {
+    scratch.begin_message();
+    let result = (|| {
+        let header = Header {
+            id,
+            flags: Flags {
+                recursion_desired,
+                ..Flags::default()
+            },
+            rcode_low: 0,
+            qdcount: 1,
+            ancount: 0,
+            nscount: 0,
+            arcount: 1,
+        };
+        header.encode(scratch)?;
+        question.encode(scratch)?;
+        Edns::encode_query_opt(scratch, cookie)
+    })();
+    result.inspect_err(|_| scratch.abort_message())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::buffer::WireWriter;
     use crate::rdata::RData;
     use std::net::Ipv4Addr;
 
@@ -311,6 +373,40 @@ mod tests {
         let decoded_full = Message::decode(&full).unwrap();
         assert_eq!(decoded_full.answers.len(), 101);
         assert!(!decoded_full.flags.truncated);
+    }
+
+    #[test]
+    fn encode_into_appends_independent_messages() {
+        let m = sample_response();
+        let one_shot = m.encode().unwrap();
+        let mut scratch = ScratchBuf::new();
+        m.encode_into(&mut scratch).unwrap();
+        let first_end = scratch.len();
+        m.encode_into(&mut scratch).unwrap();
+        // Both copies decode identically: compression never points across
+        // the message boundary.
+        assert_eq!(&scratch.as_slice()[..first_end], &one_shot[..]);
+        assert_eq!(
+            Message::decode(&scratch.as_slice()[first_end..]).unwrap(),
+            m
+        );
+    }
+
+    #[test]
+    fn encode_query_into_matches_owned_builder() {
+        let question = Question::new("www.Example.COM".parse().unwrap(), RecordType::A);
+        let cookie = Cookie::client([7, 6, 5, 4, 3, 2, 1, 0]);
+        for (rd, cookie) in [(false, None), (true, Some(cookie))] {
+            let mut owned = Message::query(0xABCD, question.clone());
+            owned.flags.recursion_desired = rd;
+            if let (Some(c), Some(e)) = (cookie.as_ref(), owned.edns.as_mut()) {
+                e.set_cookie(*c);
+            }
+            let expected = owned.encode().unwrap();
+            let mut scratch = ScratchBuf::new();
+            encode_query_into(&mut scratch, 0xABCD, &question, rd, cookie.as_ref()).unwrap();
+            assert_eq!(scratch.as_slice(), &expected[..]);
+        }
     }
 
     #[test]

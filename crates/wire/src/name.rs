@@ -3,6 +3,14 @@
 //! `Name` stores the label sequence exactly as received (case preserved for
 //! display) but compares, hashes, and compresses case-insensitively, as DNS
 //! requires (RFC 1035 §2.3.3, RFC 4343).
+//!
+//! Storage is a single contiguous run of length-prefixed labels (the wire
+//! form minus the trailing root octet), kept inline for names up to
+//! [`INLINE_NAME_LEN`] octets and spilled to one heap allocation only for
+//! longer names. Cloning, hashing, comparing, and slicing (`parent`,
+//! `suffix`) are therefore allocation-free for virtually every real-world
+//! name — the property the resolver's cache keys and per-query encode path
+//! rely on.
 
 use std::fmt;
 use std::hash::{Hash, Hasher};
@@ -15,129 +23,240 @@ use crate::error::{WireError, WireResult};
 pub const MAX_LABEL_LEN: usize = 63;
 /// Maximum octets of a name on the wire (labels + length octets + root).
 pub const MAX_NAME_LEN: usize = 255;
+/// Maximum octets of label storage (wire form minus the root octet).
+const MAX_STORAGE: usize = MAX_NAME_LEN - 1;
+/// Names whose label storage fits in this many octets stay inline (no heap
+/// allocation at all). 54 octets covers e.g. a 52-character hostname.
+pub const INLINE_NAME_LEN: usize = 54;
+/// A name has at most 127 labels (each label costs ≥ 2 wire octets).
+const MAX_LABELS: usize = 127;
+
+#[derive(Clone)]
+enum Storage {
+    Inline {
+        len: u8,
+        data: [u8; INLINE_NAME_LEN],
+    },
+    Heap(Box<[u8]>),
+}
 
 /// A fully-qualified domain name as an ordered sequence of labels
 /// (most-specific first; the root is the empty sequence).
-#[derive(Debug, Clone, Default)]
+#[derive(Clone)]
 pub struct Name {
-    labels: Vec<Box<[u8]>>,
+    /// Number of labels (0 for the root).
+    count: u8,
+    storage: Storage,
+}
+
+impl Default for Name {
+    fn default() -> Self {
+        Name::root()
+    }
 }
 
 impl Name {
     /// The DNS root (`.`).
     pub fn root() -> Self {
-        Name { labels: Vec::new() }
+        Name {
+            count: 0,
+            storage: Storage::Inline {
+                len: 0,
+                data: [0u8; INLINE_NAME_LEN],
+            },
+        }
+    }
+
+    /// Build from validated, length-prefixed label storage.
+    fn from_storage(bytes: &[u8], count: usize) -> Name {
+        debug_assert!(bytes.len() <= MAX_STORAGE && count <= MAX_LABELS);
+        if bytes.len() <= INLINE_NAME_LEN {
+            let mut data = [0u8; INLINE_NAME_LEN];
+            data[..bytes.len()].copy_from_slice(bytes);
+            Name {
+                count: count as u8,
+                storage: Storage::Inline {
+                    len: bytes.len() as u8,
+                    data,
+                },
+            }
+        } else {
+            Name {
+                count: count as u8,
+                storage: Storage::Heap(bytes.into()),
+            }
+        }
+    }
+
+    /// The raw length-prefixed label storage (wire form minus the root).
+    #[inline]
+    pub(crate) fn storage_bytes(&self) -> &[u8] {
+        match &self.storage {
+            Storage::Inline { len, data } => &data[..*len as usize],
+            Storage::Heap(b) => b,
+        }
     }
 
     /// Build from raw labels, validating length limits.
     pub fn from_labels<I, L>(labels: I) -> WireResult<Self>
     where
         I: IntoIterator<Item = L>,
-        L: Into<Box<[u8]>>,
+        L: AsRef<[u8]>,
     {
-        let labels: Vec<Box<[u8]>> = labels.into_iter().map(Into::into).collect();
-        let mut wire_len = 1usize;
-        for l in &labels {
+        let mut buf = [0u8; MAX_STORAGE];
+        let mut len = 0usize;
+        let mut count = 0usize;
+        for l in labels {
+            let l = l.as_ref();
             if l.is_empty() || l.len() > MAX_LABEL_LEN {
                 return Err(WireError::LabelTooLong(l.len()));
             }
-            wire_len += l.len() + 1;
+            if len + 1 + l.len() > MAX_STORAGE || count >= MAX_LABELS {
+                return Err(WireError::NameTooLong(len + 1 + l.len() + 1));
+            }
+            buf[len] = l.len() as u8;
+            buf[len + 1..len + 1 + l.len()].copy_from_slice(l);
+            len += 1 + l.len();
+            count += 1;
         }
-        if wire_len > MAX_NAME_LEN {
-            return Err(WireError::NameTooLong(wire_len));
-        }
-        Ok(Name { labels })
+        Ok(Name::from_storage(&buf[..len], count))
     }
 
     /// The labels, most-specific first.
-    pub fn labels(&self) -> &[Box<[u8]>] {
-        &self.labels
+    pub fn labels(&self) -> LabelIter<'_> {
+        LabelIter {
+            rest: self.storage_bytes(),
+            remaining: self.count as usize,
+        }
+    }
+
+    /// The `i`-th label (0 = most specific), if present.
+    pub fn label(&self, i: usize) -> Option<&[u8]> {
+        self.labels().nth(i)
+    }
+
+    /// Byte offset of each label's length octet within the storage.
+    /// Returns the number of labels written into `out`.
+    fn label_offsets(&self, out: &mut [u8; MAX_LABELS]) -> usize {
+        let bytes = self.storage_bytes();
+        let mut pos = 0usize;
+        let mut n = 0usize;
+        while pos < bytes.len() && n < MAX_LABELS {
+            out[n] = pos as u8;
+            n += 1;
+            pos += 1 + bytes[pos] as usize;
+        }
+        n
     }
 
     /// Number of labels (0 for the root).
     pub fn label_count(&self) -> usize {
-        self.labels.len()
+        self.count as usize
     }
 
     /// True for the root name.
     pub fn is_root(&self) -> bool {
-        self.labels.is_empty()
+        self.count == 0
     }
 
     /// Octets this name occupies on the wire, uncompressed.
     pub fn wire_len(&self) -> usize {
-        1 + self.labels.iter().map(|l| l.len() + 1).sum::<usize>()
+        self.storage_bytes().len() + 1
     }
 
     /// The name with the most-specific label removed (`www.example.com` →
     /// `example.com`); the root's parent is the root.
     pub fn parent(&self) -> Name {
-        if self.labels.is_empty() {
+        let bytes = self.storage_bytes();
+        if bytes.is_empty() {
             return Name::root();
         }
-        Name {
-            labels: self.labels[1..].to_vec(),
-        }
+        let first = 1 + bytes[0] as usize;
+        Name::from_storage(&bytes[first..], self.count as usize - 1)
     }
 
     /// Prepend a label (`example.com`.child("www") → `www.example.com`).
     pub fn child(&self, label: &str) -> WireResult<Name> {
-        let mut labels: Vec<Box<[u8]>> = Vec::with_capacity(self.labels.len() + 1);
-        labels.push(label.as_bytes().into());
-        labels.extend(self.labels.iter().cloned());
-        Name::from_labels(labels)
+        let l = label.as_bytes();
+        if l.is_empty() || l.len() > MAX_LABEL_LEN {
+            return Err(WireError::LabelTooLong(l.len()));
+        }
+        let bytes = self.storage_bytes();
+        let total = 1 + l.len() + bytes.len();
+        if total > MAX_STORAGE || self.count as usize >= MAX_LABELS {
+            return Err(WireError::NameTooLong(total + 1));
+        }
+        let mut buf = [0u8; MAX_STORAGE];
+        buf[0] = l.len() as u8;
+        buf[1..1 + l.len()].copy_from_slice(l);
+        buf[1 + l.len()..total].copy_from_slice(bytes);
+        Ok(Name::from_storage(&buf[..total], self.count as usize + 1))
     }
 
     /// True if `self` equals `other` or is beneath it
     /// (`www.example.com`.is_subdomain_of(`example.com`) == true).
     pub fn is_subdomain_of(&self, other: &Name) -> bool {
-        if other.labels.len() > self.labels.len() {
+        if other.count > self.count {
             return false;
         }
-        let offset = self.labels.len() - other.labels.len();
-        self.labels[offset..]
-            .iter()
-            .zip(other.labels.iter())
-            .all(|(a, b)| eq_label(a, b))
+        let skip = (self.count - other.count) as usize;
+        let mut offs = [0u8; MAX_LABELS];
+        let n = self.label_offsets(&mut offs);
+        let start = if skip == 0 {
+            0
+        } else if skip >= n {
+            self.storage_bytes().len()
+        } else {
+            offs[skip] as usize
+        };
+        self.storage_bytes()[start..].eq_ignore_ascii_case(other.storage_bytes())
     }
 
     /// Keep only the last `n` labels (`a.b.example.com`.suffix(2) →
     /// `example.com`).
     pub fn suffix(&self, n: usize) -> Name {
-        let n = n.min(self.labels.len());
-        Name {
-            labels: self.labels[self.labels.len() - n..].to_vec(),
+        let n = n.min(self.count as usize);
+        let skip = self.count as usize - n;
+        if skip == 0 {
+            return self.clone();
         }
+        let mut offs = [0u8; MAX_LABELS];
+        let total = self.label_offsets(&mut offs);
+        let start = if skip >= total {
+            self.storage_bytes().len()
+        } else {
+            offs[skip] as usize
+        };
+        Name::from_storage(&self.storage_bytes()[start..], n)
     }
 
     /// Number of trailing labels shared with `other`.
     pub fn common_suffix_len(&self, other: &Name) -> usize {
-        self.labels
-            .iter()
-            .rev()
-            .zip(other.labels.iter().rev())
-            .take_while(|(a, b)| eq_label(a, b))
-            .count()
-    }
-
-    /// Canonical (lowercased) key for a label suffix, used by the
-    /// compression table and cache keys.
-    pub(crate) fn suffix_key(labels: &[Box<[u8]>]) -> Vec<u8> {
-        let mut key = Vec::with_capacity(labels.iter().map(|l| l.len() + 1).sum());
-        for l in labels {
-            key.push(l.len() as u8);
-            key.extend(l.iter().map(|b| b.to_ascii_lowercase()));
+        let mut a_offs = [0u8; MAX_LABELS];
+        let mut b_offs = [0u8; MAX_LABELS];
+        let an = self.label_offsets(&mut a_offs);
+        let bn = other.label_offsets(&mut b_offs);
+        let a = self.storage_bytes();
+        let b = other.storage_bytes();
+        let mut shared = 0usize;
+        while shared < an && shared < bn {
+            let la = label_at(a, a_offs[an - 1 - shared] as usize);
+            let lb = label_at(b, b_offs[bn - 1 - shared] as usize);
+            if !la.eq_ignore_ascii_case(lb) {
+                break;
+            }
+            shared += 1;
         }
-        key
+        shared
     }
 
     /// Lowercased dotted string without the trailing dot (root → `"."`).
     pub fn to_ascii_lower(&self) -> String {
-        if self.labels.is_empty() {
+        if self.is_root() {
             return ".".to_string();
         }
         let mut s = String::with_capacity(self.wire_len());
-        for (i, l) in self.labels.iter().enumerate() {
+        for (i, l) in self.labels().enumerate() {
             if i > 0 {
                 s.push('.');
             }
@@ -173,12 +292,83 @@ impl Name {
     }
 }
 
-fn eq_label(a: &[u8], b: &[u8]) -> bool {
-    a.len() == b.len()
-        && a.iter()
-            .zip(b.iter())
-            .all(|(x, y)| x.eq_ignore_ascii_case(y))
+/// A builder that assembles a `Name` label by label on the stack — the
+/// allocation-free path wire decoding ([`crate::WireReader::read_name`])
+/// and the borrowed view decoder use.
+#[derive(Debug)]
+pub(crate) struct NameBuilder {
+    buf: [u8; MAX_STORAGE],
+    len: usize,
+    count: usize,
 }
+
+impl NameBuilder {
+    pub(crate) fn new() -> NameBuilder {
+        NameBuilder {
+            buf: [0u8; MAX_STORAGE],
+            len: 0,
+            count: 0,
+        }
+    }
+
+    /// Append one label, enforcing the label and name limits.
+    pub(crate) fn push(&mut self, label: &[u8]) -> WireResult<()> {
+        if label.is_empty() || label.len() > MAX_LABEL_LEN {
+            return Err(WireError::LabelTooLong(label.len()));
+        }
+        if self.len + 1 + label.len() > MAX_STORAGE || self.count >= MAX_LABELS {
+            return Err(WireError::NameTooLong(self.len + label.len() + 2));
+        }
+        self.buf[self.len] = label.len() as u8;
+        self.buf[self.len + 1..self.len + 1 + label.len()].copy_from_slice(label);
+        self.len += 1 + label.len();
+        self.count += 1;
+        Ok(())
+    }
+
+    /// Wire octets consumed so far (including the pending root octet).
+    pub(crate) fn wire_len(&self) -> usize {
+        self.len + 1
+    }
+
+    pub(crate) fn finish(&self) -> Name {
+        Name::from_storage(&self.buf[..self.len], self.count)
+    }
+}
+
+#[inline]
+fn label_at(bytes: &[u8], off: usize) -> &[u8] {
+    let len = bytes[off] as usize;
+    &bytes[off + 1..off + 1 + len]
+}
+
+/// Iterator over a name's labels, most-specific first.
+#[derive(Debug, Clone)]
+pub struct LabelIter<'a> {
+    rest: &'a [u8],
+    remaining: usize,
+}
+
+impl<'a> Iterator for LabelIter<'a> {
+    type Item = &'a [u8];
+
+    fn next(&mut self) -> Option<&'a [u8]> {
+        if self.rest.is_empty() {
+            return None;
+        }
+        let len = self.rest[0] as usize;
+        let label = &self.rest[1..1 + len];
+        self.rest = &self.rest[1 + len..];
+        self.remaining = self.remaining.saturating_sub(1);
+        Some(label)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
+    }
+}
+
+impl ExactSizeIterator for LabelIter<'_> {}
 
 fn push_label_byte(s: &mut String, b: u8) {
     // Present non-printable / special bytes in the RFC 4343 \DDD form so
@@ -198,12 +388,12 @@ fn push_label_byte(s: &mut String, b: u8) {
 
 impl PartialEq for Name {
     fn eq(&self, other: &Self) -> bool {
-        self.labels.len() == other.labels.len()
+        // Length octets are < 64, so ASCII lowercasing never touches them
+        // and the whole storage can be compared in one pass.
+        self.count == other.count
             && self
-                .labels
-                .iter()
-                .zip(other.labels.iter())
-                .all(|(a, b)| eq_label(a, b))
+                .storage_bytes()
+                .eq_ignore_ascii_case(other.storage_bytes())
     }
 }
 
@@ -211,11 +401,11 @@ impl Eq for Name {}
 
 impl Hash for Name {
     fn hash<H: Hasher>(&self, state: &mut H) {
-        for l in &self.labels {
-            state.write_u8(l.len() as u8);
-            for &b in l.iter() {
-                state.write_u8(b.to_ascii_lowercase());
-            }
+        // Same one-pass trick as `eq`: lowercasing leaves length octets
+        // (< 64) unchanged, so hashing the lowercased storage hashes
+        // `len, label-bytes` pairs exactly as the old per-label loop did.
+        for &b in self.storage_bytes() {
+            state.write_u8(b.to_ascii_lowercase());
         }
     }
 }
@@ -230,26 +420,42 @@ impl Ord for Name {
     /// Canonical DNS ordering (RFC 4034 §6.1): compare label sequences from
     /// the root down, case-insensitively.
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        let a = self.labels.iter().rev();
-        let b = other.labels.iter().rev();
-        for (la, lb) in a.zip(b) {
-            let la: Vec<u8> = la.iter().map(|c| c.to_ascii_lowercase()).collect();
-            let lb: Vec<u8> = lb.iter().map(|c| c.to_ascii_lowercase()).collect();
-            match la.cmp(&lb) {
+        let mut a_offs = [0u8; MAX_LABELS];
+        let mut b_offs = [0u8; MAX_LABELS];
+        let an = self.label_offsets(&mut a_offs);
+        let bn = other.label_offsets(&mut b_offs);
+        let a = self.storage_bytes();
+        let b = other.storage_bytes();
+        for i in 0..an.min(bn) {
+            let la = label_at(a, a_offs[an - 1 - i] as usize);
+            let lb = label_at(b, b_offs[bn - 1 - i] as usize);
+            for j in 0..la.len().min(lb.len()) {
+                match la[j].to_ascii_lowercase().cmp(&lb[j].to_ascii_lowercase()) {
+                    std::cmp::Ordering::Equal => continue,
+                    ord => return ord,
+                }
+            }
+            match la.len().cmp(&lb.len()) {
                 std::cmp::Ordering::Equal => continue,
                 ord => return ord,
             }
         }
-        self.labels.len().cmp(&other.labels.len())
+        an.cmp(&bn)
+    }
+}
+
+impl fmt::Debug for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Name({self})")
     }
 }
 
 impl fmt::Display for Name {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.labels.is_empty() {
+        if self.is_root() {
             return f.write_str(".");
         }
-        for (i, l) in self.labels.iter().enumerate() {
+        for (i, l) in self.labels().enumerate() {
             if i > 0 {
                 f.write_str(".")?;
             }
@@ -285,16 +491,28 @@ impl FromStr for Name {
             }
             None => s,
         };
-        let mut labels: Vec<Box<[u8]>> = Vec::new();
-        let mut current: Vec<u8> = Vec::new();
+        let mut builder = NameBuilder::new();
+        let mut current = [0u8; MAX_LABEL_LEN + 1];
+        let mut cur_len = 0usize;
+        let push_byte = |current: &mut [u8], cur_len: &mut usize, b: u8| {
+            // One slot of slack: the overflow is caught by `push` below.
+            if *cur_len < current.len() {
+                current[*cur_len] = b;
+            }
+            *cur_len += 1;
+        };
         let mut chars = s.bytes().peekable();
         while let Some(b) = chars.next() {
             match b {
                 b'.' => {
-                    if current.is_empty() {
+                    if cur_len == 0 {
                         return Err(WireError::BadNameText(s.to_string()));
                     }
-                    labels.push(std::mem::take(&mut current).into());
+                    if cur_len > MAX_LABEL_LEN {
+                        return Err(WireError::LabelTooLong(cur_len));
+                    }
+                    builder.push(&current[..cur_len])?;
+                    cur_len = 0;
                 }
                 b'\\' => {
                     let next = chars
@@ -316,19 +534,22 @@ impl FromStr for Name {
                         if val > 255 {
                             return Err(WireError::BadNameText(s.to_string()));
                         }
-                        current.push(val as u8);
+                        push_byte(&mut current, &mut cur_len, val as u8);
                     } else {
-                        current.push(next);
+                        push_byte(&mut current, &mut cur_len, next);
                     }
                 }
-                other => current.push(other),
+                other => push_byte(&mut current, &mut cur_len, other),
             }
         }
-        if current.is_empty() {
+        if cur_len == 0 {
             return Err(WireError::BadNameText(s.to_string()));
         }
-        labels.push(current.into());
-        Name::from_labels(labels)
+        if cur_len > MAX_LABEL_LEN {
+            return Err(WireError::LabelTooLong(cur_len));
+        }
+        builder.push(&current[..cur_len])?;
+        Ok(builder.finish())
     }
 }
 
@@ -415,6 +636,13 @@ mod tests {
     }
 
     #[test]
+    fn subdomain_is_case_insensitive() {
+        let sub: Name = "A.B.ExAmPle.COM".parse().unwrap();
+        let apex: Name = "example.com".parse().unwrap();
+        assert!(sub.is_subdomain_of(&apex));
+    }
+
+    #[test]
     fn label_length_limits() {
         let long = "a".repeat(64);
         assert!(long.parse::<Name>().is_err());
@@ -428,6 +656,18 @@ mod tests {
         let l = "a".repeat(63);
         let too_long = format!("{l}.{l}.{l}.{l}");
         assert!(too_long.parse::<Name>().is_err());
+    }
+
+    #[test]
+    fn long_names_spill_to_heap_and_still_compare() {
+        let l = "a".repeat(63);
+        let long: Name = format!("{l}.{l}.{l}").parse().unwrap();
+        assert_eq!(long.label_count(), 3);
+        assert!(long.wire_len() > INLINE_NAME_LEN);
+        let upper: Name = format!("{}.{l}.{l}", l.to_uppercase()).parse().unwrap();
+        assert_eq!(long, upper);
+        assert_eq!(long.parent().label_count(), 2);
+        assert_eq!(long.suffix(1).to_string(), l);
     }
 
     #[test]
@@ -455,7 +695,7 @@ mod tests {
     #[test]
     fn decimal_escape_roundtrip() {
         let n: Name = r"a\000b.example".parse().unwrap();
-        assert_eq!(n.labels()[0].as_ref(), b"a\x00b");
+        assert_eq!(n.label(0).unwrap(), b"a\x00b");
         let reparsed: Name = n.to_string().parse().unwrap();
         assert_eq!(n, reparsed);
     }
@@ -475,5 +715,15 @@ mod tests {
         let a: Name = "mail.example.com".parse().unwrap();
         let b: Name = "www.example.com".parse().unwrap();
         assert_eq!(a.common_suffix_len(&b), 2);
+    }
+
+    #[test]
+    fn label_accessors() {
+        let n: Name = "www.example.com".parse().unwrap();
+        let labels: Vec<&[u8]> = n.labels().collect();
+        assert_eq!(labels, vec![&b"www"[..], &b"example"[..], &b"com"[..]]);
+        assert_eq!(n.label(1).unwrap(), b"example");
+        assert_eq!(n.label(3), None);
+        assert_eq!(n.labels().len(), 3);
     }
 }

@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::buffer::{WireReader, WireWriter};
+use crate::buffer::{ScratchBuf, WireReader};
 use crate::error::WireResult;
 use crate::name::Name;
 use crate::rtype::{RecordClass, RecordType};
@@ -33,7 +33,7 @@ impl Question {
     }
 
     /// Encode into a message body.
-    pub fn encode(&self, w: &mut WireWriter) -> WireResult<()> {
+    pub fn encode(&self, w: &mut ScratchBuf) -> WireResult<()> {
         w.write_name(&self.name)?;
         w.write_u16(self.qtype.to_u16())?;
         w.write_u16(self.qclass.to_u16())
@@ -55,6 +55,7 @@ impl Question {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::buffer::WireWriter;
 
     #[test]
     fn question_roundtrip() {

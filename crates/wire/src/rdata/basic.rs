@@ -1,6 +1,6 @@
 //! The classic RFC 1035 record bodies plus their close relatives.
 
-use crate::buffer::{WireReader, WireWriter};
+use crate::buffer::{ScratchBuf, WireReader};
 use crate::error::WireResult;
 use crate::name::Name;
 
@@ -24,7 +24,7 @@ pub struct Soa {
 }
 
 impl Soa {
-    pub(crate) fn encode(&self, w: &mut WireWriter) -> WireResult<()> {
+    pub(crate) fn encode(&self, w: &mut ScratchBuf) -> WireResult<()> {
         w.write_name_uncompressed(&self.mname)?;
         w.write_name_uncompressed(&self.rname)?;
         w.write_u32(self.serial)?;
@@ -57,7 +57,7 @@ pub struct Mx {
 }
 
 impl Mx {
-    pub(crate) fn encode(&self, w: &mut WireWriter) -> WireResult<()> {
+    pub(crate) fn encode(&self, w: &mut ScratchBuf) -> WireResult<()> {
         w.write_u16(self.preference)?;
         w.write_name_uncompressed(&self.exchange)
     }
@@ -97,7 +97,7 @@ impl TxtData {
         String::from_utf8_lossy(&total).into_owned()
     }
 
-    pub(crate) fn encode(&self, w: &mut WireWriter) -> WireResult<()> {
+    pub(crate) fn encode(&self, w: &mut ScratchBuf) -> WireResult<()> {
         // An empty TXT is a single empty character-string.
         if self.strings.is_empty() {
             return w.write_char_string(&[]);
@@ -131,7 +131,7 @@ pub struct Srv {
 }
 
 impl Srv {
-    pub(crate) fn encode(&self, w: &mut WireWriter) -> WireResult<()> {
+    pub(crate) fn encode(&self, w: &mut ScratchBuf) -> WireResult<()> {
         w.write_u16(self.priority)?;
         w.write_u16(self.weight)?;
         w.write_u16(self.port)?;
@@ -166,7 +166,7 @@ pub struct Naptr {
 }
 
 impl Naptr {
-    pub(crate) fn encode(&self, w: &mut WireWriter) -> WireResult<()> {
+    pub(crate) fn encode(&self, w: &mut ScratchBuf) -> WireResult<()> {
         w.write_u16(self.order)?;
         w.write_u16(self.preference)?;
         w.write_char_string(&self.flags)?;
@@ -197,7 +197,7 @@ pub struct Rp {
 }
 
 impl Rp {
-    pub(crate) fn encode(&self, w: &mut WireWriter) -> WireResult<()> {
+    pub(crate) fn encode(&self, w: &mut ScratchBuf) -> WireResult<()> {
         w.write_name_uncompressed(&self.mbox)?;
         w.write_name_uncompressed(&self.txt)
     }
@@ -220,7 +220,7 @@ pub struct Afsdb {
 }
 
 impl Afsdb {
-    pub(crate) fn encode(&self, w: &mut WireWriter) -> WireResult<()> {
+    pub(crate) fn encode(&self, w: &mut ScratchBuf) -> WireResult<()> {
         w.write_u16(self.subtype)?;
         w.write_name_uncompressed(&self.hostname)
     }
@@ -245,7 +245,7 @@ pub struct Px {
 }
 
 impl Px {
-    pub(crate) fn encode(&self, w: &mut WireWriter) -> WireResult<()> {
+    pub(crate) fn encode(&self, w: &mut ScratchBuf) -> WireResult<()> {
         w.write_u16(self.preference)?;
         w.write_name_uncompressed(&self.map822)?;
         w.write_name_uncompressed(&self.mapx400)
@@ -270,7 +270,7 @@ pub struct Kx {
 }
 
 impl Kx {
-    pub(crate) fn encode(&self, w: &mut WireWriter) -> WireResult<()> {
+    pub(crate) fn encode(&self, w: &mut ScratchBuf) -> WireResult<()> {
         w.write_u16(self.preference)?;
         w.write_name_uncompressed(&self.exchanger)
     }
@@ -293,7 +293,7 @@ pub struct Rt {
 }
 
 impl Rt {
-    pub(crate) fn encode(&self, w: &mut WireWriter) -> WireResult<()> {
+    pub(crate) fn encode(&self, w: &mut ScratchBuf) -> WireResult<()> {
         w.write_u16(self.preference)?;
         w.write_name_uncompressed(&self.host)
     }
@@ -316,7 +316,7 @@ pub struct Talink {
 }
 
 impl Talink {
-    pub(crate) fn encode(&self, w: &mut WireWriter) -> WireResult<()> {
+    pub(crate) fn encode(&self, w: &mut ScratchBuf) -> WireResult<()> {
         w.write_name_uncompressed(&self.previous)?;
         w.write_name_uncompressed(&self.next)
     }
@@ -332,6 +332,7 @@ impl Talink {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::buffer::WireWriter;
     use crate::rdata::RData;
     use crate::rtype::RecordType;
 

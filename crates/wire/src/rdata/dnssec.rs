@@ -1,6 +1,6 @@
 //! DNSSEC record bodies and the NSEC-style type bitmap.
 
-use crate::buffer::{WireReader, WireWriter};
+use crate::buffer::{ScratchBuf, WireReader};
 use crate::error::{WireError, WireResult};
 use crate::name::Name;
 use crate::rtype::RecordType;
@@ -35,7 +35,7 @@ impl TypeBitmap {
             .is_ok()
     }
 
-    pub(crate) fn encode(&self, w: &mut WireWriter) -> WireResult<()> {
+    pub(crate) fn encode(&self, w: &mut ScratchBuf) -> WireResult<()> {
         // Group types by 256-wide windows.
         let mut idx = 0;
         while idx < self.types.len() {
@@ -103,7 +103,7 @@ pub struct Ds {
 }
 
 impl Ds {
-    pub(crate) fn encode(&self, w: &mut WireWriter) -> WireResult<()> {
+    pub(crate) fn encode(&self, w: &mut ScratchBuf) -> WireResult<()> {
         w.write_u16(self.key_tag)?;
         w.write_u8(self.algorithm)?;
         w.write_u8(self.digest_type)?;
@@ -157,7 +157,7 @@ impl Dnskey {
         (acc & 0xFFFF) as u16
     }
 
-    pub(crate) fn encode(&self, w: &mut WireWriter) -> WireResult<()> {
+    pub(crate) fn encode(&self, w: &mut ScratchBuf) -> WireResult<()> {
         w.write_u16(self.flags)?;
         w.write_u8(self.protocol)?;
         w.write_u8(self.algorithm)?;
@@ -202,7 +202,7 @@ pub struct Rrsig {
 }
 
 impl Rrsig {
-    pub(crate) fn encode(&self, w: &mut WireWriter) -> WireResult<()> {
+    pub(crate) fn encode(&self, w: &mut ScratchBuf) -> WireResult<()> {
         w.write_u16(self.type_covered.to_u16())?;
         w.write_u8(self.algorithm)?;
         w.write_u8(self.labels)?;
@@ -249,7 +249,7 @@ pub struct Nsec {
 }
 
 impl Nsec {
-    pub(crate) fn encode(&self, w: &mut WireWriter) -> WireResult<()> {
+    pub(crate) fn encode(&self, w: &mut ScratchBuf) -> WireResult<()> {
         w.write_name_uncompressed(&self.next)?;
         self.types.encode(w)
     }
@@ -280,7 +280,7 @@ pub struct Nsec3 {
 }
 
 impl Nsec3 {
-    pub(crate) fn encode(&self, w: &mut WireWriter) -> WireResult<()> {
+    pub(crate) fn encode(&self, w: &mut ScratchBuf) -> WireResult<()> {
         w.write_u8(self.algorithm)?;
         w.write_u8(self.flags)?;
         w.write_u16(self.iterations)?;
@@ -315,7 +315,7 @@ pub struct Nsec3Param {
 }
 
 impl Nsec3Param {
-    pub(crate) fn encode(&self, w: &mut WireWriter) -> WireResult<()> {
+    pub(crate) fn encode(&self, w: &mut ScratchBuf) -> WireResult<()> {
         w.write_u8(self.algorithm)?;
         w.write_u8(self.flags)?;
         w.write_u16(self.iterations)?;
@@ -344,7 +344,7 @@ pub struct Csync {
 }
 
 impl Csync {
-    pub(crate) fn encode(&self, w: &mut WireWriter) -> WireResult<()> {
+    pub(crate) fn encode(&self, w: &mut ScratchBuf) -> WireResult<()> {
         w.write_u32(self.serial)?;
         w.write_u16(self.flags)?;
         self.types.encode(w)
@@ -370,7 +370,7 @@ pub struct Nxt {
 }
 
 impl Nxt {
-    pub(crate) fn encode(&self, w: &mut WireWriter) -> WireResult<()> {
+    pub(crate) fn encode(&self, w: &mut ScratchBuf) -> WireResult<()> {
         w.write_name_uncompressed(&self.next)?;
         w.write_bytes(&self.bitmap)
     }
@@ -388,6 +388,7 @@ impl Nxt {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::buffer::WireWriter;
     use crate::rdata::RData;
 
     fn roundtrip(rtype: RecordType, rdata: &RData) {

@@ -3,7 +3,7 @@
 
 use std::net::Ipv4Addr;
 
-use crate::buffer::{WireReader, WireWriter};
+use crate::buffer::{ScratchBuf, WireReader};
 use crate::error::{WireError, WireResult};
 use crate::name::Name;
 
@@ -17,7 +17,7 @@ pub struct Hinfo {
 }
 
 impl Hinfo {
-    pub(crate) fn encode(&self, w: &mut WireWriter) -> WireResult<()> {
+    pub(crate) fn encode(&self, w: &mut ScratchBuf) -> WireResult<()> {
         w.write_char_string(&self.cpu)?;
         w.write_char_string(&self.os)
     }
@@ -40,7 +40,7 @@ pub struct Isdn {
 }
 
 impl Isdn {
-    pub(crate) fn encode(&self, w: &mut WireWriter) -> WireResult<()> {
+    pub(crate) fn encode(&self, w: &mut ScratchBuf) -> WireResult<()> {
         w.write_char_string(&self.address)?;
         if let Some(sa) = &self.subaddress {
             w.write_char_string(sa)?;
@@ -74,7 +74,7 @@ pub struct Gpos {
 }
 
 impl Gpos {
-    pub(crate) fn encode(&self, w: &mut WireWriter) -> WireResult<()> {
+    pub(crate) fn encode(&self, w: &mut ScratchBuf) -> WireResult<()> {
         w.write_char_string(&self.longitude)?;
         w.write_char_string(&self.latitude)?;
         w.write_char_string(&self.altitude)
@@ -109,7 +109,7 @@ pub struct Loc {
 }
 
 impl Loc {
-    pub(crate) fn encode(&self, w: &mut WireWriter) -> WireResult<()> {
+    pub(crate) fn encode(&self, w: &mut ScratchBuf) -> WireResult<()> {
         w.write_u8(self.version)?;
         w.write_u8(self.size)?;
         w.write_u8(self.horiz_pre)?;
@@ -144,7 +144,7 @@ pub struct Uri {
 }
 
 impl Uri {
-    pub(crate) fn encode(&self, w: &mut WireWriter) -> WireResult<()> {
+    pub(crate) fn encode(&self, w: &mut ScratchBuf) -> WireResult<()> {
         w.write_u16(self.priority)?;
         w.write_u16(self.weight)?;
         w.write_bytes(&self.target)
@@ -198,7 +198,7 @@ impl Caa {
         )
     }
 
-    pub(crate) fn encode(&self, w: &mut WireWriter) -> WireResult<()> {
+    pub(crate) fn encode(&self, w: &mut ScratchBuf) -> WireResult<()> {
         w.write_u8(self.flags)?;
         w.write_char_string(&self.tag)?;
         w.write_bytes(&self.value)
@@ -230,7 +230,7 @@ pub struct CertRec {
 }
 
 impl CertRec {
-    pub(crate) fn encode(&self, w: &mut WireWriter) -> WireResult<()> {
+    pub(crate) fn encode(&self, w: &mut ScratchBuf) -> WireResult<()> {
         w.write_u16(self.cert_type)?;
         w.write_u16(self.key_tag)?;
         w.write_u8(self.algorithm)?;
@@ -263,7 +263,7 @@ pub struct Sshfp {
 }
 
 impl Sshfp {
-    pub(crate) fn encode(&self, w: &mut WireWriter) -> WireResult<()> {
+    pub(crate) fn encode(&self, w: &mut ScratchBuf) -> WireResult<()> {
         w.write_u8(self.algorithm)?;
         w.write_u8(self.fp_type)?;
         w.write_bytes(&self.fingerprint)
@@ -295,7 +295,7 @@ pub struct Tlsa {
 }
 
 impl Tlsa {
-    pub(crate) fn encode(&self, w: &mut WireWriter) -> WireResult<()> {
+    pub(crate) fn encode(&self, w: &mut ScratchBuf) -> WireResult<()> {
         w.write_u8(self.usage)?;
         w.write_u8(self.selector)?;
         w.write_u8(self.matching_type)?;
@@ -330,7 +330,7 @@ pub struct Hip {
 }
 
 impl Hip {
-    pub(crate) fn encode(&self, w: &mut WireWriter) -> WireResult<()> {
+    pub(crate) fn encode(&self, w: &mut ScratchBuf) -> WireResult<()> {
         if self.hit.len() > 255 {
             return Err(WireError::InvalidValue {
                 field: "HIP hit length",
@@ -391,7 +391,7 @@ pub struct Tkey {
 }
 
 impl Tkey {
-    pub(crate) fn encode(&self, w: &mut WireWriter) -> WireResult<()> {
+    pub(crate) fn encode(&self, w: &mut ScratchBuf) -> WireResult<()> {
         if self.key.len() > 65535 || self.other.len() > 65535 {
             return Err(WireError::InvalidValue {
                 field: "TKEY data length",
@@ -442,7 +442,7 @@ pub struct Svcb {
 }
 
 impl Svcb {
-    pub(crate) fn encode(&self, w: &mut WireWriter) -> WireResult<()> {
+    pub(crate) fn encode(&self, w: &mut ScratchBuf) -> WireResult<()> {
         w.write_u16(self.priority)?;
         w.write_name_uncompressed(&self.target)?;
         for (key, value) in &self.params {
@@ -495,7 +495,7 @@ pub struct L32 {
 }
 
 impl L32 {
-    pub(crate) fn encode(&self, w: &mut WireWriter) -> WireResult<()> {
+    pub(crate) fn encode(&self, w: &mut ScratchBuf) -> WireResult<()> {
         w.write_u16(self.preference)?;
         w.write_bytes(&self.locator.octets())
     }
@@ -520,7 +520,7 @@ pub struct L64 {
 }
 
 impl L64 {
-    pub(crate) fn encode(&self, w: &mut WireWriter) -> WireResult<()> {
+    pub(crate) fn encode(&self, w: &mut ScratchBuf) -> WireResult<()> {
         w.write_u16(self.preference)?;
         w.write_u64(self.locator)
     }
@@ -543,7 +543,7 @@ pub struct Nid {
 }
 
 impl Nid {
-    pub(crate) fn encode(&self, w: &mut WireWriter) -> WireResult<()> {
+    pub(crate) fn encode(&self, w: &mut ScratchBuf) -> WireResult<()> {
         w.write_u16(self.preference)?;
         w.write_u64(self.node_id)
     }
@@ -566,7 +566,7 @@ pub struct Lp {
 }
 
 impl Lp {
-    pub(crate) fn encode(&self, w: &mut WireWriter) -> WireResult<()> {
+    pub(crate) fn encode(&self, w: &mut ScratchBuf) -> WireResult<()> {
         w.write_u16(self.preference)?;
         w.write_name_uncompressed(&self.fqdn)
     }
@@ -582,6 +582,7 @@ impl Lp {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::buffer::WireWriter;
     use crate::rdata::RData;
     use crate::rtype::RecordType;
 

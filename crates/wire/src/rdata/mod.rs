@@ -19,7 +19,7 @@ pub use misc::{
 
 use std::net::{Ipv4Addr, Ipv6Addr};
 
-use crate::buffer::{WireReader, WireWriter};
+use crate::buffer::{ScratchBuf, WireReader};
 use crate::error::{WireError, WireResult};
 use crate::name::Name;
 use crate::rtype::RecordType;
@@ -214,7 +214,7 @@ impl RData {
     }
 
     /// Encode just the RDATA (no length prefix).
-    pub fn encode(&self, w: &mut WireWriter) -> WireResult<()> {
+    pub fn encode(&self, w: &mut ScratchBuf) -> WireResult<()> {
         match self {
             RData::A(addr) => w.write_bytes(&addr.octets()),
             RData::Aaaa(addr) => w.write_bytes(&addr.octets()),
@@ -372,11 +372,75 @@ impl RData {
         }
         Ok(data)
     }
+
+    /// Validate RDATA of the given type without materializing it —
+    /// accepting **exactly** what [`RData::decode`] accepts. This is what
+    /// lets [`crate::MessageView::parse`] reject the same malformed
+    /// datagrams the owned decoder rejects while staying allocation-free:
+    /// the record shapes that dominate real responses (addresses, name
+    /// targets, SOA/MX/SRV) are checked structurally in place; the long
+    /// tail falls back to decode-and-discard (whose only allocations are
+    /// the payload buffers of blob-carrying types).
+    pub fn validate(rtype: RecordType, rdlen: usize, r: &mut WireReader<'_>) -> WireResult<()> {
+        let start = r.position();
+        let end = start
+            .checked_add(rdlen)
+            .ok_or(WireError::Truncated { context: "rdata" })?;
+        if end > r.len() {
+            return Err(WireError::Truncated { context: "rdata" });
+        }
+        match rtype {
+            RecordType::A => {
+                r.read_bytes(4, "A rdata")?;
+            }
+            RecordType::AAAA => {
+                r.read_bytes(16, "AAAA rdata")?;
+            }
+            RecordType::NS
+            | RecordType::CNAME
+            | RecordType::DNAME
+            | RecordType::PTR
+            | RecordType::MB
+            | RecordType::MD
+            | RecordType::MF
+            | RecordType::MG
+            | RecordType::MR
+            | RecordType::NSAPPTR => {
+                r.read_name()?;
+            }
+            RecordType::SOA => {
+                r.read_name()?;
+                r.read_name()?;
+                r.read_bytes(20, "SOA counters")?;
+            }
+            RecordType::MX => {
+                r.read_u16("MX preference")?;
+                r.read_name()?;
+            }
+            RecordType::SRV => {
+                r.read_bytes(6, "SRV fixed fields")?;
+                r.read_name()?;
+            }
+            _ => {
+                r.seek(start)?;
+                return Self::decode(rtype, rdlen, r).map(|_| ());
+            }
+        }
+        let consumed = r.position() - start;
+        if consumed != rdlen {
+            return Err(WireError::RdataLength {
+                declared: rdlen,
+                consumed,
+            });
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::buffer::WireWriter;
 
     fn roundtrip(rtype: RecordType, rdata: &RData) -> RData {
         let mut w = WireWriter::new();

@@ -1,6 +1,6 @@
 //! A resource record: owner name, type, class, TTL, and typed RDATA.
 
-use crate::buffer::{WireReader, WireWriter};
+use crate::buffer::{ScratchBuf, WireReader};
 use crate::error::WireResult;
 use crate::name::Name;
 use crate::rdata::RData;
@@ -36,7 +36,7 @@ impl Record {
     }
 
     /// Encode the full record, patching RDLENGTH after the fact.
-    pub fn encode(&self, w: &mut WireWriter) -> WireResult<()> {
+    pub fn encode(&self, w: &mut ScratchBuf) -> WireResult<()> {
         w.write_name(&self.name)?;
         w.write_u16(self.rtype.to_u16())?;
         w.write_u16(self.class.to_u16())?;
@@ -71,6 +71,7 @@ impl Record {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::buffer::WireWriter;
     use std::net::Ipv4Addr;
 
     #[test]

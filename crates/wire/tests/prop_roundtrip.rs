@@ -106,6 +106,73 @@ proptest! {
     #[test]
     fn decode_arbitrary_bytes_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..=600)) {
         let _ = Message::decode(&bytes);
+        let _ = zdns_wire::MessageView::parse(&bytes);
+    }
+
+    #[test]
+    fn view_decode_equals_owned_decode(
+        id in any::<u16>(),
+        qname in arb_name(),
+        rdatas in proptest::collection::vec(arb_record(), 0..=6),
+        rcode_val in 0u16..=20,
+    ) {
+        let mut msg = Message::query(id, Question::new(qname.clone(), RecordType::A));
+        msg.flags = Flags { response: true, ..Flags::default() };
+        msg.rcode = RcodeField(Rcode::from_u16(rcode_val));
+        for rd in rdatas {
+            msg.answers.push(Record {
+                name: qname.clone(),
+                rtype: rd.natural_type(),
+                class: RecordClass::IN,
+                ttl: 300,
+                rdata: rd,
+            });
+        }
+        let bytes = msg.encode().unwrap();
+        let owned = Message::decode(&bytes).unwrap();
+        let view = zdns_wire::MessageView::parse(&bytes).unwrap();
+        // Header-level accessors agree.
+        prop_assert_eq!(view.id(), owned.id);
+        prop_assert_eq!(view.flags(), owned.flags);
+        prop_assert_eq!(view.rcode(), owned.rcode());
+        prop_assert_eq!(view.answer_count(), owned.answers.len());
+        // Whole-message promotion is the owned decode.
+        prop_assert_eq!(view.to_message().unwrap(), owned.clone());
+        // Section-wise promotion matches too.
+        let answers: Vec<Record> = view.answers().map(|r| r.to_record().unwrap()).collect();
+        prop_assert_eq!(answers, owned.answers.clone());
+        let q = view.question().unwrap();
+        prop_assert!(q.name.eq_name(&owned.questions[0].name));
+        prop_assert_eq!(q.to_question(), owned.questions[0].clone());
+    }
+
+    #[test]
+    fn scratch_encode_equals_one_shot_encode(
+        id in any::<u16>(),
+        qname in arb_name(),
+        rdatas in proptest::collection::vec(arb_record(), 0..=6),
+    ) {
+        let mut msg = Message::query(id, Question::new(qname.clone(), RecordType::A));
+        msg.flags.response = true;
+        for rd in rdatas {
+            msg.answers.push(Record {
+                name: qname.clone(),
+                rtype: rd.natural_type(),
+                class: RecordClass::IN,
+                ttl: 300,
+                rdata: rd,
+            });
+        }
+        let one_shot = msg.encode().unwrap();
+        // A reused scratch produces byte-identical messages, even after
+        // other messages have passed through it.
+        let mut scratch = zdns_wire::ScratchBuf::new();
+        msg.encode_into(&mut scratch).unwrap();
+        prop_assert_eq!(scratch.message_bytes(), &one_shot[..]);
+        let other = Message::query(1, Question::new("warmup.test".parse().unwrap(), RecordType::A));
+        other.encode_into(&mut scratch).unwrap();
+        msg.encode_into(&mut scratch).unwrap();
+        prop_assert_eq!(scratch.message_bytes(), &one_shot[..]);
     }
 
     #[test]

@@ -310,8 +310,7 @@ impl SyntheticUniverse {
 
     /// The TLD of a name (its last label), if registered.
     pub fn tld_of(&self, name: &Name) -> Option<&Tld> {
-        let labels = name.labels();
-        let last = labels.last()?;
+        let last = name.labels().last()?;
         let label = String::from_utf8_lossy(last).to_ascii_lowercase();
         self.tlds.by_label(&label)
     }
@@ -741,7 +740,8 @@ impl SyntheticUniverse {
     fn tld_nic_answer(&self, tld: &Tld, q: &Question, nic: &Name) -> AuthResponse {
         // ns{j}.nic.<tld> has an A record pointing at the TLD server.
         if q.name.label_count() == nic.label_count() + 1 {
-            let first = String::from_utf8_lossy(&q.name.labels()[0]).to_ascii_lowercase();
+            let first =
+                String::from_utf8_lossy(q.name.label(0).unwrap_or(b"")).to_ascii_lowercase();
             if let Some(j) = first
                 .strip_prefix("ns")
                 .and_then(|s| s.parse::<u8>().ok())
@@ -823,7 +823,7 @@ impl SyntheticUniverse {
             };
         }
         // d.c.b.a.in-addr.arpa → labels[len-3] is `a`.
-        let labels = q.name.labels();
+        let labels: Vec<&[u8]> = q.name.labels().collect();
         let a_label = &labels[labels.len() - 3];
         let Some(a) = parse_octet(a_label) else {
             return AuthResponse {
@@ -874,10 +874,10 @@ impl SyntheticUniverse {
             return AuthResponse::refused();
         }
         let soa = self.rdns_soa(&apex);
-        let labels = q.name.labels();
+        let labels: Vec<&[u8]> = q.name.labels().collect();
         // Handle the zone's own NS host A records (`ns1.<octet>.in-addr.arpa`).
         if labels.len() == 4 {
-            let first = String::from_utf8_lossy(&labels[0]).to_ascii_lowercase();
+            let first = String::from_utf8_lossy(labels[0]).to_ascii_lowercase();
             if let Some(j) = first.strip_prefix("ns").and_then(|s| s.parse::<u8>().ok()) {
                 if (1..=2).contains(&j) && matches!(q.qtype, RecordType::A | RecordType::ANY) {
                     return AuthResponse {
@@ -976,10 +976,10 @@ impl SyntheticUniverse {
             return AuthResponse::refused();
         }
         let soa = self.rdns_soa(&apex);
-        let labels = q.name.labels();
+        let labels: Vec<&[u8]> = q.name.labels().collect();
         // NS host addresses for this zone.
         if labels.len() == 5 {
-            let first = String::from_utf8_lossy(&labels[0]).to_ascii_lowercase();
+            let first = String::from_utf8_lossy(labels[0]).to_ascii_lowercase();
             if let Some(j) = first.strip_prefix("ns").and_then(|s| s.parse::<u8>().ok()) {
                 if (1..=2).contains(&j) && matches!(q.qtype, RecordType::A | RecordType::ANY) {
                     return AuthResponse {
@@ -1013,7 +1013,7 @@ impl SyntheticUniverse {
                 additionals: Vec::new(),
             };
         }
-        let (Some(d), Some(c)) = (parse_octet(&labels[0]), parse_octet(&labels[1])) else {
+        let (Some(d), Some(c)) = (parse_octet(labels[0]), parse_octet(labels[1])) else {
             return AuthResponse {
                 rcode: zdns_wire::Rcode::NxDomain,
                 authoritative: true,
@@ -1083,10 +1083,10 @@ impl SyntheticUniverse {
             return AuthResponse::refused();
         }
         let soa = self.rdns_soa(&apex);
-        let labels = q.name.labels();
+        let labels: Vec<&[u8]> = q.name.labels().collect();
         // NS host address for this zone.
         if labels.len() == 6 {
-            let first = String::from_utf8_lossy(&labels[0]).to_ascii_lowercase();
+            let first = String::from_utf8_lossy(labels[0]).to_ascii_lowercase();
             if first == "ns1" && matches!(q.qtype, RecordType::A | RecordType::ANY) {
                 return AuthResponse {
                     rcode: zdns_wire::Rcode::NoError,
@@ -1110,7 +1110,7 @@ impl SyntheticUniverse {
                 additionals: Vec::new(),
             };
         }
-        let Some(d) = parse_octet(&labels[0]) else {
+        let Some(d) = parse_octet(labels[0]) else {
             return AuthResponse {
                 rcode: zdns_wire::Rcode::NxDomain,
                 authoritative: true,
@@ -1193,7 +1193,7 @@ impl SyntheticUniverse {
         if q.name.label_count() != base.label_count() + 1 {
             return None;
         }
-        let first = String::from_utf8_lossy(&q.name.labels()[0]).to_ascii_lowercase();
+        let first = String::from_utf8_lossy(q.name.label(0).unwrap_or(b"")).to_ascii_lowercase();
         let k = first
             .strip_prefix("ns")
             .and_then(|s| s.parse::<u8>().ok())?;
@@ -1390,7 +1390,8 @@ impl SyntheticUniverse {
         }
 
         // Subdomain handling.
-        let sub_label = String::from_utf8_lossy(&q.name.labels()[0]).to_ascii_lowercase();
+        let sub_label =
+            String::from_utf8_lossy(q.name.label(0).unwrap_or(b"")).to_ascii_lowercase();
         let depth = q.name.label_count() - base.label_count();
         if depth == 1 {
             match sub_label.as_str() {

@@ -8,7 +8,7 @@
 
 use std::net::Ipv4Addr;
 
-use zdns_wire::{Message, Name, Question, Rcode, Record};
+use zdns_wire::{Message, MessageView, Name, Question, Rcode, Record};
 
 use crate::zone::{Zone, ZoneAnswer};
 
@@ -103,6 +103,27 @@ impl AuthResponse {
             },
             ZoneAnswer::NotInZone => AuthResponse::refused(),
         }
+    }
+
+    /// Like [`AuthResponse::to_message`] but answering a borrowed query
+    /// view — what the loopback wire servers use so the query is never
+    /// promoted to an owned [`Message`].
+    pub fn to_message_for(&self, query: &MessageView<'_>) -> Message {
+        let mut m = Message {
+            id: query.id(),
+            questions: query.questions().map(|q| q.to_question()).collect(),
+            answers: self.answers.clone(),
+            authorities: self.authorities.clone(),
+            additionals: self.additionals.clone(),
+            edns: query.has_edns().then(zdns_wire::Edns::default),
+            ..Message::default()
+        };
+        m.flags.response = true;
+        m.flags.authoritative = self.authoritative;
+        m.flags.recursion_desired = query.flags().recursion_desired;
+        m.flags.recursion_available = false;
+        m.rcode = zdns_wire::RcodeField(self.rcode);
+        m
     }
 
     /// Render into a wire [`Message`] answering `query`.
