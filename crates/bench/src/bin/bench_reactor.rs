@@ -1,16 +1,26 @@
-//! Reactor syscall-batching A/B: lookups/sec for the batched
-//! (`sendmmsg`/`recvmmsg`, `--batch-size 32`) reactor versus per-datagram
-//! syscalls (`--batch-size 1`) on a zero-latency loopback workload with a
-//! 1000-lookup admission window — the configuration where syscall cost,
-//! not network latency, is the binding constraint.
+//! Reactor perf A/Bs, recorded in `BENCH_reactor.json`:
 //!
-//! Writes a `BENCH_reactor.json` artifact recording both rates so CI can
-//! track the bench trajectory, and exits non-zero if `--min-speedup X` is
-//! given and the batched/per-datagram ratio lands below it (the perf
-//! gate).
+//! * **Syscall batching** — lookups/sec for the batched
+//!   (`sendmmsg`/`recvmmsg`, `--batch-size 32`) reactor versus
+//!   per-datagram syscalls (`--batch-size 1`) on a zero-latency loopback
+//!   workload with a 1000-lookup admission window — the configuration
+//!   where syscall cost, not network latency, is the binding constraint.
+//! * **Codec** — owned `Message::decode` versus the borrowed
+//!   `MessageView` sweep on a referral corpus.
+//! * **Scan pipeline** — the shared-queue credit pool versus the static
+//!   per-worker split, through the full `run_scan_pipeline`
+//!   orchestration: once on a uniform all-healthy fleet (the
+//!   no-regression case) and once with most destinations serving backoff
+//!   penalties (where parking + stealing should win big).
+//!
+//! Gates (exit non-zero below the bar): `--min-speedup X` on the batched
+//! ratio, `--min-view-speedup X` on the codec ratio, and
+//! `--min-uniform-ratio X` on shared/static for the uniform pipeline
+//! case.
 //!
 //! Run: `cargo run --release -p zdns-bench --bin bench_reactor -- [--quick]
-//! [--out PATH] [--min-speedup X]`
+//! [--out PATH] [--min-speedup X] [--min-view-speedup X]
+//! [--min-uniform-ratio X]`
 
 use std::net::Ipv4Addr;
 use std::sync::Arc;
@@ -244,6 +254,162 @@ fn arg_value(name: &str) -> Option<String> {
         .and_then(|i| args.get(i + 1).cloned())
 }
 
+// ---------------------------------------------------------------------------
+// Scan-pipeline A/B: shared credit pool vs static split
+// ---------------------------------------------------------------------------
+
+/// One `run_scan_pipeline` pass over the PROBE workload described by
+/// `inputs`, in shared or static admission mode. Returns lookups/sec and
+/// the merged driver report.
+fn run_pipeline_case(
+    static_split: bool,
+    window: usize,
+    timeout_ms: u64,
+    backoff_secs: Option<&str>,
+    rate_pps: f64,
+    addr_map: &Arc<AddrMap>,
+    inputs: &[String],
+) -> (f64, DriverReport) {
+    use zdns_framework::{run_scan_pipeline, CallbackSink, Conf};
+    let mut args = vec![
+        "PROBE".to_string(),
+        "--threads".into(),
+        "2".into(),
+        "--max-in-flight".into(),
+        window.to_string(),
+        "--retries".into(),
+        "1".into(),
+    ];
+    if let Some(secs) = backoff_secs {
+        args.extend(["--backoff-base".into(), secs.into()]);
+        args.extend(["--backoff-cap".into(), secs.into()]);
+    }
+    if rate_pps > 0.0 {
+        args.extend(["--rate-pps".into(), format!("{rate_pps}")]);
+    }
+    if static_split {
+        args.push("--static-split".into());
+    }
+    let mut conf = Conf::parse(args).unwrap();
+    conf.resolver.timeout = timeout_ms * zdns_netsim::MILLIS;
+    let resolver = Resolver::new(conf.resolver.clone());
+    let module = zdns_modules::ModuleRegistry::standard()
+        .get("PROBE")
+        .unwrap();
+    let mut source = inputs.iter().cloned();
+    let mut sink = CallbackSink::new(|_| {});
+    let started = Instant::now();
+    let report = run_scan_pipeline(
+        &conf,
+        &resolver,
+        module,
+        Arc::clone(addr_map),
+        &mut source,
+        &mut sink,
+    );
+    let rate = inputs.len() as f64 / started.elapsed().as_secs_f64();
+    assert_eq!(
+        report.lookups as usize,
+        inputs.len(),
+        "pipeline must complete every input: {:?}",
+        report.worker_errors
+    );
+    (rate, report.driver)
+}
+
+/// Measure shared-queue vs static-split through the full pipeline:
+/// `(uniform_shared, uniform_static, paced_shared, paced_static,
+/// backoff_shared, backoff_static)` lookups/sec. The uniform case is
+/// all-healthy with no pacing (credit-pool cost only); the paced case
+/// adds a never-throttling global budget so every send pays the shared
+/// pacer's mutex — the other half of the leasing design; the backoff
+/// case sends 3 of every 4 lookups at blackholed destinations serving a
+/// constant penalty, where parking + stealing recovers the stranded
+/// window.
+fn measure_pipeline(quick: bool) -> (f64, f64, f64, f64, f64, f64) {
+    use zdns_wire::Name;
+    use zdns_zones::ExplicitUniverse;
+
+    let healthy_ip = Ipv4Addr::new(203, 0, 113, 60);
+    let zone = Zone::new(
+        Name::root(),
+        "ns1.bench-pipeline.test".parse().unwrap(),
+        300,
+    );
+    let mut universe = ExplicitUniverse::new();
+    universe.host(healthy_ip, zone);
+    let healthy = WireServer::start(Arc::new(universe) as Arc<dyn Universe>, healthy_ip).unwrap();
+    let healthy_addr = healthy.addr();
+
+    let dead_ips: Vec<Ipv4Addr> = (0..5)
+        .map(|i| Ipv4Addr::new(203, 0, 113, 200 + i as u8))
+        .collect();
+    let blackholes: Vec<std::net::UdpSocket> = dead_ips
+        .iter()
+        .map(|_| std::net::UdpSocket::bind((Ipv4Addr::LOCALHOST, 0)).unwrap())
+        .collect();
+    let mut mapping: Vec<(Ipv4Addr, std::net::SocketAddr)> = vec![(healthy_ip, healthy_addr)];
+    for (sim, sock) in dead_ips.iter().zip(&blackholes) {
+        mapping.push((*sim, sock.local_addr().unwrap()));
+    }
+    let addr_map: Arc<AddrMap> = Arc::new(move |ip| {
+        mapping
+            .iter()
+            .find(|(sim, _)| *sim == ip)
+            .map(|(_, real)| *real)
+            .expect("bench probes only mapped destinations")
+    });
+
+    // Uniform: every destination healthy, no pacing — the shared pool's
+    // bookkeeping must not cost throughput against the static split.
+    let uniform_n = if quick { 3_000 } else { 10_000 };
+    let uniform: Vec<String> = (0..uniform_n)
+        .map(|i| format!("u{i}.bench-pipeline.test@{healthy_ip}"))
+        .collect();
+    let (uniform_static, _) = run_pipeline_case(true, 256, 2_000, None, 0.0, &addr_map, &uniform);
+    let (uniform_shared, _) = run_pipeline_case(false, 256, 2_000, None, 0.0, &addr_map, &uniform);
+
+    // Paced uniform: a 10M pps budget never defers, but every send goes
+    // through the pacer — per-worker buckets in static mode, the one
+    // mutex-guarded SharedPacer in shared mode.
+    let (paced_static, _) =
+        run_pipeline_case(true, 256, 2_000, None, 10_000_000.0, &addr_map, &uniform);
+    let (paced_shared, _) =
+        run_pipeline_case(false, 256, 2_000, None, 10_000_000.0, &addr_map, &uniform);
+
+    // Partial backoff: 3/4 of lookups target blackholes behind a constant
+    // 400ms penalty (80ms timeouts, one retry).
+    let backoff_n = if quick { 120 } else { 240 };
+    let mixed: Vec<String> = (0..backoff_n)
+        .map(|i| {
+            if i % 4 == 3 {
+                format!("ok{i}.bench-pipeline.test@{healthy_ip}")
+            } else {
+                format!(
+                    "dead{i}.bench-pipeline.test@{}",
+                    dead_ips[i % dead_ips.len()]
+                )
+            }
+        })
+        .collect();
+    let (backoff_static, _) = run_pipeline_case(true, 24, 80, Some("0.4"), 0.0, &addr_map, &mixed);
+    let (backoff_shared, shared_driver) =
+        run_pipeline_case(false, 24, 80, Some("0.4"), 0.0, &addr_map, &mixed);
+    assert!(
+        shared_driver.idle_credit_returns > 0,
+        "the backoff case must exercise parking"
+    );
+    drop(healthy);
+    (
+        uniform_shared,
+        uniform_static,
+        paced_shared,
+        paced_static,
+        backoff_shared,
+        backoff_static,
+    )
+}
+
 /// Measure this kernel's raw per-datagram send cost through `BatchIo`
 /// itself — per-datagram path vs batched path — so the artifact records
 /// how expensive syscall *boundaries* are where the bench ran. On
@@ -277,6 +443,8 @@ fn main() {
     let out_path = arg_value("--out").unwrap_or_else(|| "BENCH_reactor.json".to_string());
     let min_speedup: Option<f64> = arg_value("--min-speedup").map(|v| v.parse().unwrap());
     let min_view_speedup: Option<f64> = arg_value("--min-view-speedup").map(|v| v.parse().unwrap());
+    let min_uniform_ratio: Option<f64> =
+        arg_value("--min-uniform-ratio").map(|v| v.parse().unwrap());
     let lookups = if quick { 8_000 } else { 30_000 };
     let rounds = if quick { 2 } else { 3 };
 
@@ -331,6 +499,34 @@ fn main() {
         1e9 / batched_rate
     );
 
+    let (
+        uniform_shared,
+        uniform_static,
+        paced_shared,
+        paced_static,
+        backoff_shared,
+        backoff_static,
+    ) = measure_pipeline(quick);
+    let uniform_ratio = uniform_shared / uniform_static;
+    let paced_ratio = paced_shared / paced_static;
+    // The no-regression gate covers both halves of the leasing design:
+    // credit-pool CAS cost (unpaced) and SharedPacer mutex cost (paced).
+    let gated_uniform_ratio = uniform_ratio.min(paced_ratio);
+    let steal_speedup = backoff_shared / backoff_static;
+    println!("scan pipeline (shared credit pool vs static split, 2 workers):");
+    println!(
+        "  uniform:         shared {uniform_shared:>8.0} vs static {uniform_static:>8.0} \
+         lookups/s ({uniform_ratio:.2}x)"
+    );
+    println!(
+        "  uniform paced:   shared {paced_shared:>8.0} vs static {paced_static:>8.0} \
+         lookups/s ({paced_ratio:.2}x — shared-pacer mutex on every send)"
+    );
+    println!(
+        "  partial backoff: shared {backoff_shared:>8.1} vs static {backoff_static:>8.1} \
+         lookups/s ({steal_speedup:.2}x — parked lookups free the window)"
+    );
+
     let json = serde_json::json!({
         "bench": "reactor_batched_vs_per_datagram",
         "kernel": {
@@ -371,6 +567,26 @@ fn main() {
             "recv_batch_fill": batched_report.recv_batch_fill.summary(),
         },
         "speedup": speedup,
+        "pipeline": {
+            "workers": 2,
+            "uniform": {
+                "shared_lookups_per_sec": uniform_shared,
+                "static_lookups_per_sec": uniform_static,
+                "shared_over_static": uniform_ratio,
+            },
+            "uniform_paced": {
+                "rate_pps": 10_000_000.0,
+                "shared_lookups_per_sec": paced_shared,
+                "static_lookups_per_sec": paced_static,
+                "shared_over_static": paced_ratio,
+            },
+            "partial_backoff": {
+                "dead_fraction": 0.75,
+                "shared_lookups_per_sec": backoff_shared,
+                "static_lookups_per_sec": backoff_static,
+                "steal_speedup": steal_speedup,
+            },
+        },
     });
     std::fs::write(&out_path, serde_json::to_string_pretty(&json).unwrap()).unwrap();
     println!("wrote {out_path}");
@@ -390,5 +606,19 @@ fn main() {
             std::process::exit(1);
         }
         println!("bench_reactor: view-decode gate passed ({view_speedup:.2}x >= {min:.2}x)");
+    }
+    if let Some(min) = min_uniform_ratio {
+        if gated_uniform_ratio < min {
+            eprintln!(
+                "bench_reactor: FAIL — shared-queue uniform throughput \
+                 {gated_uniform_ratio:.2}x of static split (unpaced {uniform_ratio:.2}x, \
+                 paced {paced_ratio:.2}x), below the {min:.2}x no-regression gate"
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "bench_reactor: shared-queue uniform gate passed \
+             (min(unpaced {uniform_ratio:.2}x, paced {paced_ratio:.2}x) >= {min:.2}x)"
+        );
     }
 }

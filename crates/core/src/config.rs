@@ -47,6 +47,13 @@ pub struct ResolverConfig {
     /// Attach DNS cookies (RFC 7873) to queries and echo learned server
     /// cookies on retries to the same server.
     pub edns_cookies: bool,
+    /// Derive client cookies from this secret with a keyed hash over the
+    /// destination address (RFC 7873 §6) instead of the default
+    /// deterministic per-name hash. `None` keeps the reproducible
+    /// per-name derivation; `Some` is what a production scanner wants —
+    /// an off-path attacker who sees one lookup's cookie learns nothing
+    /// about the cookie any other destination will be sent.
+    pub cookie_secret: Option<[u8; 16]>,
     /// Root hints for iterative mode.
     pub root_hints: Vec<(Name, Ipv4Addr)>,
 }
@@ -66,6 +73,7 @@ impl Default for ResolverConfig {
             tcp_only: false,
             trace: true,
             edns_cookies: true,
+            cookie_secret: None,
             root_hints: Vec::new(),
         }
     }

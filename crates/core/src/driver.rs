@@ -143,6 +143,22 @@ pub struct DriverReport {
     pub send_batch_fill: BatchHistogram,
     /// Datagrams-per-drain-batch distribution on the receive side.
     pub recv_batch_fill: BatchHistogram,
+    /// Admission credits leased from the scan-wide pool (shared-queue
+    /// pipeline only; zero under a static split).
+    pub credit_leases: u64,
+    /// Credits returned to the pool (retired lookups plus idle returns).
+    pub credit_returns: u64,
+    /// Credits returned *early* because every outstanding send of a
+    /// lookup was parked behind a backoff penalty — the stranded-window
+    /// capacity siblings absorb.
+    pub idle_credit_returns: u64,
+    /// Matured deferred sends that had to wait for an admission credit
+    /// before going back on the wire (the pool was momentarily empty).
+    pub credit_stalls: u64,
+    /// Admissions beyond this driver's static fair share of the window —
+    /// inputs effectively stolen from a sibling that was not using its
+    /// slice.
+    pub inputs_stolen: u64,
 }
 
 impl DriverReport {
@@ -171,6 +187,11 @@ impl DriverReport {
         self.recv_partial_batches += other.recv_partial_batches;
         self.send_batch_fill.merge(&other.send_batch_fill);
         self.recv_batch_fill.merge(&other.recv_batch_fill);
+        self.credit_leases += other.credit_leases;
+        self.credit_returns += other.credit_returns;
+        self.idle_credit_returns += other.idle_credit_returns;
+        self.credit_stalls += other.credit_stalls;
+        self.inputs_stolen += other.inputs_stolen;
     }
 }
 

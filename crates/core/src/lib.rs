@@ -33,7 +33,7 @@ pub use driver::{Admission, BatchHistogram, BlockingDriver, Driver, DriverReport
 pub use machine::{
     DirectMachine, ExternalMachine, IterativeMachine, ResolveTarget, ResolverCore, ResultSink,
 };
-pub use pacer::{Pacer, PacerConfig};
+pub use pacer::{Pacer, PacerConfig, SharedPacer};
 pub use reactor::{Reactor, ReactorConfig, DEFAULT_BATCH_SIZE};
 pub use resolver::{collecting_sink, drive_blocking, drive_blocking_paced, AddrMap, Resolver};
 pub use result::{DelegationInfo, LookupResult};
@@ -44,3 +44,7 @@ pub use transport::{
     blocking_tcp_exchange, BatchIo, BatchSendStatus, RecvBatch, SendBatchStats, SendSlot,
     Transport, TransportError, UdpTransport, VectoredSend,
 };
+// The admission credit pool lives next to the other budgeting primitives
+// in `zdns-pacing`; re-exported so scan orchestration above this crate
+// sees one driver surface.
+pub use zdns_pacing::CreditPool;

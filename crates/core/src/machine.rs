@@ -59,11 +59,16 @@ impl ResolverCore {
     }
 
     /// The machine-side cookie state for a lookup of `name`, if cookies
-    /// are enabled.
+    /// are enabled: keyed per-destination derivation when a secret is
+    /// configured (RFC 7873 §6), the reproducible per-name hash
+    /// otherwise.
     fn cookie_state(&self, name: &Name) -> Option<CookieState> {
         self.config
             .edns_cookies
-            .then(|| CookieState::new(client_cookie_for(name)))
+            .then(|| match self.config.cookie_secret {
+                Some(secret) => CookieState::keyed(secret),
+                None => CookieState::per_name(client_cookie_for(name)),
+            })
     }
 }
 
@@ -98,21 +103,97 @@ fn client_cookie_for(name: &Name) -> [u8; 8] {
     h.to_be_bytes()
 }
 
-/// RFC 7873 client-side cookie state: our client cookie, plus the last
-/// full (client + server) cookie learned, pinned to the server it came
-/// from. Retries to that server echo the full cookie; queries to anyone
-/// else carry the bare client cookie.
+/// One SipHash compression round.
+#[inline]
+fn sip_round(v: &mut [u64; 4]) {
+    v[0] = v[0].wrapping_add(v[1]);
+    v[1] = v[1].rotate_left(13);
+    v[1] ^= v[0];
+    v[0] = v[0].rotate_left(32);
+    v[2] = v[2].wrapping_add(v[3]);
+    v[3] = v[3].rotate_left(16);
+    v[3] ^= v[2];
+    v[0] = v[0].wrapping_add(v[3]);
+    v[3] = v[3].rotate_left(21);
+    v[3] ^= v[0];
+    v[2] = v[2].wrapping_add(v[1]);
+    v[1] = v[1].rotate_left(17);
+    v[1] ^= v[2];
+    v[2] = v[2].rotate_left(32);
+}
+
+/// Keyed client-cookie derivation (RFC 7873 §6): SipHash-2-4 — the PRF
+/// the RFC recommends — keyed with the 16-octet client secret over the
+/// destination address. Every destination gets a distinct client cookie
+/// computed allocation-free per query, and (unlike a plain mixing hash)
+/// observing one destination's cookie reveals nothing about any
+/// other's: recovering cross-destination state requires breaking the
+/// PRF, not inverting a bijection.
+fn keyed_client_cookie(secret: &[u8; 16], dest: Ipv4Addr) -> [u8; 8] {
+    let k0 = u64::from_le_bytes(secret[..8].try_into().expect("8 bytes"));
+    let k1 = u64::from_le_bytes(secret[8..].try_into().expect("8 bytes"));
+    let mut v = [
+        k0 ^ 0x736f_6d65_7073_6575,
+        k1 ^ 0x646f_7261_6e64_6f6d,
+        k0 ^ 0x6c79_6765_6e65_7261,
+        k1 ^ 0x7465_6462_7974_6573,
+    ];
+    // The 4-octet address fits one final block: message bytes
+    // little-endian in the low lanes, message length in the top byte.
+    let octets = dest.octets();
+    let b: u64 = (4u64 << 56) | u64::from(u32::from_le_bytes(octets));
+    v[3] ^= b;
+    sip_round(&mut v);
+    sip_round(&mut v);
+    v[0] ^= b;
+    v[2] ^= 0xff;
+    for _ in 0..4 {
+        sip_round(&mut v);
+    }
+    (v[0] ^ v[1] ^ v[2] ^ v[3]).to_be_bytes()
+}
+
+/// How a lookup derives the client half of its cookies.
+#[derive(Debug, Clone, Copy)]
+enum CookieKey {
+    /// One fixed cookie per lookup, hashed from the queried name — fully
+    /// reproducible (the sim/loopback default).
+    PerName([u8; 8]),
+    /// Keyed per-destination derivation from a scan-wide secret
+    /// (`--cookie-secret`, RFC 7873 §6).
+    Keyed([u8; 16]),
+}
+
+/// RFC 7873 client-side cookie state: our client cookie derivation, plus
+/// the last full (client + server) cookie learned, pinned to the server
+/// it came from. Retries to that server echo the full cookie; queries to
+/// anyone else carry the bare client cookie.
 #[derive(Debug, Clone, Copy)]
 struct CookieState {
-    client: [u8; 8],
+    key: CookieKey,
     learned: Option<(Ipv4Addr, Cookie)>,
 }
 
 impl CookieState {
-    fn new(client: [u8; 8]) -> CookieState {
+    fn per_name(client: [u8; 8]) -> CookieState {
         CookieState {
-            client,
+            key: CookieKey::PerName(client),
             learned: None,
+        }
+    }
+
+    fn keyed(secret: [u8; 16]) -> CookieState {
+        CookieState {
+            key: CookieKey::Keyed(secret),
+            learned: None,
+        }
+    }
+
+    /// The client half we send to `dest`.
+    fn client_for(&self, dest: Ipv4Addr) -> [u8; 8] {
+        match &self.key {
+            CookieKey::PerName(client) => *client,
+            CookieKey::Keyed(secret) => keyed_client_cookie(secret, dest),
         }
     }
 
@@ -120,15 +201,16 @@ impl CookieState {
     fn for_dest(&self, dest: Ipv4Addr) -> Cookie {
         match &self.learned {
             Some((server, cookie)) if *server == dest => *cookie,
-            _ => Cookie::client(self.client),
+            _ => Cookie::client(self.client_for(dest)),
         }
     }
 
-    /// Record the cookie a response from `from` carried. Only cookies that
-    /// echo our client part and actually contain a server part are kept.
+    /// Record the cookie a response from `from` carried. Only cookies
+    /// that echo the client part we send *that destination* and actually
+    /// contain a server part are kept.
     fn learn(&mut self, from: Ipv4Addr, cookie: Option<Cookie>) {
         if let Some(cookie) = cookie {
-            if cookie.client_part() == self.client && cookie.has_server_part() {
+            if cookie.client_part() == self.client_for(from) && cookie.has_server_part() {
                 self.learned = Some((from, cookie));
             }
         }
@@ -1145,5 +1227,35 @@ impl SimClient for DirectMachine {
                 }
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyed_cookie_is_reference_siphash24() {
+        // The SipHash-2-4 paper's test vector: key 00..0f over the
+        // 4-byte message 00 01 02 03 yields cf2794e0277187b7 (as a u64).
+        // Our 4-octet message is the destination address, so the same
+        // inputs must reproduce the reference output exactly — this
+        // pins the derivation to the real PRF, not a lookalike.
+        let secret: [u8; 16] = core::array::from_fn(|i| i as u8);
+        let cookie = keyed_client_cookie(&secret, Ipv4Addr::new(0, 1, 2, 3));
+        assert_eq!(cookie, 0xcf27_94e0_2771_87b7u64.to_be_bytes());
+    }
+
+    #[test]
+    fn keyed_cookie_differs_per_destination_and_secret() {
+        let a = keyed_client_cookie(&[1; 16], Ipv4Addr::new(192, 0, 2, 1));
+        let b = keyed_client_cookie(&[1; 16], Ipv4Addr::new(192, 0, 2, 2));
+        let c = keyed_client_cookie(&[2; 16], Ipv4Addr::new(192, 0, 2, 1));
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(
+            a,
+            keyed_client_cookie(&[1; 16], Ipv4Addr::new(192, 0, 2, 1))
+        );
     }
 }

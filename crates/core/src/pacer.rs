@@ -99,9 +99,20 @@ struct HostState {
 /// Soft cap on tracked destinations; beyond it, idle entries are pruned.
 const MAX_HOSTS: usize = 65_536;
 
+/// A pacer shared by every worker of one scan — how the shared-queue
+/// pipeline leases one whole-scan pacing budget dynamically instead of
+/// splitting it statically with [`PacerConfig::split`]. Reserving from
+/// the shared buckets *is* the lease: an idle worker simply does not
+/// reserve, so active workers absorb the whole budget with no
+/// rebalancing step. Backoff memory is shared too — a destination one
+/// worker learns is struggling is immediately backed off for all of
+/// them.
+pub type SharedPacer = std::sync::Arc<parking_lot::Mutex<Pacer>>;
+
 /// The client-side pacing + backoff subsystem. One per driver (reactor
 /// worker / blocking driver / simulation engine); not thread-safe by
-/// design — drivers own their pacer the way they own their socket.
+/// design — drivers own their pacer the way they own their socket, and
+/// scans that want one scan-wide pacer share it as a [`SharedPacer`].
 pub struct Pacer {
     config: PacerConfig,
     global: Option<TokenBucket>,

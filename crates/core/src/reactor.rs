@@ -22,7 +22,15 @@
 //!   bursts, same-tick retries, and pacer deferred-queue releases that
 //!   mature on the same wheel tick — are staged and flushed through one
 //!   `sendmmsg(2)`, and receives drain through a reusable
-//!   `recvmmsg(2)` arena of [`ReactorConfig::batch_size`] buffers.
+//!   `recvmmsg(2)` arena of [`ReactorConfig::batch_size`] buffers;
+//! * an optional **shared admission credit pool**
+//!   ([`zdns_pacing::CreditPool`], via [`Reactor::set_credit_pool`]):
+//!   instead of a fixed private window, the reactor leases one credit
+//!   per active lookup from a scan-wide pool, and *parks* lookups whose
+//!   every outstanding send is waiting out a backoff penalty — returning
+//!   their credits so sibling workers absorb the stranded window. With
+//!   [`Reactor::set_shared_pacer`] the pacing budgets are likewise one
+//!   scan-wide pool rather than a static per-worker split.
 //!
 //! The lookup machines are unchanged — the same [`SimClient`] state
 //! machines the discrete-event simulator drives. The reactor is just the
@@ -39,11 +47,11 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use zdns_netsim::{ClientEvent, JobOutcome, OutQuery, Protocol, SimClient, SimTime, MILLIS};
-use zdns_pacing::{PaceDecision, SendGate};
+use zdns_pacing::{CreditPool, PaceDecision, SendGate};
 use zdns_wire::{encode_query_into, Message, MessageView, MsgRef, ScratchBuf};
 
 use crate::driver::{Admission, Driver, DriverReport};
-use crate::pacer::{Pacer, PacerConfig};
+use crate::pacer::{Pacer, PacerConfig, SharedPacer};
 use crate::resolver::AddrMap;
 use crate::transport::readiness;
 use crate::transport::{blocking_tcp_exchange, BatchIo, BatchSendStatus, SendSlot, TransportError};
@@ -77,6 +85,21 @@ pub struct ReactorConfig {
     /// benchmarks and as a big red switch if a view-path bug ever needs
     /// ruling out in production.
     pub owned_decode: bool,
+    /// Extra machines this reactor may host *beyond* `max_in_flight`
+    /// while they sit parked in backoff (credit-pool scans only; parking
+    /// never happens without one). Parked lookups cost no window — their
+    /// credits are back in the pool — but they do cost slots, so this
+    /// bounds the memory a pathological all-destinations-dead scan can
+    /// pin. `0` (the default) keeps the classic behaviour: hosted
+    /// machines never exceed `max_in_flight`.
+    pub max_parked: usize,
+    /// The instant this reactor's clock counts nanoseconds from.
+    /// Workers sharing one pacer ([`Reactor::set_shared_pacer`]) MUST
+    /// share one epoch too: the pacer stores absolute release/penalty
+    /// times, so callers on different epochs would mis-read each
+    /// other's backoff state by their spawn skew. `None` = this
+    /// reactor's construction time (fine for a private pacer).
+    pub epoch: Option<Instant>,
 }
 
 /// Default [`ReactorConfig::batch_size`]: deep enough to amortize
@@ -94,6 +117,8 @@ impl Default for ReactorConfig {
             pacer: PacerConfig::default(),
             batch_size: DEFAULT_BATCH_SIZE,
             owned_decode: false,
+            max_parked: 0,
+            epoch: None,
         }
     }
 }
@@ -365,6 +390,12 @@ struct Slot {
     deferred: usize,
     /// Sends staged for the next batch flush (same-tick coalescing).
     staged: usize,
+    /// The machine's admission credit has been returned to the shared
+    /// pool because *every* outstanding send is waiting on the pacer's
+    /// deferred queue (typically a backoff penalty): the lookup is alive
+    /// but costs the scan no window. The credit is re-leased before its
+    /// next send goes to the wire.
+    parked: bool,
 }
 
 /// A UDP send the pacer is holding back. Its budget was reserved at
@@ -412,6 +443,58 @@ struct PreparedSend {
     oq: OutQuery,
 }
 
+/// The reactor's pacing handle: its own pacer (a static budget split),
+/// or one scan-wide pacer shared with its sibling workers (the
+/// shared-queue pipeline's budget leasing — reserving from the shared
+/// buckets is the lease, so idle workers leave the whole budget to the
+/// active ones and backoff knowledge is common property).
+enum PacerHandle {
+    Own(Pacer),
+    Shared(SharedPacer),
+}
+
+impl PacerHandle {
+    fn admit(&mut self, dest: Ipv4Addr, now: SimTime) -> PaceDecision {
+        match self {
+            PacerHandle::Own(pacer) => pacer.admit(dest, now),
+            PacerHandle::Shared(pacer) => pacer.lock().admit(dest, now),
+        }
+    }
+
+    fn on_success(&mut self, dest: Ipv4Addr, now: SimTime) {
+        match self {
+            PacerHandle::Own(pacer) => pacer.on_success(dest, now),
+            PacerHandle::Shared(pacer) => pacer.lock().on_success(dest, now),
+        }
+    }
+
+    fn on_failure(&mut self, dest: Ipv4Addr, now: SimTime) {
+        match self {
+            PacerHandle::Own(pacer) => pacer.on_failure(dest, now),
+            PacerHandle::Shared(pacer) => pacer.lock().on_failure(dest, now),
+        }
+    }
+}
+
+/// This reactor's stake in the scan-wide [`CreditPool`].
+struct CreditShare {
+    pool: Arc<CreditPool>,
+    /// Credits currently held: one per active (unparked) machine, plus
+    /// the pre-leased spare.
+    held: usize,
+    /// One credit leased ahead of the next admission and kept across
+    /// `Admission::Later` polls, so an idle loop does not churn the
+    /// pool's counters.
+    spare: bool,
+    /// The static per-worker share of the window (total / workers), for
+    /// steal telemetry; 0 disables the steal counter.
+    fair_share: usize,
+}
+
+/// Delay before re-checking the credit pool when a matured deferred send
+/// finds it empty (its owner was parked and the window is fully used).
+const CREDIT_RETRY_DELAY: SimTime = 2 * MILLIS;
+
 /// Ceiling on consecutive receive errors absorbed in one drain pass, so
 /// a repeating error cannot spin the loop while still letting queued
 /// datagrams behind an error be drained (not stranded until next poll).
@@ -441,7 +524,11 @@ pub struct Reactor {
     in_flight: usize,
     demux: HashMap<DemuxKey, Pending>,
     wheel: TimerWheel,
-    pacer: Pacer,
+    pacer: PacerHandle,
+    /// Shared admission credits (`None` = the classic static window).
+    credits: Option<CreditShare>,
+    /// Machines alive but holding no credit (all sends in backoff).
+    parked_count: usize,
     deferred: HashMap<u64, DeferredSend>,
     next_token: u64,
     txid_cursor: u16,
@@ -475,6 +562,9 @@ pub struct Reactor {
     /// Recycled buffer for expired timers (so timeout storms stay
     /// allocation-free too).
     fired: Vec<(u64, DemuxKey)>,
+    /// Recycled queue of slots whose sends were just deferred and that
+    /// may therefore be parkable (checked at safe points, not mid-step).
+    park_checks: Vec<usize>,
 }
 
 impl Reactor {
@@ -502,6 +592,7 @@ impl Reactor {
         let pacer = Pacer::new(config.pacer.clone());
         let batch = BatchIo::new(config.batch_size);
         let owned_decode = config.owned_decode;
+        let started = config.epoch.unwrap_or_else(Instant::now);
         Ok(Reactor {
             socket,
             addr_map,
@@ -512,11 +603,13 @@ impl Reactor {
             in_flight: 0,
             demux: HashMap::new(),
             wheel,
-            pacer,
+            pacer: PacerHandle::Own(pacer),
+            credits: None,
+            parked_count: 0,
             deferred: HashMap::new(),
             next_token: 0,
             txid_cursor: 1,
-            started: Instant::now(),
+            started,
             tcp,
             tcp_inflight: 0,
             report: DriverReport::default(),
@@ -530,7 +623,33 @@ impl Reactor {
             out_pool: Vec::new(),
             keys_pool: Vec::new(),
             fired: Vec::new(),
+            park_checks: Vec::new(),
         })
+    }
+
+    /// Join the scan-wide admission [`CreditPool`]: instead of a fixed
+    /// private window, this reactor leases one credit per *active*
+    /// lookup (and returns it while a lookup's every send is held in
+    /// backoff). [`ReactorConfig::max_in_flight`] remains the hard cap
+    /// on machines this worker will host — shared-queue scans set it to
+    /// the whole window so any one worker can absorb capacity its
+    /// siblings are not using. `fair_share` (the static per-worker
+    /// split, usually `total / workers`) only feeds the
+    /// [`DriverReport::inputs_stolen`] counter; pass 0 to disable it.
+    pub fn set_credit_pool(&mut self, pool: Arc<CreditPool>, fair_share: usize) {
+        self.credits = Some(CreditShare {
+            pool,
+            held: 0,
+            spare: false,
+            fair_share,
+        });
+    }
+
+    /// Replace this reactor's private pacer with one shared scan-wide —
+    /// budget leasing for the pacing half of the contract (see
+    /// [`SharedPacer`]).
+    pub fn set_shared_pacer(&mut self, pacer: SharedPacer) {
+        self.pacer = PacerHandle::Shared(pacer);
     }
 
     /// The bound local address (one reused source port for every lookup).
@@ -562,6 +681,12 @@ impl Reactor {
     /// Sends currently held on the pacer's deferred queue.
     pub fn deferred_sends(&self) -> usize {
         self.deferred.len()
+    }
+
+    /// Machines alive but holding no admission credit because every send
+    /// they own is waiting out a backoff penalty (shared-queue scans).
+    pub fn parked_machines(&self) -> usize {
+        self.parked_count
     }
 
     fn now(&self) -> SimTime {
@@ -599,9 +724,22 @@ impl Reactor {
             tcp_pending: 0,
             deferred: 0,
             staged: 0,
+            parked: false,
         });
         self.in_flight += 1;
         self.report.peak_in_flight = self.report.peak_in_flight.max(self.in_flight);
+        if let Some(credits) = &self.credits {
+            // Steal telemetry: an admission while this worker already
+            // hosts its static fair share is an input a statically-split
+            // worker could not have accepted — capacity absorbed from a
+            // sibling's stranded slice. Hosted count (parked included)
+            // is the right comparison: a static split has no parking, so
+            // its backed-off lookups occupy window slots and a worker at
+            // fair_share hosted machines is full, whatever their state.
+            if credits.fair_share > 0 && self.in_flight > credits.fair_share {
+                self.report.inputs_stolen += 1;
+            }
+        }
 
         let mut slot = self.slots[idx].take().expect("fresh slot");
         let mut out = self.take_out_buf();
@@ -640,8 +778,20 @@ impl Reactor {
                     self.deliver(idx, event, on_done);
                 }
                 self.reap_if_wedged(idx, on_done);
+                if self.credits.is_some() {
+                    // This step may have retired the machine's last
+                    // on-wire query while an older send still sits on
+                    // the deferred queue — the machine is now fully in
+                    // backoff even though nothing was deferred *in this
+                    // step* (defer_send queues its own checks).
+                    self.park_checks.push(idx);
+                }
             }
         }
+        // Machines whose sends were just deferred (or whose last live
+        // query just retired) may now be fully in backoff; park them
+        // (returning their credits) while no machine is mid-step.
+        self.process_park_checks();
     }
 
     /// A running machine with nothing in flight would hang the scan; fail
@@ -678,10 +828,73 @@ impl Reactor {
         if self.keys_pool.len() < 4_096 {
             self.keys_pool.push(keys);
         }
+        if let Some(credits) = self.credits.as_mut() {
+            if slot.parked {
+                // A parked machine retired without re-leasing (its credit
+                // was already back in the pool).
+                self.parked_count -= 1;
+            } else {
+                credits.pool.release(1);
+                credits.held -= 1;
+                self.report.credit_returns += 1;
+            }
+        }
         self.slots[idx] = None;
         self.generations[idx] += 1;
         self.free_slots.push(idx);
         self.in_flight -= 1;
+    }
+
+    /// Park `idx` if every outstanding send it owns is sitting on the
+    /// pacer's deferred queue: the lookup is alive but off the wire, so
+    /// its admission credit goes back to the shared pool for a sibling
+    /// (or this worker's next admission) to use. No-op without a credit
+    /// pool, for already-parked slots, and for slots with live work.
+    fn maybe_park(&mut self, idx: usize) {
+        let Some(credits) = self.credits.as_mut() else {
+            return;
+        };
+        let Some(slot) = self.slots[idx].as_mut() else {
+            return;
+        };
+        let idle = !slot.parked
+            && slot.deferred > 0
+            && slot.keys.is_empty()
+            && slot.tcp_pending == 0
+            && slot.staged == 0;
+        if idle {
+            slot.parked = true;
+            self.parked_count += 1;
+            credits.pool.release(1);
+            credits.held -= 1;
+            self.report.credit_returns += 1;
+            self.report.idle_credit_returns += 1;
+        }
+    }
+
+    /// Whether admission may host one more machine: *active* machines
+    /// (in flight minus parked) stay under the window, and total hosted
+    /// machines stay under window + parked allowance.
+    fn admittable(&self) -> bool {
+        let active = self.in_flight - self.parked_count;
+        active < self.config.max_in_flight
+            && self.in_flight
+                < self
+                    .config
+                    .max_in_flight
+                    .saturating_add(if self.credits.is_some() {
+                        self.config.max_parked
+                    } else {
+                        0
+                    })
+    }
+
+    /// Run the queued park checks (slots whose sends were just deferred).
+    /// Safe to call at any point where no machine is mid-step.
+    fn process_park_checks(&mut self) {
+        while let Some(idx) = self.park_checks.pop() {
+            self.maybe_park(idx);
+        }
     }
 
     /// Allocate a wire transaction id that is unique for `peer`,
@@ -769,6 +982,11 @@ impl Reactor {
         if let Some(slot) = self.slots[idx].as_mut() {
             slot.deferred += 1;
         }
+        if self.credits.is_some() {
+            // The owner may now be fully in backoff; check at the next
+            // safe point (never mid-step).
+            self.park_checks.push(idx);
+        }
         self.report.max_deferred_depth = self.report.max_deferred_depth.max(self.deferred.len());
     }
 
@@ -776,9 +994,38 @@ impl Reactor {
     /// reserved, so it goes into the next batch flush (unless its owner
     /// retired while it was held). Releases that mature on the same wheel
     /// tick therefore coalesce into one `sendmmsg`.
+    ///
+    /// A *parked* owner gave its admission credit back when it went into
+    /// backoff, so its send must re-lease one before touching the wire.
+    /// If the pool is momentarily empty (the window is fully active
+    /// elsewhere), the send is re-parked for [`CREDIT_RETRY_DELAY`] — a
+    /// bounded-rate retry, counted as a credit stall.
     fn release_deferred(&mut self, sent: DeferredSend) {
         if self.generations[sent.slot] != sent.generation {
             return; // owner finished while the send was held
+        }
+        let parked = self.slots[sent.slot]
+            .as_ref()
+            .map(|slot| slot.parked)
+            .unwrap_or(false);
+        if parked {
+            let credits = self.credits.as_mut().expect("parked implies a pool");
+            if credits.pool.try_lease(1) {
+                credits.held += 1;
+                self.report.credit_leases += 1;
+                self.parked_count -= 1;
+                if let Some(slot) = self.slots[sent.slot].as_mut() {
+                    slot.parked = false;
+                }
+            } else {
+                self.report.credit_stalls += 1;
+                let token = self.next_token;
+                self.next_token += 1;
+                self.wheel
+                    .arm(self.now() + CREDIT_RETRY_DELAY, token, pace_key());
+                self.deferred.insert(token, sent);
+                return;
+            }
         }
         if let Some(slot) = self.slots[sent.slot].as_mut() {
             slot.deferred -= 1;
@@ -949,6 +1196,7 @@ impl Reactor {
                 self.deliver(idx, ClientEvent::TransportFailed { tag }, on_done);
             }
         }
+        self.process_park_checks();
     }
 
     /// Feed one event to the machine in `idx` and process the aftermath.
@@ -1169,12 +1417,44 @@ impl Driver for Reactor {
         self.report = DriverReport::default();
         let mut exhausted = false;
         loop {
-            // Admission: top the window up from the source.
-            while !exhausted && self.in_flight < self.config.max_in_flight {
+            // Admission: top the window up from the source. With a
+            // shared credit pool, every admission also needs one leased
+            // credit; a spare is leased ahead of the source pull (a
+            // machine cannot be pushed back) and kept across empty
+            // polls. Parked machines cost slots but no window, so the
+            // hosting cap is `max_in_flight` *active* machines plus up
+            // to `max_parked` parked ones.
+            while !exhausted && self.admittable() {
+                if let Some(credits) = self.credits.as_mut() {
+                    if !credits.spare {
+                        if !credits.pool.try_lease(1) {
+                            break; // window fully active elsewhere
+                        }
+                        credits.spare = true;
+                        credits.held += 1;
+                        self.report.credit_leases += 1;
+                    }
+                }
                 match source() {
-                    Admission::Admit(machine) => self.admit(machine, on_done),
+                    Admission::Admit(machine) => {
+                        if let Some(credits) = self.credits.as_mut() {
+                            credits.spare = false; // the machine carries it now
+                        }
+                        self.admit(machine, on_done);
+                    }
                     Admission::Later => break,
                     Admission::Exhausted => exhausted = true,
+                }
+            }
+            if exhausted {
+                // No more inputs will ever need the pre-leased spare.
+                if let Some(credits) = self.credits.as_mut() {
+                    if credits.spare {
+                        credits.spare = false;
+                        credits.held -= 1;
+                        credits.pool.release(1);
+                        self.report.credit_returns += 1;
+                    }
                 }
             }
             if self.in_flight == 0 && exhausted {
@@ -1213,6 +1493,10 @@ impl Driver for Reactor {
             self.flush_staged(on_done);
         }
         debug_assert!(self.staged.is_empty(), "staged sends leaked past the scan");
+        debug_assert!(
+            self.credits.as_ref().map_or(0, |c| c.held) == 0 && self.parked_count == 0,
+            "credits leaked past the scan"
+        );
 
         // End-of-run hygiene: every slot is free, the demux table is empty,
         // deferred sends whose owners retired are dropped with their wheel

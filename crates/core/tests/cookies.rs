@@ -124,6 +124,100 @@ fn external_machine_pins_cookies_per_server() {
 }
 
 #[test]
+fn keyed_secret_derives_per_destination_cookies() {
+    // RFC 7873 §6: with --cookie-secret, the client cookie is a keyed
+    // hash over the destination — distinct per server, identical across
+    // lookups of different names, and stable for one (secret, server).
+    let secret = [7u8; 16];
+    let other_server = Ipv4Addr::new(198, 51, 100, 54);
+    let core_for = |secret: [u8; 16]| {
+        let mut config = ResolverConfig::external(vec![SERVER, other_server]);
+        config.cookie_secret = Some(secret);
+        config.retries = 3;
+        ResolverCore::new(config)
+    };
+
+    let q = |name: &str| Question::new(name.parse().unwrap(), RecordType::A);
+    let mut a = DirectMachine::new(core_for(secret), q("alpha.test"), SERVER, false, None);
+    let mut b = DirectMachine::new(core_for(secret), q("beta.test"), SERVER, false, None);
+    let mut c = DirectMachine::new(core_for(secret), q("alpha.test"), other_server, false, None);
+    let mut out = Vec::new();
+    a.start(0, &mut out);
+    let cookie_a = out.pop().unwrap().cookie.unwrap();
+    b.start(0, &mut out);
+    let cookie_b = out.pop().unwrap().cookie.unwrap();
+    c.start(0, &mut out);
+    let cookie_c = out.pop().unwrap().cookie.unwrap();
+
+    assert_eq!(
+        cookie_a.client_part(),
+        cookie_b.client_part(),
+        "keyed cookies do not depend on the queried name"
+    );
+    assert_ne!(
+        cookie_a.client_part(),
+        cookie_c.client_part(),
+        "each destination gets its own client cookie"
+    );
+
+    // A different secret changes every cookie; the default (no secret)
+    // still derives from the name.
+    let mut d = DirectMachine::new(core_for([8u8; 16]), q("alpha.test"), SERVER, false, None);
+    d.start(0, &mut out);
+    assert_ne!(
+        out.pop().unwrap().cookie.unwrap().client_part(),
+        cookie_a.client_part()
+    );
+    let mut plain = DirectMachine::new(external_core(), q("alpha.test"), SERVER, false, None);
+    let mut plain2 = DirectMachine::new(external_core(), q("beta.test"), SERVER, false, None);
+    plain.start(0, &mut out);
+    let p1 = out.pop().unwrap().cookie.unwrap();
+    plain2.start(0, &mut out);
+    let p2 = out.pop().unwrap().cookie.unwrap();
+    assert_ne!(
+        p1.client_part(),
+        p2.client_part(),
+        "default derivation stays per-name"
+    );
+}
+
+#[test]
+fn keyed_cookies_still_learn_and_echo_server_cookies() {
+    let mut config = ResolverConfig::external(vec![SERVER]);
+    config.cookie_secret = Some([42u8; 16]);
+    config.retries = 3;
+    let core = ResolverCore::new(config);
+    let question = Question::new("keyed-echo.test".parse().unwrap(), RecordType::A);
+    let mut machine = DirectMachine::new(core, question, SERVER, false, None);
+    let mut out = Vec::new();
+    assert!(matches!(machine.start(0, &mut out), StepStatus::Running));
+    let first = out.pop().unwrap();
+    let first_cookie = first.cookie.unwrap();
+    assert!(!first_cookie.has_server_part());
+
+    // Server echoes our keyed client part with its server part appended
+    // on a truncated answer; the same-server TCP retry must carry it.
+    let full = echoed(&first_cookie, b"KEYEDSRV");
+    let response = truncated_response(&first, full);
+    let status = machine.on_event(
+        ClientEvent::Response {
+            tag: first.tag,
+            from: SERVER,
+            message: MsgRef::Owned(response),
+            protocol: Protocol::Udp,
+        },
+        1,
+        &mut out,
+    );
+    assert!(matches!(status, StepStatus::Running));
+    let retry = out.pop().unwrap();
+    assert_eq!(retry.protocol, Protocol::Tcp);
+    let retry_cookie = retry.cookie.unwrap();
+    assert!(retry_cookie.has_server_part(), "learned cookie echoed");
+    assert_eq!(retry_cookie.client_part(), first_cookie.client_part());
+}
+
+#[test]
 fn cookies_can_be_disabled_by_config() {
     let mut config = ResolverConfig::external(vec![SERVER]);
     config.edns_cookies = false;

@@ -16,7 +16,8 @@ use std::sync::Arc;
 
 use zdns_core::alloc_count::{thread_allocations, CountingAllocator};
 use zdns_core::{
-    AddrMap, Admission, Cache, CacheKey, Driver, Reactor, ReactorConfig, Resolver, ResolverConfig,
+    AddrMap, Admission, Cache, CacheKey, CreditPool, Driver, Reactor, ReactorConfig, Resolver,
+    ResolverConfig,
 };
 use zdns_netsim::{JobOutcome, SimClient, WireServer, SECONDS};
 use zdns_wire::{
@@ -130,6 +131,43 @@ fn steady_state_view_path_scan_allocates_zero_per_lookup() {
         allocs, 0,
         "steady-state view-path scan allocated {allocs} times over {MEASURED} lookups"
     );
+}
+
+#[test]
+fn steady_state_credit_leased_scan_allocates_zero_per_lookup() {
+    // The shared-queue pipeline's admission path: every lookup leases a
+    // credit from the scan-wide pool and returns it on retire. The pool
+    // is a pair of atomics, so joining it must not cost the hot loop a
+    // single allocation.
+    const WARMUP: usize = 1200;
+    const MEASURED: usize = 800;
+    let (_server, resolver, addr_map, questions) = loopback_fleet(WARMUP + MEASURED);
+    let pool = Arc::new(CreditPool::new(256));
+    let mut reactor = Reactor::new(
+        ReactorConfig {
+            max_in_flight: 256,
+            source: Ipv4Addr::LOCALHOST,
+            max_parked: 1024,
+            ..ReactorConfig::default()
+        },
+        addr_map,
+    )
+    .unwrap();
+    reactor.set_credit_pool(Arc::clone(&pool), 128);
+
+    let (done, ok, _) = run_prebuilt(&mut reactor, &resolver, &questions[..WARMUP], false);
+    assert_eq!(done, WARMUP);
+    assert!(ok * 10 >= WARMUP * 9, "warmup success {ok}/{WARMUP}");
+
+    let (done, ok, allocs) = run_prebuilt(&mut reactor, &resolver, &questions[WARMUP..], true);
+    assert_eq!(done, MEASURED);
+    assert!(ok * 10 >= MEASURED * 9, "measured success {ok}/{MEASURED}");
+    assert_eq!(
+        allocs, 0,
+        "credit-leased steady-state scan allocated {allocs} times over {MEASURED} lookups"
+    );
+    assert_eq!(pool.available(), 256, "every credit returned");
+    assert_eq!(pool.leases(), pool.returns());
 }
 
 #[test]

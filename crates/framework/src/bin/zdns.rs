@@ -10,14 +10,21 @@
 //! and run-time statistics on stderr.
 
 use std::io::{BufRead, Write};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use zdns_framework::conf::Conf;
-use zdns_framework::output;
-use zdns_framework::runner;
+use parking_lot::Mutex;
+use zdns_framework::conf::{Conf, Workload};
+use zdns_framework::output::{JsonlSink, OutputSink};
+use zdns_framework::{pipeline, runner};
 use zdns_modules::ModuleRegistry;
+use zdns_netsim::InputSource;
+use zdns_workloads::CtCorpus;
 use zdns_zones::{SynthConfig, SyntheticUniverse};
+
+/// The corpus registry shape every evaluation workload uses (486 ccTLDs,
+/// 1211 new gTLDs — the Table 3 registry mix).
+const CORPUS_CCTLDS: usize = 486;
+const CORPUS_NGTLDS: usize = 1211;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -47,28 +54,41 @@ fn main() {
         ..SynthConfig::default()
     }));
 
-    // Input: file or stdin, one name per line.
-    let reader: Box<dyn BufRead> = if conf.input_path == "-" {
-        Box::new(std::io::stdin().lock())
-    } else {
-        match std::fs::File::open(&conf.input_path) {
-            Ok(f) => Box::new(std::io::BufReader::new(f)),
-            Err(e) => {
-                eprintln!("zdns: cannot open {}: {e}", conf.input_path);
-                std::process::exit(2);
-            }
+    // Input: a streaming source — lines from a file/stdin, or the
+    // generated CT corpus (`--workload ct-corpus --max-names N`), which
+    // is never materialized.
+    let mut source: Box<dyn InputSource> = match conf.workload {
+        Workload::CtCorpus => Box::new(
+            CtCorpus::new(conf.seed, CORPUS_CCTLDS, CORPUS_NGTLDS)
+                .into_stream(conf.max_names as u64),
+        ),
+        Workload::Lines => {
+            let reader: Box<dyn BufRead> = if conf.input_path == "-" {
+                Box::new(std::io::stdin().lock())
+            } else {
+                match std::fs::File::open(&conf.input_path) {
+                    Ok(f) => Box::new(std::io::BufReader::new(f)),
+                    Err(e) => {
+                        eprintln!("zdns: cannot open {}: {e}", conf.input_path);
+                        std::process::exit(2);
+                    }
+                }
+            };
+            let max = conf.max_names;
+            Box::new(
+                reader
+                    .lines()
+                    .map_while(Result::ok)
+                    .map(|l| l.trim().to_string())
+                    .filter(|l| !l.is_empty() && !l.starts_with('#'))
+                    .take(if max == 0 { usize::MAX } else { max }),
+            )
         }
     };
-    let max = conf.max_names;
-    let inputs = reader
-        .lines()
-        .map_while(Result::ok)
-        .map(|l| l.trim().to_string())
-        .filter(|l| !l.is_empty() && !l.starts_with('#'))
-        .take(if max == 0 { usize::MAX } else { max });
 
-    // Output: file or stdout.
-    let sink: Box<dyn Write + Send> = if conf.output_path == "-" {
+    // Output: a JSONL sink over file or stdout, serializing every line
+    // through one reusable buffer.
+    let writer: Box<dyn Write + Send> = if conf.output_path == "-" {
         Box::new(std::io::BufWriter::new(std::io::stdout()))
     } else {
         match std::fs::File::create(&conf.output_path) {
@@ -79,14 +99,7 @@ fn main() {
             }
         }
     };
-    let mut sink = sink;
-    let group = conf.output;
-    let emitted = Arc::new(AtomicU64::new(0));
-    let emitted2 = Arc::clone(&emitted);
-    let on_output = move |o: zdns_modules::ModuleOutput| {
-        emitted2.fetch_add(1, Ordering::Relaxed);
-        let _ = writeln!(sink, "{}", output::to_line(&o, group));
-    };
+    let mut sink = JsonlSink::new(writer, conf.output);
 
     if conf.real {
         // Real sockets: the reactor drives --max-in-flight concurrent
@@ -94,8 +107,11 @@ fn main() {
         // servers directly (`ip:53`). Iterative mode is refused: its root
         // hints come from the *synthetic* universe, so a real iterative
         // scan would spray live packets at third-party addresses that are
-        // not DNS servers.
-        if matches!(conf.resolver.mode, zdns_core::ResolutionMode::Iterative) {
+        // not DNS servers. Input-addressed modules (PROBE, BINDVERSION)
+        // take every destination from their input lines and are exempt.
+        if matches!(conf.resolver.mode, zdns_core::ResolutionMode::Iterative)
+            && !module.input_addressed()
+        {
             eprintln!(
                 "zdns: --real requires --name-servers (iterative mode has no \
                  real root hints yet; the built-in hints are simulation-only)"
@@ -105,7 +121,14 @@ fn main() {
         let resolver = runner::resolver_for(&conf, universe.as_ref());
         let addr_map: Arc<zdns_core::AddrMap> =
             Arc::new(|ip: std::net::Ipv4Addr| std::net::SocketAddr::new(ip.into(), 53));
-        let report = runner::run_real_scan(&conf, &resolver, module, addr_map, inputs, on_output);
+        let report = pipeline::run_scan_pipeline(
+            &conf,
+            &resolver,
+            module,
+            addr_map,
+            source.as_mut(),
+            &mut sink,
+        );
         for error in &report.worker_errors {
             eprintln!("zdns: {error}");
         }
@@ -116,7 +139,20 @@ fn main() {
         return;
     }
 
-    let report = runner::run_sim_scan(&conf, universe, module, inputs, on_output);
+    // Sim path: same source, same sink — the sink sits behind a lock
+    // because the engine's output callback must be Send.
+    let sink = Arc::new(Mutex::new(sink));
+    let sink2 = Arc::clone(&sink);
+    let report = runner::run_sim_scan(
+        &conf,
+        universe,
+        module,
+        std::iter::from_fn(move || source.next_name()),
+        move |o| {
+            let _ = sink2.lock().write_output(o);
+        },
+    );
+    let _ = sink.lock().flush();
 
     if conf.status_updates {
         eprintln!(
@@ -151,6 +187,9 @@ FLAGS:
   --trace                  include the full lookup chain in output
   --output-fields GROUP    short | normal | long | trace
   --input-file PATH        newline-delimited names (default: stdin)
+  --workload KIND          name source: lines (default) reads --input-file;
+                           ct-corpus streams the generated CT-log-like corpus
+                           (requires --max-names N; never materialized)
   --output-file PATH       output JSONL (default: stdout)
   --source-ips N           scanning source addresses (1=/32, 8=/29, 16=/28)
   --seed N                 simulated-Internet seed
@@ -165,10 +204,20 @@ FLAGS:
                            receives drain through an N-buffer recvmmsg arena
                            (default 32; 1 = per-datagram syscalls)
   --rate-pps N             polite scanning: global send budget in packets/s,
-                           split across workers (default: unlimited)
+                           one scan-wide budget the workers lease from
+                           (default: unlimited)
   --per-host-pps N         per-destination send budget in packets/s
   --backoff                adaptive per-destination backoff: timeout/error
                            streaks grow a penalty multiplicatively, successes
-                           decay it"
+                           decay it
+  --backoff-base SECS      first backoff penalty (implies --backoff)
+  --backoff-cap SECS       backoff penalty growth cap (implies --backoff)
+  --static-split           split the admission window and pacing budgets
+                           statically across workers (pre-pipeline behaviour;
+                           A/B lever — the shared credit pool is the default)
+  --cookie-secret S        derive EDNS client cookies from a keyed hash of S
+                           and the destination (RFC 7873 \u{a7}6): 32 hex digits
+                           are literal, anything else is stretched; default
+                           stays the reproducible per-name hash"
     );
 }

@@ -23,6 +23,18 @@ pub enum OutputGroup {
     Trace,
 }
 
+/// Where a scan's names come from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Workload {
+    /// Newline-delimited names from `--input-file` / stdin (streaming).
+    #[default]
+    Lines,
+    /// The generated CT-log-like corpus (`zdns_workloads::CtCorpus`),
+    /// streamed — `--max-names N` bounds it; the set is never
+    /// materialized.
+    CtCorpus,
+}
+
 /// Parsed scan configuration.
 #[derive(Debug, Clone)]
 pub struct Conf {
@@ -58,11 +70,23 @@ pub struct Conf {
     pub per_host_pps: f64,
     /// Adaptive per-destination backoff on timeout/error streaks.
     pub backoff: bool,
+    /// First backoff penalty in nanoseconds (0 = pacer default). Doubles
+    /// per consecutive failure up to `backoff_cap`.
+    pub backoff_base: SimTime,
+    /// Backoff penalty growth cap in nanoseconds (0 = pacer default).
+    pub backoff_cap: SimTime,
     /// Datagrams per syscall on the reactor hot path: same-tick sends
     /// coalesce into one `sendmmsg` of up to this many datagrams, and the
     /// receive arena holds this many pre-allocated buffers. `0` = the
     /// reactor default; `1` = per-datagram syscalls.
     pub batch_size: usize,
+    /// Name source for the scan (`--workload`).
+    pub workload: Workload,
+    /// Split the admission window and pacing budgets statically across
+    /// reactor workers (the pre-pipeline behaviour) instead of leasing
+    /// them from scan-wide pools. An A/B escape hatch; the shared-queue
+    /// pipeline is the default.
+    pub static_split: bool,
 }
 
 impl Default for Conf {
@@ -83,7 +107,11 @@ impl Default for Conf {
             rate_pps: 0.0,
             per_host_pps: 0.0,
             backoff: false,
+            backoff_base: 0,
+            backoff_cap: 0,
             batch_size: 0,
+            workload: Workload::Lines,
+            static_split: false,
         }
     }
 }
@@ -104,6 +132,32 @@ fn parse_duration_secs(v: &str) -> Result<SimTime, ConfError> {
     v.parse::<f64>()
         .map(|s| (s * SECONDS as f64) as SimTime)
         .map_err(|_| ConfError(format!("bad duration {v:?}")))
+}
+
+/// Parse a `--cookie-secret` value into the 16-octet client secret the
+/// resolver's keyed cookie derivation uses (RFC 7873 §6): exactly 32 hex
+/// digits are taken literally; any other non-empty string is treated as
+/// a passphrase and stretched deterministically (two FNV-1a rounds with
+/// distinct seeds).
+fn parse_cookie_secret(v: &str) -> Result<[u8; 16], ConfError> {
+    if v.is_empty() {
+        return Err(ConfError("--cookie-secret must not be empty".into()));
+    }
+    let mut secret = [0u8; 16];
+    if v.len() == 32 && v.bytes().all(|b| b.is_ascii_hexdigit()) {
+        for (i, chunk) in secret.iter_mut().enumerate() {
+            *chunk =
+                u8::from_str_radix(&v[2 * i..2 * i + 2], 16).expect("checked hex digits above");
+        }
+        return Ok(secret);
+    }
+    for (round, out) in secret.chunks_exact_mut(8).enumerate() {
+        // The workspace's one seeded-hash helper, with a distinct facet
+        // per 8-byte round.
+        let h = zdns_zones::hashing::h64(round as u64 + 1, "cookie-secret", v.as_bytes());
+        out.copy_from_slice(&h.to_be_bytes());
+    }
+    Ok(secret)
 }
 
 impl Conf {
@@ -217,6 +271,14 @@ impl Conf {
                         .ok_or_else(|| ConfError("bad --per-host-pps".into()))?;
                 }
                 "--backoff" => conf.backoff = true,
+                "--backoff-base" => {
+                    conf.backoff = true;
+                    conf.backoff_base = parse_duration_secs(&take_value(&mut i)?)?;
+                }
+                "--backoff-cap" => {
+                    conf.backoff = true;
+                    conf.backoff_cap = parse_duration_secs(&take_value(&mut i)?)?;
+                }
                 "--batch-size" => {
                     conf.batch_size = take_value(&mut i)?
                         .parse()
@@ -228,6 +290,17 @@ impl Conf {
                     conf.max_names = take_value(&mut i)?
                         .parse()
                         .map_err(|_| ConfError("bad --max-names".into()))?;
+                }
+                "--workload" => {
+                    conf.workload = match take_value(&mut i)?.as_str() {
+                        "lines" | "input" => Workload::Lines,
+                        "ct-corpus" => Workload::CtCorpus,
+                        other => return Err(ConfError(format!("unknown workload {other:?}"))),
+                    };
+                }
+                "--static-split" => conf.static_split = true,
+                "--cookie-secret" => {
+                    conf.resolver.cookie_secret = Some(parse_cookie_secret(&take_value(&mut i)?)?);
                 }
                 other => return Err(ConfError(format!("unknown flag {other:?}"))),
             }
@@ -245,6 +318,13 @@ impl Conf {
                 servers: name_servers,
             }
         };
+        if conf.workload == Workload::CtCorpus && conf.max_names == 0 {
+            return Err(ConfError(
+                "--workload ct-corpus needs --max-names N (the corpus is \
+                 unbounded; pick how many fqdns to stream)"
+                    .into(),
+            ));
+        }
         // Default timeouts favour scanning: tighter than stub-resolver
         // defaults, looser than LAN assumptions.
         if conf.resolver.iteration_timeout == 0 {
@@ -257,11 +337,22 @@ impl Conf {
     /// scan's budget — drivers running in parallel split it with
     /// [`PacerConfig::split`]).
     pub fn pacer_config(&self) -> PacerConfig {
+        let defaults = PacerConfig::default();
         PacerConfig {
             rate_pps: self.rate_pps,
             per_host_pps: self.per_host_pps,
             backoff: self.backoff,
-            ..PacerConfig::default()
+            backoff_base: if self.backoff_base > 0 {
+                self.backoff_base
+            } else {
+                defaults.backoff_base
+            },
+            backoff_cap: if self.backoff_cap > 0 {
+                self.backoff_cap
+            } else {
+                defaults.backoff_cap
+            },
+            ..defaults
         }
     }
 
@@ -372,6 +463,63 @@ mod tests {
         assert!(!default.real);
         assert_eq!(default.max_in_flight, 0, "0 = derive from --threads");
         assert!(Conf::parse(["A", "--max-in-flight", "x"]).is_err());
+    }
+
+    #[test]
+    fn workload_flag() {
+        let conf = Conf::parse(["A", "--workload", "ct-corpus", "--max-names", "500"]).unwrap();
+        assert_eq!(conf.workload, Workload::CtCorpus);
+        assert_eq!(conf.max_names, 500);
+        let default = Conf::parse(["A"]).unwrap();
+        assert_eq!(default.workload, Workload::Lines);
+        assert!(
+            Conf::parse(["A", "--workload", "ct-corpus"]).is_err(),
+            "corpus workload requires --max-names"
+        );
+        assert!(Conf::parse(["A", "--workload", "bogus"]).is_err());
+    }
+
+    #[test]
+    fn backoff_tuning_flags() {
+        let conf = Conf::parse(["A", "--backoff-base", "0.5", "--backoff-cap", "2"]).unwrap();
+        assert!(conf.backoff, "tuning a penalty implies --backoff");
+        let pc = conf.pacer_config();
+        assert_eq!(pc.backoff_base, 500 * MILLIS);
+        assert_eq!(pc.backoff_cap, 2 * SECONDS);
+        let defaults = Conf::parse(["A", "--backoff"]).unwrap().pacer_config();
+        assert_eq!(defaults.backoff_base, PacerConfig::default().backoff_base);
+        assert_eq!(defaults.backoff_cap, PacerConfig::default().backoff_cap);
+    }
+
+    #[test]
+    fn static_split_flag() {
+        assert!(
+            !Conf::parse(["A"]).unwrap().static_split,
+            "shared is default"
+        );
+        assert!(Conf::parse(["A", "--static-split"]).unwrap().static_split);
+    }
+
+    #[test]
+    fn cookie_secret_flag() {
+        let hex =
+            Conf::parse(["A", "--cookie-secret", "000102030405060708090a0b0c0d0e0f"]).unwrap();
+        assert_eq!(
+            hex.resolver.cookie_secret,
+            Some([0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15])
+        );
+        let phrase = Conf::parse(["A", "--cookie-secret", "hunter2"]).unwrap();
+        let again = Conf::parse(["A", "--cookie-secret", "hunter2"]).unwrap();
+        assert_eq!(phrase.resolver.cookie_secret, again.resolver.cookie_secret);
+        assert_ne!(phrase.resolver.cookie_secret, hex.resolver.cookie_secret);
+        let secret = phrase.resolver.cookie_secret.unwrap();
+        assert_ne!(secret[..8], secret[8..], "rounds use distinct seeds");
+        assert!(Conf::parse(["A", "--cookie-secret", ""]).is_err());
+        assert_eq!(
+            Conf::parse(["A"]).unwrap().resolver.cookie_secret,
+            None,
+            "default derivation unchanged"
+        );
     }
 
     #[test]

@@ -9,9 +9,12 @@
 
 pub mod conf;
 pub mod output;
+pub mod pipeline;
 pub mod runner;
 
-pub use conf::{Conf, ConfError, OutputGroup};
+pub use conf::{Conf, ConfError, OutputGroup, Workload};
+pub use output::{CallbackSink, JsonlSink, OutputSink};
+pub use pipeline::{run_scan_pipeline, AdmissionMode};
 pub use runner::{
     resolver_for, run_real_scan, run_sim_scan, run_sim_scan_with, RealScanReport, CLOUDFLARE_DNS,
     GOOGLE_DNS,

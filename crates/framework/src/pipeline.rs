@@ -1,0 +1,285 @@
+//! The shared-queue scan pipeline.
+//!
+//! One orchestration layer drives every real-socket scan:
+//!
+//! ```text
+//!   InputSource ──► shared input queue ──► reactor workers ──► output queue ──► OutputSink
+//!   (file/stdin/       (bounded; every      │  lease admission     (bounded:       (JSONL with a
+//!    ct-corpus          worker steals       │  credits + pacing    a slow sink      reusable buffer,
+//!    generator,         the next name)      │  budget from the     throttles        or a callback)
+//!    streaming)                             ▼  scan-wide pools     admission)
+//!                                      CreditPool + SharedPacer
+//! ```
+//!
+//! The pre-pipeline design split the admission window and the pacing
+//! budgets *statically* across workers (`total / workers` each), so a
+//! worker whose destinations were all serving backoff penalties
+//! stranded its slice of the window while its siblings queued. Here the
+//! window is a scan-wide [`CreditPool`]: workers lease one credit per
+//! active lookup, park lookups whose every send is waiting out a
+//! backoff penalty (returning the credits), and pull — steal — the next
+//! pending input from the shared queue whenever they hold capacity,
+//! wherever that capacity was nominally "assigned". The pacing budgets
+//! are likewise one scan-wide [`SharedPacer`] rather than per-worker
+//! slices. `--static-split` keeps the old behaviour as an A/B lever;
+//! `bench_reactor` measures both and `tests/scan_pipeline.rs` asserts
+//! the stranded-window recovery.
+//!
+//! Both ends stream: an [`InputSource`] is pulled one name at a time
+//! (a 234M-name corpus is a generator, never a `Vec`), and outputs
+//! cross a *bounded* queue to a single writer thread that serializes
+//! through one reusable buffer — a sink that cannot keep up blocks the
+//! queue, which blocks the workers' completion path, which throttles
+//! admission: memory stays flat and the input is simply consumed more
+//! slowly.
+
+use std::collections::HashMap;
+use std::net::{Ipv4Addr, UdpSocket};
+use std::sync::Arc;
+
+use crossbeam::channel;
+use parking_lot::Mutex;
+use zdns_core::{
+    AddrMap, Admission, CreditPool, Driver, DriverReport, Pacer, PacerConfig, Reactor,
+    ReactorConfig, Resolver, SharedPacer,
+};
+use zdns_modules::{LookupModule, ModuleOutput, ModuleSink};
+use zdns_netsim::InputSource;
+
+use crate::conf::Conf;
+use crate::output::OutputSink;
+use crate::runner::{real_worker_count, RealScanReport};
+
+/// How the scan divides its admission window and pacing budgets across
+/// reactor workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdmissionMode {
+    /// Scan-wide pools, leased dynamically (work stealing); the default.
+    #[default]
+    SharedQueue,
+    /// A fixed `total / workers` slice each (the pre-pipeline design,
+    /// kept for A/B runs via `--static-split`).
+    StaticSplit,
+}
+
+impl AdmissionMode {
+    /// The mode a configuration asks for.
+    pub fn from_conf(conf: &Conf) -> AdmissionMode {
+        if conf.static_split {
+            AdmissionMode::StaticSplit
+        } else {
+            AdmissionMode::SharedQueue
+        }
+    }
+}
+
+/// Run a real-socket scan: names stream from `source` through the shared
+/// input queue into a pool of reactor workers, and every output crosses
+/// the bounded output queue into `sink` on one writer thread. See the
+/// module docs for the full picture; [`crate::runner::run_real_scan`] is
+/// the callback-shaped convenience wrapper.
+pub fn run_scan_pipeline(
+    conf: &Conf,
+    resolver: &Resolver,
+    module: Arc<dyn LookupModule>,
+    addr_map: Arc<AddrMap>,
+    source: &mut dyn InputSource,
+    sink: &mut dyn OutputSink,
+) -> RealScanReport {
+    let total_window = if conf.max_in_flight > 0 {
+        conf.max_in_flight
+    } else {
+        conf.threads.max(1)
+    };
+    // Never spawn more workers than the window allows: the aggregate
+    // active cap must not exceed what the user asked for (a polite
+    // scanner's rate contract).
+    let workers = real_worker_count(conf).min(total_window);
+    let mode = AdmissionMode::from_conf(conf);
+    let started = std::time::Instant::now();
+    let mut report = RealScanReport {
+        workers,
+        ..RealScanReport::default()
+    };
+
+    // Bind every worker socket up front so startup failures surface
+    // immediately (a worker that dies silently can deadlock a bounded
+    // input channel).
+    let mut sockets = Vec::new();
+    for i in 0..workers {
+        match UdpSocket::bind((Ipv4Addr::UNSPECIFIED, 0)) {
+            Ok(socket) => sockets.push(socket),
+            Err(e) => report
+                .worker_errors
+                .push(format!("worker {i}: socket bind failed: {e}")),
+        }
+    }
+    if sockets.is_empty() {
+        report.elapsed = started.elapsed();
+        return report;
+    }
+    let workers = sockets.len();
+    report.workers = workers;
+
+    // The scan-wide pools every worker leases from (shared mode): the
+    // admission window as credits, the pacing budgets as one pacer.
+    let pacer_config = conf.pacer_config();
+    let credit_pool: Option<Arc<CreditPool>> = match mode {
+        AdmissionMode::SharedQueue => Some(Arc::new(CreditPool::new(total_window))),
+        AdmissionMode::StaticSplit => None,
+    };
+    let shared_pacer: Option<SharedPacer> = match mode {
+        AdmissionMode::SharedQueue if pacer_config.enabled() => {
+            Some(Arc::new(Mutex::new(Pacer::new(pacer_config.clone()))))
+        }
+        _ => None,
+    };
+
+    // The shared input queue (every worker steals from the same bounded
+    // channel) and the bounded output queue (backpressure).
+    let (input_tx, input_rx) = channel::bounded::<String>(total_window.max(workers * 4));
+    let output_cap = (total_window * 2).max(64);
+    let (output_tx, output_rx) = channel::bounded::<ModuleOutput>(output_cap);
+
+    // One clock epoch for every worker: the shared pacer stores absolute
+    // release/penalty times, so workers reading each other's backoff
+    // state must agree on what "now" means regardless of spawn skew.
+    let epoch = std::time::Instant::now();
+    let stats_before = resolver.core().stats.snapshot();
+    let merged: Arc<Mutex<(HashMap<String, u64>, DriverReport)>> =
+        Arc::new(Mutex::new((HashMap::new(), DriverReport::default())));
+    let startup_errors: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+    let mut writer_stats = (0usize, 0u64);
+
+    std::thread::scope(|scope| {
+        let base_window = total_window / workers;
+        let extra = total_window % workers;
+        for (worker_idx, socket) in sockets.into_iter().enumerate() {
+            let static_window = (base_window + usize::from(worker_idx < extra)).max(1);
+            let input_rx = input_rx.clone();
+            let output_tx = output_tx.clone();
+            let module = Arc::clone(&module);
+            let resolver = resolver.clone();
+            let addr_map = Arc::clone(&addr_map);
+            let merged = Arc::clone(&merged);
+            let startup_errors = Arc::clone(&startup_errors);
+            let credit_pool = credit_pool.clone();
+            let shared_pacer = shared_pacer.clone();
+            let batch_size = if conf.batch_size > 0 {
+                conf.batch_size
+            } else {
+                ReactorConfig::default().batch_size
+            };
+            let (window, pacer) = match mode {
+                // Any single worker may absorb the whole window when its
+                // siblings' destinations are stranded in backoff; its own
+                // pacer stays disabled because the shared one gates sends.
+                AdmissionMode::SharedQueue => (total_window, PacerConfig::default()),
+                AdmissionMode::StaticSplit => (static_window, pacer_config.split(workers)),
+            };
+            scope.spawn(move || {
+                let config = ReactorConfig {
+                    max_in_flight: window,
+                    pacer,
+                    batch_size,
+                    // Parked (fully backed-off) lookups cost slots but no
+                    // window; allow a few windows' worth per worker so
+                    // backoff cannot choke admission, while still
+                    // bounding what a dead-Internet scan can pin.
+                    max_parked: window.saturating_mul(4),
+                    epoch: Some(epoch),
+                    ..ReactorConfig::default()
+                };
+                // One long-lived socket per worker (§3.4), shared by every
+                // lookup the worker has in flight.
+                let mut reactor = match Reactor::from_socket(socket, config, addr_map) {
+                    Ok(reactor) => reactor,
+                    Err(e) => {
+                        // Record the death; dropping this worker's input_rx
+                        // clone is what lets the feeding loop fail fast when
+                        // every worker dies.
+                        startup_errors
+                            .lock()
+                            .push(format!("worker {worker_idx}: reactor start failed: {e}"));
+                        return;
+                    }
+                };
+                if let Some(pool) = credit_pool {
+                    reactor.set_credit_pool(pool, static_window);
+                }
+                if let Some(pacer) = shared_pacer {
+                    reactor.set_shared_pacer(pacer);
+                }
+                let sink: ModuleSink = Arc::new(move |o| {
+                    // A full output queue blocks here — inside lookup
+                    // completion — which stalls this worker's admission:
+                    // the slow-sink backpressure path.
+                    let _ = output_tx.send(o);
+                });
+                let mut statuses: HashMap<&'static str, u64> = HashMap::new();
+                let mut feed = || match input_rx.try_recv() {
+                    Ok(input) => {
+                        Admission::Admit(module.make_machine(&input, &resolver, sink.clone()))
+                    }
+                    Err(channel::TryRecvError::Empty) => Admission::Later,
+                    Err(channel::TryRecvError::Disconnected) => Admission::Exhausted,
+                };
+                let mut on_done = |outcome: Option<zdns_netsim::JobOutcome>| {
+                    let status = outcome.map(|o| o.status).unwrap_or("ERROR");
+                    *statuses.entry(status).or_insert(0) += 1;
+                };
+                let driver_report = reactor.run_scan(&mut feed, &mut on_done);
+                let mut merged = merged.lock();
+                for (status, n) in statuses {
+                    *merged.0.entry(status.to_string()).or_insert(0) += n;
+                }
+                merged.1.merge(&driver_report);
+            });
+        }
+        drop(output_tx);
+        // The parent must not hold a receiver: once every worker is gone,
+        // sends below error out instead of deadlocking on a full channel.
+        drop(input_rx);
+        // One writer thread owns the sink: outputs drain while inputs
+        // feed in, and the queue's depth is observable as backpressure
+        // telemetry.
+        let writer = scope.spawn(move || {
+            let mut peak_queue = 0usize;
+            let mut errors = 0u64;
+            while let Ok(output) = output_rx.recv() {
+                // The message in hand plus whatever is still queued.
+                peak_queue = peak_queue.max(output_rx.len() + 1);
+                if sink.write_output(output).is_err() {
+                    // Keep draining so workers never block on a dead
+                    // sink; the error count surfaces in the report.
+                    errors += 1;
+                }
+            }
+            let _ = sink.flush();
+            (peak_queue, errors)
+        });
+        while let Some(name) = source.next_name() {
+            if input_tx.send(name).is_err() {
+                break;
+            }
+        }
+        drop(input_tx);
+        writer_stats = writer.join().unwrap_or((0, 0));
+    });
+
+    let stats_after = resolver.core().stats.snapshot();
+    let merged = Arc::try_unwrap(merged)
+        .map(Mutex::into_inner)
+        .unwrap_or_else(|arc| arc.lock().clone());
+    report.worker_errors.extend(startup_errors.lock().drain(..));
+    report.status_counts = merged.0;
+    report.driver = merged.1;
+    report.lookups = report.driver.completed;
+    report.successes = report.driver.successes;
+    report.queries_sent = stats_after.queries_sent - stats_before.queries_sent;
+    report.retries = stats_after.retries - stats_before.retries;
+    report.peak_output_queue = writer_stats.0;
+    report.sink_errors = writer_stats.1;
+    report.elapsed = started.elapsed();
+    report
+}

@@ -1,31 +1,33 @@
 //! Scan orchestration.
 //!
-//! Two drivers around the same module machines:
+//! Two drivers around the same module machines, fed through the same
+//! streaming input layer ([`zdns_netsim::InputSource`]):
 //!
 //! * [`run_sim_scan`] — hands machines to the discrete-event engine, one
 //!   per lookup routine, against a simulated Internet. This is how the
 //!   paper-scale experiments run.
-//! * [`run_real_scan`] — a small pool of reactor workers, each owning one
-//!   long-lived non-blocking UDP socket and multiplexing hundreds of
-//!   in-flight lookup machines over it (the paper's event-driven
-//!   architecture: concurrency comes from in-flight lookups, not OS
-//!   threads). The admission window is `--max-in-flight`.
+//! * [`run_real_scan`] — the callback-shaped wrapper over
+//!   [`crate::pipeline::run_scan_pipeline`]: a small pool of reactor
+//!   workers, each owning one long-lived non-blocking UDP socket and
+//!   multiplexing hundreds of in-flight lookup machines over it (the
+//!   paper's event-driven architecture: concurrency comes from in-flight
+//!   lookups, not OS threads). The `--max-in-flight` admission window is
+//!   a scan-wide credit pool the workers lease from (see the pipeline
+//!   module docs); `--static-split` reverts to fixed per-worker slices.
 
 use std::collections::HashMap;
-use std::net::{Ipv4Addr, UdpSocket};
+use std::net::Ipv4Addr;
 use std::sync::Arc;
 
-use crossbeam::channel;
 use parking_lot::Mutex;
-use zdns_core::{
-    AddrMap, Admission, Driver, DriverReport, Pacer, Reactor, ReactorConfig, Resolver,
-    ResolverConfig,
-};
+use zdns_core::{AddrMap, DriverReport, Pacer, Resolver, ResolverConfig};
 use zdns_modules::{LookupModule, ModuleOutput, ModuleSink};
 use zdns_netsim::{Engine, EngineConfig, PublicResolverConfig, PublicResolverSim, RunReport};
 use zdns_zones::Universe;
 
 use crate::conf::Conf;
+use crate::output::CallbackSink;
+use crate::pipeline::run_scan_pipeline;
 
 /// Well-known simulated public resolver addresses.
 pub const GOOGLE_DNS: Ipv4Addr = Ipv4Addr::new(8, 8, 8, 8);
@@ -97,9 +99,10 @@ where
     let sink: ModuleSink = Arc::new(move |o| (callback.lock())(o));
     let resolver = resolver.clone();
     let mut inputs = inputs;
-    engine.run(move || {
-        let input = inputs.next()?;
-        Some(module.make_machine(&input, &resolver, sink.clone()))
+    // The sim drains the same streaming input layer as the real-socket
+    // pipeline: one InputSource, pulled a name at a time.
+    engine.run_names(&mut inputs, move |input| {
+        module.make_machine(input, &resolver, sink.clone())
     })
 }
 
@@ -125,6 +128,13 @@ pub struct RealScanReport {
     /// Worker startup failures (socket bind errors). A scan that could not
     /// start any worker reports every input as failed here.
     pub worker_errors: Vec<String>,
+    /// Peak outstanding outputs observed by the writer (queued plus the
+    /// one in hand — at most the bounded queue's capacity + 1): the
+    /// backpressure headroom a slow sink consumed.
+    pub peak_output_queue: usize,
+    /// Outputs the sink failed to write (the scan still drains them so
+    /// workers never block on a dead sink).
+    pub sink_errors: u64,
     /// Wall-clock duration.
     pub elapsed: std::time::Duration,
 }
@@ -180,8 +190,19 @@ impl RealScanReport {
         } else {
             String::new()
         };
+        let credits = if self.driver.credit_leases > 0 {
+            format!(
+                ", {} credit leases ({} idle returns, {} stalls), {} inputs stolen",
+                self.driver.credit_leases,
+                self.driver.idle_credit_returns,
+                self.driver.credit_stalls,
+                self.driver.inputs_stolen,
+            )
+        } else {
+            String::new()
+        };
         format!(
-            "zdns: {} lookups, {:.1}% success, {} queries, {} retries, {:.2}s, {:.0} lookups/s, {} workers (peak {} in flight){}{} [{}]",
+            "zdns: {} lookups, {:.1}% success, {} queries, {} retries, {:.2}s, {:.0} lookups/s, {} workers (peak {} in flight){}{}{} [{}]",
             self.lookups,
             self.success_rate() * 100.0,
             self.queries_sent,
@@ -192,6 +213,7 @@ impl RealScanReport {
             self.driver.peak_in_flight,
             pacing,
             batching,
+            credits,
             statuses,
         )
     }
@@ -207,9 +229,9 @@ pub fn real_worker_count(conf: &Conf) -> usize {
     conf.threads.clamp(1, cores.min(8))
 }
 
-/// Run a scan over real sockets: a handful of reactor workers, each
-/// multiplexing up to `max_in_flight / workers` concurrent lookups over
-/// one long-lived UDP socket. Socket bind failures are reported in
+/// Run a scan over real sockets through the shared-queue pipeline
+/// ([`crate::pipeline::run_scan_pipeline`]), collecting outputs with a
+/// callback. Socket bind failures are reported in
 /// [`RealScanReport::worker_errors`]; if no worker can start, the scan
 /// fails fast instead of deadlocking on the input channel.
 pub fn run_real_scan<I>(
@@ -223,144 +245,9 @@ pub fn run_real_scan<I>(
 where
     I: Iterator<Item = String>,
 {
-    let total_window = if conf.max_in_flight > 0 {
-        conf.max_in_flight
-    } else {
-        conf.threads.max(1)
-    };
-    // Never spawn more workers than the window allows, and split the
-    // window exactly: the aggregate in-flight cap must not exceed what
-    // the user asked for (a polite scanner's rate contract).
-    let workers = real_worker_count(conf).min(total_window);
-    let started = std::time::Instant::now();
-    let mut report = RealScanReport {
-        workers,
-        ..RealScanReport::default()
-    };
-
-    // Bind every worker socket up front so startup failures surface
-    // immediately (satellite of the reactor refactor: a worker that dies
-    // silently can deadlock a bounded input channel).
-    let mut sockets = Vec::new();
-    for i in 0..workers {
-        match UdpSocket::bind((Ipv4Addr::UNSPECIFIED, 0)) {
-            Ok(socket) => sockets.push(socket),
-            Err(e) => report
-                .worker_errors
-                .push(format!("worker {i}: socket bind failed: {e}")),
-        }
-    }
-    if sockets.is_empty() {
-        report.elapsed = started.elapsed();
-        return report;
-    }
-    let workers = sockets.len();
-    report.workers = workers;
-
-    let (input_tx, input_rx) = channel::bounded::<String>(total_window.max(workers * 4));
-    let (output_tx, output_rx) = channel::unbounded::<ModuleOutput>();
-    let stats_before = resolver.core().stats.snapshot();
-    let merged: Arc<Mutex<(HashMap<String, u64>, DriverReport)>> =
-        Arc::new(Mutex::new((HashMap::new(), DriverReport::default())));
-    let startup_errors: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
-
-    std::thread::scope(|scope| {
-        let base_window = total_window / workers;
-        let extra = total_window % workers;
-        for (worker_idx, socket) in sockets.into_iter().enumerate() {
-            let per_worker_window = (base_window + usize::from(worker_idx < extra)).max(1);
-            let input_rx = input_rx.clone();
-            let output_tx = output_tx.clone();
-            let module = Arc::clone(&module);
-            let resolver = resolver.clone();
-            let addr_map = Arc::clone(&addr_map);
-            let merged = Arc::clone(&merged);
-            let startup_errors = Arc::clone(&startup_errors);
-            let pacer = conf.pacer_config().split(workers);
-            let batch_size = if conf.batch_size > 0 {
-                conf.batch_size
-            } else {
-                ReactorConfig::default().batch_size
-            };
-            scope.spawn(move || {
-                let config = ReactorConfig {
-                    max_in_flight: per_worker_window,
-                    // Each worker gets an equal slice of the scan-wide
-                    // budgets so the aggregate rate honours the flags.
-                    pacer,
-                    batch_size,
-                    ..ReactorConfig::default()
-                };
-                // One long-lived socket per worker (§3.4), shared by every
-                // lookup the worker has in flight.
-                let mut reactor = match Reactor::from_socket(socket, config, addr_map) {
-                    Ok(reactor) => reactor,
-                    Err(e) => {
-                        // Record the death; dropping this worker's input_rx
-                        // clone is what lets the feeding loop fail fast when
-                        // every worker dies.
-                        startup_errors
-                            .lock()
-                            .push(format!("worker {worker_idx}: reactor start failed: {e}"));
-                        return;
-                    }
-                };
-                let sink: ModuleSink = Arc::new(move |o| {
-                    let _ = output_tx.send(o);
-                });
-                let mut statuses: HashMap<&'static str, u64> = HashMap::new();
-                let mut feed = || match input_rx.try_recv() {
-                    Ok(input) => {
-                        Admission::Admit(module.make_machine(&input, &resolver, sink.clone()))
-                    }
-                    Err(channel::TryRecvError::Empty) => Admission::Later,
-                    Err(channel::TryRecvError::Disconnected) => Admission::Exhausted,
-                };
-                let mut on_done = |outcome: Option<zdns_netsim::JobOutcome>| {
-                    let status = outcome.map(|o| o.status).unwrap_or("ERROR");
-                    *statuses.entry(status).or_insert(0) += 1;
-                };
-                let driver_report = reactor.run_scan(&mut feed, &mut on_done);
-                let mut merged = merged.lock();
-                for (status, n) in statuses {
-                    *merged.0.entry(status.to_string()).or_insert(0) += n;
-                }
-                merged.1.merge(&driver_report);
-            });
-        }
-        drop(output_tx);
-        // The parent must not hold a receiver: once every worker is gone,
-        // sends below error out instead of deadlocking on a full channel.
-        drop(input_rx);
-        // Writer thread drains outputs while inputs feed in.
-        let writer = scope.spawn(move || {
-            let mut on_output = on_output;
-            while let Ok(output) = output_rx.recv() {
-                on_output(output);
-            }
-        });
-        for input in inputs {
-            if input_tx.send(input).is_err() {
-                break;
-            }
-        }
-        drop(input_tx);
-        let _ = writer.join();
-    });
-
-    let stats_after = resolver.core().stats.snapshot();
-    let merged = Arc::try_unwrap(merged)
-        .map(Mutex::into_inner)
-        .unwrap_or_else(|arc| arc.lock().clone());
-    report.worker_errors.extend(startup_errors.lock().drain(..));
-    report.status_counts = merged.0;
-    report.driver = merged.1;
-    report.lookups = report.driver.completed;
-    report.successes = report.driver.successes;
-    report.queries_sent = stats_after.queries_sent - stats_before.queries_sent;
-    report.retries = stats_after.retries - stats_before.retries;
-    report.elapsed = started.elapsed();
-    report
+    let mut inputs = inputs;
+    let mut sink = CallbackSink::new(on_output);
+    run_scan_pipeline(conf, resolver, module, addr_map, &mut inputs, &mut sink)
 }
 
 #[cfg(test)]

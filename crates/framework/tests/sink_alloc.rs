@@ -1,0 +1,78 @@
+//! The streaming sink's zero-alloc property, enforced by the counting
+//! allocator: once its buffer has grown to the high-water mark,
+//! [`zdns_framework::output::write_line`] serializes an output line —
+//! shaping, escaping, number formatting and all — without touching the
+//! allocator, for every field group. This is the serialization half of
+//! the pipeline's per-output cost; [`to_line`] (the one-shot form) is
+//! the allocating path it replaces on the hot loop.
+
+use zdns_core::alloc_count::{thread_allocations, CountingAllocator};
+use zdns_core::Status;
+use zdns_framework::output::{to_line, write_line};
+use zdns_framework::OutputGroup;
+use zdns_modules::ModuleOutput;
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+fn referral_sized_output() -> ModuleOutput {
+    ModuleOutput {
+        name: "stream.sink.test".into(),
+        module: "A",
+        status: Status::NoError,
+        data: serde_json::json!({
+            "answers": [
+                {"answer": "192.0.2.1", "type": "A", "ttl": 300},
+                {"answer": "192.0.2.2", "type": "A", "ttl": 300},
+                {"answer": "192.0.2.3", "type": "A", "ttl": 300},
+            ],
+            "additionals": [{"answer": "198.51.100.1", "type": "A"}],
+            "flags": {"authoritative": true, "recursion_available": false},
+            "resolver": "203.0.113.7:53",
+            "protocol": "udp",
+        }),
+        trace: vec![
+            serde_json::json!({"depth": 1, "zone": ".", "cached": false}),
+            serde_json::json!({"depth": 2, "zone": "test.", "cached": true}),
+        ],
+    }
+}
+
+#[test]
+fn write_line_is_allocation_free_once_warm() {
+    let output = referral_sized_output();
+    let mut buf = String::new();
+    for group in [
+        OutputGroup::Short,
+        OutputGroup::Normal,
+        OutputGroup::Long,
+        OutputGroup::Trace,
+    ] {
+        // Warm the buffer to this group's line length.
+        for _ in 0..4 {
+            write_line(&output, group, &mut buf);
+        }
+        let before = thread_allocations();
+        for _ in 0..1_000 {
+            write_line(&output, group, &mut buf);
+        }
+        let allocs = thread_allocations() - before;
+        assert_eq!(
+            allocs, 0,
+            "{group:?}: write_line allocated {allocs} times over 1000 lines"
+        );
+        // And it still produces exactly the one-shot rendering.
+        assert_eq!(buf, to_line(&output, group), "{group:?}");
+    }
+}
+
+#[test]
+fn one_shot_to_line_allocates_as_expected() {
+    // Sanity check on the measurement itself: the allocating path must
+    // register against the same counter the zero-alloc claim uses.
+    let output = referral_sized_output();
+    let before = thread_allocations();
+    let line = to_line(&output, OutputGroup::Trace);
+    assert!(thread_allocations() - before > 0);
+    assert!(line.contains("stream.sink.test"));
+}

@@ -62,6 +62,14 @@ pub trait LookupModule: Send + Sync {
         resolver: &Resolver,
         sink: ModuleSink,
     ) -> Box<dyn SimClient>;
+    /// True when every destination this module queries comes from its
+    /// *input lines* (e.g. `PROBE`'s `name@ip`, `BINDVERSION`'s bare
+    /// IPs) rather than from the resolver's mode — such modules run
+    /// `--real` without `--name-servers` and never touch the simulated
+    /// root hints.
+    fn input_addressed(&self) -> bool {
+        false
+    }
 }
 
 /// A sub-lookup inside a module machine: wraps an inner machine and captures

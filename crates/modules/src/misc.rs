@@ -65,6 +65,10 @@ impl LookupModule for BindVersionModule {
         "query version.bind (CHAOS TXT) against a server"
     }
 
+    fn input_addressed(&self) -> bool {
+        true
+    }
+
     fn make_machine(
         &self,
         input: &str,
@@ -87,6 +91,111 @@ impl LookupModule for BindVersionModule {
         Box::new(BindVersionMachine {
             inner: Inner::direct(resolver, question, server, false),
             input: input.to_string(),
+            sink,
+        })
+    }
+}
+
+/// `PROBE`: one direct query per input line, with the destination pinned
+/// *by the input* — `name@ip` probes `ip` for `name`'s A record (RD=0),
+/// `name@ip#TYPE` picks another record type. The building block for
+/// per-server reachability sweeps, and what the scan-pipeline tests use
+/// to give each lookup its own destination.
+pub struct ProbeModule;
+
+struct ProbeMachine {
+    inner: Inner,
+    input: String,
+    server: std::net::Ipv4Addr,
+    sink: ModuleSink,
+}
+
+impl ProbeMachine {
+    fn finish(&mut self, result: zdns_core::LookupResult) -> StepStatus {
+        let json = result.to_json();
+        let mut data = json["data"].clone();
+        if let Some(obj) = data.as_object_mut() {
+            obj.insert("server".to_string(), json!(self.server.to_string()));
+        }
+        emit(
+            &self.sink,
+            &self.input,
+            "PROBE",
+            result.status,
+            data,
+            trace_json(&result),
+        )
+    }
+}
+
+impl SimClient for ProbeMachine {
+    fn start(&mut self, now: SimTime, out: &mut Vec<OutQuery>) -> StepStatus {
+        match self.inner.start(now, out) {
+            Some(result) => self.finish(result),
+            None => StepStatus::Running,
+        }
+    }
+
+    fn on_event(
+        &mut self,
+        event: ClientEvent,
+        now: SimTime,
+        out: &mut Vec<OutQuery>,
+    ) -> StepStatus {
+        match self.inner.on_event(event, now, out) {
+            Some(result) => self.finish(result),
+            None => StepStatus::Running,
+        }
+    }
+}
+
+impl LookupModule for ProbeModule {
+    fn name(&self) -> &'static str {
+        "PROBE"
+    }
+
+    fn description(&self) -> &'static str {
+        "direct query of the server named by the input (name@ip[#TYPE])"
+    }
+
+    fn input_addressed(&self) -> bool {
+        true
+    }
+
+    fn make_machine(
+        &self,
+        input: &str,
+        resolver: &Resolver,
+        sink: ModuleSink,
+    ) -> Box<dyn SimClient> {
+        let fail = |sink| {
+            Box::new(FailMachine {
+                input: input.to_string(),
+                module: "PROBE",
+                status: Status::IllegalInput,
+                sink,
+            }) as Box<dyn SimClient>
+        };
+        let Some((name_part, rest)) = input.trim().split_once('@') else {
+            return fail(sink);
+        };
+        let (server_part, qtype) = match rest.split_once('#') {
+            Some((server, rtype)) => match rtype.parse::<RecordType>() {
+                Ok(t) => (server, t),
+                Err(_) => return fail(sink),
+            },
+            None => (rest, RecordType::A),
+        };
+        let Ok(server) = server_part.trim().parse::<std::net::Ipv4Addr>() else {
+            return fail(sink);
+        };
+        let Some(name) = crate::api::input_to_name(name_part, false) else {
+            return fail(sink);
+        };
+        Box::new(ProbeMachine {
+            inner: Inner::direct(resolver, Question::new(name, qtype), server, false),
+            input: input.to_string(),
+            server,
             sink,
         })
     }

@@ -8,7 +8,7 @@ use crate::all_nameservers::AllNameserversModule;
 use crate::alookup::ALookupModule;
 use crate::api::LookupModule;
 use crate::caalookup::CaaLookupModule;
-use crate::misc::{BindVersionModule, NsLookupModule};
+use crate::misc::{BindVersionModule, NsLookupModule, ProbeModule};
 use crate::mxlookup::MxLookupModule;
 use crate::raw::RawModule;
 use crate::txtfilter;
@@ -38,6 +38,7 @@ impl ModuleRegistry {
         r.register(Arc::new(NsLookupModule::default()));
         r.register(Arc::new(CaaLookupModule));
         r.register(Arc::new(BindVersionModule));
+        r.register(Arc::new(ProbeModule));
         r.register(Arc::new(AllNameserversModule::default()));
         r.register(Arc::new(txtfilter::spf()));
         r.register(Arc::new(txtfilter::dmarc()));

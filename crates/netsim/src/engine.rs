@@ -432,6 +432,18 @@ impl Engine {
         (self.config.per_packet_cpu_us * MICROS) / self.config.cores.max(1) as u64
     }
 
+    /// Run one machine per name pulled from a streaming
+    /// [`crate::InputSource`] — the same input layer the real-socket scan
+    /// pipeline drains, so simulated and real scans are fed identically
+    /// and paper-scale generated workloads never materialize a name set.
+    pub fn run_names(
+        &mut self,
+        source: &mut dyn crate::InputSource,
+        mut make: impl FnMut(&str) -> Box<dyn SimClient>,
+    ) -> RunReport {
+        self.run(move || source.next_name().map(|name| make(&name)))
+    }
+
     /// Run jobs from `source` until it is exhausted and all slots drain.
     pub fn run(&mut self, mut source: impl FnMut() -> Option<Box<dyn SimClient>>) -> RunReport {
         let effective_threads = self

@@ -1,0 +1,57 @@
+//! Streaming scan input.
+//!
+//! Every execution mode drains its names through one [`InputSource`]:
+//! the discrete-event engine ([`crate::Engine::run_names`]), the
+//! real-socket scan pipeline in `zdns-framework`, and anything a test
+//! wants to hand-roll. The trait is deliberately tiny — *pull one name*
+//! — so inputs stay streaming end to end: a 234M-name CT corpus is a
+//! generator, a file is a line iterator, and neither is ever
+//! materialized into a `Vec`.
+
+/// A streaming source of scan inputs (one name per pull).
+pub trait InputSource {
+    /// The next input, or `None` when the source is exhausted (for
+    /// good — sources are not restartable).
+    fn next_name(&mut self) -> Option<String>;
+
+    /// How many names this source expects to yield in total, when known
+    /// up front (generators know; stdin does not). Advisory, for
+    /// progress reporting only.
+    fn size_hint(&self) -> Option<u64> {
+        None
+    }
+}
+
+/// Any string iterator is an input source, so `Vec::into_iter()`,
+/// line-reader chains, and corpus generators all plug in directly.
+impl<T: Iterator<Item = String>> InputSource for T {
+    fn next_name(&mut self) -> Option<String> {
+        self.next()
+    }
+
+    fn size_hint(&self) -> Option<u64> {
+        let (lo, hi) = Iterator::size_hint(self);
+        hi.filter(|hi| *hi == lo).map(|n| n as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iterators_are_sources() {
+        let mut source: Box<dyn InputSource> =
+            Box::new(vec!["a.test".to_string(), "b.test".to_string()].into_iter());
+        assert_eq!(source.size_hint(), Some(2));
+        assert_eq!(source.next_name().as_deref(), Some("a.test"));
+        assert_eq!(source.next_name().as_deref(), Some("b.test"));
+        assert_eq!(source.next_name(), None);
+    }
+
+    #[test]
+    fn unbounded_iterators_have_no_hint() {
+        let source = std::iter::repeat_with(|| "x.test".to_string());
+        assert_eq!(InputSource::size_hint(&source), None);
+    }
+}

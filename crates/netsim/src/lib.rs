@@ -9,6 +9,7 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod input;
 pub mod latency;
 #[cfg(any(target_os = "linux", target_os = "android"))]
 pub mod mmsg;
@@ -22,6 +23,7 @@ pub use engine::{
     estimate_size, ClientEvent, Engine, EngineConfig, GcModel, JobOutcome, OutQuery, Protocol,
     RunReport, SimClient, StepStatus,
 };
+pub use input::InputSource;
 #[cfg(any(target_os = "linux", target_os = "android"))]
 pub use mmsg::MmsgScratch;
 pub use ratelimit::TokenBucket;

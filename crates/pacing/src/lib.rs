@@ -14,6 +14,10 @@
 
 #![warn(missing_docs)]
 
+mod credit;
+
+pub use credit::CreditPool;
+
 use std::net::Ipv4Addr;
 
 /// Nanoseconds — wall-clock or virtual, callers decide.

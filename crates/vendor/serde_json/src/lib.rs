@@ -12,7 +12,7 @@ mod parse;
 mod value;
 
 pub use map::Map;
-pub use value::{Number, Value};
+pub use value::{write_escaped, Number, Value};
 
 /// Serialization error (the rendering paths here are infallible, but the
 /// real crate's signatures return `Result`, so callers unwrap).

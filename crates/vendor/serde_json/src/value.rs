@@ -527,7 +527,11 @@ impl PartialEq<Value> for &str {
 // Rendering
 // ---------------------------------------------------------------------------
 
-fn write_escaped(s: &str, out: &mut impl std::fmt::Write) -> std::fmt::Result {
+/// Write `s` as a JSON string literal (quoted, escaped) into `out` —
+/// the exact escaping the compact `Display` rendering uses, exposed so
+/// streaming serializers can compose object syntax around borrowed
+/// fields without building an intermediate [`Value`].
+pub fn write_escaped(s: &str, out: &mut impl std::fmt::Write) -> std::fmt::Result {
     out.write_char('"')?;
     for c in s.chars() {
         match c {

@@ -116,6 +116,21 @@ impl CtCorpus {
         (0..n).map(|i| self.base_domain(i))
     }
 
+    /// Consume the corpus into an owning streaming generator of its
+    /// first `n` fqdns — the form scan pipelines plug in as an input
+    /// source (`--workload ct-corpus`): names are generated one pull at
+    /// a time, so a paper-scale run never materializes the set.
+    pub fn into_stream(self, n: u64) -> CorpusStream {
+        let per_base = self.fqdns_for_base(0);
+        CorpusStream {
+            corpus: self,
+            base: 0,
+            sub: 0,
+            per_base,
+            remaining: n,
+        }
+    }
+
     /// Generate a sample and measure its Table 3 shape.
     pub fn stats(&self, sample_fqdns: u64) -> CorpusStats {
         let mut stats = CorpusStats::default();
@@ -165,12 +180,64 @@ impl CtCorpus {
     }
 }
 
+/// An owning streaming generator over a corpus's fqdns, in corpus order
+/// (identical to [`CtCorpus::fqdns`], but self-contained so it can be
+/// boxed into a scan pipeline's input slot and sent across threads).
+pub struct CorpusStream {
+    corpus: CtCorpus,
+    base: u64,
+    sub: u64,
+    per_base: u64,
+    remaining: u64,
+}
+
+impl CorpusStream {
+    /// Names this stream has left to yield.
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+}
+
+impl Iterator for CorpusStream {
+    type Item = String;
+
+    fn next(&mut self) -> Option<String> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        if self.sub >= self.per_base {
+            self.base += 1;
+            self.sub = 0;
+            self.per_base = self.corpus.fqdns_for_base(self.base);
+        }
+        let out = self.corpus.fqdn(self.base, self.sub);
+        self.sub += 1;
+        Some(out)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.remaining as usize;
+        (n, Some(n))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn corpus() -> CtCorpus {
         CtCorpus::new(0x5DA5_2D45, 486, 1211)
+    }
+
+    #[test]
+    fn stream_matches_borrowed_iterator() {
+        let borrowed: Vec<String> = corpus().fqdns(5_000).collect();
+        let streamed: Vec<String> = corpus().into_stream(5_000).collect();
+        assert_eq!(borrowed, streamed);
+        let stream = corpus().into_stream(42);
+        assert_eq!(stream.remaining(), 42);
+        assert_eq!(stream.size_hint(), (42, Some(42)));
     }
 
     #[test]

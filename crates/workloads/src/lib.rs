@@ -11,5 +11,5 @@ pub mod corpus;
 pub mod ipv4;
 
 pub use categories::{categorize, DomainCategory, ALL_CATEGORIES};
-pub use corpus::{CorpusStats, CtCorpus};
+pub use corpus::{CorpusStats, CorpusStream, CtCorpus};
 pub use ipv4::{public_ipv4_count, Ipv4Walk};
