@@ -159,6 +159,20 @@ pub struct DriverReport {
     /// inputs effectively stolen from a sibling that was not using its
     /// slice.
     pub inputs_stolen: u64,
+    /// The resolved I/O backend name (`"syscall"`, `"mmsg"`, `"uring"`;
+    /// empty for drivers without a batch layer).
+    pub io_backend: &'static str,
+    /// io_uring SQEs the kernel consumed (zero off the uring backend).
+    pub ring_sqes: u64,
+    /// `io_uring_enter` syscalls issued. `ring_sqes / ring_enters` is the
+    /// realized ring batching factor, the uring analogue of
+    /// `datagrams_sent / send_syscalls`.
+    pub ring_enters: u64,
+    /// Non-empty CQ reaps (each drains every pending completion).
+    pub cqe_batches: u64,
+    /// Flushes stalled by a full SQ ring (the unsubmitted suffix was
+    /// requeued in order).
+    pub sq_full_stalls: u64,
 }
 
 impl DriverReport {
@@ -192,6 +206,13 @@ impl DriverReport {
         self.idle_credit_returns += other.idle_credit_returns;
         self.credit_stalls += other.credit_stalls;
         self.inputs_stolen += other.inputs_stolen;
+        if self.io_backend.is_empty() {
+            self.io_backend = other.io_backend;
+        }
+        self.ring_sqes += other.ring_sqes;
+        self.ring_enters += other.ring_enters;
+        self.cqe_batches += other.cqe_batches;
+        self.sq_full_stalls += other.sq_full_stalls;
     }
 }
 

@@ -54,7 +54,9 @@ use crate::driver::{Admission, Driver, DriverReport};
 use crate::pacer::{Pacer, PacerConfig, SharedPacer};
 use crate::resolver::AddrMap;
 use crate::transport::readiness;
-use crate::transport::{blocking_tcp_exchange, BatchIo, BatchSendStatus, SendSlot, TransportError};
+use crate::transport::{
+    blocking_tcp_exchange, BatchIo, BatchSendStatus, IoBackend, SendSlot, TransportError,
+};
 
 /// Tunables for one reactor.
 #[derive(Debug, Clone)]
@@ -79,6 +81,11 @@ pub struct ReactorConfig {
     /// arena pre-allocates this many buffers for `recvmmsg`. `1` forces
     /// the per-datagram `send_to`/`recv_from` path.
     pub batch_size: usize,
+    /// Which syscall strategy drives the hot path: per-datagram, vectored
+    /// `sendmmsg`/`recvmmsg`, or io_uring rings. The default ([`IoBackend::Auto`])
+    /// takes the best one the running kernel supports; unavailable
+    /// choices degrade cleanly (uring → mmsg → per-datagram).
+    pub io_backend: IoBackend,
     /// Decode every received datagram into an owned [`Message`] instead of
     /// stepping machines on a borrowed [`MessageView`] over the arena.
     /// The view path is the default; this fallback exists for A/B
@@ -116,6 +123,7 @@ impl Default for ReactorConfig {
             wheel_granularity: 4 * MILLIS,
             pacer: PacerConfig::default(),
             batch_size: DEFAULT_BATCH_SIZE,
+            io_backend: IoBackend::default(),
             owned_decode: false,
             max_parked: 0,
             epoch: None,
@@ -590,7 +598,7 @@ impl Reactor {
         let wheel = TimerWheel::new(config.wheel_slots, config.wheel_granularity);
         let tcp = TcpPool::start(config.tcp_pool);
         let pacer = Pacer::new(config.pacer.clone());
-        let batch = BatchIo::new(config.batch_size);
+        let batch = BatchIo::with_backend(config.io_backend, config.batch_size);
         let owned_decode = config.owned_decode;
         let started = config.epoch.unwrap_or_else(Instant::now);
         Ok(Reactor {
@@ -660,6 +668,16 @@ impl Reactor {
     /// Machines currently in flight.
     pub fn in_flight(&self) -> usize {
         self.in_flight
+    }
+
+    /// The syscall strategy the batch layer resolved to — what the
+    /// requested [`ReactorConfig::io_backend`] actually got on this
+    /// kernel (`"syscall"`, `"mmsg"`, or `"uring"`).
+    pub fn io_backend(&self) -> &'static str {
+        self.batch
+            .as_ref()
+            .map(BatchIo::backend_name)
+            .unwrap_or("syscall")
     }
 
     /// Armed (not cancelled, not fired) timer entries.
@@ -1415,6 +1433,16 @@ impl Driver for Reactor {
 
         // A reactor is reusable; each scan reports its own counts.
         self.report = DriverReport::default();
+        // The io_uring backend's standing RECVMSG pool must be armed
+        // before the first sleep, or the opening tick would wait on a
+        // ring with nothing in flight. Ring counters are reported as
+        // this scan's delta off the cumulative backend stats.
+        let ring_stats_start = if let Some(batch) = self.batch.as_mut() {
+            batch.prime_recv(&self.socket);
+            batch.ring_stats()
+        } else {
+            None
+        };
         let mut exhausted = false;
         loop {
             // Admission: top the window up from the source. With a
@@ -1476,11 +1504,21 @@ impl Driver for Reactor {
                 wait_ns = wait_ns.min(2 * MILLIS);
             }
             let wait_ms = wait_ns.div_ceil(MILLIS).clamp(0, 50) as i32;
+            // Under io_uring the wake signal is the *ring* fd (armed
+            // receives complete into the CQ without making the socket
+            // readable), and datagrams already reaped into backend
+            // memory would never wake a poll at all — skip the sleep
+            // and drain them instead.
             #[cfg(unix)]
-            let fd = self.socket.as_raw_fd();
+            let fd = self
+                .batch
+                .as_ref()
+                .map(|b| b.poll_fd(&self.socket))
+                .unwrap_or_else(|| self.socket.as_raw_fd());
             #[cfg(not(unix))]
             let fd = 0;
-            if self.in_flight > 0 || !exhausted {
+            let buffered = self.batch.as_ref().is_some_and(BatchIo::has_buffered_recv);
+            if !buffered && (self.in_flight > 0 || !exhausted) {
                 readiness::wait_readable(fd, wait_ms);
             }
 
@@ -1506,6 +1544,18 @@ impl Driver for Reactor {
             self.wheel.cancel(token);
         }
         self.wheel.sweep_cancelled();
+
+        // Ring telemetry: this scan's delta, plus which backend ran.
+        self.report.io_backend = self.io_backend();
+        if let (Some(end), Some(start)) = (
+            self.batch.as_ref().and_then(BatchIo::ring_stats),
+            ring_stats_start,
+        ) {
+            self.report.ring_sqes = end.sqes - start.sqes;
+            self.report.ring_enters = end.enters - start.enters;
+            self.report.cqe_batches = end.cqe_batches - start.cqe_batches;
+            self.report.sq_full_stalls = end.sq_full_stalls - start.sq_full_stalls;
+        }
         self.report.clone()
     }
 }

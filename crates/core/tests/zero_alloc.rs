@@ -16,8 +16,8 @@ use std::sync::Arc;
 
 use zdns_core::alloc_count::{thread_allocations, CountingAllocator};
 use zdns_core::{
-    AddrMap, Admission, Cache, CacheKey, CreditPool, Driver, Reactor, ReactorConfig, Resolver,
-    ResolverConfig,
+    AddrMap, Admission, Cache, CacheKey, CreditPool, Driver, IoBackend, Reactor, ReactorConfig,
+    Resolver, ResolverConfig,
 };
 use zdns_netsim::{JobOutcome, SimClient, WireServer, SECONDS};
 use zdns_wire::{
@@ -105,10 +105,14 @@ fn steady_state_view_path_scan_allocates_zero_per_lookup() {
     const WARMUP: usize = 1500;
     const MEASURED: usize = 1000;
     let (_server, resolver, addr_map, questions) = loopback_fleet(WARMUP + MEASURED);
+    // Pinned to mmsg: the uring backend has its own test below, so this
+    // one keeps guarding the sendmmsg/recvmmsg arena path regardless of
+    // what `Auto` resolves to on the build machine.
     let mut reactor = Reactor::new(
         ReactorConfig {
             max_in_flight: 256,
             source: Ipv4Addr::LOCALHOST,
+            io_backend: IoBackend::Mmsg,
             ..ReactorConfig::default()
         },
         addr_map,
@@ -148,6 +152,7 @@ fn steady_state_credit_leased_scan_allocates_zero_per_lookup() {
             max_in_flight: 256,
             source: Ipv4Addr::LOCALHOST,
             max_parked: 1024,
+            io_backend: IoBackend::Mmsg,
             ..ReactorConfig::default()
         },
         addr_map,
@@ -168,6 +173,48 @@ fn steady_state_credit_leased_scan_allocates_zero_per_lookup() {
     );
     assert_eq!(pool.available(), 256, "every credit returned");
     assert_eq!(pool.leases(), pool.returns());
+}
+
+#[test]
+fn uring_steady_state_scan_allocates_zero_per_lookup() {
+    // The io_uring backend's whole per-lookup dance — SENDMSG SQE fill,
+    // ring submit, CQE reap, armed-pool re-arm, spill/ready shuffling —
+    // runs on storage sized at ring construction, so the steady state is
+    // just as allocation-free as the mmsg arena. Skipped (not failed)
+    // when the kernel refuses rings; the reactor reports which backend
+    // it actually got.
+    const WARMUP: usize = 1500;
+    const MEASURED: usize = 1000;
+    let (_server, resolver, addr_map, questions) = loopback_fleet(WARMUP + MEASURED);
+    let mut reactor = Reactor::new(
+        ReactorConfig {
+            max_in_flight: 256,
+            source: Ipv4Addr::LOCALHOST,
+            io_backend: IoBackend::Uring,
+            ..ReactorConfig::default()
+        },
+        addr_map,
+    )
+    .unwrap();
+    if reactor.io_backend() != "uring" {
+        eprintln!(
+            "skipping: io_uring unavailable here (backend = {})",
+            reactor.io_backend()
+        );
+        return;
+    }
+
+    let (done, ok, _) = run_prebuilt(&mut reactor, &resolver, &questions[..WARMUP], false);
+    assert_eq!(done, WARMUP);
+    assert!(ok * 10 >= WARMUP * 9, "warmup success {ok}/{WARMUP}");
+
+    let (done, ok, allocs) = run_prebuilt(&mut reactor, &resolver, &questions[WARMUP..], true);
+    assert_eq!(done, MEASURED);
+    assert!(ok * 10 >= MEASURED * 9, "measured success {ok}/{MEASURED}");
+    assert_eq!(
+        allocs, 0,
+        "uring steady-state scan allocated {allocs} times over {MEASURED} lookups"
+    );
 }
 
 #[test]

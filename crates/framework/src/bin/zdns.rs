@@ -203,6 +203,12 @@ FLAGS:
                            same-tick sends coalesce into one sendmmsg and
                            receives drain through an N-buffer recvmmsg arena
                            (default 32; 1 = per-datagram syscalls)
+  --io-backend KIND        reactor syscall strategy: auto (default; best the
+                           kernel supports), uring (io_uring rings), mmsg
+                           (sendmmsg/recvmmsg), syscall (per-datagram).
+                           Unavailable choices degrade uring -> mmsg -> syscall
+  --pin-cores              pin each reactor worker to its own CPU core
+                           (sched_setaffinity; best-effort)
   --rate-pps N             polite scanning: global send budget in packets/s,
                            one scan-wide budget the workers lease from
                            (default: unlimited)

@@ -6,7 +6,7 @@
 
 use std::net::Ipv4Addr;
 
-use zdns_core::{PacerConfig, ResolutionMode, ResolverConfig};
+use zdns_core::{IoBackend, PacerConfig, ResolutionMode, ResolverConfig};
 use zdns_netsim::{SimTime, MILLIS, SECONDS};
 
 /// Which output fields to keep (ZDNS's `--output-fields` groups).
@@ -87,6 +87,14 @@ pub struct Conf {
     /// them from scan-wide pools. An A/B escape hatch; the shared-queue
     /// pipeline is the default.
     pub static_split: bool,
+    /// Syscall strategy for the reactor hot path (`--io-backend`):
+    /// `auto` (default) takes the best the kernel supports — io_uring,
+    /// then `sendmmsg`/`recvmmsg`, then per-datagram — and explicit
+    /// choices degrade along the same chain when unavailable.
+    pub io_backend: IoBackend,
+    /// Pin each reactor worker to its own CPU core
+    /// (`sched_setaffinity`), best-effort. Off by default.
+    pub pin_cores: bool,
 }
 
 impl Default for Conf {
@@ -112,6 +120,8 @@ impl Default for Conf {
             batch_size: 0,
             workload: Workload::Lines,
             static_split: false,
+            io_backend: IoBackend::default(),
+            pin_cores: false,
         }
     }
 }
@@ -299,6 +309,13 @@ impl Conf {
                     };
                 }
                 "--static-split" => conf.static_split = true,
+                "--io-backend" => {
+                    let v = take_value(&mut i)?;
+                    conf.io_backend = IoBackend::parse(&v).ok_or_else(|| {
+                        ConfError(format!("bad --io-backend {v:?} (auto|syscall|mmsg|uring)"))
+                    })?;
+                }
+                "--pin-cores" => conf.pin_cores = true,
                 "--cookie-secret" => {
                     conf.resolver.cookie_secret = Some(parse_cookie_secret(&take_value(&mut i)?)?);
                 }
@@ -532,5 +549,28 @@ mod tests {
         assert_eq!(default.batch_size, 0, "0 = reactor default");
         assert!(Conf::parse(["A", "--batch-size", "0"]).is_err());
         assert!(Conf::parse(["A", "--batch-size", "x"]).is_err());
+    }
+
+    #[test]
+    fn io_backend_flag() {
+        let default = Conf::parse(["A"]).unwrap();
+        assert_eq!(default.io_backend, IoBackend::Auto);
+        for (v, want) in [
+            ("auto", IoBackend::Auto),
+            ("syscall", IoBackend::Syscall),
+            ("mmsg", IoBackend::Mmsg),
+            ("uring", IoBackend::Uring),
+        ] {
+            let conf = Conf::parse(["A", "--io-backend", v]).unwrap();
+            assert_eq!(conf.io_backend, want, "{v}");
+        }
+        assert!(Conf::parse(["A", "--io-backend", "epoll"]).is_err());
+        assert!(Conf::parse(["A", "--io-backend"]).is_err(), "missing value");
+    }
+
+    #[test]
+    fn pin_cores_flag() {
+        assert!(!Conf::parse(["A"]).unwrap().pin_cores, "off by default");
+        assert!(Conf::parse(["A", "--pin-cores"]).unwrap().pin_cores);
     }
 }

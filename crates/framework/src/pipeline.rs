@@ -177,11 +177,20 @@ pub fn run_scan_pipeline(
                 AdmissionMode::SharedQueue => (total_window, PacerConfig::default()),
                 AdmissionMode::StaticSplit => (static_window, pacer_config.split(workers)),
             };
+            let io_backend = conf.io_backend;
+            let pin_cores = conf.pin_cores;
             scope.spawn(move || {
+                // Opt-in core pinning: one core per worker, best-effort
+                // (a restricted sandbox or a worker count above the core
+                // count just runs unpinned).
+                if pin_cores {
+                    let _ = zdns_core::pin_to_core(worker_idx);
+                }
                 let config = ReactorConfig {
                     max_in_flight: window,
                     pacer,
                     batch_size,
+                    io_backend,
                     // Parked (fully backed-off) lookups cost slots but no
                     // window; allow a few windows' worth per worker so
                     // backoff cannot choke admission, while still

@@ -190,6 +190,28 @@ impl RealScanReport {
         } else {
             String::new()
         };
+        let ring = if self.driver.ring_enters > 0 {
+            let stalls = if self.driver.sq_full_stalls > 0 {
+                format!(", {} sq-full stalls", self.driver.sq_full_stalls)
+            } else {
+                String::new()
+            };
+            format!(
+                ", {:.1} sqe/enter ({} sqes / {} enters, {} cqe batches{})",
+                self.driver.ring_sqes as f64 / self.driver.ring_enters as f64,
+                self.driver.ring_sqes,
+                self.driver.ring_enters,
+                self.driver.cqe_batches,
+                stalls,
+            )
+        } else {
+            String::new()
+        };
+        let backend = if self.driver.io_backend.is_empty() {
+            String::new()
+        } else {
+            format!(", io={}", self.driver.io_backend)
+        };
         let credits = if self.driver.credit_leases > 0 {
             format!(
                 ", {} credit leases ({} idle returns, {} stalls), {} inputs stolen",
@@ -202,7 +224,7 @@ impl RealScanReport {
             String::new()
         };
         format!(
-            "zdns: {} lookups, {:.1}% success, {} queries, {} retries, {:.2}s, {:.0} lookups/s, {} workers (peak {} in flight){}{}{} [{}]",
+            "zdns: {} lookups, {:.1}% success, {} queries, {} retries, {:.2}s, {:.0} lookups/s, {} workers (peak {} in flight){}{}{}{}{} [{}]",
             self.lookups,
             self.success_rate() * 100.0,
             self.queries_sent,
@@ -211,8 +233,10 @@ impl RealScanReport {
             self.lookups_per_sec(),
             self.workers,
             self.driver.peak_in_flight,
+            backend,
             pacing,
             batching,
+            ring,
             credits,
             statuses,
         )

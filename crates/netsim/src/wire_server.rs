@@ -59,6 +59,66 @@ pub fn set_recv_buffer(socket: &UdpSocket, bytes: usize) {
     }
 }
 
+/// Bind a UDP socket on `ip:port` with `SO_REUSEPORT` set, so several
+/// sockets can share one port and the kernel load-balances incoming
+/// datagrams across them by flow hash — how a DNS *server* front end
+/// shards one well-known port over multiple worker sockets. (Client-side
+/// scanning sockets must NOT share a port: responses would hash to an
+/// arbitrary group member, away from the worker holding the query's
+/// demux state.) On non-Linux targets this is a plain bind, so a single
+/// socket per port still works.
+pub fn bind_reuse_port(ip: Ipv4Addr, port: u16) -> std::io::Result<UdpSocket> {
+    #[cfg(any(target_os = "linux", target_os = "android"))]
+    {
+        use std::os::fd::{FromRawFd, RawFd};
+        // SAFETY: plain socket(2); the fd is checked before use.
+        let fd: RawFd = unsafe {
+            libc::socket(
+                libc::AF_INET as i32,
+                libc::SOCK_DGRAM | libc::SOCK_CLOEXEC,
+                0,
+            )
+        };
+        if fd < 0 {
+            return Err(std::io::Error::last_os_error());
+        }
+        // SAFETY: from here the fd is owned; it is closed through the
+        // UdpSocket on every path, including errors.
+        let socket = unsafe { UdpSocket::from_raw_fd(fd) };
+        let one: i32 = 1;
+        // SAFETY: fd is live; value points at a properly sized int.
+        let r = unsafe {
+            libc::setsockopt(
+                fd,
+                libc::SOL_SOCKET,
+                libc::SO_REUSEPORT,
+                &one as *const i32 as *const libc::c_void,
+                std::mem::size_of::<i32>() as u32,
+            )
+        };
+        if r != 0 {
+            return Err(std::io::Error::last_os_error());
+        }
+        let addr = libc::sockaddr_in::from_parts(ip, port);
+        // SAFETY: addr is a live, correctly sized sockaddr_in.
+        let r = unsafe {
+            libc::bind(
+                fd,
+                &addr as *const libc::sockaddr_in,
+                std::mem::size_of::<libc::sockaddr_in>() as u32,
+            )
+        };
+        if r != 0 {
+            return Err(std::io::Error::last_os_error());
+        }
+        Ok(socket)
+    }
+    #[cfg(not(any(target_os = "linux", target_os = "android")))]
+    {
+        UdpSocket::bind((ip, port))
+    }
+}
+
 /// A reusable receive arena for batch-draining a UDP socket with
 /// `recvmmsg(2)`: `depth` pre-allocated buffers filled in one syscall.
 ///
@@ -285,6 +345,60 @@ impl WireServer {
             threads,
         })
     }
+
+    /// Start serving `universe` over `shards` UDP sockets sharing one
+    /// ephemeral port via `SO_REUSEPORT`, one drain thread per socket —
+    /// the serve-mode scaling shape: the kernel flow-hashes incoming
+    /// queries across the group, so independent workers each own a
+    /// socket with no shared accept lock. Falls back to a single socket
+    /// when `shards <= 1` or the platform lacks `SO_REUSEPORT` for
+    /// additional binds. UDP only (no TCP listener, no latency): this
+    /// exists for throughput benches and sharding tests.
+    pub fn start_sharded(
+        universe: Arc<dyn Universe>,
+        impersonate: Ipv4Addr,
+        shards: usize,
+    ) -> std::io::Result<WireServer> {
+        let shards = shards.max(1);
+        let first = bind_reuse_port(Ipv4Addr::LOCALHOST, 0)?;
+        let addr = first.local_addr()?;
+        let mut sockets = vec![first];
+        for _ in 1..shards {
+            // A kernel refusing the shared bind just serves with fewer
+            // shards; correctness is unaffected.
+            match bind_reuse_port(Ipv4Addr::LOCALHOST, addr.port()) {
+                Ok(s) => sockets.push(s),
+                Err(_) => break,
+            }
+        }
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut threads = Vec::new();
+        for udp in sockets {
+            set_recv_buffer(&udp, 8 << 20);
+            udp.set_read_timeout(Some(Duration::from_millis(25)))?;
+            let shard_stop = Arc::clone(&stop);
+            let shard_universe = Arc::clone(&universe);
+            threads.push(std::thread::spawn(move || {
+                let mut arena = RecvArena::new(32);
+                let mut scratch = ScratchBuf::new();
+                while !shard_stop.load(Ordering::Relaxed) {
+                    let count = arena.recv_batch(&udp);
+                    for i in 0..count {
+                        let (raw, peer) = arena.datagram(i);
+                        scratch.reset();
+                        if answer_into(&shard_universe, impersonate, raw, true, &mut scratch) {
+                            let _ = udp.send_to(scratch.as_slice(), peer);
+                        }
+                    }
+                }
+            }));
+        }
+        Ok(WireServer {
+            addr,
+            stop,
+            threads,
+        })
+    }
 }
 
 /// The 8-octet server cookie this loopback server appends when a query
@@ -413,6 +527,29 @@ mod tests {
         stream.read_exact(&mut msg).unwrap();
         let response = Message::decode(&msg).unwrap();
         assert_eq!(response.rcode(), Rcode::NoError);
+    }
+
+    #[test]
+    fn sharded_server_answers_from_every_shard() {
+        let (universe, ip) = test_universe();
+        let server = WireServer::start_sharded(universe, ip, 4).unwrap();
+        // Many clients (distinct source ports) so the kernel's flow hash
+        // spreads queries across the REUSEPORT group; every one must be
+        // answered regardless of which shard it lands on.
+        for i in 0..20u16 {
+            let c = UdpSocket::bind((Ipv4Addr::LOCALHOST, 0)).unwrap();
+            c.set_read_timeout(Some(Duration::from_secs(2))).unwrap();
+            let query = Message::query(
+                i,
+                Question::new("example.test".parse().unwrap(), RecordType::A),
+            );
+            c.send_to(&query.encode().unwrap(), server.addr()).unwrap();
+            let mut buf = [0u8; 4096];
+            let (len, _) = c.recv_from(&mut buf).unwrap();
+            let response = Message::decode(&buf[..len]).unwrap();
+            assert_eq!(response.id, i);
+            assert_eq!(response.rcode(), Rcode::NoError);
+        }
     }
 
     #[test]

@@ -1,21 +1,37 @@
 //! Minimal in-tree stand-in for the `libc` crate.
 //!
 //! The container builds fully offline, so this shim declares only the raw
-//! FFI surface the workspace's batched UDP I/O layer uses: the
-//! `sendmmsg(2)`/`recvmmsg(2)` entry points and the structs they take
-//! (`iovec`, `sockaddr_in`, `msghdr`, `mmsghdr`, `timespec`). Everything
-//! is Linux ABI; non-Linux targets compile the crate but get no extern
-//! declarations, and callers are expected to gate on
-//! [`MMSG_SUPPORTED`] / `cfg(target_os = "linux")` and fall back to
-//! per-datagram `std` socket calls.
+//! FFI surface the workspace's batched UDP I/O layer uses:
+//!
+//! * the `sendmmsg(2)`/`recvmmsg(2)` entry points and the structs they
+//!   take (`iovec`, `sockaddr_in`, `msghdr`, `mmsghdr`, `timespec`);
+//! * the `io_uring` syscalls (`io_uring_setup` / `io_uring_enter` /
+//!   `io_uring_register`, reached through `syscall(2)` — glibc exports no
+//!   wrappers), the mmap'd SQ/CQ ring layouts (`io_uring_params`,
+//!   `io_uring_sqe`, `io_uring_cqe`, the ring-offset structs) and the
+//!   opcode/flag constants the `UringIo` backend uses;
+//! * `sched_setaffinity` for core-pinned workers and the raw
+//!   `socket`/`setsockopt`/`bind` trio needed to build `SO_REUSEPORT`
+//!   shard groups (the option must be set before `bind`, which
+//!   `std::net::UdpSocket::bind` cannot do).
+//!
+//! Everything is Linux ABI; non-Linux targets compile the crate but get
+//! no extern declarations, and callers are expected to gate on
+//! [`MMSG_SUPPORTED`] / [`URING_SUPPORTED`] / `cfg(target_os = "linux")`
+//! and fall back to per-datagram `std` socket calls.
 
 #![warn(missing_docs)]
 #![allow(non_camel_case_types)]
 
-pub use std::ffi::{c_int, c_uint, c_void};
+pub use std::ffi::{c_int, c_long, c_uint, c_void};
 
 /// Whether this target has the `sendmmsg`/`recvmmsg` declarations.
 pub const MMSG_SUPPORTED: bool = cfg!(any(target_os = "linux", target_os = "android"));
+
+/// Whether this target has the `io_uring` syscall declarations. Runtime
+/// support still has to be probed (`io_uring_setup` returns `ENOSYS` on
+/// old kernels, `EPERM` where `io_uring_disabled` is set).
+pub const URING_SUPPORTED: bool = cfg!(any(target_os = "linux", target_os = "android"));
 
 /// `AF_INET` for [`sockaddr_in::sin_family`].
 pub const AF_INET: u16 = 2;
@@ -141,7 +157,317 @@ extern "C" {
         flags: c_int,
         timeout: *mut timespec,
     ) -> c_int;
+
+    /// Raw indirect syscall — the only road to the `io_uring_*` entry
+    /// points, which glibc does not wrap. Sets `errno` on failure like
+    /// any other libc call.
+    pub fn syscall(num: c_long, ...) -> c_long;
+
+    /// Map a kernel region (the io_uring SQ/CQ rings and SQE array) into
+    /// this address space.
+    pub fn mmap(
+        addr: *mut c_void,
+        len: usize,
+        prot: c_int,
+        flags: c_int,
+        fd: c_int,
+        offset: i64,
+    ) -> *mut c_void;
+
+    /// Unmap a region previously mapped with [`mmap`].
+    pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+
+    /// Close a raw file descriptor (the io_uring ring fd is not wrapped
+    /// in any std type).
+    pub fn close(fd: c_int) -> c_int;
+
+    /// Set a socket option; needed pre-`bind` for `SO_REUSEPORT`, which
+    /// `std::net::UdpSocket` cannot express.
+    pub fn setsockopt(
+        fd: c_int,
+        level: c_int,
+        name: c_int,
+        value: *const c_void,
+        len: u32,
+    ) -> c_int;
+
+    /// Create a raw socket (for reuse-port groups the option must be set
+    /// between `socket` and `bind`).
+    pub fn socket(domain: c_int, ty: c_int, protocol: c_int) -> c_int;
+
+    /// Bind a raw IPv4 socket.
+    pub fn bind(fd: c_int, addr: *const sockaddr_in, len: u32) -> c_int;
+
+    /// Pin the calling thread (`pid == 0`) to the CPUs set in `mask`
+    /// (`mask` is a bitmask of `cpusetsize` bytes).
+    pub fn sched_setaffinity(pid: c_int, cpusetsize: usize, mask: *const u64) -> c_int;
 }
+
+// ---------------------------------------------------------------------------
+// io_uring ABI
+// ---------------------------------------------------------------------------
+
+/// `io_uring_setup(2)` syscall number (arch-independent: io_uring
+/// postdates the unified syscall table).
+pub const SYS_IO_URING_SETUP: c_long = 425;
+/// `io_uring_enter(2)` syscall number.
+pub const SYS_IO_URING_ENTER: c_long = 426;
+/// `io_uring_register(2)` syscall number.
+pub const SYS_IO_URING_REGISTER: c_long = 427;
+
+/// `mmap` protection: readable.
+pub const PROT_READ: c_int = 0x1;
+/// `mmap` protection: writable.
+pub const PROT_WRITE: c_int = 0x2;
+/// `mmap` flag: shared with the kernel (required for the rings).
+pub const MAP_SHARED: c_int = 0x01;
+/// `mmap` flag: pre-fault the pages so the hot path never page-faults.
+pub const MAP_POPULATE: c_int = 0x8000;
+
+/// `mmap` offset selecting the submission-queue ring.
+pub const IORING_OFF_SQ_RING: i64 = 0;
+/// `mmap` offset selecting the completion-queue ring.
+pub const IORING_OFF_CQ_RING: i64 = 0x8000000;
+/// `mmap` offset selecting the SQE array.
+pub const IORING_OFF_SQES: i64 = 0x10000000;
+
+/// `io_uring_enter` flag: block until `min_complete` CQEs are available.
+pub const IORING_ENTER_GETEVENTS: u32 = 1 << 0;
+/// `io_uring_enter` flag: wake a sleeping SQ-poll kernel thread.
+pub const IORING_ENTER_SQ_WAKEUP: u32 = 1 << 1;
+
+/// Setup flag: kernel-side submission polling (no `enter` needed to
+/// submit while the poller is awake).
+pub const IORING_SETUP_SQPOLL: u32 = 1 << 1;
+/// Setup flag: clamp oversized queue depths instead of failing `EINVAL`.
+pub const IORING_SETUP_CLAMP: u32 = 1 << 4;
+
+/// Feature bit: SQ and CQ rings share one mapping (kernel ≥ 5.4).
+pub const IORING_FEAT_SINGLE_MMAP: u32 = 1 << 0;
+/// Feature bit: completions are never dropped on CQ overflow.
+pub const IORING_FEAT_NODROP: u32 = 1 << 1;
+
+/// SQ-ring flag (in the mmap'd `flags` word): the SQ-poll thread went to
+/// sleep and needs an [`IORING_ENTER_SQ_WAKEUP`] enter.
+pub const IORING_SQ_NEED_WAKEUP: u32 = 1 << 0;
+
+/// No-op SQE (used to probe that `enter` works at all).
+pub const IORING_OP_NOP: u8 = 0;
+/// `sendmsg(2)` as an SQE.
+pub const IORING_OP_SENDMSG: u8 = 9;
+/// `recvmsg(2)` as an SQE.
+pub const IORING_OP_RECVMSG: u8 = 10;
+/// Cancel a previously submitted SQE by `user_data` (teardown path).
+pub const IORING_OP_ASYNC_CANCEL: u8 = 14;
+
+/// Offsets into the mmap'd SQ ring (kernel-filled).
+#[repr(C)]
+#[derive(Debug, Clone, Copy, Default)]
+pub struct io_sqring_offsets {
+    /// Ring head (kernel-consumed index).
+    pub head: u32,
+    /// Ring tail (producer index, written by userspace).
+    pub tail: u32,
+    /// Index mask (`ring_entries - 1`).
+    pub ring_mask: u32,
+    /// Ring capacity.
+    pub ring_entries: u32,
+    /// Ring flags word ([`IORING_SQ_NEED_WAKEUP`] lives here).
+    pub flags: u32,
+    /// Count of SQEs the kernel dropped for being malformed.
+    pub dropped: u32,
+    /// Offset of the SQE index array.
+    pub array: u32,
+    /// Reserved.
+    pub resv1: u32,
+    /// Reserved.
+    pub resv2: u64,
+}
+
+/// Offsets into the mmap'd CQ ring (kernel-filled).
+#[repr(C)]
+#[derive(Debug, Clone, Copy, Default)]
+pub struct io_cqring_offsets {
+    /// Ring head (consumer index, written by userspace).
+    pub head: u32,
+    /// Ring tail (kernel-produced index).
+    pub tail: u32,
+    /// Index mask (`ring_entries - 1`).
+    pub ring_mask: u32,
+    /// Ring capacity.
+    pub ring_entries: u32,
+    /// CQEs dropped to overflow (never, with [`IORING_FEAT_NODROP`]).
+    pub overflow: u32,
+    /// Offset of the CQE array.
+    pub cqes: u32,
+    /// Ring flags word.
+    pub flags: u32,
+    /// Reserved.
+    pub resv1: u32,
+    /// Reserved.
+    pub resv2: u64,
+}
+
+/// In/out parameter block for `io_uring_setup(2)`.
+#[repr(C)]
+#[derive(Debug, Clone, Copy, Default)]
+pub struct io_uring_params {
+    /// SQ depth (out: actual, possibly clamped).
+    pub sq_entries: u32,
+    /// CQ depth (out: actual; defaults to twice the SQ).
+    pub cq_entries: u32,
+    /// Setup flags ([`IORING_SETUP_SQPOLL`], …).
+    pub flags: u32,
+    /// CPU for the SQ-poll thread (with `IORING_SETUP_SQ_AFF`).
+    pub sq_thread_cpu: u32,
+    /// SQ-poll thread idle timeout in milliseconds.
+    pub sq_thread_idle: u32,
+    /// Out: feature bits ([`IORING_FEAT_SINGLE_MMAP`], …).
+    pub features: u32,
+    /// Ring fd to share a kernel worker pool with.
+    pub wq_fd: u32,
+    /// Reserved.
+    pub resv: [u32; 3],
+    /// Out: SQ ring field offsets.
+    pub sq_off: io_sqring_offsets,
+    /// Out: CQ ring field offsets.
+    pub cq_off: io_cqring_offsets,
+}
+
+/// One submission-queue entry (64 bytes on every arch).
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct io_uring_sqe {
+    /// Operation ([`IORING_OP_SENDMSG`], …).
+    pub opcode: u8,
+    /// SQE flags (fixed-file, links, … — unused here).
+    pub flags: u8,
+    /// I/O priority / per-op u16 (multishot flags for recv ops).
+    pub ioprio: u16,
+    /// Target file descriptor.
+    pub fd: i32,
+    /// Offset / per-op u64.
+    pub off: u64,
+    /// Buffer or `msghdr` address / per-op u64.
+    pub addr: u64,
+    /// Buffer length / iovec count.
+    pub len: u32,
+    /// Per-op flags (`msg_flags` for SENDMSG/RECVMSG).
+    pub op_flags: u32,
+    /// Caller cookie, echoed verbatim in the matching CQE.
+    pub user_data: u64,
+    /// Registered-buffer index / per-op u16.
+    pub buf_index: u16,
+    /// Personality id.
+    pub personality: u16,
+    /// Splice fd / per-op u32.
+    pub splice_fd_in: i32,
+    /// Per-op extension area.
+    pub addr3: u64,
+    /// Padding to 64 bytes.
+    pub __pad2: u64,
+}
+
+impl io_uring_sqe {
+    /// An all-zero SQE ([`IORING_OP_NOP`] against fd 0), ready to fill.
+    pub fn zeroed() -> io_uring_sqe {
+        // SAFETY: io_uring_sqe is a plain-old-data repr(C) struct for
+        // which all-zero bytes are a valid (NOP) value.
+        unsafe { std::mem::zeroed() }
+    }
+}
+
+/// One completion-queue entry.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct io_uring_cqe {
+    /// The submitting SQE's `user_data`, verbatim.
+    pub user_data: u64,
+    /// Syscall-style result: `>= 0` on success, `-errno` on failure.
+    pub res: i32,
+    /// CQE flags (buffer id for provided-buffer ops — unused here).
+    pub flags: u32,
+}
+
+/// `io_uring_setup(2)`: create a ring of (at least) `entries` SQEs.
+/// Returns the ring fd, or -1 with `errno` (`ENOSYS` on pre-5.1 kernels,
+/// `EPERM` where `io_uring_disabled` is set).
+///
+/// # Safety
+/// `params` must point at a live, zero-initialized [`io_uring_params`].
+#[cfg(any(target_os = "linux", target_os = "android"))]
+pub unsafe fn io_uring_setup(entries: u32, params: *mut io_uring_params) -> c_int {
+    syscall(
+        SYS_IO_URING_SETUP,
+        entries as c_long,
+        params as usize as c_long,
+    ) as c_int
+}
+
+/// `io_uring_enter(2)`: submit `to_submit` queued SQEs and/or wait for
+/// `min_complete` completions ([`IORING_ENTER_GETEVENTS`]). Returns the
+/// number of SQEs consumed, or -1 with `errno`.
+///
+/// # Safety
+/// `fd` must be a live io_uring fd whose rings outlive the call.
+#[cfg(any(target_os = "linux", target_os = "android"))]
+pub unsafe fn io_uring_enter(fd: c_int, to_submit: u32, min_complete: u32, flags: u32) -> c_int {
+    syscall(
+        SYS_IO_URING_ENTER,
+        fd as c_long,
+        to_submit as c_long,
+        min_complete as c_long,
+        flags as c_long,
+        0 as c_long, // sigset
+        0 as c_long, // sigset size
+    ) as c_int
+}
+
+/// `io_uring_register(2)`: register resources (buffers, files) with the
+/// ring. Declared for completeness/probing; the backend registers
+/// nothing yet.
+///
+/// # Safety
+/// `arg` must match what `opcode` expects (see the man page).
+#[cfg(any(target_os = "linux", target_os = "android"))]
+pub unsafe fn io_uring_register(fd: c_int, opcode: u32, arg: *const c_void, nr_args: u32) -> c_int {
+    syscall(
+        SYS_IO_URING_REGISTER,
+        fd as c_long,
+        opcode as c_long,
+        arg as usize as c_long,
+        nr_args as c_long,
+    ) as c_int
+}
+
+// ---------------------------------------------------------------------------
+// Socket / scheduler constants for sharding and pinning
+// ---------------------------------------------------------------------------
+
+/// `EPERM`: io_uring administratively disabled (`io_uring_disabled`).
+pub const EPERM: c_int = 1;
+/// `EINTR`: syscall interrupted by a signal; retry.
+pub const EINTR: c_int = 4;
+/// `EAGAIN`: would block (send buffer full → backpressure).
+pub const EAGAIN: c_int = 11;
+/// `EINVAL`: unsupported setup flags on this kernel.
+pub const EINVAL: c_int = 22;
+/// `ENOSYS`: io_uring syscalls absent (pre-5.1 kernel or seccomp).
+pub const ENOSYS: c_int = 38;
+/// `ENOBUFS`: kernel out of buffer space for a send.
+pub const ENOBUFS: c_int = 105;
+/// `ECANCELED`: an in-flight SQE was cancelled (teardown path).
+pub const ECANCELED: c_int = 125;
+
+/// `setsockopt` level for socket-wide options.
+pub const SOL_SOCKET: c_int = 1;
+/// Allow a group of sockets to bind one address; the kernel shards
+/// incoming datagrams across the group by 4-tuple hash.
+pub const SO_REUSEPORT: c_int = 15;
+/// Datagram socket type.
+pub const SOCK_DGRAM: c_int = 2;
+/// Close-on-exec socket creation flag.
+pub const SOCK_CLOEXEC: c_int = 0x80000;
 
 #[cfg(test)]
 mod tests {
@@ -167,6 +493,39 @@ mod tests {
         {
             assert_eq!(std::mem::size_of::<msghdr>(), 56);
             assert_eq!(std::mem::size_of::<mmsghdr>(), 64);
+        }
+    }
+
+    #[test]
+    fn io_uring_abi_layout_matches_linux() {
+        // The kernel writes ring offsets into io_uring_params and reads
+        // SQEs straight out of the mmap'd array; any size drift here
+        // corrupts the ring.
+        assert_eq!(std::mem::size_of::<io_sqring_offsets>(), 40);
+        assert_eq!(std::mem::size_of::<io_cqring_offsets>(), 40);
+        assert_eq!(std::mem::size_of::<io_uring_params>(), 120);
+        assert_eq!(std::mem::size_of::<io_uring_sqe>(), 64);
+        assert_eq!(std::mem::size_of::<io_uring_cqe>(), 16);
+        // user_data must sit at byte 32 of the SQE: the settle path keys
+        // completions off it.
+        assert_eq!(std::mem::offset_of!(io_uring_sqe, user_data), 32);
+        assert_eq!(std::mem::offset_of!(io_uring_sqe, len), 24);
+    }
+
+    #[cfg(any(target_os = "linux", target_os = "android"))]
+    #[test]
+    fn io_uring_setup_probe_reports_cleanly() {
+        // Whatever the kernel says — a live fd or ENOSYS/EPERM — the
+        // probe must come back as a plain fd-or-errno, never crash.
+        let mut params = io_uring_params::default();
+        let fd = unsafe { io_uring_setup(8, &mut params) };
+        if fd >= 0 {
+            assert!(params.sq_entries >= 8);
+            assert!(params.cq_entries >= params.sq_entries);
+            unsafe { close(fd) };
+        } else {
+            let errno = std::io::Error::last_os_error().raw_os_error().unwrap_or(0);
+            assert!(errno != 0, "failed setup must set errno");
         }
     }
 }
