@@ -17,17 +17,24 @@
 //!   recording ring submission counters (SQEs/enter, enters/lookup, CQE
 //!   batches, SQ-full stalls) alongside throughput. Skipped — recorded
 //!   as `available: false` — on kernels without io_uring.
+//! * **Serve mode** — a `zdns_framework::serve` fleet on loopback,
+//!   answering the same scanning reactor out of a warmed cache, versus
+//!   the scan path's direct lookups/sec. The serve figure is the
+//!   bidirectional engine's whole answer path per query: arena recv,
+//!   borrowed view parse, per-client gate, cache probe, scratch
+//!   re-encode, send.
 //!
 //! Gates (exit non-zero below the bar): `--min-speedup X` on the batched
 //! ratio, `--min-view-speedup X` on the codec ratio,
 //! `--min-uniform-ratio X` on shared/static for the uniform pipeline
-//! case, and `--min-uring-ratio X` on uring/mmsg (auto-pass when the
+//! case, `--min-uring-ratio X` on uring/mmsg (auto-pass when the
 //! kernel has no io_uring — the fallback path is the product behaviour
-//! there, not a regression).
+//! there, not a regression), and `--min-serve-ratio X` on serve/scan
+//! throughput.
 //!
 //! Run: `cargo run --release -p zdns-bench --bin bench_reactor -- [--quick]
 //! [--out PATH] [--min-speedup X] [--min-view-speedup X]
-//! [--min-uniform-ratio X] [--min-uring-ratio X]`
+//! [--min-uniform-ratio X] [--min-uring-ratio X] [--min-serve-ratio X]`
 
 use std::net::Ipv4Addr;
 use std::sync::Arc;
@@ -420,6 +427,76 @@ fn measure_pipeline(quick: bool) -> (f64, f64, f64, f64, f64, f64) {
     )
 }
 
+/// Serve-mode throughput: a one-shard `zdns_framework::serve` fleet on
+/// loopback (forwarding to a `WireServer` upstream), answering the same
+/// kind of scanning reactor the direct benches use. A warmup pass fills
+/// the serve cache, so the measured rounds are the steady state the
+/// acceptance criterion names: nearly every query answered in place from
+/// the cache, no forwarding on the hot path. Returns (best lookups/sec,
+/// cache-hit fraction over the measured rounds).
+fn measure_serve(lookups: usize, rounds: usize) -> (f64, f64) {
+    use zdns_framework::serve::{start, ServeOptions};
+    const DISTINCT: usize = 2_000;
+
+    let mut zone = Zone::new(
+        "serve-bench.test".parse().unwrap(),
+        "ns1.serve-bench.test".parse().unwrap(),
+        300,
+    );
+    for i in 0..DISTINCT {
+        zone.add(Record::new(
+            format!("s{i}.serve-bench.test").parse().unwrap(),
+            300,
+            RData::A(Ipv4Addr::new(10, 11, (i / 256) as u8, (i % 256) as u8)),
+        ));
+    }
+    let mut universe = ExplicitUniverse::new();
+    universe.host(Ipv4Addr::LOCALHOST, zone);
+    let upstream =
+        WireServer::start(Arc::new(universe) as Arc<dyn Universe>, Ipv4Addr::LOCALHOST).unwrap();
+    let handle = start(&ServeOptions {
+        listen: (Ipv4Addr::LOCALHOST, 0).into(),
+        upstreams: vec![upstream.addr()],
+        cache_capacity: 100_000,
+        io_backend: IoBackend::Mmsg,
+        ..ServeOptions::default()
+    })
+    .unwrap();
+    let serve_addr = handle.local_addr();
+    let addr_map: Arc<AddrMap> = Arc::new(move |_| serve_addr);
+    let mut config = ResolverConfig::external(vec![Ipv4Addr::LOCALHOST]);
+    config.timeout = 2 * SECONDS;
+    config.retries = 2;
+    let resolver = Resolver::new(config);
+    let names: Vec<Question> = (0..DISTINCT)
+        .map(|i| {
+            Question::new(
+                format!("s{i}.serve-bench.test").parse::<Name>().unwrap(),
+                RecordType::A,
+            )
+        })
+        .collect();
+
+    // Warmup: one pass over every distinct name forwards each miss
+    // upstream once and fills the serve cache.
+    let mut warm_reactor = reactor_for(&addr_map, BATCH, IoBackend::Mmsg);
+    let _ = run_once(&mut warm_reactor, &resolver, &names);
+    drop(warm_reactor);
+
+    let questions: Vec<Question> = (0..lookups).map(|i| names[i % DISTINCT].clone()).collect();
+    let hits_before = handle.cache_hits();
+    let queries_before = handle.queries();
+    let mut reactor = reactor_for(&addr_map, BATCH, IoBackend::Mmsg);
+    let mut best = 0.0f64;
+    for _ in 0..rounds {
+        let (rate, _, _) = run_once(&mut reactor, &resolver, &questions);
+        best = best.max(rate);
+    }
+    let hit_fraction = (handle.cache_hits() - hits_before) as f64
+        / (handle.queries() - queries_before).max(1) as f64;
+    (best, hit_fraction)
+}
+
 /// Measure this kernel's raw per-datagram send cost through `BatchIo`
 /// itself — per-datagram path vs batched path — so the artifact records
 /// how expensive syscall *boundaries* are where the bench ran. On
@@ -456,6 +533,7 @@ fn main() {
     let min_uniform_ratio: Option<f64> =
         arg_value("--min-uniform-ratio").map(|v| v.parse().unwrap());
     let min_uring_ratio: Option<f64> = arg_value("--min-uring-ratio").map(|v| v.parse().unwrap());
+    let min_serve_ratio: Option<f64> = arg_value("--min-serve-ratio").map(|v| v.parse().unwrap());
     let lookups = if quick { 8_000 } else { 30_000 };
     let rounds = if quick { 2 } else { 3 };
 
@@ -562,6 +640,14 @@ fn main() {
         }
     };
 
+    let (serve_rate, serve_hit_fraction) = measure_serve(lookups, rounds);
+    let serve_ratio = serve_rate / batched_rate;
+    println!(
+        "serve mode (1 shard, mmsg, warmed cache): {serve_rate:>9.0} queries/s \
+         ({:.1}% cache hits, {serve_ratio:.2}x of the scan path)",
+        serve_hit_fraction * 100.0
+    );
+
     let (
         uniform_shared,
         uniform_static,
@@ -619,7 +705,7 @@ fn main() {
 
     let json = serde_json::json!({
         "bench": "reactor_batched_vs_per_datagram",
-        "schema_version": 2,
+        "schema_version": 3,
         "kernel": {
             "sendto_ns_per_datagram": sendto_ns,
             "sendmmsg_ns_per_datagram": sendmmsg_ns,
@@ -659,6 +745,15 @@ fn main() {
         },
         "speedup": speedup,
         "io_backend": io_backend_json,
+        "serve": {
+            "shards": 1,
+            "io_backend": "mmsg",
+            "distinct_names": 2_000,
+            "queries_per_sec": serve_rate,
+            "ns_per_query": 1e9 / serve_rate,
+            "cache_hit_fraction": serve_hit_fraction,
+            "serve_over_scan": serve_ratio,
+        },
         "pipeline": {
             "workers": 2,
             "uniform": {
@@ -731,5 +826,15 @@ fn main() {
                 println!("bench_reactor: uring gate skipped (io_uring unavailable)");
             }
         }
+    }
+    if let Some(min) = min_serve_ratio {
+        if serve_ratio < min {
+            eprintln!(
+                "bench_reactor: FAIL — serve throughput {serve_ratio:.2}x of the scan \
+                 path, below the {min:.2}x gate"
+            );
+            std::process::exit(1);
+        }
+        println!("bench_reactor: serve gate passed ({serve_ratio:.2}x >= {min:.2}x)");
     }
 }

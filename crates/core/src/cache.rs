@@ -214,6 +214,48 @@ impl Cache {
         }
     }
 
+    /// Run `f` over a live RRset in place — the serve path's cache hit,
+    /// which must not clone the records ([`Cache::get`] does) or the
+    /// steady-state zero-allocation property dies in the cache. Counts
+    /// one hit or miss like `get`, and drops expired entries the same
+    /// way, but deliberately skips the LRU refresh: re-stamping recency
+    /// allocates a `BTreeMap` node, so entries read through here keep
+    /// their insertion stamp and look older to eviction than they are —
+    /// an accepted trade for a hot path that answers from borrowed data.
+    /// `f` runs under the shard lock; keep it short.
+    pub fn with_records<R>(
+        &self,
+        name: &Name,
+        rtype: RecordType,
+        now: SimTime,
+        f: impl FnOnce(&[Record]) -> R,
+    ) -> Option<R> {
+        let key = CacheKey {
+            name: name.clone(),
+            rtype,
+        };
+        let mut shard = self.shard_for(&key).lock();
+        match shard.map.get(&key) {
+            Some(entry) if entry.expires > now => {
+                let out = f(&entry.records);
+                self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                Some(out)
+            }
+            Some(_) => {
+                // Expired: drop it.
+                if let Some(old) = shard.map.remove(&key) {
+                    shard.lru.remove(&old.stamp);
+                }
+                self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            None => {
+                self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
     /// Find the deepest cached NS RRset enclosing `qname` (the zone cut an
     /// iterative walk can start from). Returns `(cut, ns_records)`.
     ///
@@ -426,6 +468,30 @@ mod tests {
             0,
         );
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn with_records_reads_in_place() {
+        let cache = Cache::new(64);
+        cache.put(
+            key("com", RecordType::NS),
+            vec![ns_record("com", "a.gtld-servers.net", 10)],
+            0,
+        );
+        let com: Name = "com".parse().unwrap();
+        let n = cache.with_records(&com, RecordType::NS, 0, |recs| recs.len());
+        assert_eq!(n, Some(1));
+        assert_eq!(cache.stats.hits.load(Ordering::Relaxed), 1);
+        assert!(cache
+            .with_records(&"org".parse().unwrap(), RecordType::NS, 0, |_| ())
+            .is_none());
+        assert_eq!(cache.stats.misses.load(Ordering::Relaxed), 1);
+        // Expiry drops the entry exactly like `get`.
+        assert!(cache
+            .with_records(&com, RecordType::NS, 11 * SECONDS, |_| ())
+            .is_none());
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats.misses.load(Ordering::Relaxed), 2);
     }
 
     #[test]

@@ -1,0 +1,102 @@
+//! Wall-clock anchoring for structures keyed on `SimTime`.
+//!
+//! Every time-aware structure in the workspace — the selective [`Cache`],
+//! the pacer's token buckets, the reactor's timer wheel — speaks
+//! nanoseconds-since-epoch (`SimTime`), which the discrete-event engine
+//! supplies as virtual time. Serving runs on real time, so a [`Clock`]
+//! pins an `Instant` epoch and maps monotonic elapsed time into the same
+//! nanosecond domain. It is `Copy`: hand one clock to every worker,
+//! cache-fill site, and expiry probe of a serve fleet and they all agree
+//! on "now" without synchronization.
+//!
+//! [`Cache`]: crate::cache::Cache
+
+use std::time::Instant;
+
+use zdns_netsim::SimTime;
+
+/// A monotonic wall clock expressed in the `SimTime` nanosecond domain.
+#[derive(Debug, Clone, Copy)]
+pub struct Clock {
+    epoch: Instant,
+}
+
+impl Clock {
+    /// A clock whose epoch is the moment of creation.
+    pub fn new() -> Clock {
+        Clock {
+            epoch: Instant::now(),
+        }
+    }
+
+    /// A clock anchored at an existing epoch — how serve workers share
+    /// the reactor's `started` instant so wheel deadlines and cache
+    /// expiries live on one timeline.
+    pub fn from_epoch(epoch: Instant) -> Clock {
+        Clock { epoch }
+    }
+
+    /// Nanoseconds elapsed since the epoch. Monotonic; never goes
+    /// backwards across copies sharing an epoch.
+    pub fn now(&self) -> SimTime {
+        self.epoch.elapsed().as_nanos() as SimTime
+    }
+
+    /// The anchoring instant, for handing to [`Clock::from_epoch`].
+    pub fn epoch(&self) -> Instant {
+        self.epoch
+    }
+}
+
+impl Default for Clock {
+    fn default() -> Self {
+        Clock::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotonic() {
+        let clock = Clock::new();
+        let a = clock.now();
+        let b = clock.now();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn copies_share_the_timeline() {
+        let clock = Clock::new();
+        let copy = Clock::from_epoch(clock.epoch());
+        let a = clock.now();
+        let b = copy.now();
+        // Same epoch: both readings sit on one timeline, so the later
+        // call can never read an earlier time.
+        assert!(b >= a, "{b} < {a}");
+    }
+
+    #[test]
+    fn cache_expiry_runs_on_real_time() {
+        use crate::cache::{Cache, CacheKey};
+        use zdns_wire::{RData, Record, RecordType};
+        let clock = Clock::new();
+        let cache = Cache::new(64);
+        cache.put(
+            CacheKey {
+                name: "example.test".parse().unwrap(),
+                rtype: RecordType::A,
+            },
+            vec![Record::new(
+                "example.test".parse().unwrap(),
+                300,
+                RData::A("192.0.2.1".parse().unwrap()),
+            )],
+            clock.now(),
+        );
+        assert!(cache
+            .get(&"example.test".parse().unwrap(), RecordType::A, clock.now())
+            .is_some());
+    }
+}

@@ -14,6 +14,7 @@
 
 pub mod alloc_count;
 pub mod cache;
+pub mod clock;
 pub mod config;
 pub mod driver;
 pub mod machine;
@@ -21,6 +22,7 @@ pub mod pacer;
 pub mod reactor;
 pub mod resolver;
 pub mod result;
+pub mod serve;
 pub mod stats;
 pub mod status;
 pub mod trace;
@@ -30,6 +32,7 @@ pub mod uring;
 
 pub use alloc_count::CountingAllocator;
 pub use cache::{Cache, CacheKey, CacheStats};
+pub use clock::Clock;
 pub use config::{ResolutionMode, ResolverConfig};
 pub use driver::{Admission, BatchHistogram, BlockingDriver, Driver, DriverReport};
 pub use machine::{
@@ -39,6 +42,7 @@ pub use pacer::{Pacer, PacerConfig, SharedPacer};
 pub use reactor::{Reactor, ReactorConfig, DEFAULT_BATCH_SIZE};
 pub use resolver::{collecting_sink, drive_blocking, drive_blocking_paced, AddrMap, Resolver};
 pub use result::{DelegationInfo, LookupResult};
+pub use serve::{ServeConfig, ServeStats, ServerRole};
 pub use stats::{Stats, StatsSnapshot};
 pub use status::Status;
 pub use trace::TraceStep;

@@ -96,8 +96,16 @@ struct HostState {
     streak: u32,
 }
 
-/// Soft cap on tracked destinations; beyond it, idle entries are pruned.
+/// Hard cap on tracked destinations: idle entries are pruned first, and
+/// if every survivor is still penalized (a spoofed-source flood can keep
+/// the whole table "dirty"), the soonest-to-expire entries are evicted
+/// outright so the table never grows past this bound.
 const MAX_HOSTS: usize = 65_536;
+
+/// How many arbitrary entries a full host table probes when forced to
+/// evict a non-idle entry; the victim is the one whose penalty expires
+/// soonest. Keeps forced eviction O(1) per insert.
+const HOST_EVICT_PROBES: usize = 16;
 
 /// A pacer shared by every worker of one scan — how the shared-queue
 /// pipeline leases one whole-scan pacing budget dynamically instead of
@@ -119,6 +127,9 @@ pub struct Pacer {
     hosts: HashMap<Ipv4Addr, HostState>,
     /// Destinations currently serving a backoff penalty (observability).
     pub backoff_events: u64,
+    /// Host entries dropped to hold the table at its capacity bound —
+    /// both idle prunes and forced evictions of still-penalized entries.
+    pub host_evictions: u64,
 }
 
 impl Pacer {
@@ -131,6 +142,7 @@ impl Pacer {
             global,
             hosts: HashMap::new(),
             backoff_events: 0,
+            host_evictions: 0,
         }
     }
 
@@ -148,8 +160,25 @@ impl Pacer {
         if self.hosts.len() >= MAX_HOSTS && !self.hosts.contains_key(&dest) {
             // Prune destinations that are idle: no penalty pending and no
             // failure streak worth remembering.
+            let before = self.hosts.len();
             self.hosts
                 .retain(|_, st| st.streak > 0 || st.not_before > now);
+            self.host_evictions += (before - self.hosts.len()) as u64;
+            // The prune is opportunistic; under a flood that penalizes
+            // every entry it frees nothing, so enforce the bound by
+            // evicting the probed entry whose penalty expires soonest
+            // (HashMap iteration order is effectively random).
+            while self.hosts.len() >= MAX_HOSTS {
+                let victim = self
+                    .hosts
+                    .iter()
+                    .take(HOST_EVICT_PROBES)
+                    .min_by_key(|(_, st)| (st.not_before, st.streak))
+                    .map(|(ip, _)| *ip);
+                let Some(ip) = victim else { break };
+                self.hosts.remove(&ip);
+                self.host_evictions += 1;
+            }
         }
         let config = &self.config;
         self.hosts.entry(dest).or_insert_with(|| HostState {
@@ -374,6 +403,29 @@ mod tests {
         assert_eq!(per_worker.rate_pps, 250.0);
         assert_eq!(per_worker.per_host_pps, 25.0);
         assert!(per_worker.enabled());
+    }
+
+    #[test]
+    fn host_table_is_hard_capped_under_all_penalized_flood() {
+        // A spoofed-source flood where *every* destination carries a live
+        // penalty: the idle prune frees nothing, so the hard cap must
+        // evict penalized entries to bound memory.
+        let mut pacer = Pacer::new(PacerConfig {
+            backoff: true,
+            backoff_base: 3_600 * SECONDS,
+            backoff_cap: 7_200 * SECONDS,
+            ..PacerConfig::default()
+        });
+        for i in 0..(MAX_HOSTS + 500) as u32 {
+            let ip = Ipv4Addr::from(0x0A00_0000 + i);
+            pacer.on_failure(ip, 0);
+        }
+        assert!(
+            pacer.tracked_hosts() <= MAX_HOSTS,
+            "tracked {}",
+            pacer.tracked_hosts()
+        );
+        assert!(pacer.host_evictions >= 500, "{}", pacer.host_evictions);
     }
 
     #[test]

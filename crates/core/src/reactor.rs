@@ -42,6 +42,7 @@
 
 use std::collections::HashMap;
 use std::net::{Ipv4Addr, SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -53,6 +54,7 @@ use zdns_wire::{encode_query_into, Message, MessageView, MsgRef, ScratchBuf};
 use crate::driver::{Admission, Driver, DriverReport};
 use crate::pacer::{Pacer, PacerConfig, SharedPacer};
 use crate::resolver::AddrMap;
+use crate::serve::{ServeStats, ServerRole};
 use crate::transport::readiness;
 use crate::transport::{
     blocking_tcp_exchange, BatchIo, BatchSendStatus, IoBackend, SendSlot, TransportError,
@@ -573,6 +575,13 @@ pub struct Reactor {
     /// Recycled queue of slots whose sends were just deferred and that
     /// may therefore be parkable (checked at safe points, not mid-step).
     park_checks: Vec<usize>,
+    /// The optional server half: installed via
+    /// [`Reactor::set_server_role`], it receives inbound queries (QR=0
+    /// demux misses) and queues forwarding machines for admission.
+    /// `Option` (like `batch`) so role methods taking `&mut` can run
+    /// while the reactor is borrowed; boxed to keep the scan-only
+    /// reactor layout lean.
+    server: Option<Box<ServerRole>>,
 }
 
 impl Reactor {
@@ -632,7 +641,21 @@ impl Reactor {
             keys_pool: Vec::new(),
             fired: Vec::new(),
             park_checks: Vec::new(),
+            server: None,
         })
+    }
+
+    /// Install a server role: from here on, inbound QR=0 datagrams on the
+    /// reactor socket dispatch to it instead of counting as stale, and
+    /// [`Reactor::serve_tick`] / [`Reactor::run_serve`] drive its
+    /// listener, TCP table, and forwarded-answer queue.
+    pub fn set_server_role(&mut self, role: ServerRole) {
+        self.server = Some(Box::new(role));
+    }
+
+    /// The installed server role's shared counters, if any.
+    pub fn server_stats(&self) -> Option<Arc<ServeStats>> {
+        self.server.as_ref().map(|r| r.stats())
     }
 
     /// Join the scan-wide admission [`CreditPool`]: instead of a fixed
@@ -1248,6 +1271,10 @@ impl Reactor {
         // handed borrowed views straight over its buffers — the zero-copy
         // receive path: no `to_vec`, no owned decode per datagram.
         let mut io = self.batch.take().expect("batch io present");
+        // The server role is moved out the same way: its dispatch method
+        // needs `&mut` while `self` stays borrowed for the socket and
+        // report counters.
+        let mut server = self.server.take();
         let mut errors = 0u32;
         'drain: loop {
             let batch = io.recv_into_arena(&self.socket);
@@ -1293,9 +1320,18 @@ impl Reactor {
                     }
                 };
                 if !is_response {
-                    // An echoed query (QR=0) from a reflecting server or
-                    // middlebox must not complete a lookup as a response.
-                    self.report.stale_datagrams += 1;
+                    // QR=0: with a server role installed this is a client
+                    // query for the serve path — the dual-role socket's
+                    // inbound half. Without one, an echoed query from a
+                    // reflecting server or middlebox must not complete a
+                    // lookup as a response.
+                    match server.as_deref_mut() {
+                        Some(role) => {
+                            let now = self.now();
+                            role.on_udp_datagram(&self.socket, bytes, peer, now);
+                        }
+                        None => self.report.stale_datagrams += 1,
+                    }
                     continue;
                 }
                 let key = (peer, wire_id);
@@ -1344,6 +1380,7 @@ impl Reactor {
             }
         }
         self.batch = Some(io);
+        self.server = server;
     }
 
     /// Collect finished TCP side-pool exchanges.
@@ -1419,6 +1456,109 @@ impl Reactor {
             );
         }
         self.fired = fired;
+    }
+
+    /// One iteration of the serve loop: drain inbound datagrams (client
+    /// queries dispatch to the server role, upstream responses to their
+    /// lookup machines), collect TCP completions and timers, run the
+    /// role's own listener/TCP/answer work, admit the forwarding machines
+    /// that cache misses queued, and flush staged upstream sends in one
+    /// batch.
+    ///
+    /// Public — rather than only reachable through [`Reactor::run_serve`]
+    /// — so the zero-allocation suite can tick the loop on the measuring
+    /// thread (allocation counters are per-thread) and benches can drive
+    /// it without a stop flag.
+    pub fn serve_tick(&mut self) {
+        let mut on_done = |_outcome: Option<JobOutcome>| {};
+        self.drain_datagrams(&mut on_done);
+        self.drain_tcp(&mut on_done);
+        self.fire_timers(&mut on_done);
+        if let Some(mut role) = self.server.take() {
+            let now = self.now();
+            role.poll(&self.socket, now);
+            self.server = Some(role);
+        }
+        // Admit the forwarding machines queued by cache misses. When the
+        // hosting window is full the machine is dropped instead — it has
+        // not started, so there is nothing to unwind, and the client
+        // retries against a cache its sibling queries are busy filling.
+        while let Some(machine) = self.server.as_mut().and_then(|r| r.pop_admission()) {
+            if self.admittable() {
+                self.admit(machine, &mut on_done);
+            } else if let Some(role) = self.server.as_ref() {
+                role.note_overload();
+            }
+        }
+        self.flush_staged(&mut on_done);
+    }
+
+    /// Drive the serve loop until `stop` is raised: the blocking
+    /// counterpart to [`Driver::run_scan`] for a reactor with a server
+    /// role installed. Sleeps between ticks on the same readiness/timer
+    /// logic as a scan, capped tighter while the role has work the
+    /// reactor's own socket cannot signal (a dedicated `SO_REUSEPORT`
+    /// listener, live TCP connections, queued answers).
+    pub fn run_serve(&mut self, stop: &AtomicBool) -> DriverReport {
+        #[cfg(unix)]
+        use std::os::fd::AsRawFd;
+
+        self.report = DriverReport::default();
+        let ring_stats_start = if let Some(batch) = self.batch.as_mut() {
+            batch.prime_recv(&self.socket);
+            batch.ring_stats()
+        } else {
+            None
+        };
+        while !stop.load(Ordering::Relaxed) {
+            self.serve_tick();
+
+            let now = self.now();
+            let mut wait_ns = self.wheel.ns_until_next_tick(now).unwrap_or(5 * MILLIS);
+            if self.tcp_inflight > 0 {
+                wait_ns = wait_ns.min(2 * MILLIS);
+            }
+            if self.server.as_ref().is_some_and(|r| r.wants_fast_tick()) {
+                wait_ns = wait_ns.min(MILLIS);
+            }
+            // Floor of 1ms (a scan may spin at 0; a server must bound its
+            // idle wakeup rate), ceiling of 50ms so the stop flag is
+            // honored promptly.
+            let wait_ms = wait_ns.div_ceil(MILLIS).clamp(1, 50) as i32;
+            #[cfg(unix)]
+            let fd = self
+                .batch
+                .as_ref()
+                .map(|b| b.poll_fd(&self.socket))
+                .unwrap_or_else(|| self.socket.as_raw_fd());
+            #[cfg(not(unix))]
+            let fd = 0;
+            let buffered = self.batch.as_ref().is_some_and(BatchIo::has_buffered_recv);
+            if !buffered {
+                readiness::wait_readable(fd, wait_ms);
+            }
+        }
+
+        // Same end-of-run hygiene as a scan: machines still forwarding
+        // are abandoned (their clients will retry), deferred sends are
+        // dropped with their wheel entries, and cancelled timers are
+        // swept so the reactor can be reused.
+        for (token, _) in self.deferred.drain() {
+            self.wheel.cancel(token);
+        }
+        self.wheel.sweep_cancelled();
+
+        self.report.io_backend = self.io_backend();
+        if let (Some(end), Some(start)) = (
+            self.batch.as_ref().and_then(BatchIo::ring_stats),
+            ring_stats_start,
+        ) {
+            self.report.ring_sqes = end.sqes - start.sqes;
+            self.report.ring_enters = end.enters - start.enters;
+            self.report.cqe_batches = end.cqe_batches - start.cqe_batches;
+            self.report.sq_full_stalls = end.sq_full_stalls - start.sq_full_stalls;
+        }
+        self.report.clone()
     }
 }
 

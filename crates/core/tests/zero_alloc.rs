@@ -300,6 +300,157 @@ fn codec_paths_allocate_zero_after_warmup() {
 }
 
 #[test]
+fn steady_state_serve_hit_path_allocates_zero_per_query() {
+    // The serve-mode counterpart of the scan claims above: once the
+    // answer cache and the TCP connection table are warm, answering a
+    // client query — borrowed view parse, per-client gate, cache probe,
+    // scratch re-encode with cookie echo, send — allocates nothing, over
+    // UDP and over an established TCP connection alike. `serve_tick` is
+    // public precisely so this test can run the loop on the measuring
+    // thread; the client lives on its own thread whose allocations the
+    // per-thread counters ignore.
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream, UdpSocket};
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::time::{Duration, Instant};
+    use zdns_core::{Clock, ServeConfig, ServerRole};
+
+    const NAMES: usize = 16;
+    const WARMUP_ROUNDS: u64 = 200;
+    const MEASURED_ROUNDS: u64 = 600;
+
+    let epoch = Instant::now();
+    let clock = Clock::from_epoch(epoch);
+    let resolver = Resolver::new(ResolverConfig::external(vec![Ipv4Addr::new(
+        203, 0, 113, 99,
+    )]));
+    for i in 0..NAMES {
+        let name: Name = format!("z{i}.zeroalloc.test").parse().unwrap();
+        resolver.core().cache.put(
+            CacheKey {
+                name: name.clone(),
+                rtype: RecordType::A,
+            },
+            vec![Record::new(
+                name,
+                3600,
+                RData::A(Ipv4Addr::new(10, 7, 0, i as u8)),
+            )],
+            0,
+        );
+    }
+    // Upstream map is never consulted: every query hits the cache.
+    let addr_map: Arc<AddrMap> = Arc::new(|_| (Ipv4Addr::LOCALHOST, 9).into());
+    let mut reactor = Reactor::new(
+        ReactorConfig {
+            max_in_flight: 64,
+            source: Ipv4Addr::LOCALHOST,
+            io_backend: IoBackend::Mmsg,
+            epoch: Some(epoch),
+            ..ReactorConfig::default()
+        },
+        addr_map,
+    )
+    .unwrap();
+    let tcp_listener = TcpListener::bind((Ipv4Addr::LOCALHOST, 0)).unwrap();
+    let tcp_addr = tcp_listener.local_addr().unwrap();
+    let role = ServerRole::new(resolver.clone(), clock, ServeConfig::default())
+        .with_tcp_listener(tcp_listener)
+        .unwrap();
+    reactor.set_server_role(role);
+    let udp_addr = reactor.local_addr().unwrap();
+
+    let rounds = Arc::new(AtomicU64::new(0));
+    let stop = Arc::new(AtomicBool::new(false));
+    let done = Arc::new(AtomicBool::new(false));
+    let client = {
+        let rounds = Arc::clone(&rounds);
+        let stop = Arc::clone(&stop);
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || {
+            let udp = UdpSocket::bind((Ipv4Addr::LOCALHOST, 0)).unwrap();
+            udp.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+            let mut tcp = TcpStream::connect(tcp_addr).unwrap();
+            tcp.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+            tcp.set_nodelay(true).unwrap();
+            let questions: Vec<Question> = (0..NAMES)
+                .map(|i| {
+                    Question::new(
+                        format!("z{i}.zeroalloc.test").parse().unwrap(),
+                        RecordType::A,
+                    )
+                })
+                .collect();
+            let cookie = Cookie::client(*b"zeroallc");
+            let mut scratch = ScratchBuf::new();
+            let mut buf = [0u8; 4096];
+            let mut round = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let question = &questions[(round as usize) % NAMES];
+                let id = (round % 0xFFFF) as u16;
+                scratch.reset();
+                encode_query_into(&mut scratch, id, question, true, Some(&cookie)).unwrap();
+                if round % 4 == 3 {
+                    // Every fourth round goes over the warm TCP connection.
+                    let msg = scratch.as_slice();
+                    tcp.write_all(&(msg.len() as u16).to_be_bytes()).unwrap();
+                    tcp.write_all(msg).unwrap();
+                    let mut prefix = [0u8; 2];
+                    tcp.read_exact(&mut prefix).unwrap();
+                    let len = u16::from_be_bytes(prefix) as usize;
+                    tcp.read_exact(&mut buf[..len]).unwrap();
+                    let reply = MessageView::parse(&buf[..len]).unwrap();
+                    assert_eq!(reply.id(), id);
+                    assert_eq!(reply.answer_count(), 1);
+                } else {
+                    udp.send_to(scratch.as_slice(), udp_addr).unwrap();
+                    let (n, _) = udp.recv_from(&mut buf).unwrap();
+                    let reply = MessageView::parse(&buf[..n]).unwrap();
+                    assert_eq!(reply.id(), id);
+                    assert_eq!(reply.answer_count(), 1);
+                    assert!(reply.cookie().is_some(), "UDP answers echo the cookie");
+                }
+                round += 1;
+                rounds.store(round, Ordering::Relaxed);
+            }
+            done.store(true, Ordering::Relaxed);
+        })
+    };
+
+    // Warmup: grows the scratch buffer, the connection table slot, the
+    // read/write buffers of the accepted connection, and the per-client
+    // gate entry to their steady-state sizes.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while rounds.load(Ordering::Relaxed) < WARMUP_ROUNDS {
+        reactor.serve_tick();
+        assert!(Instant::now() < deadline, "serve warmup stalled");
+    }
+
+    let before = thread_allocations();
+    if std::env::var_os("ZDNS_TRAP_ALLOCS").is_some() {
+        zdns_core::alloc_count::trap_allocations(true);
+    }
+    let target = WARMUP_ROUNDS + MEASURED_ROUNDS;
+    while rounds.load(Ordering::Relaxed) < target {
+        reactor.serve_tick();
+        assert!(Instant::now() < deadline, "serve measurement stalled");
+    }
+    zdns_core::alloc_count::trap_allocations(false);
+    let allocs = thread_allocations() - before;
+
+    stop.store(true, Ordering::Relaxed);
+    while !done.load(Ordering::Relaxed) {
+        reactor.serve_tick();
+        std::thread::yield_now();
+    }
+    client.join().unwrap();
+    assert_eq!(
+        allocs, 0,
+        "steady-state serve hit path allocated {allocs} times over {MEASURED_ROUNDS} queries"
+    );
+}
+
+#[test]
 fn cache_misses_and_shard_routing_allocate_zero() {
     let cache = Cache::new(4096);
     let com: Name = "com".parse().unwrap();

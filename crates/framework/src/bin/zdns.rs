@@ -32,6 +32,10 @@ fn main() {
         print_help();
         return;
     }
+    if args[0] == "serve" {
+        run_serve(&args[1..]);
+        return;
+    }
     let conf = match Conf::parse(args) {
         Ok(c) => c,
         Err(e) => {
@@ -119,8 +123,23 @@ fn main() {
             std::process::exit(2);
         }
         let resolver = runner::resolver_for(&conf, universe.as_ref());
-        let addr_map: Arc<zdns_core::AddrMap> =
-            Arc::new(|ip: std::net::Ipv4Addr| std::net::SocketAddr::new(ip.into(), 53));
+        // Route by the --name-servers entries: `ip:port` forms keep their
+        // port (a scan can point at a local `zdns serve`), everything
+        // else goes to ip:53.
+        let ports: std::collections::HashMap<std::net::Ipv4Addr, std::net::SocketAddr> = conf
+            .name_server_addrs
+            .iter()
+            .filter_map(|sa| match sa {
+                std::net::SocketAddr::V4(v4) => Some((*v4.ip(), *sa)),
+                _ => None,
+            })
+            .collect();
+        let addr_map: Arc<zdns_core::AddrMap> = Arc::new(move |ip: std::net::Ipv4Addr| {
+            ports
+                .get(&ip)
+                .copied()
+                .unwrap_or_else(|| std::net::SocketAddr::new(ip.into(), 53))
+        });
         let report = pipeline::run_scan_pipeline(
             &conf,
             &resolver,
@@ -166,19 +185,102 @@ fn main() {
     }
 }
 
+/// `zdns serve`: run a caching forwarding DNS server on real sockets —
+/// the reactor's bidirectional mode. Listens on UDP + TCP, answers from
+/// the selective cache, forwards misses to `--upstream`, and applies a
+/// per-client token-bucket gate when `--client-pps` is set.
+fn run_serve(args: &[String]) {
+    if args.first().map(String::as_str) == Some("--help") {
+        print_serve_help();
+        return;
+    }
+    let conf = match zdns_framework::ServeConf::parse(args.iter().cloned()) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("zdns serve: {e}");
+            std::process::exit(2);
+        }
+    };
+    let handle = match zdns_framework::serve::start(&conf.options()) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("zdns serve: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "zdns serve: listening on {} (udp+tcp), {} worker{}, forwarding to {}",
+        handle.local_addr(),
+        handle.stats().len(),
+        if handle.stats().len() == 1 { "" } else { "s" },
+        conf.upstreams
+            .iter()
+            .map(|u| u.to_string())
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
+    let started = std::time::Instant::now();
+    loop {
+        std::thread::sleep(std::time::Duration::from_millis(250));
+        if conf.status_updates && started.elapsed().as_millis() % 1000 < 250 {
+            eprintln!("{}", handle.summary_line());
+        }
+        if conf.duration > 0.0 && started.elapsed().as_secs_f64() >= conf.duration {
+            break;
+        }
+    }
+    eprintln!("{}", handle.summary_line());
+    let reports = handle.stop();
+    if let Some(report) = reports.first() {
+        eprintln!(
+            "zdns serve: io backend {}, {} upstream queries sent, {} datagrams received",
+            report.io_backend, report.datagrams_sent, report.datagrams_received,
+        );
+    }
+}
+
+fn print_serve_help() {
+    println!(
+        "zdns serve - caching forwarding DNS server (reactor serve mode)
+
+USAGE: zdns serve --upstream IP[:PORT] [flags]
+
+FLAGS:
+  --listen IP:PORT         listen address, UDP + TCP (default 127.0.0.1:5353;
+                           port 0 = ephemeral)
+  --upstream IP[:PORT][,…] upstream recursive resolvers misses are forwarded
+                           to (required; port defaults to 53)
+  --cache-capacity N       selective cache entries (default 600000)
+  --client-pps N           per-client UDP budget in queries/s; over-budget
+                           queries are dropped, TCP is never gated
+                           (default: off)
+  --io-backend KIND        forwarding syscall strategy: auto | uring | mmsg |
+                           syscall (same chain as scan mode)
+  --shards N               worker count: 1 (default) serves and forwards on
+                           one dual-role socket; N>1 shards the listen port
+                           across workers via SO_REUSEPORT
+  --batch-size N           datagrams per syscall on the forwarding path
+  --duration SECS          serve for SECS then exit (default: run forever)
+  --status-updates         print a stats line to stderr every second"
+    );
+}
+
 fn print_help() {
     println!(
         "zdns - fast DNS measurement toolkit (Rust reproduction, simulated Internet)
 
 USAGE: zdns MODULE [flags] < names.txt
+       zdns serve --upstream IP[:PORT] [flags]   (see: zdns serve --help)
 
 MODULES: A, AAAA, MX, TXT, PTR, CAA, ... plus ALOOKUP, MXLOOKUP, NSLOOKUP,
          CAALOOKUP, SPF, DMARC, BINDVERSION, ALLNAMESERVERS
 
 FLAGS:
   --iterative              resolve iteratively from the roots (default)
-  --name-servers IP[,IP]   use external recursive resolvers
-                           (simulated Google at 8.8.8.8, Cloudflare at 1.1.1.1)
+  --name-servers IP[,IP]   use external recursive resolvers; ip:port forms
+                           keep their port under --real (e.g. a local
+                           `zdns serve` instance). Simulated runs have
+                           Google at 8.8.8.8, Cloudflare at 1.1.1.1
   --threads N              concurrent lookup routines (default 1000)
   --cache-size N           selective cache entries (default 600000)
   --retries N              per-query retries (default 3)

@@ -4,10 +4,12 @@
 //! configuration ... and is absent of most DNS-specific logic" (§3.2).
 //! Parsing is argv-vector based so tests and benches drive it directly.
 
-use std::net::Ipv4Addr;
+use std::net::{Ipv4Addr, SocketAddr};
 
 use zdns_core::{IoBackend, PacerConfig, ResolutionMode, ResolverConfig};
 use zdns_netsim::{SimTime, MILLIS, SECONDS};
+
+use crate::serve::ServeOptions;
 
 /// Which output fields to keep (ZDNS's `--output-fields` groups).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -95,6 +97,11 @@ pub struct Conf {
     /// Pin each reactor worker to its own CPU core
     /// (`sched_setaffinity`), best-effort. Off by default.
     pub pin_cores: bool,
+    /// The `--name-servers` entries with their ports: `ip:port` forms
+    /// keep the given port, bare IPs get 53. Real-socket scans build
+    /// their address map from this, so a scan can point at a non-53
+    /// resolver — e.g. a local `zdns serve` instance.
+    pub name_server_addrs: Vec<SocketAddr>,
 }
 
 impl Default for Conf {
@@ -122,6 +129,7 @@ impl Default for Conf {
             static_split: false,
             io_backend: IoBackend::default(),
             pin_cores: false,
+            name_server_addrs: Vec::new(),
         }
     }
 }
@@ -137,6 +145,20 @@ impl std::fmt::Display for ConfError {
 }
 
 impl std::error::Error for ConfError {}
+
+/// Parse a server address: `ip` (port 53) or `ip:port`. IPv4 only — the
+/// resolver core routes by v4 address.
+fn parse_server_addr(v: &str) -> Result<(Ipv4Addr, SocketAddr), ConfError> {
+    if let Ok(ip) = v.parse::<Ipv4Addr>() {
+        return Ok((ip, SocketAddr::new(ip.into(), 53)));
+    }
+    match v.parse::<SocketAddr>() {
+        Ok(SocketAddr::V4(v4)) => Ok((*v4.ip(), SocketAddr::V4(v4))),
+        _ => Err(ConfError(format!(
+            "bad server address {v:?} (expected IP or IP:PORT, IPv4)"
+        ))),
+    }
+}
 
 fn parse_duration_secs(v: &str) -> Result<SimTime, ConfError> {
     v.parse::<f64>()
@@ -209,11 +231,9 @@ impl Conf {
                 "--iterative" => iterative = true,
                 "--name-servers" => {
                     for part in take_value(&mut i)?.split(',') {
-                        name_servers.push(
-                            part.trim()
-                                .parse()
-                                .map_err(|_| ConfError(format!("bad name server {part:?}")))?,
-                        );
+                        let (ip, addr) = parse_server_addr(part.trim())?;
+                        name_servers.push(ip);
+                        conf.name_server_addrs.push(addr);
                     }
                 }
                 "--cache-size" => {
@@ -378,6 +398,145 @@ impl Conf {
         (0..self.source_ips.max(1))
             .map(|i| Ipv4Addr::new(192, 0, 2, (i + 1) as u8))
             .collect()
+    }
+}
+
+/// Parsed `zdns serve` configuration: the forwarding-server subcommand's
+/// own flag surface (a serve is not a scan — it has no module, no input,
+/// and runs until stopped).
+#[derive(Debug, Clone)]
+pub struct ServeConf {
+    /// Listen address (`--listen`), UDP + TCP.
+    pub listen: SocketAddr,
+    /// Upstream recursive resolvers (`--upstream ip[:port][,...]`).
+    pub upstreams: Vec<SocketAddr>,
+    /// Selective-cache capacity in entries (`--cache-capacity`).
+    pub cache_capacity: usize,
+    /// Per-client UDP budget in queries/second (`--client-pps`; 0 = off).
+    pub client_pps: f64,
+    /// Reactor syscall strategy (`--io-backend`).
+    pub io_backend: IoBackend,
+    /// Worker count (`--shards`; 1 = dual-role socket).
+    pub shards: usize,
+    /// Datagrams per syscall on the forwarding path (`--batch-size`).
+    pub batch_size: usize,
+    /// Run for this many seconds then exit (`--duration`; 0 = forever).
+    pub duration: f64,
+    /// Print a status line to stderr every second (`--status-updates`).
+    pub status_updates: bool,
+}
+
+impl Default for ServeConf {
+    fn default() -> Self {
+        ServeConf {
+            listen: "127.0.0.1:5353".parse().expect("static address"),
+            upstreams: Vec::new(),
+            cache_capacity: 600_000,
+            client_pps: 0.0,
+            io_backend: IoBackend::default(),
+            shards: 1,
+            batch_size: 0,
+            duration: 0.0,
+            status_updates: false,
+        }
+    }
+}
+
+impl ServeConf {
+    /// Parse the argv vector that followed `zdns serve`.
+    pub fn parse<I, S>(args: I) -> Result<ServeConf, ConfError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut conf = ServeConf::default();
+        let args: Vec<String> = args.into_iter().map(Into::into).collect();
+        let mut i = 0;
+        while i < args.len() {
+            let flag = args[i].clone();
+            let take_value = |i: &mut usize| -> Result<String, ConfError> {
+                *i += 1;
+                args.get(*i)
+                    .cloned()
+                    .ok_or_else(|| ConfError(format!("flag {flag} needs a value")))
+            };
+            match flag.as_str() {
+                "--listen" => {
+                    let v = take_value(&mut i)?;
+                    conf.listen = v
+                        .parse()
+                        .map_err(|_| ConfError(format!("bad --listen {v:?} (expected IP:PORT)")))?;
+                }
+                "--upstream" => {
+                    for part in take_value(&mut i)?.split(',') {
+                        let (_, addr) = parse_server_addr(part.trim())?;
+                        conf.upstreams.push(addr);
+                    }
+                }
+                "--cache-capacity" => {
+                    conf.cache_capacity = take_value(&mut i)?
+                        .parse()
+                        .map_err(|_| ConfError("bad --cache-capacity".into()))?;
+                }
+                "--client-pps" => {
+                    conf.client_pps = take_value(&mut i)?
+                        .parse()
+                        .ok()
+                        .filter(|v: &f64| v.is_finite() && *v >= 0.0)
+                        .ok_or_else(|| ConfError("bad --client-pps".into()))?;
+                }
+                "--io-backend" => {
+                    let v = take_value(&mut i)?;
+                    conf.io_backend = IoBackend::parse(&v).ok_or_else(|| {
+                        ConfError(format!("bad --io-backend {v:?} (auto|syscall|mmsg|uring)"))
+                    })?;
+                }
+                "--shards" => {
+                    conf.shards = take_value(&mut i)?
+                        .parse()
+                        .ok()
+                        .filter(|v: &usize| *v >= 1)
+                        .ok_or_else(|| ConfError("bad --shards".into()))?;
+                }
+                "--batch-size" => {
+                    conf.batch_size = take_value(&mut i)?
+                        .parse()
+                        .ok()
+                        .filter(|v: &usize| *v >= 1)
+                        .ok_or_else(|| ConfError("bad --batch-size".into()))?;
+                }
+                "--duration" => {
+                    conf.duration = take_value(&mut i)?
+                        .parse()
+                        .ok()
+                        .filter(|v: &f64| v.is_finite() && *v >= 0.0)
+                        .ok_or_else(|| ConfError("bad --duration".into()))?;
+                }
+                "--status-updates" => conf.status_updates = true,
+                other => return Err(ConfError(format!("unknown serve flag {other:?}"))),
+            }
+            i += 1;
+        }
+        if conf.upstreams.is_empty() {
+            return Err(ConfError(
+                "serve needs --upstream IP[:PORT] (where forwarded queries go)".into(),
+            ));
+        }
+        Ok(conf)
+    }
+
+    /// The fleet options this configuration asks for.
+    pub fn options(&self) -> ServeOptions {
+        ServeOptions {
+            listen: self.listen,
+            upstreams: self.upstreams.clone(),
+            cache_capacity: self.cache_capacity,
+            client_pps: self.client_pps,
+            io_backend: self.io_backend,
+            shards: self.shards,
+            batch_size: self.batch_size,
+            ..ServeOptions::default()
+        }
     }
 }
 
@@ -572,5 +731,76 @@ mod tests {
     fn pin_cores_flag() {
         assert!(!Conf::parse(["A"]).unwrap().pin_cores, "off by default");
         assert!(Conf::parse(["A", "--pin-cores"]).unwrap().pin_cores);
+    }
+
+    #[test]
+    fn name_servers_accept_ports() {
+        let conf = Conf::parse(["A", "--name-servers", "8.8.8.8,127.0.0.1:5533"]).unwrap();
+        match conf.resolver.mode {
+            ResolutionMode::External { ref servers } => assert_eq!(servers.len(), 2),
+            _ => panic!("expected external mode"),
+        }
+        assert_eq!(
+            conf.name_server_addrs,
+            vec![
+                "8.8.8.8:53".parse::<SocketAddr>().unwrap(),
+                "127.0.0.1:5533".parse().unwrap(),
+            ],
+            "bare IPs default to 53, explicit ports survive"
+        );
+        assert!(Conf::parse(["A", "--name-servers", "[::1]:53"]).is_err());
+        assert!(Conf::parse(["A", "--name-servers", "example.com"]).is_err());
+    }
+
+    #[test]
+    fn serve_conf_parses() {
+        let conf = ServeConf::parse([
+            "--listen",
+            "127.0.0.1:5533",
+            "--upstream",
+            "8.8.8.8,9.9.9.9:5353",
+            "--cache-capacity",
+            "50000",
+            "--client-pps",
+            "100",
+            "--shards",
+            "4",
+            "--io-backend",
+            "mmsg",
+            "--duration",
+            "2.5",
+        ])
+        .unwrap();
+        assert_eq!(conf.listen, "127.0.0.1:5533".parse().unwrap());
+        assert_eq!(
+            conf.upstreams,
+            vec![
+                "8.8.8.8:53".parse::<SocketAddr>().unwrap(),
+                "9.9.9.9:5353".parse().unwrap(),
+            ]
+        );
+        assert_eq!(conf.cache_capacity, 50_000);
+        assert_eq!(conf.client_pps, 100.0);
+        assert_eq!(conf.shards, 4);
+        assert_eq!(conf.io_backend, IoBackend::Mmsg);
+        assert_eq!(conf.duration, 2.5);
+        let opts = conf.options();
+        assert_eq!(opts.shards, 4);
+        assert_eq!(opts.cache_capacity, 50_000);
+    }
+
+    #[test]
+    fn serve_conf_rejects_bad_input() {
+        assert!(
+            ServeConf::parse::<[&str; 0], &str>([]).is_err(),
+            "no upstream"
+        );
+        assert!(ServeConf::parse(["--upstream", "example.com"]).is_err());
+        assert!(ServeConf::parse(["--upstream", "8.8.8.8", "--shards", "0"]).is_err());
+        assert!(ServeConf::parse(["--upstream", "8.8.8.8", "--bogus"]).is_err());
+        assert!(ServeConf::parse(["--upstream", "8.8.8.8", "--client-pps", "-1"]).is_err());
+        let minimal = ServeConf::parse(["--upstream", "8.8.8.8"]).unwrap();
+        assert_eq!(minimal.shards, 1, "dual-role socket by default");
+        assert_eq!(minimal.client_pps, 0.0, "gate off by default");
     }
 }

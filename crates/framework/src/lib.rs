@@ -11,11 +11,13 @@ pub mod conf;
 pub mod output;
 pub mod pipeline;
 pub mod runner;
+pub mod serve;
 
-pub use conf::{Conf, ConfError, OutputGroup, Workload};
+pub use conf::{Conf, ConfError, OutputGroup, ServeConf, Workload};
 pub use output::{CallbackSink, JsonlSink, OutputSink};
 pub use pipeline::{run_scan_pipeline, AdmissionMode};
 pub use runner::{
     resolver_for, run_real_scan, run_sim_scan, run_sim_scan_with, RealScanReport, CLOUDFLARE_DNS,
     GOOGLE_DNS,
 };
+pub use serve::{ServeHandle, ServeOptions};

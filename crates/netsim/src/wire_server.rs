@@ -119,6 +119,67 @@ pub fn bind_reuse_port(ip: Ipv4Addr, port: u16) -> std::io::Result<UdpSocket> {
     }
 }
 
+/// [`bind_reuse_port`]'s TCP sibling: a listener on `ip:port` with
+/// `SO_REUSEPORT` set, so each serve worker can own a listener on the
+/// same well-known port and the kernel spreads incoming connections
+/// across the group. On non-Linux targets this is a plain bind —
+/// callers wanting multi-worker TCP there must share one listener.
+pub fn bind_tcp_reuse_port(ip: Ipv4Addr, port: u16) -> std::io::Result<TcpListener> {
+    #[cfg(any(target_os = "linux", target_os = "android"))]
+    {
+        use std::os::fd::{FromRawFd, RawFd};
+        // SAFETY: plain socket(2); the fd is checked before use.
+        let fd: RawFd = unsafe {
+            libc::socket(
+                libc::AF_INET as i32,
+                libc::SOCK_STREAM | libc::SOCK_CLOEXEC,
+                0,
+            )
+        };
+        if fd < 0 {
+            return Err(std::io::Error::last_os_error());
+        }
+        // SAFETY: from here the fd is owned; it is closed through the
+        // TcpListener on every path, including errors.
+        let listener = unsafe { TcpListener::from_raw_fd(fd) };
+        let one: i32 = 1;
+        // SAFETY: fd is live; value points at a properly sized int.
+        let r = unsafe {
+            libc::setsockopt(
+                fd,
+                libc::SOL_SOCKET,
+                libc::SO_REUSEPORT,
+                &one as *const i32 as *const libc::c_void,
+                std::mem::size_of::<i32>() as u32,
+            )
+        };
+        if r != 0 {
+            return Err(std::io::Error::last_os_error());
+        }
+        let addr = libc::sockaddr_in::from_parts(ip, port);
+        // SAFETY: addr is a live, correctly sized sockaddr_in.
+        let r = unsafe {
+            libc::bind(
+                fd,
+                &addr as *const libc::sockaddr_in,
+                std::mem::size_of::<libc::sockaddr_in>() as u32,
+            )
+        };
+        if r != 0 {
+            return Err(std::io::Error::last_os_error());
+        }
+        // SAFETY: fd is a bound stream socket.
+        if unsafe { libc::listen(fd, 128) } != 0 {
+            return Err(std::io::Error::last_os_error());
+        }
+        Ok(listener)
+    }
+    #[cfg(not(any(target_os = "linux", target_os = "android")))]
+    {
+        TcpListener::bind((ip, port))
+    }
+}
+
 /// A reusable receive arena for batch-draining a UDP socket with
 /// `recvmmsg(2)`: `depth` pre-allocated buffers filled in one syscall.
 ///
@@ -235,10 +296,20 @@ impl WireServer {
         impersonate: Ipv4Addr,
         latency: Duration,
     ) -> std::io::Result<WireServer> {
-        let udp = UdpSocket::bind((Ipv4Addr::LOCALHOST, 0))?;
+        // A DNS server answers on one port over both transports, but the
+        // kernel picks the UDP port without knowing we also need its TCP
+        // twin — retry when an unrelated listener already owns it (test
+        // suites bind many ephemeral TCP ports in parallel).
+        let (udp, addr, tcp) = loop {
+            let udp = UdpSocket::bind((Ipv4Addr::LOCALHOST, 0))?;
+            let addr = udp.local_addr()?;
+            match TcpListener::bind(addr) {
+                Ok(tcp) => break (udp, addr, tcp),
+                Err(e) if e.kind() == std::io::ErrorKind::AddrInUse => continue,
+                Err(e) => return Err(e),
+            }
+        };
         set_recv_buffer(&udp, 8 << 20);
-        let addr = udp.local_addr()?;
-        let tcp = TcpListener::bind(addr)?;
         tcp.set_nonblocking(true)?;
         udp.set_read_timeout(Some(Duration::from_millis(25)))?;
         let stop = Arc::new(AtomicBool::new(false));
@@ -307,32 +378,98 @@ impl WireServer {
         let tcp_stop = Arc::clone(&stop);
         let tcp_universe = Arc::clone(&universe);
         let tcp_thread = std::thread::spawn(move || {
+            // A non-blocking connection table, not one blocking connection
+            // at a time: the old loop's two 500ms `read_exact`s meant a
+            // single slow (or merely scheduled-out) client wedged every
+            // other TCP fallback for up to a second. Now each pass accepts
+            // everything pending and does only the work each connection
+            // has ready.
+            struct Conn {
+                stream: std::net::TcpStream,
+                read_buf: Vec<u8>,
+                write_buf: Vec<u8>,
+                write_pos: usize,
+                last_active: std::time::Instant,
+            }
+            const IDLE: Duration = Duration::from_millis(500);
             let mut scratch = ScratchBuf::new();
+            let mut conns: Vec<Conn> = Vec::new();
+            let mut tmp = [0u8; 4096];
             while !tcp_stop.load(Ordering::Relaxed) {
-                match tcp.accept() {
-                    Ok((mut stream, _)) => {
-                        let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
-                        let mut len_buf = [0u8; 2];
-                        if stream.read_exact(&mut len_buf).is_err() {
-                            continue;
+                loop {
+                    match tcp.accept() {
+                        Ok((stream, _)) if stream.set_nonblocking(true).is_ok() => {
+                            conns.push(Conn {
+                                stream,
+                                read_buf: Vec::new(),
+                                write_buf: Vec::new(),
+                                write_pos: 0,
+                                last_active: std::time::Instant::now(),
+                            });
                         }
-                        let len = u16::from_be_bytes(len_buf) as usize;
-                        let mut msg_buf = vec![0u8; len];
-                        if stream.read_exact(&mut msg_buf).is_err() {
-                            continue;
+                        Ok(_) => {}
+                        Err(_) => break, // WouldBlock or fatal: stop accepting
+                    }
+                }
+                let mut progressed = false;
+                conns.retain_mut(|conn| {
+                    // Flush buffered writes first.
+                    while conn.write_pos < conn.write_buf.len() {
+                        match conn.stream.write(&conn.write_buf[conn.write_pos..]) {
+                            Ok(0) => return false,
+                            Ok(n) => {
+                                conn.write_pos += n;
+                                conn.last_active = std::time::Instant::now();
+                                progressed = true;
+                            }
+                            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                            Err(_) => return false,
+                        }
+                    }
+                    if conn.write_pos == conn.write_buf.len() {
+                        conn.write_buf.clear();
+                        conn.write_pos = 0;
+                    }
+                    // Read what is available and answer complete frames.
+                    loop {
+                        match conn.stream.read(&mut tmp) {
+                            Ok(0) => return false, // peer closed
+                            Ok(n) => {
+                                conn.read_buf.extend_from_slice(&tmp[..n]);
+                                conn.last_active = std::time::Instant::now();
+                                progressed = true;
+                            }
+                            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                            Err(_) => return false,
+                        }
+                    }
+                    while conn.read_buf.len() >= 2 {
+                        let need =
+                            2 + u16::from_be_bytes([conn.read_buf[0], conn.read_buf[1]]) as usize;
+                        if conn.read_buf.len() < need {
+                            break;
                         }
                         scratch.reset();
-                        if answer_into(&tcp_universe, impersonate, &msg_buf, false, &mut scratch) {
+                        if answer_into(
+                            &tcp_universe,
+                            impersonate,
+                            &conn.read_buf[2..need],
+                            false,
+                            &mut scratch,
+                        ) {
                             let bytes = scratch.as_slice();
-                            let prefix = (bytes.len() as u16).to_be_bytes();
-                            let _ = stream.write_all(&prefix);
-                            let _ = stream.write_all(bytes);
+                            conn.write_buf
+                                .extend_from_slice(&(bytes.len() as u16).to_be_bytes());
+                            conn.write_buf.extend_from_slice(bytes);
                         }
+                        conn.read_buf.drain(..need);
                     }
-                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(Duration::from_millis(10));
-                    }
-                    Err(_) => break,
+                    conn.last_active.elapsed() <= IDLE
+                });
+                if !progressed {
+                    std::thread::sleep(Duration::from_millis(2));
                 }
             }
         });

@@ -107,6 +107,127 @@ impl TokenBucket {
     }
 }
 
+/// How many arbitrary entries a full [`ClientBuckets`] table probes when
+/// it must make room: the victim is the stalest of the probed set. Keeps
+/// eviction O(1) per packet even under a spoofed-source flood, where every
+/// datagram is a table miss.
+const EVICT_PROBES: usize = 16;
+
+/// A bounded per-client token-bucket table — the server side's
+/// response-rate-limiting gate (the same mechanism Google Public DNS
+/// applies to the paper's /32 scans, now pointed at *our* clients).
+///
+/// Differences from the scanning pacer's host table:
+///
+/// * **`try_take` flavor**: over-budget clients are *refused* (the
+///   datagram is dropped), never deferred — a server must shed load, not
+///   queue it for an unauthenticated source.
+/// * **Hard capacity bound**: a spoofed-source flood can mint one entry
+///   per forged /32, so the table refuses to grow past `capacity`.
+///   Admitting a new client at capacity evicts the stalest of
+///   `EVICT_PROBES` arbitrary entries (idle entries go first) and
+///   counts the eviction, so memory stays bounded and the pressure is
+///   observable.
+#[derive(Debug)]
+pub struct ClientBuckets {
+    rate: f64,
+    burst: f64,
+    capacity: usize,
+    idle_after: Nanos,
+    clients: std::collections::HashMap<Ipv4Addr, ClientEntry>,
+    evictions: u64,
+    refusals: u64,
+}
+
+#[derive(Debug)]
+struct ClientEntry {
+    bucket: TokenBucket,
+    last_seen: Nanos,
+}
+
+impl ClientBuckets {
+    /// Table for `rate_pps` responses/second per client IP, holding at
+    /// most `capacity` client entries. `rate_pps <= 0` disables the gate
+    /// (every admit succeeds, nothing is tracked). Burst is one second's
+    /// budget, clamped to `[1, 32]` — enough to absorb a stub resolver's
+    /// retry burst without letting a quiet client save up an attack.
+    pub fn new(rate_pps: f64, capacity: usize) -> ClientBuckets {
+        ClientBuckets {
+            rate: rate_pps,
+            burst: rate_pps.clamp(1.0, 32.0),
+            capacity: capacity.max(1),
+            idle_after: 10 * SECONDS,
+            clients: std::collections::HashMap::new(),
+            evictions: 0,
+            refusals: 0,
+        }
+    }
+
+    /// True when a positive per-client rate was configured.
+    pub fn enabled(&self) -> bool {
+        self.rate > 0.0
+    }
+
+    /// Admit one response to `client` at `now`. Returns false when the
+    /// client is over budget — the caller drops the query silently (UDP;
+    /// TCP is the client's escape hatch, as in classic DNS RRL).
+    pub fn admit(&mut self, client: Ipv4Addr, now: Nanos) -> bool {
+        if !self.enabled() {
+            return true;
+        }
+        if !self.clients.contains_key(&client) && self.clients.len() >= self.capacity {
+            self.evict_one(now);
+        }
+        let (rate, burst) = (self.rate, self.burst);
+        let entry = self.clients.entry(client).or_insert_with(|| ClientEntry {
+            bucket: TokenBucket::new(rate, burst),
+            last_seen: now,
+        });
+        entry.last_seen = now;
+        let ok = entry.bucket.try_take(now);
+        if !ok {
+            self.refusals += 1;
+        }
+        ok
+    }
+
+    /// Evict the stalest of up to [`EVICT_PROBES`] arbitrary entries,
+    /// preferring one idle past `idle_after`. HashMap iteration order is
+    /// effectively random, so repeated probes cover the table without a
+    /// full O(n) sweep per packet.
+    fn evict_one(&mut self, now: Nanos) {
+        let mut victim: Option<(Ipv4Addr, Nanos)> = None;
+        for (ip, entry) in self.clients.iter().take(EVICT_PROBES) {
+            if victim.is_none_or(|(_, seen)| entry.last_seen < seen) {
+                victim = Some((*ip, entry.last_seen));
+            }
+            if entry.last_seen.saturating_add(self.idle_after) <= now {
+                victim = Some((*ip, entry.last_seen));
+                break;
+            }
+        }
+        if let Some((ip, _)) = victim {
+            self.clients.remove(&ip);
+            self.evictions += 1;
+        }
+    }
+
+    /// Number of client IPs currently tracked (bounded by capacity).
+    pub fn tracked(&self) -> usize {
+        self.clients.len()
+    }
+
+    /// Entries evicted to keep the table within its capacity bound.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Admissions refused because the client was over budget.
+    pub fn refusals(&self) -> u64 {
+        self.refusals
+    }
+}
+
 /// Verdict of a send-gate admission check.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum PaceDecision {
@@ -192,6 +313,61 @@ mod tests {
             assert!((gap as i64 - (SECONDS / 100) as i64).abs() <= 2, "{gap}");
             prev = next;
         }
+    }
+
+    #[test]
+    fn client_buckets_limit_per_client() {
+        let mut cb = ClientBuckets::new(2.0, 128);
+        let a = Ipv4Addr::new(10, 0, 0, 1);
+        let b = Ipv4Addr::new(10, 0, 0, 2);
+        assert!(cb.admit(a, 0));
+        assert!(cb.admit(a, 0));
+        assert!(!cb.admit(a, 0), "burst spent");
+        assert!(cb.admit(b, 0), "clients are independent");
+        assert!(cb.admit(a, SECONDS), "refilled after a second");
+        assert_eq!(cb.refusals(), 1);
+    }
+
+    #[test]
+    fn client_buckets_enforce_hard_cap() {
+        let mut cb = ClientBuckets::new(100.0, 64);
+        // A spoofed-source flood: every packet a fresh /32.
+        for i in 0..10_000u32 {
+            let ip = Ipv4Addr::from(0x0a00_0000 + i);
+            cb.admit(ip, u64::from(i) * MILLIS);
+        }
+        assert!(cb.tracked() <= 64, "tracked {}", cb.tracked());
+        assert_eq!(cb.evictions(), 10_000 - 64);
+    }
+
+    #[test]
+    fn client_buckets_evict_idle_first() {
+        let mut cb = ClientBuckets::new(100.0, 4);
+        let idle = Ipv4Addr::new(10, 0, 0, 1);
+        cb.admit(idle, 0);
+        for i in 2..=4u8 {
+            cb.admit(Ipv4Addr::new(10, 0, 0, i), 20 * SECONDS);
+        }
+        // Table full; the entry idle past the threshold goes first.
+        cb.admit(Ipv4Addr::new(10, 0, 0, 5), 20 * SECONDS);
+        assert_eq!(cb.evictions(), 1);
+        assert_eq!(cb.tracked(), 4);
+        assert!(
+            cb.admit(idle, 20 * SECONDS),
+            "idle entry was evicted, so this re-admits at full burst"
+        );
+        assert_eq!(cb.evictions(), 2, "re-adding at capacity evicts again");
+    }
+
+    #[test]
+    fn client_buckets_disabled_at_zero_rate() {
+        let mut cb = ClientBuckets::new(0.0, 4);
+        assert!(!cb.enabled());
+        for i in 0..100u8 {
+            assert!(cb.admit(Ipv4Addr::new(10, 1, 0, i), 0));
+        }
+        assert_eq!(cb.tracked(), 0, "disabled gate tracks nothing");
+        assert_eq!(cb.evictions(), 0);
     }
 
     #[test]

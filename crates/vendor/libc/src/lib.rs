@@ -198,6 +198,11 @@ extern "C" {
     /// Bind a raw IPv4 socket.
     pub fn bind(fd: c_int, addr: *const sockaddr_in, len: u32) -> c_int;
 
+    /// Mark a bound stream socket as passive (reuse-port TCP listener
+    /// groups need the same socket→setsockopt→bind dance as UDP, plus
+    /// this).
+    pub fn listen(fd: c_int, backlog: c_int) -> c_int;
+
     /// Pin the calling thread (`pid == 0`) to the CPUs set in `mask`
     /// (`mask` is a bitmask of `cpusetsize` bytes).
     pub fn sched_setaffinity(pid: c_int, cpusetsize: usize, mask: *const u64) -> c_int;
@@ -464,6 +469,8 @@ pub const SOL_SOCKET: c_int = 1;
 /// Allow a group of sockets to bind one address; the kernel shards
 /// incoming datagrams across the group by 4-tuple hash.
 pub const SO_REUSEPORT: c_int = 15;
+/// Stream socket type.
+pub const SOCK_STREAM: c_int = 1;
 /// Datagram socket type.
 pub const SOCK_DGRAM: c_int = 2;
 /// Close-on-exec socket creation flag.
