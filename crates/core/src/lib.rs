@@ -9,6 +9,22 @@
 //! Lookup logic is written as transport-agnostic state machines so the same
 //! code runs under `zdns-netsim`'s discrete-event engine (for the paper's
 //! scale experiments) and over real OS sockets.
+//!
+//! # Example
+//!
+//! Point a [`ResolverConfig`] at external recursive resolvers — the same
+//! configuration drives the simulator, the blocking driver, and the
+//! reactor:
+//!
+//! ```
+//! use zdns_core::{ResolutionMode, ResolverConfig};
+//!
+//! let mut config = ResolverConfig::default();
+//! config.mode = ResolutionMode::External {
+//!     servers: vec!["192.0.2.53".parse().unwrap()],
+//! };
+//! assert!(config.retries >= 1);
+//! ```
 
 #![warn(missing_docs)]
 

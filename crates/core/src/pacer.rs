@@ -156,6 +156,38 @@ impl Pacer {
         self.hosts.len()
     }
 
+    /// Spill the adaptive-backoff memory: every destination still
+    /// serving a penalty (or carrying a failure streak) as
+    /// `(destination, streak, remaining penalty)` relative to `now`.
+    /// This is what a scan checkpoint persists so a resumed scan
+    /// re-approaches struggling destinations as carefully as the
+    /// interrupted one was — instead of re-discovering every penalty
+    /// through a fresh burst of drops.
+    pub fn backoff_snapshot(&self, now: Nanos) -> Vec<(Ipv4Addr, u32, Nanos)> {
+        self.hosts
+            .iter()
+            .filter(|(_, st)| st.streak > 0 || st.not_before > now)
+            .map(|(ip, st)| (*ip, st.streak, st.not_before.saturating_sub(now)))
+            .collect()
+    }
+
+    /// Re-seed backoff memory from a [`Pacer::backoff_snapshot`]:
+    /// each entry's penalty resumes with `remaining` nanoseconds left
+    /// from `now`, and its failure streak is restored so the next
+    /// failure continues the multiplicative curve where it left off.
+    /// Entries never *shorten* state learned since `now` (restore is
+    /// monotone), and a pacer without backoff enabled ignores them.
+    pub fn restore_backoff(&mut self, entries: &[(Ipv4Addr, u32, Nanos)], now: Nanos) {
+        if !self.config.backoff {
+            return;
+        }
+        for &(ip, streak, remaining) in entries {
+            let state = self.host_state(ip, now);
+            state.streak = state.streak.max(streak);
+            state.not_before = state.not_before.max(now.saturating_add(remaining));
+        }
+    }
+
     fn host_state(&mut self, dest: Ipv4Addr, now: Nanos) -> &mut HostState {
         if self.hosts.len() >= MAX_HOSTS && !self.hosts.contains_key(&dest) {
             // Prune destinations that are idle: no penalty pending and no
@@ -271,6 +303,49 @@ mod tests {
                 PaceDecision::Defer { until, .. } => until,
             })
             .collect()
+    }
+
+    #[test]
+    fn backoff_snapshot_round_trips_through_restore() {
+        let config = PacerConfig {
+            backoff: true,
+            backoff_base: 200 * zdns_pacing::MILLIS,
+            backoff_cap: 8 * SECONDS,
+            ..PacerConfig::default()
+        };
+        let mut pacer = Pacer::new(config.clone());
+        // Three failures at IP_A: streak 3, penalty 800ms from the last.
+        for _ in 0..3 {
+            pacer.on_failure(IP_A, 0);
+        }
+        pacer.on_failure(IP_B, 0);
+        let snap = pacer.backoff_snapshot(100 * zdns_pacing::MILLIS);
+        assert_eq!(snap.len(), 2);
+        let a = snap.iter().find(|(ip, _, _)| *ip == IP_A).unwrap();
+        assert_eq!(a.1, 3);
+        assert_eq!(a.2, 700 * zdns_pacing::MILLIS, "remaining, not absolute");
+
+        // A fresh pacer (a resumed scan) picks the penalties back up.
+        let mut resumed = Pacer::new(config);
+        resumed.restore_backoff(&snap, 0);
+        match resumed.admit(IP_A, 0) {
+            PaceDecision::Defer { until, .. } => {
+                assert_eq!(until, 700 * zdns_pacing::MILLIS);
+            }
+            other => panic!("restored penalty must defer: {other:?}"),
+        }
+        // The restored streak continues the curve: next failure at IP_A
+        // is the 4th -> 1.6s penalty.
+        resumed.on_failure(IP_A, 0);
+        let again = resumed.backoff_snapshot(0);
+        let a = again.iter().find(|(ip, _, _)| *ip == IP_A).unwrap();
+        assert_eq!(a.1, 4);
+        assert_eq!(a.2, 1_600 * zdns_pacing::MILLIS);
+
+        // Restore is monotone and gated on backoff being enabled.
+        let mut disabled = Pacer::new(PacerConfig::default());
+        disabled.restore_backoff(&snap, 0);
+        assert_eq!(disabled.tracked_hosts(), 0);
     }
 
     #[test]

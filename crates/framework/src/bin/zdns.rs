@@ -36,7 +36,11 @@ fn main() {
         run_serve(&args[1..]);
         return;
     }
-    let conf = match Conf::parse(args) {
+    if args[0] == "merge" {
+        run_merge(&args[1..]);
+        return;
+    }
+    let mut conf = match Conf::parse(args) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("zdns: {e}");
@@ -90,12 +94,67 @@ fn main() {
         }
     };
 
+    // Sharding: filter the (already name-capped) stream down to this
+    // process's partition. --max-names applies *before* the shard
+    // filter, so the union of all shards equals the unsharded run.
+    if let Some((index, count)) = conf.shard {
+        if count > 1 {
+            source = Box::new(zdns_netsim::ShardedSource::new(source, index, count));
+        }
+    }
+
+    // Resume: verify the manifest matches this configuration, repair the
+    // output's torn trailing line, and skip every name whose output line
+    // already exists — zero completed names are re-probed.
+    if conf.resume {
+        match zdns_framework::prepare_resume(&conf, std::path::Path::new(&conf.checkpoint_path)) {
+            Ok(plan) => {
+                if plan.repaired_bytes > 0 {
+                    eprintln!(
+                        "zdns: dropped {} torn trailing byte(s) from {}",
+                        plan.repaired_bytes, plan.manifest.output
+                    );
+                }
+                eprintln!(
+                    "zdns: resuming scan {} — {} name(s) already complete{}",
+                    plan.manifest.scan_id,
+                    plan.done.len(),
+                    plan.checkpoint
+                        .as_ref()
+                        .map(|c| format!(
+                            ", checkpoint at cursor {} ({} outstanding)",
+                            c.cursor,
+                            c.outstanding.len()
+                        ))
+                        .unwrap_or_default(),
+                );
+                // The manifest owns the output location — the path is
+                // deliberately outside the scan fingerprint, so flags
+                // cannot redirect a resumed shard's output.
+                conf.output_path = plan.manifest.output.clone();
+                source = Box::new(zdns_framework::DedupSource::new(source, plan.done));
+            }
+            Err(e) => {
+                eprintln!("zdns: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
     // Output: a JSONL sink over file or stdout, serializing every line
-    // through one reusable buffer.
+    // through one reusable buffer. A resumed scan appends to the
+    // (already repaired) output instead of truncating it.
     let writer: Box<dyn Write + Send> = if conf.output_path == "-" {
         Box::new(std::io::BufWriter::new(std::io::stdout()))
     } else {
-        match std::fs::File::create(&conf.output_path) {
+        let mut opts = std::fs::OpenOptions::new();
+        opts.write(true).create(true);
+        if conf.resume {
+            opts.append(true);
+        } else {
+            opts.truncate(true);
+        }
+        match opts.open(&conf.output_path) {
             Ok(f) => Box::new(std::io::BufWriter::new(f)),
             Err(e) => {
                 eprintln!("zdns: cannot create {}: {e}", conf.output_path);
@@ -185,6 +244,85 @@ fn main() {
     }
 }
 
+/// `zdns merge`: verify that per-shard manifests describe the same scan
+/// (equal fingerprints, shard indices covering exactly `0..n`, every
+/// shard complete unless `--allow-partial`) and concatenate their JSONL
+/// outputs in shard-index order.
+fn run_merge(args: &[String]) {
+    if args.is_empty() || args[0] == "--help" {
+        print_merge_help();
+        if args.is_empty() {
+            std::process::exit(2);
+        }
+        return;
+    }
+    let mut output = String::new();
+    let mut allow_partial = false;
+    let mut manifests: Vec<std::path::PathBuf> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--output" | "--output-file" => {
+                i += 1;
+                match args.get(i) {
+                    Some(v) => output = v.clone(),
+                    None => {
+                        eprintln!("zdns merge: --output needs a path");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--allow-partial" => allow_partial = true,
+            flag if flag.starts_with("--") => {
+                eprintln!("zdns merge: unknown flag {flag}");
+                std::process::exit(2);
+            }
+            manifest => manifests.push(std::path::PathBuf::from(manifest)),
+        }
+        i += 1;
+    }
+    if output.is_empty() {
+        eprintln!("zdns merge: --output PATH is required");
+        std::process::exit(2);
+    }
+    match zdns_framework::merge_shards(&manifests, std::path::Path::new(&output), allow_partial) {
+        Ok(report) => {
+            let partial = if report.partial_shards.is_empty() {
+                String::new()
+            } else {
+                format!(" (shards not complete: {:?})", report.partial_shards)
+            };
+            eprintln!(
+                "zdns merge: {} shard(s), {} line(s) -> {output}{partial}",
+                report.shards, report.lines
+            );
+        }
+        Err(e) => {
+            eprintln!("zdns merge: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn print_merge_help() {
+    println!(
+        "zdns merge - combine per-shard scan outputs into one JSONL file
+
+USAGE: zdns merge --output merged.jsonl shard0.manifest.json shard1.manifest.json ...
+
+Verifies the shard manifests first: every manifest must carry the same
+scan fingerprint (same module/workload/input/seed/max-names/shard-count),
+the shard indices must cover exactly 0..n with no duplicates, and every
+shard's checkpoint must be marked complete. Outputs are concatenated in
+shard-index order.
+
+FLAGS:
+  --output PATH        merged JSONL destination (required)
+  --allow-partial      merge even if some shards have not finished
+                       (their indices are reported on stderr)"
+    );
+}
+
 /// `zdns serve`: run a caching forwarding DNS server on real sockets —
 /// the reactor's bidirectional mode. Listens on UDP + TCP, answers from
 /// the selective cache, forwards misses to `--upstream`, and applies a
@@ -271,6 +409,7 @@ fn print_help() {
 
 USAGE: zdns MODULE [flags] < names.txt
        zdns serve --upstream IP[:PORT] [flags]   (see: zdns serve --help)
+       zdns merge --output merged.jsonl MANIFEST...  (see: zdns merge --help)
 
 MODULES: A, AAAA, MX, TXT, PTR, CAA, ... plus ALOOKUP, MXLOOKUP, NSLOOKUP,
          CAALOOKUP, SPF, DMARC, BINDVERSION, ALLNAMESERVERS
@@ -286,6 +425,8 @@ FLAGS:
   --retries N              per-query retries (default 3)
   --timeout SECS           external query timeout
   --iteration-timeout SECS per-step timeout for iterative walks
+  --tcp-only               send every query over TCP (no UDP attempt)
+  --no-tcp-fallback        never retry truncated (TC=1) answers over TCP
   --trace                  include the full lookup chain in output
   --output-fields GROUP    short | normal | long | trace
   --input-file PATH        newline-delimited names (default: stdin)
@@ -326,6 +467,20 @@ FLAGS:
   --cookie-secret S        derive EDNS client cookies from a keyed hash of S
                            and the destination (RFC 7873 \u{a7}6): 32 hex digits
                            are literal, anything else is stretched; default
-                           stays the reproducible per-name hash"
+                           stays the reproducible per-name hash
+  --shard I/N              deterministic horizontal partition: scan only the
+                           names whose stable hash lands on shard I of N;
+                           run all N shards (any machines, any order) to
+                           cover the input exactly once
+  --checkpoint PATH        durable scan: write a scan manifest to PATH and a
+                           rotating progress checkpoint to PATH.ckpt
+                           (requires --real, --output-file, and a replayable
+                           input). A killed scan restarts with --resume PATH
+  --resume PATH            resume the scan described by the manifest at PATH:
+                           repairs the output's torn trailing line, skips
+                           every name already in the output, re-admits the
+                           in-flight remainder, and restores pacer backoff
+  --checkpoint-every N     completions between checkpoint snapshots
+                           (default 1000)"
     );
 }

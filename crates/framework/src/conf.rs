@@ -25,6 +25,29 @@ pub enum OutputGroup {
     Trace,
 }
 
+impl OutputGroup {
+    /// The `--output-fields` spelling of this group.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            OutputGroup::Short => "short",
+            OutputGroup::Normal => "normal",
+            OutputGroup::Long => "long",
+            OutputGroup::Trace => "trace",
+        }
+    }
+
+    /// Parse an `--output-fields` value.
+    pub fn parse(v: &str) -> Option<OutputGroup> {
+        match v {
+            "short" => Some(OutputGroup::Short),
+            "normal" => Some(OutputGroup::Normal),
+            "long" => Some(OutputGroup::Long),
+            "trace" => Some(OutputGroup::Trace),
+            _ => None,
+        }
+    }
+}
+
 /// Where a scan's names come from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Workload {
@@ -35,6 +58,25 @@ pub enum Workload {
     /// streamed — `--max-names N` bounds it; the set is never
     /// materialized.
     CtCorpus,
+}
+
+impl Workload {
+    /// The `--workload` spelling of this source.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Workload::Lines => "lines",
+            Workload::CtCorpus => "ct-corpus",
+        }
+    }
+
+    /// Parse a `--workload` value.
+    pub fn parse(v: &str) -> Option<Workload> {
+        match v {
+            "lines" | "input" => Some(Workload::Lines),
+            "ct-corpus" => Some(Workload::CtCorpus),
+            _ => None,
+        }
+    }
 }
 
 /// Parsed scan configuration.
@@ -102,6 +144,21 @@ pub struct Conf {
     /// their address map from this, so a scan can point at a non-53
     /// resolver — e.g. a local `zdns serve` instance.
     pub name_server_addrs: Vec<SocketAddr>,
+    /// Deterministic horizontal partition (`--shard i/n`): this process
+    /// scans only the names whose stable hash assigns them to shard `i`
+    /// of `n`. Every shard streams the same input; `None` = unsharded.
+    pub shard: Option<(u32, u32)>,
+    /// Scan-manifest path (`--checkpoint PATH`): a durable scan writes
+    /// its manifest here and periodic checkpoints next to it, so a
+    /// killed scan resumes with `--resume PATH`. Empty = not durable.
+    pub checkpoint_path: String,
+    /// This run resumes the manifest at `checkpoint_path` (`--resume`):
+    /// names already in the shard's output are skipped, the in-flight
+    /// remainder is re-admitted, and spilled backoff state is restored.
+    pub resume: bool,
+    /// Completions between checkpoint snapshots (`--checkpoint-every`;
+    /// 0 = the default cadence, 1000).
+    pub checkpoint_every: u64,
 }
 
 impl Default for Conf {
@@ -130,6 +187,10 @@ impl Default for Conf {
             io_backend: IoBackend::default(),
             pin_cores: false,
             name_server_addrs: Vec::new(),
+            shard: None,
+            checkpoint_path: String::new(),
+            resume: false,
+            checkpoint_every: 0,
         }
     }
 }
@@ -190,6 +251,22 @@ fn parse_cookie_secret(v: &str) -> Result<[u8; 16], ConfError> {
         out.copy_from_slice(&h.to_be_bytes());
     }
     Ok(secret)
+}
+
+/// Parse a `--shard` value: `i/n` with `0 <= i < n` and `n >= 1`.
+fn parse_shard(v: &str) -> Result<(u32, u32), ConfError> {
+    let bad = || {
+        ConfError(format!(
+            "bad --shard {v:?} (expected I/N with 0 <= I < N, e.g. 0/4)"
+        ))
+    };
+    let (index, count) = v.split_once('/').ok_or_else(bad)?;
+    let index: u32 = index.trim().parse().map_err(|_| bad())?;
+    let count: u32 = count.trim().parse().map_err(|_| bad())?;
+    if count == 0 || index >= count {
+        return Err(bad());
+    }
+    Ok((index, count))
 }
 
 impl Conf {
@@ -339,6 +416,29 @@ impl Conf {
                 "--cookie-secret" => {
                     conf.resolver.cookie_secret = Some(parse_cookie_secret(&take_value(&mut i)?)?);
                 }
+                "--shard" => {
+                    conf.shard = Some(parse_shard(&take_value(&mut i)?)?);
+                }
+                "--checkpoint" => {
+                    conf.checkpoint_path = take_value(&mut i)?;
+                    if conf.checkpoint_path.is_empty() {
+                        return Err(ConfError("--checkpoint needs a manifest path".into()));
+                    }
+                }
+                "--resume" => {
+                    conf.checkpoint_path = take_value(&mut i)?;
+                    conf.resume = true;
+                    if conf.checkpoint_path.is_empty() {
+                        return Err(ConfError("--resume needs a manifest path".into()));
+                    }
+                }
+                "--checkpoint-every" => {
+                    conf.checkpoint_every = take_value(&mut i)?
+                        .parse()
+                        .ok()
+                        .filter(|v: &u64| *v >= 1)
+                        .ok_or_else(|| ConfError("bad --checkpoint-every".into()))?;
+                }
                 other => return Err(ConfError(format!("unknown flag {other:?}"))),
             }
             i += 1;
@@ -361,6 +461,39 @@ impl Conf {
                  unbounded; pick how many fqdns to stream)"
                     .into(),
             ));
+        }
+        if !conf.checkpoint_path.is_empty() {
+            // A durable scan must be re-runnable from its manifest alone:
+            // real sockets (the sim is already deterministic end to end),
+            // an output file to dedup completed names against, and an
+            // input that can be streamed again (a file path or a seeded
+            // generator — a drained stdin cannot be replayed).
+            if !conf.real {
+                return Err(ConfError(
+                    "--checkpoint/--resume require --real (simulated scans \
+                     are deterministic; rerun them instead)"
+                        .into(),
+                ));
+            }
+            // A resume takes its output location from the manifest (the
+            // output path is outside the scan fingerprint), so only a
+            // fresh durable scan needs these checked at parse time.
+            if !conf.resume {
+                if conf.output_path == "-" {
+                    return Err(ConfError(
+                        "--checkpoint requires --output-file PATH (resume skips \
+                         the names already present in the output file)"
+                            .into(),
+                    ));
+                }
+                if conf.workload == Workload::Lines && conf.input_path == "-" {
+                    return Err(ConfError(
+                        "--checkpoint requires --input-file PATH or --workload \
+                         ct-corpus (stdin cannot be replayed on resume)"
+                            .into(),
+                    ));
+                }
+            }
         }
         // Default timeouts favour scanning: tighter than stub-resolver
         // defaults, looser than LAN assumptions.
@@ -750,6 +883,71 @@ mod tests {
         );
         assert!(Conf::parse(["A", "--name-servers", "[::1]:53"]).is_err());
         assert!(Conf::parse(["A", "--name-servers", "example.com"]).is_err());
+    }
+
+    #[test]
+    fn shard_flag() {
+        let conf = Conf::parse(["A", "--shard", "1/4"]).unwrap();
+        assert_eq!(conf.shard, Some((1, 4)));
+        assert_eq!(Conf::parse(["A"]).unwrap().shard, None, "unsharded default");
+        assert_eq!(
+            Conf::parse(["A", "--shard", "0/1"]).unwrap().shard,
+            Some((0, 1))
+        );
+        for bad in ["4/4", "2/1", "0/0", "1", "a/b", "-1/2", "1/2/3"] {
+            assert!(Conf::parse(["A", "--shard", bad]).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn checkpoint_flags() {
+        let conf = Conf::parse([
+            "A",
+            "--real",
+            "--name-servers",
+            "8.8.8.8",
+            "--input-file",
+            "names.txt",
+            "--output-file",
+            "out.jsonl",
+            "--checkpoint",
+            "scan.manifest.json",
+            "--checkpoint-every",
+            "500",
+        ])
+        .unwrap();
+        assert_eq!(conf.checkpoint_path, "scan.manifest.json");
+        assert!(!conf.resume);
+        assert_eq!(conf.checkpoint_every, 500);
+
+        let resumed = Conf::parse(["A", "--real", "--resume", "scan.manifest.json"]).unwrap();
+        assert!(resumed.resume);
+        assert_eq!(resumed.checkpoint_path, "scan.manifest.json");
+
+        let default = Conf::parse(["A"]).unwrap();
+        assert!(default.checkpoint_path.is_empty());
+        assert_eq!(default.checkpoint_every, 0, "0 = default cadence");
+
+        // A durable scan must be replayable from its manifest alone.
+        let base = ["A", "--checkpoint", "m.json"];
+        assert!(Conf::parse(base).is_err(), "--checkpoint needs --real");
+        assert!(
+            Conf::parse(["A", "--real", "--checkpoint", "m.json"]).is_err(),
+            "stdout output cannot be deduped on resume"
+        );
+        assert!(
+            Conf::parse([
+                "A",
+                "--real",
+                "--output-file",
+                "o.jsonl",
+                "--checkpoint",
+                "m.json"
+            ])
+            .is_err(),
+            "stdin input cannot be replayed on resume"
+        );
+        assert!(Conf::parse(["A", "--checkpoint-every", "0"]).is_err());
     }
 
     #[test]

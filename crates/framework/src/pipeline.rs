@@ -46,6 +46,7 @@ use zdns_core::{
 use zdns_modules::{LookupModule, ModuleOutput, ModuleSink};
 use zdns_netsim::InputSource;
 
+use crate::checkpoint::{scan_id, Checkpoint, CheckpointKeeper, ScanManifest};
 use crate::conf::Conf;
 use crate::output::OutputSink;
 use crate::runner::{real_worker_count, RealScanReport};
@@ -133,6 +134,44 @@ pub fn run_scan_pipeline(
             Some(Arc::new(Mutex::new(Pacer::new(pacer_config.clone()))))
         }
         _ => None,
+    };
+
+    // Durable scans keep a checkpoint bookkeeper shared between the
+    // feeder (dispatch records) and the writer thread (completion
+    // records + periodic snapshots). The insert-before-send /
+    // remove-after-receive ordering through one mutex means a
+    // completion can never be observed for a name that is not in the
+    // outstanding set.
+    let keeper: Option<Arc<Mutex<CheckpointKeeper>>> = if conf.checkpoint_path.is_empty() {
+        None
+    } else {
+        let manifest_path = std::path::Path::new(&conf.checkpoint_path);
+        let id = scan_id(conf);
+        let mut keeper = CheckpointKeeper::new(id.clone(), manifest_path, conf.checkpoint_every);
+        if conf.resume {
+            // Re-arm the scan-wide pacer with the spilled backoff state
+            // (streaks + remaining penalties) so a resumed scan keeps
+            // honouring penalties incurred before the crash; the
+            // output-file done-set (applied by the caller's
+            // `DedupSource`) is what keeps resume *correct*.
+            if let Some(ckpt) =
+                Checkpoint::load_latest(&ScanManifest::checkpoint_file(manifest_path))
+                    .filter(|c| c.scan_id == id)
+            {
+                if let Some(pacer) = &shared_pacer {
+                    pacer.lock().restore_backoff(&ckpt.backoff, 0);
+                }
+                keeper.resume_from(&ckpt);
+            }
+        } else if let Err(e) = ScanManifest::from_conf(conf).write(manifest_path) {
+            report.worker_errors.push(format!(
+                "cannot write scan manifest {}: {e}",
+                conf.checkpoint_path
+            ));
+            report.elapsed = started.elapsed();
+            return report;
+        }
+        Some(Arc::new(Mutex::new(keeper)))
     };
 
     // The shared input queue (every worker steals from the same bounded
@@ -251,30 +290,77 @@ pub fn run_scan_pipeline(
         drop(input_rx);
         // One writer thread owns the sink: outputs drain while inputs
         // feed in, and the queue's depth is observable as backpressure
-        // telemetry.
+        // telemetry. On durable scans it doubles as the checkpoint
+        // clock: completions are recorded per output and a snapshot is
+        // serialized every `checkpoint_every` of them, off the workers'
+        // hot path.
+        let writer_keeper = keeper.clone();
+        let writer_pacer = shared_pacer.clone();
         let writer = scope.spawn(move || {
             let mut peak_queue = 0usize;
             let mut errors = 0u64;
             while let Ok(output) = output_rx.recv() {
                 // The message in hand plus whatever is still queued.
                 peak_queue = peak_queue.max(output_rx.len() + 1);
+                // Record the completion *before* the sink write: if the
+                // process dies between the two, the checkpoint's counts
+                // run ahead of the output file — harmless, because the
+                // output file (not the checkpoint) is the authoritative
+                // done-record on resume.
+                let snapshot_due = writer_keeper
+                    .as_ref()
+                    .map(|k| k.lock().completed(&output.name))
+                    .unwrap_or(false);
                 if sink.write_output(output).is_err() {
                     // Keep draining so workers never block on a dead
                     // sink; the error count surfaces in the report.
                     errors += 1;
+                }
+                if snapshot_due {
+                    if let Some(keeper) = &writer_keeper {
+                        let backoff = writer_pacer
+                            .as_ref()
+                            .map(|p| p.lock().backoff_snapshot(epoch.elapsed().as_nanos() as u64))
+                            .unwrap_or_default();
+                        // A failed snapshot write is retried at the next
+                        // cadence tick; the scan itself never stops.
+                        let _ = keeper.lock().write_snapshot(backoff);
+                    }
                 }
             }
             let _ = sink.flush();
             (peak_queue, errors)
         });
         while let Some(name) = source.next_name() {
+            if let Some(keeper) = &keeper {
+                // Insert into the outstanding set before the send so the
+                // name is tracked by the time any worker can complete it.
+                keeper.lock().dispatched(&name);
+            }
             if input_tx.send(name).is_err() {
                 break;
             }
         }
+        if let Some(keeper) = &keeper {
+            keeper.lock().input_exhausted();
+        }
         drop(input_tx);
         writer_stats = writer.join().unwrap_or((0, 0));
     });
+
+    // The closing snapshot: input exhausted and every lookup drained
+    // marks the shard complete, which is what `zdns merge` verifies.
+    if let Some(keeper) = &keeper {
+        let backoff = shared_pacer
+            .as_ref()
+            .map(|p| p.lock().backoff_snapshot(epoch.elapsed().as_nanos() as u64))
+            .unwrap_or_default();
+        if let Err(e) = keeper.lock().write_snapshot(backoff) {
+            report
+                .worker_errors
+                .push(format!("final checkpoint write failed: {e}"));
+        }
+    }
 
     let stats_after = resolver.core().stats.snapshot();
     let merged = Arc::try_unwrap(merged)

@@ -1,0 +1,321 @@
+//! Checkpoint/resume and shard-merge, end to end against the real
+//! `zdns` binary:
+//!
+//! * **Crash recovery** — a durable loopback scan is SIGKILLed
+//!   mid-flight (torn output line, torn checkpoint file and all),
+//!   resumed from its manifest, and must re-probe *zero* of the names
+//!   whose output already existed — asserted with a server-side query
+//!   log — while the final JSONL is line-set-identical to an
+//!   uninterrupted run.
+//! * **Shard merge** — `--shard 0/2` + `--shard 1/2` outputs, combined
+//!   with `zdns merge`, are line-set-identical to the unsharded run;
+//!   the shards themselves are disjoint and non-empty.
+//!
+//! The subprocess boundary is the point: a SIGKILL exercises real torn
+//! writes and real file-system recovery, not a simulated panic.
+
+use std::collections::HashSet;
+use std::net::Ipv4Addr;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use zdns_netsim::{QueryLog, WireServer};
+use zdns_wire::Name;
+use zdns_zones::{ExplicitUniverse, Universe, Zone};
+
+/// A loopback server impersonating 127.0.0.1 whose root-apex zone
+/// authoritatively answers every name (NXDOMAIN = completed lookup),
+/// recording each question it is asked.
+fn catch_all_server(latency: Duration) -> (WireServer, QueryLog) {
+    let zone = Zone::new(Name::root(), "ns1.rootish.test".parse().unwrap(), 300);
+    let mut universe = ExplicitUniverse::new();
+    universe.host(Ipv4Addr::LOCALHOST, zone);
+    WireServer::start_logged(
+        Arc::new(universe) as Arc<dyn Universe>,
+        Ipv4Addr::LOCALHOST,
+        latency,
+    )
+    .unwrap()
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("zdns-resume-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// DNS names are case-insensitive and the wire form may carry a root
+/// dot; compare apples to apples.
+fn canon(name: &str) -> String {
+    name.trim().trim_end_matches('.').to_ascii_lowercase()
+}
+
+/// `zdns A --real` against the loopback server, plus `extra` flags.
+fn scan_cmd(server_port: u16, names: &Path, extra: &[&str]) -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_zdns"));
+    cmd.arg("A")
+        .arg("--real")
+        .arg("--name-servers")
+        .arg(format!("127.0.0.1:{server_port}"))
+        .arg("--input-file")
+        .arg(names)
+        .arg("--max-in-flight")
+        .arg("16")
+        .arg("--retries")
+        .arg("2")
+        .args(extra)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null());
+    cmd
+}
+
+fn wait_timeout(child: &mut Child, what: &str) {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        match child.try_wait().unwrap() {
+            Some(status) => {
+                assert!(status.success(), "{what} exited with {status}");
+                return;
+            }
+            None if Instant::now() > deadline => {
+                let _ = child.kill();
+                panic!("{what} did not finish within 60s");
+            }
+            None => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+/// Complete (newline-terminated) JSONL lines of `path`; a torn trailing
+/// line is excluded, mirroring what resume's repair step would drop.
+fn complete_lines(path: &Path) -> Vec<String> {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(_) => return Vec::new(),
+    };
+    let keep = bytes.iter().rposition(|&b| b == b'\n').map_or(0, |i| i + 1);
+    String::from_utf8_lossy(&bytes[..keep])
+        .lines()
+        .map(str::to_string)
+        .collect()
+}
+
+fn names_of(lines: &[String]) -> HashSet<String> {
+    lines
+        .iter()
+        .map(|line| {
+            let v = serde_json::from_str(line).expect("valid JSONL line");
+            canon(v.get("name").and_then(serde_json::Value::as_str).unwrap())
+        })
+        .collect()
+}
+
+#[test]
+fn killed_scan_resumes_without_reprobing_completed_names() {
+    const TOTAL: usize = 2000;
+    let dir = temp_dir("crash");
+    let names_path = dir.join("names.txt");
+    let input: Vec<String> = (0..TOTAL).map(|i| format!("name{i}.ckpt.test")).collect();
+    std::fs::write(&names_path, input.join("\n") + "\n").unwrap();
+
+    // 4ms of response latency stretches the scan into a comfortably
+    // killable window (~0.5s) without slowing the test much.
+    let (server, log) = catch_all_server(Duration::from_millis(4));
+    let port = server.addr().port();
+    let out = dir.join("out.jsonl");
+    let manifest = dir.join("scan.manifest.json");
+
+    // Fresh durable scan; kill it once results start landing on disk.
+    let mut child = scan_cmd(
+        port,
+        &names_path,
+        &[
+            "--output-file",
+            out.to_str().unwrap(),
+            "--checkpoint",
+            manifest.to_str().unwrap(),
+            "--checkpoint-every",
+            "25",
+        ],
+    )
+    .spawn()
+    .unwrap();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while std::fs::metadata(&out).map(|m| m.len()).unwrap_or(0) < 4096 {
+        assert!(
+            child.try_wait().unwrap().is_none(),
+            "scan finished before it could be killed; raise TOTAL"
+        );
+        assert!(Instant::now() < deadline, "no output appeared within 30s");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    child.kill().unwrap();
+    let _ = child.wait();
+
+    // What the dead scan durably completed (complete lines only — the
+    // SIGKILL may have torn the final one mid-write).
+    let completed = names_of(&complete_lines(&out));
+    assert!(
+        !completed.is_empty() && completed.len() < TOTAL,
+        "kill must land mid-scan: {} of {TOTAL} complete",
+        completed.len()
+    );
+
+    // Tear the checkpoint's current generation too: resume must shrug
+    // (fall back to the previous generation or to the output done-set).
+    let ckpt = {
+        let mut p = manifest.as_os_str().to_os_string();
+        p.push(".ckpt");
+        PathBuf::from(p)
+    };
+    if let Ok(text) = std::fs::read_to_string(&ckpt) {
+        std::fs::write(&ckpt, &text[..text.len() / 2]).unwrap();
+    }
+
+    // Resume, watching the server-side query log: not one completed
+    // name may be probed again.
+    log.lock().unwrap().clear();
+    let mut resumed = scan_cmd(port, &names_path, &["--resume", manifest.to_str().unwrap()])
+        .spawn()
+        .unwrap();
+    wait_timeout(&mut resumed, "resumed scan");
+
+    let probed: HashSet<String> = log.lock().unwrap().iter().map(|n| canon(n)).collect();
+    let reprobed: Vec<&String> = probed.intersection(&completed).collect();
+    assert!(
+        reprobed.is_empty(),
+        "resume re-probed {} completed name(s), e.g. {:?}",
+        reprobed.len(),
+        reprobed.first()
+    );
+    assert!(!probed.is_empty(), "resume must probe the remainder");
+
+    // The combined output covers every input exactly once.
+    let final_lines = complete_lines(&out);
+    assert_eq!(final_lines.len(), TOTAL, "one line per input");
+    let final_names = names_of(&final_lines);
+    let expected: HashSet<String> = input.iter().map(|n| canon(n)).collect();
+    assert_eq!(final_names, expected, "names must cover the input exactly");
+
+    // And it is line-set-identical to a never-interrupted run.
+    let out_ref = dir.join("reference.jsonl");
+    let manifest_ref = dir.join("reference.manifest.json");
+    let mut reference = scan_cmd(
+        port,
+        &names_path,
+        &[
+            "--output-file",
+            out_ref.to_str().unwrap(),
+            "--checkpoint",
+            manifest_ref.to_str().unwrap(),
+        ],
+    )
+    .spawn()
+    .unwrap();
+    wait_timeout(&mut reference, "reference scan");
+    let mut merged_sorted = final_lines.clone();
+    merged_sorted.sort();
+    let mut reference_sorted = complete_lines(&out_ref);
+    reference_sorted.sort();
+    assert_eq!(
+        merged_sorted, reference_sorted,
+        "resumed output must equal an uninterrupted run"
+    );
+    drop(server);
+}
+
+#[test]
+fn two_shard_outputs_merge_into_the_unsharded_run() {
+    const TOTAL: usize = 300;
+    let dir = temp_dir("shards");
+    let names_path = dir.join("names.txt");
+    let input: Vec<String> = (0..TOTAL)
+        .map(|i| format!("shardy{i}.merge.test"))
+        .collect();
+    std::fs::write(&names_path, input.join("\n") + "\n").unwrap();
+
+    let (server, _log) = catch_all_server(Duration::ZERO);
+    let port = server.addr().port();
+
+    // Both shards run concurrently — separate processes, separate
+    // manifests, separate outputs, zero coordination.
+    let mut children = Vec::new();
+    let mut manifests = Vec::new();
+    for i in 0..2u32 {
+        let out = dir.join(format!("shard{i}.jsonl"));
+        let manifest = dir.join(format!("shard{i}.manifest.json"));
+        children.push((
+            scan_cmd(
+                port,
+                &names_path,
+                &[
+                    "--shard",
+                    &format!("{i}/2"),
+                    "--output-file",
+                    out.to_str().unwrap(),
+                    "--checkpoint",
+                    manifest.to_str().unwrap(),
+                ],
+            )
+            .spawn()
+            .unwrap(),
+            out,
+        ));
+        manifests.push(manifest);
+    }
+    for (child, _) in &mut children {
+        wait_timeout(child, "shard scan");
+    }
+
+    // Disjoint, non-empty partitions.
+    let shard_names: Vec<HashSet<String>> = children
+        .iter()
+        .map(|(_, out)| names_of(&complete_lines(out)))
+        .collect();
+    assert!(
+        shard_names.iter().all(|s| !s.is_empty()),
+        "both shards scan"
+    );
+    assert!(
+        shard_names[0].is_disjoint(&shard_names[1]),
+        "shards must not overlap"
+    );
+
+    // Merge via the subcommand (verifies manifests agree + complete).
+    let merged = dir.join("merged.jsonl");
+    let status = Command::new(env!("CARGO_BIN_EXE_zdns"))
+        .arg("merge")
+        .arg("--output")
+        .arg(&merged)
+        .args(&manifests)
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .status()
+        .unwrap();
+    assert!(status.success(), "zdns merge failed: {status}");
+
+    // The unsharded reference.
+    let out_all = dir.join("all.jsonl");
+    let mut all = scan_cmd(
+        port,
+        &names_path,
+        &["--output-file", out_all.to_str().unwrap()],
+    )
+    .spawn()
+    .unwrap();
+    wait_timeout(&mut all, "unsharded scan");
+
+    let mut merged_sorted = complete_lines(&merged);
+    merged_sorted.sort();
+    let mut all_sorted = complete_lines(&out_all);
+    all_sorted.sort();
+    assert_eq!(merged_sorted.len(), TOTAL);
+    assert_eq!(
+        merged_sorted, all_sorted,
+        "merged shard outputs must equal the unsharded run line-for-line"
+    );
+    drop(server);
+}

@@ -22,6 +22,12 @@ pub struct WireServer {
     threads: Vec<JoinHandle<()>>,
 }
 
+/// Every question name a logging wire server was asked, in arrival
+/// order (see [`WireServer::start_logged`]). Names are recorded as the
+/// query spelled them, one entry per query datagram/frame — retries of
+/// the same name appear once per retry.
+pub type QueryLog = Arc<std::sync::Mutex<Vec<String>>>;
+
 /// Ask the kernel for a large receive buffer on `socket`. Event-driven
 /// clients put hundreds-to-thousands of datagrams in flight at once; the
 /// default buffer (a few hundred KB) silently drops the burst, which
@@ -296,6 +302,30 @@ impl WireServer {
         impersonate: Ipv4Addr,
         latency: Duration,
     ) -> std::io::Result<WireServer> {
+        WireServer::start_inner(universe, impersonate, latency, None)
+    }
+
+    /// Like [`WireServer::start`] but also records every question name
+    /// into the returned [`QueryLog`] — how crash-recovery tests assert
+    /// that a resumed scan re-probes *zero* completed names: kill the
+    /// scan, snapshot the log, resume, and check the intersection.
+    pub fn start_logged(
+        universe: Arc<dyn Universe>,
+        impersonate: Ipv4Addr,
+        latency: Duration,
+    ) -> std::io::Result<(WireServer, QueryLog)> {
+        let log: QueryLog = Arc::new(std::sync::Mutex::new(Vec::new()));
+        let server =
+            WireServer::start_inner(universe, impersonate, latency, Some(Arc::clone(&log)))?;
+        Ok((server, log))
+    }
+
+    fn start_inner(
+        universe: Arc<dyn Universe>,
+        impersonate: Ipv4Addr,
+        latency: Duration,
+        log: Option<QueryLog>,
+    ) -> std::io::Result<WireServer> {
         // A DNS server answers on one port over both transports, but the
         // kernel picks the UDP port without knowing we also need its TCP
         // twin — retry when an unrelated listener already owns it (test
@@ -345,6 +375,7 @@ impl WireServer {
         }
 
         let udp_delayed = Arc::clone(&delayed);
+        let udp_log = log.clone();
         let udp_thread = std::thread::spawn(move || {
             // Batch-drain the socket: a batched reactor client can land
             // dozens of queries in one sendmmsg, and picking them all up
@@ -360,7 +391,14 @@ impl WireServer {
                 for i in 0..count {
                     let (raw, peer) = arena.datagram(i);
                     scratch.reset();
-                    if answer_into(&udp_universe, impersonate, raw, true, &mut scratch) {
+                    if answer_into(
+                        &udp_universe,
+                        impersonate,
+                        raw,
+                        true,
+                        &mut scratch,
+                        udp_log.as_ref(),
+                    ) {
                         if latency > Duration::ZERO {
                             udp_delayed.lock().unwrap().push_back((
                                 std::time::Instant::now() + latency,
@@ -377,6 +415,7 @@ impl WireServer {
 
         let tcp_stop = Arc::clone(&stop);
         let tcp_universe = Arc::clone(&universe);
+        let tcp_log = log;
         let tcp_thread = std::thread::spawn(move || {
             // A non-blocking connection table, not one blocking connection
             // at a time: the old loop's two 500ms `read_exact`s meant a
@@ -458,6 +497,7 @@ impl WireServer {
                             &conn.read_buf[2..need],
                             false,
                             &mut scratch,
+                            tcp_log.as_ref(),
                         ) {
                             let bytes = scratch.as_slice();
                             conn.write_buf
@@ -523,7 +563,8 @@ impl WireServer {
                     for i in 0..count {
                         let (raw, peer) = arena.datagram(i);
                         scratch.reset();
-                        if answer_into(&shard_universe, impersonate, raw, true, &mut scratch) {
+                        if answer_into(&shard_universe, impersonate, raw, true, &mut scratch, None)
+                        {
                             let _ = udp.send_to(scratch.as_slice(), peer);
                         }
                     }
@@ -553,6 +594,7 @@ fn answer_into(
     raw: &[u8],
     udp: bool,
     scratch: &mut ScratchBuf,
+    log: Option<&QueryLog>,
 ) -> bool {
     let Ok(query) = MessageView::parse(raw) else {
         return false;
@@ -561,6 +603,9 @@ fn answer_into(
         return false;
     };
     let question = question_view.to_question();
+    if let Some(log) = log {
+        log.lock().unwrap().push(question.name.to_string());
+    }
     let Some(auth) = universe.respond(impersonate, &question) else {
         return false;
     };

@@ -11,6 +11,17 @@
 //! Time is plain nanoseconds (`u64`) — the same representation as
 //! `zdns_netsim::SimTime` — so the types work identically under virtual
 //! and wall-clock time.
+//!
+//! # Example
+//!
+//! ```
+//! use zdns_pacing::{TokenBucket, SECONDS};
+//!
+//! let mut bucket = TokenBucket::new(2.0, 1.0); // 2 tokens/s, burst of 1
+//! assert!(bucket.try_take(0));
+//! assert!(!bucket.try_take(0)); // burst exhausted, rejected now...
+//! assert!(bucket.try_take(SECONDS)); // ...but refilled a second later
+//! ```
 
 #![warn(missing_docs)]
 

@@ -14,6 +14,19 @@
 //!   where RFC 1035 allows.
 //! * **JSON is a first-class output.** [`json`] renders records and messages
 //!   in the shape ZDNS prints (paper Appendix C).
+//!
+//! # Example
+//!
+//! [`Name`] is the codec's central type: labels in one inline buffer,
+//! compared and hashed case-insensitively as RFC 1035 requires:
+//!
+//! ```
+//! use zdns_wire::Name;
+//!
+//! let a: Name = "Example.COM".parse().unwrap();
+//! let b: Name = "example.com.".parse().unwrap();
+//! assert_eq!(a, b);
+//! ```
 
 #![warn(missing_docs)]
 
