@@ -159,6 +159,17 @@ pub struct DriverReport {
     /// inputs effectively stolen from a sibling that was not using its
     /// slice.
     pub inputs_stolen: u64,
+    /// Global-budget CAS-loop retries in the concurrent pacer — lost
+    /// races on the atomic token bucket. Scan-wide (read once off the
+    /// shared pacer when the scan aggregates, not per-worker).
+    pub pacer_cas_retries: u64,
+    /// Contended stripe-lock acquisitions in the concurrent pacer's
+    /// per-destination table. Scan-wide, like `pacer_cas_retries`.
+    pub pacer_stripe_waits: u64,
+    /// Token blocks leased from the concurrent pacer's global budget —
+    /// `datagrams_sent / token_blocks_leased` approximates the CAS
+    /// amortization factor. Scan-wide, like `pacer_cas_retries`.
+    pub token_blocks_leased: u64,
     /// The resolved I/O backend name (`"syscall"`, `"mmsg"`, `"uring"`;
     /// empty for drivers without a batch layer).
     pub io_backend: &'static str,
@@ -206,6 +217,9 @@ impl DriverReport {
         self.idle_credit_returns += other.idle_credit_returns;
         self.credit_stalls += other.credit_stalls;
         self.inputs_stolen += other.inputs_stolen;
+        self.pacer_cas_retries += other.pacer_cas_retries;
+        self.pacer_stripe_waits += other.pacer_stripe_waits;
+        self.token_blocks_leased += other.token_blocks_leased;
         if self.io_backend.is_empty() {
             self.io_backend = other.io_backend;
         }

@@ -54,7 +54,9 @@ pub use driver::{Admission, BatchHistogram, BlockingDriver, Driver, DriverReport
 pub use machine::{
     DirectMachine, ExternalMachine, IterativeMachine, ResolveTarget, ResolverCore, ResultSink,
 };
-pub use pacer::{Pacer, PacerConfig, SharedPacer};
+pub use pacer::{
+    ConcurrentGate, ConcurrentPacer, Pacer, PacerConfig, SharedPacer, TokenBlock, TOKEN_BLOCK,
+};
 pub use reactor::{Reactor, ReactorConfig, DEFAULT_BATCH_SIZE};
 pub use resolver::{collecting_sink, drive_blocking, drive_blocking_paced, AddrMap, Resolver};
 pub use result::{DelegationInfo, LookupResult};

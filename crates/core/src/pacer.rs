@@ -25,9 +25,13 @@
 //! [`SendGate`] so paced scans are reproducible under virtual time.
 
 use std::collections::HashMap;
+use std::hash::{BuildHasher, Hasher};
 use std::net::Ipv4Addr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
-use zdns_pacing::{Nanos, PaceDecision, SendGate, TokenBucket, SECONDS};
+use parking_lot::Mutex;
+use zdns_pacing::{AtomicBucket, Nanos, PaceDecision, SendGate, SlotLease, TokenBucket, SECONDS};
 
 /// Tunables for one [`Pacer`].
 #[derive(Debug, Clone)]
@@ -107,6 +111,93 @@ const MAX_HOSTS: usize = 65_536;
 /// soonest. Keeps forced eviction O(1) per insert.
 const HOST_EVICT_PROBES: usize = 16;
 
+/// FNV-1a with a splitmix64 finisher — the workspace's stable hash
+/// ([`zdns_zones::hashing::h64`]), packaged as a [`std::hash::Hasher`]
+/// for the pacer's per-destination tables. Destination IPs are
+/// attacker-independent (the scanner picks them, and cookies already
+/// gate off-path spoofing), so SipHash's keyed collision resistance buys
+/// nothing on a lookup paid once per send; FNV + splitmix is a handful
+/// of arithmetic ops on a 4-byte key.
+#[derive(Debug, Clone)]
+pub struct HostHasher(u64);
+
+const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+const FNV_PRIME: u64 = 0x100000001b3;
+
+impl Default for HostHasher {
+    fn default() -> Self {
+        HostHasher(FNV_OFFSET)
+    }
+}
+
+impl Hasher for HostHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        zdns_zones::hashing::splitmix64(self.0)
+    }
+}
+
+/// [`BuildHasher`] for [`HostHasher`].
+#[derive(Debug, Clone, Default)]
+pub struct HostHash;
+
+impl BuildHasher for HostHash {
+    type Hasher = HostHasher;
+
+    fn build_hasher(&self) -> HostHasher {
+        HostHasher::default()
+    }
+}
+
+type HostMap = HashMap<Ipv4Addr, HostState, HostHash>;
+
+/// Fetch-or-create the pacing state for `dest` in a host table bounded
+/// at `cap` entries, pruning idle entries first and force-evicting the
+/// probed soonest-to-expire entry when the prune frees nothing. Shared
+/// by the single-threaded [`Pacer`] (cap = [`MAX_HOSTS`]) and each
+/// stripe of the [`ConcurrentPacer`] (cap = [`MAX_HOSTS`] / stripes).
+fn host_state_in<'a>(
+    hosts: &'a mut HostMap,
+    evictions: &mut u64,
+    config: &PacerConfig,
+    cap: usize,
+    dest: Ipv4Addr,
+    now: Nanos,
+) -> &'a mut HostState {
+    if hosts.len() >= cap && !hosts.contains_key(&dest) {
+        // Prune destinations that are idle: no penalty pending and no
+        // failure streak worth remembering.
+        let before = hosts.len();
+        hosts.retain(|_, st| st.streak > 0 || st.not_before > now);
+        *evictions += (before - hosts.len()) as u64;
+        // The prune is opportunistic; under a flood that penalizes
+        // every entry it frees nothing, so enforce the bound by
+        // evicting the probed entry whose penalty expires soonest
+        // (HashMap iteration order is effectively random).
+        while hosts.len() >= cap {
+            let victim = hosts
+                .iter()
+                .take(HOST_EVICT_PROBES)
+                .min_by_key(|(_, st)| (st.not_before, st.streak))
+                .map(|(ip, _)| *ip);
+            let Some(ip) = victim else { break };
+            hosts.remove(&ip);
+            *evictions += 1;
+        }
+    }
+    hosts.entry(dest).or_insert_with(|| HostState {
+        bucket: (config.per_host_pps > 0.0)
+            .then(|| TokenBucket::new(config.per_host_pps, config.burst_for(config.per_host_pps))),
+        not_before: 0,
+        streak: 0,
+    })
+}
+
 /// A pacer shared by every worker of one scan — how the shared-queue
 /// pipeline leases one whole-scan pacing budget dynamically instead of
 /// splitting it statically with [`PacerConfig::split`]. Reserving from
@@ -124,7 +215,7 @@ pub type SharedPacer = std::sync::Arc<parking_lot::Mutex<Pacer>>;
 pub struct Pacer {
     config: PacerConfig,
     global: Option<TokenBucket>,
-    hosts: HashMap<Ipv4Addr, HostState>,
+    hosts: HostMap,
     /// Destinations currently serving a backoff penalty (observability).
     pub backoff_events: u64,
     /// Host entries dropped to hold the table at its capacity bound —
@@ -140,7 +231,7 @@ impl Pacer {
         Pacer {
             config,
             global,
-            hosts: HashMap::new(),
+            hosts: HostMap::default(),
             backoff_events: 0,
             host_evictions: 0,
         }
@@ -189,37 +280,14 @@ impl Pacer {
     }
 
     fn host_state(&mut self, dest: Ipv4Addr, now: Nanos) -> &mut HostState {
-        if self.hosts.len() >= MAX_HOSTS && !self.hosts.contains_key(&dest) {
-            // Prune destinations that are idle: no penalty pending and no
-            // failure streak worth remembering.
-            let before = self.hosts.len();
-            self.hosts
-                .retain(|_, st| st.streak > 0 || st.not_before > now);
-            self.host_evictions += (before - self.hosts.len()) as u64;
-            // The prune is opportunistic; under a flood that penalizes
-            // every entry it frees nothing, so enforce the bound by
-            // evicting the probed entry whose penalty expires soonest
-            // (HashMap iteration order is effectively random).
-            while self.hosts.len() >= MAX_HOSTS {
-                let victim = self
-                    .hosts
-                    .iter()
-                    .take(HOST_EVICT_PROBES)
-                    .min_by_key(|(_, st)| (st.not_before, st.streak))
-                    .map(|(ip, _)| *ip);
-                let Some(ip) = victim else { break };
-                self.hosts.remove(&ip);
-                self.host_evictions += 1;
-            }
-        }
-        let config = &self.config;
-        self.hosts.entry(dest).or_insert_with(|| HostState {
-            bucket: (config.per_host_pps > 0.0).then(|| {
-                TokenBucket::new(config.per_host_pps, config.burst_for(config.per_host_pps))
-            }),
-            not_before: 0,
-            streak: 0,
-        })
+        host_state_in(
+            &mut self.hosts,
+            &mut self.host_evictions,
+            &self.config,
+            MAX_HOSTS,
+            dest,
+            now,
+        )
     }
 }
 
@@ -286,6 +354,357 @@ impl SendGate for Pacer {
             .min(cap);
         state.not_before = state.not_before.max(now + penalty);
         self.backoff_events += 1;
+    }
+}
+
+/// Stripe count for the [`ConcurrentPacer`] host table. Power of two so
+/// stripe selection is a mask off the same FNV/splitmix hash the
+/// in-stripe map uses — the same keying as the 64-way selective cache.
+const STRIPES: usize = 64;
+
+/// Per-stripe share of the [`MAX_HOSTS`] bound; each stripe enforces it
+/// independently so the whole table never exceeds [`MAX_HOSTS`] without
+/// any cross-stripe coordination.
+const STRIPE_CAP: usize = MAX_HOSTS / STRIPES;
+
+/// Default number of global-budget tokens a worker leases per CAS; the
+/// actual block is clamped to the bucket's burst so low-rate scans keep
+/// per-send granularity (see [`ConcurrentPacer::new`]).
+pub const TOKEN_BLOCK: u32 = 8;
+
+/// One stripe of the concurrent pacer's per-destination table.
+#[derive(Default)]
+struct HostStripe {
+    hosts: HostMap,
+    /// Stripe-local spills of the shared counters, summed on read so the
+    /// hot path never touches a cross-stripe atomic while holding the
+    /// stripe lock.
+    evictions: u64,
+    backoff_events: u64,
+}
+
+/// A worker's private slice of the global budget: a run of token slots
+/// leased from the [`AtomicBucket`] in one CAS. Consuming a slot is pure
+/// local arithmetic; unused slots go back on park/idle via
+/// [`ConcurrentPacer::return_block`].
+#[derive(Debug, Default, Clone, Copy)]
+pub struct TokenBlock {
+    base: i64,
+    used: u32,
+    count: u32,
+}
+
+impl TokenBlock {
+    /// Slots leased but not yet consumed.
+    pub fn unused(&self) -> u32 {
+        self.count - self.used
+    }
+}
+
+/// The scan-wide pacer without the scan-wide lock: semantically a
+/// [`SharedPacer`] (one global budget, shared per-destination backoff
+/// memory), structurally three independent layers —
+///
+/// 1. the **global budget** is a lock-free [`AtomicBucket`]; workers
+///    lease token *blocks* (default [`TOKEN_BLOCK`], clamped to burst)
+///    so the CAS is paid once per block, not per send;
+/// 2. the **per-destination table** is striped 64 ways by the
+///    FNV/splitmix host hash, each stripe behind its own short mutex —
+///    two workers contend only when pacing the same stripe, and the
+///    reservation chain (global release → backoff floor → host bucket)
+///    runs unchanged inside the stripe, preserving the no-herd contract;
+/// 3. **telemetry** (`cas_retries`, `stripe_waits`, `blocks_leased`)
+///    makes residual contention observable in driver reports.
+///
+/// Shared as `Arc<ConcurrentPacer>`; each worker drives it through a
+/// [`ConcurrentGate`] holding that worker's current [`TokenBlock`].
+pub struct ConcurrentPacer {
+    config: PacerConfig,
+    global: Option<AtomicBucket>,
+    block_size: u32,
+    stripes: Vec<Mutex<HostStripe>>,
+    hasher: HostHash,
+    stripe_waits: AtomicU64,
+    blocks_leased: AtomicU64,
+}
+
+impl ConcurrentPacer {
+    /// Build from a config. The token-block size is
+    /// `min(`[`TOKEN_BLOCK`]`, burst)`: leasing more than the burst
+    /// would hand one worker slots deep into the future while the others
+    /// starve, and a low-rate scan (burst derives `rate/20`) degrades
+    /// gracefully to per-send granularity.
+    pub fn new(config: PacerConfig) -> ConcurrentPacer {
+        let global = (config.rate_pps > 0.0)
+            .then(|| AtomicBucket::new(config.rate_pps, config.burst_for(config.rate_pps)));
+        let block_size = (config.burst_for(config.rate_pps) as u32).clamp(1, TOKEN_BLOCK);
+        ConcurrentPacer {
+            config,
+            global,
+            block_size,
+            stripes: (0..STRIPES)
+                .map(|_| Mutex::new(HostStripe::default()))
+                .collect(),
+            hasher: HostHash,
+            stripe_waits: AtomicU64::new(0),
+            blocks_leased: AtomicU64::new(0),
+        }
+    }
+
+    /// The configuration this pacer was built from.
+    pub fn config(&self) -> &PacerConfig {
+        &self.config
+    }
+
+    fn lock_stripe(&self, dest: Ipv4Addr) -> parking_lot::MutexGuard<'_, HostStripe> {
+        let idx = (self.hasher.hash_one(dest) as usize) & (STRIPES - 1);
+        let stripe = &self.stripes[idx];
+        match stripe.try_lock() {
+            Some(guard) => guard,
+            None => {
+                self.stripe_waits.fetch_add(1, Ordering::Relaxed);
+                stripe.lock()
+            }
+        }
+    }
+
+    /// Take one global-budget slot from the worker's block, leasing a
+    /// fresh block when it runs dry. Returns the slot's release time.
+    fn global_release(&self, block: &mut TokenBlock, now: Nanos) -> Nanos {
+        let Some(bucket) = self.global.as_ref() else {
+            return now;
+        };
+        if block.used >= block.count {
+            let lease = bucket.reserve(now, self.block_size);
+            self.blocks_leased.fetch_add(1, Ordering::Relaxed);
+            *block = TokenBlock {
+                base: lease.base,
+                used: 0,
+                count: lease.count,
+            };
+        }
+        block.used += 1;
+        let lease = SlotLease {
+            base: block.base,
+            count: block.count,
+        };
+        bucket.slot_release(lease, block.used, now)
+    }
+
+    /// Admit one send to `dest` at `now`, consuming from `block`. Same
+    /// chained-reservation semantics as [`Pacer`]'s [`SendGate::admit`]:
+    /// global slot → backoff floor → host bucket, so deferred sends stay
+    /// spaced and penalty expiry never releases a herd.
+    pub fn admit(&self, block: &mut TokenBlock, dest: Ipv4Addr, now: Nanos) -> PaceDecision {
+        if !self.config.enabled() {
+            return PaceDecision::Ready;
+        }
+        let mut release = self.global_release(block, now);
+        let mut host_limited = false;
+        if self.config.per_host_pps > 0.0 || self.config.backoff {
+            let mut stripe = self.lock_stripe(dest);
+            let stripe = &mut *stripe;
+            let state = host_state_in(
+                &mut stripe.hosts,
+                &mut stripe.evictions,
+                &self.config,
+                STRIPE_CAP,
+                dest,
+                now,
+            );
+            let floor = release.max(state.not_before);
+            let host_release = match state.bucket.as_mut() {
+                Some(bucket) => bucket.reserve(floor),
+                None => floor,
+            };
+            if host_release > release {
+                host_limited = host_release > now;
+                release = host_release;
+            }
+        }
+        if release <= now {
+            PaceDecision::Ready
+        } else {
+            PaceDecision::Defer {
+                until: release,
+                host_limited,
+            }
+        }
+    }
+
+    /// Feedback: a response from `dest` was delivered to its lookup.
+    pub fn on_success(&self, dest: Ipv4Addr, _now: Nanos) {
+        if !self.config.backoff {
+            return;
+        }
+        if let Some(state) = self.lock_stripe(dest).hosts.get_mut(&dest) {
+            // Decay: a success halves the remembered failure streak.
+            state.streak /= 2;
+        }
+    }
+
+    /// Feedback: a query to `dest` timed out or failed in transport.
+    /// The penalty lands in the shared stripe, so every worker backs off
+    /// the destination at its next admit — scan-wide backoff memory,
+    /// exactly as under the mutex pacer.
+    pub fn on_failure(&self, dest: Ipv4Addr, now: Nanos) {
+        if !self.config.backoff {
+            return;
+        }
+        let (base, cap) = (self.config.backoff_base, self.config.backoff_cap);
+        let mut stripe = self.lock_stripe(dest);
+        let stripe = &mut *stripe;
+        let state = host_state_in(
+            &mut stripe.hosts,
+            &mut stripe.evictions,
+            &self.config,
+            STRIPE_CAP,
+            dest,
+            now,
+        );
+        state.streak = state.streak.saturating_add(1);
+        // Multiplicative increase: base × 2^(streak-1), capped.
+        let penalty = base
+            .saturating_mul(1u64 << (state.streak - 1).min(24))
+            .min(cap);
+        state.not_before = state.not_before.max(now + penalty);
+        stripe.backoff_events += 1;
+    }
+
+    /// Return a block's unused slots to the global budget — called when
+    /// a worker parks, idles, or finishes, riding the same "give back
+    /// what you aren't using" path as the credit pool.
+    pub fn return_block(&self, block: &mut TokenBlock) {
+        if let Some(bucket) = self.global.as_ref() {
+            let unused = block.unused();
+            if unused > 0 {
+                bucket.unreserve(unused);
+            }
+        }
+        *block = TokenBlock::default();
+    }
+
+    /// Destinations with live pacing state, across all stripes.
+    pub fn tracked_hosts(&self) -> usize {
+        self.stripes.iter().map(|s| s.lock().hosts.len()).sum()
+    }
+
+    /// Scan-wide backoff memory as `(destination, streak, remaining)` —
+    /// see [`Pacer::backoff_snapshot`]; identical wire format, so scan
+    /// checkpoints are interchangeable between pacer implementations.
+    pub fn backoff_snapshot(&self, now: Nanos) -> Vec<(Ipv4Addr, u32, Nanos)> {
+        let mut out = Vec::new();
+        for stripe in &self.stripes {
+            let stripe = stripe.lock();
+            out.extend(
+                stripe
+                    .hosts
+                    .iter()
+                    .filter(|(_, st)| st.streak > 0 || st.not_before > now)
+                    .map(|(ip, st)| (*ip, st.streak, st.not_before.saturating_sub(now))),
+            );
+        }
+        out
+    }
+
+    /// Re-seed backoff memory from a snapshot — monotone and gated on
+    /// backoff being enabled, like [`Pacer::restore_backoff`].
+    pub fn restore_backoff(&self, entries: &[(Ipv4Addr, u32, Nanos)], now: Nanos) {
+        if !self.config.backoff {
+            return;
+        }
+        for &(ip, streak, remaining) in entries {
+            let mut stripe = self.lock_stripe(ip);
+            let stripe = &mut *stripe;
+            let state = host_state_in(
+                &mut stripe.hosts,
+                &mut stripe.evictions,
+                &self.config,
+                STRIPE_CAP,
+                ip,
+                now,
+            );
+            state.streak = state.streak.max(streak);
+            state.not_before = state.not_before.max(now.saturating_add(remaining));
+        }
+    }
+
+    /// Destinations currently serving a backoff penalty (observability).
+    pub fn backoff_events(&self) -> u64 {
+        self.stripes.iter().map(|s| s.lock().backoff_events).sum()
+    }
+
+    /// Host entries dropped to hold the table at its capacity bound.
+    pub fn host_evictions(&self) -> u64 {
+        self.stripes.iter().map(|s| s.lock().evictions).sum()
+    }
+
+    /// Global-bucket CAS retries — lost races on the atomic budget.
+    pub fn cas_retries(&self) -> u64 {
+        self.global.as_ref().map_or(0, AtomicBucket::cas_retries)
+    }
+
+    /// Contended stripe-lock acquisitions (a `try_lock` that had to
+    /// fall back to blocking).
+    pub fn stripe_waits(&self) -> u64 {
+        self.stripe_waits.load(Ordering::Relaxed)
+    }
+
+    /// Token blocks leased from the global budget.
+    pub fn blocks_leased(&self) -> u64 {
+        self.blocks_leased.load(Ordering::Relaxed)
+    }
+}
+
+/// One worker's handle on a shared [`ConcurrentPacer`]: the `Arc` plus
+/// that worker's current [`TokenBlock`]. Implements [`SendGate`], so it
+/// drops into every place a [`Pacer`] does — including the virtual-time
+/// simulation engine — with no behavioural difference beyond losing the
+/// lock.
+pub struct ConcurrentGate {
+    pacer: Arc<ConcurrentPacer>,
+    block: TokenBlock,
+}
+
+impl ConcurrentGate {
+    /// A new gate over `pacer` with an empty token block (the first
+    /// admit leases one).
+    pub fn new(pacer: Arc<ConcurrentPacer>) -> ConcurrentGate {
+        ConcurrentGate {
+            pacer,
+            block: TokenBlock::default(),
+        }
+    }
+
+    /// The shared pacer behind this gate.
+    pub fn pacer(&self) -> &Arc<ConcurrentPacer> {
+        &self.pacer
+    }
+
+    /// Give unused block tokens back to the global budget (park/idle).
+    pub fn return_tokens(&mut self) {
+        self.pacer.return_block(&mut self.block);
+    }
+}
+
+impl Drop for ConcurrentGate {
+    fn drop(&mut self) {
+        // A worker that exits mid-block must not strand budget.
+        self.return_tokens();
+    }
+}
+
+impl SendGate for ConcurrentGate {
+    fn admit(&mut self, dest: Ipv4Addr, now: Nanos) -> PaceDecision {
+        self.pacer.admit(&mut self.block, dest, now)
+    }
+
+    fn on_success(&mut self, dest: Ipv4Addr, now: Nanos) {
+        self.pacer.on_success(dest, now);
+    }
+
+    fn on_failure(&mut self, dest: Ipv4Addr, now: Nanos) {
+        self.pacer.on_failure(dest, now);
     }
 }
 
@@ -519,5 +938,164 @@ mod tests {
             "idle hosts must be pruned, got {}",
             pacer.tracked_hosts()
         );
+    }
+
+    fn gate_releases(
+        gate: &mut ConcurrentGate,
+        dest: Ipv4Addr,
+        n: usize,
+        now: Nanos,
+    ) -> Vec<Nanos> {
+        (0..n)
+            .map(|_| match gate.admit(dest, now) {
+                PaceDecision::Ready => now,
+                PaceDecision::Defer { until, .. } => until,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn concurrent_global_budget_spreads_sends_at_rate() {
+        let pacer = Arc::new(ConcurrentPacer::new(PacerConfig {
+            rate_pps: 100.0,
+            burst: 1.0,
+            ..PacerConfig::default()
+        }));
+        let mut gate = ConcurrentGate::new(pacer);
+        let times = gate_releases(&mut gate, IP_A, 51, 0);
+        assert_eq!(times[0], 0);
+        let last = *times.last().unwrap();
+        let expected = 500 * zdns_pacing::MILLIS;
+        assert!(
+            (last as i64 - expected as i64).unsigned_abs() < 5 * zdns_pacing::MILLIS,
+            "{last}"
+        );
+        for pair in times.windows(2) {
+            assert!(pair[1] > pair[0]);
+        }
+    }
+
+    #[test]
+    fn concurrent_penalty_expiry_does_not_release_a_herd() {
+        let pacer = Arc::new(ConcurrentPacer::new(PacerConfig {
+            per_host_pps: 100.0,
+            burst: 1.0,
+            backoff: true,
+            backoff_base: SECONDS,
+            ..PacerConfig::default()
+        }));
+        pacer.on_failure(IP_A, 0);
+        let mut gate = ConcurrentGate::new(Arc::clone(&pacer));
+        let times = gate_releases(&mut gate, IP_A, 10, 0);
+        assert!(times[0] >= SECONDS, "penalty must hold the first send");
+        for pair in times.windows(2) {
+            assert!(
+                pair[1] >= pair[0] + SECONDS / 100 - 2,
+                "herd after penalty expiry: {times:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn concurrent_backoff_memory_is_shared_across_gates() {
+        // Worker A's failures must back the destination off for worker B
+        // — the scan-wide backoff memory the mutex pacer provided.
+        let pacer = Arc::new(ConcurrentPacer::new(PacerConfig {
+            backoff: true,
+            backoff_base: SECONDS,
+            ..PacerConfig::default()
+        }));
+        let mut a = ConcurrentGate::new(Arc::clone(&pacer));
+        let mut b = ConcurrentGate::new(Arc::clone(&pacer));
+        a.on_failure(IP_A, 0);
+        match b.admit(IP_A, 0) {
+            PaceDecision::Defer {
+                until,
+                host_limited,
+            } => {
+                assert_eq!(until, SECONDS);
+                assert!(host_limited);
+            }
+            other => panic!("worker B must see A's penalty: {other:?}"),
+        }
+        assert_eq!(pacer.backoff_events(), 1);
+    }
+
+    #[test]
+    fn concurrent_snapshot_round_trips_into_legacy_pacer() {
+        // The two implementations speak the same checkpoint format.
+        let config = PacerConfig {
+            backoff: true,
+            backoff_base: 200 * zdns_pacing::MILLIS,
+            ..PacerConfig::default()
+        };
+        let pacer = Arc::new(ConcurrentPacer::new(config.clone()));
+        for _ in 0..3 {
+            pacer.on_failure(IP_A, 0);
+        }
+        let snap = pacer.backoff_snapshot(100 * zdns_pacing::MILLIS);
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0], (IP_A, 3, 700 * zdns_pacing::MILLIS));
+
+        let mut legacy = Pacer::new(config.clone());
+        legacy.restore_backoff(&snap, 0);
+        assert_eq!(legacy.backoff_snapshot(0), snap);
+
+        let resumed = ConcurrentPacer::new(config);
+        resumed.restore_backoff(&snap, 0);
+        let mut gate = ConcurrentGate::new(Arc::new(resumed));
+        match gate.admit(IP_A, 0) {
+            PaceDecision::Defer { until, .. } => assert_eq!(until, 700 * zdns_pacing::MILLIS),
+            other => panic!("restored penalty must defer: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn concurrent_host_table_is_hard_capped() {
+        let pacer = ConcurrentPacer::new(PacerConfig {
+            backoff: true,
+            backoff_base: 3_600 * SECONDS,
+            backoff_cap: 7_200 * SECONDS,
+            ..PacerConfig::default()
+        });
+        for i in 0..(MAX_HOSTS + 500) as u32 {
+            pacer.on_failure(Ipv4Addr::from(0x0A00_0000 + i), 0);
+        }
+        assert!(
+            pacer.tracked_hosts() <= MAX_HOSTS,
+            "tracked {}",
+            pacer.tracked_hosts()
+        );
+        assert!(pacer.host_evictions() >= 500, "{}", pacer.host_evictions());
+    }
+
+    #[test]
+    fn returned_blocks_give_budget_back() {
+        let pacer = Arc::new(ConcurrentPacer::new(PacerConfig {
+            rate_pps: 100.0, // burst derives rate/20 = 5 -> block of 5
+            ..PacerConfig::default()
+        }));
+        let mut hoarder = ConcurrentGate::new(Arc::clone(&pacer));
+        let _ = hoarder.admit(IP_A, 0); // leases a block, uses 1 slot
+        assert_eq!(pacer.blocks_leased(), 1);
+        drop(hoarder); // unused slots return on drop
+        let mut gate = ConcurrentGate::new(Arc::clone(&pacer));
+        let times = gate_releases(&mut gate, IP_B, 4, 0);
+        assert_eq!(
+            times,
+            vec![0, 0, 0, 0],
+            "returned burst tokens must be immediately spendable"
+        );
+    }
+
+    #[test]
+    fn disabled_concurrent_pacer_never_defers() {
+        let pacer = Arc::new(ConcurrentPacer::new(PacerConfig::default()));
+        let mut gate = ConcurrentGate::new(Arc::clone(&pacer));
+        for i in 0..1_000 {
+            assert_eq!(gate.admit(IP_A, i), PaceDecision::Ready);
+        }
+        assert_eq!(pacer.tracked_hosts(), 0);
+        assert_eq!(pacer.blocks_leased(), 0);
     }
 }

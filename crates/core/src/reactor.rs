@@ -52,7 +52,7 @@ use zdns_pacing::{CreditPool, PaceDecision, SendGate};
 use zdns_wire::{encode_query_into, Message, MessageView, MsgRef, ScratchBuf};
 
 use crate::driver::{Admission, Driver, DriverReport};
-use crate::pacer::{Pacer, PacerConfig, SharedPacer};
+use crate::pacer::{ConcurrentGate, ConcurrentPacer, Pacer, PacerConfig, SharedPacer};
 use crate::resolver::AddrMap;
 use crate::serve::{ServeStats, ServerRole};
 use crate::transport::readiness;
@@ -457,10 +457,14 @@ struct PreparedSend {
 /// or one scan-wide pacer shared with its sibling workers (the
 /// shared-queue pipeline's budget leasing — reserving from the shared
 /// buckets is the lease, so idle workers leave the whole budget to the
-/// active ones and backoff knowledge is common property).
+/// active ones and backoff knowledge is common property). The shared
+/// flavour comes in two implementations: the lock-free
+/// [`ConcurrentPacer`] behind a per-worker [`ConcurrentGate`] (the
+/// default), and the legacy whole-pacer mutex kept as an A/B lever.
 enum PacerHandle {
     Own(Pacer),
     Shared(SharedPacer),
+    Concurrent(ConcurrentGate),
 }
 
 impl PacerHandle {
@@ -468,6 +472,7 @@ impl PacerHandle {
         match self {
             PacerHandle::Own(pacer) => pacer.admit(dest, now),
             PacerHandle::Shared(pacer) => pacer.lock().admit(dest, now),
+            PacerHandle::Concurrent(gate) => gate.admit(dest, now),
         }
     }
 
@@ -475,6 +480,7 @@ impl PacerHandle {
         match self {
             PacerHandle::Own(pacer) => pacer.on_success(dest, now),
             PacerHandle::Shared(pacer) => pacer.lock().on_success(dest, now),
+            PacerHandle::Concurrent(gate) => gate.on_success(dest, now),
         }
     }
 
@@ -482,6 +488,17 @@ impl PacerHandle {
         match self {
             PacerHandle::Own(pacer) => pacer.on_failure(dest, now),
             PacerHandle::Shared(pacer) => pacer.lock().on_failure(dest, now),
+            PacerHandle::Concurrent(gate) => gate.on_failure(dest, now),
+        }
+    }
+
+    /// Give unused global-budget block tokens back to a shared
+    /// concurrent pacer — called at the same points admission credits go
+    /// back to the pool (park/idle/end-of-run). No-op for the other
+    /// handles and for an empty block, so it is safe to call freely.
+    fn return_tokens(&mut self) {
+        if let PacerHandle::Concurrent(gate) = self {
+            gate.return_tokens();
         }
     }
 }
@@ -681,6 +698,15 @@ impl Reactor {
     /// [`SharedPacer`]).
     pub fn set_shared_pacer(&mut self, pacer: SharedPacer) {
         self.pacer = PacerHandle::Shared(pacer);
+    }
+
+    /// Share a lock-free [`ConcurrentPacer`] scan-wide — same contract
+    /// as [`Reactor::set_shared_pacer`] (one global budget, common
+    /// backoff memory, workers MUST share a [`ReactorConfig::epoch`]),
+    /// but admission is a worker-local token block plus a striped table
+    /// instead of a whole-pacer mutex.
+    pub fn set_concurrent_pacer(&mut self, pacer: Arc<ConcurrentPacer>) {
+        self.pacer = PacerHandle::Concurrent(ConcurrentGate::new(pacer));
     }
 
     /// The bound local address (one reused source port for every lookup).
@@ -910,6 +936,10 @@ impl Reactor {
             credits.held -= 1;
             self.report.credit_returns += 1;
             self.report.idle_credit_returns += 1;
+            // A park means pacing is the bottleneck here: unused global
+            // token-block slots go back with the credit, so siblings
+            // (and this worker's own deferred queue) drain the budget.
+            self.pacer.return_tokens();
         }
     }
 
@@ -1624,6 +1654,9 @@ impl Driver for Reactor {
                         self.report.credit_returns += 1;
                     }
                 }
+                // Nor will fresh admissions need the token block: the
+                // drain phase re-leases on demand if retries crop up.
+                self.pacer.return_tokens();
             }
             if self.in_flight == 0 && exhausted {
                 break;
@@ -1684,6 +1717,7 @@ impl Driver for Reactor {
             self.wheel.cancel(token);
         }
         self.wheel.sweep_cancelled();
+        self.pacer.return_tokens();
 
         // Ring telemetry: this scan's delta, plus which backend ran.
         self.report.io_backend = self.io_backend();

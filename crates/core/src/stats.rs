@@ -3,11 +3,14 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use parking_lot::Mutex;
-
 use crate::status::Status;
 
 /// Aggregate counters for a resolver instance.
+///
+/// Shared by `Arc` across every scan worker, so the completion path must
+/// not serialize: per-status counts live in a fixed array of atomics
+/// (one slot per [`Status`] variant) rather than behind a mutex-guarded
+/// map, and are only folded into a map when a report asks for them.
 #[derive(Debug, Default)]
 pub struct Stats {
     /// Lookups completed.
@@ -20,7 +23,7 @@ pub struct Stats {
     pub retries: AtomicU64,
     /// TCP fallbacks after truncation.
     pub tcp_fallbacks: AtomicU64,
-    status_counts: Mutex<HashMap<Status, u64>>,
+    status_counts: [AtomicU64; Status::ALL.len()],
 }
 
 impl Stats {
@@ -30,12 +33,20 @@ impl Stats {
         if status.is_success() {
             self.successes.fetch_add(1, Ordering::Relaxed);
         }
-        *self.status_counts.lock().entry(status).or_insert(0) += 1;
+        self.status_counts[status.index()].fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Snapshot of per-status counts.
+    /// Snapshot of per-status counts (statuses seen at least once),
+    /// merged from the per-status atomics at call time.
     pub fn status_counts(&self) -> HashMap<Status, u64> {
-        self.status_counts.lock().clone()
+        Status::ALL
+            .iter()
+            .zip(self.status_counts.iter())
+            .filter_map(|(status, n)| {
+                let n = n.load(Ordering::Relaxed);
+                (n > 0).then_some((*status, n))
+            })
+            .collect()
     }
 
     /// Point-in-time copy of the atomic counters (diff two snapshots to

@@ -1,0 +1,157 @@
+//! Property tests for the lock-free scan-wide pacer: four workers
+//! hammering one [`ConcurrentPacer`] through their own token blocks must
+//! never exceed the configured global budget over *any* observation
+//! window, and a saturated pacer must converge to exactly its rate —
+//! the same contracts `prop_bucket.rs` pins on the mutex token bucket,
+//! re-proved across threads and block leasing.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use zdns_core::{ConcurrentPacer, PacerConfig, TokenBlock};
+use zdns_pacing::{PaceDecision, MILLIS, SECONDS};
+
+const WORKERS: usize = 4;
+
+/// Count how many of `times` fall inside `[start, start + window)`.
+fn in_window(times: &[u64], start: u64, window: u64) -> usize {
+    times
+        .iter()
+        .filter(|&&t| t >= start && t < start + window)
+        .count()
+}
+
+/// The budget ceiling for one window: initial burst plus refill, one
+/// token of boundary slack, plus the block-staleness allowance — a
+/// worker sitting on a part-used block can dump at most `block - 1`
+/// extra already-reserved slots into a window, per worker.
+fn ceiling(rate: f64, burst: f64, block: u32, window: u64) -> usize {
+    let budget = (burst + rate * window as f64 / SECONDS as f64).ceil() as usize + 1;
+    budget + WORKERS * block as usize
+}
+
+/// Run one worker's admission schedule against the shared pacer,
+/// advancing the shared virtual clock by its private gap sequence.
+/// Returns the release time of every reserved slot (`now` when admitted
+/// ready, the deferred-until instant otherwise — each reservation is one
+/// eventual send).
+fn drive_worker(
+    pacer: &ConcurrentPacer,
+    clock: &AtomicU64,
+    dest: std::net::Ipv4Addr,
+    gaps: &[u64],
+) -> Vec<u64> {
+    let mut block = TokenBlock::default();
+    let mut releases = Vec::with_capacity(gaps.len());
+    for &gap in gaps {
+        let now = clock.fetch_add(gap, Ordering::Relaxed) + gap;
+        match pacer.admit(&mut block, dest, now) {
+            PaceDecision::Ready => releases.push(now),
+            PaceDecision::Defer { until, .. } => {
+                assert!(until >= now, "release in the past");
+                releases.push(until);
+            }
+        }
+    }
+    pacer.return_block(&mut block);
+    releases
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn four_workers_never_exceed_global_budget_over_any_window(
+        rate_x10 in 100u64..20_000,
+        burst in 1u64..64,
+        gap_sets in proptest::collection::vec(
+            proptest::collection::vec(0u64..5_000_000, 40..150),
+            WORKERS,
+        ),
+    ) {
+        let rate = rate_x10 as f64 / 10.0;
+        let pacer = Arc::new(ConcurrentPacer::new(PacerConfig {
+            rate_pps: rate,
+            burst: burst as f64,
+            ..PacerConfig::default()
+        }));
+        let clock = AtomicU64::new(0);
+        let mut releases: Vec<u64> = std::thread::scope(|s| {
+            let handles: Vec<_> = gap_sets
+                .iter()
+                .enumerate()
+                .map(|(i, gaps)| {
+                    let pacer = Arc::clone(&pacer);
+                    let clock = &clock;
+                    let dest = std::net::Ipv4Addr::new(192, 0, 2, i as u8);
+                    s.spawn(move || drive_worker(&pacer, clock, dest, gaps))
+                })
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+        });
+        releases.sort_unstable();
+        let block = zdns_core::TOKEN_BLOCK.min(burst as u32);
+        for window in [50 * MILLIS, 500 * MILLIS, SECONDS] {
+            for &start in &releases {
+                prop_assert!(
+                    in_window(&releases, start, window)
+                        <= ceiling(rate, burst as f64, block, window),
+                    "window {window} from {start} exceeded budget"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn saturated_four_worker_demand_converges_to_rate(
+        rate in 10u64..2_000,
+        n_per_worker in 50usize..200,
+    ) {
+        // Every worker demands its whole share up front at t = 0: the
+        // global schedule must spread the N total sends over exactly
+        // (N - burst) / rate seconds, regardless of how the CAS races
+        // interleave the block leases.
+        let burst = 8.0;
+        let pacer = Arc::new(ConcurrentPacer::new(PacerConfig {
+            rate_pps: rate as f64,
+            burst,
+            ..PacerConfig::default()
+        }));
+        let last: u64 = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..WORKERS)
+                .map(|i| {
+                    let pacer = Arc::clone(&pacer);
+                    let dest = std::net::Ipv4Addr::new(192, 0, 2, i as u8);
+                    s.spawn(move || {
+                        let mut block = TokenBlock::default();
+                        let mut last = 0u64;
+                        for _ in 0..n_per_worker {
+                            last = match pacer.admit(&mut block, dest, 0) {
+                                PaceDecision::Ready => 0,
+                                PaceDecision::Defer { until, .. } => until.max(last),
+                            };
+                        }
+                        last
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).max().unwrap()
+        });
+        let n = (WORKERS * n_per_worker) as f64;
+        let interval = SECONDS as f64 / rate as f64;
+        let expected = ((n - burst) * interval) as i64;
+        // ±1% plus one nanosecond of ceil slack per reservation, plus the
+        // part-used tail block each worker may strand (its unused slots
+        // push the final releases deeper into the schedule).
+        let tolerance = expected / 100
+            + n as i64
+            + 2
+            + (WORKERS as f64 * zdns_core::TOKEN_BLOCK as f64 * interval) as i64;
+        prop_assert!(
+            (last as i64 - expected).abs() <= tolerance,
+            "{n} sends at {rate}/s across {WORKERS} workers: last release {last}, expected {expected} (±{tolerance})"
+        );
+        prop_assert!(pacer.blocks_leased() > 0, "block leasing never engaged");
+    }
+}

@@ -7,8 +7,8 @@ use std::net::{Ipv4Addr, SocketAddr, UdpSocket};
 use std::sync::Arc;
 
 use zdns_core::{
-    collecting_sink, AddrMap, Admission, Driver, PacerConfig, Reactor, ReactorConfig, Resolver,
-    ResolverConfig, Status, UdpTransport,
+    collecting_sink, AddrMap, Admission, ConcurrentPacer, Driver, PacerConfig, Reactor,
+    ReactorConfig, Resolver, ResolverConfig, Status, UdpTransport,
 };
 use zdns_netsim::WireServer;
 use zdns_wire::rdata::TxtData;
@@ -595,4 +595,98 @@ fn reactor_backoff_defers_retries_to_a_silent_destination() {
     );
     assert_eq!(reactor.deferred_sends(), 0);
     assert_eq!(reactor.live_timers(), 0);
+}
+
+#[test]
+fn concurrent_pacer_backoff_memory_propagates_across_workers() {
+    // Two workers (separate reactors, separate sockets, separate
+    // threads) share one ConcurrentPacer and one epoch. Worker A retries
+    // into a silent destination, building a failure streak in the shared
+    // per-destination table; worker B then scans the same destination
+    // with *zero* retries, so the only sends it ever attempts are the
+    // initial ones — any per-host deferral B observes can only be the
+    // penalty A left behind.
+    let silent = UdpSocket::bind((Ipv4Addr::LOCALHOST, 0)).unwrap();
+    let dead = silent.local_addr().unwrap();
+    let map: Arc<AddrMap> = Arc::new(move |_ip| dead);
+    let epoch = std::time::Instant::now();
+
+    let pacer = Arc::new(ConcurrentPacer::new(PacerConfig {
+        backoff: true,
+        backoff_base: 50 * zdns_netsim::MILLIS,
+        backoff_cap: 300 * zdns_netsim::MILLIS,
+        ..PacerConfig::default()
+    }));
+
+    let make_reactor = |map: &Arc<AddrMap>| {
+        let mut reactor = Reactor::new(
+            ReactorConfig {
+                max_in_flight: 8,
+                source: Ipv4Addr::LOCALHOST,
+                wheel_granularity: zdns_netsim::MILLIS,
+                epoch: Some(epoch),
+                ..ReactorConfig::default()
+            },
+            Arc::clone(map),
+        )
+        .unwrap();
+        reactor.set_concurrent_pacer(Arc::clone(&pacer));
+        reactor
+    };
+
+    // Worker A: retries feed the shared failure streak. The reactor and
+    // its machines are built inside the worker thread, exactly as the
+    // scan pipeline does (reactors are not Send).
+    let report_a = std::thread::scope(|s| {
+        s.spawn(|| {
+            let mut reactor = make_reactor(&map);
+            let mut config = ResolverConfig::external(vec!["192.0.2.7".parse().unwrap()]);
+            config.retries = 2;
+            config.timeout = 30 * zdns_netsim::MILLIS;
+            let resolver = Resolver::new(config);
+            let machines: Vec<_> = (0..4)
+                .map(|i| {
+                    resolver.machine(
+                        Question::new(format!("a{i}.dead.test").parse().unwrap(), RecordType::A),
+                        None,
+                    )
+                })
+                .collect();
+            drive_all(&mut reactor, machines)
+        })
+        .join()
+        .unwrap()
+    });
+    assert_eq!(report_a.completed, 4);
+    assert!(report_a.timeouts_fired >= 8, "{}", report_a.timeouts_fired);
+    assert!(
+        pacer.backoff_events() > 0,
+        "worker A's timeouts must feed the shared backoff table"
+    );
+
+    // Worker B: no retries, so its initial sends run before any of its
+    // own timeouts can fire — a per-host throttle here is inherited.
+    let report_b = {
+        let mut reactor = make_reactor(&map);
+        let mut config = ResolverConfig::external(vec!["192.0.2.7".parse().unwrap()]);
+        config.retries = 0;
+        config.timeout = 30 * zdns_netsim::MILLIS;
+        let resolver = Resolver::new(config);
+        let machines: Vec<_> = (0..2)
+            .map(|i| {
+                resolver.machine(
+                    Question::new(format!("b{i}.dead.test").parse().unwrap(), RecordType::A),
+                    None,
+                )
+            })
+            .collect();
+        drive_all(&mut reactor, machines)
+    };
+    assert_eq!(report_b.completed, 2);
+    assert!(
+        report_b.queries_deferred > 0 && report_b.per_host_throttles > 0,
+        "worker B must inherit worker A's penalty (deferred {}, per-host {})",
+        report_b.queries_deferred,
+        report_b.per_host_throttles
+    );
 }

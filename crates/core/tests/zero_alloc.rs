@@ -176,6 +176,54 @@ fn steady_state_credit_leased_scan_allocates_zero_per_lookup() {
 }
 
 #[test]
+fn steady_state_concurrent_pacer_scan_allocates_zero_per_lookup() {
+    // The lock-free pacer's admission path: every send takes a slot from
+    // the worker's token block (plain arithmetic; one CAS per block
+    // lease), probes the striped per-destination table, and reserves on
+    // the host bucket. After warmup grows the one host entry, none of
+    // that may touch the allocator — the tentpole's 0 allocs/lookup
+    // claim extends to paced scans.
+    const WARMUP: usize = 1200;
+    const MEASURED: usize = 800;
+    let (_server, resolver, addr_map, questions) = loopback_fleet(WARMUP + MEASURED);
+    let pacer = Arc::new(zdns_core::ConcurrentPacer::new(zdns_core::PacerConfig {
+        // High budgets so pacing engages on every send without deferring
+        // the loopback scan; backoff on so successes run the stripe's
+        // streak-decay path too.
+        rate_pps: 10_000_000.0,
+        per_host_pps: 5_000_000.0,
+        backoff: true,
+        ..zdns_core::PacerConfig::default()
+    }));
+    let mut reactor = Reactor::new(
+        ReactorConfig {
+            max_in_flight: 256,
+            source: Ipv4Addr::LOCALHOST,
+            io_backend: IoBackend::Mmsg,
+            ..ReactorConfig::default()
+        },
+        addr_map,
+    )
+    .unwrap();
+    reactor.set_concurrent_pacer(Arc::clone(&pacer));
+
+    let (done, ok, _) = run_prebuilt(&mut reactor, &resolver, &questions[..WARMUP], false);
+    assert_eq!(done, WARMUP);
+    assert!(ok * 10 >= WARMUP * 9, "warmup success {ok}/{WARMUP}");
+
+    let (done, ok, allocs) = run_prebuilt(&mut reactor, &resolver, &questions[WARMUP..], true);
+    assert_eq!(done, MEASURED);
+    assert!(ok * 10 >= MEASURED * 9, "measured success {ok}/{MEASURED}");
+    assert_eq!(
+        allocs, 0,
+        "concurrent-pacer steady-state scan allocated {allocs} times over {MEASURED} lookups"
+    );
+    // Prove the measured region actually exercised the paced path.
+    assert!(pacer.blocks_leased() > 0, "global block leasing never ran");
+    assert_eq!(pacer.tracked_hosts(), 1, "host table never probed");
+}
+
+#[test]
 fn uring_steady_state_scan_allocates_zero_per_lookup() {
     // The io_uring backend's whole per-lookup dance — SENDMSG SQE fill,
     // ring submit, CQE reap, armed-pool re-arm, spill/ready shuffling —

@@ -131,6 +131,11 @@ pub struct Conf {
     /// them from scan-wide pools. An A/B escape hatch; the shared-queue
     /// pipeline is the default.
     pub static_split: bool,
+    /// Shared-pacer implementation (`--pacer`): `concurrent` (default)
+    /// is the lock-free scan-wide pacer — atomic global token bucket
+    /// plus a striped per-destination table; `legacy-shared` keeps the
+    /// historical whole-pacer mutex as an A/B lever.
+    pub legacy_shared_pacer: bool,
     /// Syscall strategy for the reactor hot path (`--io-backend`):
     /// `auto` (default) takes the best the kernel supports — io_uring,
     /// then `sendmmsg`/`recvmmsg`, then per-datagram — and explicit
@@ -184,6 +189,7 @@ impl Default for Conf {
             batch_size: 0,
             workload: Workload::Lines,
             static_split: false,
+            legacy_shared_pacer: false,
             io_backend: IoBackend::default(),
             pin_cores: false,
             name_server_addrs: Vec::new(),
@@ -406,6 +412,17 @@ impl Conf {
                     };
                 }
                 "--static-split" => conf.static_split = true,
+                "--pacer" => {
+                    conf.legacy_shared_pacer = match take_value(&mut i)?.as_str() {
+                        "concurrent" => false,
+                        "legacy-shared" => true,
+                        other => {
+                            return Err(ConfError(format!(
+                                "bad --pacer {other:?} (concurrent|legacy-shared)"
+                            )))
+                        }
+                    };
+                }
                 "--io-backend" => {
                     let v = take_value(&mut i)?;
                     conf.io_backend = IoBackend::parse(&v).ok_or_else(|| {
@@ -807,6 +824,26 @@ mod tests {
             "shared is default"
         );
         assert!(Conf::parse(["A", "--static-split"]).unwrap().static_split);
+    }
+
+    #[test]
+    fn pacer_flag() {
+        assert!(
+            !Conf::parse(["A"]).unwrap().legacy_shared_pacer,
+            "concurrent is default"
+        );
+        assert!(
+            !Conf::parse(["A", "--pacer", "concurrent"])
+                .unwrap()
+                .legacy_shared_pacer
+        );
+        assert!(
+            Conf::parse(["A", "--pacer", "legacy-shared"])
+                .unwrap()
+                .legacy_shared_pacer
+        );
+        assert!(Conf::parse(["A", "--pacer", "mutex"]).is_err());
+        assert!(Conf::parse(["A", "--pacer"]).is_err(), "needs a value");
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //!    ct-corpus          worker steals       │  credits + pacing    a slow sink      reusable buffer,
 //!    generator,         the next name)      │  budget from the     throttles        or a callback)
 //!    streaming)                             ▼  scan-wide pools     admission)
-//!                                      CreditPool + SharedPacer
+//!                                    CreditPool + ConcurrentPacer
 //! ```
 //!
 //! The pre-pipeline design split the admission window and the pacing
@@ -20,10 +20,13 @@
 //! backoff penalty (returning the credits), and pull — steal — the next
 //! pending input from the shared queue whenever they hold capacity,
 //! wherever that capacity was nominally "assigned". The pacing budgets
-//! are likewise one scan-wide [`SharedPacer`] rather than per-worker
-//! slices. `--static-split` keeps the old behaviour as an A/B lever;
-//! `bench_reactor` measures both and `tests/scan_pipeline.rs` asserts
-//! the stranded-window recovery.
+//! are likewise one scan-wide pacer rather than per-worker slices — a
+//! lock-free [`ConcurrentPacer`] by default (workers lease token blocks
+//! from an atomic global bucket and share a striped backoff table), or
+//! the historical whole-pacer mutex ([`SharedPacer`]) under
+//! `--pacer legacy-shared`. `--static-split` keeps the pre-pipeline
+//! behaviour as an A/B lever; `bench_reactor` measures all of them and
+//! `tests/scan_pipeline.rs` asserts the stranded-window recovery.
 //!
 //! Both ends stream: an [`InputSource`] is pulled one name at a time
 //! (a 234M-name corpus is a generator, never a `Vec`), and outputs
@@ -40,8 +43,8 @@ use std::sync::Arc;
 use crossbeam::channel;
 use parking_lot::Mutex;
 use zdns_core::{
-    AddrMap, Admission, CreditPool, Driver, DriverReport, Pacer, PacerConfig, Reactor,
-    ReactorConfig, Resolver, SharedPacer,
+    AddrMap, Admission, ConcurrentPacer, CreditPool, Driver, DriverReport, Pacer, PacerConfig,
+    Reactor, ReactorConfig, Resolver, SharedPacer,
 };
 use zdns_modules::{LookupModule, ModuleOutput, ModuleSink};
 use zdns_netsim::InputSource;
@@ -70,6 +73,44 @@ impl AdmissionMode {
             AdmissionMode::StaticSplit
         } else {
             AdmissionMode::SharedQueue
+        }
+    }
+}
+
+/// The scan-wide pacer a shared-queue scan installs in every worker.
+/// Both flavours carry the same contract — one global budget, common
+/// per-destination backoff memory, interchangeable checkpoint format —
+/// they differ only in how workers synchronize on it.
+#[derive(Clone)]
+enum ScanPacer {
+    /// Lock-free: atomic global token bucket (workers lease token
+    /// blocks) plus a striped per-destination table. The default.
+    Concurrent(Arc<ConcurrentPacer>),
+    /// The historical whole-pacer mutex, kept as an A/B lever
+    /// (`--pacer legacy-shared`): every admit/success/failure from every
+    /// worker serializes on one lock.
+    Legacy(SharedPacer),
+}
+
+impl ScanPacer {
+    fn install(&self, reactor: &mut Reactor) {
+        match self {
+            ScanPacer::Concurrent(pacer) => reactor.set_concurrent_pacer(Arc::clone(pacer)),
+            ScanPacer::Legacy(pacer) => reactor.set_shared_pacer(Arc::clone(pacer)),
+        }
+    }
+
+    fn restore_backoff(&self, entries: &[(Ipv4Addr, u32, u64)], now: u64) {
+        match self {
+            ScanPacer::Concurrent(pacer) => pacer.restore_backoff(entries, now),
+            ScanPacer::Legacy(pacer) => pacer.lock().restore_backoff(entries, now),
+        }
+    }
+
+    fn backoff_snapshot(&self, now: u64) -> Vec<(Ipv4Addr, u32, u64)> {
+        match self {
+            ScanPacer::Concurrent(pacer) => pacer.backoff_snapshot(now),
+            ScanPacer::Legacy(pacer) => pacer.lock().backoff_snapshot(now),
         }
     }
 }
@@ -129,10 +170,12 @@ pub fn run_scan_pipeline(
         AdmissionMode::SharedQueue => Some(Arc::new(CreditPool::new(total_window))),
         AdmissionMode::StaticSplit => None,
     };
-    let shared_pacer: Option<SharedPacer> = match mode {
-        AdmissionMode::SharedQueue if pacer_config.enabled() => {
-            Some(Arc::new(Mutex::new(Pacer::new(pacer_config.clone()))))
-        }
+    let shared_pacer: Option<ScanPacer> = match mode {
+        AdmissionMode::SharedQueue if pacer_config.enabled() => Some(if conf.legacy_shared_pacer {
+            ScanPacer::Legacy(Arc::new(Mutex::new(Pacer::new(pacer_config.clone()))))
+        } else {
+            ScanPacer::Concurrent(Arc::new(ConcurrentPacer::new(pacer_config.clone())))
+        }),
         _ => None,
     };
 
@@ -159,7 +202,7 @@ pub fn run_scan_pipeline(
                     .filter(|c| c.scan_id == id)
             {
                 if let Some(pacer) = &shared_pacer {
-                    pacer.lock().restore_backoff(&ckpt.backoff, 0);
+                    pacer.restore_backoff(&ckpt.backoff, 0);
                 }
                 keeper.resume_from(&ckpt);
             }
@@ -256,7 +299,7 @@ pub fn run_scan_pipeline(
                     reactor.set_credit_pool(pool, static_window);
                 }
                 if let Some(pacer) = shared_pacer {
-                    reactor.set_shared_pacer(pacer);
+                    pacer.install(&mut reactor);
                 }
                 let sink: ModuleSink = Arc::new(move |o| {
                     // A full output queue blocks here — inside lookup
@@ -320,7 +363,7 @@ pub fn run_scan_pipeline(
                     if let Some(keeper) = &writer_keeper {
                         let backoff = writer_pacer
                             .as_ref()
-                            .map(|p| p.lock().backoff_snapshot(epoch.elapsed().as_nanos() as u64))
+                            .map(|p| p.backoff_snapshot(epoch.elapsed().as_nanos() as u64))
                             .unwrap_or_default();
                         // A failed snapshot write is retried at the next
                         // cadence tick; the scan itself never stops.
@@ -353,7 +396,7 @@ pub fn run_scan_pipeline(
     if let Some(keeper) = &keeper {
         let backoff = shared_pacer
             .as_ref()
-            .map(|p| p.lock().backoff_snapshot(epoch.elapsed().as_nanos() as u64))
+            .map(|p| p.backoff_snapshot(epoch.elapsed().as_nanos() as u64))
             .unwrap_or_default();
         if let Err(e) = keeper.lock().write_snapshot(backoff) {
             report
@@ -369,6 +412,14 @@ pub fn run_scan_pipeline(
     report.worker_errors.extend(startup_errors.lock().drain(..));
     report.status_counts = merged.0;
     report.driver = merged.1;
+    // Concurrent-pacer contention telemetry is scan-wide (the counters
+    // live on the one shared pacer), so it lands on the merged report
+    // here rather than being summed per worker.
+    if let Some(ScanPacer::Concurrent(pacer)) = &shared_pacer {
+        report.driver.pacer_cas_retries = pacer.cas_retries();
+        report.driver.pacer_stripe_waits = pacer.stripe_waits();
+        report.driver.token_blocks_leased = pacer.blocks_leased();
+    }
     report.lookups = report.driver.completed;
     report.successes = report.driver.successes;
     report.queries_sent = stats_after.queries_sent - stats_before.queries_sent;

@@ -50,6 +50,7 @@ const SCAN_SAMPLES: &[(&str, &[&str])] = &[
         &["A", "--workload", "ct-corpus", "--max-names", "100"],
     ),
     ("--static-split", &["A", "--static-split"]),
+    ("--pacer", &["A", "--pacer", "legacy-shared"]),
     ("--io-backend", &["A", "--io-backend", "mmsg"]),
     ("--pin-cores", &["A", "--pin-cores"]),
     (

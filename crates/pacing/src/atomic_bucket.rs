@@ -1,0 +1,237 @@
+//! Lock-free token bucket for the scan-wide global budget.
+//!
+//! [`AtomicBucket`] is the concurrent counterpart of
+//! [`TokenBucket::reserve`](crate::TokenBucket::reserve): it always
+//! grants, debiting the budget (possibly into debt) and handing back
+//! *when* each debited send may go on the wire. The trick that makes it
+//! one atomic instead of a mutex is representing the bucket as a virtual
+//! **level cursor** `L` (the GCRA "theoretical arrival time"): with
+//! `interval = 1/rate` seconds per token,
+//!
+//! ```text
+//! tokens(now) = (now - L) / interval      (capped at burst)
+//! ```
+//!
+//! Reserving `n` tokens advances `L` by `n * interval` — a single
+//! compare-and-swap, in the spirit of [`CreditPool`](crate::CreditPool)'s
+//! two-atomic lease loop. The `n` reserved slots occupy consecutive
+//! virtual times `(base, base + n*interval]`, so callers that lease a
+//! *block* of tokens up front (one CAS per block, not per send) can
+//! compute each send's release time locally without touching shared
+//! state, and the global schedule still spaces sends at exactly the
+//! configured rate: slots are globally unique whether they were claimed
+//! one at a time or eight at a time.
+//!
+//! Unused slots go back with [`AtomicBucket::unreserve`] (the cursor
+//! walks backwards); the burst cap is re-applied on the next reserve, so
+//! returning stale tokens can never mint budget beyond what a
+//! continuously-refilling bucket would hold.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+use crate::{Nanos, SECONDS};
+
+/// A contiguous run of token slots granted by [`AtomicBucket::reserve`].
+///
+/// Slot `k` (1-based) of the lease is covered by refill at virtual time
+/// `base + k * interval`; the send it backs may go on the wire at
+/// `max(now, base + k * interval)` — identical to what `k` consecutive
+/// [`TokenBucket::reserve`](crate::TokenBucket::reserve) calls at `now`
+/// would have returned.
+#[derive(Debug, Clone, Copy)]
+pub struct SlotLease {
+    /// Virtual level cursor before this lease was applied (after the
+    /// burst cap). May be negative while the initial burst lasts.
+    pub base: i64,
+    /// Number of slots reserved.
+    pub count: u32,
+}
+
+/// Lock-free always-grant token bucket: `rate` tokens/second, capacity
+/// `burst`, state in one `AtomicI64`.
+#[derive(Debug)]
+pub struct AtomicBucket {
+    rate: f64,
+    /// Nanoseconds of refill per token (`1e9 / rate`).
+    interval: f64,
+    /// Burst capacity expressed in virtual nanoseconds.
+    burst_ns: i64,
+    /// The virtual level cursor `L`; `tokens(now) = (now - L)/interval`.
+    level: AtomicI64,
+    cas_retries: AtomicU64,
+}
+
+impl AtomicBucket {
+    /// New bucket, initially full (like [`TokenBucket::new`](crate::TokenBucket::new)).
+    ///
+    /// `rate` must be positive; `burst` is clamped to at least one token.
+    pub fn new(rate: f64, burst: f64) -> AtomicBucket {
+        assert!(rate > 0.0, "AtomicBucket requires a positive rate");
+        let interval = SECONDS as f64 / rate;
+        let burst_ns = (burst.max(1.0) * interval).round() as i64;
+        AtomicBucket {
+            rate,
+            interval,
+            burst_ns,
+            // tokens(0) = (0 - L)/interval = burst  =>  L = -burst_ns.
+            level: AtomicI64::new(-burst_ns),
+            cas_retries: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured fill rate in tokens/second.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Nanoseconds of refill backing one token.
+    pub fn interval(&self) -> f64 {
+        self.interval
+    }
+
+    /// Reserve `n` consecutive token slots in one CAS loop. Always
+    /// grants; debt shows up as slot release times in the future.
+    pub fn reserve(&self, now: Nanos, n: u32) -> SlotLease {
+        debug_assert!(n > 0, "reserving zero slots");
+        let now = now as i64;
+        let span = (f64::from(n) * self.interval).round() as i64;
+        let mut cur = self.level.load(Ordering::Acquire);
+        loop {
+            // Refill cap: the bucket never holds more than `burst`
+            // tokens, i.e. L never trails `now` by more than burst_ns.
+            let base = cur.max(now - self.burst_ns);
+            match self.level.compare_exchange_weak(
+                cur,
+                base + span,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return SlotLease { base, count: n },
+                Err(actual) => {
+                    self.cas_retries.fetch_add(1, Ordering::Relaxed);
+                    cur = actual;
+                }
+            }
+        }
+    }
+
+    /// Return `n` unused slots (the tail of a lease): the level cursor
+    /// walks back so other callers can claim the budget. The burst cap on
+    /// the next [`reserve`](AtomicBucket::reserve) bounds how much
+    /// returned budget can accumulate.
+    pub fn unreserve(&self, n: u32) {
+        if n == 0 {
+            return;
+        }
+        let span = (f64::from(n) * self.interval).round() as i64;
+        self.level.fetch_sub(span, Ordering::AcqRel);
+    }
+
+    /// Release time for slot `k` (1-based) of a lease taken at `now`:
+    /// `max(now, base + k*interval)`, the moment refill covers the slot.
+    pub fn slot_release(&self, lease: SlotLease, k: u32, now: Nanos) -> Nanos {
+        debug_assert!(k >= 1 && k <= lease.count);
+        let slot = lease.base + (f64::from(k) * self.interval).round() as i64;
+        now.max(slot.max(0) as Nanos)
+    }
+
+    /// Current token count (after the burst cap), for tests and
+    /// introspection. Racy by nature — a snapshot, not a guarantee.
+    pub fn available(&self, now: Nanos) -> f64 {
+        let level = self.level.load(Ordering::Acquire);
+        ((now as i64 - level) as f64 / self.interval).min(self.burst_ns as f64 / self.interval)
+    }
+
+    /// CAS loop iterations that lost the race and retried — the
+    /// contention signal the drivers surface as `pacer_cas_retries`.
+    pub fn cas_retries(&self) -> u64 {
+        self.cas_retries.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TokenBucket;
+
+    #[test]
+    fn single_slot_reserves_match_the_mutex_bucket() {
+        let atomic = AtomicBucket::new(100.0, 1.0);
+        let mut mutex = TokenBucket::new(100.0, 1.0);
+        for i in 0..50u64 {
+            let now = i * SECONDS / 500; // offer 5x the rate
+            let lease = atomic.reserve(now, 1);
+            let got = atomic.slot_release(lease, 1, now);
+            let want = mutex.reserve(now);
+            let diff = got.abs_diff(want);
+            assert!(diff <= 2, "slot {i}: atomic {got} vs mutex {want}");
+        }
+    }
+
+    #[test]
+    fn block_lease_slots_are_spaced_at_the_rate() {
+        let bucket = AtomicBucket::new(1000.0, 1.0);
+        let lease = bucket.reserve(0, 8);
+        let mut prev = bucket.slot_release(lease, 1, 0);
+        for k in 2..=8 {
+            let next = bucket.slot_release(lease, k, 0);
+            let gap = next - prev;
+            assert!(
+                (gap as i64 - (SECONDS / 1000) as i64).abs() <= 2,
+                "slot {k} gap {gap}"
+            );
+            prev = next;
+        }
+    }
+
+    #[test]
+    fn unreserve_returns_budget() {
+        let bucket = AtomicBucket::new(10.0, 1.0);
+        let lease = bucket.reserve(0, 8);
+        assert_eq!(bucket.slot_release(lease, 1, 0), 0, "burst covers slot 1");
+        // Give 7 slots back: the next reserve starts where slot 2 began.
+        bucket.unreserve(7);
+        let next = bucket.reserve(0, 1);
+        let release = bucket.slot_release(next, 1, 0);
+        assert!(
+            release.abs_diff(SECONDS / 10) <= 2,
+            "release {release} expected ~{}",
+            SECONDS / 10
+        );
+    }
+
+    #[test]
+    fn refill_caps_at_burst() {
+        let bucket = AtomicBucket::new(1000.0, 10.0);
+        // Idle for 100 virtual seconds: at most `burst` tokens saved up.
+        assert!((bucket.available(100 * SECONDS) - 10.0).abs() < 1e-6);
+        let lease = bucket.reserve(100 * SECONDS, 11);
+        // 10 burst tokens are free; the 11th waits one interval.
+        assert_eq!(bucket.slot_release(lease, 10, 100 * SECONDS), 100 * SECONDS);
+        assert!(bucket.slot_release(lease, 11, 100 * SECONDS) > 100 * SECONDS);
+    }
+
+    #[test]
+    fn concurrent_reserves_claim_unique_slots() {
+        use std::sync::Arc;
+        let bucket = Arc::new(AtomicBucket::new(1_000_000.0, 1.0));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let b = Arc::clone(&bucket);
+            handles.push(std::thread::spawn(move || {
+                let mut bases = Vec::new();
+                for _ in 0..1000 {
+                    bases.push(b.reserve(0, 4).base);
+                }
+                bases
+            }));
+        }
+        let mut all: Vec<i64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 8 * 1000, "every block got a distinct base");
+    }
+}

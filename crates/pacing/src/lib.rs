@@ -25,8 +25,10 @@
 
 #![warn(missing_docs)]
 
+mod atomic_bucket;
 mod credit;
 
+pub use atomic_bucket::{AtomicBucket, SlotLease};
 pub use credit::CreditPool;
 
 use std::net::Ipv4Addr;
