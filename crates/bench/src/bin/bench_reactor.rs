@@ -25,6 +25,14 @@
 //!   bidirectional engine's whole answer path per query: arena recv,
 //!   borrowed view parse, per-client gate, cache probe, scratch
 //!   re-encode, send.
+//! * **Packet cache** — the serve hot path's memoized-answer A/B
+//!   (PR-10 tentpole): identical hot-key query streams driven straight
+//!   through `ServerRole::handle_datagram` against a role with
+//!   `--packet-cache-capacity 0` (record-path reference: shard lock,
+//!   RRset walk, scratch re-encode per hit) and a role with the packet
+//!   cache on (memcpy + ID/flags patch + cookie splice). Measured
+//!   in-process because the loopback e2e round trip is client-dominated;
+//!   an e2e hot-key fleet pair is recorded alongside as informational.
 //! * **Paced scaling** — paced pipeline throughput at 1, 2, and 4
 //!   workers, lock-free `ConcurrentPacer` (the default) versus the
 //!   mutex-guarded `--pacer legacy-shared`, on a never-deferring global
@@ -39,15 +47,17 @@
 //! kernel has no io_uring — the fallback path is the product behaviour
 //! there, not a regression), `--min-serve-ratio X` on serve/scan
 //! throughput, `--min-checkpoint-ratio X` on the checkpointed
-//! pipeline's throughput relative to the plain pipeline, and
+//! pipeline's throughput relative to the plain pipeline,
 //! `--min-paced-ratio X` on the 4-worker concurrent-over-legacy pacer
 //! ratio (auto-pass on single-core machines, where cross-worker mutex
-//! contention — the thing the concurrent pacer removes — cannot occur).
+//! contention — the thing the concurrent pacer removes — cannot occur),
+//! and `--min-packet-ratio X` on the packet-hit-over-record-hit direct
+//! serve ratio (best per-pair over alternating rounds).
 //!
 //! Run: `cargo run --release -p zdns-bench --bin bench_reactor -- [--quick]
 //! [--out PATH] [--min-speedup X] [--min-view-speedup X]
 //! [--min-uniform-ratio X] [--min-uring-ratio X] [--min-serve-ratio X]
-//! [--min-checkpoint-ratio X] [--min-paced-ratio X]`
+//! [--min-checkpoint-ratio X] [--min-paced-ratio X] [--min-packet-ratio X]`
 
 use std::net::Ipv4Addr;
 use std::sync::Arc;
@@ -659,17 +669,21 @@ fn measure_paced_scaling(quick: bool) -> (Vec<PacedScaleRow>, DriverReport) {
 /// the serve cache, so the measured rounds are the steady state the
 /// acceptance criterion names: nearly every query answered in place from
 /// the cache, no forwarding on the hot path. Returns (best lookups/sec,
-/// cache-hit fraction over the measured rounds).
-fn measure_serve(lookups: usize, rounds: usize) -> (f64, f64) {
+/// cache-hit fraction, packet-hit fraction over the measured rounds).
+fn measure_serve(
+    lookups: usize,
+    rounds: usize,
+    distinct: usize,
+    packet_capacity: usize,
+) -> (f64, f64, f64) {
     use zdns_framework::serve::{start, ServeOptions};
-    const DISTINCT: usize = 2_000;
 
     let mut zone = Zone::new(
         "serve-bench.test".parse().unwrap(),
         "ns1.serve-bench.test".parse().unwrap(),
         300,
     );
-    for i in 0..DISTINCT {
+    for i in 0..distinct {
         zone.add(Record::new(
             format!("s{i}.serve-bench.test").parse().unwrap(),
             300,
@@ -684,6 +698,7 @@ fn measure_serve(lookups: usize, rounds: usize) -> (f64, f64) {
         listen: (Ipv4Addr::LOCALHOST, 0).into(),
         upstreams: vec![upstream.addr()],
         cache_capacity: 100_000,
+        packet_cache_capacity: packet_capacity,
         io_backend: IoBackend::Mmsg,
         ..ServeOptions::default()
     })
@@ -694,7 +709,7 @@ fn measure_serve(lookups: usize, rounds: usize) -> (f64, f64) {
     config.timeout = 2 * SECONDS;
     config.retries = 2;
     let resolver = Resolver::new(config);
-    let names: Vec<Question> = (0..DISTINCT)
+    let names: Vec<Question> = (0..distinct)
         .map(|i| {
             Question::new(
                 format!("s{i}.serve-bench.test").parse::<Name>().unwrap(),
@@ -709,8 +724,9 @@ fn measure_serve(lookups: usize, rounds: usize) -> (f64, f64) {
     let _ = run_once(&mut warm_reactor, &resolver, &names);
     drop(warm_reactor);
 
-    let questions: Vec<Question> = (0..lookups).map(|i| names[i % DISTINCT].clone()).collect();
+    let questions: Vec<Question> = (0..lookups).map(|i| names[i % distinct].clone()).collect();
     let hits_before = handle.cache_hits();
+    let packet_hits_before = handle.packet_hits();
     let queries_before = handle.queries();
     let mut reactor = reactor_for(&addr_map, BATCH, IoBackend::Mmsg);
     let mut best = 0.0f64;
@@ -718,9 +734,112 @@ fn measure_serve(lookups: usize, rounds: usize) -> (f64, f64) {
         let (rate, _, _) = run_once(&mut reactor, &resolver, &questions);
         best = best.max(rate);
     }
-    let hit_fraction = (handle.cache_hits() - hits_before) as f64
-        / (handle.queries() - queries_before).max(1) as f64;
-    (best, hit_fraction)
+    let measured_queries = (handle.queries() - queries_before).max(1) as f64;
+    let hit_fraction = (handle.cache_hits() - hits_before) as f64 / measured_queries;
+    let packet_hit_fraction = (handle.packet_hits() - packet_hits_before) as f64 / measured_queries;
+    (best, hit_fraction, packet_hit_fraction)
+}
+
+/// Direct serve hot-path A/B (the PR-10 tentpole): identical hot-key
+/// query streams driven straight through `ServerRole::handle_datagram`
+/// — no sockets, no client thread — once against a role with the packet
+/// cache disabled (`packet_cache_capacity: 0`, the record-path
+/// reference: shard lock + RRset walk + full scratch re-encode per hit)
+/// and once with it on (memcpy + ID/flags patch + cookie splice).
+/// Loopback e2e serve numbers are client-dominated, so this in-process
+/// pair is where the memoized-packet win is measurable and gateable.
+/// Returns (record qps, packet qps, best-of-pairs ratio, packet-side
+/// allocs/query) — rates are each side's best round, the gated ratio is
+/// the best *paired* ratio over alternating (record, packet) rounds.
+fn measure_packet_cache(quick: bool) -> (f64, f64, f64, f64) {
+    use zdns_core::{CacheKey, Clock, ServeConfig, ServerRole};
+    use zdns_wire::{encode_query_into, Cookie, ScratchBuf};
+
+    const HOT: usize = 16;
+    let queries_per_round = if quick { 50_000 } else { 200_000 };
+    let pairs = if quick { 2 } else { 3 };
+
+    let build_role = |packet_capacity: usize| {
+        let resolver = Resolver::new(ResolverConfig::external(vec![Ipv4Addr::new(192, 0, 2, 53)]));
+        for i in 0..HOT {
+            let name: Name = format!("h{i}.packet-bench.test").parse().unwrap();
+            let records: Vec<Record> = (0..4)
+                .map(|j| {
+                    Record::new(
+                        name.clone(),
+                        3600,
+                        RData::A(Ipv4Addr::new(10, 13, j, i as u8)),
+                    )
+                })
+                .collect();
+            resolver.core().cache.put(
+                CacheKey {
+                    name,
+                    rtype: RecordType::A,
+                },
+                records,
+                0,
+            );
+        }
+        ServerRole::new(
+            resolver,
+            Clock::new(),
+            ServeConfig {
+                packet_cache_capacity: packet_capacity,
+                ..ServeConfig::default()
+            },
+        )
+    };
+    let cookie = Cookie::client(*b"benchPKT");
+    let queries: Vec<Vec<u8>> = (0..HOT)
+        .map(|i| {
+            let mut scratch = ScratchBuf::new();
+            let q = Question::new(
+                format!("h{i}.packet-bench.test").parse().unwrap(),
+                RecordType::A,
+            );
+            encode_query_into(&mut scratch, i as u16, &q, true, Some(&cookie)).unwrap();
+            scratch.take_bytes()
+        })
+        .collect();
+    let peer: std::net::SocketAddr = (Ipv4Addr::LOCALHOST, 50_000).into();
+
+    let mut record_role = build_role(0);
+    let mut packet_role = build_role(zdns_core::DEFAULT_PACKET_CACHE_CAPACITY);
+    let run = |role: &mut ServerRole, n: usize| -> f64 {
+        let started = Instant::now();
+        for i in 0..n {
+            std::hint::black_box(role.handle_datagram(&queries[i % HOT], peer, 1));
+        }
+        n as f64 / started.elapsed().as_secs_f64()
+    };
+    // Warmup: memoizes the hot set on the packet side and grows both
+    // scratch buffers to steady state.
+    run(&mut record_role, HOT * 8);
+    run(&mut packet_role, HOT * 8);
+
+    let mut best_record = 0.0f64;
+    let mut best_packet = 0.0f64;
+    let mut best_ratio = 0.0f64;
+    let mut packet_allocs = 0.0f64;
+    for _ in 0..pairs {
+        let record_qps = run(&mut record_role, queries_per_round);
+        let before = thread_allocations();
+        let packet_qps = run(&mut packet_role, queries_per_round);
+        packet_allocs = (thread_allocations() - before) as f64 / queries_per_round as f64;
+        best_record = best_record.max(record_qps);
+        best_packet = best_packet.max(packet_qps);
+        best_ratio = best_ratio.max(packet_qps / record_qps);
+    }
+    // Every measured packet-side query must actually ride the packet
+    // path — a miss-y workload would gate the wrong code.
+    let stats = packet_role.stats();
+    assert!(
+        stats.packet_hits() >= (pairs * queries_per_round) as u64,
+        "packet-side rounds must be pure hits ({} hits)",
+        stats.packet_hits()
+    );
+    (best_record, best_packet, best_ratio, packet_allocs)
 }
 
 /// Measure this kernel's raw per-datagram send cost through `BatchIo`
@@ -763,6 +882,7 @@ fn main() {
     let min_checkpoint_ratio: Option<f64> =
         arg_value("--min-checkpoint-ratio").map(|v| v.parse().unwrap());
     let min_paced_ratio: Option<f64> = arg_value("--min-paced-ratio").map(|v| v.parse().unwrap());
+    let min_packet_ratio: Option<f64> = arg_value("--min-packet-ratio").map(|v| v.parse().unwrap());
     let lookups = if quick { 8_000 } else { 30_000 };
     let rounds = if quick { 2 } else { 3 };
 
@@ -869,12 +989,46 @@ fn main() {
         }
     };
 
-    let (serve_rate, serve_hit_fraction) = measure_serve(lookups, rounds);
+    let (serve_rate, serve_hit_fraction, serve_packet_fraction) = measure_serve(
+        lookups,
+        rounds,
+        2_000,
+        zdns_core::DEFAULT_PACKET_CACHE_CAPACITY,
+    );
     let serve_ratio = serve_rate / batched_rate;
     println!(
         "serve mode (1 shard, mmsg, warmed cache): {serve_rate:>9.0} queries/s \
-         ({:.1}% cache hits, {serve_ratio:.2}x of the scan path)",
-        serve_hit_fraction * 100.0
+         ({:.1}% cache hits, {:.1}% packet hits, {serve_ratio:.2}x of the scan path)",
+        serve_hit_fraction * 100.0,
+        serve_packet_fraction * 100.0
+    );
+
+    let (packet_record_qps, packet_hit_qps, packet_ratio, packet_allocs) =
+        measure_packet_cache(quick);
+    println!("packet cache (direct handle_datagram, 16 hot keys, EDNS+cookie):");
+    println!(
+        "  record path (capacity 0): {packet_record_qps:>9.0} queries/s \
+         (shard lock + RRset walk + re-encode)"
+    );
+    println!(
+        "  packet path (default):    {packet_hit_qps:>9.0} queries/s \
+         ({packet_allocs:.3} allocs/query, memcpy + patch + cookie splice)"
+    );
+    println!("  packet/record: {packet_ratio:.2}x (best of alternating pairs)");
+    // E2e hot-key pair, informational: the loopback client round trip
+    // dominates, compressing whatever the hot path saves.
+    let (e2e_packet_on, _, e2e_on_fraction) = measure_serve(
+        lookups,
+        rounds,
+        16,
+        zdns_core::DEFAULT_PACKET_CACHE_CAPACITY,
+    );
+    let (e2e_packet_off, _, _) = measure_serve(lookups, rounds, 16, 0);
+    let e2e_packet_ratio = e2e_packet_on / e2e_packet_off;
+    println!(
+        "  e2e hot-key fleet (informational): on {e2e_packet_on:>8.0} vs off \
+         {e2e_packet_off:>8.0} queries/s ({e2e_packet_ratio:.2}x, {:.1}% packet hits)",
+        e2e_on_fraction * 100.0
     );
 
     let (
@@ -971,7 +1125,7 @@ fn main() {
 
     let json = serde_json::json!({
         "bench": "reactor_batched_vs_per_datagram",
-        "schema_version": 5,
+        "schema_version": 6,
         "kernel": {
             "sendto_ns_per_datagram": sendto_ns,
             "sendmmsg_ns_per_datagram": sendmmsg_ns,
@@ -1018,7 +1172,26 @@ fn main() {
             "queries_per_sec": serve_rate,
             "ns_per_query": 1e9 / serve_rate,
             "cache_hit_fraction": serve_hit_fraction,
+            "packet_hit_fraction": serve_packet_fraction,
             "serve_over_scan": serve_ratio,
+            "packet_cache": {
+                "hot_names": 16,
+                "direct": {
+                    "record_path_qps": packet_record_qps,
+                    "packet_path_qps": packet_hit_qps,
+                    "ns_per_query": 1e9 / packet_hit_qps,
+                    "packet_allocs_per_query": packet_allocs,
+                    "packet_over_record": packet_ratio,
+                    "measurement": "best per-pair ratio over alternating (record, packet) rounds through ServerRole::handle_datagram; qps are each side's best round",
+                },
+                "e2e": {
+                    "packet_on_qps": e2e_packet_on,
+                    "packet_off_qps": e2e_packet_off,
+                    "packet_hit_fraction": e2e_on_fraction,
+                    "packet_over_record": e2e_packet_ratio,
+                    "note": "informational — the loopback client round trip dominates e2e latency, compressing the hot-path win the direct pair isolates",
+                },
+            },
         },
         "pipeline": {
             "workers": 2,
@@ -1125,6 +1298,16 @@ fn main() {
             std::process::exit(1);
         }
         println!("bench_reactor: serve gate passed ({serve_ratio:.2}x >= {min:.2}x)");
+    }
+    if let Some(min) = min_packet_ratio {
+        if packet_ratio < min {
+            eprintln!(
+                "bench_reactor: FAIL — packet-hit path at {packet_ratio:.2}x of the \
+                 record-hit path, below the {min:.2}x gate"
+            );
+            std::process::exit(1);
+        }
+        println!("bench_reactor: packet-cache gate passed ({packet_ratio:.2}x >= {min:.2}x)");
     }
     if let Some(min) = min_checkpoint_ratio {
         if checkpoint_ratio < min {

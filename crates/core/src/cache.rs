@@ -11,11 +11,13 @@
 //! not implementation noise.
 
 use std::collections::{BTreeMap, HashMap};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 
 use parking_lot::Mutex;
 use zdns_wire::{Name, Record, RecordType};
 
+use crate::packet_cache::PacketCache;
 use zdns_netsim::{SimTime, SECONDS};
 
 /// Cache key: owner name + record type (class is always IN here).
@@ -86,7 +88,16 @@ impl CacheStats {
 /// The sharded selective cache.
 pub struct Cache {
     shards: Vec<Mutex<Shard>>,
+    /// Per-shard entry counts, maintained at every insert/remove so
+    /// [`Cache::len`] (telemetry, status lines) never sweeps the locks.
+    counts: Vec<AtomicUsize>,
     per_shard_capacity: usize,
+    /// The serve-path packet cache riding in front of this record cache,
+    /// installed once per fleet ([`Cache::attach_packet_cache`]). Living
+    /// here means [`Cache::put`] can invalidate memoized answers whenever
+    /// it promotes a fresher RRset, with no extra plumbing through the
+    /// resolver or the reactor.
+    packet: OnceLock<Arc<PacketCache>>,
     /// Shared counters.
     pub stats: CacheStats,
 }
@@ -100,9 +111,27 @@ impl Cache {
         let per_shard_capacity = (capacity / SHARDS).max(1);
         Cache {
             shards: (0..SHARDS).map(|_| Mutex::new(Shard::new())).collect(),
+            counts: (0..SHARDS).map(|_| AtomicUsize::new(0)).collect(),
             per_shard_capacity,
+            packet: OnceLock::new(),
             stats: CacheStats::default(),
         }
+    }
+
+    /// Install (idempotently) the shared packet cache for this record
+    /// cache and return it. Every serve worker of a fleet calls this with
+    /// the same capacity; the first call wins, so they all share one
+    /// table and one invalidation hook.
+    pub fn attach_packet_cache(&self, capacity: usize) -> Arc<PacketCache> {
+        Arc::clone(
+            self.packet
+                .get_or_init(|| Arc::new(PacketCache::new(capacity))),
+        )
+    }
+
+    /// The attached packet cache, if any worker installed one.
+    pub fn packet_cache(&self) -> Option<&Arc<PacketCache>> {
+        self.packet.get()
     }
 
     /// Total capacity (approximate: per-shard bound × shards).
@@ -110,9 +139,11 @@ impl Cache {
         self.per_shard_capacity * SHARDS
     }
 
-    /// Current entry count across shards.
+    /// Current entry count across shards — summed from relaxed per-shard
+    /// counters, so telemetry reads (status lines, tests) never sweep all
+    /// 64 shard locks.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().map.len()).sum()
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
     }
 
     /// True when empty.
@@ -131,10 +162,6 @@ impl Cache {
         (h.finish() as usize) & (SHARDS - 1)
     }
 
-    fn shard_for(&self, key: &CacheKey) -> &Mutex<Shard> {
-        &self.shards[self.shard_index(key)]
-    }
-
     /// The selective policy: only infrastructure RRsets are admitted.
     pub fn admits(rtype: RecordType) -> bool {
         rtype.is_infrastructure()
@@ -151,33 +178,56 @@ impl Cache {
             return;
         }
         let expires = now + ttl * SECONDS;
-        let mut shard = self.shard_for(&key).lock();
-        shard.clock += 1;
-        let stamp = shard.clock;
-        if let Some(old) = shard.map.insert(
-            key.clone(),
-            Entry {
-                records,
-                expires,
-                stamp,
-            },
-        ) {
-            shard.lru.remove(&old.stamp);
+        let idx = self.shard_index(&key);
+        // Snapshot the key for the packet-cache hook before it moves into
+        // the LRU (inline names copy without allocating).
+        let stale_packet = self.packet.get().map(|_| (key.name.clone(), key.rtype));
+        {
+            let mut shard = self.shards[idx].lock();
+            shard.clock += 1;
+            let stamp = shard.clock;
+            if let Some(old) = shard.map.insert(
+                key.clone(),
+                Entry {
+                    records,
+                    expires,
+                    stamp,
+                },
+            ) {
+                shard.lru.remove(&old.stamp);
+            } else {
+                self.counts[idx].fetch_add(1, Ordering::Relaxed);
+            }
+            shard.lru.insert(stamp, key);
+            // Evict beyond capacity.
+            while shard.map.len() > self.per_shard_capacity {
+                let Some((&oldest, _)) = shard.lru.iter().next() else {
+                    break;
+                };
+                if let Some(victim) = shard.lru.remove(&oldest) {
+                    shard.map.remove(&victim);
+                    self.counts[idx].fetch_sub(1, Ordering::Relaxed);
+                    self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+            }
         }
-        shard.lru.insert(stamp, key);
-        // Evict beyond capacity.
-        while shard.map.len() > self.per_shard_capacity {
-            let Some((&oldest, _)) = shard.lru.iter().next() else {
-                break;
-            };
-            if let Some(victim) = shard.lru.remove(&oldest) {
-                shard.map.remove(&victim);
-                self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+        // Promote, *then* invalidate (outside the shard lock): a reader
+        // racing between the two can only memoize the fresh RRset, and a
+        // fresh entry dropped by this invalidation just refills on the
+        // next query. The reverse order could leave a stale packet entry
+        // memoized from the old records.
+        if let Some((name, rtype)) = stale_packet {
+            if let Some(pc) = self.packet.get() {
+                pc.invalidate(&name, rtype);
             }
         }
     }
 
-    /// Look up a live RRset, refreshing its LRU position.
+    /// Look up a live RRset, refreshing its LRU position. Clones the
+    /// records — fine for tests and the netsim harness, wrong for the
+    /// resolver/serve hot paths, which all go through the borrowing
+    /// [`Cache::with_records`] instead (audited: the iterative walk's
+    /// glue probe and the serve cache front both do).
     pub fn get(&self, name: &Name, rtype: RecordType, now: SimTime) -> Option<Vec<Record>> {
         let found = self.probe(name, rtype, now);
         if found.is_some() {
@@ -196,7 +246,8 @@ impl Cache {
             name: name.clone(),
             rtype,
         };
-        let mut shard = self.shard_for(&key).lock();
+        let idx = self.shard_index(&key);
+        let mut shard = self.shards[idx].lock();
         match shard.map.get(&key) {
             Some(entry) if entry.expires > now => {
                 let records = entry.records.clone();
@@ -207,6 +258,7 @@ impl Cache {
                 // Expired: drop it.
                 if let Some(old) = shard.map.remove(&key) {
                     shard.lru.remove(&old.stamp);
+                    self.counts[idx].fetch_sub(1, Ordering::Relaxed);
                 }
                 None
             }
@@ -222,22 +274,26 @@ impl Cache {
     /// allocates a `BTreeMap` node, so entries read through here keep
     /// their insertion stamp and look older to eviction than they are —
     /// an accepted trade for a hot path that answers from borrowed data.
-    /// `f` runs under the shard lock; keep it short.
+    /// `f` runs under the shard lock; keep it short. Alongside the
+    /// records, `f` receives the entry's absolute expiry — the packet
+    /// cache derives its memoized answer's deadline from it, so a
+    /// pre-encoded response can never outlive the RRset behind it.
     pub fn with_records<R>(
         &self,
         name: &Name,
         rtype: RecordType,
         now: SimTime,
-        f: impl FnOnce(&[Record]) -> R,
+        f: impl FnOnce(&[Record], SimTime) -> R,
     ) -> Option<R> {
         let key = CacheKey {
             name: name.clone(),
             rtype,
         };
-        let mut shard = self.shard_for(&key).lock();
+        let idx = self.shard_index(&key);
+        let mut shard = self.shards[idx].lock();
         match shard.map.get(&key) {
             Some(entry) if entry.expires > now => {
-                let out = f(&entry.records);
+                let out = f(&entry.records, entry.expires);
                 self.stats.hits.fetch_add(1, Ordering::Relaxed);
                 Some(out)
             }
@@ -245,6 +301,7 @@ impl Cache {
                 // Expired: drop it.
                 if let Some(old) = shard.map.remove(&key) {
                     shard.lru.remove(&old.stamp);
+                    self.counts[idx].fetch_sub(1, Ordering::Relaxed);
                 }
                 self.stats.misses.fetch_add(1, Ordering::Relaxed);
                 None
@@ -479,19 +536,118 @@ mod tests {
             0,
         );
         let com: Name = "com".parse().unwrap();
-        let n = cache.with_records(&com, RecordType::NS, 0, |recs| recs.len());
+        let n = cache.with_records(&com, RecordType::NS, 0, |recs, expires| {
+            // The closure sees the entry's absolute expiry (fill + ttl).
+            assert_eq!(expires, 10 * SECONDS);
+            recs.len()
+        });
         assert_eq!(n, Some(1));
         assert_eq!(cache.stats.hits.load(Ordering::Relaxed), 1);
         assert!(cache
-            .with_records(&"org".parse().unwrap(), RecordType::NS, 0, |_| ())
+            .with_records(&"org".parse().unwrap(), RecordType::NS, 0, |_, _| ())
             .is_none());
         assert_eq!(cache.stats.misses.load(Ordering::Relaxed), 1);
         // Expiry drops the entry exactly like `get`.
         assert!(cache
-            .with_records(&com, RecordType::NS, 11 * SECONDS, |_| ())
+            .with_records(&com, RecordType::NS, 11 * SECONDS, |_, _| ())
             .is_none());
         assert!(cache.is_empty());
         assert_eq!(cache.stats.misses.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn len_counters_track_every_insert_remove_path() {
+        let cache = Cache::new(SHARDS); // 1 entry per shard: forces evictions
+        assert_eq!(cache.len(), 0);
+        cache.put(
+            key("com", RecordType::NS),
+            vec![ns_record("com", "a.gtld-servers.net", 10)],
+            0,
+        );
+        assert_eq!(cache.len(), 1);
+        // Replacing the same key must not double-count.
+        cache.put(
+            key("com", RecordType::NS),
+            vec![ns_record("com", "b.gtld-servers.net", 10)],
+            0,
+        );
+        assert_eq!(cache.len(), 1);
+        // Expiry via `get` decrements.
+        assert!(cache
+            .get(&"com".parse().unwrap(), RecordType::NS, 11 * SECONDS)
+            .is_none());
+        assert_eq!(cache.len(), 0);
+        // Expiry via `with_records` decrements too.
+        cache.put(
+            key("org", RecordType::NS),
+            vec![ns_record("org", "ns.org.test", 10)],
+            0,
+        );
+        assert!(cache
+            .with_records(
+                &"org".parse().unwrap(),
+                RecordType::NS,
+                11 * SECONDS,
+                |_, _| ()
+            )
+            .is_none());
+        assert_eq!(cache.len(), 0);
+        // Evictions keep the count honest under churn.
+        for i in 0..10 * SHARDS {
+            cache.put(
+                key(&format!("zone{i}.test"), RecordType::NS),
+                vec![ns_record(&format!("zone{i}.test"), "ns.zone.test", 3600)],
+                0,
+            );
+        }
+        let true_len: usize = (0..cache.shards.len())
+            .map(|i| cache.shards[i].lock().map.len())
+            .sum();
+        assert_eq!(cache.len(), true_len);
+    }
+
+    #[test]
+    fn put_invalidates_the_packet_cache_for_its_key() {
+        use crate::packet_cache::{PacketLookup, OPT_TAIL_LEN};
+
+        let cache = Cache::new(64);
+        let pc = cache.attach_packet_cache(64);
+        // Attaching twice hands back the same shared table.
+        assert!(std::sync::Arc::ptr_eq(&pc, &cache.attach_packet_cache(8)));
+
+        let name: Name = "ns1.example.com".parse().unwrap();
+        let fake = vec![0u8; 12 + name.wire_len() + 4 + OPT_TAIL_LEN];
+        pc.fill(std::sync::Arc::new(crate::packet_cache::PacketEntry::new(
+            name.clone(),
+            RecordType::A,
+            SimTime::MAX,
+            &fake,
+        )));
+        assert!(matches!(
+            pc.lookup(&name, RecordType::A, 0),
+            PacketLookup::Hit(_)
+        ));
+        // Promoting a fresher RRset for the same key drops the memoized
+        // packet; an unrelated key leaves it alone.
+        cache.put(
+            key("other.example.com", RecordType::A),
+            vec![a_record("other.example.com", "198.51.100.9", 300)],
+            0,
+        );
+        assert!(matches!(
+            pc.lookup(&name, RecordType::A, 0),
+            PacketLookup::Hit(_)
+        ));
+        cache.put(
+            key("ns1.example.com", RecordType::A),
+            vec![a_record("ns1.example.com", "198.51.100.1", 300)],
+            0,
+        );
+        assert!(matches!(
+            pc.lookup(&name, RecordType::A, 0),
+            PacketLookup::Miss
+        ));
+        assert_eq!(pc.invalidations(), 1);
     }
 
     #[test]

@@ -35,6 +35,7 @@ pub mod config;
 pub mod driver;
 pub mod machine;
 pub mod pacer;
+pub mod packet_cache;
 pub mod reactor;
 pub mod resolver;
 pub mod result;
@@ -57,10 +58,11 @@ pub use machine::{
 pub use pacer::{
     ConcurrentGate, ConcurrentPacer, Pacer, PacerConfig, SharedPacer, TokenBlock, TOKEN_BLOCK,
 };
+pub use packet_cache::{PacketCache, PacketEntry, PacketLookup};
 pub use reactor::{Reactor, ReactorConfig, DEFAULT_BATCH_SIZE};
 pub use resolver::{collecting_sink, drive_blocking, drive_blocking_paced, AddrMap, Resolver};
 pub use result::{DelegationInfo, LookupResult};
-pub use serve::{ServeConfig, ServeStats, ServerRole};
+pub use serve::{ServeConfig, ServeStats, ServerRole, DEFAULT_PACKET_CACHE_CAPACITY};
 pub use stats::{Stats, StatsSnapshot};
 pub use status::Status;
 pub use trace::TraceStep;

@@ -576,16 +576,19 @@ impl IterativeMachine {
                 }
             });
             if addr.is_none() {
+                // Borrowing accessor: this glue probe runs once per NS per
+                // referral on the iterative hot path, and `get` would
+                // clone the whole RRset just to pick one address.
                 addr = self
                     .core
                     .cache
-                    .get(ns_name, RecordType::A, now)
-                    .and_then(|records| {
+                    .with_records(ns_name, RecordType::A, now, |records, _| {
                         records.iter().find_map(|r| match &r.rdata {
                             RData::A(a) => Some(*a),
                             _ => None,
                         })
-                    });
+                    })
+                    .flatten();
             }
             out.push(Candidate {
                 ns: ns_name.clone(),

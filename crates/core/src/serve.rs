@@ -6,18 +6,27 @@
 //! stale, and each one walks the serve dataflow:
 //!
 //! ```text
-//! listener → per-client token bucket → cache probe → [hit: scratch-encode
-//!   reply] / [miss: forwarding machine behind the same reactor] → send
+//! listener → per-client token bucket → packet cache probe → [hot hit:
+//!   memcpy + ID/cookie patch] / → record cache probe → [hit: scratch-
+//!   encode + memoize] / [miss: forwarding machine behind the same
+//!   reactor] → send
 //! ```
 //!
 //! * **Fairness gate** — a [`ClientBuckets`] table (response-rate-limiting
 //!   flavor: over-budget UDP queries are dropped, never queued; TCP is the
 //!   client's escape hatch and is never gated).
-//! * **Cache front** — hits are answered from the resolver's selective
-//!   [`Cache`](crate::cache::Cache) via the non-cloning
+//! * **Packet front** — repeat queries are answered from the
+//!   [`PacketCache`]: the fully encoded response is memoized on first
+//!   scratch-encode, and a hot hit is a memcpy plus a 2-byte ID patch,
+//!   flag patch, cookie splice, and TC re-check — no shard lock, no
+//!   record iteration, no per-record encode. `packet_cache_capacity: 0`
+//!   disables the layer (the A/B lever).
+//! * **Cache front** — remaining hits are answered from the resolver's
+//!   selective [`Cache`](crate::cache::Cache) via the non-cloning
 //!   [`with_records`](crate::cache::Cache::with_records) accessor and
-//!   encoded straight into a reusable [`ScratchBuf`]: the warm hit path
-//!   performs zero heap allocations (the `zero_alloc` suite enforces it).
+//!   encoded straight into a reusable [`ScratchBuf`]: both hit paths
+//!   perform zero heap allocations at steady state (the `zero_alloc`
+//!   suite enforces it).
 //! * **Forwarding behind** — misses admit an ordinary lookup machine
 //!   (External-mode stub + CNAME chase) into the *same* reactor; its
 //!   result sink fills the cache and parks the answer on a pending queue
@@ -35,19 +44,21 @@
 use std::io::{Read, Write};
 use std::net::{IpAddr, SocketAddr, TcpListener, TcpStream, UdpSocket};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use parking_lot::Mutex;
 use zdns_netsim::{SimClient, SimTime, SECONDS};
 use zdns_pacing::ClientBuckets;
 use zdns_wire::{
-    Cookie, Edns, Flags, Header, Message, MessageView, Question, Rcode, RcodeField, Record,
-    RecordType, ScratchBuf, CLIENT_COOKIE_LEN, DEFAULT_UDP_PAYLOAD, OPTION_COOKIE,
+    min_answer_ttl, Cookie, Edns, Flags, Header, Message, MessageView, Question, Rcode, RcodeField,
+    Record, RecordClass, RecordType, ScratchBuf, CLIENT_COOKIE_LEN, DEFAULT_UDP_PAYLOAD,
+    OPTION_COOKIE,
 };
 
 use crate::cache::CacheKey;
 use crate::clock::Clock;
 use crate::machine::ResultSink;
+use crate::packet_cache::{PacketCache, PacketEntry, PacketLookup};
 use crate::resolver::Resolver;
 use crate::result::LookupResult;
 use crate::status::Status;
@@ -65,6 +76,9 @@ const MIN_UDP_PAYLOAD: usize = 512;
 /// fire-hosing client cannot starve its neighbours on the shared loop.
 const TCP_READ_BUDGET: usize = 64 * 1024;
 
+/// Default packet-cache slot count ([`ServeConfig::packet_cache_capacity`]).
+pub const DEFAULT_PACKET_CACHE_CAPACITY: usize = 65_536;
+
 /// Tunables for one server role.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
@@ -80,6 +94,10 @@ pub struct ServeConfig {
     pub tcp_idle: SimTime,
     /// Datagrams drained from a dedicated listener socket per tick.
     pub max_datagrams_per_tick: usize,
+    /// Slots in the shared pre-encoded packet cache riding in front of
+    /// the record cache. `0` disables it, keeping the scratch-encode path
+    /// as the A/B lever.
+    pub packet_cache_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -91,6 +109,7 @@ impl Default for ServeConfig {
             max_tcp_conns: 64,
             tcp_idle: 10 * SECONDS,
             max_datagrams_per_tick: 256,
+            packet_cache_capacity: DEFAULT_PACKET_CACHE_CAPACITY,
         }
     }
 }
@@ -109,6 +128,12 @@ pub struct ServeStats {
     servfail: AtomicU64,
     tcp_accepted: AtomicU64,
     tcp_closed: AtomicU64,
+    packet_hits: AtomicU64,
+    packet_fills: AtomicU64,
+    packet_expired: AtomicU64,
+    /// The fleet-shared packet cache, linked so `packet_invalidations`
+    /// can be read off the same stats handle as the other counters.
+    packet: OnceLock<Arc<PacketCache>>,
 }
 
 macro_rules! stat_reader {
@@ -144,6 +169,20 @@ impl ServeStats {
         tcp_accepted,
         /// TCP connections closed (error, EOF, idle reap, or cap).
         tcp_closed,
+        /// Cache hits served straight from a pre-encoded packet.
+        packet_hits,
+        /// Canonical responses memoized into the packet cache.
+        packet_fills,
+        /// Packet lookups that found an entry past its TTL deadline.
+        packet_expired,
+    }
+
+    /// Packet entries dropped because the record cache promoted a fresher
+    /// RRset. The packet cache (and this counter) is shared by the whole
+    /// fleet — sum the per-worker readers above, but take this one from
+    /// any single worker.
+    pub fn packet_invalidations(&self) -> u64 {
+        self.packet.get().map_or(0, |pc| pc.invalidations())
     }
 
     fn bump(counter: &AtomicU64) {
@@ -176,6 +215,17 @@ struct ClientContext {
 struct PendingAnswer {
     ctx: ClientContext,
     result: LookupResult,
+}
+
+/// How the record-cache hit branch produced its response bytes.
+enum HitEncoding {
+    /// Packet cache disabled: the reply was scratch-encoded directly for
+    /// this client, truncation already resolved (the A/B lever path).
+    Direct { truncated: bool },
+    /// The canonical form (ID 0, cookie-less, bare OPT tail) was encoded
+    /// for memoization; the caller builds the [`PacketEntry`] and serves
+    /// this client through the same patch path every future hit takes.
+    Canonical { deadline: SimTime },
 }
 
 /// What [`ServerRole::handle_query`] decided about one inbound query.
@@ -212,6 +262,9 @@ pub struct ServerRole {
     clock: Clock,
     config: ServeConfig,
     gate: ClientBuckets,
+    /// Fleet-shared pre-encoded answer cache (`None` = disabled, the
+    /// scratch-encode A/B lever).
+    packet: Option<Arc<PacketCache>>,
     stats: Arc<ServeStats>,
     pending: Arc<Mutex<Vec<PendingAnswer>>>,
     admissions: Vec<Box<dyn SimClient>>,
@@ -230,12 +283,26 @@ impl ServerRole {
     /// pointing at the upstreams) and a real-time clock.
     pub fn new(resolver: Resolver, clock: Clock, config: ServeConfig) -> ServerRole {
         let gate = ClientBuckets::new(config.client_pps, config.client_capacity);
+        // The packet cache lives on the shared record cache so every
+        // worker of a fleet sees one table, and `Cache::put` can
+        // invalidate memoized answers at promotion time.
+        let packet = (config.packet_cache_capacity > 0).then(|| {
+            resolver
+                .core()
+                .cache
+                .attach_packet_cache(config.packet_cache_capacity)
+        });
+        let stats = Arc::new(ServeStats::default());
+        if let Some(pc) = &packet {
+            let _ = stats.packet.set(Arc::clone(pc));
+        }
         ServerRole {
             resolver,
             clock,
             config,
             gate,
-            stats: Arc::new(ServeStats::default()),
+            packet,
+            stats,
             pending: Arc::new(Mutex::new(Vec::new())),
             admissions: Vec::new(),
             listener: None,
@@ -310,9 +377,27 @@ impl ServerRole {
         peer: SocketAddr,
         now: SimTime,
     ) {
-        if let HandleOutcome::Respond = self.handle_query(raw, peer, Via::Udp, now) {
-            let _ = socket.send_to(self.scratch.message_bytes(), peer);
-            ServeStats::bump(&self.stats.responses);
+        // Count before sending: a client that has the answer in hand (and
+        // a test reading the counter) must never observe the response as
+        // uncounted. The Arc clone keeps `stats` reachable while the
+        // returned slice borrows `self`.
+        let stats = Arc::clone(&self.stats);
+        if let Some(bytes) = self.handle_datagram(raw, peer, now) {
+            ServeStats::bump(&stats.responses);
+            let _ = socket.send_to(bytes, peer);
+        }
+    }
+
+    /// Transport-free serve entry: run one raw UDP query through the full
+    /// gate → packet cache → record cache dataflow and return the encoded
+    /// response (borrowed from the role's scratch buffer) if one was
+    /// produced immediately. Forwarded and dropped queries return `None`.
+    /// This is the seam benches and tests use to measure the hot path
+    /// without a socket send per query.
+    pub fn handle_datagram(&mut self, raw: &[u8], peer: SocketAddr, now: SimTime) -> Option<&[u8]> {
+        match self.handle_query(raw, peer, Via::Udp, now) {
+            HandleOutcome::Respond => Some(self.scratch.message_bytes()),
+            _ => None,
         }
     }
 
@@ -406,8 +491,42 @@ impl ServerRole {
         // Alloc-free for names within the inline bound — the common case.
         let qname = qv.name.to_name();
 
+        // Packet front: a memoized answer skips the shard lock, the
+        // record walk, and the encode — memcpy, ID/flags patch, cookie
+        // splice, TC re-check. IN-class only, matching the record cache's
+        // implicit keying; anything else falls through to the record path.
+        let in_class = qv.qclass == RecordClass::IN;
+        if in_class {
+            if let Some(pc) = &self.packet {
+                match pc.lookup(&qname, qv.qtype, now) {
+                    PacketLookup::Hit(entry) => {
+                        let truncated = entry.serve_into(
+                            &mut self.scratch,
+                            view.id(),
+                            view.flags(),
+                            edns,
+                            cookie.as_ref(),
+                            udp_limit,
+                        );
+                        ServeStats::bump(&self.stats.cache_hits);
+                        ServeStats::bump(&self.stats.packet_hits);
+                        if truncated {
+                            ServeStats::bump(&self.stats.truncated);
+                        }
+                        return HandleOutcome::Respond;
+                    }
+                    PacketLookup::Expired => ServeStats::bump(&self.stats.packet_expired),
+                    PacketLookup::Miss => {}
+                }
+            }
+        }
+
         // Cache front: encode the hit straight off the shared entry, under
-        // the shard lock, with no cloning and no LRU touch.
+        // the shard lock, with no cloning and no LRU touch. With the
+        // packet cache enabled the encode is the canonical (memoizable)
+        // form; entry construction and the per-client patch both happen
+        // after the shard lock drops.
+        let memoize = in_class && self.packet.is_some();
         let hit = {
             let scratch = &mut self.scratch;
             let payload = self.config.udp_payload;
@@ -417,26 +536,79 @@ impl ServerRole {
                 &qname,
                 qv.qtype,
                 now,
-                |records: &[Record]| {
-                    encode_response(
-                        scratch,
-                        id,
-                        flags,
-                        Rcode::NoError,
-                        Some((&qname, qv.qtype.to_u16(), qv.qclass.to_u16())),
-                        records,
-                        edns.then_some((payload, cookie)),
-                        udp_limit,
-                    )
+                |records: &[Record], expires: SimTime| {
+                    if memoize {
+                        scratch.reset();
+                        encode_sections(
+                            scratch,
+                            0,
+                            flags,
+                            Rcode::NoError,
+                            Some((&qname, qv.qtype.to_u16(), qv.qclass.to_u16())),
+                            records,
+                            Some((payload, None)),
+                            false,
+                        );
+                        HitEncoding::Canonical { deadline: expires }
+                    } else {
+                        HitEncoding::Direct {
+                            truncated: encode_response(
+                                scratch,
+                                id,
+                                flags,
+                                Rcode::NoError,
+                                Some((&qname, qv.qtype.to_u16(), qv.qclass.to_u16())),
+                                records,
+                                edns.then_some((payload, cookie)),
+                                udp_limit,
+                            ),
+                        }
+                    }
                 },
             )
         };
-        if let Some(truncated) = hit {
-            ServeStats::bump(&self.stats.cache_hits);
-            if truncated {
-                ServeStats::bump(&self.stats.truncated);
+        match hit {
+            Some(HitEncoding::Direct { truncated }) => {
+                ServeStats::bump(&self.stats.cache_hits);
+                if truncated {
+                    ServeStats::bump(&self.stats.truncated);
+                }
+                return HandleOutcome::Respond;
             }
-            return HandleOutcome::Respond;
+            Some(HitEncoding::Canonical { deadline }) => {
+                // Memoize before answering: even when this UDP reply must
+                // truncate, the full canonical answer is already cached,
+                // so the client's TCP retry hits the packet path (the
+                // PR 7 fill-before-truncate learning). The deadline is
+                // the record entry's own expiry, re-derived from (and
+                // capped by) the encoded answers' minimum TTL.
+                let min_ttl = min_answer_ttl(self.scratch.message_bytes()).unwrap_or(0);
+                let deadline = deadline.min(now + u64::from(min_ttl) * SECONDS);
+                let entry = Arc::new(PacketEntry::new(
+                    qname,
+                    qv.qtype,
+                    deadline,
+                    self.scratch.message_bytes(),
+                ));
+                if let Some(pc) = &self.packet {
+                    pc.fill(Arc::clone(&entry));
+                    ServeStats::bump(&self.stats.packet_fills);
+                }
+                let truncated = entry.serve_into(
+                    &mut self.scratch,
+                    view.id(),
+                    view.flags(),
+                    edns,
+                    cookie.as_ref(),
+                    udp_limit,
+                );
+                ServeStats::bump(&self.stats.cache_hits);
+                if truncated {
+                    ServeStats::bump(&self.stats.truncated);
+                }
+                return HandleOutcome::Respond;
+            }
+            None => {}
         }
 
         // Miss: forward through an ordinary lookup machine on this same
@@ -538,8 +710,9 @@ impl ServerRole {
                         ServeStats::bump(&self.stats.truncated);
                     }
                     let socket = self.listener.as_ref().unwrap_or(fallback);
-                    let _ = socket.send_to(self.scratch.message_bytes(), ctx.peer);
+                    // Count before sending (see `on_udp_datagram`).
                     ServeStats::bump(&self.stats.responses);
+                    let _ = socket.send_to(self.scratch.message_bytes(), ctx.peer);
                 }
                 Via::Tcp { slot, generation } => {
                     if self.conn_generations.get(slot) != Some(&generation) {

@@ -499,6 +499,85 @@ fn steady_state_serve_hit_path_allocates_zero_per_query() {
 }
 
 #[test]
+fn packet_cache_hit_path_allocates_zero_per_query() {
+    // The PR-10 tentpole's claim, isolated from sockets: answering a
+    // repeat query from the packet cache — view parse, fingerprint
+    // probe, Arc clone, canonical-bytes copy, ID/flags patch, cookie
+    // splice — touches the allocator zero times per query. The role is
+    // driven through the public `handle_datagram` seam so only the hot
+    // path itself is measured (no sendto, no reactor tick).
+    use zdns_core::{Clock, ServeConfig, ServerRole};
+
+    const NAMES: usize = 16;
+    const MEASURED: usize = 1_000;
+
+    let resolver = Resolver::new(ResolverConfig::external(vec![Ipv4Addr::new(
+        203, 0, 113, 99,
+    )]));
+    for i in 0..NAMES {
+        let name: Name = format!("p{i}.zeroalloc.test").parse().unwrap();
+        resolver.core().cache.put(
+            CacheKey {
+                name: name.clone(),
+                rtype: RecordType::A,
+            },
+            vec![Record::new(
+                name,
+                3600,
+                RData::A(Ipv4Addr::new(10, 9, 0, i as u8)),
+            )],
+            0,
+        );
+    }
+    let mut role = ServerRole::new(resolver, Clock::new(), ServeConfig::default());
+    let peer: std::net::SocketAddr = "127.0.0.1:50505".parse().unwrap();
+    let cookie = Cookie::client(*b"pktalloc");
+    let queries: Vec<Vec<u8>> = (0..NAMES)
+        .map(|i| {
+            let mut scratch = ScratchBuf::new();
+            let q = Question::new(
+                format!("p{i}.zeroalloc.test").parse().unwrap(),
+                RecordType::A,
+            );
+            encode_query_into(&mut scratch, i as u16, &q, true, Some(&cookie)).unwrap();
+            scratch.take_bytes()
+        })
+        .collect();
+
+    // Warmup: the first pass memoizes (entry boxing is the fill's cost),
+    // later passes grow the role's scratch buffer to steady state.
+    for _ in 0..4 {
+        for raw in &queries {
+            assert!(role.handle_datagram(raw, peer, 1).is_some());
+        }
+    }
+    let stats = role.stats();
+    assert_eq!(stats.packet_fills(), NAMES as u64);
+    let hits_before = stats.packet_hits();
+
+    let before = thread_allocations();
+    if std::env::var_os("ZDNS_TRAP_ALLOCS").is_some() {
+        zdns_core::alloc_count::trap_allocations(true);
+    }
+    for round in 0..MEASURED {
+        let raw = &queries[round % NAMES];
+        std::hint::black_box(role.handle_datagram(raw, peer, 1));
+    }
+    zdns_core::alloc_count::trap_allocations(false);
+    let allocs = thread_allocations() - before;
+    assert_eq!(
+        allocs, 0,
+        "packet-cache hit path allocated {allocs} times over {MEASURED} queries"
+    );
+    let stats = role.stats();
+    assert_eq!(
+        stats.packet_hits() - hits_before,
+        MEASURED as u64,
+        "every measured query rode the packet path"
+    );
+}
+
+#[test]
 fn cache_misses_and_shard_routing_allocate_zero() {
     let cache = Cache::new(4096);
     let com: Name = "com".parse().unwrap();

@@ -389,6 +389,10 @@ FLAGS:
   --upstream IP[:PORT][,…] upstream recursive resolvers misses are forwarded
                            to (required; port defaults to 53)
   --cache-capacity N       selective cache entries (default 600000)
+  --packet-cache-capacity N
+                           pre-encoded answer packets kept in front of the
+                           record cache; hot repeats skip record iteration
+                           and re-encoding (default 65536; 0 disables)
   --client-pps N           per-client UDP budget in queries/s; over-budget
                            queries are dropped, TCP is never gated
                            (default: off)

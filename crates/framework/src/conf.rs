@@ -570,6 +570,9 @@ pub struct ServeConf {
     pub shards: usize,
     /// Datagrams per syscall on the forwarding path (`--batch-size`).
     pub batch_size: usize,
+    /// Pre-encoded packet-cache slots (`--packet-cache-capacity`; 0
+    /// disables the layer and serves every hit via scratch-encode).
+    pub packet_cache_capacity: usize,
     /// Run for this many seconds then exit (`--duration`; 0 = forever).
     pub duration: f64,
     /// Print a status line to stderr every second (`--status-updates`).
@@ -586,6 +589,7 @@ impl Default for ServeConf {
             io_backend: IoBackend::default(),
             shards: 1,
             batch_size: 0,
+            packet_cache_capacity: zdns_core::DEFAULT_PACKET_CACHE_CAPACITY,
             duration: 0.0,
             status_updates: false,
         }
@@ -655,6 +659,11 @@ impl ServeConf {
                         .filter(|v: &usize| *v >= 1)
                         .ok_or_else(|| ConfError("bad --batch-size".into()))?;
                 }
+                "--packet-cache-capacity" => {
+                    conf.packet_cache_capacity = take_value(&mut i)?
+                        .parse()
+                        .map_err(|_| ConfError("bad --packet-cache-capacity".into()))?;
+                }
                 "--duration" => {
                     conf.duration = take_value(&mut i)?
                         .parse()
@@ -685,6 +694,7 @@ impl ServeConf {
             io_backend: self.io_backend,
             shards: self.shards,
             batch_size: self.batch_size,
+            packet_cache_capacity: self.packet_cache_capacity,
             ..ServeOptions::default()
         }
     }
@@ -1002,6 +1012,8 @@ mod tests {
             "4",
             "--io-backend",
             "mmsg",
+            "--packet-cache-capacity",
+            "1024",
             "--duration",
             "2.5",
         ])
@@ -1018,10 +1030,12 @@ mod tests {
         assert_eq!(conf.client_pps, 100.0);
         assert_eq!(conf.shards, 4);
         assert_eq!(conf.io_backend, IoBackend::Mmsg);
+        assert_eq!(conf.packet_cache_capacity, 1024);
         assert_eq!(conf.duration, 2.5);
         let opts = conf.options();
         assert_eq!(opts.shards, 4);
         assert_eq!(opts.cache_capacity, 50_000);
+        assert_eq!(opts.packet_cache_capacity, 1024);
     }
 
     #[test]
@@ -1034,8 +1048,20 @@ mod tests {
         assert!(ServeConf::parse(["--upstream", "8.8.8.8", "--shards", "0"]).is_err());
         assert!(ServeConf::parse(["--upstream", "8.8.8.8", "--bogus"]).is_err());
         assert!(ServeConf::parse(["--upstream", "8.8.8.8", "--client-pps", "-1"]).is_err());
+        assert!(
+            ServeConf::parse(["--upstream", "8.8.8.8", "--packet-cache-capacity", "x"]).is_err()
+        );
         let minimal = ServeConf::parse(["--upstream", "8.8.8.8"]).unwrap();
         assert_eq!(minimal.shards, 1, "dual-role socket by default");
         assert_eq!(minimal.client_pps, 0.0, "gate off by default");
+        assert_eq!(
+            minimal.packet_cache_capacity,
+            zdns_core::DEFAULT_PACKET_CACHE_CAPACITY,
+            "packet cache on by default"
+        );
+        // 0 is valid: it is the disable lever.
+        let off =
+            ServeConf::parse(["--upstream", "8.8.8.8", "--packet-cache-capacity", "0"]).unwrap();
+        assert_eq!(off.packet_cache_capacity, 0);
     }
 }

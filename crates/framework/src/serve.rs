@@ -52,6 +52,9 @@ pub struct ServeOptions {
     pub batch_size: usize,
     /// Concurrent forwarded lookups per worker.
     pub max_in_flight: usize,
+    /// Slots in the fleet-shared pre-encoded packet cache (0 disables,
+    /// keeping scratch-encode as the A/B lever).
+    pub packet_cache_capacity: usize,
 }
 
 impl Default for ServeOptions {
@@ -65,6 +68,7 @@ impl Default for ServeOptions {
             shards: 1,
             batch_size: 0,
             max_in_flight: 1_024,
+            packet_cache_capacity: zdns_core::DEFAULT_PACKET_CACHE_CAPACITY,
         }
     }
 }
@@ -125,13 +129,38 @@ impl ServeHandle {
         self.stats.iter().map(|s| s.rate_limited()).sum()
     }
 
+    /// Fleet-wide hits served from a pre-encoded packet (a subset of
+    /// `cache_hits`).
+    pub fn packet_hits(&self) -> u64 {
+        self.stats.iter().map(|s| s.packet_hits()).sum()
+    }
+
+    /// Fleet-wide canonical responses memoized into the packet cache.
+    pub fn packet_fills(&self) -> u64 {
+        self.stats.iter().map(|s| s.packet_fills()).sum()
+    }
+
+    /// Fleet-wide packet lookups that found an entry past its TTL.
+    pub fn packet_expired(&self) -> u64 {
+        self.stats.iter().map(|s| s.packet_expired()).sum()
+    }
+
+    /// Packet entries dropped by record-cache promotions. The packet
+    /// cache is one fleet-shared table, so this reads the shared counter
+    /// from any worker rather than summing (a sum would multiply it by
+    /// the worker count).
+    pub fn packet_invalidations(&self) -> u64 {
+        self.stats.first().map_or(0, |s| s.packet_invalidations())
+    }
+
     /// One status line for stderr/telemetry.
     pub fn summary_line(&self) -> String {
         format!(
-            "serve: {} queries, {} cache hits, {} forwarded, {} responses, \
-             {} truncated, {} rate-limited",
+            "serve: {} queries, {} cache hits ({} packet), {} forwarded, \
+             {} responses, {} truncated, {} rate-limited",
             self.queries(),
             self.cache_hits(),
+            self.packet_hits(),
             self.forwarded(),
             self.responses(),
             self.truncated(),
@@ -302,6 +331,7 @@ pub fn start(opts: &ServeOptions) -> std::io::Result<ServeHandle> {
         };
         let serve_config = ServeConfig {
             client_pps: opts.client_pps,
+            packet_cache_capacity: opts.packet_cache_capacity,
             ..ServeConfig::default()
         };
         workers.push(std::thread::spawn(move || {

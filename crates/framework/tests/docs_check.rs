@@ -115,6 +115,15 @@ const SERVE_SAMPLES: &[(&str, &[&str])] = &[
         &["--cache-capacity", "100000", "--upstream", "192.0.2.53"],
     ),
     (
+        "--packet-cache-capacity",
+        &[
+            "--packet-cache-capacity",
+            "65536",
+            "--upstream",
+            "192.0.2.53",
+        ],
+    ),
+    (
         "--client-pps",
         &["--client-pps", "100", "--upstream", "192.0.2.53"],
     ),

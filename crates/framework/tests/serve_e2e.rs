@@ -251,6 +251,89 @@ fn oversized_answer_truncates_on_udp_and_retries_over_tcp() {
 }
 
 #[test]
+fn repeat_queries_ride_the_packet_cache() {
+    // Three identical queries walk the whole cache hierarchy: the first
+    // forwards upstream (filling the record cache at promotion), the
+    // second answers from records and memoizes the encoded packet, the
+    // third is a pure packet hit. All three answers must agree.
+    let (_upstream, handle) = serve_fleet(upstream_universe(4), IoBackend::Syscall, 1, 0.0);
+    let client = UdpSocket::bind((Ipv4Addr::LOCALHOST, 0)).unwrap();
+    client
+        .set_read_timeout(Some(std::time::Duration::from_secs(5)))
+        .unwrap();
+    let question = Question::new("n1.scan.test".parse().unwrap(), RecordType::A);
+    let mut scratch = ScratchBuf::new();
+    let mut answers = Vec::new();
+    for id in 1..=3u16 {
+        scratch.reset();
+        encode_query_into(&mut scratch, id, &question, true, None).unwrap();
+        client
+            .send_to(scratch.as_slice(), handle.local_addr())
+            .unwrap();
+        let mut buf = [0u8; 4096];
+        let (n, _) = client.recv_from(&mut buf).unwrap();
+        let reply = MessageView::parse(&buf[..n]).unwrap();
+        assert_eq!(reply.id(), id);
+        assert_eq!(reply.answer_count(), 1);
+        let addr = reply.answers().find_map(|r| r.a_addr()).unwrap();
+        answers.push(addr);
+    }
+    assert!(answers.iter().all(|a| *a == scan_addr(1)));
+    assert!(
+        handle.packet_fills() >= 1,
+        "second query memoizes ({})",
+        handle.packet_fills()
+    );
+    assert!(
+        handle.packet_hits() >= 1,
+        "third query rides the packet path ({})",
+        handle.packet_hits()
+    );
+}
+
+#[test]
+fn packet_cache_capacity_zero_still_serves() {
+    // The A/B lever: a fleet with the packet cache disabled answers the
+    // same repeat traffic purely from the record cache.
+    let upstream = WireServer::start(
+        upstream_universe(4) as Arc<dyn Universe>,
+        Ipv4Addr::LOCALHOST,
+    )
+    .unwrap();
+    let handle = start(&ServeOptions {
+        listen: SocketAddr::new(Ipv4Addr::LOCALHOST.into(), 0),
+        upstreams: vec![upstream.addr()],
+        cache_capacity: 10_000,
+        packet_cache_capacity: 0,
+        io_backend: IoBackend::Syscall,
+        ..ServeOptions::default()
+    })
+    .unwrap();
+    let client = UdpSocket::bind((Ipv4Addr::LOCALHOST, 0)).unwrap();
+    client
+        .set_read_timeout(Some(std::time::Duration::from_secs(5)))
+        .unwrap();
+    let question = Question::new("n2.scan.test".parse().unwrap(), RecordType::A);
+    let mut scratch = ScratchBuf::new();
+    for id in 1..=3u16 {
+        scratch.reset();
+        encode_query_into(&mut scratch, id, &question, true, None).unwrap();
+        client
+            .send_to(scratch.as_slice(), handle.local_addr())
+            .unwrap();
+        let mut buf = [0u8; 4096];
+        let (n, _) = client.recv_from(&mut buf).unwrap();
+        let reply = MessageView::parse(&buf[..n]).unwrap();
+        assert_eq!(reply.id(), id);
+        assert_eq!(reply.answer_count(), 1);
+    }
+    assert!(handle.cache_hits() >= 1, "record cache still answers");
+    assert_eq!(handle.packet_fills(), 0);
+    assert_eq!(handle.packet_hits(), 0);
+    assert_eq!(handle.packet_invalidations(), 0);
+}
+
+#[test]
 fn per_client_gate_drops_overflow_udp_queries() {
     let (_upstream, handle) = serve_fleet(upstream_universe(4), IoBackend::Syscall, 1, 2.0);
     let client = UdpSocket::bind((Ipv4Addr::LOCALHOST, 0)).unwrap();

@@ -208,6 +208,24 @@ impl Edns {
     }
 }
 
+/// Append one COOKIE option (code, length, cookie octets) to a message
+/// whose OPT pseudo-record is the final thing in the buffer. The caller
+/// patches the OPT RDLENGTH afterwards — [`cookie_option_len`] is the
+/// delta to add. This is the splice the serve-path packet cache uses to
+/// graft a per-client cookie onto a pre-encoded, cookie-less response.
+pub fn write_cookie_option(w: &mut ScratchBuf, cookie: &Cookie) -> WireResult<()> {
+    let bytes = cookie.as_bytes();
+    w.write_u16(OPTION_COOKIE)?;
+    w.write_u16(bytes.len() as u16)?;
+    w.write_bytes(bytes)
+}
+
+/// Wire size of the option [`write_cookie_option`] appends: 4 octets of
+/// code + length, then the cookie itself.
+pub fn cookie_option_len(cookie: &Cookie) -> usize {
+    4 + cookie.as_bytes().len()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

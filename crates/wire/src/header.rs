@@ -163,6 +163,44 @@ pub struct Flags {
     pub zero: bool,
 }
 
+impl Flags {
+    /// Pack into the two wire octets (bytes 2–3 of the header), combined
+    /// with the low 4 bits of the response code. [`Header::encode`] uses
+    /// this; so does the serve-path packet cache, which patches the flag
+    /// bytes of a pre-encoded response in place instead of re-encoding.
+    pub fn pack(&self, rcode_low: u8) -> [u8; 2] {
+        let mut hi: u8 = 0;
+        if self.response {
+            hi |= 0x80;
+        }
+        hi |= self.opcode.0.to_u8() << 3;
+        if self.authoritative {
+            hi |= 0x04;
+        }
+        if self.truncated {
+            hi |= 0x02;
+        }
+        if self.recursion_desired {
+            hi |= 0x01;
+        }
+        let mut lo: u8 = 0;
+        if self.recursion_available {
+            lo |= 0x80;
+        }
+        if self.zero {
+            lo |= 0x40;
+        }
+        if self.authenticated {
+            lo |= 0x20;
+        }
+        if self.checking_disabled {
+            lo |= 0x10;
+        }
+        lo |= rcode_low & 0x0F;
+        [hi, lo]
+    }
+}
+
 /// Wrapper so `Flags` can derive `Default` with `Opcode::Query`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct OpcodeField(pub Opcode);
@@ -196,35 +234,7 @@ impl Header {
     /// Encode the header.
     pub fn encode(&self, w: &mut ScratchBuf) -> WireResult<()> {
         w.write_u16(self.id)?;
-        let f = &self.flags;
-        let mut hi: u8 = 0;
-        if f.response {
-            hi |= 0x80;
-        }
-        hi |= f.opcode.0.to_u8() << 3;
-        if f.authoritative {
-            hi |= 0x04;
-        }
-        if f.truncated {
-            hi |= 0x02;
-        }
-        if f.recursion_desired {
-            hi |= 0x01;
-        }
-        let mut lo: u8 = 0;
-        if f.recursion_available {
-            lo |= 0x80;
-        }
-        if f.zero {
-            lo |= 0x40;
-        }
-        if f.authenticated {
-            lo |= 0x20;
-        }
-        if f.checking_disabled {
-            lo |= 0x10;
-        }
-        lo |= self.rcode_low & 0x0F;
+        let [hi, lo] = self.flags.pack(self.rcode_low);
         w.write_u8(hi)?;
         w.write_u8(lo)?;
         w.write_u16(self.qdcount)?;
@@ -309,6 +319,34 @@ mod tests {
         assert_eq!(Rcode::from_u16(2), Rcode::ServFail);
         assert_eq!(Rcode::from_u16(4242), Rcode::Unknown(4242));
         assert_eq!(Rcode::Unknown(4242).to_u16(), 4242);
+    }
+
+    #[test]
+    fn pack_matches_encode_for_every_flag_combination() {
+        for bits in 0..=0xFFu16 {
+            let flags = Flags {
+                response: bits & 1 != 0,
+                opcode: OpcodeField(Opcode::from_u8(((bits >> 1) & 0x03) as u8)),
+                authoritative: bits & 0x04 != 0,
+                truncated: bits & 0x08 != 0,
+                recursion_desired: bits & 0x10 != 0,
+                recursion_available: bits & 0x20 != 0,
+                authenticated: bits & 0x40 != 0,
+                checking_disabled: bits & 0x80 != 0,
+                zero: bits & 0x100 != 0,
+            };
+            let rcode_low = (bits % 16) as u8;
+            let h = Header {
+                id: 0,
+                flags,
+                rcode_low,
+                ..Header::default()
+            };
+            let mut w = WireWriter::new();
+            h.encode(&mut w).unwrap();
+            let bytes = w.finish();
+            assert_eq!(flags.pack(rcode_low), [bytes[2], bytes[3]]);
+        }
     }
 
     #[test]

@@ -45,7 +45,8 @@ mod view;
 
 pub use buffer::{ScratchBuf, WireReader, WireWriter, MAX_MESSAGE_SIZE};
 pub use edns::{
-    Cookie, Edns, CLIENT_COOKIE_LEN, DEFAULT_UDP_PAYLOAD, MAX_COOKIE_LEN, OPTION_COOKIE,
+    cookie_option_len, write_cookie_option, Cookie, Edns, CLIENT_COOKIE_LEN, DEFAULT_UDP_PAYLOAD,
+    MAX_COOKIE_LEN, OPTION_COOKIE,
 };
 pub use error::{WireError, WireResult};
 pub use header::{Flags, Header, Opcode, OpcodeField, Rcode};
@@ -56,6 +57,6 @@ pub use rdata::RData;
 pub use record::Record;
 pub use rtype::{RecordClass, RecordType};
 pub use view::{
-    MessageView, MsgRef, NameRef, NameRefLabels, QuestionView, QuestionViews, RecordCursor,
-    RecordEntry, RecordView, RecordViews,
+    min_answer_ttl, MessageView, MsgRef, NameRef, NameRefLabels, QuestionView, QuestionViews,
+    RecordCursor, RecordEntry, RecordView, RecordViews,
 };

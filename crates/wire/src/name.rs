@@ -164,6 +164,16 @@ impl Name {
         self.storage_bytes().len() + 1
     }
 
+    /// Byte-exact comparison, unlike `Eq`/`Hash` which are
+    /// case-insensitive per RFC 1035. `Name` preserves the spelling it was
+    /// built with, and a DNS response must echo the client's question
+    /// exactly (0x20 mixed-case is a real-world spoofing defence) — the
+    /// serve-path packet cache keys hits on this, not on `==`.
+    #[inline]
+    pub fn eq_exact_case(&self, other: &Name) -> bool {
+        self.storage_bytes() == other.storage_bytes()
+    }
+
     /// The name with the most-specific label removed (`www.example.com` →
     /// `example.com`); the root's parent is the root.
     pub fn parent(&self) -> Name {

@@ -947,6 +947,15 @@ impl RecordEntry<'_> {
     }
 }
 
+/// Minimum TTL across the answer section of an already-encoded message,
+/// without promoting any record. `None` when the buffer fails to parse or
+/// carries no answers. The serve-path packet cache derives an entry's
+/// expiry deadline from the encoded response with this.
+pub fn min_answer_ttl(msg: &[u8]) -> Option<u32> {
+    let view = MessageView::parse(msg).ok()?;
+    view.answers().map(|r| r.ttl).min()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
